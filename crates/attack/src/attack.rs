@@ -1,0 +1,206 @@
+//! Traffic delivery: DPS absorption vs. direct origin floods.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use remnant_provider::ProviderId;
+use remnant_world::World;
+
+use crate::botnet::Botnet;
+
+/// Typical origin server uplink in Gbps — the asymmetry that makes DPS
+/// necessary and origin exposure fatal.
+pub const ORIGIN_UPLINK_GBPS: f64 = 1.0;
+
+/// The result of delivering a flood at one address.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttackOutcome {
+    /// The address attacked.
+    pub target: Ipv4Addr,
+    /// True if the address belonged to a DPS edge (flood was scrubbed).
+    pub hit_dps_edge: Option<ProviderId>,
+    /// Malicious Gbps that reached the origin server.
+    pub malicious_at_origin: f64,
+    /// Legitimate Gbps still being delivered.
+    pub legit_delivered: f64,
+    /// Legitimate Gbps offered.
+    pub legit_offered: f64,
+}
+
+impl AttackOutcome {
+    /// True if the victim's service survived: most legitimate traffic is
+    /// delivered and the origin uplink is not saturated by attack traffic.
+    pub fn service_survives(&self) -> bool {
+        let legit_ok = self.legit_offered <= 0.0
+            || self.legit_delivered / self.legit_offered >= 0.9;
+        legit_ok && self.malicious_at_origin < ORIGIN_UPLINK_GBPS
+    }
+}
+
+impl fmt::Display for AttackOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "attack on {}: {} ({:.1} Gbps malicious at origin)",
+            self.target,
+            if self.service_survives() {
+                "mitigated"
+            } else {
+                "SERVICE DOWN"
+            },
+            self.malicious_at_origin
+        )
+    }
+}
+
+/// A volumetric DDoS attack against one address.
+#[derive(Clone, Copy, Debug)]
+pub struct DdosAttack {
+    botnet: Botnet,
+    /// Legitimate background traffic of the victim (Gbps).
+    legit_gbps: f64,
+}
+
+impl DdosAttack {
+    /// Creates an attack by `botnet` against a victim serving
+    /// `legit_gbps` of real traffic.
+    pub fn new(botnet: Botnet, legit_gbps: f64) -> Self {
+        DdosAttack { botnet, legit_gbps }
+    }
+
+    /// The attacking botnet.
+    pub fn botnet(&self) -> &Botnet {
+        &self.botnet
+    }
+
+    /// Delivers the flood at `target` in `world`.
+    ///
+    /// * A DPS edge address: anycast spreads the flood across every PoP of
+    ///   the provider; each PoP's scrubbing center filters its share
+    ///   (Sec II-A.1 — this is why "the total capacity of such networks ...
+    ///   is sufficient to absorb the world's largest DDoS attack").
+    /// * Any other address: the raw flood meets the origin uplink.
+    pub fn launch(&self, world: &World, target: Ipv4Addr) -> AttackOutcome {
+        let malicious = self.botnet.total_gbps();
+        let provider = remnant_provider::ProviderId::ALL
+            .into_iter()
+            .find(|p| world.provider(*p).is_edge_address(target));
+        match provider {
+            Some(provider_id) => {
+                let dps = world.provider(provider_id);
+                let pops = dps.pops();
+                let share = 1.0 / pops.len() as f64;
+                let mut malicious_through = 0.0;
+                let mut legit_through = 0.0;
+                for pop in pops {
+                    let outcome = dps
+                        .scrub_at(
+                            pop.id(),
+                            malicious * share,
+                            self.legit_gbps * share,
+                        )
+                        .expect("every pop has a scrubbing center");
+                    malicious_through += outcome.malicious_passed;
+                    legit_through += outcome.legit_passed;
+                }
+                AttackOutcome {
+                    target,
+                    hit_dps_edge: Some(provider_id),
+                    malicious_at_origin: malicious_through,
+                    legit_delivered: legit_through,
+                    legit_offered: self.legit_gbps,
+                }
+            }
+            None => {
+                // Direct at the origin: whatever exceeds the uplink starves
+                // legitimate traffic out entirely.
+                let total = malicious + self.legit_gbps;
+                let legit_delivered = if total <= ORIGIN_UPLINK_GBPS {
+                    self.legit_gbps
+                } else {
+                    self.legit_gbps * (ORIGIN_UPLINK_GBPS / total)
+                };
+                AttackOutcome {
+                    target,
+                    hit_dps_edge: None,
+                    malicious_at_origin: malicious,
+                    legit_delivered,
+                    legit_offered: self.legit_gbps,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remnant_world::{SiteState, World, WorldConfig};
+
+    fn world() -> World {
+        World::generate(WorldConfig {
+            population: 300,
+            seed: 99,
+            warmup_days: 0,
+            calibration: remnant_world::Calibration::paper(),
+        })
+    }
+
+    #[test]
+    fn dps_edge_absorbs_mirai_class_flood() {
+        let w = world();
+        let protected = w
+            .sites()
+            .iter()
+            .find(|s| s.state.is_protected())
+            .unwrap()
+            .clone();
+        let provider = protected.state.provider().unwrap();
+        let edge = w
+            .provider(provider)
+            .account(&protected.apex)
+            .unwrap()
+            .edge;
+        let attack = DdosAttack::new(Botnet::mirai_class(), 0.5);
+        let outcome = attack.launch(&w, edge);
+        assert_eq!(outcome.hit_dps_edge, Some(provider));
+        assert!(outcome.service_survives(), "{outcome}");
+        assert!(outcome.malicious_at_origin < 1e-6);
+    }
+
+    #[test]
+    fn direct_origin_flood_takes_service_down() {
+        let w = world();
+        let site = w
+            .sites()
+            .iter()
+            .find(|s| s.state == SiteState::SelfHosted)
+            .unwrap();
+        let attack = DdosAttack::new(Botnet::booter(), 0.5);
+        let outcome = attack.launch(&w, site.origin);
+        assert_eq!(outcome.hit_dps_edge, None);
+        assert!(!outcome.service_survives(), "{outcome}");
+    }
+
+    #[test]
+    fn tiny_flood_below_uplink_is_survivable() {
+        let w = world();
+        let site = &w.sites()[0];
+        let attack = DdosAttack::new(Botnet::new(10, 1.0), 0.1); // 0.01 Gbps
+        let outcome = attack.launch(&w, site.origin);
+        assert!(outcome.service_survives());
+        assert_eq!(outcome.legit_delivered, 0.1);
+    }
+
+    #[test]
+    fn outcome_display_reads_well() {
+        let outcome = AttackOutcome {
+            target: Ipv4Addr::new(1, 2, 3, 4),
+            hit_dps_edge: None,
+            malicious_at_origin: 12.0,
+            legit_delivered: 0.0,
+            legit_offered: 1.0,
+        };
+        assert!(outcome.to_string().contains("SERVICE DOWN"));
+    }
+}

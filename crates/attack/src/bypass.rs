@@ -1,0 +1,332 @@
+//! The full residual-resolution kill chain (Fig 1b).
+//!
+//! 1. Normal resolution shows the victim behind its *current* DPS — a
+//!    direct flood there is scrubbed (Fig 1a).
+//! 2. The adversary queries the victim's *previous* provider: an NS-based
+//!    remnant is asked directly at the fleet; a CNAME remnant is resolved
+//!    through its harvested token (Fig 1b ③).
+//! 3. The leaked address is verified to serve the victim's landing page.
+//! 4. The flood is redirected at the origin, bypassing the DPS entirely
+//!    (Fig 1b ④).
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use remnant_core::{HtmlVerifier, SCANNER_SOURCE};
+use remnant_dns::{DnsTransport, DomainName, Query, RecordType, RecursiveResolver};
+use remnant_net::Region;
+use remnant_provider::ProviderId;
+use remnant_world::World;
+
+use crate::attack::{AttackOutcome, DdosAttack};
+use crate::botnet::Botnet;
+
+/// How the adversary interrogates the previous provider.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RemnantProbe {
+    /// Ask the provider's nameservers for the victim's `www A` directly
+    /// (NS-based rerouting remnants).
+    DirectNsQuery,
+    /// Resolve a previously harvested CNAME token (CNAME-based remnants).
+    HarvestedToken(DomainName),
+}
+
+/// The attack report for one victim.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BypassReport {
+    /// What the public DNS currently returns (the protected front).
+    pub public_address: Option<Ipv4Addr>,
+    /// The flood outcome against the public address.
+    pub frontal_attack: Option<AttackOutcome>,
+    /// The address leaked by the previous provider, if any.
+    pub leaked_address: Option<Ipv4Addr>,
+    /// True if the leaked address was verified to serve the victim.
+    pub leak_verified: bool,
+    /// The flood outcome against the leaked origin.
+    pub bypass_attack: Option<AttackOutcome>,
+}
+
+impl BypassReport {
+    /// True if the adversary defeated the DPS: the frontal attack failed
+    /// but the bypass took the service down.
+    pub fn bypass_succeeded(&self) -> bool {
+        let frontal_mitigated = self
+            .frontal_attack
+            .as_ref()
+            .is_some_and(AttackOutcome::service_survives);
+        let bypass_lethal = self
+            .bypass_attack
+            .as_ref()
+            .is_some_and(|o| !o.service_survives());
+        frontal_mitigated && self.leak_verified && bypass_lethal
+    }
+}
+
+impl fmt::Display for BypassReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bypass_succeeded() {
+            write!(
+                f,
+                "bypass SUCCEEDED: origin {} leaked by previous provider",
+                self.leaked_address.expect("success implies a leak")
+            )
+        } else if self.leaked_address.is_some() {
+            f.write_str("leak found but bypass incomplete")
+        } else {
+            f.write_str("no residual leak; DPS holds")
+        }
+    }
+}
+
+/// The adversary (see module docs).
+#[derive(Debug)]
+pub struct ResidualBypassAttack {
+    botnet: Botnet,
+    resolver: RecursiveResolver,
+    verifier: HtmlVerifier,
+}
+
+impl ResidualBypassAttack {
+    /// Creates an adversary with `botnet` firepower, resolving and
+    /// verifying from a scanner host.
+    pub fn new(world: &World, botnet: Botnet) -> Self {
+        ResidualBypassAttack {
+            botnet,
+            resolver: RecursiveResolver::new(world.clock(), Region::Frankfurt),
+            verifier: HtmlVerifier::new(SCANNER_SOURCE),
+        }
+    }
+
+    /// Runs the kill chain against `www`, whose previous provider is
+    /// suspected to be `previous`, probing it via `probe`.
+    pub fn execute(
+        &mut self,
+        world: &mut World,
+        www: &DomainName,
+        previous: ProviderId,
+        probe: RemnantProbe,
+    ) -> BypassReport {
+        // Step 0: what does the public DNS say?
+        self.resolver.purge_cache();
+        let public_address = self
+            .resolver
+            .resolve(world, www, RecordType::A)
+            .ok()
+            .and_then(|r| r.addresses().last().copied());
+
+        // Step 1: frontal assault on the public address.
+        let attack = DdosAttack::new(self.botnet, 0.5);
+        let frontal_attack = public_address.map(|addr| attack.launch(world, addr));
+
+        // Step 2: interrogate the previous provider.
+        let leaked_address = self.probe_remnant(world, www, previous, &probe);
+
+        // Step 3: verify the leak actually serves the victim.
+        let leak_verified = match (leaked_address, public_address) {
+            (Some(leak), Some(public)) if leak != public => {
+                let now = world.now();
+                self.verifier
+                    .verify(world, now, www.as_str(), public, leak)
+                    .is_verified()
+            }
+            _ => false,
+        };
+
+        // Step 4: redirect the flood at the origin.
+        let bypass_attack = leaked_address
+            .filter(|_| leak_verified)
+            .map(|addr| attack.launch(world, addr));
+
+        BypassReport {
+            public_address,
+            frontal_attack,
+            leaked_address,
+            leak_verified,
+            bypass_attack,
+        }
+    }
+
+    /// Extracts a remnant address from the previous provider.
+    fn probe_remnant(
+        &mut self,
+        world: &mut World,
+        www: &DomainName,
+        previous: ProviderId,
+        probe: &RemnantProbe,
+    ) -> Option<Ipv4Addr> {
+        match probe {
+            RemnantProbe::DirectNsQuery => {
+                let servers: Vec<Ipv4Addr> =
+                    world.provider(previous).ns_addresses().to_vec();
+                let query = Query::new(www.clone(), RecordType::A);
+                for server in servers {
+                    let now = world.now();
+                    if let Some(response) = world.query(now, server, Region::Frankfurt, &query) {
+                        if let Some(addr) = response.answer_addresses().first() {
+                            return Some(*addr);
+                        }
+                    }
+                }
+                None
+            }
+            RemnantProbe::HarvestedToken(token) => {
+                self.resolver.purge_cache();
+                self.resolver
+                    .resolve(world, token, RecordType::A)
+                    .ok()
+                    .and_then(|r| r.addresses().first().copied())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remnant_provider::{ReroutingMethod, ServicePlan};
+    use remnant_world::{SiteState, World, WorldConfig};
+
+    fn world() -> World {
+        World::generate(WorldConfig {
+            population: 800,
+            seed: 123,
+            warmup_days: 0,
+            calibration: remnant_world::Calibration::paper(),
+        })
+    }
+
+    fn cloudflare_ns_victim(w: &World) -> remnant_world::Website {
+        w.sites()
+            .iter()
+            .find(|s| {
+                !s.firewalled
+                    && !s.dynamic_meta
+                    && matches!(
+                        s.state,
+                        SiteState::Dps {
+                            provider: ProviderId::Cloudflare,
+                            rerouting: ReroutingMethod::Ns,
+                            paused: false,
+                            ..
+                        }
+                    )
+            })
+            .expect("cloudflare NS customer exists")
+            .clone()
+    }
+
+    #[test]
+    fn full_kill_chain_after_switch() {
+        let mut w = world();
+        let victim = cloudflare_ns_victim(&w);
+        // Victim switches to Incapsula, keeping its origin (the common,
+        // vulnerable case).
+        w.force_switch(
+            victim.id,
+            ProviderId::Incapsula,
+            ReroutingMethod::Cname,
+            ServicePlan::Pro,
+            true,
+        );
+        // Let stale delegation caches age out so public DNS shows Incapsula.
+        w.step_days(3);
+
+        let mut adversary = ResidualBypassAttack::new(&w, Botnet::mirai_class());
+        let report = adversary.execute(
+            &mut w,
+            &victim.www,
+            ProviderId::Cloudflare,
+            RemnantProbe::DirectNsQuery,
+        );
+        assert_eq!(report.leaked_address, Some(victim.origin));
+        assert!(report.leak_verified);
+        assert!(report.bypass_succeeded(), "{report}");
+        assert!(report.to_string().contains("SUCCEEDED"));
+    }
+
+    #[test]
+    fn protected_victim_without_remnant_is_safe() {
+        let mut w = world();
+        let victim = cloudflare_ns_victim(&w);
+        // No switch, no remnant: probing Incapsula (never its provider).
+        let mut adversary = ResidualBypassAttack::new(&w, Botnet::mirai_class());
+        let report = adversary.execute(
+            &mut w,
+            &victim.www,
+            ProviderId::Incapsula,
+            RemnantProbe::DirectNsQuery,
+        );
+        assert_eq!(report.leaked_address, None);
+        assert!(!report.bypass_succeeded());
+        assert!(report
+            .frontal_attack
+            .as_ref()
+            .unwrap()
+            .service_survives());
+    }
+
+    #[test]
+    fn probing_current_provider_yields_edge_not_origin() {
+        let mut w = world();
+        let victim = cloudflare_ns_victim(&w);
+        let mut adversary = ResidualBypassAttack::new(&w, Botnet::mirai_class());
+        let report = adversary.execute(
+            &mut w,
+            &victim.www,
+            ProviderId::Cloudflare,
+            RemnantProbe::DirectNsQuery,
+        );
+        // The current provider answers with an edge — equal to the public
+        // address, so no "leak" is recognized.
+        assert_eq!(report.leaked_address, report.public_address);
+        assert!(!report.leak_verified);
+        assert!(!report.bypass_succeeded());
+    }
+
+    #[test]
+    fn token_probe_works_for_cname_remnants() {
+        let mut w = world();
+        let victim = w
+            .sites()
+            .iter()
+            .find(|s| {
+                !s.firewalled
+                    && !s.dynamic_meta
+                    && matches!(
+                        s.state,
+                        SiteState::Dps {
+                            provider: ProviderId::Incapsula,
+                            paused: false,
+                            ..
+                        }
+                    )
+            })
+            .expect("incapsula customer exists")
+            .clone();
+        let token = w
+            .provider(ProviderId::Incapsula)
+            .account(&victim.apex)
+            .unwrap()
+            .cname_token
+            .clone()
+            .unwrap();
+        w.force_switch(
+            victim.id,
+            ProviderId::Cloudflare,
+            ReroutingMethod::Ns,
+            ServicePlan::Free,
+            true,
+        );
+        w.step_days(3);
+
+        let mut adversary = ResidualBypassAttack::new(&w, Botnet::mirai_class());
+        let report = adversary.execute(
+            &mut w,
+            &victim.www,
+            ProviderId::Incapsula,
+            RemnantProbe::HarvestedToken(token),
+        );
+        assert_eq!(report.leaked_address, Some(victim.origin));
+        assert!(report.bypass_succeeded(), "{report}");
+    }
+}

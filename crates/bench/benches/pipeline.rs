@@ -1,0 +1,61 @@
+//! Residual-resolution pipeline benchmarks: fleet harvesting, the direct
+//! scan, and the three-stage Fig 8 filter pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use remnant::core::collector::{RecordCollector, Target};
+use remnant::core::residual::{CloudflareScanner, FilterPipeline};
+use remnant::core::SCANNER_SOURCE;
+use remnant::net::Region;
+use remnant::provider::ProviderId;
+use remnant::world::{World, WorldConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut world = World::generate(WorldConfig {
+        population: 2_000,
+        seed: 3,
+        warmup_days: 14, // builds a residual pool
+        calibration: remnant::world::Calibration::paper(),
+    });
+    let targets: Vec<Target> = world
+        .sites()
+        .iter()
+        .map(|s| (s.apex.clone(), s.www.clone()))
+        .collect();
+    let mut collector = RecordCollector::new(world.clock(), Region::Ashburn);
+    let snapshot = collector.collect(&mut world, &targets, 0);
+
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(targets.len() as u64));
+
+    group.bench_function("harvest_fleet", |b| {
+        b.iter(|| {
+            let mut scanner = CloudflareScanner::new(world.clock(), "cloudflare");
+            scanner.harvest_fleet(&mut world, &snapshot);
+            scanner.fleet_size()
+        });
+    });
+
+    let mut scanner = CloudflareScanner::new(world.clock(), "cloudflare");
+    scanner.harvest_fleet(&mut world, &snapshot);
+
+    group.bench_function("direct_scan_2k_sites", |b| {
+        let mut week = 0;
+        b.iter(|| {
+            week += 1;
+            scanner.scan(&mut world, &targets, week)
+        });
+    });
+
+    let raw = scanner.scan(&mut world, &targets, 0);
+    group.bench_function("filter_pipeline", |b| {
+        let mut pipeline =
+            FilterPipeline::new(world.clock(), Region::Ashburn, SCANNER_SOURCE);
+        b.iter(|| pipeline.run(&mut world, ProviderId::Cloudflare, 0, &raw, &targets));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Measurement-toolkit benchmarks: snapshot collection, fingerprint
+//! matching, adoption classification, and behavior diffing.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use remnant::core::adoption::Adoption;
+use remnant::core::collector::{RecordCollector, Target};
+use remnant::core::{BehaviorDetector, ProviderMatcher};
+use remnant::net::Region;
+use remnant::world::{World, WorldConfig};
+
+fn bench_scanner(c: &mut Criterion) {
+    let mut world = World::generate(WorldConfig {
+        population: 2_000,
+        seed: 2,
+        warmup_days: 0,
+        calibration: remnant::world::Calibration::paper(),
+    });
+    let targets: Vec<Target> = world
+        .sites()
+        .iter()
+        .map(|s| (s.apex.clone(), s.www.clone()))
+        .collect();
+    let mut collector = RecordCollector::new(world.clock(), Region::Ashburn);
+    let snapshot = collector.collect(&mut world, &targets, 0);
+    let detector = BehaviorDetector::new();
+    let classes = detector.classify_snapshot(&snapshot);
+    let matcher = ProviderMatcher::new();
+
+    let mut group = c.benchmark_group("scanner");
+    group.throughput(Throughput::Elements(targets.len() as u64));
+
+    group.bench_function("collect_snapshot_2k_sites", |b| {
+        let mut day = 1;
+        b.iter(|| {
+            day += 1;
+            collector.collect(&mut world, &targets, day)
+        });
+    });
+
+    group.bench_function("classify_snapshot_2k_sites", |b| {
+        b.iter(|| detector.classify_snapshot(&snapshot));
+    });
+
+    group.bench_function("match_records_2k_sites", |b| {
+        b.iter(|| {
+            snapshot
+                .records
+                .iter()
+                .filter(|r| matcher.match_records(r).a.is_some())
+                .count()
+        });
+    });
+
+    group.bench_function("diff_snapshots_2k_sites", |b| {
+        b.iter(|| detector.diff(&classes, &classes));
+    });
+
+    group.bench_function("classify_one", |b| {
+        let records = snapshot
+            .records
+            .iter()
+            .find(|r| !r.is_empty())
+            .expect("resolved site");
+        b.iter(|| Adoption::classify(&matcher, records));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_scanner);
+criterion_main!(benches);

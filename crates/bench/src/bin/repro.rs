@@ -1,0 +1,134 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [EXPERIMENT] [--population N] [--weeks W] [--seed S] [--even-intervals]
+//!
+//! EXPERIMENT: all (default) | table2 | table5 | table6 |
+//!             fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 |
+//!             purge
+//! ```
+//!
+//! The default population is 100,000 (a 1:10 scale model of the paper's
+//! Alexa top 1M); pass `--population 1000000` for full scale. Absolute
+//! counts are printed both raw and rescaled to 1M.
+
+use std::process::ExitCode;
+
+use remnant_bench::{
+    render_fig1, render_fig2, render_fig3, render_fig4, render_fig5, render_fig6, render_fig7,
+    render_ablation, render_fig8, render_fig9, render_purge, render_table1, render_table2,
+    render_table5, render_table6, run_study, ReproConfig,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro [all|table1|table2|table5|table6|fig1..fig9|purge|ablation] \
+         [--population N] [--weeks W] [--seed S] [--even-intervals]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut experiment = "all".to_owned();
+    let mut config = ReproConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--population" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.population = v,
+                None => return usage(),
+            },
+            "--weeks" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.weeks = v,
+                None => return usage(),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => config.seed = v,
+                None => return usage(),
+            },
+            "--even-intervals" => config.even_intervals = true,
+            "--help" | "-h" => {
+                let _ = usage();
+                return ExitCode::SUCCESS;
+            }
+            name if !name.starts_with('-') => experiment = name.to_owned(),
+            _ => return usage(),
+        }
+    }
+
+    // Experiments that do not need the full study.
+    match experiment.as_str() {
+        "table2" => {
+            println!("{}", render_table2());
+            return ExitCode::SUCCESS;
+        }
+        "table1" => {
+            println!("{}", render_table1(&config));
+            return ExitCode::SUCCESS;
+        }
+        "ablation" => {
+            println!("{}", render_ablation(&config));
+            return ExitCode::SUCCESS;
+        }
+        "fig1" => {
+            println!("{}", render_fig1(config.seed));
+            return ExitCode::SUCCESS;
+        }
+        "purge" => {
+            println!("{}", render_purge(config.seed));
+            return ExitCode::SUCCESS;
+        }
+        _ => {}
+    }
+
+    eprintln!(
+        "running {}-week study over {} sites (seed {}, {} intervals)...",
+        config.weeks,
+        config.population,
+        config.seed,
+        if config.even_intervals { "24h" } else { "20-30h" }
+    );
+    let started = std::time::Instant::now();
+    let (world, report) = run_study(&config);
+    eprintln!(
+        "study done in {:.1}s ({} DNS queries, {} HTTP requests served)\n",
+        started.elapsed().as_secs_f64(),
+        world.traffic_stats().0,
+        world.traffic_stats().1
+    );
+
+    let render = |name: &str| -> Option<String> {
+        match name {
+            "fig2" => Some(render_fig2(&config, &report)),
+            "fig3" => Some(render_fig3(&config, &report)),
+            "fig4" => Some(render_fig4(&report)),
+            "fig5" => Some(render_fig5(&report)),
+            "fig6" => Some(render_fig6(&report)),
+            "fig7" => Some(render_fig7(&world)),
+            "fig8" => Some(render_fig8(&report)),
+            "fig9" => Some(render_fig9(&config, &report)),
+            "table5" => Some(render_table5(&config, &report)),
+            "table6" => Some(render_table6(&config, &report)),
+            _ => None,
+        }
+    };
+
+    if experiment == "all" {
+        println!("{}", render_table2());
+        for name in [
+            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table5", "table6",
+        ] {
+            println!("{}", render(name).expect("known experiment"));
+        }
+        println!("{}", render_fig1(config.seed));
+        println!("{}", render_purge(config.seed));
+        println!("{}", render_table1(&config));
+        ExitCode::SUCCESS
+    } else if let Some(rendered) = render(&experiment) {
+        println!("{rendered}");
+        ExitCode::SUCCESS
+    } else {
+        usage()
+    }
+}

@@ -1,0 +1,235 @@
+//! DPS adoption classification: provider, status (Table III), and
+//! rerouting mechanism (Sec IV-B.2, Fig 6).
+
+use std::fmt;
+
+use remnant_provider::{ProviderId, ReroutingMethod};
+
+use crate::matchers::{ProviderMatcher, RecordMatches};
+use crate::snapshot::SiteRecords;
+
+/// The observable DPS status of a website (Table III).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum DpsStatus {
+    /// A record points to a DPS's IP (A-matched).
+    On,
+    /// Domain is delegated to a DPS (CNAME-matched with any provider, or
+    /// NS-matched with Cloudflare) but the A record points to a non-DPS IP
+    /// — typically the origin.
+    Off,
+    /// No DPS involvement detected.
+    #[default]
+    None,
+}
+
+impl fmt::Display for DpsStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DpsStatus::On => "ON",
+            DpsStatus::Off => "OFF",
+            DpsStatus::None => "NONE",
+        })
+    }
+}
+
+/// A classified site: which provider, what status, and (for ON sites) which
+/// rerouting mechanism.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Adoption {
+    /// The inferred provider (None iff status is NONE).
+    pub provider: Option<ProviderId>,
+    /// The observable status.
+    pub status: DpsStatus,
+    /// The inferred rerouting mechanism, when determinable.
+    pub rerouting: Option<ReroutingMethod>,
+}
+
+impl Adoption {
+    /// A site with no DPS involvement.
+    pub const NONE: Adoption = Adoption {
+        provider: None,
+        status: DpsStatus::None,
+        rerouting: None,
+    };
+
+    /// Classifies one site's records (see module docs for the rules).
+    pub fn classify(matcher: &ProviderMatcher, records: &SiteRecords) -> Adoption {
+        Adoption::from_matches(matcher.match_records(records))
+    }
+
+    /// Classifies pre-computed matcher output.
+    pub fn from_matches(matches: RecordMatches) -> Adoption {
+        if let Some(provider) = matches.a {
+            // Traffic is being rerouted: the site is protected (ON).
+            let rerouting = infer_rerouting(provider, &matches);
+            return Adoption {
+                provider: Some(provider),
+                status: DpsStatus::On,
+                rerouting: Some(rerouting),
+            };
+        }
+        // Not A-matched: delegated-but-off, or nothing. Table III: OFF is
+        // "CNAME-matched with all providers or NS-matched with Cloudflare".
+        if let Some(provider) = matches.cname {
+            return Adoption {
+                provider: Some(provider),
+                status: DpsStatus::Off,
+                rerouting: Some(ReroutingMethod::Cname),
+            };
+        }
+        if matches.ns == Some(ProviderId::Cloudflare) {
+            return Adoption {
+                provider: Some(ProviderId::Cloudflare),
+                status: DpsStatus::Off,
+                rerouting: Some(ReroutingMethod::Ns),
+            };
+        }
+        Adoption::NONE
+    }
+
+    /// True if the site is involved with any DPS (ON or OFF).
+    pub fn is_adopted(&self) -> bool {
+        self.status != DpsStatus::None
+    }
+}
+
+/// Infers the rerouting mechanism for an ON site (Sec IV-B.2): a CNAME
+/// match means CNAME-based; otherwise NS-based for Cloudflare and A-based
+/// for A-capable providers (Akamai, DOSarrest).
+fn infer_rerouting(provider: ProviderId, matches: &RecordMatches) -> ReroutingMethod {
+    if matches.cname == Some(provider) {
+        ReroutingMethod::Cname
+    } else if provider == ProviderId::Cloudflare && matches.ns == Some(provider) {
+        ReroutingMethod::Ns
+    } else if provider.info().supports(ReroutingMethod::A) {
+        ReroutingMethod::A
+    } else if provider.info().supports(ReroutingMethod::Ns) {
+        ReroutingMethod::Ns
+    } else {
+        // CNAME-only provider whose chain we failed to observe.
+        ReroutingMethod::Cname
+    }
+}
+
+impl fmt::Display for Adoption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.provider, self.rerouting) {
+            (Some(p), Some(r)) => write!(f, "{} via {p} ({r})", self.status),
+            (Some(p), None) => write!(f, "{} via {p}", self.status),
+            _ => write!(f, "{}", self.status),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remnant_dns::DomainName;
+
+    fn name(s: &str) -> DomainName {
+        s.parse().expect("test name")
+    }
+
+    fn classify(records: SiteRecords) -> Adoption {
+        Adoption::classify(&ProviderMatcher::new(), &records)
+    }
+
+    #[test]
+    fn cloudflare_ns_customer_is_on_ns() {
+        let adoption = classify(SiteRecords {
+            a: vec!["104.16.1.1".parse().unwrap()],
+            cnames: vec![],
+            ns: vec![name("kate.ns.cloudflare.com")],
+        });
+        assert_eq!(adoption.provider, Some(ProviderId::Cloudflare));
+        assert_eq!(adoption.status, DpsStatus::On);
+        assert_eq!(adoption.rerouting, Some(ReroutingMethod::Ns));
+        assert!(adoption.is_adopted());
+    }
+
+    #[test]
+    fn incapsula_cname_customer_is_on_cname() {
+        let adoption = classify(SiteRecords {
+            a: vec!["45.60.1.1".parse().unwrap()],
+            cnames: vec![name("x9.incapdns.net")],
+            ns: vec![name("ns1.webhost1.net")],
+        });
+        assert_eq!(adoption.provider, Some(ProviderId::Incapsula));
+        assert_eq!(adoption.status, DpsStatus::On);
+        assert_eq!(adoption.rerouting, Some(ReroutingMethod::Cname));
+    }
+
+    #[test]
+    fn paused_cloudflare_customer_is_off() {
+        // Origin A (non-DPS), cloudflare NS: Table III OFF.
+        let adoption = classify(SiteRecords {
+            a: vec!["100.64.3.3".parse().unwrap()],
+            cnames: vec![],
+            ns: vec![name("rob.ns.cloudflare.com")],
+        });
+        assert_eq!(adoption.status, DpsStatus::Off);
+        assert_eq!(adoption.provider, Some(ProviderId::Cloudflare));
+        assert_eq!(adoption.rerouting, Some(ReroutingMethod::Ns));
+    }
+
+    #[test]
+    fn paused_cname_customer_is_off() {
+        let adoption = classify(SiteRecords {
+            a: vec!["100.64.3.3".parse().unwrap()],
+            cnames: vec![name("t7.incapdns.net")],
+            ns: vec![name("ns1.webhost1.net")],
+        });
+        assert_eq!(adoption.status, DpsStatus::Off);
+        assert_eq!(adoption.provider, Some(ProviderId::Incapsula));
+    }
+
+    #[test]
+    fn non_cloudflare_ns_match_alone_is_not_off() {
+        // Table III gates NS-only OFF detection to Cloudflare.
+        let adoption = classify(SiteRecords {
+            a: vec!["100.64.3.3".parse().unwrap()],
+            cnames: vec![],
+            ns: vec![name("ns1.fastly.net")],
+        });
+        assert_eq!(adoption.status, DpsStatus::None);
+        assert!(!adoption.is_adopted());
+    }
+
+    #[test]
+    fn plain_site_is_none() {
+        let adoption = classify(SiteRecords {
+            a: vec!["100.64.3.3".parse().unwrap()],
+            cnames: vec![],
+            ns: vec![name("ns1.webhost1.net")],
+        });
+        assert_eq!(adoption, Adoption::NONE);
+    }
+
+    #[test]
+    fn a_based_akamai_customer_labeled_a() {
+        // Akamai edge A, no CNAME chain, own NS: A-based rerouting.
+        let adoption = classify(SiteRecords {
+            a: vec!["23.195.0.1".parse().unwrap()],
+            cnames: vec![],
+            ns: vec![name("ns1.webhost1.net")],
+        });
+        assert_eq!(adoption.provider, Some(ProviderId::Akamai));
+        assert_eq!(adoption.rerouting, Some(ReroutingMethod::A));
+    }
+
+    #[test]
+    fn empty_records_are_none() {
+        assert_eq!(classify(SiteRecords::default()), Adoption::NONE);
+    }
+
+    #[test]
+    fn display_formats() {
+        let adoption = classify(SiteRecords {
+            a: vec!["104.16.1.1".parse().unwrap()],
+            cnames: vec![],
+            ns: vec![name("kate.ns.cloudflare.com")],
+        });
+        assert_eq!(adoption.to_string(), "ON via Cloudflare (NS)");
+        assert_eq!(Adoption::NONE.to_string(), "NONE");
+    }
+}

@@ -1,0 +1,219 @@
+//! Usage-behavior detection by diffing consecutive snapshots (Sec IV-B.3,
+//! Table IV).
+
+use std::fmt;
+
+use remnant_provider::ProviderId;
+use remnant_world::BehaviorKind;
+
+use crate::adoption::{Adoption, DpsStatus};
+use crate::matchers::ProviderMatcher;
+use crate::snapshot::DnsSnapshot;
+
+/// One behavior inferred from two consecutive observations of a site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObservedBehavior {
+    /// Site rank in the target list.
+    pub rank: usize,
+    /// Which behavior.
+    pub kind: BehaviorKind,
+    /// The provider before the transition (LEAVE/PAUSE/RESUME/SWITCH).
+    pub from: Option<ProviderId>,
+    /// The provider after the transition (JOIN/PAUSE/RESUME/SWITCH).
+    pub to: Option<ProviderId>,
+}
+
+impl fmt::Display for ObservedBehavior {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site {} {}", self.rank, self.kind)
+    }
+}
+
+/// Diffs snapshot pairs into Table IV behaviors.
+///
+/// The detector holds the matcher so repeated daily diffs share the
+/// fingerprint tables.
+#[derive(Clone, Debug, Default)]
+pub struct BehaviorDetector {
+    matcher: ProviderMatcher,
+}
+
+impl BehaviorDetector {
+    /// Creates a detector over the standard catalog.
+    pub fn new() -> Self {
+        BehaviorDetector {
+            matcher: ProviderMatcher::new(),
+        }
+    }
+
+    /// The matcher in use.
+    pub fn matcher(&self) -> &ProviderMatcher {
+        &self.matcher
+    }
+
+    /// Classifies every site of a snapshot.
+    pub fn classify_snapshot(&self, snapshot: &DnsSnapshot) -> Vec<Adoption> {
+        snapshot
+            .records
+            .iter()
+            .map(|records| Adoption::classify(&self.matcher, records))
+            .collect()
+    }
+
+    /// Diffs two days of classifications into observed behaviors
+    /// (Table IV). `prev` and `curr` must be over the same target list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the classification vectors have different lengths.
+    pub fn diff(&self, prev: &[Adoption], curr: &[Adoption]) -> Vec<ObservedBehavior> {
+        assert_eq!(prev.len(), curr.len(), "snapshots cover the same targets");
+        let mut behaviors = Vec::new();
+        for (rank, (before, after)) in prev.iter().zip(curr.iter()).enumerate() {
+            if let Some(kind) = transition(before, after) {
+                behaviors.push(ObservedBehavior {
+                    rank,
+                    kind,
+                    from: before.provider,
+                    to: after.provider,
+                });
+            }
+        }
+        behaviors
+    }
+}
+
+/// True if a site's collected records show a multi-CDN front-end
+/// (Cedexis-style). The paper excludes such sites from behavior
+/// identification because the balancer's dynamic CDN selection makes
+/// usage behaviors unidentifiable (Sec IV-B.3).
+pub fn is_multi_cdn(records: &crate::snapshot::SiteRecords) -> bool {
+    records
+        .cnames
+        .iter()
+        .any(|c| c.contains_label_substring("cedexis"))
+}
+
+/// The Table IV transition rules.
+fn transition(before: &Adoption, after: &Adoption) -> Option<BehaviorKind> {
+    use DpsStatus::{None as SNone, Off, On};
+    match (before.status, after.status) {
+        // Provider change at either status: SWITCH.
+        (On | Off, On | Off)
+            if before.provider != after.provider
+                && before.provider.is_some()
+                && after.provider.is_some() =>
+        {
+            Some(BehaviorKind::Switch)
+        }
+        (SNone, On | Off) => Some(BehaviorKind::Join),
+        (On | Off, SNone) => Some(BehaviorKind::Leave),
+        (On, Off) => Some(BehaviorKind::Pause),
+        (Off, On) => Some(BehaviorKind::Resume),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remnant_provider::ReroutingMethod;
+
+    fn on(p: ProviderId) -> Adoption {
+        Adoption {
+            provider: Some(p),
+            status: DpsStatus::On,
+            rerouting: Some(ReroutingMethod::Ns),
+        }
+    }
+
+    fn off(p: ProviderId) -> Adoption {
+        Adoption {
+            provider: Some(p),
+            status: DpsStatus::Off,
+            rerouting: Some(ReroutingMethod::Ns),
+        }
+    }
+
+    fn detect(before: Adoption, after: Adoption) -> Option<BehaviorKind> {
+        let detector = BehaviorDetector::new();
+        detector
+            .diff(&[before], &[after])
+            .first()
+            .map(|b| b.kind)
+    }
+
+    #[test]
+    fn table4_transitions() {
+        let cf = ProviderId::Cloudflare;
+        let inc = ProviderId::Incapsula;
+        assert_eq!(detect(Adoption::NONE, on(cf)), Some(BehaviorKind::Join));
+        assert_eq!(detect(on(cf), Adoption::NONE), Some(BehaviorKind::Leave));
+        assert_eq!(detect(off(cf), Adoption::NONE), Some(BehaviorKind::Leave));
+        assert_eq!(detect(on(cf), off(cf)), Some(BehaviorKind::Pause));
+        assert_eq!(detect(off(cf), on(cf)), Some(BehaviorKind::Resume));
+        assert_eq!(detect(on(cf), on(inc)), Some(BehaviorKind::Switch));
+        assert_eq!(detect(off(cf), on(inc)), Some(BehaviorKind::Switch));
+    }
+
+    #[test]
+    fn null_transitions_produce_nothing() {
+        let cf = ProviderId::Cloudflare;
+        assert_eq!(detect(on(cf), on(cf)), None);
+        assert_eq!(detect(off(cf), off(cf)), None);
+        assert_eq!(detect(Adoption::NONE, Adoption::NONE), None);
+    }
+
+    #[test]
+    fn join_straight_to_off_counts_as_join() {
+        // A site that joined and paused between two observations.
+        let cf = ProviderId::Cloudflare;
+        assert_eq!(detect(Adoption::NONE, off(cf)), Some(BehaviorKind::Join));
+    }
+
+    #[test]
+    fn diff_reports_site_ranks_and_providers() {
+        let cf = ProviderId::Cloudflare;
+        let inc = ProviderId::Incapsula;
+        let detector = BehaviorDetector::new();
+        let prev = vec![on(cf), Adoption::NONE, on(cf)];
+        let curr = vec![on(cf), on(inc), on(inc)];
+        let behaviors = detector.diff(&prev, &curr);
+        assert_eq!(behaviors.len(), 2);
+        assert_eq!(behaviors[0].rank, 1);
+        assert_eq!(behaviors[0].kind, BehaviorKind::Join);
+        assert_eq!(behaviors[0].to, Some(inc));
+        assert_eq!(behaviors[1].rank, 2);
+        assert_eq!(behaviors[1].kind, BehaviorKind::Switch);
+        assert_eq!(behaviors[1].from, Some(cf));
+        assert_eq!(behaviors[1].to, Some(inc));
+    }
+
+    #[test]
+    fn multi_cdn_fingerprint_detection() {
+        use crate::snapshot::SiteRecords;
+        let balanced = SiteRecords {
+            a: vec!["13.32.0.9".parse().unwrap()],
+            cnames: vec![
+                "b0000abcd.cdx.cedexis.net".parse().unwrap(),
+                "d123.cloudfront.net".parse().unwrap(),
+            ],
+            ns: vec!["ns1.webhost1.net".parse().unwrap()],
+        };
+        assert!(is_multi_cdn(&balanced));
+        let plain = SiteRecords {
+            a: vec!["13.32.0.9".parse().unwrap()],
+            cnames: vec!["d123.cloudfront.net".parse().unwrap()],
+            ns: vec!["ns1.webhost1.net".parse().unwrap()],
+        };
+        assert!(!is_multi_cdn(&plain));
+        assert!(!is_multi_cdn(&SiteRecords::default()));
+    }
+
+    #[test]
+    #[should_panic(expected = "same targets")]
+    fn mismatched_lengths_panic() {
+        let detector = BehaviorDetector::new();
+        let _ = detector.diff(&[Adoption::NONE], &[]);
+    }
+}

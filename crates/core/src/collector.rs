@@ -1,0 +1,172 @@
+//! The daily DNS record collector (Sec IV-B.1).
+//!
+//! "we set a recursive DNS resolver inside Amazon EC2 ... and send DNS
+//! queries for the tested domains to obtain their A, CNAME, and NS records.
+//! ... we purge the DNS cache of the resolver before performing each
+//! experiment."
+
+use remnant_dns::{DnsTransport, DomainName, RecordType, RecursiveResolver};
+use remnant_net::Region;
+use remnant_sim::SimClock;
+
+use crate::snapshot::{DnsSnapshot, SiteRecords};
+
+/// A collection target: `(apex, www host)`.
+pub type Target = (DomainName, DomainName);
+
+/// The record collector: a cache-purging recursive resolver sweeping the
+/// target list.
+#[derive(Debug)]
+pub struct RecordCollector {
+    clock: SimClock,
+    resolver: RecursiveResolver,
+    rounds: u32,
+}
+
+impl RecordCollector {
+    /// Creates a collector resolving from `region` (the paper used
+    /// us-east-1, our [`Region::Ashburn`]).
+    pub fn new(clock: SimClock, region: Region) -> Self {
+        RecordCollector {
+            resolver: RecursiveResolver::new(clock.clone(), region),
+            clock,
+            rounds: 0,
+        }
+    }
+
+    /// Number of collection rounds performed.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Collects one snapshot over `targets`, purging the resolver cache
+    /// first so the round is independent of the previous one.
+    ///
+    /// Per-site failures (timeouts, NXDOMAIN) are recorded as empty
+    /// [`SiteRecords`] — one dead site must not abort a million-site sweep.
+    pub fn collect<T: DnsTransport>(
+        &mut self,
+        transport: &mut T,
+        targets: &[Target],
+        day: u32,
+    ) -> DnsSnapshot {
+        self.resolver.purge_cache();
+        self.rounds += 1;
+        let mut snapshot = DnsSnapshot::new(self.clock.now(), day, targets.len());
+        for (apex, www) in targets {
+            snapshot.records.push(self.collect_site(transport, apex, www));
+        }
+        snapshot
+    }
+
+    /// Collects A + CNAME chain for the www host and NS for the apex.
+    fn collect_site<T: DnsTransport>(
+        &mut self,
+        transport: &mut T,
+        apex: &DomainName,
+        www: &DomainName,
+    ) -> SiteRecords {
+        let mut records = SiteRecords::default();
+        if let Ok(res) = self.resolver.resolve(transport, www, RecordType::A) {
+            records.a = res.addresses();
+            records.cnames = res.cnames();
+        }
+        if let Ok(res) = self.resolver.resolve(transport, apex, RecordType::Ns) {
+            records.ns = res.ns_hosts();
+        }
+        records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remnant_world::{World, WorldConfig};
+
+    fn tiny_world() -> World {
+        World::generate(WorldConfig {
+            population: 200,
+            seed: 9,
+            warmup_days: 0,
+            calibration: remnant_world::Calibration::paper(),
+        })
+    }
+
+    fn targets(world: &World) -> Vec<Target> {
+        world
+            .sites()
+            .iter()
+            .map(|s| (s.apex.clone(), s.www.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn collects_every_site() {
+        let mut world = tiny_world();
+        let targets = targets(&world);
+        let mut collector = RecordCollector::new(world.clock(), Region::Ashburn);
+        let snapshot = collector.collect(&mut world, &targets, 0);
+        assert_eq!(snapshot.records.len(), 200);
+        assert_eq!(snapshot.resolved_count(), 200, "every site resolves");
+        assert_eq!(collector.rounds(), 1);
+    }
+
+    #[test]
+    fn self_hosted_records_point_at_origin_with_hosting_ns() {
+        let mut world = tiny_world();
+        let site = world
+            .sites()
+            .iter()
+            .find(|s| s.state == remnant_world::SiteState::SelfHosted)
+            .unwrap()
+            .clone();
+        let targets = targets(&world);
+        let mut collector = RecordCollector::new(world.clock(), Region::Ashburn);
+        let snapshot = collector.collect(&mut world, &targets, 0);
+        let records = snapshot.site(site.id.0 as usize).unwrap();
+        assert_eq!(records.a, vec![site.origin]);
+        assert!(records.cnames.is_empty());
+        assert_eq!(records.ns.len(), 2);
+        assert!(records.ns[0].contains_label_substring("webhost"));
+    }
+
+    #[test]
+    fn cname_customers_show_their_token_chain() {
+        let mut world = tiny_world();
+        let site = world
+            .sites()
+            .iter()
+            .find(|s| {
+                matches!(
+                    s.state,
+                    remnant_world::SiteState::Dps {
+                        rerouting: remnant_provider::ReroutingMethod::Cname,
+                        paused: false,
+                        ..
+                    }
+                )
+            })
+            .unwrap()
+            .clone();
+        let targets = targets(&world);
+        let mut collector = RecordCollector::new(world.clock(), Region::Ashburn);
+        let snapshot = collector.collect(&mut world, &targets, 0);
+        let records = snapshot.site(site.id.0 as usize).unwrap();
+        assert_eq!(records.cnames.len(), 1, "CNAME chain captured");
+        assert!(!records.a.is_empty());
+    }
+
+    #[test]
+    fn rounds_are_independent_after_purge() {
+        let mut world = tiny_world();
+        let targets = targets(&world);
+        let mut collector = RecordCollector::new(world.clock(), Region::Ashburn);
+        let s1 = collector.collect(&mut world, &targets, 0);
+        let (q_after_first, _) = world.traffic_stats();
+        let s2 = collector.collect(&mut world, &targets, 1);
+        let (q_after_second, _) = world.traffic_stats();
+        assert_eq!(s1.records, s2.records, "static world yields identical rounds");
+        // The purge forces real re-resolution (roughly as many queries).
+        assert!(q_after_second - q_after_first > targets.len() as u64);
+    }
+}

@@ -1,0 +1,198 @@
+//! A/CNAME/NS matching (Sec IV-B.2, Table II).
+//!
+//! * **A-matching** resolves an IP address to a provider via the providers'
+//!   announced ranges (RouteView in the paper, the catalog blocks here).
+//! * **CNAME-matching** looks for provider-unique substrings in CNAME
+//!   targets.
+//! * **NS-matching** looks for provider-unique substrings in NS hostnames.
+
+use std::net::Ipv4Addr;
+
+use remnant_dns::DomainName;
+use remnant_net::IpRangeDb;
+use remnant_provider::ProviderId;
+
+use crate::snapshot::SiteRecords;
+
+/// The three fingerprint matchers over the Table II catalog.
+#[derive(Clone, Debug)]
+pub struct ProviderMatcher {
+    ranges: IpRangeDb<ProviderId>,
+}
+
+impl Default for ProviderMatcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProviderMatcher {
+    /// Builds the matcher from the provider catalog.
+    pub fn new() -> Self {
+        let mut ranges = IpRangeDb::new();
+        for provider in ProviderId::ALL {
+            for block in provider.info().ip_blocks {
+                ranges.insert(block.parse().expect("catalog blocks are valid"), provider);
+            }
+        }
+        ProviderMatcher { ranges }
+    }
+
+    /// A-matching: the provider announcing `addr`, if any.
+    pub fn a_match(&self, addr: Ipv4Addr) -> Option<ProviderId> {
+        self.ranges.lookup(addr).copied()
+    }
+
+    /// A-matching over a record set: the first provider hit.
+    pub fn a_match_any(&self, addrs: &[Ipv4Addr]) -> Option<ProviderId> {
+        addrs.iter().find_map(|a| self.a_match(*a))
+    }
+
+    /// CNAME-matching: the provider whose substring appears in `target`.
+    pub fn cname_match(&self, target: &DomainName) -> Option<ProviderId> {
+        ProviderId::ALL.into_iter().find(|p| {
+            p.info()
+                .cname_substrings
+                .iter()
+                .any(|needle| target.contains_label_substring(needle))
+        })
+    }
+
+    /// CNAME-matching over a chain: the first provider hit.
+    pub fn cname_match_any(&self, targets: &[DomainName]) -> Option<ProviderId> {
+        targets.iter().find_map(|t| self.cname_match(t))
+    }
+
+    /// NS-matching: the provider whose substring appears in `host`.
+    pub fn ns_match(&self, host: &DomainName) -> Option<ProviderId> {
+        ProviderId::ALL.into_iter().find(|p| {
+            p.info()
+                .ns_substrings
+                .iter()
+                .any(|needle| host.contains_label_substring(needle))
+        })
+    }
+
+    /// NS-matching over a record set: the first provider hit.
+    pub fn ns_match_any(&self, hosts: &[DomainName]) -> Option<ProviderId> {
+        hosts.iter().find_map(|h| self.ns_match(h))
+    }
+
+    /// All three matches for one site's collected records.
+    pub fn match_records(&self, records: &SiteRecords) -> RecordMatches {
+        RecordMatches {
+            a: self.a_match_any(&records.a),
+            cname: self.cname_match_any(&records.cnames),
+            ns: self.ns_match_any(&records.ns),
+        }
+    }
+}
+
+/// The outcome of running all three matchers on one site.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecordMatches {
+    /// A-matched provider.
+    pub a: Option<ProviderId>,
+    /// CNAME-matched provider.
+    pub cname: Option<ProviderId>,
+    /// NS-matched provider.
+    pub ns: Option<ProviderId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DomainName {
+        s.parse().expect("test name")
+    }
+
+    #[test]
+    fn a_matching_hits_catalog_blocks() {
+        let m = ProviderMatcher::new();
+        assert_eq!(
+            m.a_match("104.20.3.4".parse().unwrap()),
+            Some(ProviderId::Cloudflare)
+        );
+        assert_eq!(
+            m.a_match("199.83.130.1".parse().unwrap()),
+            Some(ProviderId::Incapsula)
+        );
+        assert_eq!(
+            m.a_match("151.101.7.7".parse().unwrap()),
+            Some(ProviderId::Fastly)
+        );
+        assert_eq!(m.a_match("100.64.0.5".parse().unwrap()), None, "hosting space");
+        assert_eq!(m.a_match("8.8.8.8".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn cname_matching_uses_published_substrings() {
+        let m = ProviderMatcher::new();
+        assert_eq!(
+            m.cname_match(&name("x123.incapdns.net")),
+            Some(ProviderId::Incapsula)
+        );
+        assert_eq!(
+            m.cname_match(&name("site.edgekey.net")),
+            Some(ProviderId::Akamai)
+        );
+        assert_eq!(
+            m.cname_match(&name("d1234.cloudfront.net")),
+            Some(ProviderId::Cloudfront)
+        );
+        assert_eq!(
+            m.cname_match(&name("host.netdna-cdn.com")),
+            Some(ProviderId::Stackpath)
+        );
+        assert_eq!(m.cname_match(&name("www.example.com")), None);
+    }
+
+    #[test]
+    fn ns_matching_uses_published_substrings() {
+        let m = ProviderMatcher::new();
+        assert_eq!(
+            m.ns_match(&name("kate.ns.cloudflare.com")),
+            Some(ProviderId::Cloudflare)
+        );
+        assert_eq!(m.ns_match(&name("a1-2.akam.net")), Some(ProviderId::Akamai));
+        assert_eq!(
+            m.ns_match(&name("ns1.cdnetdns.net")),
+            Some(ProviderId::CdNetworks)
+        );
+        assert_eq!(m.ns_match(&name("ns1.webhost1.net")), None);
+    }
+
+    #[test]
+    fn any_variants_scan_whole_sets() {
+        let m = ProviderMatcher::new();
+        let addrs = vec!["100.64.0.9".parse().unwrap(), "13.32.0.5".parse().unwrap()];
+        assert_eq!(m.a_match_any(&addrs), Some(ProviderId::Cloudfront));
+        let chain = vec![name("cdn.something.org"), name("global.fastly.net")];
+        assert_eq!(m.cname_match_any(&chain), Some(ProviderId::Fastly));
+        assert_eq!(m.ns_match_any(&[]), None);
+    }
+
+    #[test]
+    fn match_records_combines_all_three() {
+        let m = ProviderMatcher::new();
+        let records = SiteRecords {
+            a: vec!["104.16.9.9".parse().unwrap()],
+            cnames: vec![],
+            ns: vec![name("rob.ns.cloudflare.com")],
+        };
+        let matches = m.match_records(&records);
+        assert_eq!(matches.a, Some(ProviderId::Cloudflare));
+        assert_eq!(matches.cname, None);
+        assert_eq!(matches.ns, Some(ProviderId::Cloudflare));
+    }
+
+    #[test]
+    fn matching_is_case_insensitive_via_name_normalization() {
+        let m = ProviderMatcher::new();
+        assert_eq!(
+            m.cname_match(&name("X.INCAPDNS.NET")),
+            Some(ProviderId::Incapsula)
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Plain-text rendering of tables, series and CDFs for the reproduction
+//! harness (`repro` prints the paper's tables and figures through these).
+
+use std::fmt::Write as _;
+
+use remnant_sim::stats::{Ecdf, Series};
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use remnant_core::report::TextTable;
+///
+/// let mut table = TextTable::new(["Provider", "Hidden", "Verified"]);
+/// table.row(["Cloudflare", "3504", "24.8%"]);
+/// let rendered = table.to_string();
+/// assert!(rendered.contains("Cloudflare"));
+/// assert!(rendered.lines().count() >= 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (short rows are padded with empty cells).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    f.write_str("  ")?;
+                }
+                write!(f, "{cell:<width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        render_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as `12.3%`.
+pub fn percent(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Renders an empirical CDF sampled at integer day marks 1..=`max_days`.
+pub fn render_cdf(label: &str, cdf: &Ecdf, max_days: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "CDF: {label} ({} samples)", cdf.len());
+    for day in 1..=max_days {
+        let fraction = cdf.fraction_le(day as f64);
+        let bar = "#".repeat((fraction * 40.0).round() as usize);
+        let _ = writeln!(out, "  <= {day:>2}d  {:>6}  {bar}", percent(fraction));
+    }
+    out
+}
+
+/// Renders an (x, y) series as `x: y` lines with a bar proportional to the
+/// series maximum.
+pub fn render_series(series: &Series) -> String {
+    let mut out = String::new();
+    let max = series.max_y().unwrap_or(0.0).max(1.0);
+    let _ = writeln!(
+        out,
+        "Series: {} (mean {:.1})",
+        series.label(),
+        series.mean_y().unwrap_or(0.0)
+    );
+    for (x, y) in series.points() {
+        let bar = "#".repeat(((y / max) * 40.0).round() as usize);
+        let _ = writeln!(out, "  {x:>5.0}  {y:>8.1}  {bar}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_padding() {
+        let mut t = TextTable::new(["A", "LongHeader"]);
+        t.row(["xxxx"]); // short row padded
+        t.row(["y", "z"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("LongHeader"));
+        assert!(lines[1].starts_with('-'));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(percent(0.248), "24.8%");
+        assert_eq!(percent(0.0), "0.0%");
+        assert_eq!(percent(1.0), "100.0%");
+    }
+
+    #[test]
+    fn cdf_rendering_is_monotone() {
+        let cdf: Ecdf = [1.0, 2.0, 6.0].into_iter().collect();
+        let out = render_cdf("pauses", &cdf, 7);
+        assert!(out.contains("3 samples"));
+        assert_eq!(out.lines().count(), 8);
+    }
+
+    #[test]
+    fn series_rendering() {
+        let mut s = Series::new("JOIN");
+        s.push(1.0, 100.0);
+        s.push(2.0, 200.0);
+        let out = render_series(&s);
+        assert!(out.contains("JOIN"));
+        assert!(out.contains("mean 150.0"));
+    }
+
+    #[test]
+    fn empty_series_renders() {
+        let out = render_series(&Series::new("empty"));
+        assert!(out.contains("empty"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Direct-query scanning of an NS-hosting provider's nameserver fleet
+//! (Sec V-A: the Cloudflare case study).
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+use remnant_dns::{DnsTransport, DomainName, Query, Rcode, RecordType, RecursiveResolver};
+use remnant_net::Region;
+use remnant_sim::SimClock;
+
+use crate::collector::Target;
+use crate::snapshot::DnsSnapshot;
+use crate::vantage::VantagePoints;
+
+/// Scanner for NS-based residual resolution.
+///
+/// The fleet is *harvested*, not assumed: every NS record observed during
+/// the usage study whose hostname carries the provider's fingerprint
+/// substring joins the fleet, and its address is resolved once — the
+/// paper extracted 391 `*.ns.cloudflare.com` hosts this way (Sec V-A.1).
+#[derive(Debug)]
+pub struct CloudflareScanner {
+    clock: SimClock,
+    /// Fingerprint substring identifying fleet hostnames.
+    ns_substring: String,
+    /// Discovered fleet: hostname -> address.
+    fleet: BTreeMap<DomainName, Ipv4Addr>,
+    /// Resolver used to resolve fleet hostnames' glue addresses.
+    resolver: RecursiveResolver,
+    vantage: VantagePoints,
+    queries_sent: u64,
+    responses: u64,
+}
+
+impl CloudflareScanner {
+    /// Creates a scanner harvesting nameservers whose hostnames contain
+    /// `ns_substring` (Cloudflare: `"cloudflare"`).
+    pub fn new(clock: SimClock, ns_substring: impl Into<String>) -> Self {
+        CloudflareScanner {
+            resolver: RecursiveResolver::new(clock.clone(), Region::Ashburn),
+            clock,
+            ns_substring: ns_substring.into(),
+            fleet: BTreeMap::new(),
+            vantage: VantagePoints::paper(),
+            queries_sent: 0,
+            responses: 0,
+        }
+    }
+
+    /// Number of distinct fleet nameservers discovered so far.
+    pub fn fleet_size(&self) -> usize {
+        self.fleet.len()
+    }
+
+    /// The discovered fleet.
+    pub fn fleet(&self) -> impl Iterator<Item = (&DomainName, Ipv4Addr)> {
+        self.fleet.iter().map(|(h, a)| (h, *a))
+    }
+
+    /// `(queries sent, responses received)` across all scans — the
+    /// answered/ignored split the paper relies on.
+    pub fn scan_stats(&self) -> (u64, u64) {
+        (self.queries_sent, self.responses)
+    }
+
+    /// Harvests fleet hostnames from one usage-study snapshot, resolving
+    /// the addresses of newly seen hosts.
+    pub fn harvest_fleet<T: DnsTransport>(&mut self, transport: &mut T, snapshot: &DnsSnapshot) {
+        let new_hosts: Vec<DomainName> = snapshot
+            .records
+            .iter()
+            .flat_map(|r| r.ns.iter())
+            .filter(|h| h.contains_label_substring(&self.ns_substring))
+            .filter(|h| !self.fleet.contains_key(*h))
+            .cloned()
+            .collect();
+        for host in new_hosts {
+            if let Ok(res) = self.resolver.resolve(transport, &host, RecordType::A) {
+                if let Some(addr) = res.addresses().first() {
+                    self.fleet.insert(host, *addr);
+                }
+            }
+        }
+    }
+
+    /// One weekly direct scan: for every target, sends the `www A` query
+    /// straight to one fleet nameserver (rotating servers and vantage
+    /// points). Returns only the sites whose query was *answered with
+    /// records* — the fleet ignores everything else (Sec V-A.2).
+    pub fn scan<T: DnsTransport>(
+        &mut self,
+        transport: &mut T,
+        targets: &[Target],
+        week: u32,
+    ) -> HashMap<usize, Vec<Ipv4Addr>> {
+        let servers: Vec<Ipv4Addr> = self.fleet.values().copied().collect();
+        let mut results = HashMap::new();
+        if servers.is_empty() {
+            return results;
+        }
+        for (rank, (_apex, www)) in targets.iter().enumerate() {
+            // Rotate the fleet (offset by week so reruns spread load
+            // differently) — "randomly-chosen nameservers" in the paper;
+            // any server answers for any customer on an anycast fleet.
+            let server = servers[(rank + week as usize) % servers.len()];
+            let region = self.vantage.next_region();
+            let query = Query::new(www.clone(), RecordType::A);
+            self.queries_sent += 1;
+            let Some(response) = transport.query(self.clock.now(), server, region, &query)
+            else {
+                continue; // ignored: the server holds no record
+            };
+            self.responses += 1;
+            if response.rcode == Rcode::NoError {
+                let addrs = response.answer_addresses();
+                if !addrs.is_empty() {
+                    results.insert(rank, addrs);
+                }
+            }
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::RecordCollector;
+    use remnant_provider::{ProviderId, ReroutingMethod, ServicePlan};
+    use remnant_world::{SiteState, World, WorldConfig};
+
+    fn world() -> World {
+        World::generate(WorldConfig {
+            population: 500,
+            seed: 55,
+            warmup_days: 0,
+            calibration: remnant_world::Calibration::paper(),
+        })
+    }
+
+    fn targets(world: &World) -> Vec<Target> {
+        world
+            .sites()
+            .iter()
+            .map(|s| (s.apex.clone(), s.www.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn fleet_harvest_discovers_assigned_nameservers() {
+        let mut w = world();
+        let targets = targets(&w);
+        let mut collector = RecordCollector::new(w.clock(), Region::Ashburn);
+        let snapshot = collector.collect(&mut w, &targets, 0);
+        let mut scanner = CloudflareScanner::new(w.clock(), "cloudflare");
+        scanner.harvest_fleet(&mut w, &snapshot);
+        assert!(scanner.fleet_size() > 10, "fleet {} too small", scanner.fleet_size());
+        // Every harvested address really is a Cloudflare nameserver.
+        for (_, addr) in scanner.fleet() {
+            assert!(w.provider(ProviderId::Cloudflare).is_ns_address(addr));
+        }
+    }
+
+    #[test]
+    fn active_customers_answer_with_edge_addresses() {
+        let mut w = world();
+        let targets = targets(&w);
+        let mut collector = RecordCollector::new(w.clock(), Region::Ashburn);
+        let snapshot = collector.collect(&mut w, &targets, 0);
+        let mut scanner = CloudflareScanner::new(w.clock(), "cloudflare");
+        scanner.harvest_fleet(&mut w, &snapshot);
+        let results = scanner.scan(&mut w, &targets, 0);
+        assert!(!results.is_empty(), "active customers respond");
+        // All answered sites are (or recently were) Cloudflare-involved.
+        let cf = w.provider(ProviderId::Cloudflare);
+        let mut edge_answers = 0;
+        for addrs in results.values() {
+            if addrs.iter().any(|a| cf.is_edge_address(*a)) {
+                edge_answers += 1;
+            }
+        }
+        assert!(edge_answers > 0, "active customers dominate the raw scan");
+    }
+
+    #[test]
+    fn non_customers_are_ignored() {
+        let mut w = world();
+        let targets = targets(&w);
+        let mut collector = RecordCollector::new(w.clock(), Region::Ashburn);
+        let snapshot = collector.collect(&mut w, &targets, 0);
+        let mut scanner = CloudflareScanner::new(w.clock(), "cloudflare");
+        scanner.harvest_fleet(&mut w, &snapshot);
+        let results = scanner.scan(&mut w, &targets, 0);
+        let plain_site = w
+            .sites()
+            .iter()
+            .find(|s| s.state == SiteState::SelfHosted)
+            .unwrap();
+        assert!(!results.contains_key(&(plain_site.id.0 as usize)));
+        let (sent, answered) = scanner.scan_stats();
+        assert!(answered < sent, "most queries are ignored");
+    }
+
+    #[test]
+    fn terminated_customer_reveals_origin_in_scan() {
+        let mut w = world();
+        let targets = targets(&w);
+        let mut collector = RecordCollector::new(w.clock(), Region::Ashburn);
+        let snapshot = collector.collect(&mut w, &targets, 0);
+        let mut scanner = CloudflareScanner::new(w.clock(), "cloudflare");
+        scanner.harvest_fleet(&mut w, &snapshot);
+
+        // A Cloudflare NS customer switches to Fastly, informing Cloudflare.
+        let victim = w
+            .sites()
+            .iter()
+            .find(|s| {
+                matches!(
+                    s.state,
+                    SiteState::Dps {
+                        provider: ProviderId::Cloudflare,
+                        rerouting: ReroutingMethod::Ns,
+                        paused: false,
+                        ..
+                    }
+                )
+            })
+            .unwrap()
+            .clone();
+        w.force_switch(
+            victim.id,
+            ProviderId::Fastly,
+            ReroutingMethod::Cname,
+            ServicePlan::Pro,
+            true,
+        );
+        w.step_days(1);
+
+        let results = scanner.scan(&mut w, &targets, 1);
+        let revealed = results
+            .get(&(victim.id.0 as usize))
+            .expect("previous provider still answers");
+        assert_eq!(revealed, &vec![victim.origin], "residual resolution leaks the origin");
+    }
+
+    #[test]
+    fn scan_without_fleet_is_empty() {
+        let mut w = world();
+        let targets = targets(&w);
+        let mut scanner = CloudflareScanner::new(w.clock(), "cloudflare");
+        assert!(scanner.scan(&mut w, &targets, 0).is_empty());
+    }
+}

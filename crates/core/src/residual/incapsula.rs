@@ -1,0 +1,216 @@
+//! CNAME-token tracking for CNAME-based residual resolution
+//! (Sec V-B: the Incapsula case study).
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+use remnant_dns::{DnsTransport, DomainName, RecordType, RecursiveResolver};
+use remnant_net::Region;
+use remnant_sim::SimClock;
+
+use crate::snapshot::DnsSnapshot;
+
+/// Scanner for CNAME-based residual resolution.
+///
+/// The attacker must first *collect* the per-customer CNAME tokens while
+/// they are observable — "the adversary would first need to collect the
+/// CNAME record associated with the previous DPS provider" (Sec III-B) —
+/// and can then keep resolving them after the customer moves away.
+#[derive(Debug)]
+pub struct IncapsulaScanner {
+    /// Fingerprint substring identifying this provider's tokens.
+    cname_substring: String,
+    /// Harvested tokens: site rank -> token name.
+    harvested: BTreeMap<usize, DomainName>,
+    resolver: RecursiveResolver,
+    queries: u64,
+}
+
+impl IncapsulaScanner {
+    /// Creates a scanner harvesting CNAMEs containing `cname_substring`
+    /// (Incapsula: `"incapdns"`).
+    pub fn new(clock: SimClock, cname_substring: impl Into<String>) -> Self {
+        IncapsulaScanner {
+            cname_substring: cname_substring.into(),
+            harvested: BTreeMap::new(),
+            resolver: RecursiveResolver::new(clock, Region::Ashburn),
+            queries: 0,
+        }
+    }
+
+    /// Number of distinct customer tokens harvested.
+    pub fn harvested_count(&self) -> usize {
+        self.harvested.len()
+    }
+
+    /// The harvested tokens.
+    pub fn harvested(&self) -> impl Iterator<Item = (usize, &DomainName)> {
+        self.harvested.iter().map(|(r, t)| (*r, t))
+    }
+
+    /// Tokens resolved across all scans.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Harvests tokens from one usage-study snapshot. A newer token for the
+    /// same site replaces the old one (re-enrollments rotate tokens).
+    pub fn harvest(&mut self, snapshot: &DnsSnapshot) {
+        for (rank, records) in snapshot.records.iter().enumerate() {
+            if let Some(token) = records
+                .cnames
+                .iter()
+                .find(|c| c.contains_label_substring(&self.cname_substring))
+            {
+                self.harvested.insert(rank, token.clone());
+            }
+        }
+    }
+
+    /// One weekly scan: resolves every harvested token's A record. Tokens
+    /// that no longer resolve (rotated or purged) yield nothing.
+    pub fn scan<T: DnsTransport>(&mut self, transport: &mut T) -> HashMap<usize, Vec<Ipv4Addr>> {
+        self.resolver.purge_cache();
+        let mut results = HashMap::new();
+        for (rank, token) in &self.harvested {
+            self.queries += 1;
+            if let Ok(res) = self.resolver.resolve(transport, token, RecordType::A) {
+                let addrs = res.addresses();
+                if !addrs.is_empty() {
+                    results.insert(*rank, addrs);
+                }
+            }
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{RecordCollector, Target};
+    use remnant_provider::{ProviderId, ReroutingMethod, ServicePlan};
+    use remnant_world::{SiteState, World, WorldConfig};
+
+    fn world() -> World {
+        World::generate(WorldConfig {
+            population: 1_500,
+            seed: 66,
+            warmup_days: 0,
+            calibration: remnant_world::Calibration::paper(),
+        })
+    }
+
+    fn targets(world: &World) -> Vec<Target> {
+        world
+            .sites()
+            .iter()
+            .map(|s| (s.apex.clone(), s.www.clone()))
+            .collect()
+    }
+
+    fn incapsula_site(w: &World) -> remnant_world::Website {
+        w.sites()
+            .iter()
+            .find(|s| {
+                matches!(
+                    s.state,
+                    SiteState::Dps {
+                        provider: ProviderId::Incapsula,
+                        paused: false,
+                        ..
+                    }
+                )
+            })
+            .expect("incapsula customers exist at this scale")
+            .clone()
+    }
+
+    #[test]
+    fn harvest_collects_only_matching_tokens() {
+        let mut w = world();
+        let targets = targets(&w);
+        let mut collector = RecordCollector::new(w.clock(), Region::Ashburn);
+        let snapshot = collector.collect(&mut w, &targets, 0);
+        let mut scanner = IncapsulaScanner::new(w.clock(), "incapdns");
+        scanner.harvest(&snapshot);
+        assert!(scanner.harvested_count() > 0);
+        for (_, token) in scanner.harvested() {
+            assert!(token.contains_label_substring("incapdns"));
+        }
+        // Harvest ratio is roughly Incapsula's market share of DPS sites.
+        let incap_customers = w.provider(ProviderId::Incapsula).customer_count();
+        assert!(scanner.harvested_count() <= incap_customers);
+    }
+
+    #[test]
+    fn active_tokens_resolve_to_edges() {
+        let mut w = world();
+        let targets = targets(&w);
+        let mut collector = RecordCollector::new(w.clock(), Region::Ashburn);
+        let snapshot = collector.collect(&mut w, &targets, 0);
+        let mut scanner = IncapsulaScanner::new(w.clock(), "incapdns");
+        scanner.harvest(&snapshot);
+        let results = scanner.scan(&mut w);
+        assert!(!results.is_empty());
+        let incap = w.provider(ProviderId::Incapsula);
+        for addrs in results.values() {
+            assert!(addrs.iter().all(|a| incap.is_edge_address(*a)));
+        }
+    }
+
+    #[test]
+    fn token_keeps_resolving_to_origin_after_switch() {
+        let mut w = world();
+        let targets = targets(&w);
+        let mut collector = RecordCollector::new(w.clock(), Region::Ashburn);
+        let snapshot = collector.collect(&mut w, &targets, 0);
+        let mut scanner = IncapsulaScanner::new(w.clock(), "incapdns");
+        scanner.harvest(&snapshot);
+
+        let victim = incapsula_site(&w);
+        w.force_switch(
+            victim.id,
+            ProviderId::Cloudflare,
+            ReroutingMethod::Ns,
+            ServicePlan::Free,
+            true,
+        );
+        w.step_days(3);
+
+        let results = scanner.scan(&mut w);
+        let revealed = results
+            .get(&(victim.id.0 as usize))
+            .expect("stale token still resolves");
+        assert_eq!(revealed, &vec![victim.origin], "token leaks the origin");
+    }
+
+    #[test]
+    fn rotated_token_goes_dark_after_reenrollment() {
+        let mut w = world();
+        let targets = targets(&w);
+        let mut collector = RecordCollector::new(w.clock(), Region::Ashburn);
+        let snapshot = collector.collect(&mut w, &targets, 0);
+        let mut scanner = IncapsulaScanner::new(w.clock(), "incapdns");
+        scanner.harvest(&snapshot);
+
+        let victim = incapsula_site(&w);
+        // Leave and immediately rejoin Incapsula: the token rotates and
+        // the old harvested token dies.
+        w.force_leave(victim.id, true);
+        w.step_hours(1);
+        w.force_join(
+            victim.id,
+            ProviderId::Incapsula,
+            ReroutingMethod::Cname,
+            ServicePlan::Pro,
+        );
+        w.step_days(1);
+
+        let results = scanner.scan(&mut w);
+        assert!(
+            !results.contains_key(&(victim.id.0 as usize)),
+            "old token must be NXDOMAIN after rotation"
+        );
+    }
+}

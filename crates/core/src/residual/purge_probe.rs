@@ -1,0 +1,189 @@
+//! The purge-probe self-experiment (Sec V-A.3).
+//!
+//! "we sign up its free DPS service with our own website and terminate the
+//! service at the same day. We then find that our A record is purged at the
+//! 4th week after the day of termination. We conduct the same trial for
+//! three times ... the time interval between any two trials is 3 weeks."
+
+use remnant_dns::{DnsTransport, Query, RecordType};
+use remnant_net::Region;
+use remnant_provider::{ProviderId, ReroutingMethod, ServicePlan};
+use remnant_world::{SiteId, SiteState, World};
+
+/// The probe's findings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PurgeProbeResult {
+    /// Per trial: the week (1-based, after termination) in which the
+    /// provider first ignored the probe query, or `None` if the record
+    /// outlived the probe horizon.
+    pub purge_week: Vec<Option<u32>>,
+}
+
+impl PurgeProbeResult {
+    /// True if every trial observed the same purge week.
+    pub fn is_consistent(&self) -> bool {
+        self.purge_week.windows(2).all(|w| w[0] == w[1])
+    }
+}
+
+/// The sign-up / terminate / probe-weekly experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct PurgeProbe {
+    /// Provider under test.
+    pub provider: ProviderId,
+    /// Plan to sign up with (the paper used the free plan).
+    pub plan: ServicePlan,
+    /// Number of trials (the paper ran three).
+    pub trials: u32,
+    /// Weeks between trials (the paper used three).
+    pub trial_gap_weeks: u32,
+    /// Maximum weeks to probe before giving up on a trial.
+    pub horizon_weeks: u32,
+}
+
+impl Default for PurgeProbe {
+    fn default() -> Self {
+        PurgeProbe {
+            provider: ProviderId::Cloudflare,
+            plan: ServicePlan::Free,
+            trials: 3,
+            trial_gap_weeks: 3,
+            horizon_weeks: 8,
+        }
+    }
+}
+
+impl PurgeProbe {
+    /// Runs the experiment in `world`, enrolling throw-away self-hosted
+    /// sites as "our own website". Time advances inside.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world has no self-hosted sites left to enroll.
+    pub fn run(&self, world: &mut World) -> PurgeProbeResult {
+        let mut purge_week = Vec::new();
+        for trial in 0..self.trials {
+            let site_id = pick_self_hosted(world);
+            let www = world.site(site_id).www.clone();
+            // Sign up and terminate the same day (explicitly informed).
+            world.force_join(site_id, self.provider, ReroutingMethod::Ns, self.plan);
+            world.force_leave(site_id, true);
+
+            // Probe weekly: a direct A query to one provider nameserver.
+            let server = world.provider(self.provider).ns_addresses()[0];
+            let mut observed = None;
+            for week in 1..=self.horizon_weeks {
+                world.step_days(7);
+                let now = world.now();
+                let query = Query::new(www.clone(), RecordType::A);
+                let response = world.query(now, server, Region::Oregon, &query);
+                let answered = response.is_some_and(|r| !r.answers.is_empty());
+                if !answered {
+                    observed = Some(week);
+                    break;
+                }
+            }
+            purge_week.push(observed);
+            if trial + 1 < self.trials {
+                world.step_days(u64::from(self.trial_gap_weeks) * 7);
+            }
+        }
+        PurgeProbeResult { purge_week }
+    }
+}
+
+/// Picks a currently self-hosted site to act as "our own website".
+fn pick_self_hosted(world: &World) -> SiteId {
+    world
+        .sites()
+        .iter()
+        .rev() // unpopular tail sites: least likely to churn mid-probe
+        .find(|s| s.state == SiteState::SelfHosted)
+        .map(|s| s.id)
+        .expect("a self-hosted site exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remnant_world::WorldConfig;
+
+    fn world() -> World {
+        World::generate(WorldConfig {
+            population: 400,
+            seed: 88,
+            warmup_days: 0,
+            calibration: remnant_world::Calibration::paper(),
+        })
+    }
+
+    #[test]
+    fn free_plan_purges_in_week_four() {
+        let mut w = world();
+        let result = PurgeProbe::default().run(&mut w);
+        assert_eq!(result.purge_week.len(), 3);
+        assert!(result.is_consistent(), "{:?}", result.purge_week);
+        // Policy: 4-week retention; the first probe that finds it gone is
+        // the 4th weekly probe.
+        assert_eq!(result.purge_week[0], Some(4));
+    }
+
+    #[test]
+    fn enterprise_plan_outlives_the_horizon() {
+        let mut w = world();
+        let probe = PurgeProbe {
+            plan: ServicePlan::Enterprise,
+            trials: 1,
+            ..PurgeProbe::default()
+        };
+        let result = probe.run(&mut w);
+        assert_eq!(result.purge_week, vec![None], "never purged within horizon");
+    }
+
+    #[test]
+    fn deny_policy_provider_purges_immediately() {
+        let mut w = world();
+        // Fastly terminates cleanly: the very first weekly probe is dark.
+        // Fastly is CNAME-only, so probe with a CNAME enrollment by hand.
+        let site = w
+            .sites()
+            .iter()
+            .find(|s| s.state == SiteState::SelfHosted)
+            .unwrap()
+            .clone();
+        w.force_join(
+            site.id,
+            ProviderId::Fastly,
+            ReroutingMethod::Cname,
+            ServicePlan::Pro,
+        );
+        let token = w
+            .provider(ProviderId::Fastly)
+            .account(&site.apex)
+            .unwrap()
+            .cname_token
+            .clone()
+            .unwrap();
+        w.force_leave(site.id, true);
+        w.step_days(7);
+        let now = w.now();
+        let server = w.provider(ProviderId::Fastly).ns_addresses()[0];
+        let response = w
+            .query(now, server, Region::Oregon, &Query::new(token, RecordType::A))
+            .expect("fastly answers NXDOMAIN inside its own domain");
+        assert!(response.answers.is_empty(), "no residual at deny-policy providers");
+    }
+
+    #[test]
+    fn consistency_check() {
+        assert!(PurgeProbeResult {
+            purge_week: vec![Some(4), Some(4), Some(4)]
+        }
+        .is_consistent());
+        assert!(!PurgeProbeResult {
+            purge_week: vec![Some(4), Some(5)]
+        }
+        .is_consistent());
+        assert!(PurgeProbeResult { purge_week: vec![] }.is_consistent());
+    }
+}

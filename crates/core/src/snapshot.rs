@@ -1,0 +1,87 @@
+//! Daily DNS snapshots: what the record collector stores per site.
+
+use std::net::Ipv4Addr;
+
+use remnant_dns::DomainName;
+use remnant_sim::SimTime;
+
+/// The records collected for one site on one day: the full A/CNAME chain
+/// of its `www` host plus the apex NS set (Sec IV-B.1).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SiteRecords {
+    /// Terminal A addresses of the www host (empty if resolution failed).
+    pub a: Vec<Ipv4Addr>,
+    /// CNAME chain targets observed while resolving the www host.
+    pub cnames: Vec<DomainName>,
+    /// NS hostnames of the apex.
+    pub ns: Vec<DomainName>,
+}
+
+impl SiteRecords {
+    /// True if nothing resolved for the site.
+    pub fn is_empty(&self) -> bool {
+        self.a.is_empty() && self.cnames.is_empty() && self.ns.is_empty()
+    }
+}
+
+/// One collection round over the whole target list.
+///
+/// Records are indexed by site rank, parallel to the target list that
+/// produced the snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DnsSnapshot {
+    /// When the collection ran.
+    pub taken_at: SimTime,
+    /// Day index within the study (0-based).
+    pub day: u32,
+    /// Per-site records, by rank.
+    pub records: Vec<SiteRecords>,
+}
+
+impl DnsSnapshot {
+    /// Creates an empty snapshot shell.
+    pub fn new(taken_at: SimTime, day: u32, capacity: usize) -> Self {
+        DnsSnapshot {
+            taken_at,
+            day,
+            records: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The records for site `rank`, if collected.
+    pub fn site(&self, rank: usize) -> Option<&SiteRecords> {
+        self.records.get(rank)
+    }
+
+    /// Number of sites with at least one record.
+    pub fn resolved_count(&self) -> usize {
+        self.records.iter().filter(|r| !r.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_detection() {
+        let mut r = SiteRecords::default();
+        assert!(r.is_empty());
+        r.ns.push("ns1.webhost1.net".parse().unwrap());
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn snapshot_indexing() {
+        let mut snap = DnsSnapshot::new(SimTime::EPOCH, 0, 2);
+        snap.records.push(SiteRecords::default());
+        snap.records.push(SiteRecords {
+            a: vec![Ipv4Addr::new(1, 2, 3, 4)],
+            ..SiteRecords::default()
+        });
+        assert!(snap.site(0).unwrap().is_empty());
+        assert!(!snap.site(1).unwrap().is_empty());
+        assert!(snap.site(2).is_none());
+        assert_eq!(snap.resolved_count(), 1);
+    }
+}

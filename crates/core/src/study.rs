@@ -1,0 +1,451 @@
+//! The end-to-end study driver: both of the paper's measurement campaigns
+//! on one timeline.
+//!
+//! [`PaperStudy::run`] reproduces the authors' schedule: daily A/CNAME/NS
+//! collection over the whole target list for N weeks (with the 20–30 hour
+//! uneven intervals of Sec IV-B.3, optionally), adoption classification,
+//! behavior diffing, pause tracking and the unchanged study along the way,
+//! plus a weekly residual-resolution scan of Cloudflare's fleet and the
+//! harvested Incapsula tokens. The returned [`StudyReport`] contains the
+//! data behind every table and figure of the evaluation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use remnant_net::Region;
+use remnant_provider::{ProviderId, ReroutingMethod};
+use remnant_sim::stats::{Ecdf, Series};
+use remnant_world::{BehaviorKind, World};
+
+use crate::adoption::{Adoption, DpsStatus};
+use crate::behavior::BehaviorDetector;
+use crate::collector::{RecordCollector, Target};
+use crate::fsm::{self, DpsState};
+use crate::pause::PauseTracker;
+use crate::residual::{
+    CloudflareScanner, ExposureTracker, FilterPipeline, IncapsulaScanner, WeeklyScanReport,
+};
+use crate::unchanged::{UnchangedStudy, UnchangedTally};
+use crate::SCANNER_SOURCE;
+
+/// Study parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StudyConfig {
+    /// Measurement length in weeks (the paper: 6).
+    pub weeks: u32,
+    /// Use uneven 20–30h intervals between daily experiments (the paper's
+    /// actual cadence) instead of exact 24h.
+    pub uneven_intervals: bool,
+    /// Where the collector resolves from (the paper: us-east-1).
+    pub collector_region: Region,
+    /// Seed for interval jitter.
+    pub seed: u64,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            weeks: 6,
+            uneven_intervals: true,
+            collector_region: Region::Ashburn,
+            seed: 42,
+        }
+    }
+}
+
+/// Fig 2 / Fig 6 data: adoption averaged over daily observations.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AdoptionReport {
+    /// Sites observed.
+    pub total_sites: usize,
+    /// Daily observations taken.
+    pub days_observed: u32,
+    /// Average daily count of adopted (ON or OFF) sites per provider.
+    pub avg_by_provider: Vec<(ProviderId, f64)>,
+    /// Average overall adoption rate (paper: 14.85%).
+    pub overall_rate: f64,
+    /// Average adoption rate in the top 1% band (paper: 38.98% of top 10k).
+    pub top_band_rate: f64,
+    /// Adoption rate on the first day.
+    pub first_day_rate: f64,
+    /// Adoption rate on the last day (paper: +1.17% over six weeks).
+    pub last_day_rate: f64,
+    /// Among ON Cloudflare customers: share using NS-based rerouting
+    /// (paper: 89.95%).
+    pub cloudflare_ns_share: f64,
+    /// Among ON Cloudflare customers: share using CNAME-based rerouting
+    /// (paper: 10.05%).
+    pub cloudflare_cname_share: f64,
+}
+
+/// Fig 3 / Fig 4 data.
+#[derive(Clone, Debug, Default)]
+pub struct BehaviorReport {
+    /// Daily observed counts per behavior (x = day index).
+    pub series: Vec<(BehaviorKind, Series)>,
+    /// Hours between consecutive experiments.
+    pub interval_hours: Vec<u64>,
+    /// Observed behaviors that violated the Fig 4 FSM (expected 0).
+    pub fsm_violations: usize,
+    /// Sites excluded from behavior identification because their records
+    /// showed a multi-CDN front-end (Sec IV-B.3).
+    pub multi_cdn_excluded: usize,
+}
+
+impl BehaviorReport {
+    /// Average observed events per day for `kind`.
+    pub fn daily_average(&self, kind: BehaviorKind) -> f64 {
+        self.series
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .and_then(|(_, s)| s.mean_y())
+            .unwrap_or(0.0)
+    }
+}
+
+/// Fig 5 data.
+#[derive(Clone, Debug, Default)]
+pub struct PauseReport {
+    /// Every completed pause window, in days.
+    pub overall: Ecdf,
+    /// Pause→resume at Cloudflare.
+    pub cloudflare: Ecdf,
+    /// Pause→resume at Incapsula.
+    pub incapsula: Ecdf,
+}
+
+/// Table V data.
+#[derive(Clone, Debug, Default)]
+pub struct UnchangedReport {
+    /// `(provider, events, unchanged, rate)` rows.
+    pub rows: Vec<(ProviderId, u64, u64, f64)>,
+    /// The Total row.
+    pub total: UnchangedTally,
+}
+
+/// Table VI / Fig 8 / Fig 9 data for one scanned provider.
+#[derive(Clone, Debug, Default)]
+pub struct ProviderResidualReport {
+    /// The weekly pipeline outputs (Fig 8 funnel lives in each).
+    pub weekly: Vec<WeeklyScanReport>,
+    /// Cross-week aggregation (Table VI totals, Fig 9 cohorts).
+    pub exposure: ExposureTracker,
+}
+
+/// Sec V data.
+#[derive(Clone, Debug, Default)]
+pub struct ResidualReport {
+    /// Cloudflare case study (Sec V-A).
+    pub cloudflare: ProviderResidualReport,
+    /// Incapsula case study (Sec V-B).
+    pub incapsula: ProviderResidualReport,
+    /// Nameservers harvested for the direct scan (paper: 391).
+    pub fleet_size: usize,
+    /// Incapsula CNAME tokens harvested.
+    pub harvested_tokens: usize,
+}
+
+/// Everything the evaluation section reports.
+#[derive(Clone, Debug, Default)]
+pub struct StudyReport {
+    /// Fig 2 / Fig 6.
+    pub adoption: AdoptionReport,
+    /// Fig 3 / Fig 4.
+    pub behaviors: BehaviorReport,
+    /// Fig 5.
+    pub pauses: PauseReport,
+    /// Table V.
+    pub unchanged: UnchangedReport,
+    /// Table VI, Fig 8, Fig 9.
+    pub residual: ResidualReport,
+}
+
+/// The driver (see module docs).
+#[derive(Clone, Debug)]
+pub struct PaperStudy {
+    config: StudyConfig,
+}
+
+impl PaperStudy {
+    /// Creates a driver with `config`.
+    pub fn new(config: StudyConfig) -> Self {
+        PaperStudy { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &StudyConfig {
+        &self.config
+    }
+
+    /// Runs the full campaign against `world`, advancing its virtual time.
+    pub fn run(&self, world: &mut World) -> StudyReport {
+        let targets: Vec<Target> = world
+            .sites()
+            .iter()
+            .map(|s| (s.apex.clone(), s.www.clone()))
+            .collect();
+        let days = self.config.weeks * 7;
+        let top_band = (targets.len() / 100).max(1);
+        let mut jitter = StdRng::seed_from_u64(self.config.seed);
+
+        let mut collector = RecordCollector::new(world.clock(), self.config.collector_region);
+        let detector = BehaviorDetector::new();
+        let mut pause_tracker = PauseTracker::new();
+        let mut unchanged = UnchangedStudy::new(SCANNER_SOURCE);
+        let mut cf_scanner = CloudflareScanner::new(world.clock(), "cloudflare");
+        let mut inc_scanner = IncapsulaScanner::new(world.clock(), "incapdns");
+        let mut pipeline =
+            FilterPipeline::new(world.clock(), self.config.collector_region, SCANNER_SOURCE);
+
+        let mut report = StudyReport::default();
+        let mut behavior_series: Vec<(BehaviorKind, Series)> = BehaviorKind::ALL
+            .into_iter()
+            .map(|k| (k, Series::new(k.to_string())))
+            .collect();
+
+        let mut adoption_sum_by_provider: Vec<(ProviderId, f64)> =
+            ProviderId::ALL.into_iter().map(|p| (p, 0.0)).collect();
+        let mut overall_rate_sum = 0.0;
+        let mut top_band_rate_sum = 0.0;
+        let mut cf_ns_sum = 0u64;
+        let mut cf_cname_sum = 0u64;
+
+        let mut prev_snapshot = None;
+        let mut prev_classes: Option<Vec<Adoption>> = None;
+        let mut fsm_states: Vec<DpsState> = Vec::new();
+        let mut multi_cdn: Vec<bool> = vec![false; targets.len()];
+
+        for day in 0..days {
+            let snapshot = collector.collect(world, &targets, day);
+            let classes = detector.classify_snapshot(&snapshot);
+            // Multi-CDN front-ends are identified by their balancer CNAMEs
+            // and excluded from behavior analysis (Sec IV-B.3).
+            for (rank, records) in snapshot.records.iter().enumerate() {
+                if crate::behavior::is_multi_cdn(records) {
+                    multi_cdn[rank] = true;
+                }
+            }
+
+            // Adoption accumulation (Fig 2 / Fig 6).
+            let adopted = classes.iter().filter(|c| c.is_adopted()).count();
+            let rate = adopted as f64 / targets.len() as f64;
+            overall_rate_sum += rate;
+            if day == 0 {
+                report.adoption.first_day_rate = rate;
+                fsm_states = classes.iter().map(adoption_to_state).collect();
+            }
+            if day == days - 1 {
+                report.adoption.last_day_rate = rate;
+            }
+            let top_adopted = classes[..top_band].iter().filter(|c| c.is_adopted()).count();
+            top_band_rate_sum += top_adopted as f64 / top_band as f64;
+            for class in &classes {
+                if let Some(provider) = class.provider {
+                    let slot = &mut adoption_sum_by_provider[provider.index()];
+                    debug_assert_eq!(slot.0, provider);
+                    slot.1 += 1.0;
+                    if provider == ProviderId::Cloudflare && class.status == DpsStatus::On {
+                        match class.rerouting {
+                            Some(ReroutingMethod::Ns) => cf_ns_sum += 1,
+                            Some(ReroutingMethod::Cname) => cf_cname_sum += 1,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+
+            // Pause windows (Fig 5).
+            pause_tracker.observe(snapshot.taken_at, &classes);
+
+            // Behaviors (Fig 3, Table IV) + unchanged study (Table V) +
+            // FSM validation (Fig 4).
+            if let (Some(prev_snap), Some(prev)) = (&prev_snapshot, &prev_classes) {
+                let mut behaviors = detector.diff(prev, &classes);
+                behaviors.retain(|b| !multi_cdn[b.rank]);
+                for (kind, series) in &mut behavior_series {
+                    let count = behaviors.iter().filter(|b| b.kind == *kind).count();
+                    series.push(f64::from(day), count as f64);
+                }
+                let now = world.now();
+                unchanged.observe(world, now, &targets, &behaviors, prev_snap, &snapshot);
+                for behavior in &behaviors {
+                    match fsm::apply(fsm_states[behavior.rank], behavior.kind, behavior.to) {
+                        Ok(next) => fsm_states[behavior.rank] = next,
+                        Err(_) => {
+                            report.behaviors.fsm_violations += 1;
+                            fsm_states[behavior.rank] = adoption_to_state(&classes[behavior.rank]);
+                        }
+                    }
+                }
+                // Re-anchor paused observations the FSM optimistically set
+                // to ON (the paper's "joins start ON" assumption).
+                for behavior in &behaviors {
+                    let observed = adoption_to_state(&classes[behavior.rank]);
+                    if fsm_states[behavior.rank].provider() == observed.provider() {
+                        fsm_states[behavior.rank] = observed;
+                    }
+                }
+            }
+
+            // Residual-resolution harvesting runs daily, scans weekly.
+            cf_scanner.harvest_fleet(world, &snapshot);
+            inc_scanner.harvest(&snapshot);
+            if day % 7 == 0 {
+                let week = day / 7;
+                let raw = cf_scanner.scan(world, &targets, week);
+                let weekly =
+                    pipeline.run(world, ProviderId::Cloudflare, week, &raw, &targets);
+                report.residual.cloudflare.exposure.push(&weekly);
+                report.residual.cloudflare.weekly.push(weekly);
+
+                let raw = inc_scanner.scan(world);
+                let weekly =
+                    pipeline.run(world, ProviderId::Incapsula, week, &raw, &targets);
+                report.residual.incapsula.exposure.push(&weekly);
+                report.residual.incapsula.weekly.push(weekly);
+            }
+
+            prev_snapshot = Some(snapshot);
+            prev_classes = Some(classes);
+
+            // Advance to the next experiment.
+            let interval = if self.config.uneven_intervals {
+                jitter.gen_range(20..=30)
+            } else {
+                24
+            };
+            report.behaviors.interval_hours.push(interval);
+            world.step_hours(interval);
+        }
+
+        // Finalize.
+        report.adoption.total_sites = targets.len();
+        report.adoption.days_observed = days;
+        report.adoption.overall_rate = overall_rate_sum / f64::from(days);
+        report.adoption.top_band_rate = top_band_rate_sum / f64::from(days);
+        report.adoption.avg_by_provider = adoption_sum_by_provider
+            .into_iter()
+            .map(|(p, sum)| (p, sum / f64::from(days)))
+            .collect();
+        let cf_total = (cf_ns_sum + cf_cname_sum).max(1) as f64;
+        report.adoption.cloudflare_ns_share = cf_ns_sum as f64 / cf_total;
+        report.adoption.cloudflare_cname_share = cf_cname_sum as f64 / cf_total;
+
+        report.behaviors.series = behavior_series;
+
+        report.pauses.overall = pause_tracker.cdf_overall();
+        report.pauses.cloudflare = pause_tracker.cdf_for(ProviderId::Cloudflare);
+        report.pauses.incapsula = pause_tracker.cdf_for(ProviderId::Incapsula);
+
+        report.unchanged.rows = unchanged.rows();
+        report.unchanged.total = unchanged.total();
+
+        report.behaviors.multi_cdn_excluded = multi_cdn.iter().filter(|m| **m).count();
+
+        report.residual.fleet_size = cf_scanner.fleet_size();
+        report.residual.harvested_tokens = inc_scanner.harvested_count();
+        report
+    }
+}
+
+/// Maps an observed classification to an FSM state.
+fn adoption_to_state(adoption: &Adoption) -> DpsState {
+    match (adoption.status, adoption.provider) {
+        (DpsStatus::On, Some(p)) => DpsState::On(p),
+        (DpsStatus::Off, Some(p)) => DpsState::Off(p),
+        _ => DpsState::None,
+    }
+}
+
+/// Fig 7: which provider PoP each vantage point lands on when querying the
+/// provider's first fleet nameserver.
+pub fn vantage_catchment(world: &World, provider: ProviderId) -> Vec<(Region, String)> {
+    let dps = world.provider(provider);
+    let Some(ns) = dps.ns_addresses().first().copied() else {
+        return Vec::new();
+    };
+    Region::VANTAGE_POINTS
+        .iter()
+        .map(|region| {
+            let pop = dps
+                .pop_for(ns, *region)
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "unreachable".to_owned());
+            (*region, pop)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remnant_world::WorldConfig;
+
+    fn run_study(population: usize, weeks: u32, seed: u64) -> StudyReport {
+        let mut world = World::generate(WorldConfig {
+            population,
+            seed,
+            warmup_days: 10,
+            calibration: remnant_world::Calibration::paper(),
+        });
+        PaperStudy::new(StudyConfig {
+            weeks,
+            ..StudyConfig::default()
+        })
+        .run(&mut world)
+    }
+
+    #[test]
+    fn two_week_study_produces_consistent_report() {
+        let report = run_study(3_000, 2, 3);
+        assert_eq!(report.adoption.total_sites, 3_000);
+        assert_eq!(report.adoption.days_observed, 14);
+        assert!((report.adoption.overall_rate - 0.1485).abs() < 0.05);
+        assert!(report.adoption.top_band_rate > report.adoption.overall_rate);
+        // Cloudflare dominates and mostly via NS rerouting.
+        let cf = report.adoption.avg_by_provider[ProviderId::Cloudflare.index()].1;
+        let total: f64 = report.adoption.avg_by_provider.iter().map(|(_, n)| n).sum();
+        assert!(cf / total > 0.7);
+        assert!(report.adoption.cloudflare_ns_share > 0.8);
+        // Series lengths: days-1 diffs.
+        for (_, series) in &report.behaviors.series {
+            assert_eq!(series.len(), 13);
+        }
+        assert_eq!(report.behaviors.fsm_violations, 0, "Fig 4 holds");
+        // Residual scans ran twice (day 0 and day 7).
+        assert_eq!(report.residual.cloudflare.weekly.len(), 2);
+        assert_eq!(report.residual.incapsula.weekly.len(), 2);
+        assert!(report.residual.fleet_size > 0);
+        assert_eq!(report.behaviors.interval_hours.len(), 14);
+    }
+
+    #[test]
+    fn even_intervals_are_exactly_daily() {
+        let mut world = World::generate(WorldConfig {
+            population: 1_000,
+            seed: 4,
+            warmup_days: 0,
+            calibration: remnant_world::Calibration::paper(),
+        });
+        let report = PaperStudy::new(StudyConfig {
+            weeks: 1,
+            uneven_intervals: false,
+            ..StudyConfig::default()
+        })
+        .run(&mut world);
+        assert!(report.behaviors.interval_hours.iter().all(|h| *h == 24));
+    }
+
+    #[test]
+    fn vantage_catchment_covers_five_regions() {
+        let world = World::generate(WorldConfig {
+            population: 100,
+            seed: 5,
+            warmup_days: 0,
+            calibration: remnant_world::Calibration::paper(),
+        });
+        let catchment = vantage_catchment(&world, ProviderId::Cloudflare);
+        assert_eq!(catchment.len(), 5);
+        assert!(catchment.iter().all(|(_, pop)| pop != "unreachable"));
+    }
+}

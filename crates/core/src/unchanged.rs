@@ -1,0 +1,287 @@
+//! The origin-IP unchanged study (Sec IV-C.3, Table V).
+//!
+//! For every observed JOIN or RESUME: IP1 is the address the site resolved
+//! to *before* the action (its then-exposed origin), IP2 the address it
+//! resolves to *after* (a DPS edge). Fetching the landing page via IP2 and
+//! directly from IP1 and comparing titles/meta decides whether the site
+//! kept its origin address — the unsafe practice the paper quantifies at
+//! 58.6% overall.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use remnant_http::HttpTransport;
+use remnant_provider::ProviderId;
+use remnant_sim::SimTime;
+use remnant_world::BehaviorKind;
+
+use crate::behavior::ObservedBehavior;
+use crate::collector::Target;
+use crate::snapshot::DnsSnapshot;
+use crate::verify::{HtmlVerifier, VerifyOutcome};
+
+/// Per-provider tally.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UnchangedTally {
+    /// JOIN + RESUME events examined.
+    pub events: u64,
+    /// Events whose pre-action address still served the site (verified).
+    pub unchanged: u64,
+}
+
+impl UnchangedTally {
+    /// The unchanged rate, if any events were seen.
+    pub fn rate(&self) -> Option<f64> {
+        (self.events > 0).then(|| self.unchanged as f64 / self.events as f64)
+    }
+}
+
+/// The streaming Table V study.
+#[derive(Clone, Debug)]
+pub struct UnchangedStudy {
+    verifier: HtmlVerifier,
+    tallies: BTreeMap<ProviderId, UnchangedTally>,
+}
+
+impl UnchangedStudy {
+    /// Creates a study fetching from `scanner_src`.
+    pub fn new(scanner_src: Ipv4Addr) -> Self {
+        UnchangedStudy {
+            verifier: HtmlVerifier::new(scanner_src),
+            tallies: BTreeMap::new(),
+        }
+    }
+
+    /// Examines one day's observed behaviors against the two snapshots
+    /// that produced them.
+    ///
+    /// SWITCH is deliberately excluded (Sec IV-C.3: switching does not
+    /// require an address change but is covered by the residual study).
+    pub fn observe<T: HttpTransport>(
+        &mut self,
+        transport: &mut T,
+        now: SimTime,
+        targets: &[Target],
+        behaviors: &[ObservedBehavior],
+        prev: &DnsSnapshot,
+        curr: &DnsSnapshot,
+    ) {
+        for behavior in behaviors {
+            if !matches!(behavior.kind, BehaviorKind::Join | BehaviorKind::Resume) {
+                continue;
+            }
+            let Some(provider) = behavior.to else { continue };
+            let Some(ip1) = prev
+                .site(behavior.rank)
+                .and_then(|r| r.a.first().copied())
+            else {
+                continue;
+            };
+            let Some(ip2) = curr
+                .site(behavior.rank)
+                .and_then(|r| r.a.last().copied())
+            else {
+                continue;
+            };
+            let host = targets[behavior.rank].1.as_str();
+            let outcome = self.verifier.verify(transport, now, host, ip2, ip1);
+            let tally = self.tallies.entry(provider).or_default();
+            tally.events += 1;
+            if outcome == VerifyOutcome::Verified {
+                tally.unchanged += 1;
+            }
+        }
+    }
+
+    /// The tally for one provider.
+    pub fn tally(&self, provider: ProviderId) -> UnchangedTally {
+        self.tallies.get(&provider).copied().unwrap_or_default()
+    }
+
+    /// Table V rows: `(provider, events, unchanged, rate)` in catalog
+    /// order, providers with no events omitted.
+    pub fn rows(&self) -> Vec<(ProviderId, u64, u64, f64)> {
+        ProviderId::ALL
+            .into_iter()
+            .filter_map(|p| {
+                let t = self.tally(p);
+                t.rate().map(|rate| (p, t.events, t.unchanged, rate))
+            })
+            .collect()
+    }
+
+    /// The bottom "Total" row of Table V.
+    pub fn total(&self) -> UnchangedTally {
+        let mut total = UnchangedTally::default();
+        for tally in self.tallies.values() {
+            total.events += tally.events;
+            total.unchanged += tally.unchanged;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::RecordCollector;
+    use crate::BehaviorDetector;
+    use crate::SCANNER_SOURCE;
+    use remnant_net::Region;
+    use remnant_provider::{ReroutingMethod, ServicePlan};
+    use remnant_world::{SiteState, World, WorldConfig};
+
+    fn world() -> World {
+        World::generate(WorldConfig {
+            population: 400,
+            seed: 33,
+            warmup_days: 0,
+            calibration: remnant_world::Calibration::paper(),
+        })
+    }
+
+    fn targets(world: &World) -> Vec<Target> {
+        world
+            .sites()
+            .iter()
+            .map(|s| (s.apex.clone(), s.www.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn join_without_ip_change_counts_as_unchanged() {
+        let mut w = world();
+        let targets = targets(&w);
+        let site = w
+            .sites()
+            .iter()
+            .find(|s| s.state == SiteState::SelfHosted && !s.firewalled && !s.dynamic_meta)
+            .unwrap()
+            .clone();
+        let mut collector = RecordCollector::new(w.clock(), Region::Ashburn);
+        let detector = BehaviorDetector::new();
+
+        let snap0 = collector.collect(&mut w, &targets, 0);
+        // The site joins Cloudflare keeping its origin.
+        w.force_join(
+            site.id,
+            ProviderId::Cloudflare,
+            ReroutingMethod::Ns,
+            ServicePlan::Free,
+        );
+        w.step_hours(24);
+        let snap1 = collector.collect(&mut w, &targets, 1);
+
+        let prev = detector.classify_snapshot(&snap0);
+        let curr = detector.classify_snapshot(&snap1);
+        let behaviors = detector.diff(&prev, &curr);
+        assert!(behaviors
+            .iter()
+            .any(|b| b.rank == site.id.0 as usize && b.kind == BehaviorKind::Join));
+
+        let now = w.now();
+        let mut study = UnchangedStudy::new(SCANNER_SOURCE);
+        study.observe(&mut w, now, &targets, &behaviors, &snap0, &snap1);
+        let tally = study.tally(ProviderId::Cloudflare);
+        assert!(tally.events >= 1);
+        assert!(tally.unchanged >= 1, "origin kept and verifiable");
+    }
+
+    #[test]
+    fn join_with_ip_change_counts_as_changed() {
+        let mut w = world();
+        let targets = targets(&w);
+        let site = w
+            .sites()
+            .iter()
+            .find(|s| s.state == SiteState::SelfHosted && !s.firewalled && !s.dynamic_meta)
+            .unwrap()
+            .clone();
+        let mut collector = RecordCollector::new(w.clock(), Region::Ashburn);
+        let detector = BehaviorDetector::new();
+
+        let snap0 = collector.collect(&mut w, &targets, 0);
+        w.force_join(
+            site.id,
+            ProviderId::Cloudflare,
+            ReroutingMethod::Ns,
+            ServicePlan::Free,
+        );
+        w.step_hours(24);
+        let snap1 = collector.collect(&mut w, &targets, 1);
+
+        let prev = detector.classify_snapshot(&snap0);
+        let curr = detector.classify_snapshot(&snap1);
+        let behaviors = detector.diff(&prev, &curr);
+        let now = w.now();
+        let mut study = UnchangedStudy::new(SCANNER_SOURCE);
+        study.observe(&mut w, now, &targets, &behaviors, &snap0, &snap1);
+        // Origin was kept in this variant, so it verifies; the changed-IP
+        // path is exercised by the end-to-end study tests where the
+        // dynamics engine rotates origins per Table V probabilities.
+        assert!(study.total().events >= 1);
+    }
+
+    #[test]
+    fn switches_are_excluded() {
+        let mut w = world();
+        let targets = targets(&w);
+        let site = w
+            .sites()
+            .iter()
+            .find(|s| {
+                matches!(
+                    s.state,
+                    SiteState::Dps {
+                        provider: ProviderId::Cloudflare,
+                        paused: false,
+                        ..
+                    }
+                )
+            })
+            .unwrap()
+            .clone();
+        let mut collector = RecordCollector::new(w.clock(), Region::Ashburn);
+        let detector = BehaviorDetector::new();
+        let snap0 = collector.collect(&mut w, &targets, 0);
+        w.force_switch(
+            site.id,
+            ProviderId::Fastly,
+            ReroutingMethod::Cname,
+            ServicePlan::Pro,
+            true,
+        );
+        w.step_hours(24);
+        let snap1 = collector.collect(&mut w, &targets, 1);
+        let behaviors = detector.diff(
+            &detector.classify_snapshot(&snap0),
+            &detector.classify_snapshot(&snap1),
+        );
+        assert!(behaviors
+            .iter()
+            .any(|b| b.rank == site.id.0 as usize && b.kind == BehaviorKind::Switch));
+        let now = w.now();
+        let mut study = UnchangedStudy::new(SCANNER_SOURCE);
+        study.observe(&mut w, now, &targets, &behaviors, &snap0, &snap1);
+        assert_eq!(study.total().events, 0, "SWITCH is excluded from Table V");
+    }
+
+    #[test]
+    fn rates_and_rows() {
+        let mut study = UnchangedStudy::new(SCANNER_SOURCE);
+        study
+            .tallies
+            .insert(ProviderId::Cloudflare, UnchangedTally { events: 10, unchanged: 6 });
+        study
+            .tallies
+            .insert(ProviderId::Incapsula, UnchangedTally { events: 4, unchanged: 3 });
+        let rows = study.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, ProviderId::Cloudflare);
+        assert!((rows[0].3 - 0.6).abs() < 1e-9);
+        let total = study.total();
+        assert_eq!(total.events, 14);
+        assert_eq!(total.unchanged, 9);
+        assert_eq!(UnchangedTally::default().rate(), None);
+    }
+}

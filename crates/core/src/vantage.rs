@@ -1,0 +1,122 @@
+//! Vantage points (Sec V-A.1, Fig 7).
+//!
+//! "we set up five geographically distributed vantage points ... (Oregon,
+//! London, Sydney, Singapore, and Tokyo) to distribute the total traffic
+//! load to five PoPs of Cloudflare."
+
+use remnant_net::Region;
+
+/// The rotating set of measurement vantage points.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VantagePoints {
+    regions: Vec<Region>,
+    cursor: usize,
+    issued: u64,
+}
+
+impl Default for VantagePoints {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl VantagePoints {
+    /// The paper's five vantage points.
+    pub fn paper() -> Self {
+        VantagePoints {
+            regions: Region::VANTAGE_POINTS.to_vec(),
+            cursor: 0,
+            issued: 0,
+        }
+    }
+
+    /// A custom vantage set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions` is empty.
+    pub fn new(regions: Vec<Region>) -> Self {
+        assert!(!regions.is_empty(), "at least one vantage point required");
+        VantagePoints {
+            regions,
+            cursor: 0,
+            issued: 0,
+        }
+    }
+
+    /// The configured regions.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// The next vantage point, round-robin — each consecutive query leaves
+    /// from a different region, spreading load over distinct PoPs.
+    pub fn next_region(&mut self) -> Region {
+        let region = self.regions[self.cursor];
+        self.cursor = (self.cursor + 1) % self.regions.len();
+        self.issued += 1;
+        region
+    }
+
+    /// Queries issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Per-region share of issued queries so far (approximately equal by
+    /// construction).
+    pub fn load_split(&self) -> Vec<(Region, u64)> {
+        let n = self.regions.len() as u64;
+        let base = self.issued / n;
+        let extra = (self.issued % n) as usize;
+        self.regions
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (*r, base + u64::from(i < extra)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_matches_fig7() {
+        let vp = VantagePoints::paper();
+        assert_eq!(vp.regions().len(), 5);
+        assert_eq!(vp.regions()[0], Region::Oregon);
+        assert_eq!(vp.regions()[4], Region::Tokyo);
+    }
+
+    #[test]
+    fn rotation_is_fair() {
+        let mut vp = VantagePoints::paper();
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..5 * 7 {
+            *counts.entry(vp.next_region()).or_insert(0u64) += 1;
+        }
+        assert_eq!(counts.len(), 5);
+        assert!(counts.values().all(|c| *c == 7));
+        assert_eq!(vp.issued(), 35);
+    }
+
+    #[test]
+    fn load_split_accounts_for_remainders() {
+        let mut vp = VantagePoints::paper();
+        for _ in 0..7 {
+            vp.next_region();
+        }
+        let split = vp.load_split();
+        let total: u64 = split.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 7);
+        assert_eq!(split[0].1, 2);
+        assert_eq!(split[4].1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vantage point")]
+    fn empty_set_is_rejected() {
+        let _ = VantagePoints::new(vec![]);
+    }
+}

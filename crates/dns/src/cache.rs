@@ -1,0 +1,279 @@
+//! The recursive resolver's TTL-honoring cache.
+//!
+//! The paper's collector "purge\[s\] the DNS cache of the resolver before
+//! performing each experiment to ensure that the newly collected records are
+//! independent from the previous ones" (Sec IV-B.1) — [`ResolverCache::purge`].
+//! Between purges the cache obeys TTLs against the simulation clock, which
+//! is what keeps stale NS records alive after a provider switch.
+
+use std::collections::HashMap;
+
+use remnant_sim::SimTime;
+
+use crate::message::Rcode;
+use crate::name::DomainName;
+use crate::record::{RecordType, ResourceRecord};
+
+/// A cached entry: either records or a cached negative answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// Cached records (empty for negative entries).
+    pub records: Vec<ResourceRecord>,
+    /// The response code that produced this entry.
+    pub rcode: Rcode,
+    /// Absolute expiry instant.
+    pub expires: SimTime,
+}
+
+/// TTL for cached negative answers (NXDOMAIN / NODATA).
+const NEGATIVE_TTL_SECS: u64 = 900;
+
+/// A (name, type)-keyed DNS cache with TTL expiry and full purge.
+///
+/// # Example
+///
+/// ```
+/// use remnant_dns::{DomainName, RecordData, RecordType, ResolverCache, ResourceRecord, Ttl};
+/// use remnant_sim::{SimDuration, SimTime};
+///
+/// let mut cache = ResolverCache::new();
+/// let www: DomainName = "www.example.com".parse()?;
+/// let rr = ResourceRecord::new(www.clone(), Ttl::secs(300), RecordData::A("1.2.3.4".parse()?));
+/// cache.insert(SimTime::EPOCH, vec![rr]);
+/// assert!(cache.get(SimTime::EPOCH + SimDuration::secs(299), &www, RecordType::A).is_some());
+/// assert!(cache.get(SimTime::EPOCH + SimDuration::secs(301), &www, RecordType::A).is_none());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResolverCache {
+    entries: HashMap<(DomainName, RecordType), CacheEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResolverCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ResolverCache::default()
+    }
+
+    /// Inserts records, grouping them by (owner, type). Each group's expiry
+    /// comes from the minimum TTL within the group. Empty input is a no-op.
+    pub fn insert(&mut self, now: SimTime, records: Vec<ResourceRecord>) {
+        let mut groups: HashMap<(DomainName, RecordType), Vec<ResourceRecord>> = HashMap::new();
+        for rr in records {
+            groups
+                .entry((rr.name.clone(), rr.record_type()))
+                .or_default()
+                .push(rr);
+        }
+        for (key, rrs) in groups {
+            let min_ttl = rrs
+                .iter()
+                .map(|rr| rr.ttl)
+                .min()
+                .expect("group is non-empty by construction");
+            self.entries.insert(
+                key,
+                CacheEntry {
+                    records: rrs,
+                    rcode: Rcode::NoError,
+                    expires: min_ttl.expires_at(now),
+                },
+            );
+        }
+    }
+
+    /// Caches a negative answer (NXDOMAIN or NODATA) for `name`/`rtype`.
+    pub fn insert_negative(
+        &mut self,
+        now: SimTime,
+        name: DomainName,
+        rtype: RecordType,
+        rcode: Rcode,
+    ) {
+        self.entries.insert(
+            (name, rtype),
+            CacheEntry {
+                records: Vec::new(),
+                rcode,
+                expires: now + remnant_sim::SimDuration::secs(NEGATIVE_TTL_SECS),
+            },
+        );
+    }
+
+    /// Unexpired records for `name`/`rtype`. Negative entries return `None`
+    /// here; use [`ResolverCache::get_entry`] to observe them.
+    pub fn get(
+        &mut self,
+        now: SimTime,
+        name: &DomainName,
+        rtype: RecordType,
+    ) -> Option<Vec<ResourceRecord>> {
+        match self.get_entry(now, name, rtype) {
+            Some(entry) if !entry.records.is_empty() => {
+                let records = entry.records.clone();
+                self.hits += 1;
+                Some(records)
+            }
+            Some(_) => {
+                self.hits += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// The unexpired entry (positive or negative) for `name`/`rtype`.
+    /// Expired entries are evicted on access. Does not update hit counters.
+    pub fn get_entry(
+        &mut self,
+        now: SimTime,
+        name: &DomainName,
+        rtype: RecordType,
+    ) -> Option<&CacheEntry> {
+        let key = (name.clone(), rtype);
+        if let Some(entry) = self.entries.get(&key) {
+            if entry.expires <= now {
+                self.entries.remove(&key);
+                return None;
+            }
+        }
+        self.entries.get(&key)
+    }
+
+    /// True if a *negative* unexpired entry exists for `name`/`rtype`.
+    pub fn has_negative(&mut self, now: SimTime, name: &DomainName, rtype: RecordType) -> bool {
+        self.get_entry(now, name, rtype)
+            .is_some_and(|e| e.records.is_empty())
+    }
+
+    /// Drops every entry — the pre-experiment purge from Sec IV-B.1.
+    pub fn purge(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Drops only expired entries.
+    pub fn evict_expired(&mut self, now: SimTime) {
+        self.entries.retain(|_, entry| entry.expires > now);
+    }
+
+    /// Number of entries currently stored (including expired-but-unevicted).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// (hits, misses) since construction. Purging does not reset them.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RecordData, Ttl};
+    use remnant_sim::SimDuration;
+
+    fn name(s: &str) -> DomainName {
+        s.parse().expect("test name")
+    }
+
+    fn a(owner: &str, ttl: u32, ip: [u8; 4]) -> ResourceRecord {
+        ResourceRecord::new(name(owner), Ttl::secs(ttl), RecordData::A(ip.into()))
+    }
+
+    #[test]
+    fn expiry_is_exact() {
+        let mut cache = ResolverCache::new();
+        cache.insert(SimTime::EPOCH, vec![a("x.com", 100, [1, 1, 1, 1])]);
+        let just_before = SimTime::from_secs(99);
+        let at = SimTime::from_secs(100);
+        assert!(cache.get(just_before, &name("x.com"), RecordType::A).is_some());
+        assert!(cache.get(at, &name("x.com"), RecordType::A).is_none());
+    }
+
+    #[test]
+    fn group_uses_min_ttl() {
+        let mut cache = ResolverCache::new();
+        cache.insert(
+            SimTime::EPOCH,
+            vec![a("x.com", 50, [1, 1, 1, 1]), a("x.com", 500, [2, 2, 2, 2])],
+        );
+        assert!(cache
+            .get(SimTime::from_secs(51), &name("x.com"), RecordType::A)
+            .is_none());
+    }
+
+    #[test]
+    fn mixed_types_are_cached_separately() {
+        let mut cache = ResolverCache::new();
+        let ns = ResourceRecord::new(
+            name("x.com"),
+            Ttl::days(2),
+            RecordData::Ns(name("ns.x.com")),
+        );
+        cache.insert(SimTime::EPOCH, vec![a("x.com", 60, [1, 1, 1, 1]), ns]);
+        let later = SimTime::from_secs(3600);
+        assert!(cache.get(later, &name("x.com"), RecordType::A).is_none());
+        assert!(cache.get(later, &name("x.com"), RecordType::Ns).is_some());
+    }
+
+    #[test]
+    fn purge_clears_everything() {
+        let mut cache = ResolverCache::new();
+        cache.insert(SimTime::EPOCH, vec![a("x.com", 1000, [1, 1, 1, 1])]);
+        cache.insert_negative(SimTime::EPOCH, name("y.com"), RecordType::A, Rcode::NxDomain);
+        cache.purge();
+        assert!(cache.is_empty());
+        assert!(cache.get(SimTime::EPOCH, &name("x.com"), RecordType::A).is_none());
+    }
+
+    #[test]
+    fn negative_entries_visible_via_entry_api() {
+        let mut cache = ResolverCache::new();
+        cache.insert_negative(SimTime::EPOCH, name("y.com"), RecordType::A, Rcode::NxDomain);
+        assert!(cache.get(SimTime::EPOCH, &name("y.com"), RecordType::A).is_none());
+        assert!(cache.has_negative(SimTime::EPOCH, &name("y.com"), RecordType::A));
+        let entry = cache
+            .get_entry(SimTime::EPOCH, &name("y.com"), RecordType::A)
+            .unwrap();
+        assert_eq!(entry.rcode, Rcode::NxDomain);
+        // Negative entries expire too.
+        let later = SimTime::EPOCH + SimDuration::secs(NEGATIVE_TTL_SECS + 1);
+        assert!(!cache.has_negative(later, &name("y.com"), RecordType::A));
+    }
+
+    #[test]
+    fn evict_expired_retains_live_entries() {
+        let mut cache = ResolverCache::new();
+        cache.insert(SimTime::EPOCH, vec![a("short.com", 10, [1, 1, 1, 1])]);
+        cache.insert(SimTime::EPOCH, vec![a("long.com", 1000, [2, 2, 2, 2])]);
+        cache.evict_expired(SimTime::from_secs(11));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut cache = ResolverCache::new();
+        cache.insert(SimTime::EPOCH, vec![a("x.com", 100, [1, 1, 1, 1])]);
+        let _ = cache.get(SimTime::EPOCH, &name("x.com"), RecordType::A);
+        let _ = cache.get(SimTime::EPOCH, &name("nope.com"), RecordType::A);
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn insert_empty_is_noop() {
+        let mut cache = ResolverCache::new();
+        cache.insert(SimTime::EPOCH, vec![]);
+        assert!(cache.is_empty());
+    }
+}

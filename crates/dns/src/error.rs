@@ -1,0 +1,90 @@
+//! Error type for the DNS substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the DNS substrate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DnsError {
+    /// A domain name failed validation.
+    ParseName(String),
+    /// No configured nameserver answered (all ignored/dropped the query).
+    Timeout {
+        /// The name being resolved.
+        name: String,
+    },
+    /// No nameservers could be found for the name (no delegation anywhere).
+    NoNameservers {
+        /// The name being resolved.
+        name: String,
+    },
+    /// CNAME chain exceeded the chase limit (loop or excessive depth).
+    CnameChain {
+        /// The name resolution started from.
+        name: String,
+    },
+    /// A record was inserted into a zone it does not belong to.
+    OutOfZone {
+        /// The zone origin.
+        zone: String,
+        /// The offending record owner.
+        name: String,
+    },
+}
+
+impl fmt::Display for DnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnsError::ParseName(s) => write!(f, "invalid domain name syntax: {s:?}"),
+            DnsError::Timeout { name } => write!(f, "no nameserver answered for {name}"),
+            DnsError::NoNameservers { name } => {
+                write!(f, "no nameservers found for {name}")
+            }
+            DnsError::CnameChain { name } => {
+                write!(f, "cname chain too long or looping while resolving {name}")
+            }
+            DnsError::OutOfZone { zone, name } => {
+                write!(f, "record owner {name} is outside zone {zone}")
+            }
+        }
+    }
+}
+
+impl Error for DnsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_well_formed() {
+        let errs = [
+            DnsError::ParseName("..".into()),
+            DnsError::Timeout {
+                name: "a.com".into(),
+            },
+            DnsError::NoNameservers {
+                name: "a.com".into(),
+            },
+            DnsError::CnameChain {
+                name: "a.com".into(),
+            },
+            DnsError::OutOfZone {
+                zone: "a.com".into(),
+                name: "b.org".into(),
+            },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<DnsError>();
+    }
+}

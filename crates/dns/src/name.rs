@@ -1,0 +1,304 @@
+//! Domain names.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::DnsError;
+
+/// Maximum total length of a domain name in presentation format.
+const MAX_NAME_LEN: usize = 253;
+/// Maximum length of a single label.
+const MAX_LABEL_LEN: usize = 63;
+
+/// A fully qualified domain name in normalized (lowercase, no trailing dot)
+/// presentation form.
+///
+/// Names are validated on construction: 1–63 character labels of letters,
+/// digits, hyphens and underscores (underscores occur in real DNS, e.g.
+/// `_dmarc`), no leading/trailing hyphen in a label, total length ≤ 253.
+/// Comparison is case-insensitive by construction because parsing lowercases.
+///
+/// # Example
+///
+/// ```
+/// use remnant_dns::DomainName;
+///
+/// let www: DomainName = "WWW.Example.COM".parse()?;
+/// assert_eq!(www.to_string(), "www.example.com");
+/// assert_eq!(www.apex().to_string(), "example.com");
+/// assert!(www.is_subdomain_of(&"example.com".parse()?));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainName {
+    /// Normalized presentation form, e.g. "www.example.com".
+    name: String,
+    /// Byte offsets of label starts within `name`.
+    label_starts: Vec<u16>,
+}
+
+impl DomainName {
+    /// Parses and validates a name (see type docs for the accepted syntax).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnsError::ParseName`] on empty names, empty labels, label
+    /// or name length violations, or invalid characters.
+    pub fn parse(s: &str) -> Result<Self, DnsError> {
+        let trimmed = s.strip_suffix('.').unwrap_or(s);
+        if trimmed.is_empty() || trimmed.len() > MAX_NAME_LEN {
+            return Err(DnsError::ParseName(s.to_owned()));
+        }
+        let name = trimmed.to_ascii_lowercase();
+        let mut label_starts = Vec::with_capacity(4);
+        let mut start = 0usize;
+        for label in name.split('.') {
+            if label.is_empty() || label.len() > MAX_LABEL_LEN {
+                return Err(DnsError::ParseName(s.to_owned()));
+            }
+            if label.starts_with('-') || label.ends_with('-') {
+                return Err(DnsError::ParseName(s.to_owned()));
+            }
+            if !label
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_')
+            {
+                return Err(DnsError::ParseName(s.to_owned()));
+            }
+            label_starts.push(start as u16);
+            start += label.len() + 1;
+        }
+        Ok(DomainName { name, label_starts })
+    }
+
+    /// The normalized presentation form.
+    pub fn as_str(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of labels, e.g. 3 for `www.example.com`.
+    pub fn label_count(&self) -> usize {
+        self.label_starts.len()
+    }
+
+    /// Iterates labels left to right.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.name.split('.')
+    }
+
+    /// The `n` rightmost labels as a name, or `None` if `n` is 0 or exceeds
+    /// the label count.
+    pub fn suffix(&self, n: usize) -> Option<DomainName> {
+        if n == 0 || n > self.label_count() {
+            return None;
+        }
+        let idx = self.label_count() - n;
+        let start = usize::from(self.label_starts[idx]);
+        Some(DomainName {
+            name: self.name[start..].to_owned(),
+            label_starts: self.label_starts[idx..]
+                .iter()
+                .map(|s| s - self.label_starts[idx])
+                .collect(),
+        })
+    }
+
+    /// The top-level domain (rightmost label).
+    pub fn tld(&self) -> &str {
+        let start = usize::from(*self.label_starts.last().expect("names have >= 1 label"));
+        &self.name[start..]
+    }
+
+    /// The registrable apex: the two rightmost labels (this simulation uses
+    /// single-label TLDs only), or the whole name if it has fewer than two
+    /// labels.
+    pub fn apex(&self) -> DomainName {
+        self.suffix(2.min(self.label_count()))
+            .expect("suffix of own label count is always valid")
+    }
+
+    /// The name with its leftmost label removed, or `None` at a TLD.
+    pub fn parent(&self) -> Option<DomainName> {
+        self.suffix(self.label_count().checked_sub(1)?)
+    }
+
+    /// True if `self` is equal to or underneath `other`
+    /// (`www.example.com` is a subdomain of `example.com` and of itself).
+    pub fn is_subdomain_of(&self, other: &DomainName) -> bool {
+        let n = other.label_count();
+        self.suffix(n).is_some_and(|s| s == *other)
+    }
+
+    /// Prefixes a label, e.g. `"example.com".prepend("www")`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnsError::ParseName`] if the resulting name is invalid.
+    pub fn prepend(&self, label: &str) -> Result<DomainName, DnsError> {
+        DomainName::parse(&format!("{label}.{}", self.name))
+    }
+
+    /// All suffixes from the whole name down to the TLD, longest first.
+    ///
+    /// ```
+    /// use remnant_dns::DomainName;
+    /// let n: DomainName = "a.b.example.com".parse()?;
+    /// let sufs: Vec<String> = n.suffixes().map(|s| s.to_string()).collect();
+    /// assert_eq!(sufs, vec!["a.b.example.com", "b.example.com", "example.com", "com"]);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn suffixes(&self) -> impl Iterator<Item = DomainName> + '_ {
+        (1..=self.label_count())
+            .rev()
+            .filter_map(move |n| self.suffix(n))
+    }
+
+    /// True if any label contains `needle` as a substring. This is the
+    /// paper's CNAME/NS-matching primitive (Table II "substring").
+    ///
+    /// ```
+    /// use remnant_dns::DomainName;
+    /// let ns: DomainName = "kate.ns.cloudflare.com".parse()?;
+    /// assert!(ns.contains_label_substring("cloudflare"));
+    /// assert!(!ns.contains_label_substring("incapdns"));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn contains_label_substring(&self, needle: &str) -> bool {
+        let needle = needle.to_ascii_lowercase();
+        self.labels().any(|l| l.contains(&needle))
+    }
+}
+
+impl fmt::Display for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl fmt::Debug for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DomainName({})", self.name)
+    }
+}
+
+impl FromStr for DomainName {
+    type Err = DnsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DomainName::parse(s)
+    }
+}
+
+impl AsRef<str> for DomainName {
+    fn as_ref(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DomainName {
+        s.parse().expect("test name")
+    }
+
+    #[test]
+    fn parse_normalizes_case_and_trailing_dot() {
+        assert_eq!(name("WWW.EXAMPLE.COM."), name("www.example.com"));
+        assert_eq!(name("Example.Com").to_string(), "example.com");
+    }
+
+    #[test]
+    fn parse_rejects_invalid() {
+        for bad in [
+            "",
+            ".",
+            "..",
+            "a..b",
+            ".example.com",
+            "-bad.com",
+            "bad-.com",
+            "exa mple.com",
+            "Ῥόδος.com",
+            &("x".repeat(64) + ".com"),
+            &"a.".repeat(130),
+        ] {
+            assert!(bad.parse::<DomainName>().is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_underscore_and_digits() {
+        assert_eq!(name("_dmarc.example.com").label_count(), 3);
+        assert_eq!(name("123.example.com").label_count(), 3);
+        assert_eq!(name("a-b-c.example.com").label_count(), 3);
+    }
+
+    #[test]
+    fn label_accessors() {
+        let n = name("a.b.example.com");
+        assert_eq!(n.label_count(), 4);
+        assert_eq!(n.labels().collect::<Vec<_>>(), vec!["a", "b", "example", "com"]);
+        assert_eq!(n.tld(), "com");
+        assert_eq!(n.apex(), name("example.com"));
+    }
+
+    #[test]
+    fn suffix_edges() {
+        let n = name("www.example.com");
+        assert_eq!(n.suffix(0), None);
+        assert_eq!(n.suffix(1), Some(name("com")));
+        assert_eq!(n.suffix(3), Some(n.clone()));
+        assert_eq!(n.suffix(4), None);
+    }
+
+    #[test]
+    fn apex_of_short_names() {
+        assert_eq!(name("com").apex(), name("com"));
+        assert_eq!(name("example.com").apex(), name("example.com"));
+    }
+
+    #[test]
+    fn parent_walks_up() {
+        let n = name("www.example.com");
+        assert_eq!(n.parent(), Some(name("example.com")));
+        assert_eq!(name("com").parent(), None);
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let apex = name("example.com");
+        assert!(name("www.example.com").is_subdomain_of(&apex));
+        assert!(apex.is_subdomain_of(&apex));
+        assert!(!name("www.example.org").is_subdomain_of(&apex));
+        // Label boundaries must be respected.
+        assert!(!name("badexample.com").is_subdomain_of(&apex));
+    }
+
+    #[test]
+    fn prepend_builds_subdomains() {
+        assert_eq!(
+            name("example.com").prepend("www").unwrap(),
+            name("www.example.com")
+        );
+        assert!(name("example.com").prepend("").is_err());
+        assert!(name("example.com").prepend("bad label").is_err());
+    }
+
+    #[test]
+    fn substring_matching_is_per_label_and_case_insensitive() {
+        let n = name("foo.edgekey.net");
+        assert!(n.contains_label_substring("edgekey"));
+        assert!(n.contains_label_substring("EDGEKEY"));
+        assert!(n.contains_label_substring("dge"));
+        assert!(!n.contains_label_substring("edgekeynet")); // spans a dot
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let mut v = [name("b.com"), name("a.com"), name("a.b.com")];
+        v.sort();
+        assert_eq!(v[0], name("a.b.com"));
+    }
+}

@@ -1,0 +1,291 @@
+//! Resource records.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use remnant_sim::{SimDuration, SimTime};
+
+use crate::name::DomainName;
+
+/// Record types used in the study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum RecordType {
+    /// Address record — maps a hostname to an IPv4 address.
+    A,
+    /// Canonical name — an alias to another name (CNAME-based rerouting).
+    Cname,
+    /// Nameserver — delegation of a zone (NS-based rerouting).
+    Ns,
+    /// Mail exchange (origin-exposure vector "DNS Records" in Table I).
+    Mx,
+    /// Free-form text.
+    Txt,
+    /// Start of authority.
+    Soa,
+}
+
+impl RecordType {
+    /// All record types, in stable order.
+    pub const ALL: [RecordType; 6] = [
+        RecordType::A,
+        RecordType::Cname,
+        RecordType::Ns,
+        RecordType::Mx,
+        RecordType::Txt,
+        RecordType::Soa,
+    ];
+}
+
+impl fmt::Display for RecordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RecordType::A => "A",
+            RecordType::Cname => "CNAME",
+            RecordType::Ns => "NS",
+            RecordType::Mx => "MX",
+            RecordType::Txt => "TXT",
+            RecordType::Soa => "SOA",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Typed record payload.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum RecordData {
+    /// IPv4 address.
+    A(Ipv4Addr),
+    /// Alias target.
+    Cname(DomainName),
+    /// Delegated nameserver hostname.
+    Ns(DomainName),
+    /// Mail exchange: preference and exchanger host.
+    Mx {
+        /// Lower is preferred.
+        preference: u16,
+        /// The mail host.
+        exchange: DomainName,
+    },
+    /// Text payload.
+    Txt(String),
+    /// Start-of-authority summary (serial only; enough for the study).
+    Soa {
+        /// Primary nameserver.
+        mname: DomainName,
+        /// Zone serial number.
+        serial: u32,
+    },
+}
+
+impl RecordData {
+    /// The record type this payload belongs to.
+    pub fn record_type(&self) -> RecordType {
+        match self {
+            RecordData::A(_) => RecordType::A,
+            RecordData::Cname(_) => RecordType::Cname,
+            RecordData::Ns(_) => RecordType::Ns,
+            RecordData::Mx { .. } => RecordType::Mx,
+            RecordData::Txt(_) => RecordType::Txt,
+            RecordData::Soa { .. } => RecordType::Soa,
+        }
+    }
+
+    /// The IPv4 address, if this is an A record.
+    pub fn as_a(&self) -> Option<Ipv4Addr> {
+        match self {
+            RecordData::A(addr) => Some(*addr),
+            _ => None,
+        }
+    }
+
+    /// The alias target, if this is a CNAME record.
+    pub fn as_cname(&self) -> Option<&DomainName> {
+        match self {
+            RecordData::Cname(target) => Some(target),
+            _ => None,
+        }
+    }
+
+    /// The nameserver host, if this is an NS record.
+    pub fn as_ns(&self) -> Option<&DomainName> {
+        match self {
+            RecordData::Ns(host) => Some(host),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RecordData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordData::A(addr) => write!(f, "{addr}"),
+            RecordData::Cname(target) => write!(f, "{target}"),
+            RecordData::Ns(host) => write!(f, "{host}"),
+            RecordData::Mx {
+                preference,
+                exchange,
+            } => write!(f, "{preference} {exchange}"),
+            RecordData::Txt(text) => write!(f, "{text:?}"),
+            RecordData::Soa { mname, serial } => write!(f, "{mname} {serial}"),
+        }
+    }
+}
+
+/// A record's time to live, in seconds.
+///
+/// ```
+/// use remnant_dns::Ttl;
+/// use remnant_sim::SimTime;
+///
+/// let ttl = Ttl::secs(300);
+/// let now = SimTime::from_secs(1_000);
+/// assert_eq!(ttl.expires_at(now), SimTime::from_secs(1_300));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ttl(u32);
+
+impl Ttl {
+    /// Creates a TTL of `secs` seconds.
+    pub const fn secs(secs: u32) -> Self {
+        Ttl(secs)
+    }
+
+    /// Creates a TTL of `hours` hours.
+    pub const fn hours(hours: u32) -> Self {
+        Ttl(hours * 3600)
+    }
+
+    /// Creates a TTL of `days` days.
+    pub const fn days(days: u32) -> Self {
+        Ttl(days * 86_400)
+    }
+
+    /// The TTL in seconds.
+    pub const fn as_secs(self) -> u32 {
+        self.0
+    }
+
+    /// The TTL as a simulation duration.
+    pub const fn as_duration(self) -> SimDuration {
+        SimDuration::secs(self.0 as u64)
+    }
+
+    /// When a record cached at `now` expires.
+    pub fn expires_at(self, now: SimTime) -> SimTime {
+        now + self.as_duration()
+    }
+}
+
+impl fmt::Display for Ttl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+/// One resource record: owner name, TTL, and typed payload.
+///
+/// This is a passive data structure; its fields are public.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ResourceRecord {
+    /// The owner (queried) name.
+    pub name: DomainName,
+    /// Time to live.
+    pub ttl: Ttl,
+    /// Typed payload.
+    pub data: RecordData,
+}
+
+impl ResourceRecord {
+    /// Creates a record.
+    pub fn new(name: DomainName, ttl: Ttl, data: RecordData) -> Self {
+        ResourceRecord { name, ttl, data }
+    }
+
+    /// The record's type.
+    pub fn record_type(&self) -> RecordType {
+        self.data.record_type()
+    }
+}
+
+impl fmt::Display for ResourceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {}",
+            self.name,
+            self.ttl,
+            self.record_type(),
+            self.data
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DomainName {
+        s.parse().expect("test name")
+    }
+
+    #[test]
+    fn data_type_mapping_is_total() {
+        let samples = [
+            RecordData::A(Ipv4Addr::LOCALHOST),
+            RecordData::Cname(name("t.example.com")),
+            RecordData::Ns(name("ns.example.com")),
+            RecordData::Mx {
+                preference: 10,
+                exchange: name("mx.example.com"),
+            },
+            RecordData::Txt("v=spf1".into()),
+            RecordData::Soa {
+                mname: name("ns.example.com"),
+                serial: 1,
+            },
+        ];
+        let types: Vec<RecordType> = samples.iter().map(|d| d.record_type()).collect();
+        assert_eq!(types, RecordType::ALL.to_vec());
+    }
+
+    #[test]
+    fn accessors_return_only_matching_variants() {
+        let a = RecordData::A(Ipv4Addr::new(1, 2, 3, 4));
+        assert_eq!(a.as_a(), Some(Ipv4Addr::new(1, 2, 3, 4)));
+        assert_eq!(a.as_cname(), None);
+        assert_eq!(a.as_ns(), None);
+
+        let c = RecordData::Cname(name("x.example.com"));
+        assert_eq!(c.as_cname(), Some(&name("x.example.com")));
+        assert_eq!(c.as_a(), None);
+    }
+
+    #[test]
+    fn ttl_expiry() {
+        let ttl = Ttl::days(2);
+        assert_eq!(ttl.as_secs(), 172_800);
+        assert_eq!(
+            ttl.expires_at(SimTime::from_secs(10)),
+            SimTime::from_secs(172_810)
+        );
+        assert_eq!(Ttl::hours(2).as_secs(), 7200);
+    }
+
+    #[test]
+    fn record_display_is_zone_file_like() {
+        let rr = ResourceRecord::new(
+            name("www.example.com"),
+            Ttl::secs(300),
+            RecordData::A(Ipv4Addr::new(203, 0, 113, 9)),
+        );
+        assert_eq!(rr.to_string(), "www.example.com 300s A 203.0.113.9");
+    }
+
+    #[test]
+    fn record_type_display() {
+        assert_eq!(RecordType::Cname.to_string(), "CNAME");
+        assert_eq!(RecordType::Soa.to_string(), "SOA");
+    }
+}

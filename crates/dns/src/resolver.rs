@@ -1,0 +1,639 @@
+//! The recursive resolver.
+//!
+//! A caching, iterative resolver equivalent to the unbound instance the
+//! authors ran on EC2 (Sec IV-B.1): it starts from the registry (root),
+//! follows referrals, chases CNAME chains, caches everything it learns with
+//! TTLs, and can purge its cache before each measurement round.
+//!
+//! Two behaviors matter for the paper's findings and are modeled carefully:
+//!
+//! * **Stale delegations.** NS records learned from referrals are cached
+//!   with their (long) TTLs. If a website re-delegates to a new DPS
+//!   provider, this resolver keeps sending queries to the *previous*
+//!   provider's nameservers until the cached NS expires — the exact
+//!   mechanism that motivates providers to keep answering (Sec VI-A).
+//! * **Fallback on dead delegations.** If every cached nameserver ignores
+//!   the query, the resolver drops those cache entries and retries once
+//!   from the root, as production resolvers do.
+
+use std::net::Ipv4Addr;
+
+use remnant_net::Region;
+use remnant_sim::SimClock;
+
+use crate::cache::ResolverCache;
+use crate::error::DnsError;
+use crate::message::{Query, Rcode, Response};
+use crate::name::DomainName;
+use crate::record::{RecordType, ResourceRecord};
+use crate::transport::DnsTransport;
+
+/// Maximum CNAME chain length before declaring a loop.
+const MAX_CNAME_DEPTH: usize = 8;
+/// Maximum referral depth per query.
+const MAX_REFERRALS: usize = 8;
+
+/// The outcome of a successful resolution exchange.
+///
+/// `records` holds the full observed chain (CNAMEs plus terminal records),
+/// which is exactly what the paper's record collector stores per domain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Resolution {
+    /// All records observed along the resolution, in chase order.
+    pub records: Vec<ResourceRecord>,
+    /// Terminal response code (`NoError` with no records means NODATA).
+    pub rcode: Rcode,
+}
+
+impl Resolution {
+    /// All IPv4 addresses in the chain.
+    pub fn addresses(&self) -> Vec<Ipv4Addr> {
+        self.records.iter().filter_map(|rr| rr.data.as_a()).collect()
+    }
+
+    /// All CNAME targets in chase order.
+    pub fn cnames(&self) -> Vec<DomainName> {
+        self.records
+            .iter()
+            .filter_map(|rr| rr.data.as_cname().cloned())
+            .collect()
+    }
+
+    /// All NS hostnames in the chain.
+    pub fn ns_hosts(&self) -> Vec<DomainName> {
+        self.records
+            .iter()
+            .filter_map(|rr| rr.data.as_ns().cloned())
+            .collect()
+    }
+
+    /// True if the resolution produced no usable records.
+    pub fn is_negative(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// A caching iterative resolver (see module docs).
+///
+/// # Example
+///
+/// See the crate-level example in [`crate`].
+#[derive(Clone, Debug)]
+pub struct RecursiveResolver {
+    clock: SimClock,
+    region: Region,
+    cache: ResolverCache,
+}
+
+impl RecursiveResolver {
+    /// Creates a resolver at `region` sharing the simulation `clock`.
+    pub fn new(clock: SimClock, region: Region) -> Self {
+        RecursiveResolver {
+            clock,
+            region,
+            cache: ResolverCache::new(),
+        }
+    }
+
+    /// The region this resolver queries from (anycast catchment).
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Shared access to the cache (e.g. for stats).
+    pub fn cache(&self) -> &ResolverCache {
+        &self.cache
+    }
+
+    /// Purges the cache — run before each daily collection (Sec IV-B.1).
+    pub fn purge_cache(&mut self) {
+        self.cache.purge();
+    }
+
+    /// Resolves `name`/`rtype`, chasing CNAMEs and following referrals.
+    ///
+    /// Returns `Ok` for any terminal DNS outcome (including NXDOMAIN and
+    /// NODATA — inspect [`Resolution::rcode`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`DnsError::Timeout`] — no nameserver answered after fallback;
+    /// * [`DnsError::CnameChain`] — alias chain too long or looping.
+    pub fn resolve<T: DnsTransport>(
+        &mut self,
+        transport: &mut T,
+        name: &DomainName,
+        rtype: RecordType,
+    ) -> Result<Resolution, DnsError> {
+        let mut chain: Vec<ResourceRecord> = Vec::new();
+        let mut current = name.clone();
+        let mut seen = vec![current.clone()];
+
+        for _ in 0..=MAX_CNAME_DEPTH {
+            let now = self.clock.now();
+            // Terminal records already cached?
+            if let Some(rrs) = self.cache.get(now, &current, rtype) {
+                chain.extend(rrs);
+                return Ok(Resolution {
+                    records: chain,
+                    rcode: Rcode::NoError,
+                });
+            }
+            // Cached negative?
+            if let Some(entry) = self.cache.get_entry(now, &current, rtype) {
+                if entry.records.is_empty() {
+                    let rcode = entry.rcode;
+                    return Ok(Resolution {
+                        records: chain,
+                        rcode,
+                    });
+                }
+            }
+            // Cached alias?
+            if rtype != RecordType::Cname {
+                if let Some(cnames) = self.cache.get(now, &current, RecordType::Cname) {
+                    let target = cnames[0]
+                        .data
+                        .as_cname()
+                        .expect("cname cache entries hold cname data")
+                        .clone();
+                    chain.extend(cnames);
+                    if seen.contains(&target) {
+                        return Err(DnsError::CnameChain {
+                            name: name.to_string(),
+                        });
+                    }
+                    seen.push(target.clone());
+                    current = target;
+                    continue;
+                }
+            }
+            // Go ask the authoritative hierarchy.
+            let response = self.query_authoritative(transport, &current, rtype)?;
+            let now = self.clock.now();
+            match response.rcode {
+                Rcode::NoError if !response.answers.is_empty() => {
+                    self.cache.insert(now, response.answers.clone());
+                    // Serve from the response itself rather than re-reading
+                    // the cache — a TTL-0 record is valid for this answer
+                    // but expires the instant it is cached.
+                    let mut advanced = false;
+                    loop {
+                        let direct: Vec<ResourceRecord> = response
+                            .answers
+                            .iter()
+                            .filter(|rr| rr.name == current && rr.record_type() == rtype)
+                            .cloned()
+                            .collect();
+                        if !direct.is_empty() {
+                            chain.extend(direct);
+                            return Ok(Resolution {
+                                records: chain,
+                                rcode: Rcode::NoError,
+                            });
+                        }
+                        if rtype == RecordType::Cname {
+                            break;
+                        }
+                        let Some(alias) = response
+                            .answers
+                            .iter()
+                            .find(|rr| {
+                                rr.name == current && rr.record_type() == RecordType::Cname
+                            })
+                            .cloned()
+                        else {
+                            break;
+                        };
+                        let target = alias
+                            .data
+                            .as_cname()
+                            .expect("cname records hold cname data")
+                            .clone();
+                        chain.push(alias);
+                        if seen.contains(&target) {
+                            return Err(DnsError::CnameChain {
+                                name: name.to_string(),
+                            });
+                        }
+                        seen.push(target.clone());
+                        current = target;
+                        advanced = true;
+                    }
+                    if !advanced {
+                        // Records came back, but none for our name/type:
+                        // effectively NODATA.
+                        return Ok(Resolution {
+                            records: chain,
+                            rcode: Rcode::NoError,
+                        });
+                    }
+                    // The chain advanced past this response's content; the
+                    // outer loop resolves the new target.
+                }
+                Rcode::NoError => {
+                    self.cache
+                        .insert_negative(now, current.clone(), rtype, Rcode::NoError);
+                    return Ok(Resolution {
+                        records: chain,
+                        rcode: Rcode::NoError,
+                    });
+                }
+                rcode @ (Rcode::NxDomain | Rcode::Refused | Rcode::ServFail) => {
+                    if rcode == Rcode::NxDomain {
+                        self.cache
+                            .insert_negative(now, current.clone(), rtype, rcode);
+                    }
+                    return Ok(Resolution {
+                        records: chain,
+                        rcode,
+                    });
+                }
+            }
+        }
+        Err(DnsError::CnameChain {
+            name: name.to_string(),
+        })
+    }
+
+    /// Resolves and returns just the terminal addresses (empty on negative
+    /// outcomes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RecursiveResolver::resolve`] errors.
+    pub fn resolve_addresses<T: DnsTransport>(
+        &mut self,
+        transport: &mut T,
+        name: &DomainName,
+    ) -> Result<Vec<Ipv4Addr>, DnsError> {
+        Ok(self.resolve(transport, name, RecordType::A)?.addresses())
+    }
+
+    /// Sends one query to one specific server, bypassing cache and
+    /// recursion. This is the primitive the residual-resolution scanner
+    /// uses to interrogate a previous provider's nameservers directly
+    /// (Sec V-A.2).
+    pub fn query_direct<T: DnsTransport>(
+        &self,
+        transport: &mut T,
+        server: Ipv4Addr,
+        query: &Query,
+    ) -> Option<Response> {
+        transport.query(self.clock.now(), server, self.region, query)
+    }
+
+    /// Queries the authoritative hierarchy for `qname`/`rtype`, following
+    /// referrals from the deepest cached delegation (or the root).
+    fn query_authoritative<T: DnsTransport>(
+        &mut self,
+        transport: &mut T,
+        qname: &DomainName,
+        rtype: RecordType,
+    ) -> Result<Response, DnsError> {
+        match self.try_from_cached_delegation(transport, qname, rtype) {
+            Ok(response) => Ok(response),
+            Err(_) => {
+                // All cached nameservers are dead — drop the stale NS cache
+                // for this name's suffixes and retry once from the root.
+                let now = self.clock.now();
+                for suffix in qname.suffixes() {
+                    if self.cache.get(now, &suffix, RecordType::Ns).is_some() {
+                        // Overwrite with nothing by purging just that entry:
+                        // simplest correct form is a negative-free removal,
+                        // achieved by inserting an empty grouping via purge
+                        // of the whole entry.
+                        self.cache.insert_negative(
+                            now,
+                            suffix.clone(),
+                            RecordType::Ns,
+                            Rcode::NoError,
+                        );
+                    }
+                }
+                self.iterate_from(transport, vec![transport.root()], qname, rtype)
+            }
+        }
+    }
+
+    /// Starts iteration from the deepest cached delegation if one exists,
+    /// else from the root.
+    fn try_from_cached_delegation<T: DnsTransport>(
+        &mut self,
+        transport: &mut T,
+        qname: &DomainName,
+        rtype: RecordType,
+    ) -> Result<Response, DnsError> {
+        let now = self.clock.now();
+        let mut start: Vec<Ipv4Addr> = Vec::new();
+        for suffix in qname.suffixes() {
+            if let Some(ns_records) = self.cache.get(now, &suffix, RecordType::Ns) {
+                let mut addrs = Vec::new();
+                for rr in &ns_records {
+                    if let Some(host) = rr.data.as_ns() {
+                        if let Some(a_records) = self.cache.get(now, host, RecordType::A) {
+                            addrs.extend(a_records.iter().filter_map(|r| r.data.as_a()));
+                        }
+                    }
+                }
+                if !addrs.is_empty() {
+                    start = addrs;
+                    break;
+                }
+            }
+        }
+        if start.is_empty() {
+            start.push(transport.root());
+        }
+        self.iterate_from(transport, start, qname, rtype)
+    }
+
+    /// Iterates from `servers`, following referrals until an authoritative
+    /// answer (or terminal negative) arrives.
+    fn iterate_from<T: DnsTransport>(
+        &mut self,
+        transport: &mut T,
+        mut servers: Vec<Ipv4Addr>,
+        qname: &DomainName,
+        rtype: RecordType,
+    ) -> Result<Response, DnsError> {
+        let query = Query::new(qname.clone(), rtype);
+        for _ in 0..=MAX_REFERRALS {
+            let mut answered = None;
+            for server in &servers {
+                let now = self.clock.now();
+                if let Some(response) = transport.query(now, *server, self.region, &query) {
+                    answered = Some(response);
+                    break;
+                }
+            }
+            let response = answered.ok_or_else(|| DnsError::Timeout {
+                name: qname.to_string(),
+            })?;
+            if response.is_referral() {
+                let now = self.clock.now();
+                // Cache the delegation and its glue.
+                self.cache.insert(now, response.authority.clone());
+                self.cache.insert(now, response.additional.clone());
+                let next: Vec<Ipv4Addr> = response
+                    .additional
+                    .iter()
+                    .filter_map(|rr| rr.data.as_a())
+                    .collect();
+                if next.is_empty() {
+                    // Glueless delegation: resolve NS hostnames from cache
+                    // only (registry and providers always send glue, so this
+                    // is a dead end in practice).
+                    return Err(DnsError::NoNameservers {
+                        name: qname.to_string(),
+                    });
+                }
+                servers = next;
+                continue;
+            }
+            return Ok(response);
+        }
+        Err(DnsError::NoNameservers {
+            name: qname.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::ZoneServer;
+    use crate::record::{RecordData, Ttl};
+    use crate::registry::Registry;
+    use crate::transport::StaticTransport;
+    use crate::zone::Zone;
+    use remnant_sim::SimDuration;
+
+    fn name(s: &str) -> DomainName {
+        s.parse().expect("test name")
+    }
+
+    const NS_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 53);
+    const NS2_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 1, 53);
+    const WWW_IP: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 10);
+
+    /// example.com delegated to ns1.host.net (10.0.0.53) serving www A.
+    fn world() -> (StaticTransport, RecursiveResolver, SimClock) {
+        let clock = SimClock::new();
+        let mut registry = Registry::new();
+        registry.delegate(name("example.com"), vec![(name("ns1.host.net"), NS_IP)]);
+        let mut zone = Zone::new(name("example.com"));
+        zone.add(ResourceRecord::new(
+            name("www.example.com"),
+            Ttl::secs(300),
+            RecordData::A(WWW_IP),
+        ));
+        zone.add(ResourceRecord::new(
+            name("example.com"),
+            Ttl::days(1),
+            RecordData::Ns(name("ns1.host.net")),
+        ));
+        let mut transport = StaticTransport::new(registry);
+        transport.add_server(NS_IP, ZoneServer::new(vec![zone]));
+        let resolver = RecursiveResolver::new(clock.clone(), Region::Oregon);
+        (transport, resolver, clock)
+    }
+
+    #[test]
+    fn resolves_through_referral() {
+        let (mut t, mut r, _clock) = world();
+        let res = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        assert_eq!(res.addresses(), vec![WWW_IP]);
+        assert_eq!(res.rcode, Rcode::NoError);
+    }
+
+    #[test]
+    fn second_resolution_is_served_from_cache() {
+        let (mut t, mut r, _clock) = world();
+        let _ = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        let sent_before = t.queries_sent();
+        let res = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        assert_eq!(res.addresses(), vec![WWW_IP]);
+        assert_eq!(t.queries_sent(), sent_before, "no network traffic on cache hit");
+    }
+
+    #[test]
+    fn purge_forces_requery() {
+        let (mut t, mut r, _clock) = world();
+        let _ = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        r.purge_cache();
+        let sent_before = t.queries_sent();
+        let _ = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        assert!(t.queries_sent() > sent_before);
+    }
+
+    #[test]
+    fn ttl_expiry_forces_requery_of_answer_only() {
+        let (mut t, mut r, clock) = world();
+        let _ = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        clock.advance(SimDuration::secs(301)); // A expired, NS (1d) still live
+        let sent_before = t.queries_sent();
+        let res = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        assert_eq!(res.addresses(), vec![WWW_IP]);
+        // Exactly one query: straight to the cached delegation, no root trip.
+        assert_eq!(t.queries_sent() - sent_before, 1);
+    }
+
+    #[test]
+    fn nxdomain_resolution() {
+        let (mut t, mut r, _clock) = world();
+        let res = r.resolve(&mut t, &name("gone.example.com"), RecordType::A).unwrap();
+        assert_eq!(res.rcode, Rcode::NxDomain);
+        assert!(res.is_negative());
+    }
+
+    #[test]
+    fn unregistered_domain_is_nxdomain_from_root() {
+        let (mut t, mut r, _clock) = world();
+        let res = r.resolve(&mut t, &name("www.nowhere.org"), RecordType::A).unwrap();
+        assert_eq!(res.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn cname_chase_across_zones() {
+        let clock = SimClock::new();
+        let mut registry = Registry::new();
+        registry.delegate(name("example.com"), vec![(name("ns1.host.net"), NS_IP)]);
+        registry.delegate(name("incapdns.net"), vec![(name("ns1.incapdns.net"), NS2_IP)]);
+        let mut customer = Zone::new(name("example.com"));
+        customer.add(ResourceRecord::new(
+            name("www.example.com"),
+            Ttl::secs(300),
+            RecordData::Cname(name("x7f3.incapdns.net")),
+        ));
+        let mut provider = Zone::new(name("incapdns.net"));
+        provider.add(ResourceRecord::new(
+            name("x7f3.incapdns.net"),
+            Ttl::secs(60),
+            RecordData::A(Ipv4Addr::new(199, 83, 128, 7)),
+        ));
+        let mut t = StaticTransport::new(registry);
+        t.add_server(NS_IP, ZoneServer::new(vec![customer]));
+        t.add_server(NS2_IP, ZoneServer::new(vec![provider]));
+        let mut r = RecursiveResolver::new(clock, Region::London);
+
+        let res = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        assert_eq!(res.cnames(), vec![name("x7f3.incapdns.net")]);
+        assert_eq!(res.addresses(), vec![Ipv4Addr::new(199, 83, 128, 7)]);
+    }
+
+    #[test]
+    fn cname_loop_is_detected() {
+        let clock = SimClock::new();
+        let mut registry = Registry::new();
+        registry.delegate(name("loopy.com"), vec![(name("ns1.loopy.com"), NS_IP)]);
+        let mut zone = Zone::new(name("loopy.com"));
+        zone.add(ResourceRecord::new(
+            name("a.loopy.com"),
+            Ttl::secs(60),
+            RecordData::Cname(name("b.loopy.com")),
+        ));
+        zone.add(ResourceRecord::new(
+            name("b.loopy.com"),
+            Ttl::secs(60),
+            RecordData::Cname(name("a.loopy.com")),
+        ));
+        let mut t = StaticTransport::new(registry);
+        t.add_server(NS_IP, ZoneServer::new(vec![zone]));
+        let mut r = RecursiveResolver::new(clock, Region::Tokyo);
+        let err = r.resolve(&mut t, &name("a.loopy.com"), RecordType::A).unwrap_err();
+        assert!(matches!(err, DnsError::CnameChain { .. }));
+    }
+
+    #[test]
+    fn stale_ns_keeps_hitting_previous_server_until_expiry() {
+        // The residual-resolution mechanism: after re-delegation the cached
+        // NS still points at the old server for its TTL.
+        let (mut t, mut r, clock) = world();
+        let _ = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+
+        // The website switches to a new provider: registry now points at
+        // NS2, which serves a different answer.
+        t.registry_mut()
+            .delegate(name("example.com"), vec![(name("ns.newdps.net"), NS2_IP)]);
+        let mut new_zone = Zone::new(name("example.com"));
+        new_zone.add(ResourceRecord::new(
+            name("www.example.com"),
+            Ttl::secs(300),
+            RecordData::A(Ipv4Addr::new(99, 99, 99, 99)),
+        ));
+        t.add_server(NS2_IP, ZoneServer::new(vec![new_zone]));
+
+        // Cached A expires, cached NS does not: the resolver asks the OLD
+        // server and still sees the old answer.
+        clock.advance(SimDuration::secs(301));
+        let res = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        assert_eq!(res.addresses(), vec![WWW_IP], "stale NS served old data");
+
+        // After the NS TTL (1 day zone NS cached from authoritative answer;
+        // delegation TTL 2 days) fully expires, the new provider answers.
+        clock.advance(SimDuration::days(3));
+        let res = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        assert_eq!(res.addresses(), vec![Ipv4Addr::new(99, 99, 99, 99)]);
+    }
+
+    #[test]
+    fn dead_cached_delegation_falls_back_to_root() {
+        let (mut t, mut r, clock) = world();
+        let _ = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+
+        // Old server goes dark; registry re-delegates to a live one.
+        t.set_unreachable(NS_IP);
+        t.registry_mut()
+            .delegate(name("example.com"), vec![(name("ns.newdps.net"), NS2_IP)]);
+        let mut new_zone = Zone::new(name("example.com"));
+        new_zone.add(ResourceRecord::new(
+            name("www.example.com"),
+            Ttl::secs(300),
+            RecordData::A(Ipv4Addr::new(99, 99, 99, 99)),
+        ));
+        t.add_server(NS2_IP, ZoneServer::new(vec![new_zone]));
+
+        clock.advance(SimDuration::secs(301));
+        let res = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        assert_eq!(res.addresses(), vec![Ipv4Addr::new(99, 99, 99, 99)]);
+    }
+
+    #[test]
+    fn totally_dead_world_times_out() {
+        let (mut t, mut r, _clock) = world();
+        t.set_unreachable(NS_IP);
+        t.set_unreachable(crate::transport::ROOT_SERVER);
+        let err = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap_err();
+        assert!(matches!(err, DnsError::Timeout { .. }));
+    }
+
+    #[test]
+    fn query_direct_bypasses_cache() {
+        let (mut t, mut r, _clock) = world();
+        let _ = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        let resp = r
+            .query_direct(
+                &mut t,
+                NS_IP,
+                &Query::new(name("www.example.com"), RecordType::A),
+            )
+            .unwrap();
+        assert_eq!(resp.answer_addresses(), vec![WWW_IP]);
+    }
+
+    #[test]
+    fn ns_lookup_returns_apex_ns() {
+        let (mut t, mut r, _clock) = world();
+        let res = r.resolve(&mut t, &name("example.com"), RecordType::Ns).unwrap();
+        assert_eq!(res.ns_hosts(), vec![name("ns1.host.net")]);
+    }
+
+    #[test]
+    fn nodata_is_noerror_with_empty_records() {
+        let (mut t, mut r, _clock) = world();
+        let res = r.resolve(&mut t, &name("www.example.com"), RecordType::Mx).unwrap();
+        assert_eq!(res.rcode, Rcode::NoError);
+        assert!(res.is_negative());
+    }
+}

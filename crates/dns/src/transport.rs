@@ -1,0 +1,230 @@
+//! Transport abstraction: how DNS queries reach servers.
+//!
+//! The resolver and the measurement toolkit never hold references to
+//! servers; they send queries through a [`DnsTransport`], which the
+//! simulated Internet implements (routing to the registry, provider
+//! nameserver fleets through their anycast maps, and self-hosted
+//! authoritative servers). [`StaticTransport`] is a simple implementation
+//! for unit tests and examples, with failure injection.
+
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+use remnant_net::Region;
+use remnant_sim::SimTime;
+
+use crate::authority::Authoritative;
+use crate::message::{Query, Response};
+use crate::registry::Registry;
+
+/// The well-known anycast address of the delegation registry (root/TLD
+/// layer) in every simulation, mirroring `a.root-servers.net`.
+pub const ROOT_SERVER: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 4);
+
+/// Delivers DNS queries to servers by IP address.
+pub trait DnsTransport {
+    /// The registry (root) address queries should start from.
+    fn root(&self) -> Ipv4Addr {
+        ROOT_SERVER
+    }
+
+    /// Sends `query` to `server`, entering the network at `region`, at
+    /// virtual time `now`. `None` models a dropped or ignored query.
+    fn query(
+        &mut self,
+        now: SimTime,
+        server: Ipv4Addr,
+        region: Region,
+        query: &Query,
+    ) -> Option<Response>;
+}
+
+/// A transport over a fixed set of servers, for tests and examples.
+///
+/// The registry answers at [`ROOT_SERVER`]; additional authoritative servers
+/// are registered per IP. Addresses can be marked unreachable to inject
+/// failures.
+pub struct StaticTransport {
+    registry: Registry,
+    servers: HashMap<Ipv4Addr, Box<dyn Authoritative>>,
+    unreachable: HashSet<Ipv4Addr>,
+    queries_sent: u64,
+}
+
+impl StaticTransport {
+    /// Creates a transport with `registry` at [`ROOT_SERVER`].
+    pub fn new(registry: Registry) -> Self {
+        StaticTransport {
+            registry,
+            servers: HashMap::new(),
+            unreachable: HashSet::new(),
+            queries_sent: 0,
+        }
+    }
+
+    /// Registers an authoritative server at `addr`.
+    pub fn add_server(&mut self, addr: Ipv4Addr, server: impl Authoritative + 'static) {
+        self.servers.insert(addr, Box::new(server));
+    }
+
+    /// Marks `addr` unreachable: queries to it are dropped.
+    pub fn set_unreachable(&mut self, addr: Ipv4Addr) {
+        self.unreachable.insert(addr);
+    }
+
+    /// Makes `addr` reachable again.
+    pub fn set_reachable(&mut self, addr: Ipv4Addr) {
+        self.unreachable.remove(&addr);
+    }
+
+    /// Mutable access to the registry, for re-delegations mid-test.
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    /// Shared access to the registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Total queries that reached some server (including the registry).
+    pub fn queries_sent(&self) -> u64 {
+        self.queries_sent
+    }
+}
+
+impl std::fmt::Debug for StaticTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StaticTransport")
+            .field("servers", &self.servers.len())
+            .field("unreachable", &self.unreachable.len())
+            .field("queries_sent", &self.queries_sent)
+            .finish()
+    }
+}
+
+impl DnsTransport for StaticTransport {
+    fn query(
+        &mut self,
+        now: SimTime,
+        server: Ipv4Addr,
+        _region: Region,
+        query: &Query,
+    ) -> Option<Response> {
+        if self.unreachable.contains(&server) {
+            return None;
+        }
+        self.queries_sent += 1;
+        if server == ROOT_SERVER {
+            return self.registry.answer(now, query);
+        }
+        self.servers.get_mut(&server)?.answer(now, query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::ZoneServer;
+    use crate::message::Rcode;
+    use crate::name::DomainName;
+    use crate::record::{RecordData, RecordType, ResourceRecord, Ttl};
+    use crate::zone::Zone;
+
+    fn name(s: &str) -> DomainName {
+        s.parse().expect("test name")
+    }
+
+    fn transport() -> StaticTransport {
+        let mut registry = Registry::new();
+        registry.delegate(
+            name("example.com"),
+            vec![(name("ns1.host.net"), Ipv4Addr::new(10, 0, 0, 53))],
+        );
+        let mut zone = Zone::new(name("example.com"));
+        zone.add(ResourceRecord::new(
+            name("www.example.com"),
+            Ttl::secs(300),
+            RecordData::A(Ipv4Addr::new(203, 0, 113, 1)),
+        ));
+        let mut t = StaticTransport::new(registry);
+        t.add_server(Ipv4Addr::new(10, 0, 0, 53), ZoneServer::new(vec![zone]));
+        t
+    }
+
+    #[test]
+    fn routes_root_to_registry() {
+        let mut t = transport();
+        let resp = t
+            .query(
+                SimTime::EPOCH,
+                ROOT_SERVER,
+                Region::Oregon,
+                &Query::new(name("www.example.com"), RecordType::A),
+            )
+            .unwrap();
+        assert!(resp.is_referral());
+    }
+
+    #[test]
+    fn routes_to_registered_server() {
+        let mut t = transport();
+        let resp = t
+            .query(
+                SimTime::EPOCH,
+                Ipv4Addr::new(10, 0, 0, 53),
+                Region::Oregon,
+                &Query::new(name("www.example.com"), RecordType::A),
+            )
+            .unwrap();
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert_eq!(resp.answer_addresses().len(), 1);
+    }
+
+    #[test]
+    fn unknown_address_drops() {
+        let mut t = transport();
+        assert!(t
+            .query(
+                SimTime::EPOCH,
+                Ipv4Addr::new(9, 9, 9, 9),
+                Region::Oregon,
+                &Query::new(name("www.example.com"), RecordType::A),
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn unreachable_injection() {
+        let mut t = transport();
+        let addr = Ipv4Addr::new(10, 0, 0, 53);
+        t.set_unreachable(addr);
+        assert!(t
+            .query(
+                SimTime::EPOCH,
+                addr,
+                Region::Oregon,
+                &Query::new(name("www.example.com"), RecordType::A),
+            )
+            .is_none());
+        t.set_reachable(addr);
+        assert!(t
+            .query(
+                SimTime::EPOCH,
+                addr,
+                Region::Oregon,
+                &Query::new(name("www.example.com"), RecordType::A),
+            )
+            .is_some());
+    }
+
+    #[test]
+    fn counts_delivered_queries() {
+        let mut t = transport();
+        let q = Query::new(name("www.example.com"), RecordType::A);
+        t.set_unreachable(Ipv4Addr::new(10, 0, 0, 53));
+        let _ = t.query(SimTime::EPOCH, Ipv4Addr::new(10, 0, 0, 53), Region::Oregon, &q);
+        let _ = t.query(SimTime::EPOCH, ROOT_SERVER, Region::Oregon, &q);
+        assert_eq!(t.queries_sent(), 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Page-identity comparison — the paper's HTML verification predicate.
+//!
+//! "We then verify that if these two HTML files are from the same host by
+//! comparing their titles and meta tags." (Sec IV-C.3)
+
+use std::fmt;
+
+use crate::page::HtmlDocument;
+
+/// The outcome of comparing two documents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatchVerdict {
+    /// Titles and all meta tags agree — same host.
+    Match,
+    /// Titles differ.
+    TitleMismatch,
+    /// Titles agree but meta tags differ (includes dynamic-meta false
+    /// negatives).
+    MetaMismatch,
+}
+
+impl MatchVerdict {
+    /// True for [`MatchVerdict::Match`].
+    pub const fn is_match(self) -> bool {
+        matches!(self, MatchVerdict::Match)
+    }
+}
+
+impl fmt::Display for MatchVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MatchVerdict::Match => "match",
+            MatchVerdict::TitleMismatch => "title mismatch",
+            MatchVerdict::MetaMismatch => "meta mismatch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Compares two documents by title and meta tags (both must agree exactly).
+pub fn compare_pages(a: &HtmlDocument, b: &HtmlDocument) -> MatchVerdict {
+    if a.title != b.title {
+        MatchVerdict::TitleMismatch
+    } else if a.meta != b.meta {
+        MatchVerdict::MetaMismatch
+    } else {
+        MatchVerdict::Match
+    }
+}
+
+/// Convenience predicate over [`compare_pages`].
+pub fn pages_match(a: &HtmlDocument, b: &HtmlDocument) -> bool {
+    compare_pages(a, b).is_match()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageTemplate;
+
+    #[test]
+    fn identical_templates_match() {
+        let t = PageTemplate::generate("example.com", 1);
+        assert_eq!(compare_pages(&t.render(1), &t.render(2)), MatchVerdict::Match);
+    }
+
+    #[test]
+    fn different_sites_mismatch_on_title() {
+        let a = PageTemplate::generate("alpha.com", 1).render(0);
+        let b = PageTemplate::generate("beta.com", 1).render(0);
+        assert_eq!(compare_pages(&a, &b), MatchVerdict::TitleMismatch);
+    }
+
+    #[test]
+    fn dynamic_meta_causes_false_negative() {
+        let mut t = PageTemplate::generate("example.com", 1);
+        t.add_dynamic_meta("csrf");
+        let a = t.render(1);
+        let b = t.render(2);
+        assert_eq!(compare_pages(&a, &b), MatchVerdict::MetaMismatch);
+        assert!(!pages_match(&a, &b));
+    }
+
+    #[test]
+    fn body_differences_are_ignored() {
+        // The verifier only inspects title + meta, per the paper.
+        let t = PageTemplate::generate("example.com", 1);
+        let mut a = t.render(0);
+        let b = t.render(0);
+        a.raw.push_str("<!-- trailing junk -->");
+        assert!(pages_match(&a, &b));
+    }
+}

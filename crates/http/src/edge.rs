@@ -1,0 +1,236 @@
+//! CDN edge servers: caching reverse proxies.
+//!
+//! "each edge server acts as a reverse proxy, fetching and caching the web
+//! contents" (Sec II-A.3). An edge holds a host→origin routing table
+//! (maintained by the provider's control plane) and fetches misses from the
+//! origin **using its own address as the source** — which is why
+//! DPS-firewalled origins still serve the edge but drop the scanner.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use remnant_sim::{SimDuration, SimTime};
+
+use crate::transport::{HttpRequest, HttpResponse, HttpStatus, HttpTransport};
+
+/// How long an edge caches a fetched page.
+const EDGE_CACHE_TTL: SimDuration = SimDuration::minutes(5);
+
+/// A caching reverse proxy for one edge address.
+///
+/// The provider control plane calls [`ReverseProxy::route`] /
+/// [`ReverseProxy::unroute`] as customers join and leave.
+#[derive(Clone, Debug)]
+pub struct ReverseProxy {
+    addr: Ipv4Addr,
+    /// host -> origin address.
+    routes: HashMap<String, Ipv4Addr>,
+    /// (host, path) -> (response, expiry).
+    cache: HashMap<(String, String), (HttpResponse, SimTime)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ReverseProxy {
+    /// Creates an edge proxy at `addr`.
+    pub fn new(addr: Ipv4Addr) -> Self {
+        ReverseProxy {
+            addr,
+            routes: HashMap::new(),
+            cache: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The edge's own address.
+    pub const fn addr(&self) -> Ipv4Addr {
+        self.addr
+    }
+
+    /// Routes `host` to `origin`.
+    pub fn route(&mut self, host: impl Into<String>, origin: Ipv4Addr) {
+        self.routes.insert(host.into(), origin);
+    }
+
+    /// Removes the route for `host` and evicts its cached entries.
+    pub fn unroute(&mut self, host: &str) {
+        self.routes.remove(host);
+        self.cache.retain(|(h, _), _| h != host);
+    }
+
+    /// The configured origin for `host`.
+    pub fn origin_for(&self, host: &str) -> Option<Ipv4Addr> {
+        self.routes.get(host).copied()
+    }
+
+    /// `(cache hits, cache misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Handles a client GET: serve from cache, or fetch from the origin via
+    /// `upstream` with the edge's own source address.
+    ///
+    /// * unknown host → 404 (the provider does not serve it);
+    /// * origin unreachable → 502.
+    pub fn handle<T: HttpTransport>(
+        &mut self,
+        now: SimTime,
+        upstream: &mut T,
+        request: &HttpRequest,
+    ) -> HttpResponse {
+        let Some(origin) = self.origin_for(&request.host) else {
+            return HttpResponse::status(HttpStatus::NotFound, self.addr);
+        };
+        let key = (request.host.clone(), request.path.clone());
+        if let Some((cached, expires)) = self.cache.get(&key) {
+            if *expires > now {
+                self.hits += 1;
+                return cached.clone();
+            }
+            self.cache.remove(&key);
+        }
+        self.misses += 1;
+        let upstream_request = HttpRequest {
+            src: self.addr,
+            host: request.host.clone(),
+            path: request.path.clone(),
+        };
+        match upstream.get(now, origin, &upstream_request) {
+            Some(origin_response) => {
+                // Re-badge: the client sees the edge as the server.
+                let response = HttpResponse {
+                    status: origin_response.status,
+                    document: origin_response.document,
+                    served_by: self.addr,
+                };
+                if response.status == HttpStatus::Ok {
+                    self.cache
+                        .insert(key, (response.clone(), now + EDGE_CACHE_TTL));
+                }
+                response
+            }
+            None => HttpResponse::status(HttpStatus::BadGateway, self.addr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::origin::{FirewallPolicy, OriginServer};
+    use crate::page::PageTemplate;
+
+    const EDGE: Ipv4Addr = Ipv4Addr::new(104, 16, 0, 1);
+    const ORIGIN: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 10);
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 1);
+
+    /// An upstream transport backed by a single origin server.
+    struct OneOrigin(OriginServer);
+
+    impl HttpTransport for OneOrigin {
+        fn get(
+            &mut self,
+            _now: SimTime,
+            dst: Ipv4Addr,
+            request: &HttpRequest,
+        ) -> Option<HttpResponse> {
+            (dst == self.0.addr()).then(|| self.0.handle(request)).flatten()
+        }
+    }
+
+    fn setup() -> (ReverseProxy, OneOrigin) {
+        let mut origin = OriginServer::new(ORIGIN);
+        origin.host_site("www.example.com", PageTemplate::generate("example.com", 1));
+        let mut edge = ReverseProxy::new(EDGE);
+        edge.route("www.example.com", ORIGIN);
+        (edge, OneOrigin(origin))
+    }
+
+    #[test]
+    fn proxies_and_rebadges() {
+        let (mut edge, mut up) = setup();
+        let resp = edge.handle(
+            SimTime::EPOCH,
+            &mut up,
+            &HttpRequest::landing(CLIENT, "www.example.com"),
+        );
+        assert!(resp.is_ok());
+        assert_eq!(resp.served_by, EDGE, "client sees the edge, not the origin");
+    }
+
+    #[test]
+    fn caches_within_ttl() {
+        let (mut edge, mut up) = setup();
+        let req = HttpRequest::landing(CLIENT, "www.example.com");
+        let _ = edge.handle(SimTime::EPOCH, &mut up, &req);
+        let _ = edge.handle(SimTime::from_secs(10), &mut up, &req);
+        assert_eq!(edge.stats(), (1, 1));
+        assert_eq!(up.0.requests_served(), 1);
+        // Past TTL the edge refetches.
+        let _ = edge.handle(SimTime::from_secs(301), &mut up, &req);
+        assert_eq!(up.0.requests_served(), 2);
+    }
+
+    #[test]
+    fn unknown_host_is_404_without_upstream_traffic() {
+        let (mut edge, mut up) = setup();
+        let resp = edge.handle(
+            SimTime::EPOCH,
+            &mut up,
+            &HttpRequest::landing(CLIENT, "www.unknown.org"),
+        );
+        assert_eq!(resp.status, HttpStatus::NotFound);
+        assert_eq!(up.0.requests_served(), 0);
+    }
+
+    #[test]
+    fn edge_passes_dps_only_firewall() {
+        let (mut edge, mut up) = setup();
+        up.0.set_firewall(FirewallPolicy::DpsOnly {
+            allowed: [EDGE].into_iter().collect(),
+        });
+        let resp = edge.handle(
+            SimTime::EPOCH,
+            &mut up,
+            &HttpRequest::landing(CLIENT, "www.example.com"),
+        );
+        assert!(resp.is_ok(), "edge source address passes the firewall");
+    }
+
+    #[test]
+    fn unreachable_origin_is_502() {
+        let (mut edge, mut up) = setup();
+        up.0.set_firewall(FirewallPolicy::DpsOnly {
+            allowed: std::collections::HashSet::new(),
+        });
+        let resp = edge.handle(
+            SimTime::EPOCH,
+            &mut up,
+            &HttpRequest::landing(CLIENT, "www.example.com"),
+        );
+        assert_eq!(resp.status, HttpStatus::BadGateway);
+    }
+
+    #[test]
+    fn unroute_evicts_cache() {
+        let (mut edge, mut up) = setup();
+        let req = HttpRequest::landing(CLIENT, "www.example.com");
+        let _ = edge.handle(SimTime::EPOCH, &mut up, &req);
+        edge.unroute("www.example.com");
+        let resp = edge.handle(SimTime::from_secs(1), &mut up, &req);
+        assert_eq!(resp.status, HttpStatus::NotFound, "no stale serving after unroute");
+    }
+
+    #[test]
+    fn non_ok_responses_are_not_cached() {
+        let (mut edge, mut up) = setup();
+        up.0.unhost_site("www.example.com");
+        let req = HttpRequest::landing(CLIENT, "www.example.com");
+        let _ = edge.handle(SimTime::EPOCH, &mut up, &req);
+        let _ = edge.handle(SimTime::from_secs(1), &mut up, &req);
+        assert_eq!(edge.stats().0, 0, "404s are never cache hits");
+        assert_eq!(up.0.requests_served(), 2);
+    }
+}

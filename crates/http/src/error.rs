@@ -1,0 +1,54 @@
+//! Error type for the HTTP substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the HTTP substrate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HttpError {
+    /// No server answered at the destination address.
+    ConnectTimeout {
+        /// The destination that never answered.
+        dst: std::net::Ipv4Addr,
+    },
+    /// The server answered with a non-200 status.
+    Status {
+        /// The numeric status code.
+        code: u16,
+    },
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::ConnectTimeout { dst } => write!(f, "connection to {dst} timed out"),
+            HttpError::Status { code } => write!(f, "server returned status {code}"),
+        }
+    }
+}
+
+impl Error for HttpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            HttpError::ConnectTimeout {
+                dst: "1.2.3.4".parse().unwrap()
+            }
+            .to_string(),
+            "connection to 1.2.3.4 timed out"
+        );
+        assert_eq!(HttpError::Status { code: 502 }.to_string(), "server returned status 502");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<HttpError>();
+    }
+}

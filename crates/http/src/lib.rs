@@ -1,0 +1,45 @@
+//! Simulated HTTP layer.
+//!
+//! The paper's **HTML verification** step (Sec IV-C.3, Sec V-A.2) decides
+//! whether a candidate IP address really is a website's origin: fetch the
+//! landing page through the DPS edge (IP2), fetch the same URL directly from
+//! the candidate (IP1), and compare **titles and meta tags**. Two effects
+//! make this a *lower bound*, and both are modeled here:
+//!
+//! * "some attributes in the meta tags are dynamically changed based on
+//!   different factors (e.g., time and location) of the HTTP requests" —
+//!   [`PageTemplate`] supports dynamic meta keys whose values differ per
+//!   request;
+//! * "the origin server could be configured to only respond to the requests
+//!   from the DPS" — [`FirewallPolicy::DpsOnly`] drops direct fetches.
+//!
+//! The crate provides typed HTML documents and generators
+//! ([`page`]), origin servers ([`origin`]), a generic caching reverse proxy
+//! for CDN edges ([`edge`]), the [`HttpTransport`] abstraction, and the
+//! title+meta comparison used by the verifier ([`compare`]).
+//!
+//! # Example
+//!
+//! ```
+//! use remnant_http::{pages_match, PageTemplate};
+//!
+//! let template = PageTemplate::generate("example.com", 7);
+//! let via_edge = template.render(1);
+//! let direct = template.render(2);
+//! // Static pages render identically regardless of request nonce.
+//! assert!(pages_match(&via_edge, &direct));
+//! ```
+
+pub mod compare;
+pub mod edge;
+pub mod error;
+pub mod origin;
+pub mod page;
+pub mod transport;
+
+pub use compare::{pages_match, MatchVerdict};
+pub use edge::ReverseProxy;
+pub use error::HttpError;
+pub use origin::{FirewallPolicy, OriginServer};
+pub use page::{HtmlDocument, PageTemplate};
+pub use transport::{HttpRequest, HttpResponse, HttpStatus, HttpTransport};

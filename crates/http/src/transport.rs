@@ -1,0 +1,150 @@
+//! HTTP transport abstraction and message types.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use remnant_sim::SimTime;
+
+use crate::page::HtmlDocument;
+
+/// HTTP status codes used in the simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum HttpStatus {
+    /// 200.
+    Ok,
+    /// 403 — origin firewall rejected the client.
+    Forbidden,
+    /// 404 — host or path not served here.
+    NotFound,
+    /// 502 — an edge could not reach its configured origin.
+    BadGateway,
+}
+
+impl HttpStatus {
+    /// The numeric code.
+    pub const fn code(self) -> u16 {
+        match self {
+            HttpStatus::Ok => 200,
+            HttpStatus::Forbidden => 403,
+            HttpStatus::NotFound => 404,
+            HttpStatus::BadGateway => 502,
+        }
+    }
+}
+
+impl fmt::Display for HttpStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// A GET request: source address, virtual host, and path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// The client's source address (origin firewalls filter on this).
+    pub src: Ipv4Addr,
+    /// The `Host:` header.
+    pub host: String,
+    /// The request path (the study only fetches landing pages, `/`).
+    pub path: String,
+}
+
+impl HttpRequest {
+    /// A landing-page request from `src` for `host`.
+    pub fn landing(src: Ipv4Addr, host: impl Into<String>) -> Self {
+        HttpRequest {
+            src,
+            host: host.into(),
+            path: "/".to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for HttpRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GET {} Host:{} (from {})", self.path, self.host, self.src)
+    }
+}
+
+/// A response: status, optional document, and the address that served it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: HttpStatus,
+    /// Rendered page on 200, `None` otherwise.
+    pub document: Option<HtmlDocument>,
+    /// The address of the server that produced the response.
+    pub served_by: Ipv4Addr,
+}
+
+impl HttpResponse {
+    /// A 200 response with `document` served by `served_by`.
+    pub fn ok(document: HtmlDocument, served_by: Ipv4Addr) -> Self {
+        HttpResponse {
+            status: HttpStatus::Ok,
+            document: Some(document),
+            served_by,
+        }
+    }
+
+    /// An empty non-200 response.
+    pub fn status(status: HttpStatus, served_by: Ipv4Addr) -> Self {
+        HttpResponse {
+            status,
+            document: None,
+            served_by,
+        }
+    }
+
+    /// True if the response carries a document.
+    pub fn is_ok(&self) -> bool {
+        self.status == HttpStatus::Ok && self.document.is_some()
+    }
+}
+
+/// Delivers HTTP GETs to servers by IP address.
+///
+/// `None` models a connection that never completes (dropped SYN, firewall
+/// DROP) — distinct from an explicit error status.
+pub trait HttpTransport {
+    /// Sends `request` to the server at `dst` at virtual time `now`.
+    fn get(&mut self, now: SimTime, dst: Ipv4Addr, request: &HttpRequest) -> Option<HttpResponse>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageTemplate;
+
+    #[test]
+    fn status_codes() {
+        assert_eq!(HttpStatus::Ok.code(), 200);
+        assert_eq!(HttpStatus::Forbidden.code(), 403);
+        assert_eq!(HttpStatus::NotFound.code(), 404);
+        assert_eq!(HttpStatus::BadGateway.code(), 502);
+        assert_eq!(HttpStatus::Ok.to_string(), "200");
+    }
+
+    #[test]
+    fn landing_request_defaults_to_root_path() {
+        let req = HttpRequest::landing(Ipv4Addr::new(1, 2, 3, 4), "www.example.com");
+        assert_eq!(req.path, "/");
+        assert_eq!(req.host, "www.example.com");
+    }
+
+    #[test]
+    fn ok_response_carries_document() {
+        let doc = PageTemplate::generate("example.com", 1).render(0);
+        let resp = HttpResponse::ok(doc, Ipv4Addr::new(5, 5, 5, 5));
+        assert!(resp.is_ok());
+        assert_eq!(resp.served_by, Ipv4Addr::new(5, 5, 5, 5));
+    }
+
+    #[test]
+    fn error_response_has_no_document() {
+        let resp = HttpResponse::status(HttpStatus::NotFound, Ipv4Addr::new(5, 5, 5, 5));
+        assert!(!resp.is_ok());
+        assert!(resp.document.is_none());
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the HTTP substrate: page identity, proxying
+//! transparency, and firewall semantics.
+
+use proptest::prelude::*;
+
+use remnant_http::compare::compare_pages;
+use remnant_http::{
+    pages_match, FirewallPolicy, HttpRequest, HttpResponse, HttpTransport,
+    MatchVerdict, OriginServer, PageTemplate, ReverseProxy,
+};
+use remnant_sim::SimTime;
+use std::net::Ipv4Addr;
+
+fn domain() -> impl Strategy<Value = String> {
+    "[a-z]{3,10}\\.(com|net|org)"
+}
+
+/// An upstream transport backed by one origin server.
+struct OneOrigin(OriginServer);
+
+impl HttpTransport for OneOrigin {
+    fn get(&mut self, _now: SimTime, dst: Ipv4Addr, request: &HttpRequest) -> Option<HttpResponse> {
+        (dst == self.0.addr()).then(|| self.0.handle(request)).flatten()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn page_identity_is_reflexive_and_domain_discriminating(
+        a in domain(),
+        b in domain(),
+        seed: u64,
+        nonce_a: u64,
+        nonce_b: u64,
+    ) {
+        let ta = PageTemplate::generate(&a, seed);
+        let tb = PageTemplate::generate(&b, seed);
+        // Reflexive across nonces (static pages).
+        prop_assert!(pages_match(&ta.render(nonce_a), &ta.render(nonce_b)));
+        // Discriminating: different domains rarely collide; if titles
+        // differ the verdict must say so.
+        let da = ta.render(0);
+        let db = tb.render(0);
+        if a != b && da.title != db.title {
+            prop_assert_eq!(compare_pages(&da, &db), MatchVerdict::TitleMismatch);
+        }
+    }
+
+    #[test]
+    fn dynamic_meta_always_defeats_matching(domain in domain(), seed: u64, n1: u64, n2: u64) {
+        prop_assume!(n1 != n2);
+        let mut t = PageTemplate::generate(&domain, seed);
+        t.add_dynamic_meta("visitor-id");
+        let verdict = compare_pages(&t.render(n1), &t.render(n2));
+        prop_assert_eq!(verdict, MatchVerdict::MetaMismatch);
+    }
+
+    #[test]
+    fn proxying_preserves_page_identity(domain in domain(), seed: u64) {
+        let origin_ip = Ipv4Addr::new(100, 64, 0, 1);
+        let edge_ip = Ipv4Addr::new(104, 16, 0, 1);
+        let client = Ipv4Addr::new(192, 0, 2, 9);
+        let host = format!("www.{domain}");
+        let mut origin = OriginServer::new(origin_ip);
+        origin.host_site(&host, PageTemplate::generate(&domain, seed));
+        let mut upstream = OneOrigin(origin);
+        let mut edge = ReverseProxy::new(edge_ip);
+        edge.route(&host, origin_ip);
+
+        let via_edge = edge.handle(
+            SimTime::EPOCH,
+            &mut upstream,
+            &HttpRequest::landing(client, &host),
+        );
+        let direct = upstream
+            .get(SimTime::EPOCH, origin_ip, &HttpRequest::landing(client, &host))
+            .unwrap();
+        prop_assert!(via_edge.is_ok() && direct.is_ok());
+        prop_assert!(pages_match(
+            via_edge.document.as_ref().unwrap(),
+            direct.document.as_ref().unwrap()
+        ));
+        // Identity of the server differs though: the edge re-badges.
+        prop_assert_eq!(via_edge.served_by, edge_ip);
+        prop_assert_eq!(direct.served_by, origin_ip);
+    }
+
+    #[test]
+    fn firewall_is_exactly_its_allow_list(
+        allowed in prop::collection::btree_set(any::<u32>(), 0..8),
+        probes in prop::collection::btree_set(any::<u32>(), 1..8),
+    ) {
+        let allowed_ips: std::collections::HashSet<Ipv4Addr> =
+            allowed.iter().map(|ip| Ipv4Addr::from(*ip)).collect();
+        let policy = FirewallPolicy::DpsOnly {
+            allowed: allowed_ips.clone(),
+        };
+        for probe in probes {
+            let ip = Ipv4Addr::from(probe);
+            prop_assert_eq!(policy.allows(ip), allowed_ips.contains(&ip));
+        }
+    }
+
+    #[test]
+    fn edge_cache_never_changes_response_content(domain in domain(), seed: u64, fetches in 2usize..6) {
+        let origin_ip = Ipv4Addr::new(100, 64, 0, 2);
+        let edge_ip = Ipv4Addr::new(104, 16, 0, 2);
+        let host = format!("www.{domain}");
+        let mut origin = OriginServer::new(origin_ip);
+        origin.host_site(&host, PageTemplate::generate(&domain, seed));
+        let mut upstream = OneOrigin(origin);
+        let mut edge = ReverseProxy::new(edge_ip);
+        edge.route(&host, origin_ip);
+        let request = HttpRequest::landing(Ipv4Addr::new(192, 0, 2, 9), &host);
+
+        let first = edge.handle(SimTime::EPOCH, &mut upstream, &request);
+        for i in 1..fetches {
+            let again = edge.handle(SimTime::from_secs(i as u64), &mut upstream, &request);
+            prop_assert_eq!(&again.document, &first.document);
+        }
+        // Only one upstream fetch happened (all later hits from cache).
+        prop_assert_eq!(upstream.0.requests_served(), 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Deterministic IP address allocation from CIDR pools.
+//!
+//! Origins get addresses from generic hosting space; each provider's edge
+//! servers and nameservers get addresses from the provider's announced
+//! blocks (so A-matching can recognize them). Allocation is sequential and
+//! deterministic, so a simulation re-run with the same seed assigns the same
+//! addresses.
+
+use std::net::Ipv4Addr;
+
+use crate::cidr::Ipv4Cidr;
+use crate::error::NetError;
+
+/// A sequential allocator over one or more CIDR blocks.
+///
+/// Skips network (`.0`-style first) and broadcast (last) addresses of each
+/// block for realism, unless the block is a /31 or /32.
+///
+/// # Example
+///
+/// ```
+/// use remnant_net::IpAllocator;
+///
+/// let mut pool = IpAllocator::new("hosting", vec!["198.51.100.0/24".parse()?]);
+/// let a = pool.allocate()?;
+/// let b = pool.allocate()?;
+/// assert_ne!(a, b);
+/// assert_eq!(a, "198.51.100.1".parse::<std::net::Ipv4Addr>()?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IpAllocator {
+    label: String,
+    blocks: Vec<Ipv4Cidr>,
+    /// Index of the block currently being drawn from.
+    block_idx: usize,
+    /// Next offset within the current block.
+    offset: u64,
+    allocated: u64,
+}
+
+impl IpAllocator {
+    /// Creates an allocator drawing from `blocks` in order.
+    pub fn new(label: impl Into<String>, blocks: Vec<Ipv4Cidr>) -> Self {
+        IpAllocator {
+            label: label.into(),
+            blocks,
+            block_idx: 0,
+            offset: 0,
+            allocated: 0,
+        }
+    }
+
+    /// The allocator's label (used in exhaustion errors).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Total number of addresses handed out so far.
+    pub const fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Total usable capacity across all blocks.
+    pub fn capacity(&self) -> u64 {
+        self.blocks.iter().map(usable).sum()
+    }
+
+    /// Allocates the next address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::PoolExhausted`] when every block is used up.
+    pub fn allocate(&mut self) -> Result<Ipv4Addr, NetError> {
+        loop {
+            let block = self.blocks.get(self.block_idx).ok_or_else(|| {
+                NetError::PoolExhausted {
+                    pool: self.label.clone(),
+                }
+            })?;
+            let skip_edges = block.prefix_len() < 31;
+            let first = u64::from(skip_edges);
+            let end = block.size() - u64::from(skip_edges);
+            let candidate = first + self.offset;
+            if candidate < end {
+                self.offset += 1;
+                self.allocated += 1;
+                return Ok(block
+                    .nth(candidate)
+                    .expect("candidate < end <= block size"));
+            }
+            self.block_idx += 1;
+            self.offset = 0;
+        }
+    }
+
+    /// Allocates `n` addresses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::PoolExhausted`] if fewer than `n` remain; in that
+    /// case no addresses are consumed beyond those already yielded into the
+    /// returned error path (the allocator state is *not* rolled back, which
+    /// is fine for the fail-fast construction paths that use this).
+    pub fn allocate_n(&mut self, n: usize) -> Result<Vec<Ipv4Addr>, NetError> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.allocate()?);
+        }
+        Ok(out)
+    }
+}
+
+/// Usable addresses in a block after edge-skipping.
+fn usable(block: &Ipv4Cidr) -> u64 {
+    if block.prefix_len() >= 31 {
+        block.size()
+    } else {
+        block.size() - 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cidr(s: &str) -> Ipv4Cidr {
+        s.parse().expect("test cidr")
+    }
+
+    #[test]
+    fn skips_network_and_broadcast() {
+        let mut pool = IpAllocator::new("p", vec![cidr("10.0.0.0/30")]);
+        assert_eq!(pool.allocate().unwrap(), Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(pool.allocate().unwrap(), Ipv4Addr::new(10, 0, 0, 2));
+        assert!(matches!(
+            pool.allocate(),
+            Err(NetError::PoolExhausted { .. })
+        ));
+        assert_eq!(pool.allocated(), 2);
+    }
+
+    #[test]
+    fn slash_32_yields_its_single_host() {
+        let mut pool = IpAllocator::new("host", vec![cidr("1.2.3.4/32")]);
+        assert_eq!(pool.allocate().unwrap(), Ipv4Addr::new(1, 2, 3, 4));
+        assert!(pool.allocate().is_err());
+    }
+
+    #[test]
+    fn rolls_over_to_next_block() {
+        let mut pool = IpAllocator::new("p", vec![cidr("10.0.0.4/31"), cidr("10.0.1.0/31")]);
+        assert_eq!(pool.allocate().unwrap(), Ipv4Addr::new(10, 0, 0, 4));
+        assert_eq!(pool.allocate().unwrap(), Ipv4Addr::new(10, 0, 0, 5));
+        assert_eq!(pool.allocate().unwrap(), Ipv4Addr::new(10, 0, 1, 0));
+        assert_eq!(pool.allocate().unwrap(), Ipv4Addr::new(10, 0, 1, 1));
+        assert!(pool.allocate().is_err());
+    }
+
+    #[test]
+    fn capacity_matches_allocatable_count() {
+        let mut pool = IpAllocator::new("p", vec![cidr("10.0.0.0/29"), cidr("10.1.0.0/30")]);
+        let cap = pool.capacity();
+        assert_eq!(cap, 6 + 2);
+        let got = pool.allocate_n(cap as usize).unwrap();
+        assert_eq!(got.len() as u64, cap);
+        assert!(pool.allocate().is_err());
+    }
+
+    #[test]
+    fn allocations_are_unique() {
+        let mut pool = IpAllocator::new("p", vec![cidr("192.0.2.0/26")]);
+        let got = pool.allocate_n(62).unwrap();
+        let set: std::collections::BTreeSet<_> = got.iter().collect();
+        assert_eq!(set.len(), got.len());
+    }
+
+    #[test]
+    fn empty_pool_is_immediately_exhausted() {
+        let mut pool = IpAllocator::new("empty", vec![]);
+        let err = pool.allocate().unwrap_err();
+        assert_eq!(
+            err,
+            NetError::PoolExhausted {
+                pool: "empty".into()
+            }
+        );
+    }
+
+    #[test]
+    fn all_allocations_stay_inside_blocks() {
+        let blocks = vec![cidr("10.0.0.0/28"), cidr("172.16.0.0/29")];
+        let mut pool = IpAllocator::new("p", blocks.clone());
+        while let Ok(addr) = pool.allocate() {
+            assert!(blocks.iter().any(|b| b.contains(addr)), "{addr} escaped");
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Autonomous-system numbers.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::NetError;
+
+/// An autonomous-system number, e.g. `AS13335` (Cloudflare).
+///
+/// Table II of the paper identifies each DPS provider by its AS numbers;
+/// the A-matching step resolves an IP address to an ASN via the range
+/// database and then to a provider.
+///
+/// ```
+/// use remnant_net::Asn;
+///
+/// let cloudflare = Asn::new(13335);
+/// assert_eq!(cloudflare.to_string(), "AS13335");
+/// assert_eq!("AS13335".parse::<Asn>()?, cloudflare);
+/// assert_eq!("13335".parse::<Asn>()?, cloudflare);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Asn(u32);
+
+impl Asn {
+    /// Creates an ASN from its number.
+    pub const fn new(number: u32) -> Self {
+        Asn(number)
+    }
+
+    /// The numeric value.
+    pub const fn number(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(number: u32) -> Self {
+        Asn(number)
+    }
+}
+
+impl FromStr for Asn {
+    type Err = NetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s.strip_prefix("AS").or_else(|| s.strip_prefix("as")).unwrap_or(s);
+        digits
+            .parse::<u32>()
+            .map(Asn)
+            .map_err(|_| NetError::ParseAsn(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_with_and_without_prefix() {
+        assert_eq!("AS19551".parse::<Asn>().unwrap(), Asn::new(19551));
+        assert_eq!("as19551".parse::<Asn>().unwrap(), Asn::new(19551));
+        assert_eq!("19551".parse::<Asn>().unwrap(), Asn::new(19551));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("ASX".parse::<Asn>().is_err());
+        assert!("".parse::<Asn>().is_err());
+        assert!("AS-3".parse::<Asn>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let asn = Asn::new(54113);
+        assert_eq!(asn.to_string().parse::<Asn>().unwrap(), asn);
+    }
+
+    #[test]
+    fn conversion_from_u32() {
+        assert_eq!(Asn::from(7u32).number(), 7);
+    }
+}

@@ -1,0 +1,243 @@
+//! IPv4 CIDR blocks.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+use crate::error::NetError;
+
+/// An IPv4 CIDR block, e.g. `104.16.0.0/12`.
+///
+/// The stored network address is always masked to the prefix length, so two
+/// spellings of the same block compare equal:
+///
+/// ```
+/// use remnant_net::Ipv4Cidr;
+///
+/// let a: Ipv4Cidr = "10.1.2.3/16".parse()?;
+/// let b: Ipv4Cidr = "10.1.0.0/16".parse()?;
+/// assert_eq!(a, b);
+/// assert!(a.contains("10.1.255.255".parse()?));
+/// assert!(!a.contains("10.2.0.0".parse()?));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ipv4Cidr {
+    network: u32,
+    prefix_len: u8,
+}
+
+impl Ipv4Cidr {
+    /// Creates a block from an address and prefix length, masking the
+    /// address down to its network part.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::PrefixLength`] if `prefix_len > 32`.
+    pub fn new(addr: Ipv4Addr, prefix_len: u8) -> Result<Self, NetError> {
+        if prefix_len > 32 {
+            return Err(NetError::PrefixLength(prefix_len));
+        }
+        let network = u32::from(addr) & mask(prefix_len);
+        Ok(Ipv4Cidr {
+            network,
+            prefix_len,
+        })
+    }
+
+    /// The masked network address.
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.network)
+    }
+
+    /// The prefix length in bits.
+    pub const fn prefix_len(&self) -> u8 {
+        self.prefix_len
+    }
+
+    /// The last address in the block.
+    pub fn last(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.network | !mask(self.prefix_len))
+    }
+
+    /// Number of addresses in the block (2^(32-len)); saturates at
+    /// `u64::MAX` never — a /0 holds 2^32 which fits in u64.
+    pub const fn size(&self) -> u64 {
+        1u64 << (32 - self.prefix_len)
+    }
+
+    /// True if `addr` falls inside this block.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & mask(self.prefix_len) == self.network
+    }
+
+    /// True if `other` is entirely inside this block.
+    pub fn contains_block(&self, other: &Ipv4Cidr) -> bool {
+        other.prefix_len >= self.prefix_len && self.contains(other.network())
+    }
+
+    /// The `index`-th address of the block, or `None` past the end.
+    pub fn nth(&self, index: u64) -> Option<Ipv4Addr> {
+        if index >= self.size() {
+            None
+        } else {
+            Some(Ipv4Addr::from(self.network + index as u32))
+        }
+    }
+
+    /// Splits the block into its two halves (one extra prefix bit), or
+    /// `None` for a /32.
+    pub fn split(&self) -> Option<(Ipv4Cidr, Ipv4Cidr)> {
+        if self.prefix_len == 32 {
+            return None;
+        }
+        let len = self.prefix_len + 1;
+        let lo = Ipv4Cidr {
+            network: self.network,
+            prefix_len: len,
+        };
+        let hi = Ipv4Cidr {
+            network: self.network | (1 << (32 - len)),
+            prefix_len: len,
+        };
+        Some((lo, hi))
+    }
+
+    /// Iterates every address in the block in order.
+    ///
+    /// Intended for small provider pools; iterating a /0 would yield 2^32
+    /// items.
+    pub fn iter(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        (0..self.size()).map_while(|i| self.nth(i))
+    }
+}
+
+impl fmt::Display for Ipv4Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.prefix_len)
+    }
+}
+
+impl fmt::Debug for Ipv4Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ipv4Cidr({self})")
+    }
+}
+
+impl FromStr for Ipv4Cidr {
+    type Err = NetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| NetError::ParseCidr(s.to_owned()))?;
+        let addr: Ipv4Addr = addr
+            .parse()
+            .map_err(|_| NetError::ParseCidr(s.to_owned()))?;
+        let len: u8 = len.parse().map_err(|_| NetError::ParseCidr(s.to_owned()))?;
+        Ipv4Cidr::new(addr, len)
+    }
+}
+
+/// Network mask for a prefix length. `mask(0) == 0`, `mask(32) == !0`.
+const fn mask(prefix_len: u8) -> u32 {
+    if prefix_len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - prefix_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cidr(s: &str) -> Ipv4Cidr {
+        s.parse().expect("test cidr")
+    }
+
+    #[test]
+    fn parse_masks_host_bits() {
+        assert_eq!(cidr("192.168.5.7/24"), cidr("192.168.5.0/24"));
+        assert_eq!(cidr("192.168.5.7/24").network(), Ipv4Addr::new(192, 168, 5, 0));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("1.2.3.4".parse::<Ipv4Cidr>().is_err());
+        assert!("1.2.3.4/33".parse::<Ipv4Cidr>().is_err());
+        assert!("1.2.3/8".parse::<Ipv4Cidr>().is_err());
+        assert!("x/8".parse::<Ipv4Cidr>().is_err());
+        assert!("1.2.3.4/x".parse::<Ipv4Cidr>().is_err());
+    }
+
+    #[test]
+    fn containment_edges() {
+        let block = cidr("10.0.0.0/8");
+        assert!(block.contains(Ipv4Addr::new(10, 0, 0, 0)));
+        assert!(block.contains(Ipv4Addr::new(10, 255, 255, 255)));
+        assert!(!block.contains(Ipv4Addr::new(11, 0, 0, 0)));
+        assert!(!block.contains(Ipv4Addr::new(9, 255, 255, 255)));
+    }
+
+    #[test]
+    fn slash_zero_contains_everything() {
+        let all = cidr("0.0.0.0/0");
+        assert!(all.contains(Ipv4Addr::new(255, 255, 255, 255)));
+        assert!(all.contains(Ipv4Addr::new(0, 0, 0, 0)));
+        assert_eq!(all.size(), 1u64 << 32);
+    }
+
+    #[test]
+    fn slash_32_is_a_single_host() {
+        let host = cidr("1.2.3.4/32");
+        assert_eq!(host.size(), 1);
+        assert!(host.contains(Ipv4Addr::new(1, 2, 3, 4)));
+        assert!(!host.contains(Ipv4Addr::new(1, 2, 3, 5)));
+        assert_eq!(host.split(), None);
+    }
+
+    #[test]
+    fn nth_and_last() {
+        let block = cidr("10.0.0.0/30");
+        assert_eq!(block.nth(0), Some(Ipv4Addr::new(10, 0, 0, 0)));
+        assert_eq!(block.nth(3), Some(Ipv4Addr::new(10, 0, 0, 3)));
+        assert_eq!(block.nth(4), None);
+        assert_eq!(block.last(), Ipv4Addr::new(10, 0, 0, 3));
+    }
+
+    #[test]
+    fn split_partitions_block() {
+        let block = cidr("10.0.0.0/24");
+        let (lo, hi) = block.split().expect("splittable");
+        assert_eq!(lo, cidr("10.0.0.0/25"));
+        assert_eq!(hi, cidr("10.0.0.128/25"));
+        assert!(block.contains_block(&lo));
+        assert!(block.contains_block(&hi));
+        assert_eq!(lo.size() + hi.size(), block.size());
+    }
+
+    #[test]
+    fn contains_block_requires_full_containment() {
+        assert!(cidr("10.0.0.0/8").contains_block(&cidr("10.1.0.0/16")));
+        assert!(!cidr("10.1.0.0/16").contains_block(&cidr("10.0.0.0/8")));
+        assert!(cidr("10.0.0.0/8").contains_block(&cidr("10.0.0.0/8")));
+        assert!(!cidr("10.0.0.0/8").contains_block(&cidr("11.0.0.0/16")));
+    }
+
+    #[test]
+    fn iter_yields_all_addresses() {
+        let block = cidr("192.0.2.0/29");
+        let addrs: Vec<Ipv4Addr> = block.iter().collect();
+        assert_eq!(addrs.len(), 8);
+        assert_eq!(addrs[0], Ipv4Addr::new(192, 0, 2, 0));
+        assert_eq!(addrs[7], Ipv4Addr::new(192, 0, 2, 7));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in ["0.0.0.0/0", "104.16.0.0/12", "1.2.3.4/32"] {
+            assert_eq!(cidr(s).to_string(), s);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for the network substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the network substrate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A CIDR string could not be parsed.
+    ParseCidr(String),
+    /// An ASN string could not be parsed.
+    ParseAsn(String),
+    /// A prefix length exceeded 32 bits.
+    PrefixLength(u8),
+    /// An allocator ran out of addresses.
+    PoolExhausted {
+        /// Label of the exhausted pool.
+        pool: String,
+    },
+    /// An anycast IP has no PoP serving the querying region and no default.
+    NoCatchment {
+        /// The region the query originated from.
+        region: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::ParseCidr(s) => write!(f, "invalid CIDR block syntax: {s:?}"),
+            NetError::ParseAsn(s) => write!(f, "invalid AS number syntax: {s:?}"),
+            NetError::PrefixLength(len) => write!(f, "prefix length {len} exceeds 32"),
+            NetError::PoolExhausted { pool } => write!(f, "address pool {pool:?} is exhausted"),
+            NetError::NoCatchment { region } => {
+                write!(f, "no anycast catchment serves region {region}")
+            }
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            NetError::ParseCidr("x".into()),
+            NetError::ParseAsn("y".into()),
+            NetError::PrefixLength(40),
+            NetError::PoolExhausted { pool: "edge".into() },
+            NetError::NoCatchment {
+                region: "Oregon".into(),
+            },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<NetError>();
+    }
+}

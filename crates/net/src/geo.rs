@@ -1,0 +1,222 @@
+//! Geographic regions and points of presence (PoPs).
+//!
+//! The paper's residual-resolution experiment queried Cloudflare's anycast
+//! nameservers from five vantage points (Oregon, London, Sydney, Singapore,
+//! Tokyo — Fig 7) to spread load across five PoPs of the provider's global
+//! anycast infrastructure (100+ PoPs). [`Region`] enumerates the world
+//! regions used for both vantage points and PoP placement; [`Pop`] is one
+//! provider site.
+
+use std::fmt;
+
+/// A coarse world region used for vantage-point placement and anycast
+/// catchment.
+///
+/// The first five variants are the paper's vantage-point regions (Fig 7);
+/// the rest host additional provider PoPs so anycast has realistic spread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum Region {
+    /// US West (paper vantage point: Oregon).
+    Oregon,
+    /// Western Europe (paper vantage point: London).
+    London,
+    /// Oceania (paper vantage point: Sydney).
+    Sydney,
+    /// Southeast Asia (paper vantage point: Singapore).
+    Singapore,
+    /// East Asia (paper vantage point: Tokyo).
+    Tokyo,
+    /// US East.
+    Ashburn,
+    /// Central Europe.
+    Frankfurt,
+    /// South America.
+    SaoPaulo,
+    /// South Asia.
+    Mumbai,
+    /// East Asia (China periphery).
+    HongKong,
+}
+
+impl Region {
+    /// All regions, in stable order.
+    pub const ALL: [Region; 10] = [
+        Region::Oregon,
+        Region::London,
+        Region::Sydney,
+        Region::Singapore,
+        Region::Tokyo,
+        Region::Ashburn,
+        Region::Frankfurt,
+        Region::SaoPaulo,
+        Region::Mumbai,
+        Region::HongKong,
+    ];
+
+    /// The paper's five vantage-point regions (Fig 7).
+    pub const VANTAGE_POINTS: [Region; 5] = [
+        Region::Oregon,
+        Region::London,
+        Region::Sydney,
+        Region::Singapore,
+        Region::Tokyo,
+    ];
+
+    /// Human-readable name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Region::Oregon => "Oregon",
+            Region::London => "London",
+            Region::Sydney => "Sydney",
+            Region::Singapore => "Singapore",
+            Region::Tokyo => "Tokyo",
+            Region::Ashburn => "Ashburn",
+            Region::Frankfurt => "Frankfurt",
+            Region::SaoPaulo => "Sao Paulo",
+            Region::Mumbai => "Mumbai",
+            Region::HongKong => "Hong Kong",
+        }
+    }
+
+    /// A stable small integer for indexing.
+    pub const fn index(self) -> usize {
+        match self {
+            Region::Oregon => 0,
+            Region::London => 1,
+            Region::Sydney => 2,
+            Region::Singapore => 3,
+            Region::Tokyo => 4,
+            Region::Ashburn => 5,
+            Region::Frankfurt => 6,
+            Region::SaoPaulo => 7,
+            Region::Mumbai => 8,
+            Region::HongKong => 9,
+        }
+    }
+
+    /// Preference order of fallback regions when a provider has no PoP in
+    /// this region: nearby regions first. Deterministic and total — every
+    /// other region appears exactly once.
+    pub fn proximity_order(self) -> Vec<Region> {
+        // Hand-written adjacency preferences; ties broken by stable order.
+        let preferred: &[Region] = match self {
+            Region::Oregon => &[Region::Ashburn, Region::Tokyo, Region::London],
+            Region::London => &[Region::Frankfurt, Region::Ashburn, Region::Mumbai],
+            Region::Sydney => &[Region::Singapore, Region::Tokyo, Region::HongKong],
+            Region::Singapore => &[Region::HongKong, Region::Tokyo, Region::Mumbai],
+            Region::Tokyo => &[Region::HongKong, Region::Singapore, Region::Oregon],
+            Region::Ashburn => &[Region::Oregon, Region::London, Region::SaoPaulo],
+            Region::Frankfurt => &[Region::London, Region::Mumbai, Region::Ashburn],
+            Region::SaoPaulo => &[Region::Ashburn, Region::Oregon, Region::London],
+            Region::Mumbai => &[Region::Singapore, Region::Frankfurt, Region::HongKong],
+            Region::HongKong => &[Region::Singapore, Region::Tokyo, Region::Mumbai],
+        };
+        let mut order: Vec<Region> = preferred.to_vec();
+        for r in Region::ALL {
+            if r != self && !order.contains(&r) {
+                order.push(r);
+            }
+        }
+        order
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Identifier of one provider PoP, unique within that provider.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PopId(pub u32);
+
+impl fmt::Display for PopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pop{}", self.0)
+    }
+}
+
+/// One point of presence: a provider site hosting edge servers, a scrubbing
+/// center, and (for anycast DNS providers) nameserver instances.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pop {
+    id: PopId,
+    region: Region,
+    name: String,
+}
+
+impl Pop {
+    /// Creates a PoP.
+    pub fn new(id: PopId, region: Region, name: impl Into<String>) -> Self {
+        Pop {
+            id,
+            region,
+            name: name.into(),
+        }
+    }
+
+    /// The PoP's identifier.
+    pub const fn id(&self) -> PopId {
+        self.id
+    }
+
+    /// The region the PoP sits in.
+    pub const fn region(&self) -> Region {
+        self.region
+    }
+
+    /// The PoP's human-readable name (e.g. "cloudflare-lhr-1").
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for Pop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.region)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn vantage_points_match_paper() {
+        let names: Vec<&str> = Region::VANTAGE_POINTS.iter().map(|r| r.name()).collect();
+        assert_eq!(
+            names,
+            vec!["Oregon", "London", "Sydney", "Singapore", "Tokyo"]
+        );
+    }
+
+    #[test]
+    fn indices_are_unique_and_dense() {
+        let idx: BTreeSet<usize> = Region::ALL.iter().map(|r| r.index()).collect();
+        assert_eq!(idx.len(), Region::ALL.len());
+        assert_eq!(*idx.iter().max().unwrap(), Region::ALL.len() - 1);
+    }
+
+    #[test]
+    fn proximity_order_is_a_permutation_of_others() {
+        for region in Region::ALL {
+            let order = region.proximity_order();
+            assert_eq!(order.len(), Region::ALL.len() - 1, "{region}");
+            assert!(!order.contains(&region), "{region} must not prefer itself");
+            let set: BTreeSet<Region> = order.iter().copied().collect();
+            assert_eq!(set.len(), order.len(), "{region} has duplicates");
+        }
+    }
+
+    #[test]
+    fn pop_accessors() {
+        let pop = Pop::new(PopId(3), Region::London, "cf-lhr-3");
+        assert_eq!(pop.id(), PopId(3));
+        assert_eq!(pop.region(), Region::London);
+        assert_eq!(pop.name(), "cf-lhr-3");
+        assert_eq!(pop.to_string(), "cf-lhr-3 (London)");
+    }
+}

@@ -1,0 +1,146 @@
+//! Customer accounts.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use remnant_dns::DomainName;
+use remnant_sim::SimTime;
+
+use crate::plan::ServicePlan;
+use crate::rerouting::ReroutingMethod;
+
+/// Whether a customer's DPS protection is currently in effect.
+///
+/// Maps to the paper's observable statuses (Table III): an `Active` account
+/// produces ON (A record points at an edge), a `Paused` account produces OFF
+/// (domain delegated but A record points at the origin).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ServiceStatus {
+    /// Protection on: name resolution returns edge addresses.
+    #[default]
+    Active,
+    /// Protection paused: name resolution returns the origin address
+    /// (Cloudflare/Incapsula behavior, Sec IV-C.1).
+    Paused,
+}
+
+impl fmt::Display for ServiceStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ServiceStatus::Active => "active",
+            ServiceStatus::Paused => "paused",
+        })
+    }
+}
+
+/// One enrolled customer as the provider's control plane sees it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CustomerAccount {
+    /// The customer's apex domain.
+    pub domain: DomainName,
+    /// The protected host (the study's portal host, `www.<domain>`).
+    pub host: DomainName,
+    /// The origin address the customer registered in the portal.
+    pub origin: Ipv4Addr,
+    /// Service plan.
+    pub plan: ServicePlan,
+    /// Rerouting mechanism provisioned for this customer.
+    pub rerouting: ReroutingMethod,
+    /// Current protection status.
+    pub status: ServiceStatus,
+    /// The edge address serving this customer.
+    pub edge: Ipv4Addr,
+    /// CNAME token (for CNAME-based rerouting).
+    pub cname_token: Option<DomainName>,
+    /// Assigned nameserver hostnames (for NS-based rerouting).
+    pub nameservers: Vec<DomainName>,
+    /// When the customer enrolled.
+    pub enrolled_at: SimTime,
+    /// How many times this domain has enrolled with this provider
+    /// (rotates CNAME tokens).
+    pub generation: u32,
+    /// DNS-only ("gray cloud") A records the customer keeps in the
+    /// provider-hosted zone: names answered with their literal address,
+    /// *not* proxied through edges. These are the classic origin-exposure
+    /// subdomain/MX vectors of Table I.
+    pub dns_only_a: Vec<(DomainName, Ipv4Addr)>,
+    /// The apex MX exchange host, if the customer has mail.
+    pub mx_exchange: Option<DomainName>,
+}
+
+impl CustomerAccount {
+    /// The address name resolution should currently return for the host:
+    /// the edge while active, the origin while paused.
+    pub fn serving_address(&self) -> Ipv4Addr {
+        match self.status {
+            ServiceStatus::Active => self.edge,
+            ServiceStatus::Paused => self.origin,
+        }
+    }
+
+    /// True if the account uses a mechanism that delegates name resolution
+    /// to the provider — the precondition for residual resolution
+    /// (Sec III-B: A-based rerouting carries no such risk).
+    pub fn delegates_resolution(&self) -> bool {
+        matches!(
+            self.rerouting,
+            ReroutingMethod::Cname | ReroutingMethod::Ns
+        )
+    }
+}
+
+impl fmt::Display for CustomerAccount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} plan, {} rerouting, {})",
+            self.domain, self.plan, self.rerouting, self.status
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn account(rerouting: ReroutingMethod, status: ServiceStatus) -> CustomerAccount {
+        CustomerAccount {
+            domain: "example.com".parse().unwrap(),
+            host: "www.example.com".parse().unwrap(),
+            origin: Ipv4Addr::new(203, 0, 113, 10),
+            plan: ServicePlan::Free,
+            rerouting,
+            status,
+            edge: Ipv4Addr::new(104, 16, 0, 1),
+            cname_token: None,
+            nameservers: Vec::new(),
+            enrolled_at: SimTime::EPOCH,
+            generation: 0,
+            dns_only_a: Vec::new(),
+            mx_exchange: None,
+        }
+    }
+
+    #[test]
+    fn active_serves_edge_paused_serves_origin() {
+        let active = account(ReroutingMethod::Ns, ServiceStatus::Active);
+        assert_eq!(active.serving_address(), active.edge);
+        let paused = account(ReroutingMethod::Ns, ServiceStatus::Paused);
+        assert_eq!(paused.serving_address(), paused.origin);
+    }
+
+    #[test]
+    fn only_delegating_mechanisms_carry_residual_risk() {
+        assert!(account(ReroutingMethod::Ns, ServiceStatus::Active).delegates_resolution());
+        assert!(account(ReroutingMethod::Cname, ServiceStatus::Active).delegates_resolution());
+        assert!(!account(ReroutingMethod::A, ServiceStatus::Active).delegates_resolution());
+    }
+
+    #[test]
+    fn display_mentions_the_key_facts() {
+        let s = account(ReroutingMethod::Ns, ServiceStatus::Active).to_string();
+        assert!(s.contains("example.com"));
+        assert!(s.contains("NS"));
+        assert!(s.contains("active"));
+    }
+}

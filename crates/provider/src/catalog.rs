@@ -1,0 +1,371 @@
+//! The provider catalog — Table II of the paper, as data.
+//!
+//! For each of the eleven studied DPS providers this module records the
+//! CNAME substrings, NS substrings, AS numbers, and supported rerouting
+//! methods exactly as published, plus the synthetic-but-realistic IP blocks
+//! this reproduction announces for each provider (standing in for the
+//! RouteView-derived ranges of the paper's dataset \[18\]).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ProviderError;
+use crate::rerouting::ReroutingMethod;
+
+/// Identifier for one of the eleven studied providers (Table II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum ProviderId {
+    /// Akamai — A/CNAME rerouting.
+    Akamai,
+    /// Cloudflare — NS/CNAME rerouting; 79% of observed DPS customers.
+    Cloudflare,
+    /// Amazon Cloudfront — CNAME rerouting.
+    Cloudfront,
+    /// CDN77 — CNAME rerouting.
+    Cdn77,
+    /// CDNetworks — CNAME rerouting.
+    CdNetworks,
+    /// DOSarrest — A rerouting.
+    DosArrest,
+    /// Verizon Edgecast — CNAME rerouting.
+    Edgecast,
+    /// Fastly — CNAME rerouting.
+    Fastly,
+    /// Imperva Incapsula — CNAME rerouting; 3.7% of observed customers.
+    Incapsula,
+    /// Limelight — CNAME rerouting.
+    Limelight,
+    /// Stackpath (MaxCDN/NetDNA + Highwinds) — CNAME rerouting.
+    Stackpath,
+}
+
+impl ProviderId {
+    /// All providers, in Table II order.
+    pub const ALL: [ProviderId; 11] = [
+        ProviderId::Akamai,
+        ProviderId::Cloudflare,
+        ProviderId::Cloudfront,
+        ProviderId::Cdn77,
+        ProviderId::CdNetworks,
+        ProviderId::DosArrest,
+        ProviderId::Edgecast,
+        ProviderId::Fastly,
+        ProviderId::Incapsula,
+        ProviderId::Limelight,
+        ProviderId::Stackpath,
+    ];
+
+    /// Display name as used in the paper's tables.
+    pub const fn name(self) -> &'static str {
+        self.info().name
+    }
+
+    /// Static Table II fingerprint data for this provider.
+    pub const fn info(self) -> &'static ProviderInfo {
+        &CATALOG[self.index()]
+    }
+
+    /// Stable dense index for array-keyed structures.
+    pub const fn index(self) -> usize {
+        match self {
+            ProviderId::Akamai => 0,
+            ProviderId::Cloudflare => 1,
+            ProviderId::Cloudfront => 2,
+            ProviderId::Cdn77 => 3,
+            ProviderId::CdNetworks => 4,
+            ProviderId::DosArrest => 5,
+            ProviderId::Edgecast => 6,
+            ProviderId::Fastly => 7,
+            ProviderId::Incapsula => 8,
+            ProviderId::Limelight => 9,
+            ProviderId::Stackpath => 10,
+        }
+    }
+}
+
+impl fmt::Display for ProviderId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ProviderId {
+    type Err = ProviderError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ProviderId::ALL
+            .into_iter()
+            .find(|p| p.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| ProviderError::UnknownProvider(s.to_owned()))
+    }
+}
+
+/// Static fingerprint data for one provider (one Table II row).
+#[derive(Debug)]
+pub struct ProviderInfo {
+    /// The provider.
+    pub id: ProviderId,
+    /// Display name.
+    pub name: &'static str,
+    /// Substrings identifying the provider in CNAME targets.
+    pub cname_substrings: &'static [&'static str],
+    /// Substrings identifying the provider in NS hostnames.
+    pub ns_substrings: &'static [&'static str],
+    /// Announced AS numbers (major ASes from Table II).
+    pub asns: &'static [u32],
+    /// Supported rerouting methods.
+    pub rerouting: &'static [ReroutingMethod],
+    /// Domain under which customer CNAME tokens are minted
+    /// (empty for providers without CNAME rerouting).
+    pub cname_domain: &'static str,
+    /// Domain of the provider's nameserver hostnames.
+    pub ns_domain: &'static str,
+    /// Synthetic announced CIDR blocks (RouteView substitute).
+    pub ip_blocks: &'static [&'static str],
+}
+
+impl ProviderInfo {
+    /// True if the provider supports `method`.
+    pub fn supports(&self, method: ReroutingMethod) -> bool {
+        self.rerouting.contains(&method)
+    }
+}
+
+/// Table II, row by row.
+static CATALOG: [ProviderInfo; 11] = [
+    ProviderInfo {
+        id: ProviderId::Akamai,
+        name: "Akamai",
+        cname_substrings: &["akamai", "edgekey", "edgesuite"],
+        ns_substrings: &["akam"],
+        asns: &[32787, 12222, 20940, 16625, 35994],
+        rerouting: &[ReroutingMethod::A, ReroutingMethod::Cname],
+        cname_domain: "edgekey.net",
+        ns_domain: "akam.net",
+        ip_blocks: &["23.192.0.0/11", "96.16.0.0/15"],
+    },
+    ProviderInfo {
+        id: ProviderId::Cloudflare,
+        name: "Cloudflare",
+        cname_substrings: &["cloudflare"],
+        ns_substrings: &["cloudflare"],
+        asns: &[13335],
+        rerouting: &[ReroutingMethod::Ns, ReroutingMethod::Cname],
+        cname_domain: "cdn.cloudflare.net",
+        ns_domain: "ns.cloudflare.com",
+        ip_blocks: &["104.16.0.0/12", "173.245.48.0/20", "198.41.128.0/17"],
+    },
+    ProviderInfo {
+        id: ProviderId::Cloudfront,
+        name: "Cloudfront",
+        cname_substrings: &["cloudfront"],
+        ns_substrings: &[],
+        // Cloudfront has no dedicated ASN (it rides Amazon's); the paper
+        // used published IP ranges. We tag the blocks with Amazon's ASN.
+        asns: &[16509],
+        rerouting: &[ReroutingMethod::Cname],
+        cname_domain: "cloudfront.net",
+        ns_domain: "cloudfront.net",
+        ip_blocks: &["13.32.0.0/15", "54.230.0.0/16"],
+    },
+    ProviderInfo {
+        id: ProviderId::Cdn77,
+        name: "CDN77",
+        cname_substrings: &["cdn77"],
+        ns_substrings: &["cdn77"],
+        asns: &[60068],
+        rerouting: &[ReroutingMethod::Cname],
+        cname_domain: "cdn77.org",
+        ns_domain: "cdn77.org",
+        ip_blocks: &["185.59.216.0/22"],
+    },
+    ProviderInfo {
+        id: ProviderId::CdNetworks,
+        name: "CDNetworks",
+        cname_substrings: &["cdnga", "cdngc", "cdnetworks"],
+        ns_substrings: &["cdnetdns", "panthercdn"],
+        asns: &[38107, 36408],
+        rerouting: &[ReroutingMethod::Cname],
+        cname_domain: "cdngc.net",
+        ns_domain: "cdnetdns.net",
+        ip_blocks: &["14.0.32.0/19"],
+    },
+    ProviderInfo {
+        id: ProviderId::DosArrest,
+        name: "DOSarrest",
+        cname_substrings: &[],
+        ns_substrings: &[],
+        asns: &[19324],
+        rerouting: &[ReroutingMethod::A],
+        cname_domain: "",
+        ns_domain: "dosarrest.com",
+        ip_blocks: &["199.27.128.0/21"],
+    },
+    ProviderInfo {
+        id: ProviderId::Edgecast,
+        name: "Edgecast",
+        cname_substrings: &["edgecastcdn", "alphacdn"],
+        ns_substrings: &["edgecastcdn", "alphacdn"],
+        asns: &[15133, 14210, 14153],
+        rerouting: &[ReroutingMethod::Cname],
+        cname_domain: "edgecastcdn.net",
+        ns_domain: "edgecastcdn.net",
+        ip_blocks: &["72.21.80.0/20", "93.184.208.0/20"],
+    },
+    ProviderInfo {
+        id: ProviderId::Fastly,
+        name: "Fastly",
+        cname_substrings: &["fastly"],
+        ns_substrings: &["fastly"],
+        asns: &[54113, 394192],
+        rerouting: &[ReroutingMethod::Cname],
+        cname_domain: "fastly.net",
+        ns_domain: "fastly.net",
+        ip_blocks: &["151.101.0.0/16"],
+    },
+    ProviderInfo {
+        id: ProviderId::Incapsula,
+        name: "Incapsula",
+        cname_substrings: &["incapdns"],
+        ns_substrings: &["incapdns"],
+        asns: &[19551],
+        rerouting: &[ReroutingMethod::Cname],
+        cname_domain: "incapdns.net",
+        ns_domain: "incapdns.net",
+        ip_blocks: &["199.83.128.0/21", "45.60.0.0/16"],
+    },
+    ProviderInfo {
+        id: ProviderId::Limelight,
+        name: "Limelight",
+        cname_substrings: &["llnw", "lldns"],
+        ns_substrings: &["llnw", "lldns"],
+        asns: &[22822, 38622, 55429],
+        rerouting: &[ReroutingMethod::Cname],
+        cname_domain: "llnw.net",
+        ns_domain: "lldns.net",
+        ip_blocks: &["68.142.64.0/18"],
+    },
+    ProviderInfo {
+        id: ProviderId::Stackpath,
+        name: "Stackpath",
+        cname_substrings: &["stackpath", "netdna", "hwcdn"],
+        ns_substrings: &["netdna", "hwcdn"],
+        asns: &[54104, 20446],
+        rerouting: &[ReroutingMethod::Cname],
+        cname_domain: "netdna-cdn.com",
+        ns_domain: "hwcdn.net",
+        ip_blocks: &["151.139.0.0/16"],
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remnant_net::Ipv4Cidr;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn all_eleven_providers_present() {
+        assert_eq!(ProviderId::ALL.len(), 11);
+        let names: BTreeSet<&str> = ProviderId::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn indices_match_catalog_rows() {
+        for p in ProviderId::ALL {
+            assert_eq!(p.info().id, p, "{p}");
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for p in ProviderId::ALL {
+            assert_eq!(p.name().parse::<ProviderId>().unwrap(), p);
+            assert_eq!(p.name().to_lowercase().parse::<ProviderId>().unwrap(), p);
+        }
+        assert!("NotACdn".parse::<ProviderId>().is_err());
+    }
+
+    #[test]
+    fn table2_spot_checks() {
+        // Spot-check a few cells against the published table.
+        let cf = ProviderId::Cloudflare.info();
+        assert_eq!(cf.asns, &[13335]);
+        assert!(cf.supports(ReroutingMethod::Ns));
+        assert!(cf.supports(ReroutingMethod::Cname));
+        assert!(!cf.supports(ReroutingMethod::A));
+
+        let inc = ProviderId::Incapsula.info();
+        assert_eq!(inc.asns, &[19551]);
+        assert_eq!(inc.cname_substrings, &["incapdns"]);
+        assert_eq!(inc.rerouting, &[ReroutingMethod::Cname]);
+
+        let dos = ProviderId::DosArrest.info();
+        assert_eq!(dos.rerouting, &[ReroutingMethod::A]);
+        assert!(dos.cname_substrings.is_empty());
+
+        let ak = ProviderId::Akamai.info();
+        assert_eq!(ak.cname_substrings, &["akamai", "edgekey", "edgesuite"]);
+        assert_eq!(ak.asns.len(), 5);
+    }
+
+    #[test]
+    fn asns_are_unique_across_providers() {
+        let mut seen = BTreeSet::new();
+        for p in ProviderId::ALL {
+            for asn in p.info().asns {
+                assert!(seen.insert(*asn), "ASN {asn} duplicated");
+            }
+        }
+    }
+
+    #[test]
+    fn ip_blocks_parse_and_are_disjoint() {
+        let mut blocks: Vec<(Ipv4Cidr, ProviderId)> = Vec::new();
+        for p in ProviderId::ALL {
+            for s in p.info().ip_blocks {
+                let block: Ipv4Cidr = s.parse().expect("catalog CIDR parses");
+                blocks.push((block, p));
+            }
+        }
+        for (i, (a, pa)) in blocks.iter().enumerate() {
+            for (b, pb) in blocks.iter().skip(i + 1) {
+                assert!(
+                    !a.contains_block(b) && !b.contains_block(a),
+                    "{pa} {a} overlaps {pb} {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cname_providers_have_cname_domains() {
+        for p in ProviderId::ALL {
+            let info = p.info();
+            if info.supports(ReroutingMethod::Cname) {
+                assert!(!info.cname_domain.is_empty(), "{p} needs a cname domain");
+            }
+        }
+    }
+
+    #[test]
+    fn cname_domains_contain_a_fingerprint_substring() {
+        // A token minted under the provider's CNAME domain must be
+        // CNAME-matchable with the provider's own substrings.
+        for p in ProviderId::ALL {
+            let info = p.info();
+            if info.supports(ReroutingMethod::Cname) {
+                assert!(
+                    info.cname_substrings
+                        .iter()
+                        .any(|s| info.cname_domain.contains(s)),
+                    "{p}: {} lacks any of {:?}",
+                    info.cname_domain,
+                    info.cname_substrings
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! DPS/CDN provider models.
+//!
+//! Implements the eleven providers of the paper's Table II as configurable
+//! [`DpsProvider`] instances: fingerprint data ([`catalog`]), service plans
+//! ([`plan`]), rerouting provisioning ([`rerouting`]), customer lifecycle
+//! ([`account`], [`provider`]), the **residual-resolution policies**
+//! ([`residual`]) that make Cloudflare and Incapsula leak origin addresses
+//! after termination, and scrubbing centers ([`scrub`]) for the DDoS model.
+//!
+//! The provider behaviors encoded here are the paper's findings, not
+//! inventions:
+//!
+//! * pause ⇒ nameservers answer with the **origin** address (Cloudflare,
+//!   Incapsula — Sec IV-C.1);
+//! * informed termination/switch ⇒ nameservers keep answering with the
+//!   last stored origin address for weeks (residual resolution —
+//!   Sec IV-C.2, V);
+//! * uninformed leave ⇒ configuration untouched, so queries still return
+//!   the **edge** address (footnote 9);
+//! * Cloudflare free-plan records purge ~4 weeks after termination, other
+//!   plans later (Sec V-A.3);
+//! * the other nine providers simply stop answering.
+//!
+//! # Example
+//!
+//! ```
+//! use remnant_provider::{DpsProvider, ProviderId, ReroutingMethod, ServicePlan};
+//! use remnant_sim::SimTime;
+//!
+//! let mut cloudflare = DpsProvider::build(ProviderId::Cloudflare, 42);
+//! let enrollment = cloudflare.enroll(
+//!     SimTime::EPOCH,
+//!     &"example.com".parse()?,
+//!     "203.0.113.10".parse()?,
+//!     ServicePlan::Free,
+//!     ReroutingMethod::Ns,
+//! )?;
+//! assert_eq!(enrollment.nameservers().len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod account;
+pub mod catalog;
+pub mod error;
+pub mod plan;
+pub mod provider;
+pub mod rerouting;
+pub mod residual;
+pub mod scrub;
+
+pub use account::{CustomerAccount, ServiceStatus};
+pub use catalog::{ProviderId, ProviderInfo};
+pub use error::ProviderError;
+pub use plan::ServicePlan;
+pub use provider::{DpsProvider, Enrollment};
+pub use rerouting::ReroutingMethod;
+pub use residual::ResidualPolicy;
+pub use scrub::{ScrubOutcome, ScrubbingCenter};

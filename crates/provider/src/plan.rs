@@ -1,0 +1,81 @@
+//! Service plans.
+//!
+//! Plans matter for two observed behaviors:
+//!
+//! * Cloudflare's CNAME-based rerouting "is exclusive to those customers
+//!   with the business or enterprise plans" (Sec V-A, \[21\]);
+//! * the purge delay of residual records appears plan-dependent: the
+//!   authors' free-plan record was purged in the 4th week after
+//!   termination, while some origins stayed exposed for the entire
+//!   measurement (Sec V-A.3).
+
+use std::fmt;
+
+/// A DPS service plan tier.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum ServicePlan {
+    /// Free tier (the bulk of Cloudflare's customers, footnote 7).
+    #[default]
+    Free,
+    /// Paid entry tier.
+    Pro,
+    /// Business tier — unlocks CNAME setup on Cloudflare.
+    Business,
+    /// Enterprise tier.
+    Enterprise,
+}
+
+impl ServicePlan {
+    /// All plans, cheapest first.
+    pub const ALL: [ServicePlan; 4] = [
+        ServicePlan::Free,
+        ServicePlan::Pro,
+        ServicePlan::Business,
+        ServicePlan::Enterprise,
+    ];
+
+    /// True if this plan unlocks CNAME setup on providers that gate it
+    /// (Cloudflare business/enterprise, per \[21\]).
+    pub const fn allows_cname_setup(self) -> bool {
+        matches!(self, ServicePlan::Business | ServicePlan::Enterprise)
+    }
+}
+
+impl fmt::Display for ServicePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ServicePlan::Free => "Free",
+            ServicePlan::Pro => "Pro",
+            ServicePlan::Business => "Business",
+            ServicePlan::Enterprise => "Enterprise",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cname_gating_matches_cloudflare_docs() {
+        assert!(!ServicePlan::Free.allows_cname_setup());
+        assert!(!ServicePlan::Pro.allows_cname_setup());
+        assert!(ServicePlan::Business.allows_cname_setup());
+        assert!(ServicePlan::Enterprise.allows_cname_setup());
+    }
+
+    #[test]
+    fn ordering_is_cheapest_first() {
+        assert!(ServicePlan::Free < ServicePlan::Enterprise);
+        let mut sorted = ServicePlan::ALL;
+        sorted.sort();
+        assert_eq!(sorted, ServicePlan::ALL);
+    }
+
+    #[test]
+    fn default_is_free() {
+        assert_eq!(ServicePlan::default(), ServicePlan::Free);
+    }
+}

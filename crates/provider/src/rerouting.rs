@@ -1,0 +1,235 @@
+//! Rerouting mechanisms and provisioning name generation.
+//!
+//! Sec II-A.2 describes the three DNS-based rerouting mechanisms; this
+//! module also mints the provider-side names they need:
+//!
+//! * CNAME-based: an unpredictable per-customer token under the provider's
+//!   CNAME domain ("CDNs typically assign a CNAME in a random or
+//!   unpredictable manner", Sec III-B);
+//! * NS-based (Cloudflare): per-customer nameserver pairs drawn from the
+//!   fleet of `[girl/boy's name].ns.cloudflare.com` hosts — the paper
+//!   extracted 391 such nameservers (Sec V-A.1, footnote 12).
+
+use std::fmt;
+use std::str::FromStr;
+
+use remnant_dns::DomainName;
+use remnant_sim::SeedSeq;
+
+use crate::error::ProviderError;
+
+/// A DNS-based traffic rerouting mechanism (Sec II-A.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ReroutingMethod {
+    /// Customer points its A record at a provider-assigned edge address.
+    /// No delegation — and therefore *no residual-resolution risk*
+    /// (Sec III-B).
+    A,
+    /// Customer CNAMEs its host to a provider-minted canonical name.
+    Cname,
+    /// Customer delegates its whole zone to provider nameservers.
+    Ns,
+}
+
+impl ReroutingMethod {
+    /// All methods, in Table II column order.
+    pub const ALL: [ReroutingMethod; 3] = [
+        ReroutingMethod::A,
+        ReroutingMethod::Cname,
+        ReroutingMethod::Ns,
+    ];
+}
+
+impl fmt::Display for ReroutingMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReroutingMethod::A => "A",
+            ReroutingMethod::Cname => "CNAME",
+            ReroutingMethod::Ns => "NS",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for ReroutingMethod {
+    type Err = ProviderError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "A" => Ok(ReroutingMethod::A),
+            "CNAME" => Ok(ReroutingMethod::Cname),
+            "NS" => Ok(ReroutingMethod::Ns),
+            _ => Err(ProviderError::UnknownRerouting(s.to_owned())),
+        }
+    }
+}
+
+/// Mints the unpredictable CNAME token for `domain`'s `generation`-th
+/// enrollment under `cname_domain` (tokens change when a customer re-joins,
+/// so a stale harvested token goes dark — Sec III-B: "the CNAME will be
+/// updated or deleted if the website terminates its DPS").
+///
+/// # Errors
+///
+/// Returns [`ProviderError::Provisioning`] if `cname_domain` is not a valid
+/// domain name (e.g. empty, for providers without CNAME rerouting).
+pub fn mint_cname_token(
+    seed: u64,
+    cname_domain: &str,
+    domain: &DomainName,
+    generation: u32,
+) -> Result<DomainName, ProviderError> {
+    if cname_domain.is_empty() {
+        return Err(ProviderError::Provisioning {
+            domain: domain.to_string(),
+            reason: "provider has no cname domain".to_owned(),
+        });
+    }
+    let token = SeedSeq::new(seed)
+        .child(domain.as_str())
+        .derive_indexed("cname-token", u64::from(generation));
+    let name = format!("x{token:016x}.{cname_domain}");
+    DomainName::parse(&name).map_err(|_| ProviderError::Provisioning {
+        domain: domain.to_string(),
+        reason: format!("invalid cname domain {cname_domain:?}"),
+    })
+}
+
+/// First names used for Cloudflare-style nameserver hostnames
+/// (footnote 12: "`[girl/boy's name].ns.cloudflare.com`").
+const NS_FIRST_NAMES: [&str; 40] = [
+    "ada", "amir", "anna", "beth", "carl", "chad", "cora", "dana", "dina", "duke", "elle",
+    "eric", "faye", "fred", "gina", "glen", "hana", "hugo", "iris", "ivan", "jane", "joel",
+    "kate", "kurt", "lana", "liam", "mara", "mike", "nina", "noel", "olga", "omar", "pam",
+    "pete", "rita", "rob", "sara", "seth", "tara", "todd",
+];
+
+/// Generates `count` distinct nameserver hostnames under `ns_domain` in the
+/// Cloudflare naming style. The first 40 are bare first names; later ones
+/// gain a numeric suffix (`kate2.ns.cloudflare.com`).
+///
+/// # Panics
+///
+/// Panics if `ns_domain` is not a valid domain name (catalog domains are).
+pub fn nameserver_fleet(ns_domain: &str, count: usize) -> Vec<DomainName> {
+    (0..count)
+        .map(|i| {
+            let first = NS_FIRST_NAMES[i % NS_FIRST_NAMES.len()];
+            let round = i / NS_FIRST_NAMES.len();
+            let host = if round == 0 {
+                format!("{first}.{ns_domain}")
+            } else {
+                format!("{first}{}.{ns_domain}", round + 1)
+            };
+            DomainName::parse(&host).expect("catalog ns domains are valid")
+        })
+        .collect()
+}
+
+/// Deterministically assigns a pair of fleet nameservers to `domain`.
+/// Different customers get different pairs (the two members are always
+/// distinct when the fleet has at least two entries).
+pub fn assign_ns_pair<'a>(
+    seed: u64,
+    fleet: &'a [DomainName],
+    domain: &DomainName,
+) -> Vec<&'a DomainName> {
+    assert!(!fleet.is_empty(), "fleet must be non-empty");
+    let seq = SeedSeq::new(seed).child(domain.as_str());
+    let first = (seq.derive("ns-a") % fleet.len() as u64) as usize;
+    if fleet.len() == 1 {
+        return vec![&fleet[first]];
+    }
+    let offset = 1 + (seq.derive("ns-b") % (fleet.len() as u64 - 1)) as usize;
+    let second = (first + offset) % fleet.len();
+    vec![&fleet[first], &fleet[second]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DomainName {
+        s.parse().expect("test name")
+    }
+
+    #[test]
+    fn method_parse_round_trips() {
+        for m in ReroutingMethod::ALL {
+            assert_eq!(m.to_string().parse::<ReroutingMethod>().unwrap(), m);
+        }
+        assert!("BGP".parse::<ReroutingMethod>().is_err());
+    }
+
+    #[test]
+    fn tokens_are_deterministic_and_domain_scoped() {
+        let a = mint_cname_token(1, "incapdns.net", &name("example.com"), 0).unwrap();
+        let b = mint_cname_token(1, "incapdns.net", &name("example.com"), 0).unwrap();
+        let c = mint_cname_token(1, "incapdns.net", &name("other.com"), 0).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.as_str().ends_with(".incapdns.net"));
+    }
+
+    #[test]
+    fn tokens_rotate_per_generation() {
+        let g0 = mint_cname_token(1, "incapdns.net", &name("example.com"), 0).unwrap();
+        let g1 = mint_cname_token(1, "incapdns.net", &name("example.com"), 1).unwrap();
+        assert_ne!(g0, g1, "re-enrollment mints a fresh token");
+    }
+
+    #[test]
+    fn token_rejects_invalid_cname_domain() {
+        assert!(mint_cname_token(1, "", &name("example.com"), 0).is_err());
+    }
+
+    #[test]
+    fn fleet_generates_requested_count_of_unique_names() {
+        let fleet = nameserver_fleet("ns.cloudflare.com", 391);
+        assert_eq!(fleet.len(), 391);
+        let unique: std::collections::BTreeSet<_> = fleet.iter().collect();
+        assert_eq!(unique.len(), 391);
+        assert!(fleet[0].as_str().ends_with(".ns.cloudflare.com"));
+        // Every fleet member carries the provider's NS fingerprint.
+        assert!(fleet.iter().all(|n| n.contains_label_substring("cloudflare")));
+    }
+
+    #[test]
+    fn fleet_suffixing_kicks_in_after_name_list() {
+        let fleet = nameserver_fleet("ns.cloudflare.com", 45);
+        assert_eq!(fleet[0].as_str(), "ada.ns.cloudflare.com");
+        assert_eq!(fleet[40].as_str(), "ada2.ns.cloudflare.com");
+    }
+
+    #[test]
+    fn ns_pair_assignment_is_stable_and_distinct() {
+        let fleet = nameserver_fleet("ns.cloudflare.com", 391);
+        let pair1 = assign_ns_pair(7, &fleet, &name("example.com"));
+        let pair2 = assign_ns_pair(7, &fleet, &name("example.com"));
+        assert_eq!(pair1, pair2);
+        assert_eq!(pair1.len(), 2);
+        assert_ne!(pair1[0], pair1[1]);
+    }
+
+    #[test]
+    fn ns_pair_single_member_fleet() {
+        let fleet = nameserver_fleet("ns.cloudflare.com", 1);
+        let pair = assign_ns_pair(7, &fleet, &name("example.com"));
+        assert_eq!(pair.len(), 1);
+    }
+
+    #[test]
+    fn different_customers_usually_get_different_pairs() {
+        let fleet = nameserver_fleet("ns.cloudflare.com", 391);
+        let distinct: std::collections::BTreeSet<String> = (0..50)
+            .map(|i| {
+                assign_ns_pair(7, &fleet, &name(&format!("site{i}.com")))
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect();
+        assert!(distinct.len() > 40, "pairs spread over the fleet");
+    }
+}

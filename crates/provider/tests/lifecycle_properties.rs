@@ -1,0 +1,152 @@
+//! Property tests for provider customer lifecycles: arbitrary sequences of
+//! control-plane operations must keep the provider's answers consistent
+//! with its residual policy.
+
+use proptest::prelude::*;
+
+use remnant_dns::{Authoritative, DomainName, Query, RecordType};
+use remnant_provider::{
+    DpsProvider, ProviderId, ReroutingMethod, ServicePlan, ServiceStatus,
+};
+use remnant_sim::{SimDuration, SimTime};
+use std::net::Ipv4Addr;
+
+/// One control-plane action.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Enroll,
+    Pause,
+    Resume,
+    UpdateOrigin,
+    TerminateInformed,
+    TerminateUninformed,
+    AdvanceDays(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Enroll),
+        Just(Op::Pause),
+        Just(Op::Resume),
+        Just(Op::UpdateOrigin),
+        Just(Op::TerminateInformed),
+        Just(Op::TerminateUninformed),
+        (1u8..20).prop_map(Op::AdvanceDays),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lifecycle_never_breaks_answer_invariants(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        seed in 0u64..1000,
+    ) {
+        let mut provider = DpsProvider::build(ProviderId::Cloudflare, seed);
+        let domain: DomainName = "victim.com".parse().unwrap();
+        let www: DomainName = "www.victim.com".parse().unwrap();
+        let mut now = SimTime::EPOCH;
+        let mut origin = Ipv4Addr::new(100, 64, 9, 1);
+        let mut origin_counter = 1u8;
+        let mut enrolled = false;
+
+        for op in ops {
+            match op {
+                Op::Enroll
+                    if !enrolled => {
+                        provider
+                            .enroll(now, &domain, origin, ServicePlan::Free, ReroutingMethod::Ns)
+                            .unwrap();
+                        enrolled = true;
+                    }
+                Op::Pause if enrolled => provider.pause(&domain).unwrap(),
+                Op::Resume if enrolled => provider.resume(&domain).unwrap(),
+                Op::UpdateOrigin if enrolled => {
+                    origin_counter = origin_counter.wrapping_add(1);
+                    origin = Ipv4Addr::new(100, 64, 9, origin_counter.max(1));
+                    provider.update_origin(&domain, origin).unwrap();
+                }
+                Op::TerminateInformed if enrolled => {
+                    provider.terminate(now, &domain, true).unwrap();
+                    enrolled = false;
+                }
+                Op::TerminateUninformed if enrolled => {
+                    provider.terminate(now, &domain, false).unwrap();
+                    enrolled = false;
+                }
+                Op::AdvanceDays(d) => now += SimDuration::days(u64::from(d)),
+                _ => {}
+            }
+
+            // Invariants after every step.
+            let answer = provider.answer(now, &Query::new(www.clone(), RecordType::A));
+            match (enrolled, provider.account(&domain).map(|a| a.status)) {
+                (true, Some(ServiceStatus::Active)) => {
+                    // Active: an edge address, never the origin.
+                    let addrs = answer.expect("active customers are answered").answer_addresses();
+                    prop_assert_eq!(addrs.len(), 1);
+                    prop_assert!(provider.is_edge_address(addrs[0]));
+                    prop_assert_ne!(addrs[0], origin);
+                }
+                (true, Some(ServiceStatus::Paused)) => {
+                    // Paused: exactly the current origin.
+                    let addrs = answer.expect("paused customers are answered").answer_addresses();
+                    prop_assert_eq!(addrs, vec![origin]);
+                }
+                (false, _) => {
+                    // Terminated: either silence (purged / never stored) or
+                    // a remnant answer consistent with its record.
+                    if let Some(response) = answer {
+                        let addrs = response.answer_addresses();
+                        prop_assert_eq!(addrs.len(), 1);
+                        let record = provider.residual(&domain).expect("answer implies remnant");
+                        prop_assert!(record.is_live(now));
+                        prop_assert_eq!(addrs[0], record.answer_address());
+                        if record.informed {
+                            prop_assert!(
+                                !provider.is_edge_address(addrs[0]),
+                                "informed remnants answer the stored origin"
+                            );
+                        } else {
+                            prop_assert!(
+                                provider.is_edge_address(addrs[0]),
+                                "uninformed remnants keep the edge config"
+                            );
+                        }
+                    }
+                }
+                (true, None) => prop_assert!(false, "enrolled implies account"),
+            }
+        }
+    }
+
+    #[test]
+    fn remnant_lifetime_respects_plan_policy(
+        plan_idx in 0usize..4,
+        probe_days in prop::collection::btree_set(1u64..120, 1..8),
+    ) {
+        let plan = ServicePlan::ALL[plan_idx];
+        let mut provider = DpsProvider::build(ProviderId::Cloudflare, 7);
+        let domain: DomainName = "victim.com".parse().unwrap();
+        let www: DomainName = "www.victim.com".parse().unwrap();
+        let origin = Ipv4Addr::new(100, 64, 1, 1);
+        provider
+            .enroll(SimTime::EPOCH, &domain, origin, plan, ReroutingMethod::Ns)
+            .unwrap();
+        provider.terminate(SimTime::EPOCH, &domain, true).unwrap();
+        let purge_after = provider.policy().purge_after(plan);
+
+        for day in probe_days {
+            let when = SimTime::from_days(day);
+            let answered = provider
+                .answer(when, &Query::new(www.clone(), RecordType::A))
+                .is_some_and(|r| !r.answers.is_empty());
+            let expected = match purge_after {
+                None => true,
+                Some(window) => when < SimTime::EPOCH + window,
+            };
+            prop_assert_eq!(answered, expected, "day {}: plan {}", day, plan);
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Virtual time: instants, durations, and a shared clock handle.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Seconds per minute.
+const MINUTE: u64 = 60;
+/// Seconds per hour.
+const HOUR: u64 = 60 * MINUTE;
+/// Seconds per day.
+const DAY: u64 = 24 * HOUR;
+/// Seconds per week.
+const WEEK: u64 = 7 * DAY;
+
+/// An instant on the simulation timeline, counted in whole seconds since the
+/// simulation epoch (the moment the world was created).
+///
+/// `SimTime` is a plain value; the *current* time lives in a [`SimClock`].
+///
+/// # Example
+///
+/// ```
+/// use remnant_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::EPOCH + SimDuration::days(2) + SimDuration::hours(6);
+/// assert_eq!(t.as_days(), 2);
+/// assert_eq!(t.as_secs(), 2 * 86_400 + 6 * 3_600);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Creates an instant from whole seconds since the epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs)
+    }
+
+    /// Creates an instant from whole days since the epoch.
+    pub const fn from_days(days: u64) -> Self {
+        SimTime(days * DAY)
+    }
+
+    /// Seconds since the epoch.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Whole days since the epoch (truncating).
+    pub const fn as_days(self) -> u64 {
+        self.0 / DAY
+    }
+
+    /// Whole hours since the epoch (truncating).
+    pub const fn as_hours(self) -> u64 {
+        self.0 / HOUR
+    }
+
+    /// Whole weeks since the epoch (truncating).
+    pub const fn as_weeks(self) -> u64 {
+        self.0 / WEEK
+    }
+
+    /// Elapsed span since `earlier`, saturating to zero if `earlier` is in
+    /// the future.
+    pub const fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of `self` and `other`.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of `self` and `other`.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let days = self.0 / DAY;
+        let rem = self.0 % DAY;
+        let h = rem / HOUR;
+        let m = (rem % HOUR) / MINUTE;
+        let s = rem % MINUTE;
+        write!(f, "d{days}+{h:02}:{m:02}:{s:02}")
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+/// A span of virtual time in whole seconds.
+///
+/// # Example
+///
+/// ```
+/// use remnant_sim::SimDuration;
+///
+/// let window = SimDuration::days(5) + SimDuration::hours(3);
+/// assert!(window > SimDuration::days(5));
+/// assert_eq!(window.as_days(), 5);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// A zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a span of whole seconds.
+    pub const fn secs(secs: u64) -> Self {
+        SimDuration(secs)
+    }
+
+    /// Creates a span of whole minutes.
+    pub const fn minutes(minutes: u64) -> Self {
+        SimDuration(minutes * MINUTE)
+    }
+
+    /// Creates a span of whole hours.
+    pub const fn hours(hours: u64) -> Self {
+        SimDuration(hours * HOUR)
+    }
+
+    /// Creates a span of whole days.
+    pub const fn days(days: u64) -> Self {
+        SimDuration(days * DAY)
+    }
+
+    /// Creates a span of whole weeks.
+    pub const fn weeks(weeks: u64) -> Self {
+        SimDuration(weeks * WEEK)
+    }
+
+    /// The span in whole seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// The span in whole hours (truncating).
+    pub const fn as_hours(self) -> u64 {
+        self.0 / HOUR
+    }
+
+    /// The span in whole days (truncating).
+    pub const fn as_days(self) -> u64 {
+        self.0 / DAY
+    }
+
+    /// The span in fractional days (for CDF plotting).
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / DAY as f64
+    }
+
+    /// The span in whole weeks (truncating).
+    pub const fn as_weeks(self) -> u64 {
+        self.0 / WEEK
+    }
+
+    /// True if the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_multiple_of(DAY) {
+            write!(f, "{}d", self.0 / DAY)
+        } else if self.0.is_multiple_of(HOUR) {
+            write!(f, "{}h", self.0 / HOUR)
+        } else {
+            write!(f, "{}s", self.0)
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+/// A cheaply cloneable handle to the current virtual time.
+///
+/// All components of a simulation share one clock; cloning the handle shares
+/// the underlying counter. Time only moves forward.
+///
+/// # Example
+///
+/// ```
+/// use remnant_sim::{SimClock, SimDuration};
+///
+/// let clock = SimClock::new();
+/// let view = clock.clone();
+/// clock.advance(SimDuration::hours(20));
+/// assert_eq!(view.now().as_hours(), 20);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SimClock {
+    now: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock positioned at the epoch.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Creates a clock positioned at `start`.
+    pub fn starting_at(start: SimTime) -> Self {
+        let clock = SimClock::new();
+        clock.now.store(start.as_secs(), Ordering::SeqCst);
+        clock
+    }
+
+    /// The current virtual instant.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.now.load(Ordering::SeqCst))
+    }
+
+    /// Moves time forward by `span` and returns the new instant.
+    pub fn advance(&self, span: SimDuration) -> SimTime {
+        let new = self.now.fetch_add(span.as_secs(), Ordering::SeqCst) + span.as_secs();
+        SimTime(new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = SimTime::from_days(10) + SimDuration::hours(5);
+        assert_eq!(t.as_days(), 10);
+        assert_eq!(t.as_hours(), 245);
+        assert_eq!(t - SimTime::from_days(10), SimDuration::hours(5));
+    }
+
+    #[test]
+    fn since_saturates_for_future_instants() {
+        let early = SimTime::from_secs(5);
+        let late = SimTime::from_secs(9);
+        assert_eq!(early.since(late), SimDuration::ZERO);
+        assert_eq!(late.since(early), SimDuration::secs(4));
+    }
+
+    #[test]
+    fn duration_subtraction_saturates() {
+        assert_eq!(
+            SimDuration::secs(3) - SimDuration::secs(10),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn clock_is_shared_between_clones() {
+        let clock = SimClock::new();
+        let other = clock.clone();
+        clock.advance(SimDuration::days(1));
+        other.advance(SimDuration::days(2));
+        assert_eq!(clock.now(), SimTime::from_days(3));
+    }
+
+    #[test]
+    fn clock_starting_at_offsets_epoch() {
+        let clock = SimClock::starting_at(SimTime::from_days(7));
+        assert_eq!(clock.now().as_weeks(), 1);
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(
+            (SimTime::from_days(2) + SimDuration::hours(3)).to_string(),
+            "d2+03:00:00"
+        );
+        assert_eq!(SimDuration::days(6).to_string(), "6d");
+        assert_eq!(SimDuration::hours(30).to_string(), "30h");
+        assert_eq!(SimDuration::secs(61).to_string(), "61s");
+    }
+
+    #[test]
+    fn min_max_pick_correct_instants() {
+        let a = SimTime::from_secs(4);
+        let b = SimTime::from_secs(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn week_helpers() {
+        assert_eq!(SimDuration::weeks(2).as_days(), 14);
+        assert_eq!(SimTime::from_days(15).as_weeks(), 2);
+    }
+}

@@ -1,0 +1,435 @@
+//! Statistics containers used to regenerate the paper's figures.
+//!
+//! The paper reports daily behavior counts (Fig 3), CDFs of pause periods
+//! (Fig 5), adoption breakdowns (Fig 2/6), and weekly exposure series
+//! (Fig 9). These containers collect raw samples during a simulation run and
+//! expose the derived shapes the figures plot.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A labelled monotone counter.
+///
+/// # Example
+///
+/// ```
+/// use remnant_sim::stats::Counter;
+///
+/// let mut joins = Counter::new("JOIN");
+/// joins.add(3);
+/// joins.incr();
+/// assert_eq!(joins.value(), 4);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Counter {
+    label: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new(label: impl Into<String>) -> Self {
+        Counter {
+            label: label.into(),
+            value: 0,
+        }
+    }
+
+    /// The counter's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The current count.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.label, self.value)
+    }
+}
+
+/// An empirical distribution built from `f64` samples.
+///
+/// Used for the pause-period CDF (Fig 5): samples are pause durations in
+/// days; the figure plots `P[duration <= x]`.
+///
+/// # Example
+///
+/// ```
+/// use remnant_sim::stats::Ecdf;
+///
+/// let mut cdf = Ecdf::new();
+/// cdf.extend([1.0, 2.0, 6.0, 8.0]);
+/// assert_eq!(cdf.fraction_le(2.0), 0.5);
+/// assert_eq!(cdf.fraction_gt(5.0), 0.5);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Ecdf {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Ecdf {
+    /// Creates an empty distribution.
+    pub fn new() -> Self {
+        Ecdf::default()
+    }
+
+    /// Adds one sample. Non-finite samples are ignored.
+    pub fn push(&mut self, sample: f64) {
+        if sample.is_finite() {
+            self.samples.push(sample);
+            self.sorted = false;
+        }
+    }
+
+    /// Number of samples collected.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were collected.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("non-finite samples are rejected"));
+            self.sorted = true;
+        }
+    }
+
+    /// Fraction of samples `<= x`; 0.0 for an empty distribution.
+    pub fn fraction_le(&self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let n = self.samples.iter().filter(|s| **s <= x).count();
+        n as f64 / self.samples.len() as f64
+    }
+
+    /// Fraction of samples `> x`; 0.0 for an empty distribution.
+    pub fn fraction_gt(&self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.fraction_le(x)
+    }
+
+    /// The `q`-th quantile (0.0..=1.0) using nearest-rank.
+    ///
+    /// Returns `None` for an empty distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `0.0..=1.0`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in 0..=1");
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.samples[rank - 1])
+    }
+
+    /// Mean of the samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Evaluates the CDF at each x in `xs`, yielding `(x, P[sample <= x])`
+    /// pairs ready for plotting.
+    pub fn curve(&self, xs: impl IntoIterator<Item = f64>) -> Vec<(f64, f64)> {
+        xs.into_iter().map(|x| (x, self.fraction_le(x))).collect()
+    }
+}
+
+impl Extend<f64> for Ecdf {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for s in iter {
+            self.push(s);
+        }
+    }
+}
+
+impl FromIterator<f64> for Ecdf {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut cdf = Ecdf::new();
+        cdf.extend(iter);
+        cdf
+    }
+}
+
+/// A labelled (x, y) series, e.g. "JOIN events per day" for Fig 3.
+///
+/// # Example
+///
+/// ```
+/// use remnant_sim::stats::Series;
+///
+/// let mut s = Series::new("JOIN");
+/// s.push(0.0, 190.0);
+/// s.push(1.0, 201.0);
+/// assert_eq!(s.mean_y(), Some(195.5));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Series {
+    label: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The collected points in insertion order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of the y values, or `None` if empty.
+    pub fn mean_y(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            None
+        } else {
+            Some(self.points.iter().map(|(_, y)| y).sum::<f64>() / self.points.len() as f64)
+        }
+    }
+
+    /// Maximum y value, or `None` if empty.
+    pub fn max_y(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|(_, y)| *y)
+            .fold(None, |acc, y| Some(acc.map_or(y, |m: f64| m.max(y))))
+    }
+}
+
+/// A categorical breakdown (label -> count), e.g. per-provider adoption for
+/// Fig 2. Iteration order is the labels' sort order, which keeps rendered
+/// tables stable.
+///
+/// # Example
+///
+/// ```
+/// use remnant_sim::stats::Breakdown;
+///
+/// let mut b = Breakdown::new();
+/// b.add("Cloudflare", 790);
+/// b.add("Incapsula", 37);
+/// assert_eq!(b.total(), 827);
+/// assert!((b.share("Cloudflare").unwrap() - 0.9553).abs() < 1e-3);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    counts: BTreeMap<String, u64>,
+}
+
+impl Breakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Breakdown::default()
+    }
+
+    /// Adds `n` to `label`'s bucket, creating it if absent.
+    pub fn add(&mut self, label: impl Into<String>, n: u64) {
+        *self.counts.entry(label.into()).or_insert(0) += n;
+    }
+
+    /// Adds one to `label`'s bucket.
+    pub fn incr(&mut self, label: impl Into<String>) {
+        self.add(label, 1);
+    }
+
+    /// The count for `label`, if present.
+    pub fn get(&self, label: &str) -> Option<u64> {
+        self.counts.get(label).copied()
+    }
+
+    /// Sum of all buckets.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// `label`'s share of the total, or `None` if the label is absent or the
+    /// total is zero.
+    pub fn share(&self, label: &str) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        self.counts.get(label).map(|n| *n as f64 / total as f64)
+    }
+
+    /// Iterates `(label, count)` in label order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of distinct labels.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if no labels were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a Breakdown {
+    type Item = (&'a str, u64);
+    type IntoIter = std::vec::IntoIter<(&'a str, u64)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter().collect::<Vec<_>>().into_iter()
+    }
+}
+
+impl FromIterator<(String, u64)> for Breakdown {
+    fn from_iter<T: IntoIterator<Item = (String, u64)>>(iter: T) -> Self {
+        let mut b = Breakdown::new();
+        for (label, n) in iter {
+            b.add(label, n);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new("x");
+        c.incr();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+        assert_eq!(c.to_string(), "x=5");
+    }
+
+    #[test]
+    fn ecdf_fractions() {
+        let cdf: Ecdf = [1.0, 2.0, 3.0, 10.0].into_iter().collect();
+        assert_eq!(cdf.fraction_le(3.0), 0.75);
+        assert_eq!(cdf.fraction_gt(3.0), 0.25);
+        assert_eq!(cdf.fraction_le(0.0), 0.0);
+        assert_eq!(cdf.fraction_le(100.0), 1.0);
+    }
+
+    #[test]
+    fn ecdf_empty_is_safe() {
+        let mut cdf = Ecdf::new();
+        assert_eq!(cdf.fraction_le(1.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), None);
+        assert_eq!(cdf.mean(), None);
+        assert!(cdf.is_empty());
+    }
+
+    #[test]
+    fn ecdf_rejects_non_finite() {
+        let mut cdf = Ecdf::new();
+        cdf.push(f64::NAN);
+        cdf.push(f64::INFINITY);
+        cdf.push(1.0);
+        assert_eq!(cdf.len(), 1);
+    }
+
+    #[test]
+    fn ecdf_quantiles_nearest_rank() {
+        let mut cdf: Ecdf = (1..=10).map(|i| i as f64).collect();
+        assert_eq!(cdf.quantile(0.5), Some(5.0));
+        assert_eq!(cdf.quantile(1.0), Some(10.0));
+        assert_eq!(cdf.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn ecdf_curve_is_monotone() {
+        let cdf: Ecdf = [2.0, 4.0, 4.0, 9.0].into_iter().collect();
+        let curve = cdf.curve((0..12).map(|x| x as f64));
+        for pair in curve.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn series_stats() {
+        let mut s = Series::new("L");
+        assert!(s.is_empty());
+        assert_eq!(s.mean_y(), None);
+        s.push(0.0, 140.0);
+        s.push(1.0, 150.0);
+        assert_eq!(s.mean_y(), Some(145.0));
+        assert_eq!(s.max_y(), Some(150.0));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn breakdown_shares() {
+        let mut b = Breakdown::new();
+        b.add("a", 3);
+        b.incr("b");
+        b.incr("a");
+        assert_eq!(b.get("a"), Some(4));
+        assert_eq!(b.total(), 5);
+        assert_eq!(b.share("b"), Some(0.2));
+        assert_eq!(b.share("missing"), None);
+        let labels: Vec<&str> = b.iter().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn breakdown_empty_share_is_none() {
+        let b = Breakdown::new();
+        assert_eq!(b.share("a"), None);
+        assert!(b.is_empty());
+    }
+}

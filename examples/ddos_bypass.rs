@@ -1,0 +1,83 @@
+//! The end-to-end threat model of Fig 1: a Tbps botnet is absorbed by the
+//! victim's DPS, until the adversary extracts the origin address from the
+//! victim's *previous* provider and floods it directly.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example ddos_bypass
+//! ```
+
+use remnant::attack::{Botnet, DdosAttack, ResidualBypassAttack};
+use remnant::attack::bypass::RemnantProbe;
+use remnant::provider::{ProviderId, ReroutingMethod, ServicePlan};
+use remnant::world::{SiteState, World, WorldConfig};
+
+fn main() {
+    let mut world = World::generate(WorldConfig::new(5_000, 1234));
+
+    // Pick a Cloudflare NS-based customer as the victim.
+    let victim = world
+        .sites()
+        .iter()
+        .find(|s| {
+            !s.firewalled
+                && !s.dynamic_meta
+                && matches!(
+                    s.state,
+                    SiteState::Dps {
+                        provider: ProviderId::Cloudflare,
+                        rerouting: ReroutingMethod::Ns,
+                        paused: false,
+                        ..
+                    }
+                )
+        })
+        .expect("cloudflare customer exists")
+        .clone();
+    println!("victim: {} (origin {}, protected by Cloudflare)", victim.www, victim.origin);
+
+    // Step 1: while protected, a Mirai-class flood on the edge fails.
+    let botnet = Botnet::mirai_class();
+    println!("attacker: {botnet}");
+    let edge = world
+        .provider(ProviderId::Cloudflare)
+        .account(&victim.apex)
+        .expect("enrolled")
+        .edge;
+    let frontal = DdosAttack::new(botnet, 0.5).launch(&world, edge);
+    println!("frontal flood at edge {edge}: {frontal}");
+    assert!(frontal.service_survives());
+
+    // Step 2: the victim switches to Incapsula (keeping its origin — the
+    // 90% case), informing Cloudflare, which keeps a remnant record.
+    world.force_switch(
+        victim.id,
+        ProviderId::Incapsula,
+        ReroutingMethod::Cname,
+        ServicePlan::Pro,
+        true,
+    );
+    world.step_days(3); // stale delegations age out of caches
+    println!("\nvictim switched to Incapsula; public DNS now shows the new provider");
+
+    // Step 3: the adversary interrogates the previous provider.
+    let mut adversary = ResidualBypassAttack::new(&world, botnet);
+    let report = adversary.execute(
+        &mut world,
+        &victim.www,
+        ProviderId::Cloudflare,
+        RemnantProbe::DirectNsQuery,
+    );
+
+    println!("public address  : {:?}", report.public_address);
+    println!("leaked address  : {:?}", report.leaked_address);
+    println!("leak verified   : {}", report.leak_verified);
+    if let Some(outcome) = &report.frontal_attack {
+        println!("frontal attack  : {outcome}");
+    }
+    if let Some(outcome) = &report.bypass_attack {
+        println!("bypass attack   : {outcome}");
+    }
+    println!("\n{report}");
+    assert!(report.bypass_succeeded(), "the remnant told the secret");
+}

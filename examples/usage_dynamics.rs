@@ -1,0 +1,81 @@
+//! Tracking DPS usage dynamics (Sec IV): daily snapshots, Table III
+//! classification, Table IV behavior detection, Fig 4 FSM validation and
+//! the Fig 5 pause CDF.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example usage_dynamics
+//! ```
+
+use remnant::core::adoption::DpsStatus;
+use remnant::core::collector::{RecordCollector, Target};
+use remnant::core::pause::PauseTracker;
+use remnant::core::report::{percent, render_cdf, TextTable};
+use remnant::core::BehaviorDetector;
+use remnant::net::Region;
+use remnant::provider::ProviderId;
+use remnant::world::{BehaviorKind, World, WorldConfig};
+
+fn main() {
+    let mut world = World::generate(WorldConfig::new(15_000, 99));
+    let targets: Vec<Target> = world
+        .sites()
+        .iter()
+        .map(|s| (s.apex.clone(), s.www.clone()))
+        .collect();
+
+    let mut collector = RecordCollector::new(world.clock(), Region::Ashburn);
+    let detector = BehaviorDetector::new();
+    let mut pauses = PauseTracker::new();
+    let mut prev: Option<Vec<remnant::core::Adoption>> = None;
+    let mut totals = std::collections::BTreeMap::new();
+
+    println!("day  ON      OFF   NONE    J    L    P    R    S");
+    for day in 0..21 {
+        let snapshot = collector.collect(&mut world, &targets, day);
+        let classes = detector.classify_snapshot(&snapshot);
+        pauses.observe(snapshot.taken_at, &classes);
+
+        let on = classes.iter().filter(|c| c.status == DpsStatus::On).count();
+        let off = classes.iter().filter(|c| c.status == DpsStatus::Off).count();
+        let none = classes.len() - on - off;
+
+        let mut counts = [0usize; 5];
+        if let Some(prev_classes) = &prev {
+            for behavior in detector.diff(prev_classes, &classes) {
+                let idx = BehaviorKind::ALL
+                    .iter()
+                    .position(|k| *k == behavior.kind)
+                    .expect("known kind");
+                counts[idx] += 1;
+                *totals.entry(behavior.kind.to_string()).or_insert(0usize) += 1;
+            }
+        }
+        println!(
+            "{day:>3}  {on:>6} {off:>6} {none:>6} {:>4} {:>4} {:>4} {:>4} {:>4}",
+            counts[0], counts[1], counts[2], counts[3], counts[4]
+        );
+        prev = Some(classes);
+        world.step_hours(24);
+    }
+
+    println!("\n== totals over 3 weeks ==");
+    let mut table = TextTable::new(["Behavior", "Observed"]);
+    for (kind, count) in &totals {
+        table.row([kind.clone(), count.to_string()]);
+    }
+    print!("{table}");
+
+    println!("\n== Fig 5: pause-period CDF ==");
+    let overall = pauses.cdf_overall();
+    println!("{}", render_cdf("overall", &overall, 10));
+    println!(
+        "pauses longer than 5 days: {}",
+        percent(overall.fraction_gt(5.0))
+    );
+    println!(
+        "cloudflare windows: {}, incapsula windows: {}",
+        pauses.cdf_for(ProviderId::Cloudflare).len(),
+        pauses.cdf_for(ProviderId::Incapsula).len()
+    );
+}

@@ -1,0 +1,268 @@
+//! Failure injection: the measurement pipeline must degrade gracefully
+//! under the conditions the paper reports — servers ignoring queries,
+//! origins firewalled to DPS-only traffic, dynamic pages, dead hosts —
+//! and the resolver substrate must survive unreachable infrastructure.
+
+use remnant::core::collector::{RecordCollector, Target};
+use remnant::core::residual::{CloudflareScanner, FilterPipeline};
+use remnant::core::study::{PaperStudy, StudyConfig};
+use remnant::core::SCANNER_SOURCE;
+use remnant::dns::transport::{StaticTransport, ROOT_SERVER};
+use remnant::dns::{
+    DnsError, DomainName, RecordData, RecordType, RecursiveResolver, Registry, ResourceRecord,
+    Ttl, Zone, ZoneServer,
+};
+use remnant::net::Region;
+use remnant::provider::{ProviderId, ReroutingMethod, ServicePlan};
+use remnant::sim::SimClock;
+use remnant::world::{SiteState, World, WorldConfig};
+use std::net::Ipv4Addr;
+
+fn generate(seed: u64) -> World {
+    World::generate(WorldConfig {
+        population: 2_000,
+        seed,
+        warmup_days: 0,
+        calibration: remnant::world::Calibration::paper(),
+    })
+}
+
+fn targets(world: &World) -> Vec<Target> {
+    world
+        .sites()
+        .iter()
+        .map(|s| (s.apex.clone(), s.www.clone()))
+        .collect()
+}
+
+#[test]
+fn resolver_survives_flapping_nameservers() {
+    let clock = SimClock::new();
+    let apex: DomainName = "flaky.com".parse().unwrap();
+    let www = apex.prepend("www").unwrap();
+    let ns1 = Ipv4Addr::new(10, 0, 0, 1);
+    let ns2 = Ipv4Addr::new(10, 0, 0, 2);
+    let mut registry = Registry::new();
+    registry.delegate(
+        apex.clone(),
+        vec![
+            ("ns1.flaky.com".parse().unwrap(), ns1),
+            ("ns2.flaky.com".parse().unwrap(), ns2),
+        ],
+    );
+    let mut zone = Zone::new(apex);
+    zone.add(ResourceRecord::new(
+        www.clone(),
+        Ttl::secs(60),
+        RecordData::A(Ipv4Addr::new(203, 0, 113, 5)),
+    ));
+    let mut transport = StaticTransport::new(registry);
+    transport.add_server(ns1, ZoneServer::new(vec![zone.clone()]));
+    transport.add_server(ns2, ZoneServer::new(vec![zone]));
+
+    let mut resolver = RecursiveResolver::new(clock, Region::Oregon);
+    // Primary dead: the resolver fails over to the secondary.
+    transport.set_unreachable(ns1);
+    let res = resolver.resolve(&mut transport, &www, RecordType::A).unwrap();
+    assert_eq!(res.addresses(), vec![Ipv4Addr::new(203, 0, 113, 5)]);
+
+    // Both dead: a clean timeout error, not a hang or panic.
+    transport.set_unreachable(ns2);
+    resolver.purge_cache();
+    let err = resolver
+        .resolve(&mut transport, &www, RecordType::A)
+        .unwrap_err();
+    assert!(matches!(err, DnsError::Timeout { .. }));
+
+    // Root dead too.
+    transport.set_unreachable(ROOT_SERVER);
+    let err = resolver
+        .resolve(&mut transport, &www, RecordType::A)
+        .unwrap_err();
+    assert!(matches!(err, DnsError::Timeout { .. }));
+}
+
+#[test]
+fn collector_records_empty_sites_instead_of_failing() {
+    // A world where nothing exists for a probed name: the collector must
+    // produce empty records, and classification must call it NONE.
+    let mut world = generate(20);
+    let mut fake_targets = targets(&world);
+    fake_targets.push((
+        "ghost-domain.org".parse().unwrap(),
+        "www.ghost-domain.org".parse().unwrap(),
+    ));
+    let mut collector = RecordCollector::new(world.clock(), Region::Ashburn);
+    let snapshot = collector.collect(&mut world, &fake_targets, 0);
+    let ghost = snapshot.site(fake_targets.len() - 1).unwrap();
+    assert!(ghost.is_empty());
+    let detector = remnant::core::BehaviorDetector::new();
+    let classes = detector.classify_snapshot(&snapshot);
+    assert_eq!(classes.last().unwrap().status, remnant::core::DpsStatus::None);
+}
+
+#[test]
+fn firewalled_and_dynamic_sites_reduce_verification_not_detection() {
+    // Force three switches: a clean site, a firewalled one, a dynamic-meta
+    // one. All three must appear as hidden records; only the clean one
+    // verifies — the paper's lower-bound behavior (Sec IV-C.3).
+    let mut world = generate(21);
+    let clean = world
+        .sites()
+        .iter()
+        .find(|s| {
+            !s.firewalled
+                && !s.dynamic_meta
+                && matches!(
+                    s.state,
+                    SiteState::Dps {
+                        provider: ProviderId::Cloudflare,
+                        rerouting: ReroutingMethod::Ns,
+                        paused: false,
+                        ..
+                    }
+                )
+        })
+        .cloned();
+    let firewalled = world
+        .sites()
+        .iter()
+        .find(|s| {
+            s.firewalled
+                && matches!(
+                    s.state,
+                    SiteState::Dps {
+                        provider: ProviderId::Cloudflare,
+                        rerouting: ReroutingMethod::Ns,
+                        paused: false,
+                        ..
+                    }
+                )
+        })
+        .cloned();
+    let dynamic = world
+        .sites()
+        .iter()
+        .find(|s| {
+            s.dynamic_meta
+                && !s.firewalled
+                && matches!(
+                    s.state,
+                    SiteState::Dps {
+                        provider: ProviderId::Cloudflare,
+                        rerouting: ReroutingMethod::Ns,
+                        paused: false,
+                        ..
+                    }
+                )
+        })
+        .cloned();
+
+    let targets = targets(&world);
+    let mut collector = RecordCollector::new(world.clock(), Region::Ashburn);
+    let snapshot = collector.collect(&mut world, &targets, 0);
+    let mut scanner = CloudflareScanner::new(world.clock(), "cloudflare");
+    scanner.harvest_fleet(&mut world, &snapshot);
+
+    let mut expectations = Vec::new();
+    for (site, should_verify) in [(clean, true), (firewalled, false), (dynamic, false)] {
+        let Some(site) = site else { continue };
+        world.force_switch(
+            site.id,
+            ProviderId::Fastly,
+            ReroutingMethod::Cname,
+            ServicePlan::Pro,
+            true,
+        );
+        expectations.push((site.id.0 as usize, should_verify));
+    }
+    assert!(!expectations.is_empty());
+    world.step_days(1);
+
+    let raw = scanner.scan(&mut world, &targets, 0);
+    let mut pipeline = FilterPipeline::new(world.clock(), Region::Ashburn, SCANNER_SOURCE);
+    let report = pipeline.run(&mut world, ProviderId::Cloudflare, 0, &raw, &targets);
+    for (rank, should_verify) in expectations {
+        assert!(
+            report.hidden.iter().any(|h| h.rank == rank),
+            "site {rank} must be hidden regardless of verification obstacles"
+        );
+        assert_eq!(
+            report.verified.contains(&rank),
+            should_verify,
+            "verification expectation for site {rank}"
+        );
+    }
+}
+
+#[test]
+fn study_survives_a_world_with_zero_adoption() {
+    // Degenerate calibration: no DPS at all. Every stage must handle the
+    // absence of providers, behaviors, and remnants.
+    let mut calibration = remnant::world::Calibration::paper();
+    calibration.adoption_overall = 0.0;
+    calibration.adoption_top_band = 0.0;
+    calibration.daily_join_per_million = 0.0;
+    calibration.daily_leave_per_million = 0.0;
+    calibration.daily_pause_per_million = 0.0;
+    calibration.daily_switch_per_million = 0.0;
+    let mut world = World::generate(WorldConfig {
+        population: 500,
+        seed: 22,
+        warmup_days: 0,
+        calibration,
+    });
+    let report = PaperStudy::new(StudyConfig {
+        weeks: 1,
+        uneven_intervals: false,
+        ..StudyConfig::default()
+    })
+    .run(&mut world);
+    assert_eq!(report.adoption.overall_rate, 0.0);
+    assert_eq!(report.residual.fleet_size, 0, "nothing to harvest");
+    assert_eq!(report.residual.cloudflare.exposure.total_hidden(), 0);
+    assert_eq!(report.unchanged.total.events, 0);
+}
+
+#[test]
+fn dark_sites_resolve_to_parking_and_never_verify() {
+    let mut world = generate(23);
+    let site = world
+        .sites()
+        .iter()
+        .find(|s| {
+            matches!(
+                s.state,
+                SiteState::Dps {
+                    provider: ProviderId::Cloudflare,
+                    rerouting: ReroutingMethod::Ns,
+                    ..
+                }
+            )
+        })
+        .unwrap()
+        .clone();
+    // Leave informed, then manually take the site dark.
+    world.force_leave(site.id, true);
+    // Dark fate: simulate by leaving + the site body disappearing is the
+    // world's job; here we emulate via dynamics' leave fate by checking a
+    // ground-truth dark site if one exists after churn.
+    world.step_days(7);
+    let targets = targets(&world);
+    let dark = world
+        .sites()
+        .iter()
+        .find(|s| s.state == SiteState::Dark)
+        .cloned();
+    let Some(dark) = dark else { return };
+    let mut resolver = RecursiveResolver::new(world.clock(), Region::London);
+    let res = resolver
+        .resolve(&mut world, &dark.www, RecordType::A)
+        .unwrap();
+    assert_eq!(
+        res.addresses(),
+        vec![remnant::world::world::PARKING_IP],
+        "dark sites point at the parking service"
+    );
+    let _ = targets;
+}
