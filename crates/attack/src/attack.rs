@@ -31,8 +31,8 @@ impl AttackOutcome {
     /// True if the victim's service survived: most legitimate traffic is
     /// delivered and the origin uplink is not saturated by attack traffic.
     pub fn service_survives(&self) -> bool {
-        let legit_ok = self.legit_offered <= 0.0
-            || self.legit_delivered / self.legit_offered >= 0.9;
+        let legit_ok =
+            self.legit_offered <= 0.0 || self.legit_delivered / self.legit_offered >= 0.9;
         legit_ok && self.malicious_at_origin < ORIGIN_UPLINK_GBPS
     }
 }
@@ -94,11 +94,7 @@ impl DdosAttack {
                 let mut legit_through = 0.0;
                 for pop in pops {
                     let outcome = dps
-                        .scrub_at(
-                            pop.id(),
-                            malicious * share,
-                            self.legit_gbps * share,
-                        )
+                        .scrub_at(pop.id(), malicious * share, self.legit_gbps * share)
                         .expect("every pop has a scrubbing center");
                     malicious_through += outcome.malicious_passed;
                     legit_through += outcome.legit_passed;
@@ -156,11 +152,7 @@ mod tests {
             .unwrap()
             .clone();
         let provider = protected.state.provider().unwrap();
-        let edge = w
-            .provider(provider)
-            .account(&protected.apex)
-            .unwrap()
-            .edge;
+        let edge = w.provider(provider).account(&protected.apex).unwrap().edge;
         let attack = DdosAttack::new(Botnet::mirai_class(), 0.5);
         let outcome = attack.launch(&w, edge);
         assert_eq!(outcome.hit_dps_edge, Some(provider));

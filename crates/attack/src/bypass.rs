@@ -156,8 +156,7 @@ impl ResidualBypassAttack {
     ) -> Option<Ipv4Addr> {
         match probe {
             RemnantProbe::DirectNsQuery => {
-                let servers: Vec<Ipv4Addr> =
-                    world.provider(previous).ns_addresses().to_vec();
+                let servers: Vec<Ipv4Addr> = world.provider(previous).ns_addresses().to_vec();
                 let query = Query::new(www.clone(), RecordType::A);
                 for server in servers {
                     let now = world.now();
@@ -258,11 +257,7 @@ mod tests {
         );
         assert_eq!(report.leaked_address, None);
         assert!(!report.bypass_succeeded());
-        assert!(report
-            .frontal_attack
-            .as_ref()
-            .unwrap()
-            .service_survives());
+        assert!(report.frontal_attack.as_ref().unwrap().service_survives());
     }
 
     #[test]

@@ -49,8 +49,7 @@ fn bench_pipeline(c: &mut Criterion) {
 
     let raw = scanner.scan(&mut world, &targets, 0);
     group.bench_function("filter_pipeline", |b| {
-        let mut pipeline =
-            FilterPipeline::new(world.clock(), Region::Ashburn, SCANNER_SOURCE);
+        let mut pipeline = FilterPipeline::new(world.clock(), Region::Ashburn, SCANNER_SOURCE);
         b.iter(|| pipeline.run(&mut world, ProviderId::Cloudflare, 0, &raw, &targets));
     });
 

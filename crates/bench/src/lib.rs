@@ -22,6 +22,9 @@ pub struct ReproConfig {
     pub seed: u64,
     /// Exact 24h intervals instead of the paper's uneven 20–30h ones.
     pub even_intervals: bool,
+    /// Worker threads for the sharded sweeps. Output is bit-identical for
+    /// every value; only wall time changes.
+    pub workers: usize,
 }
 
 impl Default for ReproConfig {
@@ -31,6 +34,7 @@ impl Default for ReproConfig {
             weeks: 6,
             seed: 42,
             even_intervals: false,
+            workers: 1,
         }
     }
 }
@@ -48,6 +52,7 @@ pub fn run_study(config: &ReproConfig) -> (World, StudyReport) {
     let report = PaperStudy::new(StudyConfig {
         weeks: config.weeks,
         uneven_intervals: !config.even_intervals,
+        workers: config.workers,
         ..StudyConfig::default()
     })
     .run(&mut world);
@@ -233,9 +238,7 @@ pub fn render_fig9(config: &ReproConfig, report: &StudyReport) -> String {
         0.0
     };
     let mut table = TextTable::new(["Week", "Hidden", "Verified", "Newly exposed"]);
-    for (week, ((hidden, verified, _), new)) in
-        cf.weekly_rows().iter().zip(&newly).enumerate()
-    {
+    for (week, ((hidden, verified, _), new)) in cf.weekly_rows().iter().zip(&newly).enumerate() {
         table.row([
             (week + 1).to_string(),
             hidden.to_string(),
@@ -287,7 +290,11 @@ pub fn render_table5(config: &ReproConfig, report: &StudyReport) -> String {
             events.to_string(),
             format!("{:.0}", events as f64 * config.to_paper_scale()),
             unchanged.to_string(),
-            if rate.is_nan() { "-".to_owned() } else { percent(rate) },
+            if rate.is_nan() {
+                "-".to_owned()
+            } else {
+                percent(rate)
+            },
             percent(*paper_rate),
         ]);
     }
@@ -438,12 +445,15 @@ pub fn render_table1(config: &ReproConfig) -> String {
         last = Some(snapshot);
         world.step_hours(24);
     }
-    let classes =
-        BehaviorDetector::new().classify_snapshot(&last.expect("at least one round ran"));
+    let classes = BehaviorDetector::new().classify_snapshot(&last.expect("at least one round ran"));
     let mut scanner = VectorScanner::new(world.clock(), Region::Ashburn, SCANNER_SOURCE);
     let report = scanner.scan(&mut world, &targets, &classes, &history);
 
-    let mut table = TextTable::new(["Vector (Table I)", "Sites w/ candidates", "Verified origins"]);
+    let mut table = TextTable::new([
+        "Vector (Table I)",
+        "Sites w/ candidates",
+        "Verified origins",
+    ]);
     for vector in ExposureVector::ALL {
         let tally = report.tally(vector);
         table.row([
@@ -489,8 +499,7 @@ pub fn render_ablation(config: &ReproConfig) -> String {
         let mut scanner = CloudflareScanner::new(world.clock(), "cloudflare");
         scanner.harvest_fleet(world, &snapshot);
         let raw = scanner.scan(world, &targets, 0);
-        let mut pipeline =
-            FilterPipeline::new(world.clock(), Region::Ashburn, SCANNER_SOURCE);
+        let mut pipeline = FilterPipeline::new(world.clock(), Region::Ashburn, SCANNER_SOURCE);
         let report = pipeline.run(world, ProviderId::Cloudflare, 0, &raw, &targets);
         (report.hidden.len(), report.verified.len())
     }
@@ -499,7 +508,11 @@ pub fn render_ablation(config: &ReproConfig) -> String {
 
     // Ablation 1: the purge window. The world's churn runs under each
     // policy from generation (policy applied before warmup via rebuild).
-    let mut table = TextTable::new(["Purge window (all plans)", "Hidden records", "Verified origins"]);
+    let mut table = TextTable::new([
+        "Purge window (all plans)",
+        "Hidden records",
+        "Verified origins",
+    ]);
     for (label, window) in [
         ("1 week", Some(SimDuration::weeks(1))),
         ("4 weeks (observed, free plan)", Some(SimDuration::weeks(4))),
@@ -511,7 +524,9 @@ pub fn render_ablation(config: &ReproConfig) -> String {
         for plan in ServicePlan::ALL {
             policy.set_purge_after(plan, window);
         }
-        world.provider_mut(ProviderId::Cloudflare).set_policy(policy);
+        world
+            .provider_mut(ProviderId::Cloudflare)
+            .set_policy(policy);
         world.step_days(7 * 14); // new steady state under the policy
         let (hidden, verified) = scan(&mut world);
         table.row([label.to_owned(), hidden.to_string(), verified.to_string()]);
@@ -523,7 +538,10 @@ pub fn render_ablation(config: &ReproConfig) -> String {
     // Ablation 2: the answer policy (Sec VI-B-1 countermeasures).
     let mut table = TextTable::new(["Answer policy", "Hidden records", "Verified origins"]);
     for (label, policy) in [
-        ("answer (vulnerable, observed)", ResidualPolicy::cloudflare_observed()),
+        (
+            "answer (vulnerable, observed)",
+            ResidualPolicy::cloudflare_observed(),
+        ),
         ("deny after termination", ResidualPolicy::deny()),
         (
             "revalidate against public DNS",
@@ -531,7 +549,9 @@ pub fn render_ablation(config: &ReproConfig) -> String {
         ),
     ] {
         let mut world = World::generate(WorldConfig::new(population, config.seed));
-        world.provider_mut(ProviderId::Cloudflare).set_policy(policy);
+        world
+            .provider_mut(ProviderId::Cloudflare)
+            .set_policy(policy);
         world.step_days(7 * 6);
         if world
             .provider(ProviderId::Cloudflare)
@@ -549,7 +569,11 @@ pub fn render_ablation(config: &ReproConfig) -> String {
     ));
 
     // Ablation 3: customer notification discipline.
-    let mut table = TextTable::new(["Informed-leave probability", "Hidden records", "Verified origins"]);
+    let mut table = TextTable::new([
+        "Informed-leave probability",
+        "Hidden records",
+        "Verified origins",
+    ]);
     for informed in [0.2, 0.6, 1.0] {
         let mut world_config = WorldConfig::new(population, config.seed);
         world_config.calibration.informed_leave_probability = informed;
@@ -580,7 +604,12 @@ fn revalidate_cloudflare(world: &mut World) {
     let hosts: Vec<remnant::dns::DomainName> = world
         .sites()
         .iter()
-        .filter(|s| world.provider(ProviderId::Cloudflare).residual(&s.apex).is_some())
+        .filter(|s| {
+            world
+                .provider(ProviderId::Cloudflare)
+                .residual(&s.apex)
+                .is_some()
+        })
         .map(|s| s.www.clone())
         .collect();
     let mut resolver = RecursiveResolver::new(world.clock(), Region::Ashburn);
@@ -627,6 +656,7 @@ mod tests {
             weeks: 1,
             seed: 9,
             even_intervals: true,
+            workers: 2,
         };
         let (world, report) = run_study(&config);
         (config, world, report)

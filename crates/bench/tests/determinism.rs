@@ -1,0 +1,91 @@
+//! The engine's determinism contract, end to end: a full study run with
+//! `--workers 8` must produce output byte-identical to `--workers 1`.
+
+use remnant_bench::{
+    render_fig2, render_fig3, render_fig4, render_fig5, render_fig6, render_fig7, render_fig8,
+    render_fig9, render_table5, render_table6, run_study, ReproConfig,
+};
+
+fn config(workers: usize) -> ReproConfig {
+    ReproConfig {
+        population: 3_000,
+        weeks: 2,
+        seed: 11,
+        even_intervals: false,
+        workers,
+    }
+}
+
+/// Everything `repro` prints from the study report, in `repro all` order.
+fn rendered_output(
+    config: &ReproConfig,
+    world: &remnant::world::World,
+    report: &remnant::core::study::StudyReport,
+) -> String {
+    [
+        render_fig2(config, report),
+        render_fig3(config, report),
+        render_fig4(report),
+        render_fig5(report),
+        render_fig6(report),
+        render_fig7(world),
+        render_fig8(report),
+        render_fig9(config, report),
+        render_table5(config, report),
+        render_table6(config, report),
+    ]
+    .join("\n")
+}
+
+#[test]
+fn study_is_worker_count_invariant() {
+    let sequential_config = config(1);
+    let parallel_config = config(8);
+    let (world1, report1) = run_study(&sequential_config);
+    let (world8, report8) = run_study(&parallel_config);
+
+    // The structured reports match field for field...
+    assert_eq!(report1.adoption, report8.adoption);
+    assert_eq!(
+        report1.residual.cloudflare.weekly,
+        report8.residual.cloudflare.weekly
+    );
+    assert_eq!(
+        report1.residual.incapsula.weekly,
+        report8.residual.incapsula.weekly
+    );
+    assert_eq!(report1.residual.fleet_size, report8.residual.fleet_size);
+    assert_eq!(
+        report1.residual.harvested_tokens,
+        report8.residual.harvested_tokens
+    );
+    assert_eq!(report1.unchanged.rows, report8.unchanged.rows);
+    assert_eq!(
+        report1.behaviors.interval_hours,
+        report8.behaviors.interval_hours
+    );
+    assert_eq!(
+        report1.behaviors.fsm_violations,
+        report8.behaviors.fsm_violations
+    );
+
+    // ...the deterministic engine counters match (only wall times may
+    // differ)...
+    assert_eq!(report1.engine.sweeps, report8.engine.sweeps);
+    assert_eq!(report1.engine.shards, report8.engine.shards);
+    assert_eq!(report1.engine.queries, report8.engine.queries);
+    assert_eq!(report1.engine.attempts, report8.engine.attempts);
+    assert_eq!(report1.engine.retries, report8.engine.retries);
+    assert_eq!(report1.engine.exhausted, report8.engine.exhausted);
+    assert_eq!(report1.engine.workers, 1);
+    assert_eq!(report8.engine.workers, 8);
+
+    // ...the worlds saw identical query volume...
+    assert_eq!(world1.traffic_stats(), world8.traffic_stats());
+
+    // ...and the rendered stdout is byte-identical.
+    assert_eq!(
+        rendered_output(&sequential_config, &world1, &report1),
+        rendered_output(&parallel_config, &world8, &report8),
+    );
+}

@@ -137,10 +137,7 @@ mod tests {
 
     fn detect(before: Adoption, after: Adoption) -> Option<BehaviorKind> {
         let detector = BehaviorDetector::new();
-        detector
-            .diff(&[before], &[after])
-            .first()
-            .map(|b| b.kind)
+        detector.diff(&[before], &[after]).first().map(|b| b.kind)
     }
 
     #[test]

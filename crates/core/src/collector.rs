@@ -5,7 +5,10 @@
 //! ... we purge the DNS cache of the resolver before performing each
 //! experiment."
 
-use remnant_dns::{DnsTransport, DomainName, RecordType, RecursiveResolver};
+use remnant_dns::{
+    CountingTransport, DnsTransport, DomainName, RecordType, RecursiveResolver, ShardableTransport,
+};
+use remnant_engine::{ScanEngine, SweepStats, TaskResult};
 use remnant_net::Region;
 use remnant_sim::SimClock;
 
@@ -19,6 +22,7 @@ pub type Target = (DomainName, DomainName);
 #[derive(Debug)]
 pub struct RecordCollector {
     clock: SimClock,
+    region: Region,
     resolver: RecursiveResolver,
     rounds: u32,
 }
@@ -30,6 +34,7 @@ impl RecordCollector {
         RecordCollector {
             resolver: RecursiveResolver::new(clock.clone(), region),
             clock,
+            region,
             rounds: 0,
         }
     }
@@ -54,9 +59,44 @@ impl RecordCollector {
         self.rounds += 1;
         let mut snapshot = DnsSnapshot::new(self.clock.now(), day, targets.len());
         for (apex, www) in targets {
-            snapshot.records.push(self.collect_site(transport, apex, www));
+            snapshot
+                .records
+                .push(self.collect_site(transport, apex, www));
         }
         snapshot
+    }
+
+    /// Collects one snapshot over `targets` through `engine`, sharding the
+    /// target list over the engine's workers.
+    ///
+    /// Every shard resolves through its own fresh [`RecursiveResolver`], so
+    /// each is as cold as a freshly purged cache and the snapshot is
+    /// bit-identical for every worker count. The returned [`SweepStats`]
+    /// carry per-shard query counts and wall times.
+    pub fn collect_with<T: ShardableTransport>(
+        &mut self,
+        engine: &ScanEngine,
+        transport: &T,
+        targets: &[Target],
+        day: u32,
+    ) -> (DnsSnapshot, SweepStats) {
+        self.rounds += 1;
+        let clock = self.clock.clone();
+        let region = self.region;
+        let sweep = engine.sweep(
+            transport,
+            targets,
+            |_shard| RecursiveResolver::new(clock.clone(), region),
+            |transport, resolver, scope, _rank, (apex, www)| {
+                let mut counting = CountingTransport::new(transport);
+                let records = resolve_site(resolver, &mut counting, apex, www);
+                scope.add_queries(counting.sent());
+                TaskResult::Done(records)
+            },
+        );
+        let mut snapshot = DnsSnapshot::new(self.clock.now(), day, targets.len());
+        snapshot.records = sweep.outputs;
+        (snapshot, sweep.stats)
     }
 
     /// Collects A + CNAME chain for the www host and NS for the apex.
@@ -66,16 +106,27 @@ impl RecordCollector {
         apex: &DomainName,
         www: &DomainName,
     ) -> SiteRecords {
-        let mut records = SiteRecords::default();
-        if let Ok(res) = self.resolver.resolve(transport, www, RecordType::A) {
-            records.a = res.addresses();
-            records.cnames = res.cnames();
-        }
-        if let Ok(res) = self.resolver.resolve(transport, apex, RecordType::Ns) {
-            records.ns = res.ns_hosts();
-        }
-        records
+        resolve_site(&mut self.resolver, transport, apex, www)
     }
+}
+
+/// The per-site record collection both paths share: A + CNAME chain for the
+/// www host, NS for the apex.
+fn resolve_site<T: DnsTransport>(
+    resolver: &mut RecursiveResolver,
+    transport: &mut T,
+    apex: &DomainName,
+    www: &DomainName,
+) -> SiteRecords {
+    let mut records = SiteRecords::default();
+    if let Ok(res) = resolver.resolve(transport, www, RecordType::A) {
+        records.a = res.addresses();
+        records.cnames = res.cnames();
+    }
+    if let Ok(res) = resolver.resolve(transport, apex, RecordType::Ns) {
+        records.ns = res.ns_hosts();
+    }
+    records
 }
 
 #[cfg(test)]
@@ -157,6 +208,41 @@ mod tests {
     }
 
     #[test]
+    fn sharded_collection_matches_sequential() {
+        use remnant_engine::EngineConfig;
+
+        let mut world = tiny_world();
+        let targets = targets(&world);
+        let mut collector = RecordCollector::new(world.clock(), Region::Ashburn);
+        let sequential = collector.collect(&mut world, &targets, 0);
+
+        let engine = |workers| {
+            ScanEngine::new(EngineConfig {
+                workers,
+                shard_size: 32,
+                seed: 1,
+                ..EngineConfig::default()
+            })
+        };
+        let (snap1, stats1) = collector.collect_with(&engine(1), &world, &targets, 0);
+        let (snap4, stats4) = collector.collect_with(&engine(4), &world, &targets, 0);
+        assert_eq!(
+            sequential.records, snap1.records,
+            "engine path sees the same records"
+        );
+        assert_eq!(
+            snap1.records, snap4.records,
+            "worker count never changes the snapshot"
+        );
+        assert_eq!(
+            stats1.shards, stats4.shards,
+            "per-shard counters are worker-invariant"
+        );
+        assert!(stats1.queries() > 0);
+        assert_eq!(collector.rounds(), 3);
+    }
+
+    #[test]
     fn rounds_are_independent_after_purge() {
         let mut world = tiny_world();
         let targets = targets(&world);
@@ -165,7 +251,10 @@ mod tests {
         let (q_after_first, _) = world.traffic_stats();
         let s2 = collector.collect(&mut world, &targets, 1);
         let (q_after_second, _) = world.traffic_stats();
-        assert_eq!(s1.records, s2.records, "static world yields identical rounds");
+        assert_eq!(
+            s1.records, s2.records,
+            "static world yields identical rounds"
+        );
         // The purge forces real re-resolution (roughly as many queries).
         assert!(q_after_second - q_after_first > targets.len() as u64);
     }

@@ -53,7 +53,11 @@ pub struct InvalidTransition {
 
 impl fmt::Display for InvalidTransition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "behavior {} is illegal in state {}", self.behavior, self.state)
+        write!(
+            f,
+            "behavior {} is illegal in state {}",
+            self.behavior, self.state
+        )
     }
 }
 
@@ -198,7 +202,10 @@ mod tests {
     fn sequence_stops_at_first_error() {
         let err = validate_sequence(
             DpsState::None,
-            [(BehaviorKind::Join, Some(CF)), (BehaviorKind::Join, Some(CF))],
+            [
+                (BehaviorKind::Join, Some(CF)),
+                (BehaviorKind::Join, Some(CF)),
+            ],
         )
         .unwrap_err();
         assert_eq!(err.state, DpsState::On(CF));

@@ -122,7 +122,11 @@ mod tests {
             m.a_match("151.101.7.7".parse().unwrap()),
             Some(ProviderId::Fastly)
         );
-        assert_eq!(m.a_match("100.64.0.5".parse().unwrap()), None, "hosting space");
+        assert_eq!(
+            m.a_match("100.64.0.5".parse().unwrap()),
+            None,
+            "hosting space"
+        );
         assert_eq!(m.a_match("8.8.8.8".parse().unwrap()), None);
     }
 

@@ -82,8 +82,7 @@ impl PauseTracker {
                         self.open.insert(rank, (when, observation, after.provider));
                     }
                     (DpsStatus::Off, DpsStatus::On) => {
-                        if let Some((start, start_observation, provider)) =
-                            self.open.remove(&rank)
+                        if let Some((start, start_observation, provider)) = self.open.remove(&rank)
                         {
                             self.windows.push(PauseWindow {
                                 rank,
@@ -98,8 +97,7 @@ impl PauseTracker {
                     }
                     (DpsStatus::Off, DpsStatus::None) => {
                         // Left while paused: window closes unresolved.
-                        if let Some((start, start_observation, provider)) =
-                            self.open.remove(&rank)
+                        if let Some((start, start_observation, provider)) = self.open.remove(&rank)
                         {
                             self.windows.push(PauseWindow {
                                 rank,

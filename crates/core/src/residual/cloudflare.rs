@@ -4,7 +4,10 @@
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 
-use remnant_dns::{DnsTransport, DomainName, Query, Rcode, RecordType, RecursiveResolver};
+use remnant_dns::{
+    DnsTransport, DomainName, Query, Rcode, RecordType, RecursiveResolver, ShardableTransport,
+};
+use remnant_engine::{ScanEngine, SweepStats, TaskResult};
 use remnant_net::Region;
 use remnant_sim::SimClock;
 
@@ -103,11 +106,11 @@ impl CloudflareScanner {
             // differently) — "randomly-chosen nameservers" in the paper;
             // any server answers for any customer on an anycast fleet.
             let server = servers[(rank + week as usize) % servers.len()];
-            let region = self.vantage.next_region();
+            let region = self.vantage.region_for(rank as u64);
             let query = Query::new(www.clone(), RecordType::A);
             self.queries_sent += 1;
-            let Some(response) = transport.query(self.clock.now(), server, region, &query)
-            else {
+            self.vantage.note_issued(1);
+            let Some(response) = transport.query(self.clock.now(), server, region, &query) else {
                 continue; // ignored: the server holds no record
             };
             self.responses += 1;
@@ -119,6 +122,57 @@ impl CloudflareScanner {
             }
         }
         results
+    }
+
+    /// [`scan`](Self::scan), sharded over `engine`'s workers.
+    ///
+    /// Server rotation and vantage assignment are pure functions of the
+    /// target's rank, so the result map and every deterministic counter are
+    /// identical to a sequential scan — and to any other worker count.
+    pub fn scan_with<T: ShardableTransport>(
+        &mut self,
+        engine: &ScanEngine,
+        transport: &T,
+        targets: &[Target],
+        week: u32,
+    ) -> (HashMap<usize, Vec<Ipv4Addr>>, SweepStats) {
+        let servers: Vec<Ipv4Addr> = self.fleet.values().copied().collect();
+        if servers.is_empty() {
+            return (HashMap::new(), SweepStats::default());
+        }
+        let now = self.clock.now();
+        let vantage = &self.vantage;
+        let sweep = engine.sweep(
+            transport,
+            targets,
+            |_shard| (),
+            |transport, (), scope, rank, (_apex, www)| {
+                let server = servers[(rank + week as usize) % servers.len()];
+                let region = vantage.region_for(rank as u64);
+                let query = Query::new(www.clone(), RecordType::A);
+                scope.add_queries(1);
+                let addrs = transport
+                    .query_shared(now, server, region, &query)
+                    .map(|response| match response.rcode {
+                        Rcode::NoError => response.answer_addresses(),
+                        _ => Vec::new(),
+                    });
+                TaskResult::Done(addrs)
+            },
+        );
+        self.queries_sent += targets.len() as u64;
+        self.vantage.note_issued(targets.len() as u64);
+        let mut results = HashMap::new();
+        for (rank, answer) in sweep.outputs.into_iter().enumerate() {
+            let Some(addrs) = answer else {
+                continue; // ignored: the server holds no record
+            };
+            self.responses += 1;
+            if !addrs.is_empty() {
+                results.insert(rank, addrs);
+            }
+        }
+        (results, sweep.stats)
     }
 }
 
@@ -154,7 +208,11 @@ mod tests {
         let snapshot = collector.collect(&mut w, &targets, 0);
         let mut scanner = CloudflareScanner::new(w.clock(), "cloudflare");
         scanner.harvest_fleet(&mut w, &snapshot);
-        assert!(scanner.fleet_size() > 10, "fleet {} too small", scanner.fleet_size());
+        assert!(
+            scanner.fleet_size() > 10,
+            "fleet {} too small",
+            scanner.fleet_size()
+        );
         // Every harvested address really is a Cloudflare nameserver.
         for (_, addr) in scanner.fleet() {
             assert!(w.provider(ProviderId::Cloudflare).is_ns_address(addr));
@@ -240,7 +298,45 @@ mod tests {
         let revealed = results
             .get(&(victim.id.0 as usize))
             .expect("previous provider still answers");
-        assert_eq!(revealed, &vec![victim.origin], "residual resolution leaks the origin");
+        assert_eq!(
+            revealed,
+            &vec![victim.origin],
+            "residual resolution leaks the origin"
+        );
+    }
+
+    #[test]
+    fn sharded_scan_matches_sequential() {
+        use remnant_engine::EngineConfig;
+
+        let mut w = world();
+        let targets = targets(&w);
+        let mut collector = RecordCollector::new(w.clock(), Region::Ashburn);
+        let snapshot = collector.collect(&mut w, &targets, 0);
+        let mut scanner = CloudflareScanner::new(w.clock(), "cloudflare");
+        scanner.harvest_fleet(&mut w, &snapshot);
+
+        let sequential = scanner.scan(&mut w, &targets, 0);
+        let engine = |workers| {
+            ScanEngine::new(EngineConfig {
+                workers,
+                shard_size: 64,
+                seed: 2,
+                ..EngineConfig::default()
+            })
+        };
+        let (r1, s1) = scanner.scan_with(&engine(1), &w, &targets, 0);
+        let (r8, s8) = scanner.scan_with(&engine(8), &w, &targets, 0);
+        assert_eq!(
+            sequential, r1,
+            "engine path answers match the sequential scan"
+        );
+        assert_eq!(r1, r8, "worker count never changes the scan");
+        assert_eq!(s1.shards, s8.shards);
+        assert_eq!(s1.queries(), targets.len() as u64);
+        let (sent, answered) = scanner.scan_stats();
+        assert_eq!(sent, 3 * targets.len() as u64);
+        assert!(answered < sent);
     }
 
     #[test]

@@ -184,20 +184,16 @@ mod tests {
 
     #[test]
     fn always_exposed_requires_every_week() {
-        let t = tracker(&[
-            (&[1, 2], &[1, 2]),
-            (&[1, 2], &[1]),
-            (&[1, 2], &[1, 2]),
-        ]);
+        let t = tracker(&[(&[1, 2], &[1, 2]), (&[1, 2], &[1]), (&[1, 2], &[1, 2])]);
         assert_eq!(t.always_exposed(), 1);
     }
 
     #[test]
     fn bounded_exposures_exclude_first_and_last_week_members() {
         let t = tracker(&[
-            (&[1], &[1]),      // week 0: site 1 already exposed
+            (&[1], &[1]),       // week 0: site 1 already exposed
             (&[1, 2], &[1, 2]), // week 1: site 2 appears
-            (&[1], &[1]),      // week 2: site 2 gone — bounded
+            (&[1], &[1]),       // week 2: site 2 gone — bounded
         ]);
         assert_eq!(t.bounded_exposures(), 1);
         assert_eq!(t.always_exposed(), 1);

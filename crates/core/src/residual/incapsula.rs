@@ -4,7 +4,10 @@
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 
-use remnant_dns::{DnsTransport, DomainName, RecordType, RecursiveResolver};
+use remnant_dns::{
+    CountingTransport, DnsTransport, DomainName, RecordType, RecursiveResolver, ShardableTransport,
+};
+use remnant_engine::{ScanEngine, SweepStats, TaskResult};
 use remnant_net::Region;
 use remnant_sim::SimClock;
 
@@ -18,6 +21,7 @@ use crate::snapshot::DnsSnapshot;
 /// and can then keep resolving them after the customer moves away.
 #[derive(Debug)]
 pub struct IncapsulaScanner {
+    clock: SimClock,
     /// Fingerprint substring identifying this provider's tokens.
     cname_substring: String,
     /// Harvested tokens: site rank -> token name.
@@ -33,7 +37,8 @@ impl IncapsulaScanner {
         IncapsulaScanner {
             cname_substring: cname_substring.into(),
             harvested: BTreeMap::new(),
-            resolver: RecursiveResolver::new(clock, Region::Ashburn),
+            resolver: RecursiveResolver::new(clock.clone(), Region::Ashburn),
+            clock,
             queries: 0,
         }
     }
@@ -82,6 +87,45 @@ impl IncapsulaScanner {
             }
         }
         results
+    }
+
+    /// [`scan`](Self::scan), sharded over `engine`'s workers.
+    ///
+    /// Each shard resolves through its own fresh cache-cold resolver, so
+    /// the result map is identical to a sequential post-purge scan for
+    /// every worker count.
+    pub fn scan_with<T: ShardableTransport>(
+        &mut self,
+        engine: &ScanEngine,
+        transport: &T,
+    ) -> (HashMap<usize, Vec<Ipv4Addr>>, SweepStats) {
+        let tokens: Vec<(usize, DomainName)> = self
+            .harvested
+            .iter()
+            .map(|(rank, token)| (*rank, token.clone()))
+            .collect();
+        let clock = self.clock.clone();
+        let sweep = engine.sweep(
+            transport,
+            &tokens,
+            |_shard| RecursiveResolver::new(clock.clone(), Region::Ashburn),
+            |transport, resolver, scope, _i, (rank, token)| {
+                let mut counting = CountingTransport::new(transport);
+                let addrs = resolver
+                    .resolve(&mut counting, token, RecordType::A)
+                    .map(|res| res.addresses())
+                    .unwrap_or_default();
+                scope.add_queries(counting.sent());
+                TaskResult::Done((*rank, addrs))
+            },
+        );
+        self.queries += tokens.len() as u64;
+        let results = sweep
+            .outputs
+            .into_iter()
+            .filter(|(_, addrs)| !addrs.is_empty())
+            .collect();
+        (results, sweep.stats)
     }
 }
 
@@ -183,6 +227,37 @@ mod tests {
             .get(&(victim.id.0 as usize))
             .expect("stale token still resolves");
         assert_eq!(revealed, &vec![victim.origin], "token leaks the origin");
+    }
+
+    #[test]
+    fn sharded_scan_matches_sequential() {
+        use remnant_engine::{EngineConfig, ScanEngine};
+
+        let mut w = world();
+        let targets = targets(&w);
+        let mut collector = RecordCollector::new(w.clock(), Region::Ashburn);
+        let snapshot = collector.collect(&mut w, &targets, 0);
+        let mut scanner = IncapsulaScanner::new(w.clock(), "incapdns");
+        scanner.harvest(&snapshot);
+
+        let sequential = scanner.scan(&mut w);
+        let engine = |workers| {
+            ScanEngine::new(EngineConfig {
+                workers,
+                shard_size: 8,
+                seed: 3,
+                ..EngineConfig::default()
+            })
+        };
+        let (r1, s1) = scanner.scan_with(&engine(1), &w);
+        let (r6, s6) = scanner.scan_with(&engine(6), &w);
+        assert_eq!(
+            sequential, r1,
+            "engine path answers match the sequential scan"
+        );
+        assert_eq!(r1, r6, "worker count never changes the scan");
+        assert_eq!(s1.shards, s6.shards);
+        assert_eq!(scanner.queries(), 3 * scanner.harvested_count() as u64);
     }
 
     #[test]

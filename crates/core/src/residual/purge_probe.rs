@@ -169,9 +169,17 @@ mod tests {
         let now = w.now();
         let server = w.provider(ProviderId::Fastly).ns_addresses()[0];
         let response = w
-            .query(now, server, Region::Oregon, &Query::new(token, RecordType::A))
+            .query(
+                now,
+                server,
+                Region::Oregon,
+                &Query::new(token, RecordType::A),
+            )
             .expect("fastly answers NXDOMAIN inside its own domain");
-        assert!(response.answers.is_empty(), "no residual at deny-policy providers");
+        assert!(
+            response.answers.is_empty(),
+            "no residual at deny-policy providers"
+        );
     }
 
     #[test]

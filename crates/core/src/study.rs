@@ -9,9 +9,12 @@
 //! harvested Incapsula tokens. The returned [`StudyReport`] contains the
 //! data behind every table and figure of the evaluation.
 
+use std::time::Duration;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use remnant_engine::{EngineConfig, ScanEngine, SweepStats};
 use remnant_net::Region;
 use remnant_provider::{ProviderId, ReroutingMethod};
 use remnant_sim::stats::{Ecdf, Series};
@@ -40,6 +43,10 @@ pub struct StudyConfig {
     pub collector_region: Region,
     /// Seed for interval jitter.
     pub seed: u64,
+    /// Worker threads for the sharded sweeps (collection rounds and weekly
+    /// scans). The report is bit-identical for every value; only wall time
+    /// changes.
+    pub workers: usize,
 }
 
 impl Default for StudyConfig {
@@ -49,6 +56,7 @@ impl Default for StudyConfig {
             uneven_intervals: true,
             collector_region: Region::Ashburn,
             seed: 42,
+            workers: 1,
         }
     }
 }
@@ -145,6 +153,47 @@ pub struct ResidualReport {
     pub harvested_tokens: usize,
 }
 
+/// Scan-engine instrumentation aggregated over every sweep of the study.
+///
+/// All counters except the wall times are deterministic — identical for
+/// every worker count — and the wall times are deliberately kept out of
+/// the rendered report so `--workers N` never perturbs study output.
+#[derive(Clone, Debug, Default)]
+pub struct EngineReport {
+    /// Worker threads the sweeps ran on.
+    pub workers: usize,
+    /// Sweeps executed (daily collection rounds plus weekly scans).
+    pub sweeps: u64,
+    /// Shards executed across all sweeps.
+    pub shards: u64,
+    /// DNS queries sent by sweep tasks.
+    pub queries: u64,
+    /// Task attempts, including retries.
+    pub attempts: u64,
+    /// Attempts re-run under the engine's retry policy.
+    pub retries: u64,
+    /// Items that exhausted their retry budget (timeouts).
+    pub exhausted: u64,
+    /// Total real time spent inside sweeps (nondeterministic).
+    pub wall: Duration,
+    /// The slowest single shard observed (nondeterministic).
+    pub max_shard_wall: Duration,
+}
+
+impl EngineReport {
+    /// Folds one sweep's statistics into the aggregate.
+    pub fn absorb(&mut self, stats: &SweepStats) {
+        self.sweeps += 1;
+        self.shards += stats.shards.len() as u64;
+        self.queries += stats.queries();
+        self.attempts += stats.attempts();
+        self.retries += stats.retries();
+        self.exhausted += stats.exhausted();
+        self.wall += stats.wall;
+        self.max_shard_wall = self.max_shard_wall.max(stats.max_shard_wall());
+    }
+}
+
 /// Everything the evaluation section reports.
 #[derive(Clone, Debug, Default)]
 pub struct StudyReport {
@@ -158,6 +207,9 @@ pub struct StudyReport {
     pub unchanged: UnchangedReport,
     /// Table VI, Fig 8, Fig 9.
     pub residual: ResidualReport,
+    /// Sweep-engine counters (not part of any paper figure; excluded from
+    /// rendered output because its wall times vary run to run).
+    pub engine: EngineReport,
 }
 
 /// The driver (see module docs).
@@ -187,6 +239,10 @@ impl PaperStudy {
         let days = self.config.weeks * 7;
         let top_band = (targets.len() / 100).max(1);
         let mut jitter = StdRng::seed_from_u64(self.config.seed);
+        let engine = ScanEngine::new(EngineConfig::with_workers(
+            self.config.workers,
+            self.config.seed,
+        ));
 
         let mut collector = RecordCollector::new(world.clock(), self.config.collector_region);
         let detector = BehaviorDetector::new();
@@ -216,7 +272,8 @@ impl PaperStudy {
         let mut multi_cdn: Vec<bool> = vec![false; targets.len()];
 
         for day in 0..days {
-            let snapshot = collector.collect(world, &targets, day);
+            let (snapshot, sweep) = collector.collect_with(&engine, world, &targets, day);
+            report.engine.absorb(&sweep);
             let classes = detector.classify_snapshot(&snapshot);
             // Multi-CDN front-ends are identified by their balancer CNAMEs
             // and excluded from behavior analysis (Sec IV-B.3).
@@ -237,7 +294,10 @@ impl PaperStudy {
             if day == days - 1 {
                 report.adoption.last_day_rate = rate;
             }
-            let top_adopted = classes[..top_band].iter().filter(|c| c.is_adopted()).count();
+            let top_adopted = classes[..top_band]
+                .iter()
+                .filter(|c| c.is_adopted())
+                .count();
             top_band_rate_sum += top_adopted as f64 / top_band as f64;
             for class in &classes {
                 if let Some(provider) = class.provider {
@@ -292,15 +352,15 @@ impl PaperStudy {
             inc_scanner.harvest(&snapshot);
             if day % 7 == 0 {
                 let week = day / 7;
-                let raw = cf_scanner.scan(world, &targets, week);
-                let weekly =
-                    pipeline.run(world, ProviderId::Cloudflare, week, &raw, &targets);
+                let (raw, sweep) = cf_scanner.scan_with(&engine, world, &targets, week);
+                report.engine.absorb(&sweep);
+                let weekly = pipeline.run(world, ProviderId::Cloudflare, week, &raw, &targets);
                 report.residual.cloudflare.exposure.push(&weekly);
                 report.residual.cloudflare.weekly.push(weekly);
 
-                let raw = inc_scanner.scan(world);
-                let weekly =
-                    pipeline.run(world, ProviderId::Incapsula, week, &raw, &targets);
+                let (raw, sweep) = inc_scanner.scan_with(&engine, world);
+                report.engine.absorb(&sweep);
+                let weekly = pipeline.run(world, ProviderId::Incapsula, week, &raw, &targets);
                 report.residual.incapsula.exposure.push(&weekly);
                 report.residual.incapsula.weekly.push(weekly);
             }
@@ -344,6 +404,7 @@ impl PaperStudy {
 
         report.residual.fleet_size = cf_scanner.fleet_size();
         report.residual.harvested_tokens = inc_scanner.harvested_count();
+        report.engine.workers = self.config.workers.max(1);
         report
     }
 }

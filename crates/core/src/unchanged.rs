@@ -70,17 +70,13 @@ impl UnchangedStudy {
             if !matches!(behavior.kind, BehaviorKind::Join | BehaviorKind::Resume) {
                 continue;
             }
-            let Some(provider) = behavior.to else { continue };
-            let Some(ip1) = prev
-                .site(behavior.rank)
-                .and_then(|r| r.a.first().copied())
-            else {
+            let Some(provider) = behavior.to else {
                 continue;
             };
-            let Some(ip2) = curr
-                .site(behavior.rank)
-                .and_then(|r| r.a.last().copied())
-            else {
+            let Some(ip1) = prev.site(behavior.rank).and_then(|r| r.a.first().copied()) else {
+                continue;
+            };
+            let Some(ip2) = curr.site(behavior.rank).and_then(|r| r.a.last().copied()) else {
                 continue;
             };
             let host = targets[behavior.rank].1.as_str();
@@ -269,12 +265,20 @@ mod tests {
     #[test]
     fn rates_and_rows() {
         let mut study = UnchangedStudy::new(SCANNER_SOURCE);
-        study
-            .tallies
-            .insert(ProviderId::Cloudflare, UnchangedTally { events: 10, unchanged: 6 });
-        study
-            .tallies
-            .insert(ProviderId::Incapsula, UnchangedTally { events: 4, unchanged: 3 });
+        study.tallies.insert(
+            ProviderId::Cloudflare,
+            UnchangedTally {
+                events: 10,
+                unchanged: 6,
+            },
+        );
+        study.tallies.insert(
+            ProviderId::Incapsula,
+            UnchangedTally {
+                events: 4,
+                unchanged: 3,
+            },
+        );
         let rows = study.rows();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].0, ProviderId::Cloudflare);

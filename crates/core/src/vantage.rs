@@ -58,6 +58,22 @@ impl VantagePoints {
         region
     }
 
+    /// The vantage point for the `rank`-th query of a sweep — the same
+    /// round-robin rotation as [`next_region`](Self::next_region), but as a
+    /// pure function of the query's rank. Sharded scans use this so the
+    /// region assignment is independent of the order shards execute in.
+    pub fn region_for(&self, rank: u64) -> Region {
+        self.regions[(rank % self.regions.len() as u64) as usize]
+    }
+
+    /// Records `n` queries issued through [`region_for`](Self::region_for)
+    /// (which cannot bump the counter itself), keeping
+    /// [`issued`](Self::issued) and [`load_split`](Self::load_split)
+    /// accurate for sharded scans.
+    pub fn note_issued(&mut self, n: u64) {
+        self.issued += n;
+    }
+
     /// Queries issued so far.
     pub fn issued(&self) -> u64 {
         self.issued
@@ -118,5 +134,22 @@ mod tests {
     #[should_panic(expected = "at least one vantage point")]
     fn empty_set_is_rejected() {
         let _ = VantagePoints::new(vec![]);
+    }
+
+    #[test]
+    fn region_for_matches_rotation() {
+        let mut vp = VantagePoints::paper();
+        let pure: Vec<Region> = (0..12).map(|rank| vp.region_for(rank)).collect();
+        let rotated: Vec<Region> = (0..12).map(|_| vp.next_region()).collect();
+        assert_eq!(pure, rotated);
+    }
+
+    #[test]
+    fn note_issued_feeds_load_split() {
+        let mut vp = VantagePoints::paper();
+        vp.note_issued(10);
+        assert_eq!(vp.issued(), 10);
+        let total: u64 = vp.load_split().iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 10);
     }
 }

@@ -217,7 +217,9 @@ impl VectorScanner {
                         .filter(|a| !public.contains(a))
                         .collect(),
                     ExposureVector::Subdomain => {
-                        let Ok(dev) = apex.prepend("dev") else { continue };
+                        let Ok(dev) = apex.prepend("dev") else {
+                            continue;
+                        };
                         self.resolver
                             .resolve(transport, &dev, RecordType::A)
                             .map(|r| r.addresses())
@@ -363,7 +365,9 @@ mod tests {
             .unwrap()
             .clone();
         history.feed(&collector.collect(&mut w, &targets, 0));
-        assert!(history.addresses(site.id.0 as usize).any(|a| a == site.origin));
+        assert!(history
+            .addresses(site.id.0 as usize)
+            .any(|a| a == site.origin));
 
         // ...then it joins a DPS *without* rotating its origin.
         w.force_join(
@@ -376,7 +380,10 @@ mod tests {
 
         let report = scan(&mut w, &history);
         let history_tally = report.tally(ExposureVector::IpHistory);
-        assert!(history_tally.verified > 0, "pre-join origin found in history");
+        assert!(
+            history_tally.verified > 0,
+            "pre-join origin found in history"
+        );
     }
 
     #[test]

@@ -222,7 +222,10 @@ mod tests {
             )
             .unwrap();
         assert_eq!(resp.answers.len(), 2);
-        assert_eq!(resp.answer_addresses(), vec![std::net::Ipv4Addr::new(1, 2, 3, 4)]);
+        assert_eq!(
+            resp.answer_addresses(),
+            vec![std::net::Ipv4Addr::new(1, 2, 3, 4)]
+        );
     }
 
     #[test]

@@ -197,7 +197,9 @@ mod tests {
         cache.insert(SimTime::EPOCH, vec![a("x.com", 100, [1, 1, 1, 1])]);
         let just_before = SimTime::from_secs(99);
         let at = SimTime::from_secs(100);
-        assert!(cache.get(just_before, &name("x.com"), RecordType::A).is_some());
+        assert!(cache
+            .get(just_before, &name("x.com"), RecordType::A)
+            .is_some());
         assert!(cache.get(at, &name("x.com"), RecordType::A).is_none());
     }
 
@@ -231,17 +233,31 @@ mod tests {
     fn purge_clears_everything() {
         let mut cache = ResolverCache::new();
         cache.insert(SimTime::EPOCH, vec![a("x.com", 1000, [1, 1, 1, 1])]);
-        cache.insert_negative(SimTime::EPOCH, name("y.com"), RecordType::A, Rcode::NxDomain);
+        cache.insert_negative(
+            SimTime::EPOCH,
+            name("y.com"),
+            RecordType::A,
+            Rcode::NxDomain,
+        );
         cache.purge();
         assert!(cache.is_empty());
-        assert!(cache.get(SimTime::EPOCH, &name("x.com"), RecordType::A).is_none());
+        assert!(cache
+            .get(SimTime::EPOCH, &name("x.com"), RecordType::A)
+            .is_none());
     }
 
     #[test]
     fn negative_entries_visible_via_entry_api() {
         let mut cache = ResolverCache::new();
-        cache.insert_negative(SimTime::EPOCH, name("y.com"), RecordType::A, Rcode::NxDomain);
-        assert!(cache.get(SimTime::EPOCH, &name("y.com"), RecordType::A).is_none());
+        cache.insert_negative(
+            SimTime::EPOCH,
+            name("y.com"),
+            RecordType::A,
+            Rcode::NxDomain,
+        );
+        assert!(cache
+            .get(SimTime::EPOCH, &name("y.com"), RecordType::A)
+            .is_none());
         assert!(cache.has_negative(SimTime::EPOCH, &name("y.com"), RecordType::A));
         let entry = cache
             .get_entry(SimTime::EPOCH, &name("y.com"), RecordType::A)

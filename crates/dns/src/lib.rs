@@ -77,5 +77,7 @@ pub use name::DomainName;
 pub use record::{RecordData, RecordType, ResourceRecord, Ttl};
 pub use registry::Registry;
 pub use resolver::{RecursiveResolver, Resolution};
-pub use transport::{DnsTransport, StaticTransport};
+pub use transport::{
+    CountingTransport, DnsTransport, QueryStats, ShardableTransport, StaticTransport,
+};
 pub use zone::{Zone, ZoneAnswer};

@@ -127,7 +127,10 @@ impl Response {
 
     /// All IPv4 addresses in the answer section.
     pub fn answer_addresses(&self) -> Vec<Ipv4Addr> {
-        self.answers.iter().filter_map(|rr| rr.data.as_a()).collect()
+        self.answers
+            .iter()
+            .filter_map(|rr| rr.data.as_a())
+            .collect()
     }
 
     /// The first CNAME target in the answer section, if any.
@@ -137,7 +140,9 @@ impl Response {
 
     /// Records of `rtype` in the answer section.
     pub fn answers_of(&self, rtype: RecordType) -> impl Iterator<Item = &ResourceRecord> {
-        self.answers.iter().filter(move |rr| rr.record_type() == rtype)
+        self.answers
+            .iter()
+            .filter(move |rr| rr.record_type() == rtype)
     }
 }
 
@@ -173,7 +178,10 @@ mod tests {
         let q = Query::new(name("www.example.com"), RecordType::A);
         let resp = Response::answer(
             q.clone(),
-            vec![a("www.example.com", [1, 2, 3, 4]), a("www.example.com", [5, 6, 7, 8])],
+            vec![
+                a("www.example.com", [1, 2, 3, 4]),
+                a("www.example.com", [5, 6, 7, 8]),
+            ],
         );
         assert!(resp.authoritative);
         assert_eq!(resp.answer_addresses().len(), 2);

@@ -239,7 +239,10 @@ mod tests {
     fn label_accessors() {
         let n = name("a.b.example.com");
         assert_eq!(n.label_count(), 4);
-        assert_eq!(n.labels().collect::<Vec<_>>(), vec!["a", "b", "example", "com"]);
+        assert_eq!(
+            n.labels().collect::<Vec<_>>(),
+            vec!["a", "b", "example", "com"]
+        );
         assert_eq!(n.tld(), "com");
         assert_eq!(n.apex(), name("example.com"));
     }

@@ -118,11 +118,7 @@ impl Registry {
             .nameservers
             .iter()
             .map(|(host, _)| {
-                ResourceRecord::new(
-                    apex.clone(),
-                    delegation.ttl,
-                    RecordData::Ns(host.clone()),
-                )
+                ResourceRecord::new(apex.clone(), delegation.ttl, RecordData::Ns(host.clone()))
             })
             .collect();
         let additional = delegation
@@ -164,8 +160,14 @@ mod tests {
         r.delegate(
             name("example.com"),
             vec![
-                (name("kate.ns.cloudflare.com"), Ipv4Addr::new(173, 245, 59, 1)),
-                (name("rob.ns.cloudflare.com"), Ipv4Addr::new(173, 245, 59, 2)),
+                (
+                    name("kate.ns.cloudflare.com"),
+                    Ipv4Addr::new(173, 245, 59, 1),
+                ),
+                (
+                    name("rob.ns.cloudflare.com"),
+                    Ipv4Addr::new(173, 245, 59, 2),
+                ),
             ],
         );
         r

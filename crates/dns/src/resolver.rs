@@ -48,7 +48,10 @@ pub struct Resolution {
 impl Resolution {
     /// All IPv4 addresses in the chain.
     pub fn addresses(&self) -> Vec<Ipv4Addr> {
-        self.records.iter().filter_map(|rr| rr.data.as_a()).collect()
+        self.records
+            .iter()
+            .filter_map(|rr| rr.data.as_a())
+            .collect()
     }
 
     /// All CNAME targets in chase order.
@@ -198,9 +201,7 @@ impl RecursiveResolver {
                         let Some(alias) = response
                             .answers
                             .iter()
-                            .find(|rr| {
-                                rr.name == current && rr.record_type() == RecordType::Cname
-                            })
+                            .find(|rr| rr.name == current && rr.record_type() == RecordType::Cname)
                             .cloned()
                         else {
                             break;
@@ -442,7 +443,9 @@ mod tests {
     #[test]
     fn resolves_through_referral() {
         let (mut t, mut r, _clock) = world();
-        let res = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        let res = r
+            .resolve(&mut t, &name("www.example.com"), RecordType::A)
+            .unwrap();
         assert_eq!(res.addresses(), vec![WWW_IP]);
         assert_eq!(res.rcode, Rcode::NoError);
     }
@@ -450,30 +453,46 @@ mod tests {
     #[test]
     fn second_resolution_is_served_from_cache() {
         let (mut t, mut r, _clock) = world();
-        let _ = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        let _ = r
+            .resolve(&mut t, &name("www.example.com"), RecordType::A)
+            .unwrap();
         let sent_before = t.queries_sent();
-        let res = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        let res = r
+            .resolve(&mut t, &name("www.example.com"), RecordType::A)
+            .unwrap();
         assert_eq!(res.addresses(), vec![WWW_IP]);
-        assert_eq!(t.queries_sent(), sent_before, "no network traffic on cache hit");
+        assert_eq!(
+            t.queries_sent(),
+            sent_before,
+            "no network traffic on cache hit"
+        );
     }
 
     #[test]
     fn purge_forces_requery() {
         let (mut t, mut r, _clock) = world();
-        let _ = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        let _ = r
+            .resolve(&mut t, &name("www.example.com"), RecordType::A)
+            .unwrap();
         r.purge_cache();
         let sent_before = t.queries_sent();
-        let _ = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        let _ = r
+            .resolve(&mut t, &name("www.example.com"), RecordType::A)
+            .unwrap();
         assert!(t.queries_sent() > sent_before);
     }
 
     #[test]
     fn ttl_expiry_forces_requery_of_answer_only() {
         let (mut t, mut r, clock) = world();
-        let _ = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        let _ = r
+            .resolve(&mut t, &name("www.example.com"), RecordType::A)
+            .unwrap();
         clock.advance(SimDuration::secs(301)); // A expired, NS (1d) still live
         let sent_before = t.queries_sent();
-        let res = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        let res = r
+            .resolve(&mut t, &name("www.example.com"), RecordType::A)
+            .unwrap();
         assert_eq!(res.addresses(), vec![WWW_IP]);
         // Exactly one query: straight to the cached delegation, no root trip.
         assert_eq!(t.queries_sent() - sent_before, 1);
@@ -482,7 +501,9 @@ mod tests {
     #[test]
     fn nxdomain_resolution() {
         let (mut t, mut r, _clock) = world();
-        let res = r.resolve(&mut t, &name("gone.example.com"), RecordType::A).unwrap();
+        let res = r
+            .resolve(&mut t, &name("gone.example.com"), RecordType::A)
+            .unwrap();
         assert_eq!(res.rcode, Rcode::NxDomain);
         assert!(res.is_negative());
     }
@@ -490,7 +511,9 @@ mod tests {
     #[test]
     fn unregistered_domain_is_nxdomain_from_root() {
         let (mut t, mut r, _clock) = world();
-        let res = r.resolve(&mut t, &name("www.nowhere.org"), RecordType::A).unwrap();
+        let res = r
+            .resolve(&mut t, &name("www.nowhere.org"), RecordType::A)
+            .unwrap();
         assert_eq!(res.rcode, Rcode::NxDomain);
     }
 
@@ -499,7 +522,10 @@ mod tests {
         let clock = SimClock::new();
         let mut registry = Registry::new();
         registry.delegate(name("example.com"), vec![(name("ns1.host.net"), NS_IP)]);
-        registry.delegate(name("incapdns.net"), vec![(name("ns1.incapdns.net"), NS2_IP)]);
+        registry.delegate(
+            name("incapdns.net"),
+            vec![(name("ns1.incapdns.net"), NS2_IP)],
+        );
         let mut customer = Zone::new(name("example.com"));
         customer.add(ResourceRecord::new(
             name("www.example.com"),
@@ -517,7 +543,9 @@ mod tests {
         t.add_server(NS2_IP, ZoneServer::new(vec![provider]));
         let mut r = RecursiveResolver::new(clock, Region::London);
 
-        let res = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        let res = r
+            .resolve(&mut t, &name("www.example.com"), RecordType::A)
+            .unwrap();
         assert_eq!(res.cnames(), vec![name("x7f3.incapdns.net")]);
         assert_eq!(res.addresses(), vec![Ipv4Addr::new(199, 83, 128, 7)]);
     }
@@ -541,7 +569,9 @@ mod tests {
         let mut t = StaticTransport::new(registry);
         t.add_server(NS_IP, ZoneServer::new(vec![zone]));
         let mut r = RecursiveResolver::new(clock, Region::Tokyo);
-        let err = r.resolve(&mut t, &name("a.loopy.com"), RecordType::A).unwrap_err();
+        let err = r
+            .resolve(&mut t, &name("a.loopy.com"), RecordType::A)
+            .unwrap_err();
         assert!(matches!(err, DnsError::CnameChain { .. }));
     }
 
@@ -550,7 +580,9 @@ mod tests {
         // The residual-resolution mechanism: after re-delegation the cached
         // NS still points at the old server for its TTL.
         let (mut t, mut r, clock) = world();
-        let _ = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        let _ = r
+            .resolve(&mut t, &name("www.example.com"), RecordType::A)
+            .unwrap();
 
         // The website switches to a new provider: registry now points at
         // NS2, which serves a different answer.
@@ -567,20 +599,26 @@ mod tests {
         // Cached A expires, cached NS does not: the resolver asks the OLD
         // server and still sees the old answer.
         clock.advance(SimDuration::secs(301));
-        let res = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        let res = r
+            .resolve(&mut t, &name("www.example.com"), RecordType::A)
+            .unwrap();
         assert_eq!(res.addresses(), vec![WWW_IP], "stale NS served old data");
 
         // After the NS TTL (1 day zone NS cached from authoritative answer;
         // delegation TTL 2 days) fully expires, the new provider answers.
         clock.advance(SimDuration::days(3));
-        let res = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        let res = r
+            .resolve(&mut t, &name("www.example.com"), RecordType::A)
+            .unwrap();
         assert_eq!(res.addresses(), vec![Ipv4Addr::new(99, 99, 99, 99)]);
     }
 
     #[test]
     fn dead_cached_delegation_falls_back_to_root() {
         let (mut t, mut r, clock) = world();
-        let _ = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        let _ = r
+            .resolve(&mut t, &name("www.example.com"), RecordType::A)
+            .unwrap();
 
         // Old server goes dark; registry re-delegates to a live one.
         t.set_unreachable(NS_IP);
@@ -595,7 +633,9 @@ mod tests {
         t.add_server(NS2_IP, ZoneServer::new(vec![new_zone]));
 
         clock.advance(SimDuration::secs(301));
-        let res = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        let res = r
+            .resolve(&mut t, &name("www.example.com"), RecordType::A)
+            .unwrap();
         assert_eq!(res.addresses(), vec![Ipv4Addr::new(99, 99, 99, 99)]);
     }
 
@@ -604,14 +644,18 @@ mod tests {
         let (mut t, mut r, _clock) = world();
         t.set_unreachable(NS_IP);
         t.set_unreachable(crate::transport::ROOT_SERVER);
-        let err = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap_err();
+        let err = r
+            .resolve(&mut t, &name("www.example.com"), RecordType::A)
+            .unwrap_err();
         assert!(matches!(err, DnsError::Timeout { .. }));
     }
 
     #[test]
     fn query_direct_bypasses_cache() {
         let (mut t, mut r, _clock) = world();
-        let _ = r.resolve(&mut t, &name("www.example.com"), RecordType::A).unwrap();
+        let _ = r
+            .resolve(&mut t, &name("www.example.com"), RecordType::A)
+            .unwrap();
         let resp = r
             .query_direct(
                 &mut t,
@@ -625,14 +669,18 @@ mod tests {
     #[test]
     fn ns_lookup_returns_apex_ns() {
         let (mut t, mut r, _clock) = world();
-        let res = r.resolve(&mut t, &name("example.com"), RecordType::Ns).unwrap();
+        let res = r
+            .resolve(&mut t, &name("example.com"), RecordType::Ns)
+            .unwrap();
         assert_eq!(res.ns_hosts(), vec![name("ns1.host.net")]);
     }
 
     #[test]
     fn nodata_is_noerror_with_empty_records() {
         let (mut t, mut r, _clock) = world();
-        let res = r.resolve(&mut t, &name("www.example.com"), RecordType::Mx).unwrap();
+        let res = r
+            .resolve(&mut t, &name("www.example.com"), RecordType::Mx)
+            .unwrap();
         assert_eq!(res.rcode, Rcode::NoError);
         assert!(res.is_negative());
     }

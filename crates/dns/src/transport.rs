@@ -21,6 +21,26 @@ use crate::registry::Registry;
 /// layer) in every simulation, mirroring `a.root-servers.net`.
 pub const ROOT_SERVER: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 4);
 
+/// Query-volume counters, uniformly available from any transport.
+///
+/// `sent` counts queries delivered into the transport; `answered` counts
+/// the subset that produced a response. The remainder were dropped or
+/// silently ignored (the behavior residual scans probe for).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Queries delivered into the transport.
+    pub sent: u64,
+    /// Queries that produced a `Some(Response)`.
+    pub answered: u64,
+}
+
+impl QueryStats {
+    /// Queries that were dropped or silently ignored.
+    pub fn ignored(&self) -> u64 {
+        self.sent.saturating_sub(self.answered)
+    }
+}
+
 /// Delivers DNS queries to servers by IP address.
 pub trait DnsTransport {
     /// The registry (root) address queries should start from.
@@ -37,6 +57,119 @@ pub trait DnsTransport {
         region: Region,
         query: &Query,
     ) -> Option<Response>;
+
+    /// Cumulative query counters. The default implementation reports
+    /// nothing; transports that track volume override it.
+    fn query_stats(&self) -> QueryStats {
+        QueryStats::default()
+    }
+}
+
+/// A transport whose query path is safe to share across scan workers.
+///
+/// Answering must be a logically read-only operation: the transport may
+/// update internal counters through interior mutability, but the answer
+/// to a query must not depend on what other queries are in flight. Any
+/// `&T` where `T: ShardableTransport` is itself a [`DnsTransport`], so a
+/// per-worker `RecursiveResolver` can drive a shared transport without
+/// exclusive access.
+pub trait ShardableTransport: Sync {
+    /// The registry (root) address queries should start from.
+    fn root(&self) -> Ipv4Addr {
+        ROOT_SERVER
+    }
+
+    /// Sends `query` through a shared reference; see
+    /// [`DnsTransport::query`] for the semantics of `None`.
+    fn query_shared(
+        &self,
+        now: SimTime,
+        server: Ipv4Addr,
+        region: Region,
+        query: &Query,
+    ) -> Option<Response>;
+
+    /// Cumulative query counters (see [`DnsTransport::query_stats`]).
+    fn query_stats(&self) -> QueryStats {
+        QueryStats::default()
+    }
+}
+
+impl<T: ShardableTransport + ?Sized> DnsTransport for &T {
+    fn root(&self) -> Ipv4Addr {
+        ShardableTransport::root(*self)
+    }
+
+    fn query(
+        &mut self,
+        now: SimTime,
+        server: Ipv4Addr,
+        region: Region,
+        query: &Query,
+    ) -> Option<Response> {
+        self.query_shared(now, server, region, query)
+    }
+
+    fn query_stats(&self) -> QueryStats {
+        ShardableTransport::query_stats(*self)
+    }
+}
+
+/// A [`DnsTransport`] view over a shared transport that counts the
+/// queries passing through it.
+///
+/// Scan workers wrap the shared world in one of these per shard, giving
+/// deterministic per-shard query counts without contending on a global
+/// counter.
+#[derive(Debug)]
+pub struct CountingTransport<'a, T: ShardableTransport + ?Sized> {
+    inner: &'a T,
+    sent: u64,
+    answered: u64,
+}
+
+impl<'a, T: ShardableTransport + ?Sized> CountingTransport<'a, T> {
+    /// Wraps `inner`, starting all counters at zero.
+    pub fn new(inner: &'a T) -> Self {
+        CountingTransport {
+            inner,
+            sent: 0,
+            answered: 0,
+        }
+    }
+
+    /// Queries delivered through this wrapper.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+}
+
+impl<T: ShardableTransport + ?Sized> DnsTransport for CountingTransport<'_, T> {
+    fn root(&self) -> Ipv4Addr {
+        self.inner.root()
+    }
+
+    fn query(
+        &mut self,
+        now: SimTime,
+        server: Ipv4Addr,
+        region: Region,
+        query: &Query,
+    ) -> Option<Response> {
+        self.sent += 1;
+        let response = self.inner.query_shared(now, server, region, query);
+        if response.is_some() {
+            self.answered += 1;
+        }
+        response
+    }
+
+    fn query_stats(&self) -> QueryStats {
+        QueryStats {
+            sent: self.sent,
+            answered: self.answered,
+        }
+    }
 }
 
 /// A transport over a fixed set of servers, for tests and examples.
@@ -49,6 +182,7 @@ pub struct StaticTransport {
     servers: HashMap<Ipv4Addr, Box<dyn Authoritative>>,
     unreachable: HashSet<Ipv4Addr>,
     queries_sent: u64,
+    queries_answered: u64,
 }
 
 impl StaticTransport {
@@ -59,6 +193,7 @@ impl StaticTransport {
             servers: HashMap::new(),
             unreachable: HashSet::new(),
             queries_sent: 0,
+            queries_answered: 0,
         }
     }
 
@@ -115,10 +250,22 @@ impl DnsTransport for StaticTransport {
             return None;
         }
         self.queries_sent += 1;
-        if server == ROOT_SERVER {
-            return self.registry.answer(now, query);
+        let response = if server == ROOT_SERVER {
+            self.registry.answer(now, query)
+        } else {
+            self.servers.get_mut(&server)?.answer(now, query)
+        };
+        if response.is_some() {
+            self.queries_answered += 1;
         }
-        self.servers.get_mut(&server)?.answer(now, query)
+        response
+    }
+
+    fn query_stats(&self) -> QueryStats {
+        QueryStats {
+            sent: self.queries_sent,
+            answered: self.queries_answered,
+        }
     }
 }
 
@@ -223,8 +370,72 @@ mod tests {
         let mut t = transport();
         let q = Query::new(name("www.example.com"), RecordType::A);
         t.set_unreachable(Ipv4Addr::new(10, 0, 0, 53));
-        let _ = t.query(SimTime::EPOCH, Ipv4Addr::new(10, 0, 0, 53), Region::Oregon, &q);
+        let _ = t.query(
+            SimTime::EPOCH,
+            Ipv4Addr::new(10, 0, 0, 53),
+            Region::Oregon,
+            &q,
+        );
         let _ = t.query(SimTime::EPOCH, ROOT_SERVER, Region::Oregon, &q);
         assert_eq!(t.queries_sent(), 1);
+        assert_eq!(
+            t.query_stats(),
+            QueryStats {
+                sent: 1,
+                answered: 1
+            }
+        );
+        assert_eq!(t.query_stats().ignored(), 0);
+    }
+
+    /// A trivially shardable transport: answers everything at the root.
+    struct EchoTransport;
+
+    impl ShardableTransport for EchoTransport {
+        fn query_shared(
+            &self,
+            _now: SimTime,
+            server: Ipv4Addr,
+            _region: Region,
+            query: &Query,
+        ) -> Option<Response> {
+            (server == ROOT_SERVER).then(|| Response::empty(query.clone(), Rcode::NoError))
+        }
+    }
+
+    #[test]
+    fn shared_reference_is_a_transport() {
+        let shared = EchoTransport;
+        let mut view = &shared;
+        let q = Query::new(name("www.example.com"), RecordType::A);
+        assert!(view
+            .query(SimTime::EPOCH, ROOT_SERVER, Region::Oregon, &q)
+            .is_some());
+        assert_eq!(DnsTransport::root(&view), ROOT_SERVER);
+    }
+
+    #[test]
+    fn counting_transport_tracks_per_wrapper_volume() {
+        let shared = EchoTransport;
+        let q = Query::new(name("www.example.com"), RecordType::A);
+        let mut a = CountingTransport::new(&shared);
+        let mut b = CountingTransport::new(&shared);
+        let _ = a.query(SimTime::EPOCH, ROOT_SERVER, Region::Oregon, &q);
+        let _ = a.query(
+            SimTime::EPOCH,
+            Ipv4Addr::new(9, 9, 9, 9),
+            Region::Oregon,
+            &q,
+        );
+        let _ = b.query(SimTime::EPOCH, ROOT_SERVER, Region::Oregon, &q);
+        assert_eq!(
+            a.query_stats(),
+            QueryStats {
+                sent: 2,
+                answered: 1
+            }
+        );
+        assert_eq!(a.query_stats().ignored(), 1);
+        assert_eq!(b.sent(), 1);
     }
 }

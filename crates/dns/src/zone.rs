@@ -125,12 +125,7 @@ impl Zone {
     }
 
     /// Replaces all records of `rtype` at `name` with `records`.
-    pub fn replace(
-        &mut self,
-        name: &DomainName,
-        rtype: RecordType,
-        records: Vec<ResourceRecord>,
-    ) {
+    pub fn replace(&mut self, name: &DomainName, rtype: RecordType, records: Vec<ResourceRecord>) {
         self.records.remove(&(name.clone(), rtype));
         for rr in records {
             debug_assert_eq!(rr.record_type(), rtype);

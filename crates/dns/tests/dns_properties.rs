@@ -5,8 +5,8 @@ use proptest::prelude::*;
 
 use remnant_dns::transport::ROOT_SERVER;
 use remnant_dns::{
-    DomainName, Query, Rcode, RecordData, RecordType, Registry, RecursiveResolver,
-    ResourceRecord, StaticTransport, Ttl, Zone, ZoneAnswer, ZoneServer,
+    DomainName, Query, Rcode, RecordData, RecordType, RecursiveResolver, Registry, ResourceRecord,
+    StaticTransport, Ttl, Zone, ZoneAnswer, ZoneServer,
 };
 use remnant_net::Region;
 use remnant_sim::{SimClock, SimDuration, SimTime};

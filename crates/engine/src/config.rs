@@ -1,0 +1,122 @@
+//! Engine tuning knobs.
+
+/// Retry policy applied per item inside a shard.
+///
+/// A task signals a retryable outcome by returning
+/// [`TaskResult::Retry`](crate::TaskResult::Retry) with a fallback output.
+/// The engine re-runs the task until it returns
+/// [`TaskResult::Done`](crate::TaskResult::Done) or `max_attempts` is
+/// reached, at which point the *last* fallback is kept and the item is
+/// counted as exhausted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of attempts per item, including the first (`>= 1`).
+    pub max_attempts: u32,
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub const fn once() -> Self {
+        RetryPolicy { max_attempts: 1 }
+    }
+
+    /// A policy allowing up to `max_attempts` attempts per item.
+    pub const fn attempts(max_attempts: u32) -> Self {
+        RetryPolicy { max_attempts }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // Matches the paper's collector: a failed lookup is re-issued a
+        // couple of times before the site is recorded as unresolvable.
+        RetryPolicy { max_attempts: 3 }
+    }
+}
+
+/// Token-bucket rate limit shared by every worker of a sweep.
+///
+/// The limit applies to task *attempts* (one attempt ≈ one resolution),
+/// in real wall-clock time. It exists for operators pointing the scanner
+/// at infrastructure with query budgets; simulation runs leave it off.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RateLimit {
+    /// Sustained attempts per second across all workers.
+    pub per_second: f64,
+    /// Bucket capacity: how many attempts may burst back-to-back.
+    pub burst: u32,
+}
+
+impl RateLimit {
+    /// A sustained rate of `per_second` with a same-sized burst.
+    pub fn per_second(per_second: f64) -> Self {
+        RateLimit {
+            per_second,
+            burst: per_second.max(1.0).ceil() as u32,
+        }
+    }
+}
+
+/// Configuration for a [`ScanEngine`](crate::ScanEngine).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineConfig {
+    /// Number of worker threads. Any value `>= 1`; the engine never spawns
+    /// more workers than shards. Output is identical for every value.
+    pub workers: usize,
+    /// Items per shard. Shard layout is a function of the item count and
+    /// this constant only — never of `workers` — which is what makes the
+    /// merged output independent of parallelism.
+    pub shard_size: usize,
+    /// Per-item retry policy.
+    pub retry: RetryPolicy,
+    /// Optional global rate limit (off by default; simulations don't wait).
+    pub rate: Option<RateLimit>,
+    /// Root seed for the per-shard RNG streams.
+    pub seed: u64,
+}
+
+impl EngineConfig {
+    /// Default shard size: small enough to load-balance a million-site
+    /// sweep over any sane worker count, large enough that per-shard setup
+    /// (fresh resolver, RNG derivation) is amortized.
+    pub const DEFAULT_SHARD_SIZE: usize = 512;
+
+    /// Configuration with `workers` threads and the given RNG seed.
+    pub fn with_workers(workers: usize, seed: u64) -> Self {
+        EngineConfig {
+            workers: workers.max(1),
+            seed,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 1,
+            shard_size: Self::DEFAULT_SHARD_SIZE,
+            retry: RetryPolicy::default(),
+            rate: None,
+            seed: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_workers_clamps_to_one() {
+        assert_eq!(EngineConfig::with_workers(0, 7).workers, 1);
+        assert_eq!(EngineConfig::with_workers(8, 7).workers, 8);
+        assert_eq!(EngineConfig::with_workers(8, 7).seed, 7);
+    }
+
+    #[test]
+    fn rate_limit_burst_tracks_rate() {
+        assert_eq!(RateLimit::per_second(100.0).burst, 100);
+        assert_eq!(RateLimit::per_second(0.5).burst, 1);
+    }
+}

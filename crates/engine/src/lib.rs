@@ -1,0 +1,53 @@
+//! # remnant-engine
+//!
+//! A sharded, deterministic parallel scan engine for million-site sweeps.
+//!
+//! The paper's measurement pipeline resolves the Alexa top one million
+//! every day for three months (Sec IV-A). Sequentially, each site is
+//! independent of the others within a round — which makes the sweep
+//! embarrassingly parallel, *if* parallelism can be added without
+//! perturbing the study's outputs. This crate provides that: a
+//! [`ScanEngine`] that splits a target list into deterministic shards,
+//! drives `N` worker threads (each with its own per-shard state and RNG
+//! stream), and merges shard outputs back into target order so results
+//! are **bit-identical regardless of worker count**.
+//!
+//! ## Determinism contract
+//!
+//! For a fixed target list, seed, shard size and retry policy, the
+//! [`Sweep::outputs`] vector and every [`ShardStats`] counter are
+//! identical for every `workers` value. Only wall-clock timings
+//! ([`SweepStats::timings`], [`SweepStats::wall`]) vary. This holds
+//! because shard layout, per-shard RNG seeds and per-shard worker state
+//! are all functions of the shard index — never of the thread that
+//! happens to execute the shard. See [`ScanEngine::sweep`] for the three
+//! invariants.
+//!
+//! ## Example
+//!
+//! ```
+//! use remnant_engine::{EngineConfig, ScanEngine, TaskResult};
+//!
+//! let items: Vec<u32> = (0..10_000).collect();
+//! let engine = ScanEngine::new(EngineConfig::with_workers(8, 42));
+//! let sweep = engine.sweep(
+//!     &(),
+//!     &items,
+//!     |_shard| (),
+//!     |_ctx, _worker, _scope, _rank, item| TaskResult::Done(item * 2),
+//! );
+//! assert_eq!(sweep.outputs[7], 14);
+//! assert_eq!(sweep.stats.items(), 10_000);
+//! ```
+
+pub mod config;
+pub mod limiter;
+pub mod shard;
+pub mod stats;
+pub mod sweep;
+
+pub use config::{EngineConfig, RateLimit, RetryPolicy};
+pub use limiter::TokenBucket;
+pub use shard::plan_shards;
+pub use stats::{ShardStats, ShardTiming, SweepStats};
+pub use sweep::{ScanEngine, ShardScope, Sweep, TaskResult};

@@ -1,0 +1,66 @@
+//! Deterministic shard planning.
+//!
+//! A sweep over `n` items is cut into contiguous index ranges of at most
+//! `shard_size` items. The layout depends only on `(n, shard_size)` — not
+//! on the worker count — so the same target list always produces the same
+//! shards, and concatenating shard outputs in shard order reconstructs the
+//! original target order no matter which worker processed which shard.
+
+use std::ops::Range;
+
+/// Splits `0..items` into contiguous ranges of at most `shard_size` items.
+///
+/// Every index appears in exactly one range; ranges are returned in
+/// ascending order and all but the last have exactly `shard_size` items.
+/// An empty input yields no shards. `shard_size` is clamped to `>= 1`.
+pub fn plan_shards(items: usize, shard_size: usize) -> Vec<Range<usize>> {
+    let size = shard_size.max(1);
+    let mut shards = Vec::with_capacity(items.div_ceil(size));
+    let mut start = 0;
+    while start < items {
+        let end = (start + size).min(items);
+        shards.push(start..end);
+        start = end;
+    }
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        for items in [0, 1, 5, 512, 513, 1000, 1024] {
+            for size in [1, 7, 512] {
+                let shards = plan_shards(items, size);
+                let mut next = 0;
+                for shard in &shards {
+                    assert_eq!(shard.start, next, "gap or overlap at {next}");
+                    assert!(shard.len() <= size);
+                    assert!(!shard.is_empty());
+                    next = shard.end;
+                }
+                assert_eq!(next, items);
+            }
+        }
+    }
+
+    #[test]
+    fn all_but_last_are_full() {
+        let shards = plan_shards(1000, 512);
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0], 0..512);
+        assert_eq!(shards[1], 512..1000);
+    }
+
+    #[test]
+    fn zero_shard_size_is_clamped() {
+        assert_eq!(plan_shards(3, 0), vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn empty_input_has_no_shards() {
+        assert!(plan_shards(0, 512).is_empty());
+    }
+}

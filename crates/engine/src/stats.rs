@@ -1,0 +1,138 @@
+//! Sweep instrumentation.
+//!
+//! Everything here except wall time is a pure function of the target list
+//! and the seed — identical no matter how many workers ran the sweep.
+//! Wall times are the only nondeterministic fields and are kept separate
+//! from study output for that reason.
+
+use std::time::Duration;
+
+/// Counters for one shard of a sweep.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index within the sweep's shard plan.
+    pub shard: usize,
+    /// Items processed (the shard's length).
+    pub items: u64,
+    /// Task attempts, including retries.
+    pub attempts: u64,
+    /// Attempts that asked to be retried and were re-run.
+    pub retries: u64,
+    /// Items whose retry budget ran out; their fallback output was kept.
+    pub exhausted: u64,
+    /// DNS queries reported by the task via
+    /// [`ShardScope::add_queries`](crate::ShardScope::add_queries).
+    pub queries: u64,
+}
+
+/// Wall-clock timing of one shard (nondeterministic; reporting only).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardTiming {
+    /// Shard index within the sweep's shard plan.
+    pub shard: usize,
+    /// Real time the shard's worker spent on it.
+    pub wall: Duration,
+}
+
+/// Aggregate statistics for a completed sweep.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SweepStats {
+    /// Worker threads the engine actually used.
+    pub workers: usize,
+    /// Per-shard deterministic counters, in shard order.
+    pub shards: Vec<ShardStats>,
+    /// Per-shard wall times, in shard order (nondeterministic).
+    pub timings: Vec<ShardTiming>,
+    /// Real time from sweep start to last worker exit.
+    pub wall: Duration,
+}
+
+impl SweepStats {
+    /// Total items processed.
+    pub fn items(&self) -> u64 {
+        self.shards.iter().map(|s| s.items).sum()
+    }
+
+    /// Total task attempts, including retries.
+    pub fn attempts(&self) -> u64 {
+        self.shards.iter().map(|s| s.attempts).sum()
+    }
+
+    /// Total retried attempts.
+    pub fn retries(&self) -> u64 {
+        self.shards.iter().map(|s| s.retries).sum()
+    }
+
+    /// Total items that exhausted their retry budget.
+    pub fn exhausted(&self) -> u64 {
+        self.shards.iter().map(|s| s.exhausted).sum()
+    }
+
+    /// Total DNS queries reported by tasks.
+    pub fn queries(&self) -> u64 {
+        self.shards.iter().map(|s| s.queries).sum()
+    }
+
+    /// The slowest single shard — the lower bound on sweep wall time.
+    pub fn max_shard_wall(&self) -> Duration {
+        self.timings
+            .iter()
+            .map(|t| t.wall)
+            .max()
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_over_shards() {
+        let stats = SweepStats {
+            workers: 2,
+            shards: vec![
+                ShardStats {
+                    shard: 0,
+                    items: 10,
+                    attempts: 12,
+                    retries: 2,
+                    exhausted: 1,
+                    queries: 40,
+                },
+                ShardStats {
+                    shard: 1,
+                    items: 5,
+                    attempts: 5,
+                    retries: 0,
+                    exhausted: 0,
+                    queries: 15,
+                },
+            ],
+            timings: vec![
+                ShardTiming {
+                    shard: 0,
+                    wall: Duration::from_millis(8),
+                },
+                ShardTiming {
+                    shard: 1,
+                    wall: Duration::from_millis(3),
+                },
+            ],
+            wall: Duration::from_millis(9),
+        };
+        assert_eq!(stats.items(), 15);
+        assert_eq!(stats.attempts(), 17);
+        assert_eq!(stats.retries(), 2);
+        assert_eq!(stats.exhausted(), 1);
+        assert_eq!(stats.queries(), 55);
+        assert_eq!(stats.max_shard_wall(), Duration::from_millis(8));
+    }
+
+    #[test]
+    fn empty_sweep_is_all_zero() {
+        let stats = SweepStats::default();
+        assert_eq!(stats.items(), 0);
+        assert_eq!(stats.max_shard_wall(), Duration::ZERO);
+    }
+}

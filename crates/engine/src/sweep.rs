@@ -1,0 +1,372 @@
+//! The sharded sweep executor.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use remnant_sim::SeedSeq;
+
+use crate::config::EngineConfig;
+use crate::limiter::TokenBucket;
+use crate::shard::plan_shards;
+use crate::stats::{ShardStats, ShardTiming, SweepStats};
+
+/// Outcome of one task attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TaskResult<O> {
+    /// The item is done; record this output.
+    Done(O),
+    /// The attempt should be retried. The carried output is the fallback
+    /// recorded if the retry budget runs out — for a scanner, "site did
+    /// not resolve" is itself a measurement, so even an exhausted item
+    /// produces a row.
+    Retry(O),
+}
+
+/// Per-shard context handed to every task invocation.
+///
+/// Owns the shard's private RNG stream (derived from the engine seed and
+/// the shard index, never from the worker) and the shard's query counter.
+#[derive(Debug)]
+pub struct ShardScope {
+    shard: usize,
+    rng: StdRng,
+    queries: u64,
+}
+
+impl ShardScope {
+    /// Index of the shard this scope belongs to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The shard's deterministic RNG stream.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Records `n` DNS queries issued on behalf of this shard.
+    pub fn add_queries(&mut self, n: u64) {
+        self.queries += n;
+    }
+}
+
+/// A completed sweep: outputs in target order plus instrumentation.
+#[derive(Clone, Debug)]
+pub struct Sweep<O> {
+    /// One output per input item, in the input's order.
+    pub outputs: Vec<O>,
+    /// Per-shard and aggregate counters.
+    pub stats: SweepStats,
+}
+
+/// Sharded, deterministic parallel sweep executor.
+///
+/// The engine cuts the target list into contiguous shards
+/// ([`plan_shards`]), hands each shard to one of `workers` threads, and
+/// concatenates shard outputs back in shard order. Three invariants make
+/// the merged result bit-identical for every worker count:
+///
+/// 1. **Shard layout** depends only on the item count and
+///    [`shard_size`](EngineConfig::shard_size), never on `workers`.
+/// 2. **Per-shard state is fresh**: each shard gets its own worker value
+///    (`make_worker(shard)`) and its own RNG stream
+///    (`seed → child("engine") → derive_indexed("shard", shard)`), so no
+///    state leaks between shards regardless of which thread ran them.
+/// 3. **Merge is positional**: shard outputs are written into
+///    pre-allocated slots indexed by shard, not in completion order.
+///
+/// Workers pull shard indices from a shared atomic cursor, so a slow
+/// shard never stalls the others.
+#[derive(Clone, Debug)]
+pub struct ScanEngine {
+    config: EngineConfig,
+}
+
+impl ScanEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        ScanEngine { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs `task` over every item of `items`, in parallel across shards.
+    ///
+    /// * `ctx` — shared read-only context (the world, a scanner, …).
+    /// * `make_worker` — builds the per-shard mutable state (for DNS
+    ///   sweeps: a fresh [`RecursiveResolver`]); called once per shard
+    ///   with the shard index.
+    /// * `task` — processes one item; receives the context, the shard's
+    ///   worker, the shard scope (RNG + counters), the item's global rank
+    ///   and the item itself.
+    ///
+    /// [`RecursiveResolver`]: https://docs.rs/remnant-dns
+    pub fn sweep<C, I, O, W, MW, T>(
+        &self,
+        ctx: &C,
+        items: &[I],
+        make_worker: MW,
+        task: T,
+    ) -> Sweep<O>
+    where
+        C: Sync + ?Sized,
+        I: Sync,
+        O: Send,
+        MW: Fn(usize) -> W + Sync,
+        T: Fn(&C, &mut W, &mut ShardScope, usize, &I) -> TaskResult<O> + Sync,
+    {
+        let shards = plan_shards(items.len(), self.config.shard_size);
+        let workers = self.config.workers.max(1).min(shards.len().max(1));
+        let limiter = self.config.rate.map(TokenBucket::new);
+        let seeds = SeedSeq::new(self.config.seed).child("engine");
+        let max_attempts = self.config.retry.max_attempts.max(1);
+        let cursor = AtomicUsize::new(0);
+        let started = Instant::now();
+
+        let run_shard = |shard_idx: usize| {
+            let range = shards[shard_idx].clone();
+            let shard_started = Instant::now();
+            let mut scope = ShardScope {
+                shard: shard_idx,
+                rng: StdRng::seed_from_u64(seeds.derive_indexed("shard", shard_idx as u64)),
+                queries: 0,
+            };
+            let mut worker = make_worker(shard_idx);
+            let mut outputs = Vec::with_capacity(range.len());
+            let mut stats = ShardStats {
+                shard: shard_idx,
+                items: range.len() as u64,
+                ..ShardStats::default()
+            };
+            for rank in range {
+                let mut attempt = 1u32;
+                loop {
+                    if let Some(bucket) = &limiter {
+                        bucket.acquire();
+                    }
+                    stats.attempts += 1;
+                    match task(ctx, &mut worker, &mut scope, rank, &items[rank]) {
+                        TaskResult::Done(output) => {
+                            outputs.push(output);
+                            break;
+                        }
+                        TaskResult::Retry(fallback) => {
+                            if attempt >= max_attempts {
+                                stats.exhausted += 1;
+                                outputs.push(fallback);
+                                break;
+                            }
+                            stats.retries += 1;
+                            attempt += 1;
+                        }
+                    }
+                }
+            }
+            stats.queries = scope.queries;
+            let timing = ShardTiming {
+                shard: shard_idx,
+                wall: shard_started.elapsed(),
+            };
+            (shard_idx, outputs, stats, timing)
+        };
+
+        let mut done: Vec<(usize, Vec<O>, ShardStats, ShardTiming)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut finished = Vec::new();
+                        loop {
+                            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                            if idx >= shards.len() {
+                                break;
+                            }
+                            finished.push(run_shard(idx));
+                        }
+                        finished
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|handle| handle.join().expect("sweep worker panicked"))
+                .collect()
+        });
+
+        // Positional merge: shard order, not completion order.
+        done.sort_by_key(|(idx, ..)| *idx);
+        let mut outputs = Vec::with_capacity(items.len());
+        let mut stats = SweepStats {
+            workers,
+            shards: Vec::with_capacity(done.len()),
+            timings: Vec::with_capacity(done.len()),
+            wall: std::time::Duration::ZERO,
+        };
+        for (_, shard_outputs, shard_stats, timing) in done {
+            outputs.extend(shard_outputs);
+            stats.shards.push(shard_stats);
+            stats.timings.push(timing);
+        }
+        stats.wall = started.elapsed();
+        Sweep { outputs, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RetryPolicy;
+    use rand::Rng;
+
+    fn engine(workers: usize, shard_size: usize) -> ScanEngine {
+        ScanEngine::new(EngineConfig {
+            workers,
+            shard_size,
+            seed: 42,
+            ..EngineConfig::default()
+        })
+    }
+
+    #[test]
+    fn outputs_preserve_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let sweep = engine(4, 64).sweep(
+            &(),
+            &items,
+            |_| (),
+            |_, _, _, rank, item| {
+                assert_eq!(rank, *item);
+                TaskResult::Done(item * 2)
+            },
+        );
+        let expected: Vec<usize> = items.iter().map(|i| i * 2).collect();
+        assert_eq!(sweep.outputs, expected);
+        assert_eq!(sweep.stats.items(), 1000);
+        assert_eq!(sweep.stats.attempts(), 1000);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_outputs_or_counters() {
+        let items: Vec<u64> = (0..777).collect();
+        let run = |workers: usize| {
+            engine(workers, 50).sweep(
+                &(),
+                &items,
+                |_| 0u64, // per-shard accumulator
+                |_, acc, scope, _, item| {
+                    *acc += 1;
+                    scope.add_queries(2);
+                    let noise: u64 = scope.rng().gen_range(0..1000);
+                    TaskResult::Done(item.wrapping_mul(31) ^ noise ^ *acc)
+                },
+            )
+        };
+        let one = run(1);
+        let eight = run(8);
+        assert_eq!(one.outputs, eight.outputs);
+        assert_eq!(one.stats.shards, eight.stats.shards);
+        assert_eq!(one.stats.queries(), 777 * 2);
+    }
+
+    #[test]
+    fn retry_reruns_until_done() {
+        let items = [0u32; 10];
+        let sweep = ScanEngine::new(EngineConfig {
+            workers: 2,
+            shard_size: 4,
+            retry: RetryPolicy::attempts(3),
+            seed: 1,
+            ..EngineConfig::default()
+        })
+        .sweep(
+            &(),
+            &items,
+            |_| 0u32, // attempts seen by this shard's worker
+            |_, seen, _, _, _| {
+                *seen += 1;
+                // Every item succeeds on its second attempt.
+                if *seen % 2 == 0 {
+                    TaskResult::Done(true)
+                } else {
+                    TaskResult::Retry(false)
+                }
+            },
+        );
+        assert!(sweep.outputs.iter().all(|&done| done));
+        assert_eq!(sweep.stats.attempts(), 20);
+        assert_eq!(sweep.stats.retries(), 10);
+        assert_eq!(sweep.stats.exhausted(), 0);
+    }
+
+    #[test]
+    fn exhausted_items_keep_their_fallback() {
+        let items = [(); 5];
+        let sweep = ScanEngine::new(EngineConfig {
+            workers: 1,
+            shard_size: 2,
+            retry: RetryPolicy::attempts(3),
+            seed: 1,
+            ..EngineConfig::default()
+        })
+        .sweep(
+            &(),
+            &items,
+            |_| (),
+            |_, _, _, rank, _| TaskResult::<&str>::Retry(if rank == 3 { "boom" } else { "miss" }),
+        );
+        assert_eq!(sweep.outputs, ["miss", "miss", "miss", "boom", "miss"]);
+        assert_eq!(sweep.stats.attempts(), 15);
+        assert_eq!(sweep.stats.retries(), 10);
+        assert_eq!(sweep.stats.exhausted(), 5);
+    }
+
+    #[test]
+    fn shard_rng_streams_are_stable_and_distinct() {
+        let items = [(); 6];
+        let draw = |workers: usize| {
+            engine(workers, 3)
+                .sweep(
+                    &(),
+                    &items,
+                    |_| (),
+                    |_, _, scope, _, _| TaskResult::Done(scope.rng().gen_range(0u64..u64::MAX)),
+                )
+                .outputs
+        };
+        let a = draw(1);
+        let b = draw(2);
+        assert_eq!(a, b);
+        // The two shards' streams differ.
+        assert_ne!(a[0..3], a[3..6]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_sweep() {
+        let items: [u8; 0] = [];
+        let sweep = engine(4, 512).sweep(&(), &items, |_| (), |_, _, _, _, _| TaskResult::Done(0));
+        assert!(sweep.outputs.is_empty());
+        assert!(sweep.stats.shards.is_empty());
+        assert_eq!(sweep.stats.items(), 0);
+    }
+
+    #[test]
+    fn fresh_worker_per_shard() {
+        // The per-shard accumulator never sees items from another shard,
+        // no matter how shards are scheduled onto threads.
+        let items = [(); 12];
+        let sweep = engine(3, 4).sweep(
+            &(),
+            &items,
+            |_| 0u32,
+            |_, seen, _, _, _| {
+                *seen += 1;
+                TaskResult::Done(*seen)
+            },
+        );
+        assert_eq!(sweep.outputs, [1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4]);
+    }
+}

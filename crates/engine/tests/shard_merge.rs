@@ -1,0 +1,84 @@
+//! Property tests: shard planning and shard-merge preserve target order
+//! for arbitrary item counts, shard sizes and worker counts.
+
+use proptest::prelude::*;
+use rand::Rng;
+use remnant_engine::{plan_shards, EngineConfig, RetryPolicy, ScanEngine, TaskResult};
+
+proptest! {
+    #[test]
+    fn shard_plan_partitions_the_input(items in 0usize..5000, shard_size in 0usize..600) {
+        let shards = plan_shards(items, shard_size);
+        let mut next = 0;
+        for shard in &shards {
+            prop_assert_eq!(shard.start, next);
+            prop_assert!(!shard.is_empty());
+            prop_assert!(shard.len() <= shard_size.max(1));
+            next = shard.end;
+        }
+        prop_assert_eq!(next, items);
+    }
+
+    #[test]
+    fn merge_preserves_target_order(
+        items in proptest::collection::vec(0u64..1_000_000, 0..800),
+        shard_size in 1usize..97,
+        workers in 1usize..9,
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let engine = ScanEngine::new(EngineConfig {
+            workers,
+            shard_size,
+            seed,
+            ..EngineConfig::default()
+        });
+        let sweep = engine.sweep(
+            &(),
+            &items,
+            |_| (),
+            |_, _, _, rank, item| TaskResult::Done((rank, *item)),
+        );
+        let expected: Vec<(usize, u64)> =
+            items.iter().copied().enumerate().collect();
+        prop_assert_eq!(sweep.outputs, expected);
+        prop_assert_eq!(sweep.stats.items() as usize, items.len());
+    }
+
+    #[test]
+    fn sweep_is_worker_count_invariant(
+        items in proptest::collection::vec(0u64..1000, 1..300),
+        shard_size in 1usize..64,
+        workers in 2usize..9,
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let run = |workers: usize| {
+            ScanEngine::new(EngineConfig {
+                workers,
+                shard_size,
+                retry: RetryPolicy::attempts(2),
+                seed,
+                ..EngineConfig::default()
+            })
+            .sweep(
+                &(),
+                &items,
+                |_| 0u64,
+                |_, acc, scope, rank, item| {
+                    *acc = acc.wrapping_add(*item);
+                    scope.add_queries(1);
+                    let roll: u64 = scope.rng().gen_range(0..4);
+                    if roll == 0 {
+                        // Retryable miss; fallback still deterministic.
+                        TaskResult::Retry(rank as u64 ^ *acc)
+                    } else {
+                        TaskResult::Done(item.wrapping_mul(roll) ^ *acc)
+                    }
+                },
+            )
+        };
+        let sequential = run(1);
+        let parallel = run(workers);
+        prop_assert_eq!(&sequential.outputs, &parallel.outputs);
+        prop_assert_eq!(&sequential.stats.shards, &parallel.stats.shards);
+    }
+}

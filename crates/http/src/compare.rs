@@ -61,7 +61,10 @@ mod tests {
     #[test]
     fn identical_templates_match() {
         let t = PageTemplate::generate("example.com", 1);
-        assert_eq!(compare_pages(&t.render(1), &t.render(2)), MatchVerdict::Match);
+        assert_eq!(
+            compare_pages(&t.render(1), &t.render(2)),
+            MatchVerdict::Match
+        );
     }
 
     #[test]

@@ -136,7 +136,9 @@ mod tests {
             dst: Ipv4Addr,
             request: &HttpRequest,
         ) -> Option<HttpResponse> {
-            (dst == self.0.addr()).then(|| self.0.handle(request)).flatten()
+            (dst == self.0.addr())
+                .then(|| self.0.handle(request))
+                .flatten()
         }
     }
 
@@ -220,7 +222,11 @@ mod tests {
         let _ = edge.handle(SimTime::EPOCH, &mut up, &req);
         edge.unroute("www.example.com");
         let resp = edge.handle(SimTime::from_secs(1), &mut up, &req);
-        assert_eq!(resp.status, HttpStatus::NotFound, "no stale serving after unroute");
+        assert_eq!(
+            resp.status,
+            HttpStatus::NotFound,
+            "no stale serving after unroute"
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ mod tests {
             .to_string(),
             "connection to 1.2.3.4 timed out"
         );
-        assert_eq!(HttpError::Status { code: 502 }.to_string(), "server returned status 502");
+        assert_eq!(
+            HttpError::Status { code: 502 }.to_string(),
+            "server returned status 502"
+        );
     }
 
     #[test]

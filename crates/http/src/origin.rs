@@ -121,7 +121,10 @@ impl OriginServer {
         match self.sites.get(&request.host) {
             Some(template) if request.path == "/" => {
                 self.render_nonce += 1;
-                Some(HttpResponse::ok(template.render(self.render_nonce), self.addr))
+                Some(HttpResponse::ok(
+                    template.render(self.render_nonce),
+                    self.addr,
+                ))
             }
             Some(_) => Some(HttpResponse::status(HttpStatus::NotFound, self.addr)),
             None => Some(HttpResponse::status(HttpStatus::NotFound, self.addr)),
@@ -174,7 +177,10 @@ mod tests {
         o.set_firewall(FirewallPolicy::DpsOnly {
             allowed: [edge].into_iter().collect(),
         });
-        assert!(o.handle(&req("www.example.com")).is_none(), "stranger dropped");
+        assert!(
+            o.handle(&req("www.example.com")).is_none(),
+            "stranger dropped"
+        );
         let mut from_edge = req("www.example.com");
         from_edge.src = edge;
         assert!(o.handle(&from_edge).unwrap().is_ok());

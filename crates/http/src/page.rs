@@ -73,11 +73,18 @@ impl PageTemplate {
         let mut static_meta = BTreeMap::new();
         static_meta.insert(
             "description".to_owned(),
-            format!("{flavor} by {sld}; established site #{:06x}", seq.derive("id") & 0xff_ffff),
+            format!(
+                "{flavor} by {sld}; established site #{:06x}",
+                seq.derive("id") & 0xff_ffff
+            ),
         );
         static_meta.insert(
             "keywords".to_owned(),
-            format!("{sld},{},{}", flavor.to_ascii_lowercase(), KEYWORDS[(seq.derive("kw") % KEYWORDS.len() as u64) as usize]),
+            format!(
+                "{sld},{},{}",
+                flavor.to_ascii_lowercase(),
+                KEYWORDS[(seq.derive("kw") % KEYWORDS.len() as u64) as usize]
+            ),
         );
         static_meta.insert(
             "generator".to_owned(),

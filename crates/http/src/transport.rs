@@ -63,7 +63,11 @@ impl HttpRequest {
 
 impl fmt::Display for HttpRequest {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "GET {} Host:{} (from {})", self.path, self.host, self.src)
+        write!(
+            f,
+            "GET {} Host:{} (from {})",
+            self.path, self.host, self.src
+        )
     }
 }
 

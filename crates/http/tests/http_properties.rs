@@ -5,8 +5,8 @@ use proptest::prelude::*;
 
 use remnant_http::compare::compare_pages;
 use remnant_http::{
-    pages_match, FirewallPolicy, HttpRequest, HttpResponse, HttpTransport,
-    MatchVerdict, OriginServer, PageTemplate, ReverseProxy,
+    pages_match, FirewallPolicy, HttpRequest, HttpResponse, HttpTransport, MatchVerdict,
+    OriginServer, PageTemplate, ReverseProxy,
 };
 use remnant_sim::SimTime;
 use std::net::Ipv4Addr;
@@ -20,7 +20,9 @@ struct OneOrigin(OriginServer);
 
 impl HttpTransport for OneOrigin {
     fn get(&mut self, _now: SimTime, dst: Ipv4Addr, request: &HttpRequest) -> Option<HttpResponse> {
-        (dst == self.0.addr()).then(|| self.0.handle(request)).flatten()
+        (dst == self.0.addr())
+            .then(|| self.0.handle(request))
+            .flatten()
     }
 }
 

@@ -73,11 +73,12 @@ impl IpAllocator {
     /// Returns [`NetError::PoolExhausted`] when every block is used up.
     pub fn allocate(&mut self) -> Result<Ipv4Addr, NetError> {
         loop {
-            let block = self.blocks.get(self.block_idx).ok_or_else(|| {
-                NetError::PoolExhausted {
+            let block = self
+                .blocks
+                .get(self.block_idx)
+                .ok_or_else(|| NetError::PoolExhausted {
                     pool: self.label.clone(),
-                }
-            })?;
+                })?;
             let skip_edges = block.prefix_len() < 31;
             let first = u64::from(skip_edges);
             let end = block.size() - u64::from(skip_edges);
@@ -85,9 +86,7 @@ impl IpAllocator {
             if candidate < end {
                 self.offset += 1;
                 self.allocated += 1;
-                return Ok(block
-                    .nth(candidate)
-                    .expect("candidate < end <= block size"));
+                return Ok(block.nth(candidate).expect("candidate < end <= block size"));
             }
             self.block_idx += 1;
             self.offset = 0;

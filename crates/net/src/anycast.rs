@@ -73,9 +73,12 @@ impl AnycastMap {
     /// Returns [`NetError::NoCatchment`] if `addr` is not announced from any
     /// region.
     pub fn catchment(&self, addr: Ipv4Addr, region: Region) -> Result<PopId, NetError> {
-        let regions = self.routes.get(&addr).ok_or_else(|| NetError::NoCatchment {
-            region: region.name().to_owned(),
-        })?;
+        let regions = self
+            .routes
+            .get(&addr)
+            .ok_or_else(|| NetError::NoCatchment {
+                region: region.name().to_owned(),
+            })?;
         if let Some(pop) = regions.get(&region) {
             return Ok(*pop);
         }
@@ -121,8 +124,14 @@ mod tests {
         let mut map = AnycastMap::new();
         map.announce(ip("1.1.1.1"), Region::Oregon, PopId(10));
         map.announce(ip("1.1.1.1"), Region::Tokyo, PopId(20));
-        assert_eq!(map.catchment(ip("1.1.1.1"), Region::Oregon).unwrap(), PopId(10));
-        assert_eq!(map.catchment(ip("1.1.1.1"), Region::Tokyo).unwrap(), PopId(20));
+        assert_eq!(
+            map.catchment(ip("1.1.1.1"), Region::Oregon).unwrap(),
+            PopId(10)
+        );
+        assert_eq!(
+            map.catchment(ip("1.1.1.1"), Region::Tokyo).unwrap(),
+            PopId(20)
+        );
     }
 
     #[test]
@@ -130,9 +139,15 @@ mod tests {
         let mut map = AnycastMap::new();
         // Only a Frankfurt PoP announces; London's first preference is Frankfurt.
         map.announce(ip("2.2.2.2"), Region::Frankfurt, PopId(7));
-        assert_eq!(map.catchment(ip("2.2.2.2"), Region::London).unwrap(), PopId(7));
+        assert_eq!(
+            map.catchment(ip("2.2.2.2"), Region::London).unwrap(),
+            PopId(7)
+        );
         // Even a far region eventually reaches the only PoP.
-        assert_eq!(map.catchment(ip("2.2.2.2"), Region::Sydney).unwrap(), PopId(7));
+        assert_eq!(
+            map.catchment(ip("2.2.2.2"), Region::Sydney).unwrap(),
+            PopId(7)
+        );
     }
 
     #[test]
@@ -156,7 +171,10 @@ mod tests {
         let mut map = AnycastMap::new();
         map.announce(ip("4.4.4.4"), Region::Mumbai, PopId(1));
         map.announce(ip("4.4.4.4"), Region::Mumbai, PopId(2));
-        assert_eq!(map.catchment(ip("4.4.4.4"), Region::Mumbai).unwrap(), PopId(2));
+        assert_eq!(
+            map.catchment(ip("4.4.4.4"), Region::Mumbai).unwrap(),
+            PopId(2)
+        );
         assert_eq!(map.pops_for(ip("4.4.4.4")), vec![PopId(2)]);
     }
 

@@ -51,7 +51,10 @@ impl FromStr for Asn {
     type Err = NetError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let digits = s.strip_prefix("AS").or_else(|| s.strip_prefix("as")).unwrap_or(s);
+        let digits = s
+            .strip_prefix("AS")
+            .or_else(|| s.strip_prefix("as"))
+            .unwrap_or(s);
         digits
             .parse::<u32>()
             .map(Asn)

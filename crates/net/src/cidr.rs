@@ -159,7 +159,10 @@ mod tests {
     #[test]
     fn parse_masks_host_bits() {
         assert_eq!(cidr("192.168.5.7/24"), cidr("192.168.5.0/24"));
-        assert_eq!(cidr("192.168.5.7/24").network(), Ipv4Addr::new(192, 168, 5, 0));
+        assert_eq!(
+            cidr("192.168.5.7/24").network(),
+            Ipv4Addr::new(192, 168, 5, 0)
+        );
     }
 
     #[test]

@@ -51,7 +51,9 @@ mod tests {
             NetError::ParseCidr("x".into()),
             NetError::ParseAsn("y".into()),
             NetError::PrefixLength(40),
-            NetError::PoolExhausted { pool: "edge".into() },
+            NetError::PoolExhausted {
+                pool: "edge".into(),
+            },
             NetError::NoCatchment {
                 region: "Oregon".into(),
             },

@@ -81,7 +81,11 @@ impl<T> IpRangeDb<T> {
     pub fn lookup(&self, addr: Ipv4Addr) -> Option<&T> {
         let bits = u32::from(addr);
         for &len in &self.lens_desc {
-            let masked = if len == 0 { 0 } else { bits & (u32::MAX << (32 - len)) };
+            let masked = if len == 0 {
+                0
+            } else {
+                bits & (u32::MAX << (32 - len))
+            };
             if let Some(value) = self.by_len[usize::from(len)].get(&masked) {
                 return Some(value);
             }
@@ -93,7 +97,11 @@ impl<T> IpRangeDb<T> {
     pub fn lookup_block(&self, addr: Ipv4Addr) -> Option<(Ipv4Cidr, &T)> {
         let bits = u32::from(addr);
         for &len in &self.lens_desc {
-            let masked = if len == 0 { 0 } else { bits & (u32::MAX << (32 - len)) };
+            let masked = if len == 0 {
+                0
+            } else {
+                bits & (u32::MAX << (32 - len))
+            };
             if let Some(value) = self.by_len[usize::from(len)].get(&masked) {
                 let block = Ipv4Cidr::new(Ipv4Addr::from(masked), len)
                     .expect("prefix length <= 32 by construction");

@@ -82,10 +82,7 @@ impl CustomerAccount {
     /// to the provider — the precondition for residual resolution
     /// (Sec III-B: A-based rerouting carries no such risk).
     pub fn delegates_resolution(&self) -> bool {
-        matches!(
-            self.rerouting,
-            ReroutingMethod::Cname | ReroutingMethod::Ns
-        )
+        matches!(self.rerouting, ReroutingMethod::Cname | ReroutingMethod::Ns)
     }
 }
 

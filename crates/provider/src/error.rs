@@ -49,7 +49,10 @@ impl fmt::Display for ProviderError {
                 provider,
                 method,
                 reason,
-            } => write!(f, "{provider} cannot provision {method} rerouting: {reason}"),
+            } => write!(
+                f,
+                "{provider} cannot provision {method} rerouting: {reason}"
+            ),
             ProviderError::AlreadyEnrolled { domain } => {
                 write!(f, "{domain} is already enrolled")
             }

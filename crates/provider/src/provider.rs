@@ -16,10 +16,10 @@
 
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use remnant_dns::{
-    Authoritative, DomainName, Query, Rcode, RecordData, RecordType, Response, ResourceRecord,
-    Ttl,
+    Authoritative, DomainName, Query, Rcode, RecordData, RecordType, ResourceRecord, Response, Ttl,
 };
 use remnant_http::{HttpRequest, HttpResponse, HttpTransport, ReverseProxy};
 use remnant_net::{AnycastMap, IpAllocator, Ipv4Cidr, Pop, PopId, Region};
@@ -175,6 +175,34 @@ impl InfraConfig {
     }
 }
 
+/// A monotonically increasing event counter, bumpable through `&self` so
+/// the shared-read answer path (scan workers querying in parallel) can
+/// keep stats. Cloning snapshots the current value.
+#[derive(Default)]
+struct Counter(AtomicU64);
+
+impl Counter {
+    fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Clone for Counter {
+    fn clone(&self) -> Self {
+        Counter(AtomicU64::new(self.get()))
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.get().fmt(f)
+    }
+}
+
 /// One simulated DPS/CDN provider (see module docs).
 #[derive(Clone, Debug)]
 pub struct DpsProvider {
@@ -201,8 +229,8 @@ pub struct DpsProvider {
     residual_index: HashMap<DomainName, DomainName>,
     generations: HashMap<DomainName, u32>,
     // Stats.
-    queries_answered: u64,
-    queries_ignored: u64,
+    queries_answered: Counter,
+    queries_ignored: Counter,
 }
 
 impl DpsProvider {
@@ -246,13 +274,23 @@ impl DpsProvider {
                 Pop::new(
                     PopId(i as u32),
                     region,
-                    format!("{}-{}-{}", info.name.to_lowercase(), region.name().to_lowercase().replace(' ', ""), i),
+                    format!(
+                        "{}-{}-{}",
+                        info.name.to_lowercase(),
+                        region.name().to_lowercase().replace(' ', ""),
+                        i
+                    ),
                 )
             })
             .collect();
         let scrubbers = pops
             .iter()
-            .map(|p| (p.id(), ScrubbingCenter::new(config.scrub_capacity_gbps, 1.0)))
+            .map(|p| {
+                (
+                    p.id(),
+                    ScrubbingCenter::new(config.scrub_capacity_gbps, 1.0),
+                )
+            })
             .collect();
 
         // Nameserver fleet, then edges, from the provider's blocks.
@@ -269,7 +307,10 @@ impl DpsProvider {
         let mut anycast = AnycastMap::new();
         let mut pops_by_region: HashMap<Region, Vec<PopId>> = HashMap::new();
         for pop in &pops {
-            pops_by_region.entry(pop.region()).or_default().push(pop.id());
+            pops_by_region
+                .entry(pop.region())
+                .or_default()
+                .push(pop.id());
         }
         for (i, addr) in ns_ips.iter().chain(edge_ips.iter()).enumerate() {
             for (region, region_pops) in &pops_by_region {
@@ -320,8 +361,8 @@ impl DpsProvider {
             residuals: HashMap::new(),
             residual_index: HashMap::new(),
             generations: HashMap::new(),
-            queries_answered: 0,
-            queries_ignored: 0,
+            queries_answered: Counter::default(),
+            queries_ignored: Counter::default(),
         }
     }
 
@@ -392,7 +433,12 @@ impl DpsProvider {
     }
 
     /// Scrubs attack traffic arriving at `pop`.
-    pub fn scrub_at(&self, pop: PopId, malicious_gbps: f64, legit_gbps: f64) -> Option<ScrubOutcome> {
+    pub fn scrub_at(
+        &self,
+        pop: PopId,
+        malicious_gbps: f64,
+        legit_gbps: f64,
+    ) -> Option<ScrubOutcome> {
         self.scrubbers
             .get(&pop)
             .map(|s| s.scrub(malicious_gbps, legit_gbps))
@@ -405,7 +451,7 @@ impl DpsProvider {
 
     /// (answered, ignored) query counts.
     pub fn query_stats(&self) -> (u64, u64) {
-        (self.queries_answered, self.queries_ignored)
+        (self.queries_answered.get(), self.queries_ignored.get())
     }
 
     // ------------------------------------------------------------------
@@ -488,10 +534,8 @@ impl DpsProvider {
                     .into_iter()
                     .cloned()
                     .collect();
-                let with_glue: Vec<(DomainName, Ipv4Addr)> = pair
-                    .iter()
-                    .map(|h| (h.clone(), self.ns_glue[h]))
-                    .collect();
+                let with_glue: Vec<(DomainName, Ipv4Addr)> =
+                    pair.iter().map(|h| (h.clone(), self.ns_glue[h])).collect();
                 account.nameservers = pair;
                 self.name_index.insert(host.clone(), domain.clone());
                 Enrollment::NsBased {
@@ -946,7 +990,10 @@ impl Authoritative for DpsProvider {
     /// ignored — the behavior the paper observed from Cloudflare's fleet
     /// (Sec V-A.2).
     fn answer(&mut self, now: SimTime, query: &Query) -> Option<Response> {
-        // Lazy purge of the queried residual, if expired.
+        // Lazy structural purge of the queried residual, if expired. The
+        // shared path below never answers from an expired record either
+        // (`is_live` checks `purge_at`), so skipping this drop does not
+        // change any response — it only compacts the residual maps.
         if let Some(apex) = self.residual_index.get(&query.name).cloned() {
             let expired = self
                 .residuals
@@ -958,7 +1005,16 @@ impl Authoritative for DpsProvider {
                 // (Informed terminations unrouted at termination time.)
             }
         }
+        self.answer_shared(now, query)
+    }
+}
 
+impl DpsProvider {
+    /// Answers a query through a shared reference: the same policy as
+    /// [`Authoritative::answer`], but without the structural purge of
+    /// expired residuals, so concurrent scan workers can all query one
+    /// provider. Stats move through atomic counters.
+    pub fn answer_shared(&self, now: SimTime, query: &Query) -> Option<Response> {
         let response = self
             .name_index
             .get(&query.name)
@@ -971,7 +1027,10 @@ impl Authoritative for DpsProvider {
             .or_else(|| {
                 self.residual_index
                     .get(&query.name)
-                    .or_else(|| self.residual_index.get(&query.name.apex().prepend("www").ok()?))
+                    .or_else(|| {
+                        self.residual_index
+                            .get(&query.name.apex().prepend("www").ok()?)
+                    })
                     .and_then(|apex| self.residuals.get(apex))
                     .and_then(|record| self.answer_for_residual(record, now, query))
             })
@@ -979,11 +1038,11 @@ impl Authoritative for DpsProvider {
 
         match response {
             Some(r) => {
-                self.queries_answered += 1;
+                self.queries_answered.bump();
                 Some(r)
             }
             None => {
-                self.queries_ignored += 1;
+                self.queries_ignored.bump();
                 None
             }
         }
@@ -1025,7 +1084,13 @@ mod tests {
     fn ns_enrollment_serves_edge_address() {
         let mut cf = cloudflare();
         let enrollment = cf
-            .enroll(SimTime::EPOCH, &name("example.com"), ORIGIN, ServicePlan::Free, ReroutingMethod::Ns)
+            .enroll(
+                SimTime::EPOCH,
+                &name("example.com"),
+                ORIGIN,
+                ServicePlan::Free,
+                ReroutingMethod::Ns,
+            )
             .unwrap();
         assert_eq!(enrollment.nameservers().len(), 2);
         let resp = ask(&mut cf, SimTime::EPOCH, "www.example.com", RecordType::A).unwrap();
@@ -1041,7 +1106,13 @@ mod tests {
     fn cname_enrollment_mints_fingerprinted_token() {
         let mut inc = incapsula();
         let enrollment = inc
-            .enroll(SimTime::EPOCH, &name("example.com"), ORIGIN, ServicePlan::Pro, ReroutingMethod::Cname)
+            .enroll(
+                SimTime::EPOCH,
+                &name("example.com"),
+                ORIGIN,
+                ServicePlan::Pro,
+                ReroutingMethod::Cname,
+            )
             .unwrap();
         let token = enrollment.cname_token().unwrap().clone();
         assert!(token.contains_label_substring("incapdns"));
@@ -1053,11 +1124,23 @@ mod tests {
     fn cloudflare_cname_gated_by_plan() {
         let mut cf = cloudflare();
         let err = cf
-            .enroll(SimTime::EPOCH, &name("example.com"), ORIGIN, ServicePlan::Free, ReroutingMethod::Cname)
+            .enroll(
+                SimTime::EPOCH,
+                &name("example.com"),
+                ORIGIN,
+                ServicePlan::Free,
+                ReroutingMethod::Cname,
+            )
             .unwrap_err();
         assert!(matches!(err, ProviderError::ReroutingUnavailable { .. }));
         assert!(cf
-            .enroll(SimTime::EPOCH, &name("example.com"), ORIGIN, ServicePlan::Business, ReroutingMethod::Cname)
+            .enroll(
+                SimTime::EPOCH,
+                &name("example.com"),
+                ORIGIN,
+                ServicePlan::Business,
+                ReroutingMethod::Cname
+            )
             .is_ok());
     }
 
@@ -1065,14 +1148,32 @@ mod tests {
     fn unsupported_rerouting_rejected() {
         let mut inc = incapsula();
         assert!(inc
-            .enroll(SimTime::EPOCH, &name("x.com"), ORIGIN, ServicePlan::Free, ReroutingMethod::Ns)
+            .enroll(
+                SimTime::EPOCH,
+                &name("x.com"),
+                ORIGIN,
+                ServicePlan::Free,
+                ReroutingMethod::Ns
+            )
             .is_err());
         let mut dos = DpsProvider::build(ProviderId::DosArrest, 1);
         assert!(dos
-            .enroll(SimTime::EPOCH, &name("x.com"), ORIGIN, ServicePlan::Free, ReroutingMethod::Cname)
+            .enroll(
+                SimTime::EPOCH,
+                &name("x.com"),
+                ORIGIN,
+                ServicePlan::Free,
+                ReroutingMethod::Cname
+            )
             .is_err());
         let e = dos
-            .enroll(SimTime::EPOCH, &name("x.com"), ORIGIN, ServicePlan::Free, ReroutingMethod::A)
+            .enroll(
+                SimTime::EPOCH,
+                &name("x.com"),
+                ORIGIN,
+                ServicePlan::Free,
+                ReroutingMethod::A,
+            )
             .unwrap();
         assert!(e.edge_address().is_some());
     }
@@ -1080,10 +1181,22 @@ mod tests {
     #[test]
     fn double_enrollment_rejected() {
         let mut cf = cloudflare();
-        cf.enroll(SimTime::EPOCH, &name("x.com"), ORIGIN, ServicePlan::Free, ReroutingMethod::Ns)
-            .unwrap();
+        cf.enroll(
+            SimTime::EPOCH,
+            &name("x.com"),
+            ORIGIN,
+            ServicePlan::Free,
+            ReroutingMethod::Ns,
+        )
+        .unwrap();
         assert!(matches!(
-            cf.enroll(SimTime::EPOCH, &name("x.com"), ORIGIN, ServicePlan::Free, ReroutingMethod::Ns),
+            cf.enroll(
+                SimTime::EPOCH,
+                &name("x.com"),
+                ORIGIN,
+                ServicePlan::Free,
+                ReroutingMethod::Ns
+            ),
             Err(ProviderError::AlreadyEnrolled { .. })
         ));
     }
@@ -1091,11 +1204,21 @@ mod tests {
     #[test]
     fn pause_exposes_origin_resume_hides_it() {
         let mut cf = cloudflare();
-        cf.enroll(SimTime::EPOCH, &name("example.com"), ORIGIN, ServicePlan::Free, ReroutingMethod::Ns)
-            .unwrap();
+        cf.enroll(
+            SimTime::EPOCH,
+            &name("example.com"),
+            ORIGIN,
+            ServicePlan::Free,
+            ReroutingMethod::Ns,
+        )
+        .unwrap();
         cf.pause(&name("example.com")).unwrap();
         let resp = ask(&mut cf, SimTime::EPOCH, "www.example.com", RecordType::A).unwrap();
-        assert_eq!(resp.answer_addresses(), vec![ORIGIN], "pause leaks the origin");
+        assert_eq!(
+            resp.answer_addresses(),
+            vec![ORIGIN],
+            "pause leaks the origin"
+        );
         cf.resume(&name("example.com")).unwrap();
         let resp = ask(&mut cf, SimTime::EPOCH, "www.example.com", RecordType::A).unwrap();
         assert!(cf.is_edge_address(resp.answer_addresses()[0]));
@@ -1104,60 +1227,139 @@ mod tests {
     #[test]
     fn informed_termination_leaves_origin_answering_remnant() {
         let mut cf = cloudflare();
-        cf.enroll(SimTime::EPOCH, &name("example.com"), ORIGIN, ServicePlan::Free, ReroutingMethod::Ns)
-            .unwrap();
+        cf.enroll(
+            SimTime::EPOCH,
+            &name("example.com"),
+            ORIGIN,
+            ServicePlan::Free,
+            ReroutingMethod::Ns,
+        )
+        .unwrap();
         cf.terminate(SimTime::from_days(10), &name("example.com"), true)
             .unwrap();
         assert_eq!(cf.customer_count(), 0);
         assert_eq!(cf.residual_count(), 1);
-        let resp = ask(&mut cf, SimTime::from_days(11), "www.example.com", RecordType::A).unwrap();
+        let resp = ask(
+            &mut cf,
+            SimTime::from_days(11),
+            "www.example.com",
+            RecordType::A,
+        )
+        .unwrap();
         assert_eq!(resp.answer_addresses(), vec![ORIGIN], "residual resolution");
     }
 
     #[test]
     fn free_plan_remnant_purges_at_four_weeks() {
         let mut cf = cloudflare();
-        cf.enroll(SimTime::EPOCH, &name("example.com"), ORIGIN, ServicePlan::Free, ReroutingMethod::Ns)
+        cf.enroll(
+            SimTime::EPOCH,
+            &name("example.com"),
+            ORIGIN,
+            ServicePlan::Free,
+            ReroutingMethod::Ns,
+        )
+        .unwrap();
+        cf.terminate(SimTime::EPOCH, &name("example.com"), true)
             .unwrap();
-        cf.terminate(SimTime::EPOCH, &name("example.com"), true).unwrap();
         // Week 3: still answering.
-        assert!(ask(&mut cf, SimTime::from_days(27), "www.example.com", RecordType::A).is_some());
+        assert!(ask(
+            &mut cf,
+            SimTime::from_days(27),
+            "www.example.com",
+            RecordType::A
+        )
+        .is_some());
         // Week 4+: purged, queries are ignored.
-        assert!(ask(&mut cf, SimTime::from_days(28), "www.example.com", RecordType::A).is_none());
+        assert!(ask(
+            &mut cf,
+            SimTime::from_days(28),
+            "www.example.com",
+            RecordType::A
+        )
+        .is_none());
         assert_eq!(cf.residual_count(), 0, "purge removes the record");
     }
 
     #[test]
     fn enterprise_remnant_never_purges() {
         let mut cf = cloudflare();
-        cf.enroll(SimTime::EPOCH, &name("example.com"), ORIGIN, ServicePlan::Enterprise, ReroutingMethod::Ns)
+        cf.enroll(
+            SimTime::EPOCH,
+            &name("example.com"),
+            ORIGIN,
+            ServicePlan::Enterprise,
+            ReroutingMethod::Ns,
+        )
+        .unwrap();
+        cf.terminate(SimTime::EPOCH, &name("example.com"), true)
             .unwrap();
-        cf.terminate(SimTime::EPOCH, &name("example.com"), true).unwrap();
-        assert!(ask(&mut cf, SimTime::from_days(365), "www.example.com", RecordType::A).is_some());
+        assert!(ask(
+            &mut cf,
+            SimTime::from_days(365),
+            "www.example.com",
+            RecordType::A
+        )
+        .is_some());
     }
 
     #[test]
     fn uninformed_leave_keeps_answering_edge() {
         let mut cf = cloudflare();
-        cf.enroll(SimTime::EPOCH, &name("example.com"), ORIGIN, ServicePlan::Free, ReroutingMethod::Ns)
+        cf.enroll(
+            SimTime::EPOCH,
+            &name("example.com"),
+            ORIGIN,
+            ServicePlan::Free,
+            ReroutingMethod::Ns,
+        )
+        .unwrap();
+        cf.terminate(SimTime::EPOCH, &name("example.com"), false)
             .unwrap();
-        cf.terminate(SimTime::EPOCH, &name("example.com"), false).unwrap();
-        let resp = ask(&mut cf, SimTime::from_days(7), "www.example.com", RecordType::A).unwrap();
+        let resp = ask(
+            &mut cf,
+            SimTime::from_days(7),
+            "www.example.com",
+            RecordType::A,
+        )
+        .unwrap();
         let addr = resp.answer_addresses()[0];
-        assert!(cf.is_edge_address(addr), "footnote 9: config untouched, edge answered");
+        assert!(
+            cf.is_edge_address(addr),
+            "footnote 9: config untouched, edge answered"
+        );
         // After the grace window the provider notices and purges.
-        assert!(ask(&mut cf, SimTime::from_days(36), "www.example.com", RecordType::A).is_none());
+        assert!(ask(
+            &mut cf,
+            SimTime::from_days(36),
+            "www.example.com",
+            RecordType::A
+        )
+        .is_none());
     }
 
     #[test]
     fn deny_policy_provider_goes_silent_after_informed_termination() {
         let mut fastly = DpsProvider::build(ProviderId::Fastly, 1);
         let e = fastly
-            .enroll(SimTime::EPOCH, &name("example.com"), ORIGIN, ServicePlan::Pro, ReroutingMethod::Cname)
+            .enroll(
+                SimTime::EPOCH,
+                &name("example.com"),
+                ORIGIN,
+                ServicePlan::Pro,
+                ReroutingMethod::Cname,
+            )
             .unwrap();
         let token = e.cname_token().unwrap().clone();
-        fastly.terminate(SimTime::EPOCH, &name("example.com"), true).unwrap();
-        let resp = ask(&mut fastly, SimTime::from_days(1), token.as_str(), RecordType::A);
+        fastly
+            .terminate(SimTime::EPOCH, &name("example.com"), true)
+            .unwrap();
+        let resp = ask(
+            &mut fastly,
+            SimTime::from_days(1),
+            token.as_str(),
+            RecordType::A,
+        );
         // Fastly's own infra apex covers the token, so it answers NXDOMAIN
         // rather than leaking anything.
         assert!(matches!(resp, Some(r) if r.rcode == Rcode::NxDomain && r.answers.is_empty()));
@@ -1168,11 +1370,24 @@ mod tests {
     fn incapsula_remnant_token_keeps_resolving_to_origin() {
         let mut inc = incapsula();
         let e = inc
-            .enroll(SimTime::EPOCH, &name("example.com"), ORIGIN, ServicePlan::Pro, ReroutingMethod::Cname)
+            .enroll(
+                SimTime::EPOCH,
+                &name("example.com"),
+                ORIGIN,
+                ServicePlan::Pro,
+                ReroutingMethod::Cname,
+            )
             .unwrap();
         let token = e.cname_token().unwrap().clone();
-        inc.terminate(SimTime::from_days(5), &name("example.com"), true).unwrap();
-        let resp = ask(&mut inc, SimTime::from_days(20), token.as_str(), RecordType::A).unwrap();
+        inc.terminate(SimTime::from_days(5), &name("example.com"), true)
+            .unwrap();
+        let resp = ask(
+            &mut inc,
+            SimTime::from_days(20),
+            token.as_str(),
+            RecordType::A,
+        )
+        .unwrap();
         assert_eq!(resp.answer_addresses(), vec![ORIGIN]);
     }
 
@@ -1180,12 +1395,25 @@ mod tests {
     fn reenrollment_rotates_token_and_clears_remnant() {
         let mut inc = incapsula();
         let e1 = inc
-            .enroll(SimTime::EPOCH, &name("example.com"), ORIGIN, ServicePlan::Pro, ReroutingMethod::Cname)
+            .enroll(
+                SimTime::EPOCH,
+                &name("example.com"),
+                ORIGIN,
+                ServicePlan::Pro,
+                ReroutingMethod::Cname,
+            )
             .unwrap();
         let t1 = e1.cname_token().unwrap().clone();
-        inc.terminate(SimTime::from_days(1), &name("example.com"), true).unwrap();
+        inc.terminate(SimTime::from_days(1), &name("example.com"), true)
+            .unwrap();
         let e2 = inc
-            .enroll(SimTime::from_days(2), &name("example.com"), ORIGIN, ServicePlan::Pro, ReroutingMethod::Cname)
+            .enroll(
+                SimTime::from_days(2),
+                &name("example.com"),
+                ORIGIN,
+                ServicePlan::Pro,
+                ReroutingMethod::Cname,
+            )
             .unwrap();
         let t2 = e2.cname_token().unwrap().clone();
         assert_ne!(t1, t2);
@@ -1198,8 +1426,14 @@ mod tests {
     #[test]
     fn update_origin_changes_answer_while_paused() {
         let mut cf = cloudflare();
-        cf.enroll(SimTime::EPOCH, &name("example.com"), ORIGIN, ServicePlan::Free, ReroutingMethod::Ns)
-            .unwrap();
+        cf.enroll(
+            SimTime::EPOCH,
+            &name("example.com"),
+            ORIGIN,
+            ServicePlan::Free,
+            ReroutingMethod::Ns,
+        )
+        .unwrap();
         let new_origin = Ipv4Addr::new(198, 51, 100, 77);
         cf.update_origin(&name("example.com"), new_origin).unwrap();
         cf.pause(&name("example.com")).unwrap();
@@ -1215,13 +1449,26 @@ mod tests {
             InfraConfig::for_provider(ProviderId::Cloudflare),
             ResidualPolicy::countermeasure_revalidate(ResidualPolicy::cloudflare_observed()),
         );
-        cf.enroll(SimTime::EPOCH, &name("example.com"), ORIGIN, ServicePlan::Free, ReroutingMethod::Ns)
+        cf.enroll(
+            SimTime::EPOCH,
+            &name("example.com"),
+            ORIGIN,
+            ServicePlan::Free,
+            ReroutingMethod::Ns,
+        )
+        .unwrap();
+        cf.terminate(SimTime::EPOCH, &name("example.com"), true)
             .unwrap();
-        cf.terminate(SimTime::EPOCH, &name("example.com"), true).unwrap();
         // Public DNS now points at a *different* provider's edge.
         cf.revalidate_residuals(|_| vec![Ipv4Addr::new(151, 101, 4, 4)]);
         assert!(
-            ask(&mut cf, SimTime::from_days(1), "www.example.com", RecordType::A).is_none(),
+            ask(
+                &mut cf,
+                SimTime::from_days(1),
+                "www.example.com",
+                RecordType::A
+            )
+            .is_none(),
             "mismatch disables the stale answer"
         );
     }
@@ -1234,12 +1481,25 @@ mod tests {
             InfraConfig::for_provider(ProviderId::Cloudflare),
             ResidualPolicy::countermeasure_revalidate(ResidualPolicy::cloudflare_observed()),
         );
-        cf.enroll(SimTime::EPOCH, &name("example.com"), ORIGIN, ServicePlan::Free, ReroutingMethod::Ns)
+        cf.enroll(
+            SimTime::EPOCH,
+            &name("example.com"),
+            ORIGIN,
+            ServicePlan::Free,
+            ReroutingMethod::Ns,
+        )
+        .unwrap();
+        cf.terminate(SimTime::EPOCH, &name("example.com"), true)
             .unwrap();
-        cf.terminate(SimTime::EPOCH, &name("example.com"), true).unwrap();
         // The site now self-hosts on the same origin: continuity is safe.
         cf.revalidate_residuals(|_| vec![ORIGIN]);
-        assert!(ask(&mut cf, SimTime::from_days(1), "www.example.com", RecordType::A).is_some());
+        assert!(ask(
+            &mut cf,
+            SimTime::from_days(1),
+            "www.example.com",
+            RecordType::A
+        )
+        .is_some());
     }
 
     #[test]
@@ -1285,8 +1545,14 @@ mod tests {
     #[test]
     fn dns_only_records_leak_their_literal_address() {
         let mut cf = cloudflare();
-        cf.enroll(SimTime::EPOCH, &name("example.com"), ORIGIN, ServicePlan::Free, ReroutingMethod::Ns)
-            .unwrap();
+        cf.enroll(
+            SimTime::EPOCH,
+            &name("example.com"),
+            ORIGIN,
+            ServicePlan::Free,
+            ReroutingMethod::Ns,
+        )
+        .unwrap();
         cf.add_dns_only_record(&name("example.com"), name("dev.example.com"), ORIGIN)
             .unwrap();
         // The proxied host answers with an edge...
@@ -1300,16 +1566,23 @@ mod tests {
     #[test]
     fn mx_record_is_served_for_ns_customers() {
         let mut cf = cloudflare();
-        cf.enroll(SimTime::EPOCH, &name("example.com"), ORIGIN, ServicePlan::Free, ReroutingMethod::Ns)
+        cf.enroll(
+            SimTime::EPOCH,
+            &name("example.com"),
+            ORIGIN,
+            ServicePlan::Free,
+            ReroutingMethod::Ns,
+        )
+        .unwrap();
+        cf.set_mx(&name("example.com"), name("mail.example.com"))
             .unwrap();
-        cf.set_mx(&name("example.com"), name("mail.example.com")).unwrap();
         cf.add_dns_only_record(&name("example.com"), name("mail.example.com"), ORIGIN)
             .unwrap();
         let mx = ask(&mut cf, SimTime::EPOCH, "example.com", RecordType::Mx).unwrap();
-        let exchange = mx.answers[0]
-            .data
-            .clone();
-        assert!(matches!(exchange, RecordData::Mx { exchange, .. } if exchange == name("mail.example.com")));
+        let exchange = mx.answers[0].data.clone();
+        assert!(
+            matches!(exchange, RecordData::Mx { exchange, .. } if exchange == name("mail.example.com"))
+        );
         let mail = ask(&mut cf, SimTime::EPOCH, "mail.example.com", RecordType::A).unwrap();
         assert_eq!(mail.answer_addresses(), vec![ORIGIN]);
     }
@@ -1317,19 +1590,33 @@ mod tests {
     #[test]
     fn gray_records_rejected_for_cname_customers() {
         let mut inc = incapsula();
-        inc.enroll(SimTime::EPOCH, &name("example.com"), ORIGIN, ServicePlan::Pro, ReroutingMethod::Cname)
-            .unwrap();
+        inc.enroll(
+            SimTime::EPOCH,
+            &name("example.com"),
+            ORIGIN,
+            ServicePlan::Pro,
+            ReroutingMethod::Cname,
+        )
+        .unwrap();
         assert!(inc
             .add_dns_only_record(&name("example.com"), name("dev.example.com"), ORIGIN)
             .is_err());
-        assert!(inc.set_mx(&name("example.com"), name("mail.example.com")).is_err());
+        assert!(inc
+            .set_mx(&name("example.com"), name("mail.example.com"))
+            .is_err());
     }
 
     #[test]
     fn update_origin_moves_colocated_gray_records() {
         let mut cf = cloudflare();
-        cf.enroll(SimTime::EPOCH, &name("example.com"), ORIGIN, ServicePlan::Free, ReroutingMethod::Ns)
-            .unwrap();
+        cf.enroll(
+            SimTime::EPOCH,
+            &name("example.com"),
+            ORIGIN,
+            ServicePlan::Free,
+            ReroutingMethod::Ns,
+        )
+        .unwrap();
         let elsewhere = Ipv4Addr::new(198, 18, 7, 7);
         cf.add_dns_only_record(&name("example.com"), name("dev.example.com"), ORIGIN)
             .unwrap();
@@ -1338,23 +1625,52 @@ mod tests {
         let new_origin = Ipv4Addr::new(198, 51, 100, 99);
         cf.update_origin(&name("example.com"), new_origin).unwrap();
         let dev = ask(&mut cf, SimTime::EPOCH, "dev.example.com", RecordType::A).unwrap();
-        assert_eq!(dev.answer_addresses(), vec![new_origin], "co-located record moved");
+        assert_eq!(
+            dev.answer_addresses(),
+            vec![new_origin],
+            "co-located record moved"
+        );
         let mail = ask(&mut cf, SimTime::EPOCH, "mail.example.com", RecordType::A).unwrap();
-        assert_eq!(mail.answer_addresses(), vec![elsewhere], "separate host untouched");
+        assert_eq!(
+            mail.answer_addresses(),
+            vec![elsewhere],
+            "separate host untouched"
+        );
     }
 
     #[test]
     fn gray_records_die_with_the_account() {
         let mut cf = cloudflare();
-        cf.enroll(SimTime::EPOCH, &name("example.com"), ORIGIN, ServicePlan::Free, ReroutingMethod::Ns)
-            .unwrap();
+        cf.enroll(
+            SimTime::EPOCH,
+            &name("example.com"),
+            ORIGIN,
+            ServicePlan::Free,
+            ReroutingMethod::Ns,
+        )
+        .unwrap();
         cf.add_dns_only_record(&name("example.com"), name("dev.example.com"), ORIGIN)
             .unwrap();
-        cf.terminate(SimTime::EPOCH, &name("example.com"), true).unwrap();
+        cf.terminate(SimTime::EPOCH, &name("example.com"), true)
+            .unwrap();
         // The remnant answers for www, but the gray subdomain is gone.
-        assert!(ask(&mut cf, SimTime::from_days(1), "www.example.com", RecordType::A).is_some());
-        let dev = ask(&mut cf, SimTime::from_days(1), "dev.example.com", RecordType::A);
-        assert!(dev.is_none(), "gray subdomain queries are ignored after termination");
+        assert!(ask(
+            &mut cf,
+            SimTime::from_days(1),
+            "www.example.com",
+            RecordType::A
+        )
+        .is_some());
+        let dev = ask(
+            &mut cf,
+            SimTime::from_days(1),
+            "dev.example.com",
+            RecordType::A,
+        );
+        assert!(
+            dev.is_none(),
+            "gray subdomain queries are ignored after termination"
+        );
     }
 
     #[test]

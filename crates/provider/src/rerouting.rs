@@ -98,10 +98,10 @@ pub fn mint_cname_token(
 /// First names used for Cloudflare-style nameserver hostnames
 /// (footnote 12: "`[girl/boy's name].ns.cloudflare.com`").
 const NS_FIRST_NAMES: [&str; 40] = [
-    "ada", "amir", "anna", "beth", "carl", "chad", "cora", "dana", "dina", "duke", "elle",
-    "eric", "faye", "fred", "gina", "glen", "hana", "hugo", "iris", "ivan", "jane", "joel",
-    "kate", "kurt", "lana", "liam", "mara", "mike", "nina", "noel", "olga", "omar", "pam",
-    "pete", "rita", "rob", "sara", "seth", "tara", "todd",
+    "ada", "amir", "anna", "beth", "carl", "chad", "cora", "dana", "dina", "duke", "elle", "eric",
+    "faye", "fred", "gina", "glen", "hana", "hugo", "iris", "ivan", "jane", "joel", "kate", "kurt",
+    "lana", "liam", "mara", "mike", "nina", "noel", "olga", "omar", "pam", "pete", "rita", "rob",
+    "sara", "seth", "tara", "todd",
 ];
 
 /// Generates `count` distinct nameserver hostnames under `ns_domain` in the
@@ -191,7 +191,9 @@ mod tests {
         assert_eq!(unique.len(), 391);
         assert!(fleet[0].as_str().ends_with(".ns.cloudflare.com"));
         // Every fleet member carries the provider's NS fingerprint.
-        assert!(fleet.iter().all(|n| n.contains_label_substring("cloudflare")));
+        assert!(fleet
+            .iter()
+            .all(|n| n.contains_label_substring("cloudflare")));
     }
 
     #[test]

@@ -46,8 +46,8 @@ impl ResidualPolicy {
         ResidualPolicy {
             answer_after_termination: true,
             purge_after: [
-                Some(SimDuration::weeks(4)), // Free — measured in Sec V-A.3
-                Some(SimDuration::weeks(8)), // Pro — speculated longer
+                Some(SimDuration::weeks(4)),  // Free — measured in Sec V-A.3
+                Some(SimDuration::weeks(8)),  // Pro — speculated longer
                 Some(SimDuration::weeks(12)), // Business
                 None,                         // Enterprise — never observed purged
             ],
@@ -160,7 +160,10 @@ mod tests {
     fn deny_policy_never_answers() {
         let policy = ResidualPolicy::deny();
         assert!(!policy.answer_after_termination);
-        assert_eq!(policy.purge_after(ServicePlan::Free), Some(SimDuration::ZERO));
+        assert_eq!(
+            policy.purge_after(ServicePlan::Free),
+            Some(SimDuration::ZERO)
+        );
     }
 
     #[test]
@@ -191,8 +194,10 @@ mod tests {
         assert!(ResidualPolicy::cloudflare_observed()
             .to_string()
             .contains("vulnerable"));
-        assert!(ResidualPolicy::countermeasure_revalidate(ResidualPolicy::incapsula_observed())
-            .to_string()
-            .contains("revalidation"));
+        assert!(
+            ResidualPolicy::countermeasure_revalidate(ResidualPolicy::incapsula_observed())
+                .to_string()
+                .contains("revalidation")
+        );
     }
 }

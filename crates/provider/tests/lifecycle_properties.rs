@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 
 use remnant_dns::{Authoritative, DomainName, Query, RecordType};
-use remnant_provider::{
-    DpsProvider, ProviderId, ReroutingMethod, ServicePlan, ServiceStatus,
-};
+use remnant_provider::{DpsProvider, ProviderId, ReroutingMethod, ServicePlan, ServiceStatus};
 use remnant_sim::{SimDuration, SimTime};
 use std::net::Ipv4Addr;
 

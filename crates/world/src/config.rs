@@ -384,7 +384,9 @@ mod tests {
         let cal = Calibration::paper();
         let mut rng = StdRng::seed_from_u64(3);
         let n = 50_000;
-        let samples: Vec<u64> = (0..n).map(|_| cal.sample_pause_days(&mut rng, false)).collect();
+        let samples: Vec<u64> = (0..n)
+            .map(|_| cal.sample_pause_days(&mut rng, false))
+            .collect();
         let le1 = samples.iter().filter(|d| **d <= 1).count() as f64 / n as f64;
         let gt5 = samples.iter().filter(|d| **d > 5).count() as f64 / n as f64;
         assert!((le1 - 0.45).abs() < 0.02, "<=1 day fraction {le1}");
@@ -397,7 +399,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let n = 50_000;
         let mean = |incap: bool, rng: &mut StdRng| {
-            (0..n).map(|_| cal.sample_pause_days(rng, incap) as f64).sum::<f64>() / n as f64
+            (0..n)
+                .map(|_| cal.sample_pause_days(rng, incap) as f64)
+                .sum::<f64>()
+                / n as f64
         };
         let cf = mean(false, &mut rng);
         let incap = mean(true, &mut rng);

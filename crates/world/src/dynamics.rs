@@ -176,7 +176,10 @@ impl World {
     pub fn force_pause(&mut self, id: SiteId) {
         let now = self.clock.now();
         assert!(self.sites[id.0 as usize].state.is_protected());
-        let provider = self.sites[id.0 as usize].state.provider().expect("enrolled");
+        let provider = self.sites[id.0 as usize]
+            .state
+            .provider()
+            .expect("enrolled");
         let apex = self.sites[id.0 as usize].apex.clone();
         self.providers[provider.index()]
             .pause(&apex)
@@ -202,7 +205,10 @@ impl World {
     /// Panics if the site is not enrolled and paused.
     pub fn force_resume(&mut self, id: SiteId) {
         let now = self.clock.now();
-        let provider = self.sites[id.0 as usize].state.provider().expect("enrolled");
+        let provider = self.sites[id.0 as usize]
+            .state
+            .provider()
+            .expect("enrolled");
         let apex = self.sites[id.0 as usize].apex.clone();
         self.providers[provider.index()]
             .resume(&apex)
@@ -278,8 +284,7 @@ impl World {
             }
         }
         for _ in 0..poisson(&mut self.rng, leave_rate) {
-            if let Some(id) =
-                self.pick_eligible(|s| s.state.is_enrolled() && s.multi_cdn.is_none())
+            if let Some(id) = self.pick_eligible(|s| s.state.is_enrolled() && s.multi_cdn.is_none())
             {
                 self.apply_leave(now, id);
             }
@@ -307,7 +312,10 @@ impl World {
     }
 
     /// Picks a random site satisfying `eligible` by rejection sampling.
-    fn pick_eligible(&mut self, eligible: impl Fn(&crate::site::Website) -> bool) -> Option<SiteId> {
+    fn pick_eligible(
+        &mut self,
+        eligible: impl Fn(&crate::site::Website) -> bool,
+    ) -> Option<SiteId> {
         let n = self.sites.len();
         for _ in 0..PICK_TRIES {
             let idx = self.rng.gen_range(0..n);
@@ -358,8 +366,7 @@ impl World {
             let same_ip = cal.leave_same_ip_for(provider);
             // The remaining mass splits between rehosting and going dark in
             // the calibrated baseline ratio.
-            let baseline_rest =
-                1.0 - cal.leave_same_ip_probability;
+            let baseline_rest = 1.0 - cal.leave_same_ip_probability;
             let new_ip_share = cal.leave_new_ip_probability / baseline_rest.max(f64::EPSILON);
             let u: f64 = self.rng.gen_range(0.0..1.0);
             let fate = if u < same_ip {
@@ -419,11 +426,12 @@ impl World {
             if self.rng.gen_bool(cal.pause_abandon_probability) {
                 None
             } else {
-                let days = cal
-                    .sample_pause_days(&mut self.rng, provider == ProviderId::Incapsula);
+                let days = cal.sample_pause_days(&mut self.rng, provider == ProviderId::Incapsula);
                 let jitter = self.rng.gen_range(0..24);
-                Some(now + SimDuration::days(days) + SimDuration::hours(jitter)
-                    - SimDuration::hours(12))
+                Some(
+                    now + SimDuration::days(days) + SimDuration::hours(jitter)
+                        - SimDuration::hours(12),
+                )
             }
         };
         self.sites[id.0 as usize].scheduled_resume = resume_at;
@@ -665,7 +673,9 @@ mod tests {
             .find(|e| e.kind == BehaviorKind::Resume)
             .unwrap()
             .site;
-        assert!(w.site(resumed_site).state.is_enrolled() || !w.site(resumed_site).state.is_enrolled());
+        assert!(
+            w.site(resumed_site).state.is_enrolled() || !w.site(resumed_site).state.is_enrolled()
+        );
     }
 
     #[test]
@@ -707,7 +717,10 @@ mod tests {
             .provider(ProviderId::Cloudflare)
             .residual(&apex)
             .expect("informed switch leaves a remnant");
-        assert_eq!(remnant.account.origin, origin, "remnant stores the kept origin");
+        assert_eq!(
+            remnant.account.origin, origin,
+            "remnant stores the kept origin"
+        );
         assert!(remnant.informed);
     }
 

@@ -9,9 +9,8 @@ const TLDS: [&str; 8] = ["com", "net", "org", "io", "co", "info", "biz", "site"]
 /// Word stems combined into apex names.
 const STEMS: [&str; 32] = [
     "news", "shop", "cloud", "data", "game", "tech", "media", "travel", "photo", "social",
-    "market", "forum", "stream", "sport", "music", "movie", "book", "food", "auto", "home",
-    "bank", "health", "learn", "craft", "code", "mail", "chat", "search", "map", "video",
-    "blog", "store",
+    "market", "forum", "stream", "sport", "music", "movie", "book", "food", "auto", "home", "bank",
+    "health", "learn", "craft", "code", "mail", "chat", "search", "map", "video", "blog", "store",
 ];
 
 /// Generates the apex domain for the site at `rank` (0-based).

@@ -2,14 +2,15 @@
 
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use remnant_dns::transport::ROOT_SERVER;
 use remnant_dns::{
-    Authoritative, DnsTransport, DomainName, Query, Rcode, RecordData, RecordType, Response,
-    ResourceRecord, Ttl,
+    DnsTransport, DomainName, Query, QueryStats, Rcode, RecordData, RecordType, ResourceRecord,
+    Response, ShardableTransport, Ttl,
 };
 use remnant_http::{
     FirewallPolicy, HttpRequest, HttpResponse, HttpTransport, OriginServer, PageTemplate,
@@ -72,7 +73,8 @@ pub struct World {
     pub(crate) resume_schedule: Vec<(SimTime, SiteId, ProviderId)>,
     parking_template: PageTemplate,
     parking_nonce: u64,
-    dns_queries: u64,
+    dns_queries: AtomicU64,
+    dns_answered: AtomicU64,
     http_requests: u64,
 }
 
@@ -152,7 +154,8 @@ impl World {
             resume_schedule: Vec::new(),
             parking_template: PageTemplate::generate("parked.example", config.seed),
             parking_nonce: 0,
-            dns_queries: 0,
+            dns_queries: AtomicU64::new(0),
+            dns_answered: AtomicU64::new(0),
             http_requests: 0,
             config,
             rng: StdRng::seed_from_u64(0), // replaced below
@@ -283,7 +286,7 @@ impl World {
 
     /// `(DNS queries, HTTP requests)` served by the fabric so far.
     pub fn traffic_stats(&self) -> (u64, u64) {
-        (self.dns_queries, self.http_requests)
+        (self.dns_queries.load(Ordering::Relaxed), self.http_requests)
     }
 
     /// Advances time by whole days of dynamics.
@@ -307,7 +310,7 @@ impl World {
 
     /// Answers like the root/TLD layer: a referral for any registered apex,
     /// derived live from the site's current delegation state.
-    fn registry_answer(&mut self, query: &Query) -> Response {
+    fn registry_answer(&self, query: &Query) -> Response {
         let apex = query.name.apex();
         // Provider infrastructure domains.
         if let Some(provider_id) = self.infra_delegation.get(&apex) {
@@ -368,7 +371,7 @@ impl World {
     }
 
     /// Answers as the `hosting`-th shared hosting-DNS server.
-    fn hosting_answer(&mut self, hosting: usize, query: &Query) -> Response {
+    fn hosting_answer(&self, hosting: usize, query: &Query) -> Response {
         let apex = query.name.apex();
         let Some(site_id) = self.by_apex.get(&apex).copied() else {
             return Response::empty(query.clone(), Rcode::Refused);
@@ -509,9 +512,7 @@ impl World {
                                 RecordData::A(account.serving_address()),
                             )],
                         ),
-                        (RecordType::A, None) => {
-                            Response::empty(query.clone(), Rcode::ServFail)
-                        }
+                        (RecordType::A, None) => Response::empty(query.clone(), Rcode::ServFail),
                         _ => Response::empty(query.clone(), Rcode::NoError),
                     },
                     ReroutingMethod::Cname => match account.and_then(|a| a.cname_token.clone()) {
@@ -651,8 +652,7 @@ impl World {
             .enroll(now, &apex, origin, ServicePlan::Pro, ReroutingMethod::Cname)
             .expect("multi-cdn pool providers accept CNAME enrollments");
         self.sites[id.0 as usize].multi_cdn = Some((first, second));
-        self.cedexis_index
-            .insert(cedexis_token(&apex), id);
+        self.cedexis_index.insert(cedexis_token(&apex), id);
     }
 
     /// Rotates a site's origin to a fresh address, informing the *current*
@@ -723,11 +723,7 @@ impl World {
 }
 
 /// Builds a registry-style referral response.
-fn referral(
-    query: &Query,
-    apex: &DomainName,
-    nameservers: &[(DomainName, Ipv4Addr)],
-) -> Response {
+fn referral(query: &Query, apex: &DomainName, nameservers: &[(DomainName, Ipv4Addr)]) -> Response {
     let ttl = remnant_dns::registry::DELEGATION_TTL;
     let authority = nameservers
         .iter()
@@ -773,28 +769,57 @@ fn hosting_pair(hosting: u8) -> (usize, usize) {
     (primary, primary ^ 1)
 }
 
-impl DnsTransport for World {
-    fn query(
-        &mut self,
+impl ShardableTransport for World {
+    /// The shared-read DNS fabric. Answering is a pure function of world
+    /// state (counters aside), so any number of scan workers may query
+    /// concurrently; providers answer through [`DpsProvider::answer_shared`],
+    /// which treats expired residuals as absent without compacting them.
+    fn query_shared(
+        &self,
         now: SimTime,
         server: Ipv4Addr,
         _region: Region,
         query: &Query,
     ) -> Option<Response> {
-        self.dns_queries += 1;
-        if server == ROOT_SERVER {
-            return Some(self.registry_answer(query));
+        self.dns_queries.fetch_add(1, Ordering::Relaxed);
+        let response = if server == ROOT_SERVER {
+            Some(self.registry_answer(query))
+        } else if let Some(provider_id) = self.ns_owner.get(&server).copied() {
+            self.providers[provider_id.index()].answer_shared(now, query)
+        } else if let Some(hosting) = self.hosting_owner.get(&server).copied() {
+            Some(self.hosting_answer(hosting, query))
+        } else if server == CEDEXIS_NS_IP {
+            Some(self.cedexis_answer(query))
+        } else {
+            None
+        };
+        if response.is_some() {
+            self.dns_answered.fetch_add(1, Ordering::Relaxed);
         }
-        if let Some(provider_id) = self.ns_owner.get(&server).copied() {
-            return self.providers[provider_id.index()].answer(now, query);
+        response
+    }
+
+    fn query_stats(&self) -> QueryStats {
+        QueryStats {
+            sent: self.dns_queries.load(Ordering::Relaxed),
+            answered: self.dns_answered.load(Ordering::Relaxed),
         }
-        if let Some(hosting) = self.hosting_owner.get(&server).copied() {
-            return Some(self.hosting_answer(hosting, query));
-        }
-        if server == CEDEXIS_NS_IP {
-            return Some(self.cedexis_answer(query));
-        }
-        None
+    }
+}
+
+impl DnsTransport for World {
+    fn query(
+        &mut self,
+        now: SimTime,
+        server: Ipv4Addr,
+        region: Region,
+        query: &Query,
+    ) -> Option<Response> {
+        self.query_shared(now, server, region, query)
+    }
+
+    fn query_stats(&self) -> QueryStats {
+        ShardableTransport::query_stats(self)
     }
 }
 
@@ -1074,10 +1099,14 @@ mod tests {
         let (first, second) = site.multi_cdn.unwrap();
 
         let mut resolver = RecursiveResolver::new(world.clock(), Region::Oregon);
-        let res = resolver.resolve(&mut world, &site.www, RecordType::A).unwrap();
+        let res = resolver
+            .resolve(&mut world, &site.www, RecordType::A)
+            .unwrap();
         // The chain shows the balancer fingerprint plus a provider token.
         assert!(
-            res.cnames().iter().any(|c| c.contains_label_substring("cedexis")),
+            res.cnames()
+                .iter()
+                .any(|c| c.contains_label_substring("cedexis")),
             "balancer CNAME visible: {:?}",
             res.cnames()
         );
@@ -1085,7 +1114,9 @@ mod tests {
 
         world.step_days(1);
         resolver.purge_cache();
-        let res = resolver.resolve(&mut world, &site.www, RecordType::A).unwrap();
+        let res = resolver
+            .resolve(&mut world, &site.www, RecordType::A)
+            .unwrap();
         let addr_day1 = *res.addresses().last().unwrap();
 
         let owner = |addr: Ipv4Addr, w: &World| {
@@ -1109,7 +1140,11 @@ mod tests {
             warmup_days: 0,
             calibration: crate::config::Calibration::paper(),
         });
-        let enrolled = world.sites().iter().filter(|s| s.state.is_enrolled()).count();
+        let enrolled = world
+            .sites()
+            .iter()
+            .filter(|s| s.state.is_enrolled())
+            .count();
         let rate = enrolled as f64 / world.population() as f64;
         assert!((rate - 0.1485).abs() < 0.015, "adoption {rate}");
         // Top band adopts much more.

@@ -76,7 +76,9 @@ fn scan_once(world: &mut World) -> (usize, usize) {
 
 fn world_with_policy(policy: ResidualPolicy) -> World {
     let mut world = World::generate(WorldConfig::new(15_000, 2024));
-    world.provider_mut(ProviderId::Cloudflare).set_policy(policy);
+    world
+        .provider_mut(ProviderId::Cloudflare)
+        .set_policy(policy);
     // Let the new policy govern a fresh round of churn.
     world.step_days(14);
     world
@@ -85,9 +87,8 @@ fn world_with_policy(policy: ResidualPolicy) -> World {
 fn main() {
     let mut table = TextTable::new(["Policy (Sec VI-B)", "Hidden records", "Verified origins"]);
 
-    let (hidden, verified) = scan_once(&mut world_with_policy(
-        ResidualPolicy::cloudflare_observed(),
-    ));
+    let (hidden, verified) =
+        scan_once(&mut world_with_policy(ResidualPolicy::cloudflare_observed()));
     table.row([
         "observed (vulnerable)".to_owned(),
         hidden.to_string(),

@@ -7,8 +7,8 @@
 //! cargo run --release --example ddos_bypass
 //! ```
 
-use remnant::attack::{Botnet, DdosAttack, ResidualBypassAttack};
 use remnant::attack::bypass::RemnantProbe;
+use remnant::attack::{Botnet, DdosAttack, ResidualBypassAttack};
 use remnant::provider::{ProviderId, ReroutingMethod, ServicePlan};
 use remnant::world::{SiteState, World, WorldConfig};
 
@@ -34,7 +34,10 @@ fn main() {
         })
         .expect("cloudflare customer exists")
         .clone();
-    println!("victim: {} (origin {}, protected by Cloudflare)", victim.www, victim.origin);
+    println!(
+        "victim: {} (origin {}, protected by Cloudflare)",
+        victim.www, victim.origin
+    );
 
     // Step 1: while protected, a Mirai-class flood on the edge fails.
     let botnet = Botnet::mirai_class();

@@ -37,8 +37,8 @@ fn main() {
         last_snapshot = Some(snapshot);
         world.step_hours(24);
     }
-    let classes = BehaviorDetector::new()
-        .classify_snapshot(&last_snapshot.expect("collection rounds ran"));
+    let classes =
+        BehaviorDetector::new().classify_snapshot(&last_snapshot.expect("collection rounds ran"));
 
     // Classic vectors against all currently protected sites.
     let mut scanner = VectorScanner::new(world.clock(), Region::Ashburn, SCANNER_SOURCE);

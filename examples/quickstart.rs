@@ -40,7 +40,10 @@ fn main() {
     for kind in BehaviorKind::ALL {
         println!("  {kind:<7} {:>7.1}", report.behaviors.daily_average(kind));
     }
-    println!("  FSM violations (Fig 4 check): {}", report.behaviors.fsm_violations);
+    println!(
+        "  FSM violations (Fig 4 check): {}",
+        report.behaviors.fsm_violations
+    );
 
     println!("\n== Pause windows (Fig 5) ==");
     println!(

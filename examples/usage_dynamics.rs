@@ -37,7 +37,10 @@ fn main() {
         pauses.observe(snapshot.taken_at, &classes);
 
         let on = classes.iter().filter(|c| c.status == DpsStatus::On).count();
-        let off = classes.iter().filter(|c| c.status == DpsStatus::Off).count();
+        let off = classes
+            .iter()
+            .filter(|c| c.status == DpsStatus::Off)
+            .count();
         let none = classes.len() - on - off;
 
         let mut counts = [0usize; 5];

@@ -17,6 +17,7 @@
 //! | [`http`] | `remnant-http` | pages, origins, edges, page comparison |
 //! | [`provider`] | `remnant-provider` | Table II providers, residual policies |
 //! | [`world`] | `remnant-world` | the calibrated synthetic Internet |
+//! | [`engine`] | `remnant-engine` | sharded, deterministic parallel sweep executor |
 //! | [`core`] | `remnant-core` | **the paper's toolkit**: collector, matchers, behavior/pause/unchanged studies, residual scanner, study driver |
 //! | [`attack`] | `remnant-attack` | botnets, scrubbing outcomes, the bypass kill chain |
 //!
@@ -41,6 +42,7 @@
 pub use remnant_attack as attack;
 pub use remnant_core as core;
 pub use remnant_dns as dns;
+pub use remnant_engine as engine;
 pub use remnant_http as http;
 pub use remnant_net as net;
 pub use remnant_provider as provider;

@@ -9,8 +9,8 @@ use remnant::core::study::{PaperStudy, StudyConfig};
 use remnant::core::SCANNER_SOURCE;
 use remnant::dns::transport::{StaticTransport, ROOT_SERVER};
 use remnant::dns::{
-    DnsError, DomainName, RecordData, RecordType, RecursiveResolver, Registry, ResourceRecord,
-    Ttl, Zone, ZoneServer,
+    DnsError, DomainName, RecordData, RecordType, RecursiveResolver, Registry, ResourceRecord, Ttl,
+    Zone, ZoneServer,
 };
 use remnant::net::Region;
 use remnant::provider::{ProviderId, ReroutingMethod, ServicePlan};
@@ -63,7 +63,9 @@ fn resolver_survives_flapping_nameservers() {
     let mut resolver = RecursiveResolver::new(clock, Region::Oregon);
     // Primary dead: the resolver fails over to the secondary.
     transport.set_unreachable(ns1);
-    let res = resolver.resolve(&mut transport, &www, RecordType::A).unwrap();
+    let res = resolver
+        .resolve(&mut transport, &www, RecordType::A)
+        .unwrap();
     assert_eq!(res.addresses(), vec![Ipv4Addr::new(203, 0, 113, 5)]);
 
     // Both dead: a clean timeout error, not a hang or panic.
@@ -98,7 +100,10 @@ fn collector_records_empty_sites_instead_of_failing() {
     assert!(ghost.is_empty());
     let detector = remnant::core::BehaviorDetector::new();
     let classes = detector.classify_snapshot(&snapshot);
-    assert_eq!(classes.last().unwrap().status, remnant::core::DpsStatus::None);
+    assert_eq!(
+        classes.last().unwrap().status,
+        remnant::core::DpsStatus::None
+    );
 }
 
 #[test]

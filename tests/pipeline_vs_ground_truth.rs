@@ -77,12 +77,7 @@ fn observed_behaviors_track_ground_truth_events() {
     // Ground truth events during the study window.
     let truth: std::collections::HashMap<BehaviorKind, usize> = BehaviorKind::ALL
         .into_iter()
-        .map(|k| {
-            (
-                k,
-                world.events().iter().filter(|e| e.kind == k).count(),
-            )
-        })
+        .map(|k| (k, world.events().iter().filter(|e| e.kind == k).count()))
         .collect();
 
     for kind in [BehaviorKind::Join, BehaviorKind::Leave] {

@@ -6,7 +6,7 @@ use remnant::core::adoption::{Adoption, DpsStatus};
 use remnant::core::fsm::{self, DpsState};
 use remnant::core::matchers::ProviderMatcher;
 use remnant::core::snapshot::SiteRecords;
-use remnant::dns::{DomainName, RecordData, ResourceRecord, ResolverCache, Ttl};
+use remnant::dns::{DomainName, RecordData, ResolverCache, ResourceRecord, Ttl};
 use remnant::net::{Asn, IpRangeDb, Ipv4Cidr};
 use remnant::provider::ProviderId;
 use remnant::sim::stats::Ecdf;

@@ -133,7 +133,10 @@ fn fake_a_record_countermeasure_defeats_verification() {
     let targets = targets(&world);
     let (hidden, verified) = scan_cloudflare(&mut world, &targets);
     let rank = site.id.0 as usize;
-    assert!(hidden.contains(&rank), "the remnant still answers — with the fake");
+    assert!(
+        hidden.contains(&rank),
+        "the remnant still answers — with the fake"
+    );
     assert!(
         !verified.contains(&rank),
         "the fake address serves nothing, so verification fails"

@@ -1,0 +1,227 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the subset of the criterion 0.5 API its benches use: `Criterion`,
+//! benchmark groups with `sample_size`/`throughput`, `Bencher::iter` /
+//! `iter_batched`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Statistics are deliberately simple — each benchmark is calibrated to a
+//! small time budget, run `sample_size` times, and reported as
+//! `[min mean max]` per iteration. Good enough to compare configurations
+//! (e.g. 1-vs-N workers) on one machine; not a criterion replacement for
+//! rigorous regression detection.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration time budget used to pick the iteration count.
+const CALIBRATION_TARGET: Duration = Duration::from_millis(20);
+/// Upper bound on the total time spent in one benchmark function.
+const BENCH_BUDGET: Duration = Duration::from_secs(3);
+
+/// How batched inputs are grouped. Ignored by this stand-in; every batch
+/// holds exactly one input.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Measures one routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, run back-to-back `iters` times.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` only, re-creating its input with `setup` outside
+    /// the measured region.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_once(f: &mut dyn FnMut(&mut Bencher), iters: u64) -> Duration {
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    bencher.elapsed
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos() as f64;
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} us", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn run_benchmark(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibrate: grow the iteration count until one sample costs enough
+    // to time reliably, within the overall budget.
+    let mut iters = 1u64;
+    let mut probe = run_once(&mut f, iters);
+    while probe < CALIBRATION_TARGET && probe * 8 < BENCH_BUDGET {
+        iters *= 2;
+        probe = run_once(&mut f, iters);
+    }
+    let per_iter_probe = probe / iters.max(1) as u32;
+    let affordable = if per_iter_probe.is_zero() {
+        sample_size
+    } else {
+        (BENCH_BUDGET.as_nanos() / probe.as_nanos().max(1)) as usize
+    };
+    let samples = sample_size.min(affordable).max(1);
+
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let elapsed = run_once(&mut f, iters);
+        times.push(elapsed.as_secs_f64() / iters as f64);
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0f64, f64::max);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let fmt = |secs: f64| format_duration(Duration::from_secs_f64(secs));
+    let mut line = format!("{id:<40} time: [{} {} {}]", fmt(min), fmt(mean), fmt(max));
+    if let Some(tp) = throughput {
+        let (units, label) = match tp {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        if mean > 0.0 {
+            line.push_str(&format!("  thrpt: {:.0} {label}", units as f64 / mean));
+        }
+    }
+    println!("{line}");
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(id, 10, None, f);
+        self
+    }
+}
+
+/// A set of benchmarks sharing configuration and a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (CLI arguments from
+/// `cargo bench` are accepted and ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

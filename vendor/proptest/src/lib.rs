@@ -1,0 +1,258 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the subset of proptest 1.x its tests use: the [`proptest!`] macro,
+//! `prop_assert*`/`prop_assume!`, `prop_oneof!`, `any`, `Just`,
+//! `prop_map`, regex string strategies, range strategies, tuples, and the
+//! `collection`/`sample` modules.
+//!
+//! The one behavioral difference from upstream: **no shrinking**. A
+//! failing case reports the generated input as-is. Runs are deterministic
+//! (seeded from `PROPTEST_SEED` or a fixed default), so failures
+//! reproduce exactly.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Alias so `prop::collection::vec(...)` etc. resolve as upstream.
+    pub use crate as prop;
+}
+
+/// Declares property tests. Each function body runs against many
+/// generated inputs; parameters are `name in strategy` or `name: Type`
+/// (shorthand for `any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($params:tt)*) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_parse! { ($cfg) [] [] ($($params)*) $body }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_parse {
+    // All parameters consumed: run the cases.
+    ( ($cfg:expr) [$($n:ident)*] [$($s:expr),*] () $body:block ) => {{
+        let __config: $crate::test_runner::Config = $cfg;
+        let __strategy = ($( $s, )*);
+        $crate::test_runner::run(&__config, __strategy, |($( $n, )*)| {
+            { $body }
+            ::core::result::Result::Ok(())
+        });
+    }};
+    // `name in strategy`, more parameters follow.
+    ( ($cfg:expr) [$($n:ident)*] [$($s:expr),*] ($name:ident in $strat:expr, $($rest:tt)+) $body:block ) => {
+        $crate::__proptest_parse! { ($cfg) [$($n)* $name] [$($s,)* $strat] ($($rest)+) $body }
+    };
+    // `name in strategy`, last parameter.
+    ( ($cfg:expr) [$($n:ident)*] [$($s:expr),*] ($name:ident in $strat:expr $(,)?) $body:block ) => {
+        $crate::__proptest_parse! { ($cfg) [$($n)* $name] [$($s,)* $strat] () $body }
+    };
+    // `name: Type`, more parameters follow.
+    ( ($cfg:expr) [$($n:ident)*] [$($s:expr),*] ($name:ident : $ty:ty, $($rest:tt)+) $body:block ) => {
+        $crate::__proptest_parse! {
+            ($cfg) [$($n)* $name] [$($s,)* $crate::arbitrary::any::<$ty>()] ($($rest)+) $body
+        }
+    };
+    // `name: Type`, last parameter.
+    ( ($cfg:expr) [$($n:ident)*] [$($s:expr),*] ($name:ident : $ty:ty $(,)?) $body:block ) => {
+        $crate::__proptest_parse! {
+            ($cfg) [$($n)* $name] [$($s,)* $crate::arbitrary::any::<$ty>()] () $body
+        }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {}: {}",
+                    stringify!($cond),
+                    format!($($fmt)+),
+                ),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `{} == {}`\n     left: {:?}\n    right: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            __l,
+                            __r,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `{} == {}`: {}\n     left: {:?}\n    right: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            format!($($fmt)+),
+                            __l,
+                            __r,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `{} != {}`\n     both: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            __l,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `{} != {}`: {}\n     both: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            format!($($fmt)+),
+                            __l,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Discards the current case unless `cond` holds (does not count toward
+/// the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// A uniform choice among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec::Vec::from([
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ]))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_strategies_match_shape() {
+        let config = ProptestConfig::with_cases(64);
+        crate::test_runner::run(&config, ("[a-z]{3,10}\\.(com|net|org)",), |(s,)| {
+            let (host, tld) = s.split_once('.').expect("has dot");
+            prop_assert!(host.len() >= 3 && host.len() <= 10);
+            prop_assert!(host.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(["com", "net", "org"].contains(&tld));
+            Ok(())
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_parses_mixed_params(
+            xs in prop::collection::vec(0u32..10, 1..5),
+            flag: bool,
+            pick in prop::sample::select(vec![1u8, 2, 3]),
+        ) {
+            prop_assert!(xs.len() < 5, "len {}", xs.len());
+            prop_assert!((1..=3).contains(&pick));
+            let _ = flag;
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![Just(0u8), (1u8..20).prop_map(|x| x)]) {
+            prop_assert!(v < 20);
+        }
+    }
+}

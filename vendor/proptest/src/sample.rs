@@ -1,0 +1,26 @@
+//! Sampling from fixed collections.
+
+use std::fmt;
+
+use rand::Rng as _;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding a uniformly chosen clone of one of `items`.
+pub fn select<T: Clone + fmt::Debug>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select: empty choice set");
+    Select(items)
+}
+
+/// The result of [`select`].
+#[derive(Clone, Debug)]
+pub struct Select<T>(Vec<T>);
+
+impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0[rng.gen_range(0..self.0.len())].clone()
+    }
+}

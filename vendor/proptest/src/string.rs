@@ -1,0 +1,189 @@
+//! Regex-shaped string generation.
+//!
+//! Supports the subset of regex syntax the workspace's tests use:
+//! literal characters, `\`-escapes, character classes `[a-z0-9-]` (with
+//! ranges and trailing literal `-`), groups with alternation
+//! `(com|net|org)`, and the quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`
+//! (`*`/`+` are capped at 8 repetitions).
+
+use rand::Rng as _;
+
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+enum Node {
+    Lit(char),
+    Class(Vec<char>),
+    Group(Vec<Vec<(Node, Quant)>>),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Quant {
+    min: u32,
+    max: u32,
+}
+
+const UNBOUNDED_CAP: u32 = 8;
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn fail(&self, what: &str) -> ! {
+        panic!(
+            "proptest string strategy: unsupported regex {:?} ({what})",
+            self.pattern
+        )
+    }
+
+    fn parse_sequence(&mut self, in_group: bool) -> Vec<(Node, Quant)> {
+        let mut seq = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if in_group && (c == '|' || c == ')') {
+                break;
+            }
+            self.chars.next();
+            let node = match c {
+                '\\' => {
+                    let escaped = self
+                        .chars
+                        .next()
+                        .unwrap_or_else(|| self.fail("dangling \\"));
+                    Node::Lit(escaped)
+                }
+                '[' => Node::Class(self.parse_class()),
+                '(' => {
+                    let mut alternatives = vec![self.parse_sequence(true)];
+                    while self.chars.peek() == Some(&'|') {
+                        self.chars.next();
+                        alternatives.push(self.parse_sequence(true));
+                    }
+                    if self.chars.next() != Some(')') {
+                        self.fail("unclosed group");
+                    }
+                    Node::Group(alternatives)
+                }
+                ')' | '|' | ']' | '{' | '}' | '?' | '*' | '+' => self.fail("stray metacharacter"),
+                other => Node::Lit(other),
+            };
+            seq.push((node, self.parse_quantifier()));
+        }
+        seq
+    }
+
+    fn parse_class(&mut self) -> Vec<char> {
+        let mut chars = Vec::new();
+        loop {
+            let c = self
+                .chars
+                .next()
+                .unwrap_or_else(|| self.fail("unclosed class"));
+            match c {
+                ']' => break,
+                '\\' => chars.push(
+                    self.chars
+                        .next()
+                        .unwrap_or_else(|| self.fail("dangling \\")),
+                ),
+                '-' if !chars.is_empty() && self.chars.peek().is_some_and(|&n| n != ']') => {
+                    let hi = self.chars.next().unwrap();
+                    let lo = *chars.last().unwrap();
+                    if lo > hi {
+                        self.fail("inverted class range");
+                    }
+                    chars.pop();
+                    chars.extend((lo..=hi).filter(|ch| ch.is_ascii()));
+                }
+                other => chars.push(other),
+            }
+        }
+        if chars.is_empty() {
+            self.fail("empty class");
+        }
+        chars
+    }
+
+    fn parse_quantifier(&mut self) -> Quant {
+        match self.chars.peek() {
+            Some('?') => {
+                self.chars.next();
+                Quant { min: 0, max: 1 }
+            }
+            Some('*') => {
+                self.chars.next();
+                Quant {
+                    min: 0,
+                    max: UNBOUNDED_CAP,
+                }
+            }
+            Some('+') => {
+                self.chars.next();
+                Quant {
+                    min: 1,
+                    max: UNBOUNDED_CAP,
+                }
+            }
+            Some('{') => {
+                self.chars.next();
+                let mut body = String::new();
+                loop {
+                    match self.chars.next() {
+                        Some('}') => break,
+                        Some(c) => body.push(c),
+                        None => self.fail("unclosed quantifier"),
+                    }
+                }
+                let parse = |s: &str| -> u32 {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| self.fail("bad quantifier bound"))
+                };
+                match body.split_once(',') {
+                    Some((min, max)) => Quant {
+                        min: parse(min),
+                        max: parse(max),
+                    },
+                    None => {
+                        let n = parse(&body);
+                        Quant { min: n, max: n }
+                    }
+                }
+            }
+            _ => Quant { min: 1, max: 1 },
+        }
+    }
+}
+
+fn sample_sequence(seq: &[(Node, Quant)], rng: &mut TestRng, out: &mut String) {
+    for (node, quant) in seq {
+        let reps = if quant.min == quant.max {
+            quant.min
+        } else {
+            rng.gen_range(quant.min..=quant.max)
+        };
+        for _ in 0..reps {
+            match node {
+                Node::Lit(c) => out.push(*c),
+                Node::Class(chars) => out.push(chars[rng.gen_range(0..chars.len())]),
+                Node::Group(alternatives) => {
+                    let pick = rng.gen_range(0..alternatives.len());
+                    sample_sequence(&alternatives[pick], rng, out);
+                }
+            }
+        }
+    }
+}
+
+/// Draws one string matching `pattern`.
+pub(crate) fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = Parser {
+        chars: pattern.chars().peekable(),
+        pattern,
+    };
+    let seq = parser.parse_sequence(false);
+    let mut out = String::new();
+    sample_sequence(&seq, rng, &mut out);
+    out
+}

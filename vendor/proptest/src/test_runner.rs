@@ -1,0 +1,122 @@
+//! Case generation and execution: the part of `proptest::test_runner`
+//! this workspace uses.
+
+use rand::{RngCore, SeedableRng, StdRng};
+
+use crate::strategy::Strategy;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on `prop_assume` rejections across the whole run.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// A config that runs `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+    /// A `prop_assume` precondition failed; the case is discarded.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A discarded case.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// The RNG handed to strategies.
+///
+/// Deterministic: seeded from `PROPTEST_SEED` (if set) or a fixed
+/// constant, then perturbed per case so every case sees a fresh stream.
+/// Without shrinking, reproducibility is what makes failures debuggable.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    fn for_case(base: u64, case: u32, attempt: u32) -> Self {
+        let mix = base
+            ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ (attempt as u64).wrapping_mul(0xd1b5_4a32_d192_ed03);
+        TestRng(StdRng::seed_from_u64(mix))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+fn seed_base() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xa11c_e5ee_d000_0001)
+}
+
+/// Runs `test` against `config.cases` freshly generated inputs.
+///
+/// Panics (failing the surrounding `#[test]`) on the first failed case,
+/// printing the generated input. There is no shrinking; rerun with the
+/// same `PROPTEST_SEED` to reproduce.
+pub fn run<S, F>(config: &Config, strategy: S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let base = seed_base();
+    let mut rejects = 0u32;
+    let mut case = 0u32;
+    while case < config.cases {
+        let mut rng = TestRng::for_case(base, case, rejects);
+        let value = strategy.new_value(&mut rng);
+        let described = format!("{value:?}");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
+        match outcome {
+            Ok(Ok(())) => case += 1,
+            Ok(Err(TestCaseError::Reject(reason))) => {
+                rejects += 1;
+                assert!(
+                    rejects <= config.max_global_rejects,
+                    "proptest: too many prop_assume rejections (last: {reason})"
+                );
+            }
+            Ok(Err(TestCaseError::Fail(message))) => {
+                panic!("proptest: case {case} failed: {message}\n    input: {described}")
+            }
+            Err(payload) => {
+                eprintln!("proptest: case {case} panicked\n    input: {described}");
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
