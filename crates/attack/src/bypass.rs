@@ -112,7 +112,7 @@ impl ResidualBypassAttack {
             .resolver
             .resolve(world, www, RecordType::A)
             .ok()
-            .and_then(|r| r.addresses().last().copied());
+            .and_then(|r| r.iter_addresses().last());
 
         // Step 1: frontal assault on the public address.
         let attack = DdosAttack::new(self.botnet, 0.5);
@@ -173,7 +173,7 @@ impl ResidualBypassAttack {
                 self.resolver
                     .resolve(world, token, RecordType::A)
                     .ok()
-                    .and_then(|r| r.addresses().first().copied())
+                    .and_then(|r| r.iter_addresses().next())
             }
         }
     }

@@ -1,0 +1,518 @@
+//! Machine-readable benchmark emitter.
+//!
+//! ```text
+//! bench-json [--quick] [--out PATH] [--population N] [--seed S]
+//! ```
+//!
+//! Runs the allocation-sensitive microbenches (interned names and shared
+//! record sets against their pre-refactor implementations), the residual
+//! pipeline stages (fleet harvest / direct scan / filter pipeline), and the
+//! engine collection sweep at several worker counts, then writes one JSON
+//! document (default `BENCH_2.json`). The seed-commit baseline numbers are
+//! embedded so the file carries its own before/after story; the microbench
+//! before/after pairs are measured side by side in this run and are the
+//! numbers to trust across machines.
+//!
+//! `--quick` shrinks the world and sample counts for CI smoke runs (the
+//! job only asserts the emitter completes and produces valid output;
+//! quick-mode rates are not comparable to full-mode ones).
+
+use std::process::ExitCode;
+
+use remnant::core::collector::{RecordCollector, Target};
+use remnant::core::residual::{CloudflareScanner, FilterPipeline};
+use remnant::core::SCANNER_SOURCE;
+use remnant::dns::{DomainName, RecordData, RecordType, RecursiveResolver, ResolverCache, Ttl};
+use remnant::engine::{EngineConfig, ScanEngine};
+use remnant::net::Region;
+use remnant::provider::ProviderId;
+use remnant::sim::SimTime;
+use remnant::world::{World, WorldConfig};
+use remnant_bench::perf::{legacy, measure, Json, Measurement};
+
+/// Seed-commit (`0c4c56c`) numbers from the vendored criterion stand-in,
+/// release build, this repository's reference machine, 2026-08-05 — the
+/// "before" side for the pipeline stages. Cross-run wall-clock comparisons
+/// are machine-sensitive; the in-run `micro` section is the portable one.
+const SEED_BASELINE: &[(&str, f64, u64)] = &[
+    ("pipeline/harvest_fleet", 1.48e-3, 2000),
+    ("pipeline/direct_scan_2k_sites", 1.35e-3, 2000),
+    ("pipeline/filter_pipeline", 45.36e-6, 2000),
+    ("resolver/recursive_uncached", 3.52e-6, 1),
+    ("resolver/recursive_cached", 246.0e-9, 1),
+    ("resolver/direct_ns_query", 532.0e-9, 1),
+];
+
+struct Options {
+    quick: bool,
+    out: String,
+    population: usize,
+    seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            quick: false,
+            out: "BENCH_2.json".to_owned(),
+            population: 2_000,
+            seed: 3,
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench-json [--quick] [--out PATH] [--population N] [--seed S]");
+    ExitCode::FAILURE
+}
+
+fn before_after(before: Measurement, after: Measurement, elements: u64) -> Json {
+    Json::obj([
+        ("before", before.to_json(elements)),
+        ("after", after.to_json(elements)),
+        (
+            "speedup",
+            Json::Num(if after.mean_secs > 0.0 {
+                before.mean_secs / after.mean_secs
+            } else {
+                f64::INFINITY
+            }),
+        ),
+    ])
+}
+
+/// Name-op microbenches: the pre-interning implementation vs the interned
+/// one, same inputs, same run.
+fn micro_name_benches(samples: usize) -> Json {
+    let raw: Vec<String> = (0..1_000u32)
+        .map(|i| format!("www.site-{i}.zone-{}.bench-json.com", i % 7))
+        .collect();
+    let elements = raw.len() as u64;
+    // Warm the interner so "parse" measures steady-state (hit-path) cost —
+    // the sweeps parse the same bounded name universe every round.
+    let interned: Vec<DomainName> = raw.iter().map(|s| s.parse().expect("valid")).collect();
+    let legacy_names: Vec<legacy::LegacyName> = raw
+        .iter()
+        .map(|s| legacy::LegacyName::parse(s).expect("valid"))
+        .collect();
+
+    let parse = before_after(
+        measure(samples, || {
+            for s in &raw {
+                std::hint::black_box(legacy::LegacyName::parse(s).expect("valid"));
+            }
+        }),
+        measure(samples, || {
+            for s in &raw {
+                std::hint::black_box(DomainName::parse(s).expect("valid"));
+            }
+        }),
+        elements,
+    );
+
+    let clone = before_after(
+        measure(samples, || {
+            for n in &legacy_names {
+                std::hint::black_box(n.clone());
+            }
+        }),
+        measure(samples, || {
+            for n in &interned {
+                std::hint::black_box(n.clone());
+            }
+        }),
+        elements,
+    );
+
+    let legacy_twins: Vec<_> = legacy_names
+        .iter()
+        .map(|n| (n.clone(), n.clone()))
+        .collect();
+    let interned_twins: Vec<_> = interned.iter().map(|n| (n.clone(), n.clone())).collect();
+    let eq_hash = before_after(
+        measure(samples, || {
+            use std::collections::hash_map::DefaultHasher;
+            use std::hash::{Hash, Hasher};
+            let mut acc = 0u64;
+            for (a, b) in &legacy_twins {
+                acc ^= u64::from(a == b);
+                let mut h = DefaultHasher::new();
+                a.hash(&mut h);
+                acc ^= h.finish();
+            }
+            std::hint::black_box(acc);
+        }),
+        measure(samples, || {
+            use std::collections::hash_map::DefaultHasher;
+            use std::hash::{Hash, Hasher};
+            let mut acc = 0u64;
+            for (a, b) in &interned_twins {
+                acc ^= u64::from(a == b);
+                let mut h = DefaultHasher::new();
+                a.hash(&mut h);
+                acc ^= h.finish();
+            }
+            std::hint::black_box(acc);
+        }),
+        elements,
+    );
+
+    let suffix_apex = before_after(
+        measure(samples, || {
+            for n in &legacy_names {
+                std::hint::black_box(n.apex());
+            }
+        }),
+        measure(samples, || {
+            for n in &interned {
+                std::hint::black_box(n.apex());
+            }
+        }),
+        elements,
+    );
+
+    Json::obj([
+        ("name_parse", parse),
+        ("name_clone", clone),
+        ("name_eq_hash", eq_hash),
+        ("name_apex", suffix_apex),
+    ])
+}
+
+/// Cache-hit microbench: the old deep-clone-per-hit cache vs the shared
+/// record-set cache, over the same 4-record answer shape.
+fn micro_cache_bench(samples: usize) -> Json {
+    const NAMES: u64 = 256;
+    const RRS_PER_NAME: u32 = 4;
+
+    let mut legacy_cache = legacy::LegacyCache::default();
+    let legacy_keys: Vec<legacy::LegacyName> = (0..NAMES)
+        .map(|i| {
+            let key = legacy::LegacyName::parse(&format!("host-{i}.cache-bench.com")).unwrap();
+            let records = (0..RRS_PER_NAME)
+                .map(|j| legacy::LegacyRecord {
+                    name: key.clone(),
+                    ttl: 300,
+                    addr: std::net::Ipv4Addr::new(10, 0, (i % 250) as u8, j as u8),
+                })
+                .collect();
+            legacy_cache.insert(key.clone(), records);
+            key
+        })
+        .collect();
+
+    let mut cache = ResolverCache::new();
+    let keys: Vec<DomainName> = (0..NAMES)
+        .map(|i| {
+            let key: DomainName = format!("host-{i}.cache-bench.com").parse().unwrap();
+            let records: Vec<_> = (0..RRS_PER_NAME)
+                .map(|j| {
+                    remnant::dns::ResourceRecord::new(
+                        key.clone(),
+                        Ttl::secs(300),
+                        RecordData::A(std::net::Ipv4Addr::new(10, 0, (i % 250) as u8, j as u8)),
+                    )
+                })
+                .collect();
+            cache.insert(SimTime::EPOCH, records);
+            key
+        })
+        .collect();
+
+    let hit = before_after(
+        measure(samples, || {
+            for key in &legacy_keys {
+                std::hint::black_box(legacy_cache.get(key).expect("hit"));
+            }
+        }),
+        measure(samples, || {
+            for key in &keys {
+                std::hint::black_box(cache.get(SimTime::EPOCH, key, RecordType::A).expect("hit"));
+            }
+        }),
+        NAMES,
+    );
+    Json::obj([("cache_hit", hit)])
+}
+
+/// The resolver benches from `benches/resolver.rs`, measured for the
+/// cross-commit comparison against the embedded seed numbers.
+fn resolver_benches(world: &mut World, samples: usize) -> Vec<(&'static str, Measurement, u64)> {
+    let names: Vec<DomainName> = world.sites().iter().map(|s| s.www.clone()).collect();
+    let clock = world.clock();
+
+    let mut resolver = RecursiveResolver::new(clock.clone(), Region::Ashburn);
+    let mut i = 0usize;
+    let uncached = measure(samples, || {
+        resolver.purge_cache();
+        let name = &names[i % names.len()];
+        i += 1;
+        std::hint::black_box(
+            resolver
+                .resolve(world, name, RecordType::A)
+                .expect("world resolves"),
+        );
+    });
+
+    let mut resolver = RecursiveResolver::new(clock, Region::Ashburn);
+    let name = names[0].clone();
+    let _ = resolver.resolve(world, &name, RecordType::A);
+    let cached = measure(samples, || {
+        std::hint::black_box(
+            resolver
+                .resolve(world, &name, RecordType::A)
+                .expect("cached"),
+        );
+    });
+
+    vec![
+        ("resolver/recursive_uncached", uncached, 1),
+        ("resolver/recursive_cached", cached, 1),
+    ]
+}
+
+/// The pipeline stages from `benches/pipeline.rs`.
+fn pipeline_benches(
+    world: &mut World,
+    targets: &[Target],
+    samples: usize,
+) -> Vec<(&'static str, Measurement, u64)> {
+    let elements = targets.len() as u64;
+    let mut collector = RecordCollector::new(world.clock(), Region::Ashburn);
+    let snapshot = collector.collect(world, targets, 0);
+
+    let harvest = measure(samples, || {
+        let mut scanner = CloudflareScanner::new(world.clock(), "cloudflare");
+        scanner.harvest_fleet(world, &snapshot);
+        std::hint::black_box(scanner.fleet_size());
+    });
+
+    let mut scanner = CloudflareScanner::new(world.clock(), "cloudflare");
+    scanner.harvest_fleet(world, &snapshot);
+    let mut week = 0;
+    let scan = measure(samples, || {
+        week += 1;
+        std::hint::black_box(scanner.scan(world, targets, week));
+    });
+
+    let raw = scanner.scan(world, targets, 0);
+    let mut pipeline = FilterPipeline::new(world.clock(), Region::Ashburn, SCANNER_SOURCE);
+    let filter = measure(samples, || {
+        std::hint::black_box(pipeline.run(world, ProviderId::Cloudflare, 0, &raw, targets));
+    });
+
+    vec![
+        ("pipeline/harvest_fleet", harvest, elements),
+        ("pipeline/direct_scan_2k_sites", scan, elements),
+        ("pipeline/filter_pipeline", filter, elements),
+    ]
+}
+
+/// The engine collection sweep at several worker counts, with the cache
+/// hit/miss counters the sweeps now report.
+fn engine_benches(
+    world: &World,
+    targets: &[Target],
+    worker_counts: &[usize],
+    samples: usize,
+    seed: u64,
+) -> Json {
+    let clock = world.clock();
+    let elements = targets.len() as u64;
+    let rows = worker_counts
+        .iter()
+        .map(|&workers| {
+            let engine = ScanEngine::new(EngineConfig {
+                workers,
+                shard_size: 64,
+                seed,
+                ..EngineConfig::default()
+            });
+            let mut collector = RecordCollector::new(clock.clone(), Region::Ashburn);
+            let mut last_stats = None;
+            let m = measure(samples, || {
+                let (snapshot, stats) = collector.collect_with(&engine, world, targets, 0);
+                std::hint::black_box(&snapshot);
+                last_stats = Some(stats);
+            });
+            let stats = last_stats.expect("at least one sweep ran");
+            Json::obj([
+                ("workers", Json::Num(workers as f64)),
+                ("mean_secs", Json::Num(m.mean_secs)),
+                ("elements", Json::Num(elements as f64)),
+                ("elems_per_sec", Json::Num(m.elems_per_sec(elements))),
+                ("queries", Json::Num(stats.queries() as f64)),
+                ("cache_hits", Json::Num(stats.cache_hits() as f64)),
+                ("cache_misses", Json::Num(stats.cache_misses() as f64)),
+            ])
+        })
+        .collect();
+    Json::Arr(rows)
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let samples = if opts.quick { 3 } else { 10 };
+    let population = if opts.quick {
+        opts.population.min(400)
+    } else {
+        opts.population
+    };
+    let worker_counts: &[usize] = if opts.quick { &[1, 2] } else { &[1, 2, 4, 8] };
+
+    eprintln!(
+        "bench-json: mode={} population={population} samples={samples}",
+        if opts.quick { "quick" } else { "full" }
+    );
+
+    // Microbenches (before/after measured side by side in this run).
+    let micro_names = micro_name_benches(samples);
+    let micro_cache = micro_cache_bench(samples);
+    let (Json::Obj(mut micro), Json::Obj(cache_obj)) = (micro_names, micro_cache) else {
+        unreachable!("micro benches build objects");
+    };
+    micro.extend(cache_obj);
+
+    // The macro world (same shape as benches/pipeline.rs: warmup builds a
+    // residual pool).
+    let mut world = World::generate(WorldConfig {
+        population,
+        seed: opts.seed,
+        warmup_days: 14,
+        calibration: remnant::world::Calibration::paper(),
+    });
+    let targets: Vec<Target> = world
+        .sites()
+        .iter()
+        .map(|s| (s.apex.clone(), s.www.clone()))
+        .collect();
+
+    let mut current: Vec<(&'static str, Measurement, u64)> = Vec::new();
+    current.extend(resolver_benches(&mut world, samples));
+    current.extend(pipeline_benches(&mut world, &targets, samples));
+
+    let engine = engine_benches(&world, &targets, worker_counts, samples, opts.seed);
+
+    // Assemble the document.
+    let baseline_benches = Json::Obj(
+        SEED_BASELINE
+            .iter()
+            .map(|(name, mean, elements)| {
+                (
+                    (*name).to_owned(),
+                    Json::obj([
+                        ("mean_secs", Json::Num(*mean)),
+                        ("elements", Json::Num(*elements as f64)),
+                        (
+                            "elems_per_sec",
+                            Json::Num(if *mean > 0.0 {
+                                *elements as f64 / *mean
+                            } else {
+                                f64::INFINITY
+                            }),
+                        ),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let current_benches = Json::Obj(
+        current
+            .iter()
+            .map(|(name, m, elements)| ((*name).to_owned(), m.to_json(*elements)))
+            .collect(),
+    );
+    // Cross-commit ratios for the stages the seed also measured. Only
+    // meaningful in full mode on comparable hardware.
+    let comparison = Json::Obj(
+        current
+            .iter()
+            .filter_map(|(name, m, _)| {
+                let (_, before, _) = SEED_BASELINE.iter().find(|(n, ..)| n == name)?;
+                Some((
+                    (*name).to_owned(),
+                    Json::obj([
+                        ("before_mean_secs", Json::Num(*before)),
+                        ("after_mean_secs", Json::Num(m.mean_secs)),
+                        ("speedup", Json::Num(before / m.mean_secs)),
+                    ]),
+                ))
+            })
+            .collect(),
+    );
+
+    let doc = Json::obj([
+        ("schema", Json::Str("remnant-bench/v1".into())),
+        ("issue", Json::Num(2.0)),
+        (
+            "mode",
+            Json::Str(if opts.quick { "quick" } else { "full" }.into()),
+        ),
+        ("population", Json::Num(population as f64)),
+        ("seed", Json::Num(opts.seed as f64)),
+        (
+            "baseline",
+            Json::obj([
+                ("commit", Json::Str("0c4c56c".into())),
+                (
+                    "note",
+                    Json::Str(
+                        "criterion stand-in means, release build, reference machine, \
+                         2026-08-05; cross-run comparisons are machine-sensitive — \
+                         the micro section is measured before/after in one run"
+                            .into(),
+                    ),
+                ),
+                ("benches", baseline_benches),
+            ]),
+        ),
+        ("current", Json::obj([("benches", current_benches)])),
+        ("comparison_vs_seed", comparison),
+        ("micro", Json::Obj(micro)),
+        ("engine_collect_sweep", engine),
+        (
+            "interned_names",
+            Json::Num(DomainName::interned_count() as f64),
+        ),
+    ]);
+
+    std::fs::write(&opts.out, doc.render()).map_err(|e| format!("writing {}: {e}", opts.out))?;
+    eprintln!("bench-json: wrote {}", opts.out);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => match args.next() {
+                Some(path) => opts.out = path,
+                None => return usage(),
+            },
+            "--population" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.population = v,
+                None => return usage(),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.seed = v,
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                let _ = usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bench-json: unknown argument '{other}'");
+                return usage();
+            }
+        }
+    }
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("bench-json: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

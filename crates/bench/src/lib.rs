@@ -6,6 +6,8 @@
 //! a value linearly rescaled to the paper's 1M-site universe so shapes can
 //! be compared directly (`EXPERIMENTS.md` records a full run).
 
+pub mod perf;
+
 use remnant::core::report::{percent, render_cdf, render_series, TextTable};
 use remnant::core::study::{vantage_catchment, PaperStudy, StudyConfig, StudyReport};
 use remnant::provider::{ProviderId, ReroutingMethod};

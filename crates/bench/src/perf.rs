@@ -1,0 +1,369 @@
+//! Timing and JSON support for the machine-readable bench emitter
+//! (`bench-json`), plus a faithful copy of the pre-interning name/cache
+//! implementations so before/after microbench numbers come from one run on
+//! one machine instead of cross-commit wall-clock comparisons.
+//!
+//! The vendored criterion stand-in only prints; it returns nothing. This
+//! module is the measuring half the emitter needs: calibrated repeated
+//! timing ([`measure`]) and a no-dependency JSON value type ([`Json`]) —
+//! the workspace has no serde.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Per-iteration time budget used to pick the iteration count.
+const CALIBRATION_TARGET: Duration = Duration::from_millis(20);
+
+/// One benchmark's timing summary, in seconds per iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Mean seconds per iteration across samples.
+    pub mean_secs: f64,
+    /// Fastest sample.
+    pub min_secs: f64,
+    /// Slowest sample.
+    pub max_secs: f64,
+    /// Samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters: u64,
+}
+
+impl Measurement {
+    /// Derived rate for `elements` units processed per iteration.
+    pub fn elems_per_sec(&self, elements: u64) -> f64 {
+        if self.mean_secs > 0.0 {
+            elements as f64 / self.mean_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// The measurement as a JSON object (`mean_secs`/`min_secs`/
+    /// `max_secs`/`elements`/`elems_per_sec`).
+    pub fn to_json(&self, elements: u64) -> Json {
+        let mut obj = BTreeMap::new();
+        obj.insert("mean_secs".into(), Json::Num(self.mean_secs));
+        obj.insert("min_secs".into(), Json::Num(self.min_secs));
+        obj.insert("max_secs".into(), Json::Num(self.max_secs));
+        obj.insert("elements".into(), Json::Num(elements as f64));
+        obj.insert(
+            "elems_per_sec".into(),
+            Json::Num(self.elems_per_sec(elements)),
+        );
+        Json::Obj(obj)
+    }
+}
+
+/// Times `routine` with the same calibration scheme as the vendored
+/// criterion stand-in: grow the iteration count until one sample costs
+/// ~20ms, then take `samples` timed samples.
+pub fn measure(samples: usize, mut routine: impl FnMut()) -> Measurement {
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            routine();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= CALIBRATION_TARGET || iters >= 1 << 24 {
+            break;
+        }
+        iters *= 2;
+    }
+    let samples = samples.max(1);
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            routine();
+        }
+        times.push(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0f64, f64::max);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    Measurement {
+        mean_secs: mean,
+        min_secs: min,
+        max_secs: max,
+        samples,
+        iters,
+    }
+}
+
+/// A minimal JSON value (the workspace has no serde). Objects use a
+/// `BTreeMap` so emitted documents are deterministically ordered.
+#[derive(Clone, Debug)]
+pub enum Json {
+    /// A string value.
+    Str(String),
+    /// A finite number (non-finite values render as `null`).
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with sorted keys.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Convenience constructor for object literals.
+    pub fn obj(entries: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        )
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Num(n) if n.is_finite() => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n:.6e}");
+                }
+            }
+            Json::Num(_) => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    Json::Str(key.clone()).write(out, indent + 1);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// The pre-interning `DomainName` and pre-sharing `ResolverCache`
+/// behavior, preserved verbatim as the "before" side of the emitter's
+/// microbenches.
+pub mod legacy {
+    use std::collections::HashMap;
+    use std::net::Ipv4Addr;
+
+    const MAX_NAME_LEN: usize = 253;
+    const MAX_LABEL_LEN: usize = 63;
+
+    /// The old owned-allocation name: one `String` plus one `Vec<u16>` per
+    /// handle, deep-copied on every clone.
+    #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    pub struct LegacyName {
+        name: String,
+        label_starts: Vec<u16>,
+    }
+
+    impl LegacyName {
+        /// The old parse: validate, lowercase, build label offsets.
+        pub fn parse(s: &str) -> Option<LegacyName> {
+            let trimmed = s.strip_suffix('.').unwrap_or(s);
+            if trimmed.is_empty() || trimmed.len() > MAX_NAME_LEN {
+                return None;
+            }
+            let lowered = trimmed.to_ascii_lowercase();
+            let mut label_starts = Vec::new();
+            let mut start = 0usize;
+            for label in lowered.split('.') {
+                if label.is_empty() || label.len() > MAX_LABEL_LEN {
+                    return None;
+                }
+                if label.starts_with('-') || label.ends_with('-') {
+                    return None;
+                }
+                if !label
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_')
+                {
+                    return None;
+                }
+                label_starts.push(start as u16);
+                start += label.len() + 1;
+            }
+            Some(LegacyName {
+                name: lowered,
+                label_starts,
+            })
+        }
+
+        /// The old suffix: substring allocation plus remapped offsets.
+        pub fn suffix(&self, n: usize) -> Option<LegacyName> {
+            if n == 0 || n > self.label_starts.len() {
+                return None;
+            }
+            let idx = self.label_starts.len() - n;
+            let start = usize::from(self.label_starts[idx]);
+            Some(LegacyName {
+                name: self.name[start..].to_string(),
+                label_starts: self.label_starts[idx..]
+                    .iter()
+                    .map(|&s| s - start as u16)
+                    .collect(),
+            })
+        }
+
+        /// The old apex.
+        pub fn apex(&self) -> LegacyName {
+            self.suffix(2.min(self.label_starts.len())).expect("valid")
+        }
+
+        /// The presentation form.
+        pub fn as_str(&self) -> &str {
+            &self.name
+        }
+    }
+
+    /// The old record shape: an owned name per record.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct LegacyRecord {
+        /// Owner name (owned `String` allocation, as before interning).
+        pub name: LegacyName,
+        /// TTL seconds.
+        pub ttl: u32,
+        /// IPv4 payload (A records are the hot case).
+        pub addr: Ipv4Addr,
+    }
+
+    /// The old cache-hit behavior: key clone + deep `Vec` clone per get.
+    #[derive(Default)]
+    pub struct LegacyCache {
+        entries: HashMap<LegacyName, Vec<LegacyRecord>>,
+    }
+
+    impl LegacyCache {
+        /// Stores `records` under `name`.
+        pub fn insert(&mut self, name: LegacyName, records: Vec<LegacyRecord>) {
+            self.entries.insert(name, records);
+        }
+
+        /// The old hit path: clone the key to probe, deep-clone the records
+        /// to return.
+        pub fn get(&self, name: &LegacyName) -> Option<Vec<LegacyRecord>> {
+            self.entries.get(name).cloned()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_positive_times() {
+        let m = measure(3, || {
+            std::hint::black_box((0..100).sum::<u64>());
+        });
+        assert!(m.mean_secs > 0.0);
+        assert!(m.min_secs <= m.mean_secs && m.mean_secs <= m.max_secs);
+        assert!(m.elems_per_sec(100) > 0.0);
+    }
+
+    #[test]
+    fn json_renders_deterministically() {
+        let doc = Json::obj([
+            ("b", Json::Num(2.0)),
+            ("a", Json::Str("x\"y".into())),
+            ("c", Json::Arr(vec![Json::Bool(true), Json::Num(0.5)])),
+        ]);
+        let text = doc.render();
+        assert!(text.starts_with("{\n  \"a\": \"x\\\"y\",\n  \"b\": 2,"));
+        assert!(text.contains("5.000000e-1"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn json_escapes_and_empties() {
+        assert_eq!(Json::Obj(BTreeMap::new()).render(), "{}\n");
+        assert_eq!(Json::Arr(Vec::new()).render(), "[]\n");
+        assert_eq!(Json::Num(f64::NAN).render(), "null\n");
+        assert_eq!(Json::Str("a\nb".into()).render(), "\"a\\nb\"\n");
+    }
+
+    #[test]
+    fn legacy_name_matches_current_semantics() {
+        let legacy = legacy::LegacyName::parse("WWW.Example.COM.").unwrap();
+        assert_eq!(legacy.as_str(), "www.example.com");
+        assert_eq!(legacy.apex().as_str(), "example.com");
+        assert!(legacy::LegacyName::parse("-bad.com").is_none());
+        let current: remnant::dns::DomainName = "WWW.Example.COM.".parse().unwrap();
+        assert_eq!(current.as_str(), legacy.as_str());
+    }
+
+    #[test]
+    fn legacy_cache_round_trips() {
+        let name = legacy::LegacyName::parse("x.example.com").unwrap();
+        let mut cache = legacy::LegacyCache::default();
+        cache.insert(
+            name.clone(),
+            vec![legacy::LegacyRecord {
+                name: name.clone(),
+                ttl: 300,
+                addr: std::net::Ipv4Addr::new(1, 2, 3, 4),
+            }],
+        );
+        assert_eq!(cache.get(&name).unwrap().len(), 1);
+    }
+}

@@ -89,8 +89,11 @@ impl RecordCollector {
             |_shard| RecursiveResolver::new(clock.clone(), region),
             |transport, resolver, scope, _rank, (apex, www)| {
                 let mut counting = CountingTransport::new(transport);
+                let (hits_before, misses_before) = resolver.cache().stats();
                 let records = resolve_site(resolver, &mut counting, apex, www);
+                let (hits_after, misses_after) = resolver.cache().stats();
                 scope.add_queries(counting.sent());
+                scope.add_cache_stats(hits_after - hits_before, misses_after - misses_before);
                 TaskResult::Done(records)
             },
         );

@@ -79,8 +79,8 @@ impl CloudflareScanner {
             .collect();
         for host in new_hosts {
             if let Ok(res) = self.resolver.resolve(transport, &host, RecordType::A) {
-                if let Some(addr) = res.addresses().first() {
-                    self.fleet.insert(host, *addr);
+                if let Some(addr) = res.iter_addresses().next() {
+                    self.fleet.insert(host, addr);
                 }
             }
         }

@@ -111,11 +111,14 @@ impl IncapsulaScanner {
             |_shard| RecursiveResolver::new(clock.clone(), Region::Ashburn),
             |transport, resolver, scope, _i, (rank, token)| {
                 let mut counting = CountingTransport::new(transport);
+                let (hits_before, misses_before) = resolver.cache().stats();
                 let addrs = resolver
                     .resolve(&mut counting, token, RecordType::A)
                     .map(|res| res.addresses())
                     .unwrap_or_default();
+                let (hits_after, misses_after) = resolver.cache().stats();
                 scope.add_queries(counting.sent());
+                scope.add_cache_stats(hits_after - hits_before, misses_after - misses_before);
                 TaskResult::Done((*rank, addrs))
             },
         );

@@ -174,6 +174,11 @@ pub struct EngineReport {
     pub retries: u64,
     /// Items that exhausted their retry budget (timeouts).
     pub exhausted: u64,
+    /// Resolver-cache hits reported by sweep tasks (deterministic; kept
+    /// out of rendered output, like the other engine counters).
+    pub cache_hits: u64,
+    /// Resolver-cache misses reported by sweep tasks.
+    pub cache_misses: u64,
     /// Total real time spent inside sweeps (nondeterministic).
     pub wall: Duration,
     /// The slowest single shard observed (nondeterministic).
@@ -189,6 +194,8 @@ impl EngineReport {
         self.attempts += stats.attempts();
         self.retries += stats.retries();
         self.exhausted += stats.exhausted();
+        self.cache_hits += stats.cache_hits();
+        self.cache_misses += stats.cache_misses();
         self.wall += stats.wall;
         self.max_shard_wall = self.max_shard_wall.max(stats.max_shard_wall());
     }

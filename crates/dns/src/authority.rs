@@ -123,7 +123,7 @@ impl ZoneServer {
                     .iter()
                     .filter_map(|rr| rr.data.as_ns())
                     .flat_map(|host| zone.get(host, RecordType::A).iter().cloned())
-                    .collect();
+                    .collect::<Vec<_>>();
                 Response::referral(query.clone(), ns, glue)
             }
             ZoneAnswer::NoData => Response::empty(query.clone(), Rcode::NoError),

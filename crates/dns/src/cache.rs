@@ -12,13 +12,16 @@ use remnant_sim::SimTime;
 
 use crate::message::Rcode;
 use crate::name::DomainName;
-use crate::record::{RecordType, ResourceRecord};
+use crate::record::{empty_record_set, RecordSet, RecordType, ResourceRecord};
 
 /// A cached entry: either records or a cached negative answer.
+///
+/// Records are a shared [`RecordSet`], so handing a hit back to the
+/// resolver clones a refcount, not the records.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CacheEntry {
     /// Cached records (empty for negative entries).
-    pub records: Vec<ResourceRecord>,
+    pub records: RecordSet,
     /// The response code that produced this entry.
     pub rcode: Rcode,
     /// Absolute expiry instant.
@@ -59,13 +62,40 @@ impl ResolverCache {
 
     /// Inserts records, grouping them by (owner, type). Each group's expiry
     /// comes from the minimum TTL within the group. Empty input is a no-op.
-    pub fn insert(&mut self, now: SimTime, records: Vec<ResourceRecord>) {
+    ///
+    /// A homogeneous input (one owner/type — the common shape of an answer
+    /// section) is stored as-is, sharing the caller's allocation.
+    pub fn insert(&mut self, now: SimTime, records: impl Into<RecordSet>) {
+        let records: RecordSet = records.into();
+        let Some(first) = records.first() else {
+            return;
+        };
+        let first_key = (first.name.clone(), first.record_type());
+        if records
+            .iter()
+            .all(|rr| rr.record_type() == first_key.1 && rr.name == first_key.0)
+        {
+            let min_ttl = records
+                .iter()
+                .map(|rr| rr.ttl)
+                .min()
+                .expect("set is non-empty");
+            self.entries.insert(
+                first_key,
+                CacheEntry {
+                    records,
+                    rcode: Rcode::NoError,
+                    expires: min_ttl.expires_at(now),
+                },
+            );
+            return;
+        }
         let mut groups: HashMap<(DomainName, RecordType), Vec<ResourceRecord>> = HashMap::new();
-        for rr in records {
+        for rr in records.iter() {
             groups
                 .entry((rr.name.clone(), rr.record_type()))
                 .or_default()
-                .push(rr);
+                .push(rr.clone());
         }
         for (key, rrs) in groups {
             let min_ttl = rrs
@@ -76,7 +106,7 @@ impl ResolverCache {
             self.entries.insert(
                 key,
                 CacheEntry {
-                    records: rrs,
+                    records: rrs.into(),
                     rcode: Rcode::NoError,
                     expires: min_ttl.expires_at(now),
                 },
@@ -95,7 +125,7 @@ impl ResolverCache {
         self.entries.insert(
             (name, rtype),
             CacheEntry {
-                records: Vec::new(),
+                records: empty_record_set(),
                 rcode,
                 expires: now + remnant_sim::SimDuration::secs(NEGATIVE_TTL_SECS),
             },
@@ -104,15 +134,13 @@ impl ResolverCache {
 
     /// Unexpired records for `name`/`rtype`. Negative entries return `None`
     /// here; use [`ResolverCache::get_entry`] to observe them.
-    pub fn get(
-        &mut self,
-        now: SimTime,
-        name: &DomainName,
-        rtype: RecordType,
-    ) -> Option<Vec<ResourceRecord>> {
+    ///
+    /// A hit returns a handle to the shared record set; no records are
+    /// copied.
+    pub fn get(&mut self, now: SimTime, name: &DomainName, rtype: RecordType) -> Option<RecordSet> {
         match self.get_entry(now, name, rtype) {
             Some(entry) if !entry.records.is_empty() => {
-                let records = entry.records.clone();
+                let records = RecordSet::clone(&entry.records);
                 self.hits += 1;
                 Some(records)
             }

@@ -74,7 +74,7 @@ pub use cache::ResolverCache;
 pub use error::DnsError;
 pub use message::{Query, Rcode, Response};
 pub use name::DomainName;
-pub use record::{RecordData, RecordType, ResourceRecord, Ttl};
+pub use record::{empty_record_set, RecordData, RecordSet, RecordType, ResourceRecord, Ttl};
 pub use registry::Registry;
 pub use resolver::{RecursiveResolver, Resolution};
 pub use transport::{

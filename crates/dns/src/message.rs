@@ -4,7 +4,7 @@ use std::fmt;
 use std::net::Ipv4Addr;
 
 use crate::name::DomainName;
-use crate::record::{RecordType, ResourceRecord};
+use crate::record::{empty_record_set, RecordSet, RecordType, ResourceRecord};
 
 /// A single-question DNS query.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -56,6 +56,10 @@ impl fmt::Display for Rcode {
 }
 
 /// A DNS response with the three standard record sections.
+///
+/// Sections are shared [`RecordSet`]s: a zone answer, a cache insert and a
+/// `Resolution` chain can all reference one allocation. Constructors accept
+/// anything `Into<RecordSet>`, so `vec![rr]` call sites keep working.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Response {
     /// The query being answered.
@@ -65,23 +69,23 @@ pub struct Response {
     /// True if this server is authoritative for the answer.
     pub authoritative: bool,
     /// Answer section.
-    pub answers: Vec<ResourceRecord>,
+    pub answers: RecordSet,
     /// Authority section (NS records at a zone cut, or SOA for negatives).
-    pub authority: Vec<ResourceRecord>,
+    pub authority: RecordSet,
     /// Additional section (e.g. glue A records for authority NS hosts).
-    pub additional: Vec<ResourceRecord>,
+    pub additional: RecordSet,
 }
 
 impl Response {
     /// A successful authoritative answer.
-    pub fn answer(query: Query, answers: Vec<ResourceRecord>) -> Self {
+    pub fn answer(query: Query, answers: impl Into<RecordSet>) -> Self {
         Response {
             query,
             rcode: Rcode::NoError,
             authoritative: true,
-            answers,
-            authority: Vec::new(),
-            additional: Vec::new(),
+            answers: answers.into(),
+            authority: empty_record_set(),
+            additional: empty_record_set(),
         }
     }
 
@@ -92,9 +96,9 @@ impl Response {
             query,
             rcode,
             authoritative: true,
-            answers: Vec::new(),
-            authority: Vec::new(),
-            additional: Vec::new(),
+            answers: empty_record_set(),
+            authority: empty_record_set(),
+            additional: empty_record_set(),
         }
     }
 
@@ -102,16 +106,16 @@ impl Response {
     /// glue addresses in the additional section.
     pub fn referral(
         query: Query,
-        authority: Vec<ResourceRecord>,
-        additional: Vec<ResourceRecord>,
+        authority: impl Into<RecordSet>,
+        additional: impl Into<RecordSet>,
     ) -> Self {
         Response {
             query,
             rcode: Rcode::NoError,
             authoritative: false,
-            answers: Vec::new(),
-            authority,
-            additional,
+            answers: empty_record_set(),
+            authority: authority.into(),
+            additional: additional.into(),
         }
     }
 

@@ -1,7 +1,22 @@
-//! Domain names.
+//! Domain names, interned process-wide.
+//!
+//! Every simulated query the collector and the residual scanners issue
+//! flows through [`DomainName`]; zone lookups, cache keys, CNAME chases
+//! and snapshot rows all copy names around. To keep that hot path free of
+//! heap churn, parsing interns the normalized form in a process-wide
+//! sharded intern table: `Clone` is a refcount bump, equality fast-paths
+//! on pointer identity (with a content fallback, so handles from
+//! different construction paths still compare correctly), and hashing
+//! uses a precomputed content hash. The interner never evicts — the
+//! simulation's name universe is bounded by the generated world, and a
+//! stable address per name is what makes the pointer fast paths sound.
 
+use std::borrow::Borrow;
+use std::collections::HashSet;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::str::FromStr;
+use std::sync::{Arc, LazyLock, RwLock};
 
 use crate::error::DnsError;
 
@@ -10,6 +25,110 @@ const MAX_NAME_LEN: usize = 253;
 /// Maximum length of a single label.
 const MAX_LABEL_LEN: usize = 63;
 
+/// The shared, immutable payload of an interned name.
+struct NameInner {
+    /// Normalized presentation form, e.g. "www.example.com".
+    name: Box<str>,
+    /// Byte offsets of label starts within `name`.
+    label_starts: Box<[u16]>,
+    /// FNV-1a hash of `name`, precomputed so `Hash` is O(1).
+    hash: u64,
+}
+
+/// FNV-1a over the normalized name bytes. Any stable content hash works;
+/// FNV keeps shard selection and `Hash` independent of std's per-process
+/// `RandomState`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Label-start offsets of an already validated, normalized name.
+fn label_starts_of(name: &str) -> Box<[u16]> {
+    let mut starts = Vec::with_capacity(4);
+    let mut start = 0usize;
+    for label in name.split('.') {
+        starts.push(start as u16);
+        start += label.len() + 1;
+    }
+    starts.into_boxed_slice()
+}
+
+/// Intern-table entry: hashes and borrows as the name string so lookups
+/// never allocate.
+struct InternEntry(Arc<NameInner>);
+
+impl Borrow<str> for InternEntry {
+    fn borrow(&self) -> &str {
+        &self.0.name
+    }
+}
+
+impl Hash for InternEntry {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.name.hash(state);
+    }
+}
+
+impl PartialEq for InternEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.name == other.0.name
+    }
+}
+
+impl Eq for InternEntry {}
+
+/// Shard count for the intern table. Power of two; 16 shards keep write
+/// contention negligible even with the scan engine's worker threads all
+/// parsing at once.
+const INTERN_SHARDS: usize = 16;
+
+struct Interner {
+    shards: [RwLock<HashSet<InternEntry>>; INTERN_SHARDS],
+}
+
+static INTERNER: LazyLock<Interner> = LazyLock::new(|| Interner {
+    shards: std::array::from_fn(|_| RwLock::new(HashSet::new())),
+});
+
+impl Interner {
+    /// Returns the unique shared payload for `normalized`, creating it on
+    /// first sight. Read-locks on the hit path; write-locks only on miss.
+    fn intern(&self, normalized: &str) -> Arc<NameInner> {
+        let hash = fnv1a(normalized.as_bytes());
+        let shard = &self.shards[(hash as usize) & (INTERN_SHARDS - 1)];
+        if let Some(entry) = shard.read().expect("interner lock").get(normalized) {
+            return Arc::clone(&entry.0);
+        }
+        let inner = Arc::new(NameInner {
+            name: normalized.into(),
+            label_starts: label_starts_of(normalized),
+            hash,
+        });
+        let mut guard = shard.write().expect("interner lock");
+        match guard.get(normalized) {
+            // Raced with another thread; keep the winner so pointer
+            // identity stays unique per name.
+            Some(existing) => Arc::clone(&existing.0),
+            None => {
+                guard.insert(InternEntry(Arc::clone(&inner)));
+                inner
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("interner lock").len())
+            .sum()
+    }
+}
+
 /// A fully qualified domain name in normalized (lowercase, no trailing dot)
 /// presentation form.
 ///
@@ -17,6 +136,9 @@ const MAX_LABEL_LEN: usize = 63;
 /// digits, hyphens and underscores (underscores occur in real DNS, e.g.
 /// `_dmarc`), no leading/trailing hyphen in a label, total length ≤ 253.
 /// Comparison is case-insensitive by construction because parsing lowercases.
+///
+/// Parsing interns the normalized form process-wide, so `Clone` is a
+/// refcount bump and equality/hashing are O(1) on the fast path.
 ///
 /// # Example
 ///
@@ -29,13 +151,8 @@ const MAX_LABEL_LEN: usize = 63;
 /// assert!(www.is_subdomain_of(&"example.com".parse()?));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct DomainName {
-    /// Normalized presentation form, e.g. "www.example.com".
-    name: String,
-    /// Byte offsets of label starts within `name`.
-    label_starts: Vec<u16>,
-}
+#[derive(Clone)]
+pub struct DomainName(Arc<NameInner>);
 
 impl DomainName {
     /// Parses and validates a name (see type docs for the accepted syntax).
@@ -49,41 +166,58 @@ impl DomainName {
         if trimmed.is_empty() || trimmed.len() > MAX_NAME_LEN {
             return Err(DnsError::ParseName(s.to_owned()));
         }
-        let name = trimmed.to_ascii_lowercase();
-        let mut label_starts = Vec::with_capacity(4);
-        let mut start = 0usize;
-        for label in name.split('.') {
+        let mut needs_lowering = false;
+        for label in trimmed.split('.') {
             if label.is_empty() || label.len() > MAX_LABEL_LEN {
                 return Err(DnsError::ParseName(s.to_owned()));
             }
             if label.starts_with('-') || label.ends_with('-') {
                 return Err(DnsError::ParseName(s.to_owned()));
             }
-            if !label
-                .bytes()
-                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_')
-            {
-                return Err(DnsError::ParseName(s.to_owned()));
+            for b in label.bytes() {
+                if b.is_ascii_uppercase() {
+                    needs_lowering = true;
+                } else if !(b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_')
+                {
+                    return Err(DnsError::ParseName(s.to_owned()));
+                }
             }
-            label_starts.push(start as u16);
-            start += label.len() + 1;
         }
-        Ok(DomainName { name, label_starts })
+        // Already-normalized input (the overwhelmingly common case once a
+        // world exists) interns without allocating a lowercase copy.
+        let inner = if needs_lowering {
+            INTERNER.intern(&trimmed.to_ascii_lowercase())
+        } else {
+            INTERNER.intern(trimmed)
+        };
+        Ok(DomainName(inner))
+    }
+
+    /// Interns an already-normalized, already-validated substring of an
+    /// existing name (used by [`DomainName::suffix`]).
+    fn from_normalized(normalized: &str) -> DomainName {
+        DomainName(INTERNER.intern(normalized))
+    }
+
+    /// Number of distinct names interned process-wide (diagnostics; the
+    /// table never evicts).
+    pub fn interned_count() -> usize {
+        INTERNER.len()
     }
 
     /// The normalized presentation form.
     pub fn as_str(&self) -> &str {
-        &self.name
+        &self.0.name
     }
 
     /// Number of labels, e.g. 3 for `www.example.com`.
     pub fn label_count(&self) -> usize {
-        self.label_starts.len()
+        self.0.label_starts.len()
     }
 
     /// Iterates labels left to right.
     pub fn labels(&self) -> impl Iterator<Item = &str> {
-        self.name.split('.')
+        self.0.name.split('.')
     }
 
     /// The `n` rightmost labels as a name, or `None` if `n` is 0 or exceeds
@@ -92,21 +226,18 @@ impl DomainName {
         if n == 0 || n > self.label_count() {
             return None;
         }
+        if n == self.label_count() {
+            return Some(self.clone());
+        }
         let idx = self.label_count() - n;
-        let start = usize::from(self.label_starts[idx]);
-        Some(DomainName {
-            name: self.name[start..].to_owned(),
-            label_starts: self.label_starts[idx..]
-                .iter()
-                .map(|s| s - self.label_starts[idx])
-                .collect(),
-        })
+        let start = usize::from(self.0.label_starts[idx]);
+        Some(DomainName::from_normalized(&self.0.name[start..]))
     }
 
     /// The top-level domain (rightmost label).
     pub fn tld(&self) -> &str {
-        let start = usize::from(*self.label_starts.last().expect("names have >= 1 label"));
-        &self.name[start..]
+        let start = usize::from(*self.0.label_starts.last().expect("names have >= 1 label"));
+        &self.0.name[start..]
     }
 
     /// The registrable apex: the two rightmost labels (this simulation uses
@@ -125,8 +256,20 @@ impl DomainName {
     /// True if `self` is equal to or underneath `other`
     /// (`www.example.com` is a subdomain of `example.com` and of itself).
     pub fn is_subdomain_of(&self, other: &DomainName) -> bool {
-        let n = other.label_count();
-        self.suffix(n).is_some_and(|s| s == *other)
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return true;
+        }
+        let name = &*self.0.name;
+        let tail = &*other.0.name;
+        if name.len() == tail.len() {
+            return name == tail;
+        }
+        // A proper subdomain ends with ".<other>" — both names are
+        // normalized, so a byte suffix check with a label boundary is
+        // exactly the label-wise suffix relation.
+        name.len() > tail.len()
+            && name.ends_with(tail)
+            && name.as_bytes()[name.len() - tail.len() - 1] == b'.'
     }
 
     /// Prefixes a label, e.g. `"example.com".prepend("www")`.
@@ -135,7 +278,7 @@ impl DomainName {
     ///
     /// Returns [`DnsError::ParseName`] if the resulting name is invalid.
     pub fn prepend(&self, label: &str) -> Result<DomainName, DnsError> {
-        DomainName::parse(&format!("{label}.{}", self.name))
+        DomainName::parse(&format!("{label}.{}", self.as_str()))
     }
 
     /// All suffixes from the whole name down to the TLD, longest first.
@@ -164,20 +307,59 @@ impl DomainName {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub fn contains_label_substring(&self, needle: &str) -> bool {
-        let needle = needle.to_ascii_lowercase();
-        self.labels().any(|l| l.contains(&needle))
+        let lowered;
+        let needle = if needle.bytes().any(|b| b.is_ascii_uppercase()) {
+            lowered = needle.to_ascii_lowercase();
+            lowered.as_str()
+        } else {
+            needle
+        };
+        self.labels().any(|l| l.contains(needle))
+    }
+}
+
+impl PartialEq for DomainName {
+    fn eq(&self, other: &Self) -> bool {
+        // Interning makes pointer identity the common case; the content
+        // fallback keeps equality correct for handles that bypassed the
+        // same intern table (e.g. across future serialization paths).
+        Arc::ptr_eq(&self.0, &other.0)
+            || (self.0.hash == other.0.hash && self.0.name == other.0.name)
+    }
+}
+
+impl Eq for DomainName {}
+
+impl Hash for DomainName {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.0.hash);
+    }
+}
+
+impl PartialOrd for DomainName {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DomainName {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return std::cmp::Ordering::Equal;
+        }
+        self.0.name.cmp(&other.0.name)
     }
 }
 
 impl fmt::Display for DomainName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.name)
+        f.write_str(self.as_str())
     }
 }
 
 impl fmt::Debug for DomainName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "DomainName({})", self.name)
+        write!(f, "DomainName({})", self.as_str())
     }
 }
 
@@ -191,7 +373,7 @@ impl FromStr for DomainName {
 
 impl AsRef<str> for DomainName {
     fn as_ref(&self) -> &str {
-        &self.name
+        self.as_str()
     }
 }
 
@@ -303,5 +485,44 @@ mod tests {
         let mut v = [name("b.com"), name("a.com"), name("a.b.com")];
         v.sort();
         assert_eq!(v[0], name("a.b.com"));
+    }
+
+    #[test]
+    fn interning_unifies_handles() {
+        let a = name("intern-unify.example.com");
+        let b = name("Intern-Unify.EXAMPLE.com.");
+        assert!(Arc::ptr_eq(&a.0, &b.0), "same name interns to one payload");
+        let c = a.clone();
+        assert!(Arc::ptr_eq(&a.0, &c.0), "clone is a refcount bump");
+    }
+
+    #[test]
+    fn suffix_handles_are_interned_too() {
+        let full = name("www.intern-suffix.example.com");
+        let apex = full.suffix(3).unwrap();
+        let parsed = name("intern-suffix.example.com");
+        assert!(Arc::ptr_eq(&apex.0, &parsed.0));
+    }
+
+    #[test]
+    fn hash_is_content_based() {
+        use std::collections::hash_map::DefaultHasher;
+        let h = |n: &DomainName| {
+            let mut hasher = DefaultHasher::new();
+            n.hash(&mut hasher);
+            hasher.finish()
+        };
+        let a = name("hash.example.com");
+        let b = name("HASH.example.com");
+        assert_eq!(h(&a), h(&b));
+        assert_ne!(h(&a), h(&name("other.example.com")));
+    }
+
+    #[test]
+    fn interned_count_grows_monotonically() {
+        let before = DomainName::interned_count();
+        let _ = name("interned-count-probe.example.com");
+        assert!(DomainName::interned_count() > 0);
+        assert!(DomainName::interned_count() >= before);
     }
 }

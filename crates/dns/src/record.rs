@@ -2,10 +2,27 @@
 
 use std::fmt;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use remnant_sim::{SimDuration, SimTime};
 
 use crate::name::DomainName;
+
+/// A shared, immutable set of resource records.
+///
+/// Cache entries, zone answers and response sections all hand out the same
+/// underlying allocation; a cache hit or answer copy is a refcount bump
+/// instead of a deep `Vec<ResourceRecord>` clone. `Vec<ResourceRecord>`
+/// converts via `.into()`, so `vec![rr]` call sites keep working.
+pub type RecordSet = Arc<[ResourceRecord]>;
+
+/// The shared empty [`RecordSet`] — one allocation per process, so empty
+/// answer/authority/additional sections and negative cache entries don't
+/// each pay for a fresh `Arc`.
+pub fn empty_record_set() -> RecordSet {
+    static EMPTY: std::sync::LazyLock<RecordSet> = std::sync::LazyLock::new(|| Arc::from([]));
+    RecordSet::clone(&EMPTY)
+}
 
 /// Record types used in the study.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]

@@ -120,14 +120,14 @@ impl Registry {
             .map(|(host, _)| {
                 ResourceRecord::new(apex.clone(), delegation.ttl, RecordData::Ns(host.clone()))
             })
-            .collect();
+            .collect::<Vec<_>>();
         let additional = delegation
             .nameservers
             .iter()
             .map(|(host, addr)| {
                 ResourceRecord::new(host.clone(), delegation.ttl, RecordData::A(*addr))
             })
-            .collect();
+            .collect::<Vec<_>>();
         Response::referral(query.clone(), authority, additional)
     }
 }

@@ -46,28 +46,35 @@ pub struct Resolution {
 }
 
 impl Resolution {
+    /// Iterates the IPv4 addresses in the chain without building a `Vec`.
+    pub fn iter_addresses(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.records.iter().filter_map(|rr| rr.data.as_a())
+    }
+
+    /// Iterates the CNAME targets in chase order without cloning.
+    pub fn iter_cnames(&self) -> impl Iterator<Item = &DomainName> {
+        self.records.iter().filter_map(|rr| rr.data.as_cname())
+    }
+
+    /// Iterates the NS hostnames in the chain without cloning.
+    pub fn iter_ns_hosts(&self) -> impl Iterator<Item = &DomainName> {
+        self.records.iter().filter_map(|rr| rr.data.as_ns())
+    }
+
     /// All IPv4 addresses in the chain.
     pub fn addresses(&self) -> Vec<Ipv4Addr> {
-        self.records
-            .iter()
-            .filter_map(|rr| rr.data.as_a())
-            .collect()
+        self.iter_addresses().collect()
     }
 
-    /// All CNAME targets in chase order.
+    /// All CNAME targets in chase order (owned handles; cloning a
+    /// [`DomainName`] is a refcount bump).
     pub fn cnames(&self) -> Vec<DomainName> {
-        self.records
-            .iter()
-            .filter_map(|rr| rr.data.as_cname().cloned())
-            .collect()
+        self.iter_cnames().cloned().collect()
     }
 
-    /// All NS hostnames in the chain.
+    /// All NS hostnames in the chain (owned handles).
     pub fn ns_hosts(&self) -> Vec<DomainName> {
-        self.records
-            .iter()
-            .filter_map(|rr| rr.data.as_ns().cloned())
-            .collect()
+        self.iter_ns_hosts().cloned().collect()
     }
 
     /// True if the resolution produced no usable records.
@@ -136,7 +143,7 @@ impl RecursiveResolver {
             let now = self.clock.now();
             // Terminal records already cached?
             if let Some(rrs) = self.cache.get(now, &current, rtype) {
-                chain.extend(rrs);
+                chain.extend(rrs.iter().cloned());
                 return Ok(Resolution {
                     records: chain,
                     rcode: Rcode::NoError,
@@ -160,7 +167,7 @@ impl RecursiveResolver {
                         .as_cname()
                         .expect("cname cache entries hold cname data")
                         .clone();
-                    chain.extend(cnames);
+                    chain.extend(cnames.iter().cloned());
                     if seen.contains(&target) {
                         return Err(DnsError::CnameChain {
                             name: name.to_string(),
@@ -330,7 +337,7 @@ impl RecursiveResolver {
         for suffix in qname.suffixes() {
             if let Some(ns_records) = self.cache.get(now, &suffix, RecordType::Ns) {
                 let mut addrs = Vec::new();
-                for rr in &ns_records {
+                for rr in ns_records.iter() {
                     if let Some(host) = rr.data.as_ns() {
                         if let Some(a_records) = self.cache.get(now, host, RecordType::A) {
                             addrs.extend(a_records.iter().filter_map(|r| r.data.as_a()));

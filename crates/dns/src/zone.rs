@@ -5,17 +5,20 @@ use std::fmt;
 
 use crate::error::DnsError;
 use crate::name::DomainName;
-use crate::record::{RecordType, ResourceRecord};
+use crate::record::{RecordSet, RecordType, ResourceRecord};
 
 /// The outcome of looking a name/type up in a [`Zone`].
+///
+/// Record-carrying variants hold shared [`RecordSet`] handles to the zone's
+/// own storage, so answering a query never copies records.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ZoneAnswer {
     /// Records of exactly the queried type exist at the name.
-    Records(Vec<ResourceRecord>),
+    Records(RecordSet),
     /// The name is an alias; the resolver should chase the CNAME.
     Cname(ResourceRecord),
     /// The name falls under a delegated child zone; NS records of the cut.
-    Delegation(Vec<ResourceRecord>),
+    Delegation(RecordSet),
     /// The name exists but has no records of the queried type.
     NoData,
     /// The name does not exist in the zone.
@@ -55,7 +58,9 @@ pub enum ZoneAnswer {
 pub struct Zone {
     origin: DomainName,
     /// (owner, type) -> records. BTreeMap keeps iteration deterministic.
-    records: BTreeMap<(DomainName, RecordType), Vec<ResourceRecord>>,
+    /// Sets are shared: lookups hand out refcounted handles, and the rare
+    /// mutations (provider switches between sweeps) rebuild the set.
+    records: BTreeMap<(DomainName, RecordType), RecordSet>,
 }
 
 impl Zone {
@@ -95,10 +100,19 @@ impl Zone {
                 name: record.name.to_string(),
             });
         }
-        self.records
-            .entry((record.name.clone(), record.record_type()))
-            .or_default()
-            .push(record);
+        let key = (record.name.clone(), record.record_type());
+        match self.records.get_mut(&key) {
+            // Mutation is cold (provider switches between sweeps); rebuild
+            // the shared set rather than complicating the hot lookup path.
+            Some(set) => {
+                let mut rrs = set.to_vec();
+                rrs.push(record);
+                *set = rrs.into();
+            }
+            None => {
+                self.records.insert(key, RecordSet::from(vec![record]));
+            }
+        }
         Ok(())
     }
 
@@ -106,7 +120,7 @@ impl Zone {
     pub fn remove(&mut self, name: &DomainName, rtype: RecordType) -> Vec<ResourceRecord> {
         self.records
             .remove(&(name.clone(), rtype))
-            .unwrap_or_default()
+            .map_or_else(Vec::new, |set| set.to_vec())
     }
 
     /// Removes every record at `name` (all types).
@@ -119,29 +133,32 @@ impl Zone {
             .collect();
         let mut removed = 0;
         for key in keys {
-            removed += self.records.remove(&key).map_or(0, |v| v.len());
+            removed += self.records.remove(&key).map_or(0, |set| set.len());
         }
         removed
     }
 
     /// Replaces all records of `rtype` at `name` with `records`.
-    pub fn replace(&mut self, name: &DomainName, rtype: RecordType, records: Vec<ResourceRecord>) {
-        self.records.remove(&(name.clone(), rtype));
-        for rr in records {
-            debug_assert_eq!(rr.record_type(), rtype);
-            debug_assert_eq!(&rr.name, name);
-            self.records
-                .entry((rr.name.clone(), rtype))
-                .or_default()
-                .push(rr);
+    pub fn replace(&mut self, name: &DomainName, rtype: RecordType, records: impl Into<RecordSet>) {
+        let records: RecordSet = records.into();
+        if records.is_empty() {
+            self.records.remove(&(name.clone(), rtype));
+            return;
         }
+        debug_assert!(records
+            .iter()
+            .all(|rr| rr.record_type() == rtype && &rr.name == name));
+        self.records.insert((name.clone(), rtype), records);
     }
 
     /// Direct records of `rtype` at `name` (no CNAME/delegation logic).
     pub fn get(&self, name: &DomainName, rtype: RecordType) -> &[ResourceRecord] {
-        self.records
-            .get(&(name.clone(), rtype))
-            .map_or(&[], Vec::as_slice)
+        self.get_set(name, rtype).map_or(&[], |set| &set[..])
+    }
+
+    /// The shared record set of `rtype` at `name`, if present.
+    fn get_set(&self, name: &DomainName, rtype: RecordType) -> Option<&RecordSet> {
+        self.records.get(&(name.clone(), rtype))
     }
 
     /// True if any record exists at `name`.
@@ -162,10 +179,13 @@ impl Zone {
         let mut cut = name.clone();
         loop {
             if cut != self.origin {
-                let ns = self.get(&cut, RecordType::Ns);
                 let own_ns_query = cut == *name && rtype == RecordType::Ns;
-                if !ns.is_empty() && !own_ns_query {
-                    return ZoneAnswer::Delegation(ns.to_vec());
+                if !own_ns_query {
+                    if let Some(ns) = self.get_set(&cut, RecordType::Ns) {
+                        if !ns.is_empty() {
+                            return ZoneAnswer::Delegation(RecordSet::clone(ns));
+                        }
+                    }
                 }
             }
             match cut.parent() {
@@ -176,9 +196,10 @@ impl Zone {
             }
         }
         // 2. Exact match.
-        let exact = self.get(name, rtype);
-        if !exact.is_empty() {
-            return ZoneAnswer::Records(exact.to_vec());
+        if let Some(exact) = self.get_set(name, rtype) {
+            if !exact.is_empty() {
+                return ZoneAnswer::Records(RecordSet::clone(exact));
+            }
         }
         // 3. CNAME indirection (never for CNAME queries themselves).
         if rtype != RecordType::Cname {
@@ -196,7 +217,7 @@ impl Zone {
 
     /// Number of records in the zone.
     pub fn len(&self) -> usize {
-        self.records.values().map(Vec::len).sum()
+        self.records.values().map(|set| set.len()).sum()
     }
 
     /// True if the zone holds no records.
@@ -206,7 +227,7 @@ impl Zone {
 
     /// Iterates all records in deterministic order.
     pub fn iter(&self) -> impl Iterator<Item = &ResourceRecord> {
-        self.records.values().flatten()
+        self.records.values().flat_map(|set| set.iter())
     }
 }
 

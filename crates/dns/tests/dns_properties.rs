@@ -124,7 +124,7 @@ proptest! {
         prop_assert_eq!(response.authority.len(), ns_count);
         prop_assert_eq!(response.additional.len(), ns_count);
         // Every NS host has a matching glue A record.
-        for rr in &response.authority {
+        for rr in response.authority.iter() {
             let host = rr.data.as_ns().unwrap();
             prop_assert!(response.additional.iter().any(|g| &g.name == host));
         }

@@ -23,6 +23,12 @@ pub struct ShardStats {
     /// DNS queries reported by the task via
     /// [`ShardScope::add_queries`](crate::ShardScope::add_queries).
     pub queries: u64,
+    /// Resolver-cache hits reported via
+    /// [`ShardScope::add_cache_stats`](crate::ShardScope::add_cache_stats).
+    pub cache_hits: u64,
+    /// Resolver-cache misses reported via
+    /// [`ShardScope::add_cache_stats`](crate::ShardScope::add_cache_stats).
+    pub cache_misses: u64,
 }
 
 /// Wall-clock timing of one shard (nondeterministic; reporting only).
@@ -73,6 +79,16 @@ impl SweepStats {
         self.shards.iter().map(|s| s.queries).sum()
     }
 
+    /// Total resolver-cache hits reported by tasks.
+    pub fn cache_hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache_hits).sum()
+    }
+
+    /// Total resolver-cache misses reported by tasks.
+    pub fn cache_misses(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache_misses).sum()
+    }
+
     /// The slowest single shard — the lower bound on sweep wall time.
     pub fn max_shard_wall(&self) -> Duration {
         self.timings
@@ -99,6 +115,8 @@ mod tests {
                     retries: 2,
                     exhausted: 1,
                     queries: 40,
+                    cache_hits: 30,
+                    cache_misses: 10,
                 },
                 ShardStats {
                     shard: 1,
@@ -107,6 +125,8 @@ mod tests {
                     retries: 0,
                     exhausted: 0,
                     queries: 15,
+                    cache_hits: 12,
+                    cache_misses: 3,
                 },
             ],
             timings: vec![
@@ -126,6 +146,8 @@ mod tests {
         assert_eq!(stats.retries(), 2);
         assert_eq!(stats.exhausted(), 1);
         assert_eq!(stats.queries(), 55);
+        assert_eq!(stats.cache_hits(), 42);
+        assert_eq!(stats.cache_misses(), 13);
         assert_eq!(stats.max_shard_wall(), Duration::from_millis(8));
     }
 

@@ -33,6 +33,8 @@ pub struct ShardScope {
     shard: usize,
     rng: StdRng,
     queries: u64,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl ShardScope {
@@ -49,6 +51,14 @@ impl ShardScope {
     /// Records `n` DNS queries issued on behalf of this shard.
     pub fn add_queries(&mut self, n: u64) {
         self.queries += n;
+    }
+
+    /// Records resolver-cache hits and misses observed by this shard's
+    /// task (typically the delta of `ResolverCache::stats` across one
+    /// item). Deterministic per shard: each shard owns a fresh resolver.
+    pub fn add_cache_stats(&mut self, hits: u64, misses: u64) {
+        self.cache_hits += hits;
+        self.cache_misses += misses;
     }
 }
 
@@ -135,6 +145,8 @@ impl ScanEngine {
                 shard: shard_idx,
                 rng: StdRng::seed_from_u64(seeds.derive_indexed("shard", shard_idx as u64)),
                 queries: 0,
+                cache_hits: 0,
+                cache_misses: 0,
             };
             let mut worker = make_worker(shard_idx);
             let mut outputs = Vec::with_capacity(range.len());
@@ -168,6 +180,8 @@ impl ScanEngine {
                 }
             }
             stats.queries = scope.queries;
+            stats.cache_hits = scope.cache_hits;
+            stats.cache_misses = scope.cache_misses;
             let timing = ShardTiming {
                 shard: shard_idx,
                 wall: shard_started.elapsed(),

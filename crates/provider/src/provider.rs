@@ -858,7 +858,7 @@ impl DpsProvider {
                                         RecordData::Ns(h.clone()),
                                     )
                                 })
-                                .collect(),
+                                .collect::<Vec<_>>(),
                         )),
                         RecordType::Mx if query.name == account.domain => {
                             match &account.mx_exchange {
@@ -951,7 +951,7 @@ impl DpsProvider {
                             RecordData::Ns(h.clone()),
                         )
                     })
-                    .collect(),
+                    .collect::<Vec<_>>(),
             )),
             _ => Some(Response::empty(query.clone(), Rcode::NoError)),
         }

@@ -728,11 +728,11 @@ fn referral(query: &Query, apex: &DomainName, nameservers: &[(DomainName, Ipv4Ad
     let authority = nameservers
         .iter()
         .map(|(host, _)| ResourceRecord::new(apex.clone(), ttl, RecordData::Ns(host.clone())))
-        .collect();
+        .collect::<Vec<_>>();
     let additional = nameservers
         .iter()
         .map(|(host, addr)| ResourceRecord::new(host.clone(), ttl, RecordData::A(*addr)))
-        .collect();
+        .collect::<Vec<_>>();
     Response::referral(query.clone(), authority, additional)
 }
 
