@@ -6,12 +6,13 @@
 //!
 //! Runs the allocation-sensitive microbenches (interned names and shared
 //! record sets against their pre-refactor implementations), the residual
-//! pipeline stages (fleet harvest / direct scan / filter pipeline), and the
-//! engine collection sweep at several worker counts, then writes one JSON
-//! document (default `BENCH_2.json`). The seed-commit baseline numbers are
-//! embedded so the file carries its own before/after story; the microbench
-//! before/after pairs are measured side by side in this run and are the
-//! numbers to trust across machines.
+//! pipeline stages (fleet harvest / direct scan / filter pipeline), the
+//! engine collection sweep at several worker counts, and the observability
+//! overhead suite (obs primitive costs plus an instrumented-vs-plain sweep
+//! A/B), then writes one JSON document (default `BENCH_3.json`). The
+//! seed-commit baseline numbers are embedded so the file carries its own
+//! before/after story; the before/after pairs measured side by side in
+//! this run are the numbers to trust across machines.
 //!
 //! `--quick` shrinks the world and sample counts for CI smoke runs (the
 //! job only asserts the emitter completes and produces valid output;
@@ -22,13 +23,17 @@ use std::process::ExitCode;
 use remnant::core::collector::{RecordCollector, Target};
 use remnant::core::residual::{CloudflareScanner, FilterPipeline};
 use remnant::core::SCANNER_SOURCE;
-use remnant::dns::{DomainName, RecordData, RecordType, RecursiveResolver, ResolverCache, Ttl};
-use remnant::engine::{EngineConfig, ScanEngine};
+use remnant::dns::{
+    CountingTransport, DnsTransport, DomainName, RecordData, RecordType, RecursiveResolver,
+    ResolverCache, Ttl,
+};
+use remnant::engine::{EngineConfig, ScanEngine, TaskResult};
 use remnant::net::Region;
+use remnant::obs::{EventJournal, Instrumented, MetricsRegistry, Obs, Span};
 use remnant::provider::ProviderId;
 use remnant::sim::SimTime;
 use remnant::world::{World, WorldConfig};
-use remnant_bench::perf::{legacy, measure, Json, Measurement};
+use remnant_bench::perf::{legacy, measure, measure_ab, Json, Measurement};
 
 /// Seed-commit (`0c4c56c`) numbers from the vendored criterion stand-in,
 /// release build, this repository's reference machine, 2026-08-05 — the
@@ -54,7 +59,7 @@ impl Default for Options {
     fn default() -> Self {
         Options {
             quick: false,
-            out: "BENCH_2.json".to_owned(),
+            out: "BENCH_3.json".to_owned(),
             population: 2_000,
             seed: 3,
         }
@@ -350,6 +355,151 @@ fn engine_benches(
     Json::Arr(rows)
 }
 
+/// Obs primitive costs: the operations the instrumented hot paths pay for.
+/// No "before" side — these did not exist before the observability layer;
+/// the absolute per-op cost is the budget claim.
+fn obs_primitive_benches(world: &World, samples: usize) -> Json {
+    let mut registry = MetricsRegistry::new();
+    let counter_add = measure(samples, || {
+        for _ in 0..1_000 {
+            registry.add("bench.counter", 1);
+        }
+        std::hint::black_box(registry.counter("bench.counter"));
+    });
+
+    let mut registry = MetricsRegistry::new();
+    let counter_add_labeled = measure(samples, || {
+        for i in 0..1_000u32 {
+            let week = if i % 2 == 0 { "1" } else { "2" };
+            registry.add_labeled("bench.labeled", &[("week", week)], 1);
+        }
+        std::hint::black_box(registry.counter_labeled("bench.labeled", &[("week", "1")]));
+    });
+
+    let mut registry = MetricsRegistry::new();
+    const BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32];
+    let histogram_observe = measure(samples, || {
+        for i in 0..1_000u64 {
+            registry.observe_with("bench.histogram", BOUNDS, i % 40);
+        }
+        std::hint::black_box(registry.histogram("bench.histogram").map(|h| h.count()));
+    });
+
+    let mut journal = EventJournal::with_capacity(256);
+    let journal_push = measure(samples, || {
+        for _ in 0..1_000 {
+            journal.push(SimTime::EPOCH, "bench.event", "detail");
+        }
+        std::hint::black_box(journal.len());
+    });
+
+    let mut obs = Obs::new(world.clock());
+    let span_roundtrip = measure(samples, || {
+        for _ in 0..1_000 {
+            let span = Span::enter(&obs, "bench.span");
+            span.exit(&mut obs);
+        }
+    });
+
+    // Merging eight shard registries of realistic size, as the engine does
+    // once per sweep.
+    let shard = {
+        let mut r = MetricsRegistry::new();
+        for i in 0..64u32 {
+            let depth = if i % 2 == 0 { "1" } else { "2" };
+            r.add_labeled("resolver.queries", &[("qtype", "A")], u64::from(i));
+            r.add_labeled("resolver.delegation_depth", &[("depth", depth)], 1);
+            r.add("cache.hits", u64::from(i));
+        }
+        r
+    };
+    let merge = measure(samples, || {
+        let mut merged = MetricsRegistry::new();
+        for _ in 0..8 {
+            merged.merge_from(&shard);
+        }
+        std::hint::black_box(merged.counter("cache.hits"));
+    });
+
+    Json::obj([
+        ("counter_add_1k", counter_add.to_json(1_000)),
+        ("counter_add_labeled_1k", counter_add_labeled.to_json(1_000)),
+        ("histogram_observe_1k", histogram_observe.to_json(1_000)),
+        ("journal_push_1k", journal_push.to_json(1_000)),
+        ("span_roundtrip_1k", span_roundtrip.to_json(1_000)),
+        ("merge_8_shard_registries", merge.to_json(8)),
+    ])
+}
+
+/// The metrics-overhead A/B the acceptance criteria ask for: the same
+/// sharded collection sweep with and without the per-shard telemetry
+/// export (the only observability work on the engine hot path), measured
+/// side by side in this run.
+fn obs_sweep_overhead(world: &World, targets: &[Target], samples: usize, seed: u64) -> Json {
+    let engine = ScanEngine::new(EngineConfig {
+        workers: 1,
+        shard_size: 64,
+        seed,
+        ..EngineConfig::default()
+    });
+    let clock = world.clock();
+    let elements = targets.len() as u64;
+
+    // Alternating samples (`measure_ab`): the overhead ratio is the claim,
+    // so drift over the run must hit both sides equally.
+    let (plain, instrumented) = measure_ab(
+        samples * 2,
+        || {
+            let sweep = engine.sweep(
+                world,
+                targets,
+                |_shard| RecursiveResolver::new(clock.clone(), Region::Ashburn),
+                |transport, resolver, scope, _rank, (apex, www)| {
+                    let mut counting = CountingTransport::new(transport);
+                    let a = resolver.resolve(&mut counting, www, RecordType::A);
+                    let ns = resolver.resolve(&mut counting, apex, RecordType::Ns);
+                    std::hint::black_box((a.is_ok(), ns.is_ok()));
+                    scope.add_queries(counting.query_stats().sent);
+                    TaskResult::Done(())
+                },
+            );
+            std::hint::black_box(sweep.outputs.len());
+        },
+        || {
+            let sweep = engine.sweep_with_finish(
+                world,
+                targets,
+                |_shard| RecursiveResolver::new(clock.clone(), Region::Ashburn),
+                |transport, resolver, scope, _rank, (apex, www)| {
+                    let mut counting = CountingTransport::new(transport);
+                    let a = resolver.resolve(&mut counting, www, RecordType::A);
+                    let ns = resolver.resolve(&mut counting, apex, RecordType::Ns);
+                    std::hint::black_box((a.is_ok(), ns.is_ok()));
+                    scope.add_queries(counting.query_stats().sent);
+                    TaskResult::Done(())
+                },
+                |resolver, scope| resolver.export_into(scope.metrics()),
+            );
+            let merged = sweep.stats.merged_metrics();
+            std::hint::black_box(merged.is_empty());
+        },
+    );
+
+    let ratio = if plain.mean_secs > 0.0 {
+        instrumented.mean_secs / plain.mean_secs
+    } else {
+        f64::INFINITY
+    };
+    Json::obj([
+        ("plain", plain.to_json(elements)),
+        ("instrumented", instrumented.to_json(elements)),
+        ("overhead_ratio", Json::Num(ratio)),
+        ("overhead_pct", Json::Num((ratio - 1.0) * 100.0)),
+        ("budget_pct", Json::Num(5.0)),
+        ("within_budget", Json::Bool(ratio <= 1.05)),
+    ])
+}
+
 fn run(opts: &Options) -> Result<(), String> {
     let samples = if opts.quick { 3 } else { 10 };
     let population = if opts.quick {
@@ -391,6 +541,8 @@ fn run(opts: &Options) -> Result<(), String> {
     current.extend(pipeline_benches(&mut world, &targets, samples));
 
     let engine = engine_benches(&world, &targets, worker_counts, samples, opts.seed);
+    let obs_primitives = obs_primitive_benches(&world, samples);
+    let obs_overhead = obs_sweep_overhead(&world, &targets, samples, opts.seed);
 
     // Assemble the document.
     let baseline_benches = Json::Obj(
@@ -442,7 +594,7 @@ fn run(opts: &Options) -> Result<(), String> {
 
     let doc = Json::obj([
         ("schema", Json::Str("remnant-bench/v1".into())),
-        ("issue", Json::Num(2.0)),
+        ("issue", Json::Num(3.0)),
         (
             "mode",
             Json::Str(if opts.quick { "quick" } else { "full" }.into()),
@@ -469,6 +621,13 @@ fn run(opts: &Options) -> Result<(), String> {
         ("comparison_vs_seed", comparison),
         ("micro", Json::Obj(micro)),
         ("engine_collect_sweep", engine),
+        (
+            "obs",
+            Json::obj([
+                ("primitives", obs_primitives),
+                ("sweep_overhead", obs_overhead),
+            ]),
+        ),
         (
             "interned_names",
             Json::Num(DomainName::interned_count() as f64),

@@ -2,11 +2,11 @@
 //!
 //! ```text
 //! repro [EXPERIMENT] [--population N] [--weeks W] [--seed S] [--workers N]
-//!       [--even-intervals]
+//!       [--even-intervals] [--metrics OUT.json]
 //!
 //! EXPERIMENT: all (default) | table2 | table5 | table6 |
 //!             fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 |
-//!             purge
+//!             purge | funnel
 //! ```
 //!
 //! The default population is 100,000 (a 1:10 scale model of the paper's
@@ -18,22 +18,31 @@
 //! bit-identical for every worker count — only wall time changes — so
 //! `repro all --population 1000000 --workers 8` is a faster drop-in for
 //! the sequential run.
+//!
+//! `--metrics OUT.json` additionally writes the study's deterministic
+//! observability snapshot (counters, span histograms, event journal — all
+//! on virtual time) as canonical JSON. The snapshot is byte-identical for
+//! every `--workers` value; the `funnel` experiment rebuilds the Fig 8
+//! attrition table from such a snapshot's counters alone.
 
 use std::process::ExitCode;
 
 use remnant_bench::{
     render_ablation, render_fig1, render_fig2, render_fig3, render_fig4, render_fig5, render_fig6,
-    render_fig7, render_fig8, render_fig9, render_purge, render_table1, render_table2,
-    render_table5, render_table6, run_study, ReproConfig,
+    render_fig7, render_fig8, render_fig8_from_obs, render_fig9, render_purge, render_table1,
+    render_table2, render_table5, render_table6, run_study, ReproConfig,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [all|table1|table2|table5|table6|fig1..fig9|purge|ablation] \
-         [--population N] [--weeks W] [--seed S] [--workers N] [--even-intervals]\n\
+        "usage: repro [all|table1|table2|table5|table6|fig1..fig9|purge|ablation|funnel] \
+         [--population N] [--weeks W] [--seed S] [--workers N] [--even-intervals] \
+         [--metrics OUT.json]\n\
          \n\
          --workers N shards the sweeps over N threads (output is identical\n\
-         for every N; only wall time changes)"
+         for every N; only wall time changes)\n\
+         --metrics OUT.json writes the deterministic observability snapshot;\n\
+         'funnel' renders Fig 8 from those counters alone"
     );
     ExitCode::FAILURE
 }
@@ -54,6 +63,7 @@ fn parse_flag<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result
 fn main() -> ExitCode {
     let mut experiment = "all".to_owned();
     let mut config = ReproConfig::default();
+    let mut metrics_path: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -74,6 +84,10 @@ fn main() -> ExitCode {
                 Ok(v) => config.workers = v,
                 Err(code) => return code,
             },
+            "--metrics" => match parse_flag("--metrics", args.next()) {
+                Ok(v) => metrics_path = Some(v),
+                Err(code) => return code,
+            },
             "--even-intervals" => config.even_intervals = true,
             "--help" | "-h" => {
                 let _ = usage();
@@ -88,6 +102,13 @@ fn main() -> ExitCode {
     }
 
     // Experiments that do not need the full study.
+    let study_free = matches!(
+        experiment.as_str(),
+        "table1" | "table2" | "ablation" | "fig1" | "purge"
+    );
+    if study_free && metrics_path.is_some() {
+        eprintln!("repro: --metrics ignored for '{experiment}' (no study runs)");
+    }
     match experiment.as_str() {
         "table2" => {
             println!("{}", render_table2());
@@ -134,6 +155,14 @@ fn main() -> ExitCode {
         world.traffic_stats().1
     );
 
+    if let Some(path) = &metrics_path {
+        if let Err(e) = std::fs::write(path, report.obs.to_json()) {
+            eprintln!("repro: cannot write metrics to '{path}': {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("metrics written to {path}\n");
+    }
+
     let render = |name: &str| -> Option<String> {
         match name {
             "fig2" => Some(render_fig2(&config, &report)),
@@ -143,6 +172,7 @@ fn main() -> ExitCode {
             "fig6" => Some(render_fig6(&report)),
             "fig7" => Some(render_fig7(&world)),
             "fig8" => Some(render_fig8(&report)),
+            "funnel" => Some(render_fig8_from_obs(&report.obs)),
             "fig9" => Some(render_fig9(&config, &report)),
             "table5" => Some(render_table5(&config, &report)),
             "table6" => Some(render_table6(&config, &report)),

@@ -8,8 +8,11 @@
 
 pub mod perf;
 
+use remnant::core::error::ConfigFieldError;
 use remnant::core::report::{percent, render_cdf, render_series, TextTable};
+use remnant::core::residual::FUNNEL_STAGES;
 use remnant::core::study::{vantage_catchment, PaperStudy, StudyConfig, StudyReport};
+use remnant::core::ObsReport;
 use remnant::provider::{ProviderId, ReroutingMethod};
 use remnant::world::{BehaviorKind, World, WorldConfig};
 
@@ -45,6 +48,81 @@ impl ReproConfig {
     /// Scale factor from this run's population to the paper's 1M.
     pub fn to_paper_scale(&self) -> f64 {
         1_000_000.0 / self.population as f64
+    }
+
+    /// A builder starting from the defaults, with validated setters.
+    ///
+    /// Like [`StudyConfig::builder`], rejected values name the field, the
+    /// value, and the reason.
+    pub fn builder() -> ReproConfigBuilder {
+        ReproConfigBuilder {
+            config: ReproConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`ReproConfig`] — see [`ReproConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct ReproConfigBuilder {
+    config: ReproConfig,
+}
+
+impl ReproConfigBuilder {
+    /// Website population.
+    pub fn population(mut self, population: usize) -> Self {
+        self.config.population = population;
+        self
+    }
+
+    /// Study length in weeks.
+    pub fn weeks(mut self, weeks: u32) -> Self {
+        self.config.weeks = weeks;
+        self
+    }
+
+    /// Root seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Exact 24h intervals instead of the paper's uneven 20–30h ones.
+    pub fn even_intervals(mut self, even: bool) -> Self {
+        self.config.even_intervals = even;
+        self
+    }
+
+    /// Worker threads for the sharded sweeps.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Validates and returns the configuration, naming the first rejected
+    /// field on failure.
+    pub fn build(self) -> Result<ReproConfig, ConfigFieldError> {
+        let config = self.config;
+        if config.population == 0 {
+            return Err(ConfigFieldError::new(
+                "population",
+                config.population,
+                "an empty target list cannot be studied",
+            ));
+        }
+        if config.population > 1_000_000 {
+            return Err(ConfigFieldError::new(
+                "population",
+                config.population,
+                "the paper's universe tops out at 1,000,000 sites",
+            ));
+        }
+        // Weeks/workers share StudyConfig's bounds; validate through it so
+        // the two builders can never drift apart.
+        StudyConfig::builder()
+            .weeks(config.weeks)
+            .workers(config.workers)
+            .build()?;
+        Ok(config)
     }
 }
 
@@ -228,6 +306,50 @@ pub fn render_fig8(report: &StudyReport) -> String {
         ]);
     }
     format!("FIG 8: filtering procedure (final week's funnel)\n{table}")
+}
+
+/// Fig 8 rebuilt from the recorded metrics alone.
+///
+/// The funnel is reconstructed purely from the `filter.*` counters in an
+/// [`ObsReport`] — no `WeeklyScanReport` is consulted — so the attrition
+/// table is reproducible from a `repro --metrics out.json` snapshot long
+/// after the run. The table body is identical to [`render_fig8`]'s.
+pub fn render_fig8_from_obs(obs: &ObsReport) -> String {
+    // Find each provider's final recorded week from the labels themselves.
+    let mut providers: Vec<(&str, u32)> = Vec::new();
+    for (key, _) in obs.counters_named(FUNNEL_STAGES[0]) {
+        let (Some(provider), Some(week)) = (key.label("provider"), key.label("week")) else {
+            continue;
+        };
+        let Ok(week) = week.parse::<u32>() else {
+            continue;
+        };
+        match providers.iter_mut().find(|(p, _)| *p == provider) {
+            Some(entry) => entry.1 = entry.1.max(week),
+            None => providers.push((provider, week)),
+        }
+    }
+    let mut table = TextTable::new([
+        "Provider",
+        "Retrieved",
+        "After IP-matching",
+        "Hidden (A-matching)",
+        "Verified (HTML)",
+    ]);
+    for (provider, week) in providers {
+        let week = week.to_string();
+        let labels = [("provider", provider), ("week", week.as_str())];
+        let [retrieved, after_ip, hidden, verified] =
+            FUNNEL_STAGES.map(|stage| obs.counter(stage, &labels));
+        table.row([
+            provider.to_owned(),
+            retrieved.to_string(),
+            after_ip.to_string(),
+            hidden.to_string(),
+            verified.to_string(),
+        ]);
+    }
+    format!("FIG 8: filtering procedure (final week's funnel, rebuilt from metrics)\n{table}")
 }
 
 /// Fig 9: exposure observations across weeks.
@@ -690,6 +812,49 @@ mod tests {
         for provider in ProviderId::ALL {
             assert!(rendered.contains(provider.name()), "{provider} missing");
         }
+    }
+
+    #[test]
+    fn fig8_is_reproducible_from_metrics_alone() {
+        let (_, _, report) = tiny();
+        let from_report = render_fig8(&report);
+        let from_obs = render_fig8_from_obs(&report.obs);
+        // Same table body: only the title line differs.
+        let body = |s: &str| s.split_once('\n').map(|(_, rest)| rest.to_owned()).unwrap();
+        assert_eq!(body(&from_obs), body(&from_report));
+        assert!(from_obs.contains("Cloudflare"));
+        assert!(from_obs.contains("Incapsula"));
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_fields_by_name() {
+        let config = ReproConfig::builder()
+            .population(500)
+            .weeks(2)
+            .seed(7)
+            .even_intervals(true)
+            .workers(3)
+            .build()
+            .expect("in-range values build");
+        assert_eq!(config.population, 500);
+        assert_eq!(config.weeks, 2);
+        assert_eq!(config.seed, 7);
+        assert!(config.even_intervals);
+        assert_eq!(config.workers, 3);
+
+        let err = ReproConfig::builder().population(0).build().unwrap_err();
+        assert_eq!(err.field, "population");
+        let err = ReproConfig::builder()
+            .population(2_000_000)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field, "population");
+        assert!(err.to_string().contains("2000000"));
+        // Weeks/workers bounds come from StudyConfig's builder.
+        let err = ReproConfig::builder().weeks(0).build().unwrap_err();
+        assert_eq!(err.field, "weeks");
+        let err = ReproConfig::builder().workers(4096).build().unwrap_err();
+        assert_eq!(err.field, "workers");
     }
 
     #[test]

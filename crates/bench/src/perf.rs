@@ -81,6 +81,58 @@ pub fn measure(samples: usize, mut routine: impl FnMut()) -> Measurement {
         }
         times.push(start.elapsed().as_secs_f64() / iters as f64);
     }
+    summarize(&times, samples, iters)
+}
+
+/// Times two routines with alternating samples, so drift over the run
+/// (thermal, allocator state, cache pressure) lands on both sides equally.
+/// Use this when the quantity of interest is the *ratio* between the two —
+/// back-to-back [`measure`] calls attribute any mid-run slowdown entirely
+/// to whichever routine ran second.
+///
+/// Iteration count is calibrated on `a` and shared; both routines get one
+/// warmup pass before sampling starts.
+pub fn measure_ab(
+    samples: usize,
+    mut a: impl FnMut(),
+    mut b: impl FnMut(),
+) -> (Measurement, Measurement) {
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            a();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= CALIBRATION_TARGET || iters >= 1 << 24 {
+            break;
+        }
+        iters *= 2;
+    }
+    b();
+
+    let samples = samples.max(1);
+    let mut times_a = Vec::with_capacity(samples);
+    let mut times_b = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            a();
+        }
+        times_a.push(start.elapsed().as_secs_f64() / iters as f64);
+        let start = Instant::now();
+        for _ in 0..iters {
+            b();
+        }
+        times_b.push(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    (
+        summarize(&times_a, samples, iters),
+        summarize(&times_b, samples, iters),
+    )
+}
+
+fn summarize(times: &[f64], samples: usize, iters: u64) -> Measurement {
     let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = times.iter().cloned().fold(0.0f64, f64::max);
     let mean = times.iter().sum::<f64>() / times.len() as f64;

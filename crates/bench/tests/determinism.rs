@@ -3,7 +3,7 @@
 
 use remnant_bench::{
     render_fig2, render_fig3, render_fig4, render_fig5, render_fig6, render_fig7, render_fig8,
-    render_fig9, render_table5, render_table6, run_study, ReproConfig,
+    render_fig8_from_obs, render_fig9, render_table5, render_table6, run_study, ReproConfig,
 };
 
 fn config(workers: usize) -> ReproConfig {
@@ -87,5 +87,22 @@ fn study_is_worker_count_invariant() {
     assert_eq!(
         rendered_output(&sequential_config, &world1, &report1),
         rendered_output(&parallel_config, &world8, &report8),
+    );
+
+    // The observability snapshot holds to the same contract: every counter,
+    // histogram, and journal event rides on virtual time and shard-ordered
+    // merges, so the exported JSON is byte-identical too (`repro
+    // --metrics out.json` is reproducible at any worker count).
+    assert_eq!(
+        report1.obs.to_json(),
+        report8.obs.to_json(),
+        "ObsReport must not vary with worker count"
+    );
+    // And the Fig 8 funnel rebuilt from those metrics alone matches the
+    // funnel rendered from the structured report.
+    let body = |s: &str| s.split_once('\n').map(|(_, t)| t.to_owned()).unwrap();
+    assert_eq!(
+        body(&render_fig8_from_obs(&report1.obs)),
+        body(&render_fig8(&report1))
     );
 }

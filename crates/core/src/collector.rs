@@ -6,7 +6,8 @@
 //! experiment."
 
 use remnant_dns::{
-    CountingTransport, DnsTransport, DomainName, RecordType, RecursiveResolver, ShardableTransport,
+    CountingTransport, DnsTransport, DomainName, Instrumented, RecordType, RecursiveResolver,
+    ShardableTransport,
 };
 use remnant_engine::{ScanEngine, SweepStats, TaskResult};
 use remnant_net::Region;
@@ -72,7 +73,10 @@ impl RecordCollector {
     /// Every shard resolves through its own fresh [`RecursiveResolver`], so
     /// each is as cold as a freshly purged cache and the snapshot is
     /// bit-identical for every worker count. The returned [`SweepStats`]
-    /// carry per-shard query counts and wall times.
+    /// carry per-shard query counts and wall times, and each shard's
+    /// resolver exports its full counter surface (per-qtype queries,
+    /// delegation depths, cache hits/misses/expirations) into the shard's
+    /// metrics once at shard end — off the per-item hot path.
     pub fn collect_with<T: ShardableTransport>(
         &mut self,
         engine: &ScanEngine,
@@ -83,7 +87,7 @@ impl RecordCollector {
         self.rounds += 1;
         let clock = self.clock.clone();
         let region = self.region;
-        let sweep = engine.sweep(
+        let sweep = engine.sweep_with_finish(
             transport,
             targets,
             |_shard| RecursiveResolver::new(clock.clone(), region),
@@ -92,10 +96,11 @@ impl RecordCollector {
                 let (hits_before, misses_before) = resolver.cache().stats();
                 let records = resolve_site(resolver, &mut counting, apex, www);
                 let (hits_after, misses_after) = resolver.cache().stats();
-                scope.add_queries(counting.sent());
+                scope.add_queries(counting.query_stats().sent);
                 scope.add_cache_stats(hits_after - hits_before, misses_after - misses_before);
                 TaskResult::Done(records)
             },
+            |resolver, scope| resolver.export_into(scope.metrics()),
         );
         let mut snapshot = DnsSnapshot::new(self.clock.now(), day, targets.len());
         snapshot.records = sweep.outputs;
@@ -243,6 +248,18 @@ mod tests {
         );
         assert!(stats1.queries() > 0);
         assert_eq!(collector.rounds(), 3);
+
+        // The finish hook exported each shard's resolver telemetry, and the
+        // merged registry is worker-invariant like everything else.
+        let merged1 = stats1.merged_metrics();
+        let merged4 = stats4.merged_metrics();
+        assert_eq!(merged1, merged4, "resolver metrics are worker-invariant");
+        let a_queries: u64 = merged1
+            .counters_named("resolver.queries")
+            .filter(|(k, _)| k.label("qtype") == Some("A"))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(a_queries, targets.len() as u64, "one A lookup per site");
     }
 
     #[test]

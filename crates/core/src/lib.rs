@@ -63,8 +63,9 @@ pub mod verify;
 pub use adoption::{Adoption, DpsStatus};
 pub use behavior::{BehaviorDetector, ObservedBehavior};
 pub use collector::RecordCollector;
-pub use error::CoreError;
+pub use error::{ConfigFieldError, CoreError};
 pub use matchers::ProviderMatcher;
+pub use remnant_obs::{Instrumented, MetricsRegistry, Obs, ObsReport};
 pub use snapshot::{DnsSnapshot, SiteRecords};
 pub use verify::{HtmlVerifier, VerifyOutcome};
 

@@ -9,6 +9,7 @@ use remnant_dns::{
 };
 use remnant_engine::{ScanEngine, SweepStats, TaskResult};
 use remnant_net::Region;
+use remnant_obs::{transport_counters, Instrumented, MetricKey};
 use remnant_sim::SimClock;
 
 use crate::collector::Target;
@@ -62,6 +63,10 @@ impl CloudflareScanner {
 
     /// `(queries sent, responses received)` across all scans — the
     /// answered/ignored split the paper relies on.
+    #[deprecated(
+        since = "0.2.0",
+        note = "read the unified counter surface instead: `Instrumented::counters` (`transport.sent` / `transport.answered`)"
+    )]
     pub fn scan_stats(&self) -> (u64, u64) {
         (self.queries_sent, self.responses)
     }
@@ -176,6 +181,18 @@ impl CloudflareScanner {
     }
 }
 
+impl Instrumented for CloudflareScanner {
+    fn component(&self) -> &'static str {
+        "core.cloudflare_scanner"
+    }
+
+    fn counters(&self) -> Vec<(MetricKey, u64)> {
+        let mut counters = transport_counters(self.queries_sent, self.responses);
+        counters.push((MetricKey::named("fleet.size"), self.fleet.len() as u64));
+        counters
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +215,22 @@ mod tests {
             .iter()
             .map(|s| (s.apex.clone(), s.www.clone()))
             .collect()
+    }
+
+    /// `(sent, answered)` read back off the unified counter surface.
+    fn scan_counters(scanner: &CloudflareScanner) -> (u64, u64) {
+        let counters = scanner.counters();
+        let get = |name: &'static str| {
+            counters
+                .iter()
+                .find(|(k, _)| *k == MetricKey::named(name))
+                .map(|(_, v)| *v)
+                .expect("counter present")
+        };
+        (
+            get(remnant_obs::TRANSPORT_SENT),
+            get(remnant_obs::TRANSPORT_ANSWERED),
+        )
     }
 
     #[test]
@@ -255,8 +288,12 @@ mod tests {
             .find(|s| s.state == SiteState::SelfHosted)
             .unwrap();
         assert!(!results.contains_key(&(plain_site.id.0 as usize)));
-        let (sent, answered) = scanner.scan_stats();
+        let (sent, answered) = scan_counters(&scanner);
         assert!(answered < sent, "most queries are ignored");
+        #[allow(deprecated)]
+        {
+            assert_eq!(scanner.scan_stats(), (sent, answered), "shim still agrees");
+        }
     }
 
     #[test]
@@ -334,7 +371,7 @@ mod tests {
         assert_eq!(r1, r8, "worker count never changes the scan");
         assert_eq!(s1.shards, s8.shards);
         assert_eq!(s1.queries(), targets.len() as u64);
-        let (sent, answered) = scanner.scan_stats();
+        let (sent, answered) = scan_counters(&scanner);
         assert_eq!(sent, 3 * targets.len() as u64);
         assert!(answered < sent);
     }

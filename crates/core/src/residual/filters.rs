@@ -16,6 +16,7 @@ use std::net::Ipv4Addr;
 use remnant_dns::{DnsTransport, RecordType, RecursiveResolver};
 use remnant_http::HttpTransport;
 use remnant_net::Region;
+use remnant_obs::{Instrumented, MetricKey, MetricsRegistry};
 use remnant_provider::ProviderId;
 use remnant_sim::SimClock;
 
@@ -49,6 +50,16 @@ impl WeeklyScanReport {
     }
 }
 
+/// The per-stage funnel counter names, in stage order. Each carries
+/// `provider` and `week` labels, so the Fig 8 attrition table is
+/// reproducible from recorded metrics alone.
+pub const FUNNEL_STAGES: [&str; 4] = [
+    "filter.retrieved",
+    "filter.after_ip_matching",
+    "filter.hidden",
+    "filter.verified",
+];
+
 /// The reusable filter pipeline.
 #[derive(Debug)]
 pub struct FilterPipeline {
@@ -56,6 +67,8 @@ pub struct FilterPipeline {
     matcher: ProviderMatcher,
     resolver: RecursiveResolver,
     verifier: HtmlVerifier,
+    /// Per-stage funnel counters, labeled by provider and week.
+    funnel: MetricsRegistry,
 }
 
 impl FilterPipeline {
@@ -67,7 +80,17 @@ impl FilterPipeline {
             clock,
             matcher: ProviderMatcher::new(),
             verifier: HtmlVerifier::new(scanner_src),
+            funnel: MetricsRegistry::new(),
         }
+    }
+
+    /// The recorded funnel counters (one [`FUNNEL_STAGES`] quadruple per
+    /// `(provider, week)` pass) plus the verifier's counter surface — the
+    /// data behind the Fig 8 attrition table.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut metrics = self.funnel.clone();
+        self.verifier.export_into(&mut metrics);
+        metrics
     }
 
     /// Runs the full pipeline on one weekly raw scan result
@@ -141,13 +164,34 @@ impl FilterPipeline {
             }
         }
 
-        WeeklyScanReport {
+        let report = WeeklyScanReport {
             provider,
             week,
             retrieved: raw.len(),
             after_ip_matching,
             hidden,
             verified,
+        };
+        self.record_funnel(&report);
+        report
+    }
+
+    /// Records one pass's per-stage attrition into the funnel registry.
+    fn record_funnel(&mut self, report: &WeeklyScanReport) {
+        let week = report.week.to_string();
+        for (stage, count) in FUNNEL_STAGES.into_iter().zip([
+            report.retrieved,
+            report.after_ip_matching,
+            report.hidden.len(),
+            report.verified.len(),
+        ]) {
+            self.funnel.add_key(
+                MetricKey::labeled(
+                    stage,
+                    &[("provider", report.provider.name()), ("week", &week)],
+                ),
+                count as u64,
+            );
         }
     }
 }
@@ -291,6 +335,52 @@ mod tests {
             !report.hidden.iter().any(|h| h.rank == victim.id.0 as usize),
             "public A equals the stored origin, so A-matching filters it"
         );
+    }
+
+    #[test]
+    fn funnel_counters_match_the_report() {
+        let mut w = world();
+        let victim = cloudflare_ns_victim(&w, false);
+        let targets = targets(&w);
+        let mut collector = RecordCollector::new(w.clock(), Region::Ashburn);
+        let snapshot = collector.collect(&mut w, &targets, 0);
+        let mut scanner = CloudflareScanner::new(w.clock(), "cloudflare");
+        scanner.harvest_fleet(&mut w, &snapshot);
+        w.force_switch(
+            victim.id,
+            ProviderId::Fastly,
+            ReroutingMethod::Cname,
+            ServicePlan::Pro,
+            true,
+        );
+        w.step_days(1);
+        let raw = scanner.scan(&mut w, &targets, 0);
+        let mut p = pipeline(&w);
+        let report = p.run(&mut w, ProviderId::Cloudflare, 0, &raw, &targets);
+
+        // The Fig 8 funnel is reproducible from the recorded metrics alone.
+        let metrics = p.metrics();
+        let provider = ProviderId::Cloudflare.name();
+        let stage = |name: &'static str| {
+            metrics.counter_key(&remnant_obs::MetricKey::labeled(
+                name,
+                &[("provider", provider), ("week", "0")],
+            ))
+        };
+        assert_eq!(stage("filter.retrieved"), report.retrieved as u64);
+        assert_eq!(
+            stage("filter.after_ip_matching"),
+            report.after_ip_matching as u64
+        );
+        assert_eq!(stage("filter.hidden"), report.hidden.len() as u64);
+        assert_eq!(stage("filter.verified"), report.verified.len() as u64);
+        assert!(stage("filter.verified") > 0, "the switcher verifies");
+        // The verifier's counters ride along under its component label.
+        let attempts = metrics.counter_key(
+            &remnant_obs::MetricKey::named("verify.attempts")
+                .with_label("component", "core.html_verifier"),
+        );
+        assert!(attempts > 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use remnant_dns::{
 };
 use remnant_engine::{ScanEngine, SweepStats, TaskResult};
 use remnant_net::Region;
+use remnant_obs::{transport_counters, Instrumented, MetricKey};
 use remnant_sim::SimClock;
 
 use crate::snapshot::DnsSnapshot;
@@ -28,6 +29,8 @@ pub struct IncapsulaScanner {
     harvested: BTreeMap<usize, DomainName>,
     resolver: RecursiveResolver,
     queries: u64,
+    /// Tokens whose resolution still produced addresses.
+    answered: u64,
 }
 
 impl IncapsulaScanner {
@@ -40,6 +43,7 @@ impl IncapsulaScanner {
             resolver: RecursiveResolver::new(clock.clone(), Region::Ashburn),
             clock,
             queries: 0,
+            answered: 0,
         }
     }
 
@@ -54,6 +58,10 @@ impl IncapsulaScanner {
     }
 
     /// Tokens resolved across all scans.
+    #[deprecated(
+        since = "0.2.0",
+        note = "read the unified counter surface instead: `Instrumented::counters` (`transport.sent`)"
+    )]
     pub fn queries(&self) -> u64 {
         self.queries
     }
@@ -82,6 +90,7 @@ impl IncapsulaScanner {
             if let Ok(res) = self.resolver.resolve(transport, token, RecordType::A) {
                 let addrs = res.addresses();
                 if !addrs.is_empty() {
+                    self.answered += 1;
                     results.insert(*rank, addrs);
                 }
             }
@@ -105,7 +114,7 @@ impl IncapsulaScanner {
             .map(|(rank, token)| (*rank, token.clone()))
             .collect();
         let clock = self.clock.clone();
-        let sweep = engine.sweep(
+        let sweep = engine.sweep_with_finish(
             transport,
             &tokens,
             |_shard| RecursiveResolver::new(clock.clone(), Region::Ashburn),
@@ -117,18 +126,35 @@ impl IncapsulaScanner {
                     .map(|res| res.addresses())
                     .unwrap_or_default();
                 let (hits_after, misses_after) = resolver.cache().stats();
-                scope.add_queries(counting.sent());
+                scope.add_queries(counting.query_stats().sent);
                 scope.add_cache_stats(hits_after - hits_before, misses_after - misses_before);
                 TaskResult::Done((*rank, addrs))
             },
+            |resolver, scope| resolver.export_into(scope.metrics()),
         );
         self.queries += tokens.len() as u64;
-        let results = sweep
+        let results: HashMap<usize, Vec<Ipv4Addr>> = sweep
             .outputs
             .into_iter()
             .filter(|(_, addrs)| !addrs.is_empty())
             .collect();
+        self.answered += results.len() as u64;
         (results, sweep.stats)
+    }
+}
+
+impl Instrumented for IncapsulaScanner {
+    fn component(&self) -> &'static str {
+        "core.incapsula_scanner"
+    }
+
+    fn counters(&self) -> Vec<(MetricKey, u64)> {
+        let mut counters = transport_counters(self.queries, self.answered);
+        counters.push((
+            MetricKey::named("tokens.harvested"),
+            self.harvested.len() as u64,
+        ));
+        counters
     }
 }
 
@@ -260,7 +286,17 @@ mod tests {
         );
         assert_eq!(r1, r6, "worker count never changes the scan");
         assert_eq!(s1.shards, s6.shards);
-        assert_eq!(scanner.queries(), 3 * scanner.harvested_count() as u64);
+        let sent = scanner
+            .counters()
+            .iter()
+            .find(|(k, _)| *k == MetricKey::named(remnant_obs::TRANSPORT_SENT))
+            .map(|(_, v)| *v)
+            .expect("sent counter present");
+        assert_eq!(sent, 3 * scanner.harvested_count() as u64);
+        #[allow(deprecated)]
+        {
+            assert_eq!(scanner.queries(), sent, "deprecated shim still agrees");
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@ use remnant_dns::DomainName;
 
 pub use cloudflare::CloudflareScanner;
 pub use exposure::ExposureTracker;
-pub use filters::{FilterPipeline, WeeklyScanReport};
+pub use filters::{FilterPipeline, WeeklyScanReport, FUNNEL_STAGES};
 pub use incapsula::IncapsulaScanner;
 pub use purge_probe::{PurgeProbe, PurgeProbeResult};
 

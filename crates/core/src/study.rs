@@ -9,6 +9,7 @@
 //! harvested Incapsula tokens. The returned [`StudyReport`] contains the
 //! data behind every table and figure of the evaluation.
 
+use std::collections::BTreeSet;
 use std::time::Duration;
 
 use rand::rngs::StdRng;
@@ -16,6 +17,7 @@ use rand::{Rng, SeedableRng};
 
 use remnant_engine::{EngineConfig, ScanEngine, SweepStats};
 use remnant_net::Region;
+use remnant_obs::{Instrumented, MetricKey, Obs, ObsReport, Span, TRANSPORT_SENT};
 use remnant_provider::{ProviderId, ReroutingMethod};
 use remnant_sim::stats::{Ecdf, Series};
 use remnant_world::{BehaviorKind, World};
@@ -23,6 +25,7 @@ use remnant_world::{BehaviorKind, World};
 use crate::adoption::{Adoption, DpsStatus};
 use crate::behavior::BehaviorDetector;
 use crate::collector::{RecordCollector, Target};
+use crate::error::ConfigFieldError;
 use crate::fsm::{self, DpsState};
 use crate::pause::PauseTracker;
 use crate::residual::{
@@ -58,6 +61,104 @@ impl Default for StudyConfig {
             seed: 42,
             workers: 1,
         }
+    }
+}
+
+impl StudyConfig {
+    /// A builder starting from the defaults, with validated setters.
+    ///
+    /// The struct-literal path stays open — `StudyConfig { weeks: 2,
+    /// ..StudyConfig::default() }` still compiles — but the builder names
+    /// the offending field, value, and reason when a combination is
+    /// rejected, like the `repro` CLI's bad-flag errors.
+    ///
+    /// ```
+    /// use remnant_core::study::StudyConfig;
+    ///
+    /// let config = StudyConfig::builder().weeks(2).workers(8).build()?;
+    /// assert_eq!(config.weeks, 2);
+    /// let err = StudyConfig::builder().weeks(0).build().unwrap_err();
+    /// assert_eq!(err.field, "weeks");
+    /// # Ok::<(), remnant_core::error::ConfigFieldError>(())
+    /// ```
+    pub fn builder() -> StudyConfigBuilder {
+        StudyConfigBuilder {
+            config: StudyConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`StudyConfig`] — see [`StudyConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct StudyConfigBuilder {
+    config: StudyConfig,
+}
+
+impl StudyConfigBuilder {
+    /// Measurement length in weeks.
+    pub fn weeks(mut self, weeks: u32) -> Self {
+        self.config.weeks = weeks;
+        self
+    }
+
+    /// Use the paper's uneven 20–30h intervals (`true`, the default) or
+    /// exact 24h rounds (`false`).
+    pub fn uneven_intervals(mut self, uneven: bool) -> Self {
+        self.config.uneven_intervals = uneven;
+        self
+    }
+
+    /// Where the collector resolves from.
+    pub fn collector_region(mut self, region: Region) -> Self {
+        self.config.collector_region = region;
+        self
+    }
+
+    /// Seed for interval jitter.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Worker threads for the sharded sweeps.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Validates and returns the configuration, naming the first rejected
+    /// field on failure.
+    pub fn build(self) -> Result<StudyConfig, ConfigFieldError> {
+        let config = self.config;
+        if config.weeks == 0 {
+            return Err(ConfigFieldError::new(
+                "weeks",
+                config.weeks,
+                "a study needs at least one week",
+            ));
+        }
+        if config.weeks > 52 {
+            return Err(ConfigFieldError::new(
+                "weeks",
+                config.weeks,
+                "more than a year of weekly scans is outside the modeled range",
+            ));
+        }
+        if config.workers == 0 {
+            return Err(ConfigFieldError::new(
+                "workers",
+                config.workers,
+                "at least one worker thread is required",
+            ));
+        }
+        if config.workers > 1024 {
+            return Err(ConfigFieldError::new(
+                "workers",
+                config.workers,
+                "more than 1024 workers exceeds the engine's sharding model",
+            ));
+        }
+        Ok(config)
     }
 }
 
@@ -201,6 +302,27 @@ impl EngineReport {
     }
 }
 
+impl Instrumented for EngineReport {
+    fn component(&self) -> &'static str {
+        "engine.report"
+    }
+
+    /// Deterministic counters only: the worker count and wall times stay
+    /// out so an [`ObsReport`] never varies with `--workers N`.
+    fn counters(&self) -> Vec<(MetricKey, u64)> {
+        vec![
+            (MetricKey::named("sweep.count"), self.sweeps),
+            (MetricKey::named("sweep.shards"), self.shards),
+            (MetricKey::named(TRANSPORT_SENT), self.queries),
+            (MetricKey::named("sweep.attempts"), self.attempts),
+            (MetricKey::named("sweep.retries"), self.retries),
+            (MetricKey::named("sweep.exhausted"), self.exhausted),
+            (MetricKey::named("cache.hits"), self.cache_hits),
+            (MetricKey::named("cache.misses"), self.cache_misses),
+        ]
+    }
+}
+
 /// Everything the evaluation section reports.
 #[derive(Clone, Debug, Default)]
 pub struct StudyReport {
@@ -217,6 +339,10 @@ pub struct StudyReport {
     /// Sweep-engine counters (not part of any paper figure; excluded from
     /// rendered output because its wall times vary run to run).
     pub engine: EngineReport,
+    /// The deterministic observability snapshot: every counter, histogram
+    /// and journal event recorded during the run, on virtual time only —
+    /// byte-identical JSON for every worker count.
+    pub obs: ObsReport,
 }
 
 /// The driver (see module docs).
@@ -260,6 +386,15 @@ impl PaperStudy {
         let mut pipeline =
             FilterPipeline::new(world.clock(), self.config.collector_region, SCANNER_SOURCE);
 
+        let mut obs = Obs::new(world.clock());
+        obs.event(
+            "study.start",
+            format!("{} sites over {} weeks", targets.len(), self.config.weeks),
+        );
+        let study_span = Span::enter(&obs, "study.run");
+        let mut exposed_cf = BTreeSet::new();
+        let mut exposed_inc = BTreeSet::new();
+
         let mut report = StudyReport::default();
         let mut behavior_series: Vec<(BehaviorKind, Series)> = BehaviorKind::ALL
             .into_iter()
@@ -279,7 +414,18 @@ impl PaperStudy {
         let mut multi_cdn: Vec<bool> = vec![false; targets.len()];
 
         for day in 0..days {
+            let day_span = Span::enter(&obs, "study.day");
+            obs.event("sweep.start", format!("day {day}: daily collection round"));
             let (snapshot, sweep) = collector.collect_with(&engine, world, &targets, day);
+            obs.metrics.merge_from(&sweep.merged_metrics());
+            obs.event(
+                "sweep.finish",
+                format!(
+                    "day {day}: {} queries over {} shards",
+                    sweep.queries(),
+                    sweep.shards.len()
+                ),
+            );
             report.engine.absorb(&sweep);
             let classes = detector.classify_snapshot(&snapshot);
             // Multi-CDN front-ends are identified by their balancer CNAMEs
@@ -359,15 +505,30 @@ impl PaperStudy {
             inc_scanner.harvest(&snapshot);
             if day % 7 == 0 {
                 let week = day / 7;
+                obs.event("scan.start", format!("week {week}: residual scans"));
                 let (raw, sweep) = cf_scanner.scan_with(&engine, world, &targets, week);
+                obs.metrics.merge_from(&sweep.merged_metrics());
                 report.engine.absorb(&sweep);
+                obs.event(
+                    "cache.purge",
+                    format!("week {week}: pipeline resolver purged before A-matching"),
+                );
                 let weekly = pipeline.run(world, ProviderId::Cloudflare, week, &raw, &targets);
+                note_filter_verdict(&mut obs, &weekly);
+                note_exposure_windows(&mut obs, &weekly, &mut exposed_cf);
                 report.residual.cloudflare.exposure.push(&weekly);
                 report.residual.cloudflare.weekly.push(weekly);
 
                 let (raw, sweep) = inc_scanner.scan_with(&engine, world);
+                obs.metrics.merge_from(&sweep.merged_metrics());
                 report.engine.absorb(&sweep);
+                obs.event(
+                    "cache.purge",
+                    format!("week {week}: pipeline resolver purged before A-matching"),
+                );
                 let weekly = pipeline.run(world, ProviderId::Incapsula, week, &raw, &targets);
+                note_filter_verdict(&mut obs, &weekly);
+                note_exposure_windows(&mut obs, &weekly, &mut exposed_inc);
                 report.residual.incapsula.exposure.push(&weekly);
                 report.residual.incapsula.weekly.push(weekly);
             }
@@ -383,6 +544,7 @@ impl PaperStudy {
             };
             report.behaviors.interval_hours.push(interval);
             world.step_hours(interval);
+            day_span.exit(&mut obs);
         }
 
         // Finalize.
@@ -412,8 +574,57 @@ impl PaperStudy {
         report.residual.fleet_size = cf_scanner.fleet_size();
         report.residual.harvested_tokens = inc_scanner.harvested_count();
         report.engine.workers = self.config.workers.max(1);
+
+        study_span.exit(&mut obs);
+        obs.event(
+            "study.finish",
+            format!("{} collection rounds", collector.rounds()),
+        );
+        obs.absorb(&report.engine);
+        obs.absorb(&cf_scanner);
+        obs.absorb(&inc_scanner);
+        obs.metrics.merge_from(&pipeline.metrics());
+        report.obs = obs.report();
         report
     }
+}
+
+/// Journals one weekly pipeline pass's funnel attrition.
+fn note_filter_verdict(obs: &mut Obs, weekly: &WeeklyScanReport) {
+    obs.event(
+        "filter.verdict",
+        format!(
+            "{} week {}: retrieved {} -> after_ip_matching {} -> hidden {} -> verified {}",
+            weekly.provider.name(),
+            weekly.week,
+            weekly.retrieved,
+            weekly.after_ip_matching,
+            weekly.hidden.len(),
+            weekly.verified.len()
+        ),
+    );
+}
+
+/// Journals exposure-window transitions: a site opens a window the first
+/// week its hidden origin verifies, and closes it the first week it no
+/// longer does.
+fn note_exposure_windows(obs: &mut Obs, weekly: &WeeklyScanReport, exposed: &mut BTreeSet<usize>) {
+    let provider = weekly.provider.name();
+    let week = weekly.week;
+    let verified: BTreeSet<usize> = weekly.verified.iter().copied().collect();
+    for rank in verified.difference(exposed) {
+        obs.event(
+            "exposure.open",
+            format!("{provider} week {week}: site rank {rank} origin exposed"),
+        );
+    }
+    for rank in exposed.difference(&verified) {
+        obs.event(
+            "exposure.close",
+            format!("{provider} week {week}: site rank {rank} no longer verified"),
+        );
+    }
+    *exposed = verified;
 }
 
 /// Maps an observed classification to an FSM state.
@@ -485,6 +696,81 @@ mod tests {
         assert_eq!(report.residual.incapsula.weekly.len(), 2);
         assert!(report.residual.fleet_size > 0);
         assert_eq!(report.behaviors.interval_hours.len(), 14);
+
+        // The observability snapshot carries the study's telemetry.
+        let obs = &report.obs;
+        assert_eq!(
+            obs.counter("sweep.count", &[("component", "engine.report")]),
+            report.engine.sweeps
+        );
+        let last = report.residual.cloudflare.weekly.last().unwrap();
+        assert_eq!(
+            obs.counter(
+                "filter.retrieved",
+                &[("provider", "Cloudflare"), ("week", "1")]
+            ),
+            last.retrieved as u64
+        );
+        assert!(
+            obs.counter(
+                "resolver.queries",
+                &[("component", "dns.resolver"), ("qtype", "A")]
+            ) > 0,
+            "per-shard resolver telemetry merged in"
+        );
+        let kinds: std::collections::BTreeSet<&str> = obs.events.iter().map(|e| e.kind).collect();
+        for kind in [
+            "study.start",
+            "sweep.start",
+            "sweep.finish",
+            "scan.start",
+            "cache.purge",
+            "filter.verdict",
+            "study.finish",
+        ] {
+            assert!(kinds.contains(kind), "journal records {kind}");
+        }
+        // 14 day spans timed on virtual hours (20-30h each).
+        let spans = obs
+            .histograms
+            .iter()
+            .find(|(k, _)| k.name == "span_seconds" && k.label("span") == Some("study.day"))
+            .map(|(_, h)| h)
+            .expect("day spans recorded");
+        assert_eq!(spans.count(), 14);
+        assert!(spans.sum() >= 14 * 20 * 3_600);
+    }
+
+    #[test]
+    fn builder_validates_and_names_the_offending_field() {
+        let config = StudyConfig::builder()
+            .weeks(3)
+            .seed(7)
+            .workers(4)
+            .uneven_intervals(false)
+            .collector_region(Region::Oregon)
+            .build()
+            .unwrap();
+        assert_eq!(config.weeks, 3);
+        assert_eq!(config.seed, 7);
+        assert_eq!(config.workers, 4);
+        assert!(!config.uneven_intervals);
+        assert_eq!(config.collector_region, Region::Oregon);
+
+        let err = StudyConfig::builder().weeks(0).build().unwrap_err();
+        assert_eq!(err.field, "weeks");
+        assert_eq!(err.value, "0");
+        assert!(err.to_string().contains("weeks"), "{err}");
+
+        let err = StudyConfig::builder().workers(0).build().unwrap_err();
+        assert_eq!(err.field, "workers");
+
+        // Struct-literal and Default paths stay open.
+        let literal = StudyConfig {
+            weeks: 2,
+            ..StudyConfig::default()
+        };
+        assert_eq!(literal.weeks, 2);
     }
 
     #[test]

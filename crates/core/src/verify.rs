@@ -12,6 +12,7 @@ use std::fmt;
 use std::net::Ipv4Addr;
 
 use remnant_http::{compare::compare_pages, HttpRequest, HttpTransport, MatchVerdict};
+use remnant_obs::{Instrumented, MetricKey};
 use remnant_sim::SimTime;
 
 /// The outcome of one verification attempt.
@@ -33,7 +34,25 @@ impl VerifyOutcome {
     pub const fn is_verified(self) -> bool {
         matches!(self, VerifyOutcome::Verified)
     }
+
+    /// Stable label for metric dimensions.
+    pub const fn label(self) -> &'static str {
+        match self {
+            VerifyOutcome::Verified => "verified",
+            VerifyOutcome::Mismatch(_) => "mismatch",
+            VerifyOutcome::ReferenceUnavailable => "reference_unavailable",
+            VerifyOutcome::CandidateUnavailable => "candidate_unavailable",
+        }
+    }
 }
+
+/// One counter slot per [`VerifyOutcome`] label, in label order.
+const OUTCOME_LABELS: [&str; 4] = [
+    "verified",
+    "mismatch",
+    "reference_unavailable",
+    "candidate_unavailable",
+];
 
 impl fmt::Display for VerifyOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -51,15 +70,25 @@ impl fmt::Display for VerifyOutcome {
 pub struct HtmlVerifier {
     src: Ipv4Addr,
     attempts: u64,
+    /// Outcome tallies, indexed like [`OUTCOME_LABELS`].
+    outcomes: [u64; OUTCOME_LABELS.len()],
 }
 
 impl HtmlVerifier {
     /// Creates a verifier fetching from source address `src`.
     pub fn new(src: Ipv4Addr) -> Self {
-        HtmlVerifier { src, attempts: 0 }
+        HtmlVerifier {
+            src,
+            attempts: 0,
+            outcomes: [0; OUTCOME_LABELS.len()],
+        }
     }
 
     /// Number of verification attempts performed.
+    #[deprecated(
+        since = "0.2.0",
+        note = "read the unified counter surface instead: `Instrumented::counters` (`verify.attempts`)"
+    )]
     pub fn attempts(&self) -> u64 {
         self.attempts
     }
@@ -81,7 +110,7 @@ impl HtmlVerifier {
             .and_then(|r| r.document)
         {
             Some(doc) => doc,
-            None => return VerifyOutcome::ReferenceUnavailable,
+            None => return self.finish(VerifyOutcome::ReferenceUnavailable),
         };
         let candidate_doc = match transport
             .get(now, candidate, &HttpRequest::landing(self.src, host))
@@ -89,12 +118,39 @@ impl HtmlVerifier {
             .and_then(|r| r.document)
         {
             Some(doc) => doc,
-            None => return VerifyOutcome::CandidateUnavailable,
+            None => return self.finish(VerifyOutcome::CandidateUnavailable),
         };
         match compare_pages(&reference_doc, &candidate_doc) {
-            MatchVerdict::Match => VerifyOutcome::Verified,
-            verdict => VerifyOutcome::Mismatch(verdict),
+            MatchVerdict::Match => self.finish(VerifyOutcome::Verified),
+            verdict => self.finish(VerifyOutcome::Mismatch(verdict)),
         }
+    }
+
+    /// Tallies `outcome` before returning it.
+    fn finish(&mut self, outcome: VerifyOutcome) -> VerifyOutcome {
+        let slot = OUTCOME_LABELS
+            .iter()
+            .position(|l| *l == outcome.label())
+            .expect("every outcome has a label slot");
+        self.outcomes[slot] += 1;
+        outcome
+    }
+}
+
+impl Instrumented for HtmlVerifier {
+    fn component(&self) -> &'static str {
+        "core.html_verifier"
+    }
+
+    fn counters(&self) -> Vec<(MetricKey, u64)> {
+        let mut counters = vec![(MetricKey::named("verify.attempts"), self.attempts)];
+        for (label, count) in OUTCOME_LABELS.iter().zip(self.outcomes) {
+            counters.push((
+                MetricKey::labeled("verify.outcomes", &[("outcome", label)]),
+                count,
+            ));
+        }
+        counters
     }
 }
 
@@ -140,7 +196,27 @@ mod tests {
         let mut verifier = HtmlVerifier::new(SCANNER_SOURCE);
         let outcome = verifier.verify(&mut w, now, site.www.as_str(), edge, site.origin);
         assert_eq!(outcome, VerifyOutcome::Verified);
-        assert_eq!(verifier.attempts(), 1);
+
+        let mut registry = remnant_obs::MetricsRegistry::new();
+        verifier.export_into(&mut registry);
+        let count = |labels: &[(&'static str, &str)]| {
+            registry.counter_key(
+                &MetricKey::labeled("verify.outcomes", labels)
+                    .with_label("component", "core.html_verifier"),
+            )
+        };
+        assert_eq!(
+            registry.counter_key(
+                &MetricKey::named("verify.attempts").with_label("component", "core.html_verifier")
+            ),
+            1
+        );
+        assert_eq!(count(&[("outcome", "verified")]), 1);
+        assert_eq!(count(&[("outcome", "mismatch")]), 0);
+        #[allow(deprecated)]
+        {
+            assert_eq!(verifier.attempts(), 1, "deprecated shim still agrees");
+        }
     }
 
     #[test]

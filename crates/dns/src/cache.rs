@@ -52,6 +52,7 @@ pub struct ResolverCache {
     entries: HashMap<(DomainName, RecordType), CacheEntry>,
     hits: u64,
     misses: u64,
+    expired: u64,
 }
 
 impl ResolverCache {
@@ -156,7 +157,8 @@ impl ResolverCache {
     }
 
     /// The unexpired entry (positive or negative) for `name`/`rtype`.
-    /// Expired entries are evicted on access. Does not update hit counters.
+    /// Expired entries are evicted on access (and counted as expired).
+    /// Does not update hit counters.
     pub fn get_entry(
         &mut self,
         now: SimTime,
@@ -167,6 +169,7 @@ impl ResolverCache {
         if let Some(entry) = self.entries.get(&key) {
             if entry.expires <= now {
                 self.entries.remove(&key);
+                self.expired += 1;
                 return None;
             }
         }
@@ -200,8 +203,32 @@ impl ResolverCache {
     }
 
     /// (hits, misses) since construction. Purging does not reset them.
+    /// An expired lookup counts as a miss; see
+    /// [`ResolverCache::expired_count`] for how many misses were
+    /// TTL-expired entries rather than cold ones.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Entries evicted on access because their TTL had lapsed. A subset
+    /// of the miss count in [`ResolverCache::stats`].
+    pub fn expired_count(&self) -> u64 {
+        self.expired
+    }
+}
+
+/// The cache's counters through the unified reading surface.
+impl remnant_obs::Instrumented for ResolverCache {
+    fn component(&self) -> &'static str {
+        "dns.resolver_cache"
+    }
+
+    fn counters(&self) -> Vec<(remnant_obs::MetricKey, u64)> {
+        vec![
+            (remnant_obs::MetricKey::named("cache.hits"), self.hits),
+            (remnant_obs::MetricKey::named("cache.misses"), self.misses),
+            (remnant_obs::MetricKey::named("cache.expired"), self.expired),
+        ]
     }
 }
 
@@ -312,6 +339,24 @@ mod tests {
         let _ = cache.get(SimTime::EPOCH, &name("x.com"), RecordType::A);
         let _ = cache.get(SimTime::EPOCH, &name("nope.com"), RecordType::A);
         assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.expired_count(), 0);
+    }
+
+    #[test]
+    fn expired_lookups_count_as_expired_misses() {
+        use remnant_obs::Instrumented;
+
+        let mut cache = ResolverCache::new();
+        cache.insert(SimTime::EPOCH, vec![a("x.com", 100, [1, 1, 1, 1])]);
+        let _ = cache.get(SimTime::from_secs(200), &name("x.com"), RecordType::A);
+        assert_eq!(cache.stats(), (0, 1), "expired lookup is a miss");
+        assert_eq!(cache.expired_count(), 1);
+        let mut registry = remnant_obs::MetricsRegistry::new();
+        cache.export_into(&mut registry);
+        assert_eq!(
+            registry.counter_labeled("cache.expired", &[("component", "dns.resolver_cache")]),
+            1
+        );
     }
 
     #[test]

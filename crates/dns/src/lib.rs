@@ -76,7 +76,8 @@ pub use message::{Query, Rcode, Response};
 pub use name::DomainName;
 pub use record::{empty_record_set, RecordData, RecordSet, RecordType, ResourceRecord, Ttl};
 pub use registry::Registry;
-pub use resolver::{RecursiveResolver, Resolution};
+pub use remnant_obs::Instrumented;
+pub use resolver::{RecursiveResolver, Resolution, ResolverStats};
 pub use transport::{
     CountingTransport, DnsTransport, QueryStats, ShardableTransport, StaticTransport,
 };

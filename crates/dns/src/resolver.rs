@@ -19,6 +19,7 @@
 use std::net::Ipv4Addr;
 
 use remnant_net::Region;
+use remnant_obs::{Instrumented, MetricKey};
 use remnant_sim::SimClock;
 
 use crate::cache::ResolverCache;
@@ -32,6 +33,65 @@ use crate::transport::DnsTransport;
 const MAX_CNAME_DEPTH: usize = 8;
 /// Maximum referral depth per query.
 const MAX_REFERRALS: usize = 8;
+
+/// Static label for a query type, for metric label sets.
+fn qtype_label(rtype: RecordType) -> &'static str {
+    match rtype {
+        RecordType::A => "A",
+        RecordType::Cname => "CNAME",
+        RecordType::Ns => "NS",
+        RecordType::Mx => "MX",
+        RecordType::Txt => "TXT",
+        RecordType::Soa => "SOA",
+    }
+}
+
+/// Position of `rtype` in [`RecordType::ALL`].
+fn qtype_index(rtype: RecordType) -> usize {
+    RecordType::ALL
+        .iter()
+        .position(|&t| t == rtype)
+        .expect("RecordType::ALL is exhaustive")
+}
+
+/// Plain counters the resolver accumulates on its hot path.
+///
+/// Cheap fixed-size fields — no map lookups per query. The registry view
+/// of these numbers is produced on demand through the resolver's
+/// [`Instrumented`] impl.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResolverStats {
+    /// `resolve()` calls per query type, indexed like [`RecordType::ALL`].
+    queries: [u64; RecordType::ALL.len()],
+    /// Authoritative iterations finishing after N referral hops
+    /// (`delegation_depth[0]` = answered by the first server set).
+    delegation_depth: [u64; MAX_REFERRALS + 1],
+    /// Dead-delegation retries that restarted iteration from the root.
+    fallback_retries: u64,
+}
+
+impl ResolverStats {
+    /// `resolve()` calls for one query type.
+    pub fn queries_for(&self, rtype: RecordType) -> u64 {
+        self.queries[qtype_index(rtype)]
+    }
+
+    /// Total `resolve()` calls across all query types.
+    pub fn total_queries(&self) -> u64 {
+        self.queries.iter().sum()
+    }
+
+    /// Dead-delegation retries that restarted from the root.
+    pub fn fallback_retries(&self) -> u64 {
+        self.fallback_retries
+    }
+
+    /// (depth, count) pairs for completed authoritative iterations, in
+    /// depth order, zero counts included.
+    pub fn delegation_depths(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.delegation_depth.iter().copied().enumerate()
+    }
+}
 
 /// The outcome of a successful resolution exchange.
 ///
@@ -93,6 +153,7 @@ pub struct RecursiveResolver {
     clock: SimClock,
     region: Region,
     cache: ResolverCache,
+    stats: ResolverStats,
 }
 
 impl RecursiveResolver {
@@ -102,6 +163,7 @@ impl RecursiveResolver {
             clock,
             region,
             cache: ResolverCache::new(),
+            stats: ResolverStats::default(),
         }
     }
 
@@ -113,6 +175,13 @@ impl RecursiveResolver {
     /// Shared access to the cache (e.g. for stats).
     pub fn cache(&self) -> &ResolverCache {
         &self.cache
+    }
+
+    /// The resolver's own counters (per-qtype queries, delegation depth,
+    /// fallback retries). Cache hit/miss/expired counters live on
+    /// [`RecursiveResolver::cache`].
+    pub fn stats(&self) -> &ResolverStats {
+        &self.stats
     }
 
     /// Purges the cache — run before each daily collection (Sec IV-B.1).
@@ -135,6 +204,7 @@ impl RecursiveResolver {
         name: &DomainName,
         rtype: RecordType,
     ) -> Result<Resolution, DnsError> {
+        self.stats.queries[qtype_index(rtype)] += 1;
         let mut chain: Vec<ResourceRecord> = Vec::new();
         let mut current = name.clone();
         let mut seen = vec![current.clone()];
@@ -304,6 +374,7 @@ impl RecursiveResolver {
             Err(_) => {
                 // All cached nameservers are dead — drop the stale NS cache
                 // for this name's suffixes and retry once from the root.
+                self.stats.fallback_retries += 1;
                 let now = self.clock.now();
                 for suffix in qname.suffixes() {
                     if self.cache.get(now, &suffix, RecordType::Ns).is_some() {
@@ -366,7 +437,7 @@ impl RecursiveResolver {
         rtype: RecordType,
     ) -> Result<Response, DnsError> {
         let query = Query::new(qname.clone(), rtype);
-        for _ in 0..=MAX_REFERRALS {
+        for depth in 0..=MAX_REFERRALS {
             let mut answered = None;
             for server in &servers {
                 let now = self.clock.now();
@@ -399,11 +470,58 @@ impl RecursiveResolver {
                 servers = next;
                 continue;
             }
+            self.stats.delegation_depth[depth] += 1;
             return Ok(response);
         }
         Err(DnsError::NoNameservers {
             name: qname.to_string(),
         })
+    }
+}
+
+/// The resolver's counters — per-qtype query mix, delegation depth,
+/// fallback retries, and its cache's hit/miss/expired tallies — through
+/// the unified reading surface.
+impl Instrumented for RecursiveResolver {
+    fn component(&self) -> &'static str {
+        "dns.resolver"
+    }
+
+    fn counters(&self) -> Vec<(MetricKey, u64)> {
+        let mut out = Vec::new();
+        for &rtype in &RecordType::ALL {
+            out.push((
+                MetricKey::labeled("resolver.queries", &[("qtype", qtype_label(rtype))]),
+                self.stats.queries_for(rtype),
+            ));
+        }
+        out.push((
+            MetricKey::named("resolver.fallback_retries"),
+            self.stats.fallback_retries,
+        ));
+        // Depth buckets are emitted sparsely: zero counts carry no
+        // information and their presence is still deterministic (the
+        // nonzero set is a pure function of the shard's work).
+        let mut depth_label = String::new();
+        for (depth, count) in self.stats.delegation_depths() {
+            if count == 0 {
+                continue;
+            }
+            depth_label.clear();
+            let _ = std::fmt::Write::write_fmt(&mut depth_label, format_args!("{depth}"));
+            out.push((
+                MetricKey::labeled("resolver.delegation_depth", &[("depth", &depth_label)]),
+                count,
+            ));
+        }
+        let (hits, misses) = self.cache.stats();
+        out.push((MetricKey::named("cache.hits"), hits));
+        out.push((MetricKey::named("cache.misses"), misses));
+        out.push((
+            MetricKey::named("cache.expired"),
+            self.cache.expired_count(),
+        ));
+        out
     }
 }
 
@@ -463,13 +581,13 @@ mod tests {
         let _ = r
             .resolve(&mut t, &name("www.example.com"), RecordType::A)
             .unwrap();
-        let sent_before = t.queries_sent();
+        let sent_before = t.query_stats().sent;
         let res = r
             .resolve(&mut t, &name("www.example.com"), RecordType::A)
             .unwrap();
         assert_eq!(res.addresses(), vec![WWW_IP]);
         assert_eq!(
-            t.queries_sent(),
+            t.query_stats().sent,
             sent_before,
             "no network traffic on cache hit"
         );
@@ -482,11 +600,11 @@ mod tests {
             .resolve(&mut t, &name("www.example.com"), RecordType::A)
             .unwrap();
         r.purge_cache();
-        let sent_before = t.queries_sent();
+        let sent_before = t.query_stats().sent;
         let _ = r
             .resolve(&mut t, &name("www.example.com"), RecordType::A)
             .unwrap();
-        assert!(t.queries_sent() > sent_before);
+        assert!(t.query_stats().sent > sent_before);
     }
 
     #[test]
@@ -496,13 +614,13 @@ mod tests {
             .resolve(&mut t, &name("www.example.com"), RecordType::A)
             .unwrap();
         clock.advance(SimDuration::secs(301)); // A expired, NS (1d) still live
-        let sent_before = t.queries_sent();
+        let sent_before = t.query_stats().sent;
         let res = r
             .resolve(&mut t, &name("www.example.com"), RecordType::A)
             .unwrap();
         assert_eq!(res.addresses(), vec![WWW_IP]);
         // Exactly one query: straight to the cached delegation, no root trip.
-        assert_eq!(t.queries_sent() - sent_before, 1);
+        assert_eq!(t.query_stats().sent - sent_before, 1);
     }
 
     #[test]
@@ -680,6 +798,74 @@ mod tests {
             .resolve(&mut t, &name("example.com"), RecordType::Ns)
             .unwrap();
         assert_eq!(res.ns_hosts(), vec![name("ns1.host.net")]);
+    }
+
+    #[test]
+    fn resolver_counters_track_qtype_depth_and_cache() {
+        let (mut t, mut r, clock) = world();
+        let _ = r
+            .resolve(&mut t, &name("www.example.com"), RecordType::A)
+            .unwrap();
+        let _ = r
+            .resolve(&mut t, &name("example.com"), RecordType::Ns)
+            .unwrap();
+        // Expire the A answer so the next resolve records an expired miss.
+        clock.advance(SimDuration::secs(301));
+        let _ = r
+            .resolve(&mut t, &name("www.example.com"), RecordType::A)
+            .unwrap();
+
+        assert_eq!(r.stats().queries_for(RecordType::A), 2);
+        assert_eq!(r.stats().queries_for(RecordType::Ns), 1);
+        assert_eq!(r.stats().total_queries(), 3);
+        assert_eq!(r.stats().fallback_retries(), 0);
+        // First resolve: root referral then answer (depth 1). Later
+        // resolves run from the cached delegation (depth 0).
+        let depths: Vec<(usize, u64)> = r
+            .stats()
+            .delegation_depths()
+            .filter(|&(_, count)| count > 0)
+            .collect();
+        assert!(depths.contains(&(1, 1)), "first resolve took one referral");
+        assert!(r.cache().expired_count() >= 1, "TTL lapse counted");
+
+        let mut registry = remnant_obs::MetricsRegistry::new();
+        r.export_into(&mut registry);
+        let component = [("component", "dns.resolver")];
+        assert_eq!(
+            registry.counter_labeled("cache.expired", &component),
+            r.cache().expired_count()
+        );
+        assert_eq!(
+            registry.counter_key(
+                &MetricKey::labeled("resolver.queries", &[("qtype", "A")])
+                    .with_label("component", "dns.resolver")
+            ),
+            2
+        );
+    }
+
+    #[test]
+    fn fallback_retry_is_counted() {
+        let (mut t, mut r, clock) = world();
+        let _ = r
+            .resolve(&mut t, &name("www.example.com"), RecordType::A)
+            .unwrap();
+        t.set_unreachable(NS_IP);
+        t.registry_mut()
+            .delegate(name("example.com"), vec![(name("ns.newdps.net"), NS2_IP)]);
+        let mut new_zone = Zone::new(name("example.com"));
+        new_zone.add(ResourceRecord::new(
+            name("www.example.com"),
+            Ttl::secs(300),
+            RecordData::A(Ipv4Addr::new(99, 99, 99, 99)),
+        ));
+        t.add_server(NS2_IP, ZoneServer::new(vec![new_zone]));
+        clock.advance(SimDuration::secs(301));
+        let _ = r
+            .resolve(&mut t, &name("www.example.com"), RecordType::A)
+            .unwrap();
+        assert_eq!(r.stats().fallback_retries(), 1);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
 use remnant_net::Region;
+use remnant_obs::{transport_counters, Instrumented, MetricKey};
 use remnant_sim::SimTime;
 
 use crate::authority::Authoritative;
@@ -38,6 +39,19 @@ impl QueryStats {
     /// Queries that were dropped or silently ignored.
     pub fn ignored(&self) -> u64 {
         self.sent.saturating_sub(self.answered)
+    }
+}
+
+/// A [`QueryStats`] value is itself readable through the unified
+/// [`Instrumented`] surface, exporting the canonical
+/// `transport.sent`/`transport.answered`/`transport.ignored` triple.
+impl Instrumented for QueryStats {
+    fn component(&self) -> &'static str {
+        "dns.transport"
+    }
+
+    fn counters(&self) -> Vec<(MetricKey, u64)> {
+        transport_counters(self.sent, self.answered)
     }
 }
 
@@ -139,8 +153,23 @@ impl<'a, T: ShardableTransport + ?Sized> CountingTransport<'a, T> {
     }
 
     /// Queries delivered through this wrapper.
+    #[deprecated(
+        since = "0.2.0",
+        note = "read the unified counter surface instead: `query_stats().sent` \
+                or `Instrumented::counters`"
+    )]
     pub fn sent(&self) -> u64 {
         self.sent
+    }
+}
+
+impl<T: ShardableTransport + ?Sized> Instrumented for CountingTransport<'_, T> {
+    fn component(&self) -> &'static str {
+        "dns.counting_transport"
+    }
+
+    fn counters(&self) -> Vec<(MetricKey, u64)> {
+        transport_counters(self.sent, self.answered)
     }
 }
 
@@ -223,8 +252,23 @@ impl StaticTransport {
     }
 
     /// Total queries that reached some server (including the registry).
+    #[deprecated(
+        since = "0.2.0",
+        note = "read the unified counter surface instead: `query_stats().sent` \
+                or `Instrumented::counters`"
+    )]
     pub fn queries_sent(&self) -> u64 {
         self.queries_sent
+    }
+}
+
+impl Instrumented for StaticTransport {
+    fn component(&self) -> &'static str {
+        "dns.static_transport"
+    }
+
+    fn counters(&self) -> Vec<(MetricKey, u64)> {
+        transport_counters(self.queries_sent, self.queries_answered)
     }
 }
 
@@ -377,7 +421,7 @@ mod tests {
             &q,
         );
         let _ = t.query(SimTime::EPOCH, ROOT_SERVER, Region::Oregon, &q);
-        assert_eq!(t.queries_sent(), 1);
+        assert_eq!(t.query_stats().sent, 1);
         assert_eq!(
             t.query_stats(),
             QueryStats {
@@ -436,6 +480,45 @@ mod tests {
             }
         );
         assert_eq!(a.query_stats().ignored(), 1);
-        assert_eq!(b.sent(), 1);
+        assert_eq!(b.query_stats().sent, 1);
+    }
+
+    #[test]
+    fn transports_export_unified_counters() {
+        let shared = EchoTransport;
+        let q = Query::new(name("www.example.com"), RecordType::A);
+        let mut counting = CountingTransport::new(&shared);
+        let _ = counting.query(SimTime::EPOCH, ROOT_SERVER, Region::Oregon, &q);
+        let _ = counting.query(
+            SimTime::EPOCH,
+            Ipv4Addr::new(9, 9, 9, 9),
+            Region::Oregon,
+            &q,
+        );
+        let mut registry = remnant_obs::MetricsRegistry::new();
+        counting.export_into(&mut registry);
+        let label = [("component", "dns.counting_transport")];
+        assert_eq!(registry.counter_labeled("transport.sent", &label), 2);
+        assert_eq!(registry.counter_labeled("transport.answered", &label), 1);
+        assert_eq!(registry.counter_labeled("transport.ignored", &label), 1);
+        // The plain stats value exports the same triple.
+        assert_eq!(
+            counting.counters(),
+            counting.query_stats().counters(),
+            "QueryStats and its transport agree"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_accessors_still_agree_with_query_stats() {
+        let mut t = transport();
+        let q = Query::new(name("www.example.com"), RecordType::A);
+        let _ = t.query(SimTime::EPOCH, ROOT_SERVER, Region::Oregon, &q);
+        assert_eq!(t.queries_sent(), t.query_stats().sent);
+        let shared = EchoTransport;
+        let mut counting = CountingTransport::new(&shared);
+        let _ = counting.query(SimTime::EPOCH, ROOT_SERVER, Region::Oregon, &q);
+        assert_eq!(counting.sent(), counting.query_stats().sent);
     }
 }

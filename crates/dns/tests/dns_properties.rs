@@ -5,8 +5,8 @@ use proptest::prelude::*;
 
 use remnant_dns::transport::ROOT_SERVER;
 use remnant_dns::{
-    DomainName, Query, Rcode, RecordData, RecordType, RecursiveResolver, Registry, ResourceRecord,
-    StaticTransport, Ttl, Zone, ZoneAnswer, ZoneServer,
+    DnsTransport, DomainName, Query, Rcode, RecordData, RecordType, RecursiveResolver, Registry,
+    ResourceRecord, StaticTransport, Ttl, Zone, ZoneAnswer, ZoneServer,
 };
 use remnant_net::Region;
 use remnant_sim::{SimClock, SimDuration, SimTime};
@@ -162,8 +162,8 @@ proptest! {
         // Two resolutions both succeed; the second must hit the network
         // again (TTL 0 is uncacheable), which we observe via query counts.
         let _ = resolver.resolve(&mut transport, &www, RecordType::A).unwrap();
-        let before = transport.queries_sent();
+        let before = transport.query_stats().sent;
         let _ = resolver.resolve(&mut transport, &www, RecordType::A).unwrap();
-        prop_assert!(transport.queries_sent() > before);
+        prop_assert!(transport.query_stats().sent > before);
     }
 }

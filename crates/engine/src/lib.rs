@@ -48,6 +48,7 @@ pub mod sweep;
 
 pub use config::{EngineConfig, RateLimit, RetryPolicy};
 pub use limiter::TokenBucket;
+pub use remnant_obs::{Instrumented, MetricsRegistry};
 pub use shard::plan_shards;
 pub use stats::{ShardStats, ShardTiming, SweepStats};
 pub use sweep::{ScanEngine, ShardScope, Sweep, TaskResult};

@@ -7,6 +7,8 @@
 
 use std::time::Duration;
 
+use remnant_obs::{Instrumented, MetricKey, MetricsRegistry, TRANSPORT_SENT};
+
 /// Counters for one shard of a sweep.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ShardStats {
@@ -29,6 +31,10 @@ pub struct ShardStats {
     /// Resolver-cache misses reported via
     /// [`ShardScope::add_cache_stats`](crate::ShardScope::add_cache_stats).
     pub cache_misses: u64,
+    /// Task-recorded metrics for this shard, written through
+    /// [`ShardScope::metrics`](crate::ShardScope::metrics). Deterministic:
+    /// a pure function of the shard's items and RNG stream.
+    pub metrics: MetricsRegistry,
 }
 
 /// Wall-clock timing of one shard (nondeterministic; reporting only).
@@ -97,6 +103,40 @@ impl SweepStats {
             .max()
             .unwrap_or_default()
     }
+
+    /// All per-shard metric registries folded together, in shard order.
+    ///
+    /// Because counter and histogram merges commute and gauge merges take
+    /// the maximum, the result is identical for every worker count — the
+    /// same contract the scalar counters above obey.
+    pub fn merged_metrics(&self) -> MetricsRegistry {
+        let mut merged = MetricsRegistry::new();
+        for shard in &self.shards {
+            merged.merge_from(&shard.metrics);
+        }
+        merged
+    }
+}
+
+impl Instrumented for SweepStats {
+    fn component(&self) -> &'static str {
+        "engine.sweep"
+    }
+
+    /// The sweep's deterministic counters under the unified naming:
+    /// task-reported DNS queries surface as `transport.sent`, resolver
+    /// cache traffic as `cache.hits`/`cache.misses`.
+    fn counters(&self) -> Vec<(MetricKey, u64)> {
+        vec![
+            (MetricKey::named("sweep.items"), self.items()),
+            (MetricKey::named("sweep.attempts"), self.attempts()),
+            (MetricKey::named("sweep.retries"), self.retries()),
+            (MetricKey::named("sweep.exhausted"), self.exhausted()),
+            (MetricKey::named(TRANSPORT_SENT), self.queries()),
+            (MetricKey::named("cache.hits"), self.cache_hits()),
+            (MetricKey::named("cache.misses"), self.cache_misses()),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +157,7 @@ mod tests {
                     queries: 40,
                     cache_hits: 30,
                     cache_misses: 10,
+                    ..ShardStats::default()
                 },
                 ShardStats {
                     shard: 1,
@@ -127,6 +168,7 @@ mod tests {
                     queries: 15,
                     cache_hits: 12,
                     cache_misses: 3,
+                    ..ShardStats::default()
                 },
             ],
             timings: vec![
@@ -156,5 +198,49 @@ mod tests {
         let stats = SweepStats::default();
         assert_eq!(stats.items(), 0);
         assert_eq!(stats.max_shard_wall(), Duration::ZERO);
+        assert!(stats.merged_metrics().is_empty());
+    }
+
+    #[test]
+    fn merged_metrics_fold_shards_in_order() {
+        let shard = |idx: usize, sent: u64| {
+            let mut metrics = MetricsRegistry::new();
+            metrics.add(TRANSPORT_SENT, sent);
+            ShardStats {
+                shard: idx,
+                metrics,
+                ..ShardStats::default()
+            }
+        };
+        let stats = SweepStats {
+            workers: 2,
+            shards: vec![shard(0, 3), shard(1, 4)],
+            ..SweepStats::default()
+        };
+        assert_eq!(stats.merged_metrics().counter(TRANSPORT_SENT), 7);
+    }
+
+    #[test]
+    fn sweep_stats_export_unified_counters() {
+        let stats = SweepStats {
+            workers: 1,
+            shards: vec![ShardStats {
+                items: 4,
+                attempts: 5,
+                retries: 1,
+                queries: 9,
+                cache_hits: 6,
+                cache_misses: 3,
+                ..ShardStats::default()
+            }],
+            ..SweepStats::default()
+        };
+        let mut registry = MetricsRegistry::new();
+        stats.export_into(&mut registry);
+        let by = |name| registry.counter_labeled(name, &[("component", "engine.sweep")]);
+        assert_eq!(by("sweep.items"), 4);
+        assert_eq!(by(TRANSPORT_SENT), 9);
+        assert_eq!(by("cache.hits"), 6);
+        assert_eq!(by("cache.misses"), 3);
     }
 }

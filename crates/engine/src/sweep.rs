@@ -5,6 +5,7 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use remnant_obs::MetricsRegistry;
 use remnant_sim::SeedSeq;
 
 use crate::config::EngineConfig;
@@ -35,6 +36,7 @@ pub struct ShardScope {
     queries: u64,
     cache_hits: u64,
     cache_misses: u64,
+    metrics: MetricsRegistry,
 }
 
 impl ShardScope {
@@ -59,6 +61,15 @@ impl ShardScope {
     pub fn add_cache_stats(&mut self, hits: u64, misses: u64) {
         self.cache_hits += hits;
         self.cache_misses += misses;
+    }
+
+    /// The shard's metrics sink. Whatever a task (or the per-shard finish
+    /// hook of [`ScanEngine::sweep_with_finish`]) records here lands in
+    /// the shard's [`ShardStats::metrics`] and merges deterministically
+    /// into the sweep's aggregate — shard identity, never thread
+    /// identity, decides where a metric is accumulated.
+    pub fn metrics(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
     }
 }
 
@@ -130,6 +141,34 @@ impl ScanEngine {
         MW: Fn(usize) -> W + Sync,
         T: Fn(&C, &mut W, &mut ShardScope, usize, &I) -> TaskResult<O> + Sync,
     {
+        self.sweep_with_finish(ctx, items, make_worker, task, |_, _| {})
+    }
+
+    /// [`ScanEngine::sweep`] plus a per-shard finish hook.
+    ///
+    /// `finish` runs once per shard after its last item, consuming the
+    /// shard's worker with the shard scope still writable. This is where
+    /// a worker's accumulated telemetry (e.g. a resolver's counters) is
+    /// exported into [`ShardScope::metrics`] — once per shard instead of
+    /// once per item, so instrumentation stays off the per-item hot path
+    /// while remaining deterministic (the hook depends only on shard
+    /// state).
+    pub fn sweep_with_finish<C, I, O, W, MW, T, F>(
+        &self,
+        ctx: &C,
+        items: &[I],
+        make_worker: MW,
+        task: T,
+        finish: F,
+    ) -> Sweep<O>
+    where
+        C: Sync + ?Sized,
+        I: Sync,
+        O: Send,
+        MW: Fn(usize) -> W + Sync,
+        T: Fn(&C, &mut W, &mut ShardScope, usize, &I) -> TaskResult<O> + Sync,
+        F: Fn(W, &mut ShardScope) + Sync,
+    {
         let shards = plan_shards(items.len(), self.config.shard_size);
         let workers = self.config.workers.max(1).min(shards.len().max(1));
         let limiter = self.config.rate.map(TokenBucket::new);
@@ -147,6 +186,7 @@ impl ScanEngine {
                 queries: 0,
                 cache_hits: 0,
                 cache_misses: 0,
+                metrics: MetricsRegistry::new(),
             };
             let mut worker = make_worker(shard_idx);
             let mut outputs = Vec::with_capacity(range.len());
@@ -179,9 +219,11 @@ impl ScanEngine {
                     }
                 }
             }
+            finish(worker, &mut scope);
             stats.queries = scope.queries;
             stats.cache_hits = scope.cache_hits;
             stats.cache_misses = scope.cache_misses;
+            stats.metrics = scope.metrics;
             let timing = ShardTiming {
                 shard: shard_idx,
                 wall: shard_started.elapsed(),
@@ -356,6 +398,36 @@ mod tests {
         assert_eq!(a, b);
         // The two shards' streams differ.
         assert_ne!(a[0..3], a[3..6]);
+    }
+
+    #[test]
+    fn finish_hook_exports_worker_state_per_shard() {
+        let items: Vec<u64> = (0..100).collect();
+        let run = |workers: usize| {
+            engine(workers, 16).sweep_with_finish(
+                &(),
+                &items,
+                |_| 0u64, // worker: per-shard accumulated "queries"
+                |_, acc, _, _, item| {
+                    *acc += item % 3;
+                    TaskResult::Done(())
+                },
+                |acc, scope| {
+                    scope.metrics().add("transport.sent", acc);
+                    scope.metrics().observe_with("shard.load", &[10, 100], acc);
+                },
+            )
+        };
+        let one = run(1);
+        let eight = run(8);
+        assert_eq!(one.stats.shards, eight.stats.shards);
+        let total: u64 = items.iter().map(|i| i % 3).sum();
+        assert_eq!(one.stats.merged_metrics().counter("transport.sent"), total);
+        assert_eq!(
+            one.stats.merged_metrics(),
+            eight.stats.merged_metrics(),
+            "merged metrics are worker-count invariant"
+        );
     }
 
     #[test]

@@ -42,4 +42,8 @@ pub use edge::ReverseProxy;
 pub use error::HttpError;
 pub use origin::{FirewallPolicy, OriginServer};
 pub use page::{HtmlDocument, PageTemplate};
-pub use transport::{HttpRequest, HttpResponse, HttpStatus, HttpTransport};
+pub use remnant_obs::Instrumented;
+pub use transport::{
+    CountingHttpTransport, FetchStats, HttpRequest, HttpResponse, HttpStatus, HttpTransport,
+    StatusClass,
+};

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::net::Ipv4Addr;
 
+use remnant_obs::{transport_counters, Instrumented, MetricKey};
 use remnant_sim::SimTime;
 
 use crate::page::HtmlDocument;
@@ -30,6 +31,53 @@ impl HttpStatus {
             HttpStatus::NotFound => 404,
             HttpStatus::BadGateway => 502,
         }
+    }
+
+    /// The coarse class of this status.
+    ///
+    /// `HttpStatus` is `#[non_exhaustive]`, so downstream crates cannot
+    /// match it exhaustively. Classify through this method instead of a
+    /// variant match: it buckets by numeric range, so a variant added
+    /// later lands in a class instead of silently falling into whatever
+    /// `_` arm a caller happened to write.
+    pub const fn class(self) -> StatusClass {
+        match self.code() {
+            200..=299 => StatusClass::Success,
+            400..=499 => StatusClass::ClientError,
+            _ => StatusClass::ServerError,
+        }
+    }
+}
+
+/// Coarse response classification for counters and downstream matches.
+///
+/// Unlike [`HttpStatus`] this enum is exhaustive by design: every code —
+/// including ones added to `HttpStatus` later — maps to exactly one class
+/// via [`HttpStatus::class`], so matching on it needs no wildcard arm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StatusClass {
+    /// 2xx.
+    Success,
+    /// 4xx.
+    ClientError,
+    /// 5xx, and conservatively any code outside the modeled ranges.
+    ServerError,
+}
+
+impl StatusClass {
+    /// Stable label for metric dimensions.
+    pub const fn label(self) -> &'static str {
+        match self {
+            StatusClass::Success => "success",
+            StatusClass::ClientError => "client_error",
+            StatusClass::ServerError => "server_error",
+        }
+    }
+}
+
+impl fmt::Display for StatusClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -116,6 +164,110 @@ pub trait HttpTransport {
     fn get(&mut self, now: SimTime, dst: Ipv4Addr, request: &HttpRequest) -> Option<HttpResponse>;
 }
 
+/// Fetch counters on the unified `transport.*` surface.
+///
+/// `ignored` (sent minus answered) counts connections that never
+/// completed — dropped SYNs and firewall DROPs, the `None` returns of
+/// [`HttpTransport::get`]. Answered fetches are further broken down by
+/// [`StatusClass`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FetchStats {
+    /// GETs issued.
+    pub sent: u64,
+    /// GETs that produced any response, success or error.
+    pub answered: u64,
+    /// Responses with a 2xx status.
+    pub success: u64,
+    /// Responses with a 4xx status.
+    pub client_error: u64,
+    /// Responses with a 5xx (or unclassified) status.
+    pub server_error: u64,
+}
+
+impl FetchStats {
+    /// Fetches that never completed (`sent - answered`).
+    pub const fn ignored(&self) -> u64 {
+        self.sent.saturating_sub(self.answered)
+    }
+
+    /// Tallies one [`HttpTransport::get`] outcome.
+    pub fn record(&mut self, response: Option<&HttpResponse>) {
+        self.sent += 1;
+        let Some(response) = response else { return };
+        self.answered += 1;
+        match response.status.class() {
+            StatusClass::Success => self.success += 1,
+            StatusClass::ClientError => self.client_error += 1,
+            StatusClass::ServerError => self.server_error += 1,
+        }
+    }
+}
+
+impl Instrumented for FetchStats {
+    fn component(&self) -> &'static str {
+        "http.transport"
+    }
+
+    fn counters(&self) -> Vec<(MetricKey, u64)> {
+        let mut counters = transport_counters(self.sent, self.answered);
+        for (class, count) in [
+            (StatusClass::Success, self.success),
+            (StatusClass::ClientError, self.client_error),
+            (StatusClass::ServerError, self.server_error),
+        ] {
+            counters.push((
+                MetricKey::labeled("http.responses", &[("class", class.label())]),
+                count,
+            ));
+        }
+        counters
+    }
+}
+
+/// Wraps an [`HttpTransport`] and tallies every fetch into [`FetchStats`].
+///
+/// The HTTP twin of the DNS layer's `CountingTransport`: scanners that
+/// need per-run fetch telemetry wrap their transport in this instead of
+/// keeping private tallies.
+#[derive(Debug)]
+pub struct CountingHttpTransport<'a, T> {
+    inner: &'a mut T,
+    stats: FetchStats,
+}
+
+impl<'a, T: HttpTransport> CountingHttpTransport<'a, T> {
+    /// Wraps `inner`, starting all counters at zero.
+    pub fn new(inner: &'a mut T) -> Self {
+        CountingHttpTransport {
+            inner,
+            stats: FetchStats::default(),
+        }
+    }
+
+    /// The counters accumulated so far.
+    pub fn fetch_stats(&self) -> FetchStats {
+        self.stats
+    }
+}
+
+impl<T: HttpTransport> HttpTransport for CountingHttpTransport<'_, T> {
+    fn get(&mut self, now: SimTime, dst: Ipv4Addr, request: &HttpRequest) -> Option<HttpResponse> {
+        let response = self.inner.get(now, dst, request);
+        self.stats.record(response.as_ref());
+        response
+    }
+}
+
+impl<T: HttpTransport> Instrumented for CountingHttpTransport<'_, T> {
+    fn component(&self) -> &'static str {
+        "http.counting_transport"
+    }
+
+    fn counters(&self) -> Vec<(MetricKey, u64)> {
+        self.stats.counters()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,5 +302,78 @@ mod tests {
         let resp = HttpResponse::status(HttpStatus::NotFound, Ipv4Addr::new(5, 5, 5, 5));
         assert!(!resp.is_ok());
         assert!(resp.document.is_none());
+    }
+
+    #[test]
+    fn every_status_classifies_without_a_variant_match() {
+        // The non_exhaustive audit: downstream code must never match
+        // HttpStatus variants directly. class() buckets by code range, so
+        // every current variant — and any added later — lands in a class.
+        for status in [
+            HttpStatus::Ok,
+            HttpStatus::Forbidden,
+            HttpStatus::NotFound,
+            HttpStatus::BadGateway,
+        ] {
+            let class = status.class();
+            match status.code() {
+                200..=299 => assert_eq!(class, StatusClass::Success),
+                400..=499 => assert_eq!(class, StatusClass::ClientError),
+                _ => assert_eq!(class, StatusClass::ServerError),
+            }
+        }
+        assert_eq!(StatusClass::Success.label(), "success");
+        assert_eq!(StatusClass::ServerError.to_string(), "server_error");
+    }
+
+    /// A transport answering from a fixed script of responses.
+    struct Scripted(Vec<Option<HttpResponse>>);
+
+    impl HttpTransport for Scripted {
+        fn get(&mut self, _: SimTime, _: Ipv4Addr, _: &HttpRequest) -> Option<HttpResponse> {
+            self.0.remove(0)
+        }
+    }
+
+    #[test]
+    fn counting_transport_tallies_classes_and_drops() {
+        let served_by = Ipv4Addr::new(5, 5, 5, 5);
+        let doc = PageTemplate::generate("example.com", 1).render(0);
+        let mut inner = Scripted(vec![
+            Some(HttpResponse::ok(doc, served_by)),
+            Some(HttpResponse::status(HttpStatus::Forbidden, served_by)),
+            Some(HttpResponse::status(HttpStatus::BadGateway, served_by)),
+            None,
+        ]);
+        let mut transport = CountingHttpTransport::new(&mut inner);
+        let req = HttpRequest::landing(Ipv4Addr::new(1, 2, 3, 4), "www.example.com");
+        for _ in 0..4 {
+            let _ = transport.get(SimTime::EPOCH, served_by, &req);
+        }
+        let stats = transport.fetch_stats();
+        assert_eq!(stats.sent, 4);
+        assert_eq!(stats.answered, 3);
+        assert_eq!(stats.ignored(), 1);
+        assert_eq!(
+            (stats.success, stats.client_error, stats.server_error),
+            (1, 1, 1)
+        );
+
+        let mut registry = remnant_obs::MetricsRegistry::new();
+        stats.export_into(&mut registry);
+        assert_eq!(
+            registry.counter_key(&MetricKey::labeled(
+                remnant_obs::TRANSPORT_IGNORED,
+                &[("component", "http.transport")],
+            )),
+            1
+        );
+        assert_eq!(
+            registry.counter_key(&MetricKey::labeled(
+                "http.responses",
+                &[("class", "client_error"), ("component", "http.transport")],
+            )),
+            1
+        );
     }
 }

@@ -1,0 +1,141 @@
+//! A bounded, structured event journal for pipeline milestones.
+//!
+//! The journal is a ring buffer: once full, the oldest event is dropped
+//! (and counted) to admit the newest. Events are stamped with virtual
+//! [`SimTime`], never wall time, so the journal of a study run is
+//! identical for any worker count.
+
+use std::collections::VecDeque;
+
+use remnant_sim::SimTime;
+
+/// Default journal capacity — comfortably above a six-week study's
+/// milestone count (a few per day plus a few per weekly scan).
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 4096;
+
+/// One pipeline milestone.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual instant the event was recorded.
+    pub at: SimTime,
+    /// Stable machine-readable kind, e.g. `"sweep.finish"`.
+    pub kind: &'static str,
+    /// Free-form detail, e.g. `"day=3 shards=6"`.
+    pub detail: String,
+}
+
+/// A fixed-capacity ring buffer of [`Event`]s.
+///
+/// # Example
+///
+/// ```
+/// use remnant_obs::EventJournal;
+/// use remnant_sim::SimTime;
+///
+/// let mut journal = EventJournal::with_capacity(2);
+/// journal.push(SimTime::from_secs(1), "a", "first");
+/// journal.push(SimTime::from_secs(2), "b", "second");
+/// journal.push(SimTime::from_secs(3), "c", "third"); // evicts "a"
+/// assert_eq!(journal.dropped(), 1);
+/// assert_eq!(journal.iter().next().unwrap().kind, "b");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventJournal {
+    capacity: usize,
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl Default for EventJournal {
+    fn default() -> Self {
+        EventJournal::with_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+}
+
+impl EventJournal {
+    /// A journal holding at most `capacity` events (minimum one).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventJournal {
+            capacity,
+            events: VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if the journal is full.
+    pub fn push(&mut self, at: SimTime, kind: &'static str, detail: impl Into<String>) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(Event {
+            at,
+            kind,
+            detail: detail.into(),
+        });
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted because the journal was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let mut journal = EventJournal::with_capacity(3);
+        for i in 0..5u64 {
+            journal.push(SimTime::from_secs(i), "tick", format!("i={i}"));
+        }
+        assert_eq!(journal.len(), 3);
+        assert_eq!(journal.capacity(), 3);
+        assert_eq!(journal.dropped(), 2);
+        let kept: Vec<&str> = journal.iter().map(|e| e.detail.as_str()).collect();
+        assert_eq!(kept, ["i=2", "i=3", "i=4"]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut journal = EventJournal::with_capacity(0);
+        journal.push(SimTime::EPOCH, "a", "");
+        journal.push(SimTime::EPOCH, "b", "");
+        assert_eq!(journal.len(), 1);
+        assert_eq!(journal.iter().next().unwrap().kind, "b");
+        assert_eq!(journal.dropped(), 1);
+    }
+
+    #[test]
+    fn events_keep_insertion_order() {
+        let mut journal = EventJournal::default();
+        journal.push(SimTime::from_secs(9), "late", "");
+        journal.push(SimTime::from_secs(1), "early", "");
+        let kinds: Vec<&str> = journal.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, ["late", "early"]);
+        assert!(!journal.is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! The JSON snapshot of an observability context.
+//!
+//! [`ObsReport`] freezes a registry and journal into a plain value that
+//! serializes to canonical JSON: keys sorted (BTreeMap order), integers
+//! only (no floats to round differently), and virtual timestamps only
+//! (no wall clocks). Two runs of the same study at different worker
+//! counts must produce byte-identical reports — that property is what
+//! the determinism suite asserts.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::journal::{Event, EventJournal};
+use crate::metrics::{Histogram, MetricKey, MetricsRegistry};
+
+/// A frozen, serializable snapshot of metrics and journal.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ObsReport {
+    /// Counter values by key.
+    pub counters: BTreeMap<MetricKey, u64>,
+    /// Gauge values by key.
+    pub gauges: BTreeMap<MetricKey, i64>,
+    /// Histograms by key.
+    pub histograms: BTreeMap<MetricKey, Histogram>,
+    /// Retained journal events, oldest first.
+    pub events: Vec<Event>,
+    /// Journal events evicted before the snapshot.
+    pub events_dropped: u64,
+}
+
+impl ObsReport {
+    /// Snapshots a registry and journal.
+    pub fn snapshot(metrics: &MetricsRegistry, journal: &EventJournal) -> Self {
+        ObsReport {
+            counters: metrics.counters().map(|(k, v)| (k.clone(), v)).collect(),
+            gauges: metrics.gauges().map(|(k, v)| (k.clone(), v)).collect(),
+            histograms: metrics
+                .histograms()
+                .map(|(k, h)| (k.clone(), h.clone()))
+                .collect(),
+            events: journal.iter().cloned().collect(),
+            events_dropped: journal.dropped(),
+        }
+    }
+
+    /// The value of the counter `name` with `labels` (zero if absent).
+    pub fn counter(&self, name: &'static str, labels: &[(&'static str, &str)]) -> u64 {
+        let key = if labels.is_empty() {
+            MetricKey::named(name)
+        } else {
+            MetricKey::labeled(name, labels)
+        };
+        self.counters.get(&key).copied().unwrap_or(0)
+    }
+
+    /// The counters whose key name equals `name`, in label order.
+    pub fn counters_named<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = (&'a MetricKey, u64)> {
+        self.counters
+            .iter()
+            .filter(move |(k, _)| k.name == name)
+            .map(|(k, &v)| (k, v))
+    }
+
+    /// Renders the report as canonical JSON (two-space indent, sorted
+    /// keys, integers only, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"counters\": ");
+        write_int_map(
+            &mut out,
+            1,
+            self.counters.iter().map(|(k, &v)| (k, v as i64)),
+        );
+        out.push_str(",\n  \"events\": ");
+        write_events(&mut out, 1, &self.events);
+        out.push_str(",\n  \"events_dropped\": ");
+        let _ = write!(out, "{}", self.events_dropped);
+        out.push_str(",\n  \"gauges\": ");
+        write_int_map(&mut out, 1, self.gauges.iter().map(|(k, &v)| (k, v)));
+        out.push_str(",\n  \"histograms\": ");
+        write_histograms(&mut out, 1, &self.histograms);
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_int_map<'a>(
+    out: &mut String,
+    depth: usize,
+    entries: impl Iterator<Item = (&'a MetricKey, i64)>,
+) {
+    let entries: Vec<_> = entries.collect();
+    if entries.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push('{');
+    for (i, (key, value)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        indent(out, depth + 1);
+        write_string(out, &key.to_string());
+        let _ = write!(out, ": {value}");
+    }
+    out.push('\n');
+    indent(out, depth);
+    out.push('}');
+}
+
+fn write_events(out: &mut String, depth: usize, events: &[Event]) {
+    if events.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    out.push('[');
+    for (i, event) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        indent(out, depth + 1);
+        let _ = write!(out, "{{\"at\": {}, \"kind\": ", event.at.as_secs());
+        write_string(out, event.kind);
+        out.push_str(", \"detail\": ");
+        write_string(out, &event.detail);
+        out.push('}');
+    }
+    out.push('\n');
+    indent(out, depth);
+    out.push(']');
+}
+
+fn write_histograms(out: &mut String, depth: usize, histograms: &BTreeMap<MetricKey, Histogram>) {
+    if histograms.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push('{');
+    for (i, (key, hist)) in histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        indent(out, depth + 1);
+        write_string(out, &key.to_string());
+        out.push_str(": {\"bounds\": ");
+        write_int_list(out, hist.bounds().iter().map(|&b| b as i64));
+        out.push_str(", \"counts\": ");
+        write_int_list(out, hist.counts().iter().map(|&c| c as i64));
+        let _ = write!(
+            out,
+            ", \"count\": {}, \"sum\": {}}}",
+            hist.count(),
+            hist.sum()
+        );
+    }
+    out.push('\n');
+    indent(out, depth);
+    out.push('}');
+}
+
+fn write_int_list(out: &mut String, values: impl Iterator<Item = i64>) {
+    out.push('[');
+    for (i, v) in values.enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remnant_sim::SimTime;
+
+    fn sample() -> ObsReport {
+        let mut metrics = MetricsRegistry::new();
+        metrics.add("transport.sent", 12);
+        metrics.add_labeled("filter.retrieved", &[("provider", "Cloudflare")], 40);
+        metrics.set_gauge("fleet.size", 7);
+        metrics.observe_with("depth", &[2, 4], 3);
+        let mut journal = EventJournal::with_capacity(8);
+        journal.push(SimTime::from_secs(60), "sweep.start", "day=0");
+        ObsReport::snapshot(&metrics, &journal)
+    }
+
+    #[test]
+    fn counter_lookup_defaults_to_zero() {
+        let report = sample();
+        assert_eq!(report.counter("transport.sent", &[]), 12);
+        assert_eq!(
+            report.counter("filter.retrieved", &[("provider", "Cloudflare")]),
+            40
+        );
+        assert_eq!(report.counter("missing", &[]), 0);
+        assert_eq!(report.counters_named("filter.retrieved").count(), 1);
+    }
+
+    #[test]
+    fn json_is_canonical_and_integer_only() {
+        let report = sample();
+        let json = report.to_json();
+        assert_eq!(
+            json,
+            report.clone().to_json(),
+            "rendering is a pure function"
+        );
+        assert!(json.starts_with("{\n  \"counters\": {\n"));
+        assert!(json.contains("\"filter.retrieved{provider=Cloudflare}\": 40"));
+        assert!(json.contains("\"transport.sent\": 12"));
+        assert!(json.contains("\"fleet.size\": 7"));
+        assert!(json.contains("{\"at\": 60, \"kind\": \"sweep.start\", \"detail\": \"day=0\"}"));
+        assert!(
+            json.contains("\"bounds\": [2, 4], \"counts\": [0, 1, 0], \"count\": 1, \"sum\": 3")
+        );
+        assert!(json.ends_with("}\n"));
+        assert!(
+            !json.contains('.') || json.contains("transport.sent"),
+            "no float dots"
+        );
+    }
+
+    #[test]
+    fn empty_report_renders_empty_sections() {
+        let json = ObsReport::default().to_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"events\": []"));
+        assert!(json.contains("\"events_dropped\": 0"));
+        assert!(json.contains("\"histograms\": {}"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut journal = EventJournal::default();
+        journal.push(SimTime::EPOCH, "note", "a\"b\\c\nd");
+        let report = ObsReport::snapshot(&MetricsRegistry::new(), &journal);
+        assert!(report.to_json().contains("\"detail\": \"a\\\"b\\\\c\\nd\""));
+    }
+}

@@ -1,0 +1,117 @@
+//! Stage timing on virtual time.
+//!
+//! A [`Span`] brackets a pipeline stage: it captures the virtual instant
+//! at entry and, on exit, records the elapsed virtual duration into the
+//! scope's `span_seconds` histogram (labeled by span name) and bumps a
+//! `span.entered` counter. Because spans read [`SimTime`] — never a wall
+//! clock — their measurements are part of the deterministic report.
+
+use remnant_sim::SimTime;
+
+use crate::metrics::DEFAULT_BOUNDS;
+use crate::Obs;
+
+/// Histogram name spans record into.
+pub const SPAN_SECONDS: &str = "span_seconds";
+/// Counter name bumped once per completed span.
+pub const SPAN_ENTERED: &str = "span.entered";
+
+/// An open timing span. Create with [`Span::enter`], close with
+/// [`Span::exit`].
+///
+/// # Example
+///
+/// ```
+/// use remnant_obs::{Obs, Span};
+/// use remnant_sim::{SimClock, SimDuration};
+///
+/// let clock = SimClock::new();
+/// let mut obs = Obs::new(clock.clone());
+/// let span = Span::enter(&obs, "collect");
+/// clock.advance(SimDuration::hours(2));
+/// span.exit(&mut obs);
+/// let hist = obs.metrics.histograms().next().unwrap().1;
+/// assert_eq!(hist.sum(), 7200);
+/// ```
+#[derive(Debug)]
+#[must_use = "a span only records when exited"]
+pub struct Span {
+    name: &'static str,
+    started: SimTime,
+}
+
+impl Span {
+    /// Opens a span named `name` at the scope's current virtual instant.
+    pub fn enter(scope: &Obs, name: &'static str) -> Span {
+        Span {
+            name,
+            started: scope.now(),
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The virtual instant the span was opened.
+    pub fn started(&self) -> SimTime {
+        self.started
+    }
+
+    /// Closes the span, recording the elapsed virtual seconds.
+    pub fn exit(self, scope: &mut Obs) {
+        let elapsed = scope.now().since(self.started);
+        let labels = [("span", self.name)];
+        scope.metrics.observe_labeled_with(
+            SPAN_SECONDS,
+            &labels,
+            DEFAULT_BOUNDS,
+            elapsed.as_secs(),
+        );
+        scope.metrics.inc_labeled(SPAN_ENTERED, &labels);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remnant_sim::{SimClock, SimDuration};
+
+    #[test]
+    fn span_records_virtual_elapsed_time() {
+        let clock = SimClock::new();
+        let mut obs = Obs::new(clock.clone());
+        let day = Span::enter(&obs, "day");
+        assert_eq!(day.name(), "day");
+        assert_eq!(day.started(), SimTime::EPOCH);
+        clock.advance(SimDuration::hours(25));
+        day.exit(&mut obs);
+        assert_eq!(
+            obs.metrics
+                .counter_labeled(SPAN_ENTERED, &[("span", "day")]),
+            1
+        );
+        let report = obs.report();
+        let key = crate::MetricKey::labeled(SPAN_SECONDS, &[("span", "day")]);
+        let hist = report.histograms.get(&key).expect("span histogram");
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.sum(), 25 * 3600);
+    }
+
+    #[test]
+    fn nested_spans_record_independently() {
+        let clock = SimClock::new();
+        let mut obs = Obs::new(clock.clone());
+        let outer = Span::enter(&obs, "outer");
+        clock.advance(SimDuration::secs(10));
+        let inner = Span::enter(&obs, "inner");
+        clock.advance(SimDuration::secs(5));
+        inner.exit(&mut obs);
+        outer.exit(&mut obs);
+        let key = |name| crate::MetricKey::labeled(SPAN_SECONDS, &[("span", name)]);
+        let report = obs.report();
+        assert_eq!(report.histograms[&key("inner")].sum(), 5);
+        assert_eq!(report.histograms[&key("outer")].sum(), 15);
+    }
+}

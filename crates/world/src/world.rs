@@ -16,6 +16,7 @@ use remnant_http::{
     FirewallPolicy, HttpRequest, HttpResponse, HttpTransport, OriginServer, PageTemplate,
 };
 use remnant_net::{IpAllocator, Region};
+use remnant_obs::{transport_counters, Instrumented, MetricKey};
 use remnant_provider::{DpsProvider, ProviderId, ReroutingMethod, ServicePlan};
 use remnant_sim::{SeedSeq, SimClock, SimDuration, SimTime};
 
@@ -75,7 +76,41 @@ pub struct World {
     parking_nonce: u64,
     dns_queries: AtomicU64,
     dns_answered: AtomicU64,
+    /// Answers broken down by server class, indexed by [`ServerClass`].
+    dns_answers_by_class: [AtomicU64; ServerClass::ALL.len()],
     http_requests: u64,
+    http_answered: u64,
+}
+
+/// The class of authoritative server that answered a fabric query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ServerClass {
+    /// The root/TLD registry.
+    Registry,
+    /// A DPS provider's name server.
+    Provider,
+    /// A hosting-DNS server.
+    Hosting,
+    /// The multi-CDN balancer.
+    Cedexis,
+}
+
+impl ServerClass {
+    const ALL: [ServerClass; 4] = [
+        ServerClass::Registry,
+        ServerClass::Provider,
+        ServerClass::Hosting,
+        ServerClass::Cedexis,
+    ];
+
+    const fn label(self) -> &'static str {
+        match self {
+            ServerClass::Registry => "registry",
+            ServerClass::Provider => "provider",
+            ServerClass::Hosting => "hosting",
+            ServerClass::Cedexis => "cedexis",
+        }
+    }
 }
 
 impl World {
@@ -156,7 +191,9 @@ impl World {
             parking_nonce: 0,
             dns_queries: AtomicU64::new(0),
             dns_answered: AtomicU64::new(0),
+            dns_answers_by_class: Default::default(),
             http_requests: 0,
+            http_answered: 0,
             config,
             rng: StdRng::seed_from_u64(0), // replaced below
         };
@@ -782,19 +819,26 @@ impl ShardableTransport for World {
         query: &Query,
     ) -> Option<Response> {
         self.dns_queries.fetch_add(1, Ordering::Relaxed);
-        let response = if server == ROOT_SERVER {
-            Some(self.registry_answer(query))
+        let (class, response) = if server == ROOT_SERVER {
+            (ServerClass::Registry, Some(self.registry_answer(query)))
         } else if let Some(provider_id) = self.ns_owner.get(&server).copied() {
-            self.providers[provider_id.index()].answer_shared(now, query)
+            (
+                ServerClass::Provider,
+                self.providers[provider_id.index()].answer_shared(now, query),
+            )
         } else if let Some(hosting) = self.hosting_owner.get(&server).copied() {
-            Some(self.hosting_answer(hosting, query))
+            (
+                ServerClass::Hosting,
+                Some(self.hosting_answer(hosting, query)),
+            )
         } else if server == CEDEXIS_NS_IP {
-            Some(self.cedexis_answer(query))
+            (ServerClass::Cedexis, Some(self.cedexis_answer(query)))
         } else {
-            None
+            return None;
         };
         if response.is_some() {
             self.dns_answered.fetch_add(1, Ordering::Relaxed);
+            self.dns_answers_by_class[class as usize].fetch_add(1, Ordering::Relaxed);
         }
         response
     }
@@ -851,6 +895,23 @@ impl HttpTransport for OriginBackend<'_> {
 impl HttpTransport for World {
     fn get(&mut self, now: SimTime, dst: Ipv4Addr, request: &HttpRequest) -> Option<HttpResponse> {
         self.http_requests += 1;
+        let response = self.serve_fabric_http(now, dst, request);
+        if response.is_some() {
+            self.http_answered += 1;
+        }
+        response
+    }
+}
+
+impl World {
+    /// Routes one HTTP GET through the fabric: provider edges, the parking
+    /// page, then bare origin servers.
+    fn serve_fabric_http(
+        &mut self,
+        now: SimTime,
+        dst: Ipv4Addr,
+        request: &HttpRequest,
+    ) -> Option<HttpResponse> {
         if let Some(provider_id) = self.edge_owner.get(&dst).copied() {
             let World {
                 providers,
@@ -886,6 +947,35 @@ impl HttpTransport for World {
             dst,
         )?
         .handle(request)
+    }
+}
+
+impl Instrumented for World {
+    fn component(&self) -> &'static str {
+        "world.fabric"
+    }
+
+    /// Both transport surfaces on the unified `transport.*` names,
+    /// distinguished by a `proto` label, plus per-server-class DNS answer
+    /// counts.
+    fn counters(&self) -> Vec<(MetricKey, u64)> {
+        let dns = ShardableTransport::query_stats(self);
+        let mut counters: Vec<(MetricKey, u64)> = transport_counters(dns.sent, dns.answered)
+            .into_iter()
+            .map(|(key, value)| (key.with_label("proto", "dns"), value))
+            .collect();
+        counters.extend(
+            transport_counters(self.http_requests, self.http_answered)
+                .into_iter()
+                .map(|(key, value)| (key.with_label("proto", "http"), value)),
+        );
+        for class in ServerClass::ALL {
+            counters.push((
+                MetricKey::labeled("dns.answers", &[("class", class.label())]),
+                self.dns_answers_by_class[class as usize].load(Ordering::Relaxed),
+            ));
+        }
+        counters
     }
 }
 
@@ -1172,5 +1262,64 @@ mod tests {
             .sum();
         let share = cf / total as f64;
         assert!((share - 0.79).abs() < 0.03, "cloudflare share {share}");
+    }
+
+    #[test]
+    fn fabric_counters_split_by_proto_and_server_class() {
+        let mut w = small_world();
+        let site = w.sites()[0].clone();
+        let mut r = resolver(&w);
+        let addr = r
+            .resolve(&mut w, &site.www, RecordType::A)
+            .unwrap()
+            .addresses()[0];
+        let now = w.now();
+        let _ = HttpTransport::get(
+            &mut w,
+            now,
+            addr,
+            &HttpRequest::landing(Ipv4Addr::new(1, 2, 3, 4), site.www.as_str()),
+        );
+
+        let mut registry = remnant_obs::MetricsRegistry::new();
+        w.export_into(&mut registry);
+        let count =
+            |key: MetricKey| registry.counter_key(&key.with_label("component", "world.fabric"));
+
+        let (dns_total, http_total) = w.traffic_stats();
+        assert_eq!(
+            count(MetricKey::labeled(
+                remnant_obs::TRANSPORT_SENT,
+                &[("proto", "dns")]
+            )),
+            dns_total
+        );
+        assert_eq!(
+            count(MetricKey::labeled(
+                remnant_obs::TRANSPORT_SENT,
+                &[("proto", "http")]
+            )),
+            http_total
+        );
+        assert_eq!(
+            count(MetricKey::labeled(
+                remnant_obs::TRANSPORT_IGNORED,
+                &[("proto", "http")]
+            )),
+            0,
+            "a resolved serving address answers"
+        );
+        // Delegation walked the registry; the answer came from a provider
+        // or hosting server.
+        assert!(count(MetricKey::labeled("dns.answers", &[("class", "registry")])) > 0);
+        let answered: u64 = ["registry", "provider", "hosting", "cedexis"]
+            .iter()
+            .map(|class| count(MetricKey::labeled("dns.answers", &[("class", class)])))
+            .sum();
+        assert_eq!(
+            answered,
+            ShardableTransport::query_stats(&w).answered,
+            "per-class answers partition the total"
+        );
     }
 }

@@ -14,6 +14,7 @@ use remnant::core::report::{percent, TextTable};
 use remnant::core::residual::{CloudflareScanner, FilterPipeline, IncapsulaScanner};
 use remnant::core::SCANNER_SOURCE;
 use remnant::net::Region;
+use remnant::obs::{Instrumented, TRANSPORT_ANSWERED, TRANSPORT_SENT};
 use remnant::provider::ProviderId;
 use remnant::world::{World, WorldConfig};
 
@@ -83,7 +84,14 @@ fn main() {
             if verified { "<- VERIFIED ORIGIN" } else { "" }
         );
     }
-    let (sent, answered) = cf.scan_stats();
+    let counters = cf.counters();
+    let read = |name: &str| {
+        counters
+            .iter()
+            .find(|(key, _)| key.name == name)
+            .map_or(0, |(_, value)| *value)
+    };
+    let (sent, answered) = (read(TRANSPORT_SENT), read(TRANSPORT_ANSWERED));
     println!(
         "\nscan traffic: {sent} direct queries, {answered} answered ({} ignored)",
         sent - answered

@@ -12,6 +12,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`sim`] | `remnant-sim` | virtual clock, seeding, statistics |
+//! | [`obs`] | `remnant-obs` | deterministic metrics registry, spans, event journal |
 //! | [`net`] | `remnant-net` | CIDR math, AS ranges, anycast, allocators |
 //! | [`dns`] | `remnant-dns` | records, zones, registry, recursive resolver |
 //! | [`http`] | `remnant-http` | pages, origins, edges, page comparison |
@@ -45,6 +46,7 @@ pub use remnant_dns as dns;
 pub use remnant_engine as engine;
 pub use remnant_http as http;
 pub use remnant_net as net;
+pub use remnant_obs as obs;
 pub use remnant_provider as provider;
 pub use remnant_sim as sim;
 pub use remnant_world as world;
