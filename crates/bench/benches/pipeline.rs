@@ -3,9 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-use remnant::core::collector::{RecordCollector, Target};
+use remnant::core::collector::{DeltaCollector, RecordCollector, Target};
 use remnant::core::residual::{CloudflareScanner, FilterPipeline};
 use remnant::core::SCANNER_SOURCE;
+use remnant::engine::{EngineConfig, ScanEngine};
 use remnant::net::Region;
 use remnant::provider::ProviderId;
 use remnant::world::{World, WorldConfig};
@@ -51,6 +52,26 @@ fn bench_pipeline(c: &mut Criterion) {
     group.bench_function("filter_pipeline", |b| {
         let mut pipeline = FilterPipeline::new(world.clock(), Region::Ashburn, SCANNER_SOURCE);
         b.iter(|| pipeline.run(&mut world, ProviderId::Cloudflare, 0, &raw, &targets));
+    });
+
+    // The daily collection round under each mode, steady state: the world
+    // does not change between rounds, so the delta round pays only the
+    // generation probe plus the rotating 1-in-16 refresh stratum while the
+    // full round re-resolves all 2k sites.
+    let engine = ScanEngine::new(EngineConfig {
+        workers: 1,
+        shard_size: 64,
+        seed: 3,
+        ..EngineConfig::default()
+    });
+    group.bench_function("full_sweep_2k_sites", |b| {
+        let mut collector = RecordCollector::new(world.clock(), Region::Ashburn);
+        b.iter(|| collector.collect_with(&engine, &world, &targets, 0));
+    });
+    group.bench_function("delta_sweep_2k_sites", |b| {
+        let mut collector = DeltaCollector::new(world.clock(), Region::Ashburn, 3);
+        let _ = collector.collect_with(&engine, &world, &targets, 0); // cold round warms the cache
+        b.iter(|| collector.collect_with(&engine, &world, &targets, 0));
     });
 
     group.finish();

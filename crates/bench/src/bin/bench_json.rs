@@ -7,12 +7,14 @@
 //! Runs the allocation-sensitive microbenches (interned names and shared
 //! record sets against their pre-refactor implementations), the residual
 //! pipeline stages (fleet harvest / direct scan / filter pipeline), the
-//! engine collection sweep at several worker counts, and the observability
+//! engine collection sweep at several worker counts, the observability
 //! overhead suite (obs primitive costs plus an instrumented-vs-plain sweep
-//! A/B), then writes one JSON document (default `BENCH_3.json`). The
-//! seed-commit baseline numbers are embedded so the file carries its own
-//! before/after story; the before/after pairs measured side by side in
-//! this run are the numbers to trust across machines.
+//! A/B), and the delta-collection suite (steady-state daily round plus a
+//! multi-week campaign, full vs delta measured side by side), then writes
+//! one JSON document (default `BENCH_4.json`). The seed-commit baseline
+//! numbers are embedded so the file carries its own before/after story;
+//! the before/after pairs measured side by side in this run are the
+//! numbers to trust across machines.
 //!
 //! `--quick` shrinks the world and sample counts for CI smoke runs (the
 //! job only asserts the emitter completes and produces valid output;
@@ -20,8 +22,9 @@
 
 use std::process::ExitCode;
 
-use remnant::core::collector::{RecordCollector, Target};
+use remnant::core::collector::{DeltaCollector, RecordCollector, Target};
 use remnant::core::residual::{CloudflareScanner, FilterPipeline};
+use remnant::core::study::CollectionMode;
 use remnant::core::SCANNER_SOURCE;
 use remnant::dns::{
     CountingTransport, DnsTransport, DomainName, RecordData, RecordType, RecursiveResolver,
@@ -59,7 +62,7 @@ impl Default for Options {
     fn default() -> Self {
         Options {
             quick: false,
-            out: "BENCH_3.json".to_owned(),
+            out: "BENCH_4.json".to_owned(),
             population: 2_000,
             seed: 3,
         }
@@ -500,6 +503,130 @@ fn obs_sweep_overhead(world: &World, targets: &[Target], samples: usize, seed: u
     ])
 }
 
+/// The delta-collection suite. Two claims, both measured full-vs-delta
+/// side by side in this run:
+///
+/// * `steady_round` — one daily round over an unchanged world: delta pays
+///   only the generation probe plus the rotating 1-in-16 refresh stratum.
+/// * `multiweek` — a multi-week campaign with the world's real churn
+///   stepping between rounds (the acceptance criterion's "low-churn
+///   default world"); only the collect calls are timed.
+fn delta_collection_benches(population: usize, seed: u64, samples: usize, weeks: u32) -> Json {
+    let world = World::generate(WorldConfig {
+        population,
+        seed,
+        warmup_days: 14,
+        calibration: remnant::world::Calibration::paper(),
+    });
+    let targets: Vec<Target> = world
+        .sites()
+        .iter()
+        .map(|s| (s.apex.clone(), s.www.clone()))
+        .collect();
+    let elements = targets.len() as u64;
+    let make_engine = || {
+        ScanEngine::new(EngineConfig {
+            workers: 1,
+            shard_size: 64,
+            seed,
+            ..EngineConfig::default()
+        })
+    };
+
+    let engine = make_engine();
+    let mut full = RecordCollector::new(world.clock(), Region::Ashburn);
+    let mut delta = DeltaCollector::new(world.clock(), Region::Ashburn, seed);
+    let _ = delta.collect_with(&engine, &world, &targets, 0); // cold round warms the cache
+    let (full_round, delta_round) = measure_ab(
+        samples * 2,
+        || {
+            std::hint::black_box(full.collect_with(&engine, &world, &targets, 0));
+        },
+        || {
+            std::hint::black_box(delta.collect_with(&engine, &world, &targets, 0));
+        },
+    );
+    let steady = before_after(full_round, delta_round, elements);
+
+    let days = weeks * 7;
+    let reps = samples.clamp(1, 5);
+    let campaign = |mode: CollectionMode| -> (f64, u64, u64) {
+        let mut collect_secs = 0.0;
+        let mut reused = 0u64;
+        let mut reresolved = 0u64;
+        for _ in 0..reps {
+            let mut world = World::generate(WorldConfig {
+                population,
+                seed,
+                warmup_days: 14,
+                calibration: remnant::world::Calibration::paper(),
+            });
+            let engine = make_engine();
+            let mut full = RecordCollector::new(world.clock(), Region::Ashburn);
+            let mut delta = DeltaCollector::new(world.clock(), Region::Ashburn, seed);
+            for day in 0..days {
+                let start = std::time::Instant::now();
+                match mode {
+                    CollectionMode::Full => {
+                        std::hint::black_box(full.collect_with(&engine, &world, &targets, day));
+                        reresolved += elements;
+                    }
+                    CollectionMode::Delta => {
+                        let (snapshot, _, round) =
+                            delta.collect_with(&engine, &world, &targets, day);
+                        std::hint::black_box(snapshot);
+                        reused += round.reused;
+                        reresolved += round.reresolved;
+                    }
+                }
+                collect_secs += start.elapsed().as_secs_f64();
+                world.step_hours(24);
+            }
+        }
+        (
+            collect_secs / reps as f64,
+            reused / reps as u64,
+            reresolved / reps as u64,
+        )
+    };
+    let (full_secs, _, _) = campaign(CollectionMode::Full);
+    let (delta_secs, reused, reresolved) = campaign(CollectionMode::Delta);
+    let site_rounds = u64::from(days) * elements;
+
+    Json::obj([
+        ("steady_round", steady),
+        (
+            "multiweek",
+            Json::obj([
+                ("weeks", Json::Num(f64::from(weeks))),
+                ("days", Json::Num(f64::from(days))),
+                ("site_rounds", Json::Num(site_rounds as f64)),
+                ("full", Json::obj([("collect_secs", Json::Num(full_secs))])),
+                (
+                    "delta",
+                    Json::obj([
+                        ("collect_secs", Json::Num(delta_secs)),
+                        ("reused", Json::Num(reused as f64)),
+                        ("reresolved", Json::Num(reresolved as f64)),
+                        (
+                            "reuse_rate",
+                            Json::Num(reused as f64 / site_rounds.max(1) as f64),
+                        ),
+                    ]),
+                ),
+                (
+                    "speedup",
+                    Json::Num(if delta_secs > 0.0 {
+                        full_secs / delta_secs
+                    } else {
+                        f64::INFINITY
+                    }),
+                ),
+            ]),
+        ),
+    ])
+}
+
 fn run(opts: &Options) -> Result<(), String> {
     let samples = if opts.quick { 3 } else { 10 };
     let population = if opts.quick {
@@ -543,6 +670,12 @@ fn run(opts: &Options) -> Result<(), String> {
     let engine = engine_benches(&world, &targets, worker_counts, samples, opts.seed);
     let obs_primitives = obs_primitive_benches(&world, samples);
     let obs_overhead = obs_sweep_overhead(&world, &targets, samples, opts.seed);
+    let delta = delta_collection_benches(
+        population,
+        opts.seed,
+        samples,
+        if opts.quick { 1 } else { 2 },
+    );
 
     // Assemble the document.
     let baseline_benches = Json::Obj(
@@ -594,7 +727,7 @@ fn run(opts: &Options) -> Result<(), String> {
 
     let doc = Json::obj([
         ("schema", Json::Str("remnant-bench/v1".into())),
-        ("issue", Json::Num(3.0)),
+        ("issue", Json::Num(4.0)),
         (
             "mode",
             Json::Str(if opts.quick { "quick" } else { "full" }.into()),
@@ -621,6 +754,7 @@ fn run(opts: &Options) -> Result<(), String> {
         ("comparison_vs_seed", comparison),
         ("micro", Json::Obj(micro)),
         ("engine_collect_sweep", engine),
+        ("delta_collection", delta),
         (
             "obs",
             Json::obj([

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [EXPERIMENT] [--population N] [--weeks W] [--seed S] [--workers N]
-//!       [--even-intervals] [--metrics OUT.json]
+//!       [--even-intervals] [--collection full|delta] [--metrics OUT.json]
 //!
 //! EXPERIMENT: all (default) | table2 | table5 | table6 |
 //!             fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 |
@@ -24,9 +24,16 @@
 //! on virtual time) as canonical JSON. The snapshot is byte-identical for
 //! every `--workers` value; the `funnel` experiment rebuilds the Fig 8
 //! attrition table from such a snapshot's counters alone.
+//!
+//! `--collection delta` re-resolves only the shards whose zone generations
+//! changed since the previous round (plus a rotating refresh stratum),
+//! replaying the rest from the previous round's records. Output —
+//! including `--metrics` — is byte-identical to `--collection full`; a
+//! reuse summary is printed to stderr after the run.
 
 use std::process::ExitCode;
 
+use remnant::core::study::CollectionMode;
 use remnant_bench::{
     render_ablation, render_fig1, render_fig2, render_fig3, render_fig4, render_fig5, render_fig6,
     render_fig7, render_fig8, render_fig8_from_obs, render_fig9, render_purge, render_table1,
@@ -37,10 +44,12 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: repro [all|table1|table2|table5|table6|fig1..fig9|purge|ablation|funnel] \
          [--population N] [--weeks W] [--seed S] [--workers N] [--even-intervals] \
-         [--metrics OUT.json]\n\
+         [--collection full|delta] [--metrics OUT.json]\n\
          \n\
          --workers N shards the sweeps over N threads (output is identical\n\
          for every N; only wall time changes)\n\
+         --collection delta reuses unchanged shards between daily rounds\n\
+         (output is identical to full; only wall time changes)\n\
          --metrics OUT.json writes the deterministic observability snapshot;\n\
          'funnel' renders Fig 8 from those counters alone"
     );
@@ -86,6 +95,17 @@ fn main() -> ExitCode {
             },
             "--metrics" => match parse_flag("--metrics", args.next()) {
                 Ok(v) => metrics_path = Some(v),
+                Err(code) => return code,
+            },
+            "--collection" => match parse_flag::<String>("--collection", args.next()) {
+                Ok(v) => match v.as_str() {
+                    "full" => config.collection_mode = CollectionMode::Full,
+                    "delta" => config.collection_mode = CollectionMode::Delta,
+                    other => {
+                        eprintln!("repro: invalid value for --collection: '{other}'");
+                        return usage();
+                    }
+                },
                 Err(code) => return code,
             },
             "--even-intervals" => config.even_intervals = true,
@@ -134,7 +154,7 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "running {}-week study over {} sites (seed {}, {} intervals, {} worker{})...",
+        "running {}-week study over {} sites (seed {}, {} intervals, {} worker{}, {} collection)...",
         config.weeks,
         config.population,
         config.seed,
@@ -144,16 +164,30 @@ fn main() -> ExitCode {
             "20-30h"
         },
         config.workers.max(1),
-        if config.workers.max(1) == 1 { "" } else { "s" }
+        if config.workers.max(1) == 1 { "" } else { "s" },
+        config.collection_mode.name()
     );
     let started = std::time::Instant::now();
     let (world, report) = run_study(&config);
     eprintln!(
-        "study done in {:.1}s ({} DNS queries, {} HTTP requests served)\n",
+        "study done in {:.1}s ({} DNS queries, {} HTTP requests served)",
         started.elapsed().as_secs_f64(),
         world.traffic_stats().0,
         world.traffic_stats().1
     );
+    if config.collection_mode == CollectionMode::Delta {
+        let collection = &report.collection;
+        eprintln!(
+            "delta collection: {} rounds, {} site-rounds reused ({:.1}%), \
+             {} re-resolved ({} via refresh stratum)",
+            collection.rounds,
+            collection.reused,
+            collection.reuse_rate() * 100.0,
+            collection.reresolved,
+            collection.refresh_stratum
+        );
+    }
+    eprintln!();
 
     if let Some(path) = &metrics_path {
         if let Err(e) = std::fs::write(path, report.obs.to_json()) {

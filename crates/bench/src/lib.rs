@@ -11,7 +11,9 @@ pub mod perf;
 use remnant::core::error::ConfigFieldError;
 use remnant::core::report::{percent, render_cdf, render_series, TextTable};
 use remnant::core::residual::FUNNEL_STAGES;
-use remnant::core::study::{vantage_catchment, PaperStudy, StudyConfig, StudyReport};
+use remnant::core::study::{
+    vantage_catchment, CollectionMode, PaperStudy, StudyConfig, StudyReport,
+};
 use remnant::core::ObsReport;
 use remnant::provider::{ProviderId, ReroutingMethod};
 use remnant::world::{BehaviorKind, World, WorldConfig};
@@ -30,6 +32,9 @@ pub struct ReproConfig {
     /// Worker threads for the sharded sweeps. Output is bit-identical for
     /// every value; only wall time changes.
     pub workers: usize,
+    /// How daily rounds resolve the target list. Output is bit-identical
+    /// for both modes; `Delta` reuses unchanged shards across rounds.
+    pub collection_mode: CollectionMode,
 }
 
 impl Default for ReproConfig {
@@ -40,6 +45,7 @@ impl Default for ReproConfig {
             seed: 42,
             even_intervals: false,
             workers: 1,
+            collection_mode: CollectionMode::Full,
         }
     }
 }
@@ -98,6 +104,12 @@ impl ReproConfigBuilder {
         self
     }
 
+    /// How daily rounds resolve the target list.
+    pub fn collection_mode(mut self, mode: CollectionMode) -> Self {
+        self.config.collection_mode = mode;
+        self
+    }
+
     /// Validates and returns the configuration, naming the first rejected
     /// field on failure.
     pub fn build(self) -> Result<ReproConfig, ConfigFieldError> {
@@ -133,6 +145,7 @@ pub fn run_study(config: &ReproConfig) -> (World, StudyReport) {
         weeks: config.weeks,
         uneven_intervals: !config.even_intervals,
         workers: config.workers,
+        collection_mode: config.collection_mode,
         ..StudyConfig::default()
     })
     .run(&mut world);
@@ -781,6 +794,7 @@ mod tests {
             seed: 9,
             even_intervals: true,
             workers: 2,
+            ..ReproConfig::default()
         };
         let (world, report) = run_study(&config);
         (config, world, report)

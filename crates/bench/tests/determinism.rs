@@ -13,6 +13,7 @@ fn config(workers: usize) -> ReproConfig {
         seed: 11,
         even_intervals: false,
         workers,
+        ..ReproConfig::default()
     }
 }
 

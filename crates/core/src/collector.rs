@@ -5,13 +5,16 @@
 //! ... we purge the DNS cache of the resolver before performing each
 //! experiment."
 
+use std::sync::Arc;
+use std::time::Duration;
+
 use remnant_dns::{
     CountingTransport, DnsTransport, DomainName, Instrumented, RecordType, RecursiveResolver,
-    ShardableTransport,
+    ShardableTransport, ZoneGenerationProbe,
 };
-use remnant_engine::{ScanEngine, SweepStats, TaskResult};
+use remnant_engine::{ScanEngine, ShardScope, ShardStats, ShardTiming, SweepStats, TaskResult};
 use remnant_net::Region;
-use remnant_sim::SimClock;
+use remnant_sim::{SeedSeq, SimClock};
 
 use crate::snapshot::{DnsSnapshot, SiteRecords};
 
@@ -60,9 +63,8 @@ impl RecordCollector {
         self.rounds += 1;
         let mut snapshot = DnsSnapshot::new(self.clock.now(), day, targets.len());
         for (apex, www) in targets {
-            snapshot
-                .records
-                .push(self.collect_site(transport, apex, www));
+            let records = self.collect_site(transport, apex, www);
+            snapshot.records.push(Arc::new(records));
         }
         snapshot
     }
@@ -91,15 +93,7 @@ impl RecordCollector {
             transport,
             targets,
             |_shard| RecursiveResolver::new(clock.clone(), region),
-            |transport, resolver, scope, _rank, (apex, www)| {
-                let mut counting = CountingTransport::new(transport);
-                let (hits_before, misses_before) = resolver.cache().stats();
-                let records = resolve_site(resolver, &mut counting, apex, www);
-                let (hits_after, misses_after) = resolver.cache().stats();
-                scope.add_queries(counting.query_stats().sent);
-                scope.add_cache_stats(hits_after - hits_before, misses_after - misses_before);
-                TaskResult::Done(records)
-            },
+            site_task,
             |resolver, scope| resolver.export_into(scope.metrics()),
         );
         let mut snapshot = DnsSnapshot::new(self.clock.now(), day, targets.len());
@@ -135,6 +129,250 @@ fn resolve_site<T: DnsTransport>(
         records.ns = res.ns_hosts();
     }
     records
+}
+
+/// The engine task shared by [`RecordCollector::collect_with`] and
+/// [`DeltaCollector::collect_with`] — identical closures are what makes a
+/// delta-mode shard's resolution byte-identical to the full-mode shard's.
+fn site_task<T: ShardableTransport + ?Sized>(
+    transport: &T,
+    resolver: &mut RecursiveResolver,
+    scope: &mut ShardScope,
+    _rank: usize,
+    (apex, www): &Target,
+) -> TaskResult<Arc<SiteRecords>> {
+    let mut counting = CountingTransport::new(transport);
+    let (hits_before, misses_before) = resolver.cache().stats();
+    let records = resolve_site(resolver, &mut counting, apex, www);
+    let (hits_after, misses_after) = resolver.cache().stats();
+    scope.add_queries(counting.query_stats().sent);
+    scope.add_cache_stats(hits_after - hits_before, misses_after - misses_before);
+    TaskResult::Done(Arc::new(records))
+}
+
+/// Default number of refresh strata for [`DeltaCollector`]: each shard is
+/// forcibly re-resolved at least once every this many rounds even if its
+/// generations never change.
+pub const DEFAULT_REFRESH_STRATA: u64 = 16;
+
+/// Per-round accounting of what a [`DeltaCollector`] reused vs re-resolved.
+///
+/// Carried in the study's `CollectionReport` and deliberately kept *out* of
+/// the study [`ObsReport`](remnant_obs::ObsReport) counters — full and
+/// delta mode must produce byte-identical study observability output, and
+/// these counters are exactly what differs between the modes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaRound {
+    /// Sites whose previous-round records were reused via `Arc` sharing.
+    pub reused: u64,
+    /// Sites re-resolved this round (dirty shard, cold cache, or stratum).
+    pub reresolved: u64,
+    /// Subset of `reresolved` whose shard was selected only by the round's
+    /// refresh stratum, not by a generation change.
+    pub refresh_stratum: u64,
+}
+
+/// State a [`DeltaCollector`] carries between rounds.
+#[derive(Debug)]
+struct DeltaCache {
+    /// Shard size the cached layout was computed under; a different engine
+    /// configuration invalidates the cache wholesale.
+    shard_size: usize,
+    /// Per-rank zone generation observed when the rank's shard last ran.
+    generations: Vec<u64>,
+    /// Per-rank records from the previous round (shared, never copied).
+    outputs: Vec<Arc<SiteRecords>>,
+    /// Per-shard deterministic counters from each shard's last execution.
+    shard_stats: Vec<ShardStats>,
+}
+
+/// The incremental record collector: a drop-in alternative to
+/// [`RecordCollector::collect_with`] that re-resolves only what could have
+/// changed since the previous round.
+///
+/// # How it stays byte-identical to full collection
+///
+/// The reuse unit is the **shard**, not the site: within a shard the
+/// resolver cache is shared across sites, so per-site telemetry depends on
+/// the order and company a site is resolved in — but a whole shard's
+/// outputs *and* counters are a pure function of its members' zone state
+/// at a fixed virtual time (each shard starts from a fresh resolver and a
+/// shard-indexed RNG stream). A shard whose members' zone generations
+/// (via [`ZoneGenerationProbe`]) are all unchanged would therefore produce
+/// exactly what it produced last time, so the collector replays its cached
+/// outputs (`Arc` clones) and [`ShardStats`]. Everything downstream —
+/// snapshot, merged metrics, journal lines — is byte-identical to a full
+/// sweep's.
+///
+/// # Refresh stratum
+///
+/// Generation probes cannot see out-of-band mutations (e.g. direct
+/// provider edits through `World::provider_mut`). To bound the staleness
+/// such edits could cause, every round additionally re-resolves one
+/// deterministic, seed-derived stratum of shards: shard `s` is refreshed
+/// in round `r` iff `s ≡ base + r (mod strata)`, so every shard is
+/// force-refreshed at least once every `strata` rounds.
+#[derive(Debug)]
+pub struct DeltaCollector {
+    clock: SimClock,
+    region: Region,
+    /// Seed-derived base offset of the rotating refresh stratum.
+    stratum_base: u64,
+    strata: u64,
+    rounds: u32,
+    cache: Option<DeltaCache>,
+}
+
+impl DeltaCollector {
+    /// Creates a delta collector resolving from `region`, with the default
+    /// refresh stratum count ([`DEFAULT_REFRESH_STRATA`]).
+    ///
+    /// `seed` feeds the stratum schedule; collectors with the same seed
+    /// refresh the same shards in the same rounds.
+    pub fn new(clock: SimClock, region: Region, seed: u64) -> Self {
+        Self::with_strata(clock, region, seed, DEFAULT_REFRESH_STRATA)
+    }
+
+    /// [`DeltaCollector::new`] with an explicit stratum count (≥ 1). A
+    /// count of 1 refreshes every shard every round — full collection.
+    pub fn with_strata(clock: SimClock, region: Region, seed: u64, strata: u64) -> Self {
+        assert!(strata >= 1, "at least one refresh stratum is required");
+        DeltaCollector {
+            clock,
+            region,
+            stratum_base: SeedSeq::new(seed).child("delta").derive("stratum-base"),
+            strata,
+            rounds: 0,
+            cache: None,
+        }
+    }
+
+    /// Number of collection rounds performed.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Collects one snapshot over `targets` through `engine`, re-resolving
+    /// only shards whose zone generations changed since the previous round
+    /// (plus the round's refresh stratum) and reusing the rest.
+    ///
+    /// Returns the same `(snapshot, stats)` a full
+    /// [`RecordCollector::collect_with`] would — byte-identical, including
+    /// per-shard counters; only the (nondeterministic, never-reported)
+    /// wall times differ — plus the round's reuse accounting.
+    pub fn collect_with<T: ShardableTransport + ZoneGenerationProbe>(
+        &mut self,
+        engine: &ScanEngine,
+        transport: &T,
+        targets: &[Target],
+        day: u32,
+    ) -> (DnsSnapshot, SweepStats, DeltaRound) {
+        let round_index = u64::from(self.rounds);
+        self.rounds += 1;
+        let plan = engine.shard_plan(targets.len());
+        let apexes: Vec<&DomainName> = targets.iter().map(|(apex, _)| apex).collect();
+        let generations = transport.generations_for(&apexes);
+        let shard_size = engine.config().shard_size;
+
+        // Pick the shards to execute.
+        let cache_valid = self
+            .cache
+            .as_ref()
+            .is_some_and(|c| c.shard_size == shard_size && c.generations.len() == targets.len());
+        let stratum_offset = (self.stratum_base + round_index) % self.strata;
+        let mut selected: Vec<usize> = Vec::new();
+        let mut round = DeltaRound::default();
+        if cache_valid {
+            let cache = self.cache.as_ref().expect("cache_valid checked");
+            for (idx, range) in plan.iter().enumerate() {
+                let dirty = range
+                    .clone()
+                    .any(|rank| generations[rank] != cache.generations[rank]);
+                let stratum = (idx as u64) % self.strata == stratum_offset;
+                if dirty || stratum {
+                    selected.push(idx);
+                    round.reresolved += range.len() as u64;
+                    if !dirty {
+                        round.refresh_stratum += range.len() as u64;
+                    }
+                } else {
+                    round.reused += range.len() as u64;
+                }
+            }
+        } else {
+            // Cold cache (first round, or the shard layout changed):
+            // everything is dirty.
+            selected = (0..plan.len()).collect();
+            round.reresolved = targets.len() as u64;
+        }
+
+        // Execute the selected shards with their full-sweep identity and
+        // the exact closures of `RecordCollector::collect_with`.
+        let clock = self.clock.clone();
+        let region = self.region;
+        let sweep = engine.sweep_selected_with_finish(
+            transport,
+            targets,
+            &selected,
+            |_shard| RecursiveResolver::new(clock.clone(), region),
+            site_task,
+            |resolver, scope| resolver.export_into(scope.metrics()),
+        );
+
+        // Splice executed shards and replayed shards back into a
+        // full-length result, in shard order.
+        let mut outputs = Vec::with_capacity(targets.len());
+        let mut shard_stats = Vec::with_capacity(plan.len());
+        let mut timings = Vec::with_capacity(plan.len());
+        let mut fresh_outputs = sweep.outputs.into_iter();
+        let mut fresh_stats = sweep.stats.shards.into_iter();
+        let mut fresh_timings = sweep.stats.timings.into_iter();
+        let mut next_selected = selected.iter().copied().peekable();
+        for (idx, range) in plan.iter().enumerate() {
+            if next_selected.peek() == Some(&idx) {
+                next_selected.next();
+                for _ in range.clone() {
+                    outputs.push(fresh_outputs.next().expect("one output per selected item"));
+                }
+                shard_stats.push(
+                    fresh_stats
+                        .next()
+                        .expect("one stats row per selected shard"),
+                );
+                timings.push(fresh_timings.next().expect("one timing per selected shard"));
+            } else {
+                let cache = self.cache.as_ref().expect("unselected shards have a cache");
+                outputs.extend(cache.outputs[range.clone()].iter().cloned());
+                shard_stats.push(cache.shard_stats[idx].clone());
+                // Replayed shards cost no wall time; timings are
+                // nondeterministic and excluded from all reports anyway.
+                timings.push(ShardTiming {
+                    shard: idx,
+                    wall: Duration::ZERO,
+                });
+            }
+        }
+        let stats = SweepStats {
+            // Report the worker count a full sweep over this plan would
+            // have used, not the (possibly smaller) clamp over the
+            // selected subset.
+            workers: engine.config().workers.max(1).min(plan.len().max(1)),
+            shards: shard_stats,
+            timings,
+            wall: sweep.stats.wall,
+        };
+
+        self.cache = Some(DeltaCache {
+            shard_size,
+            generations,
+            outputs: outputs.clone(),
+            shard_stats: stats.shards.clone(),
+        });
+
+        let mut snapshot = DnsSnapshot::new(self.clock.now(), day, targets.len());
+        snapshot.records = outputs;
+        (snapshot, stats, round)
+    }
 }
 
 #[cfg(test)]
@@ -260,6 +498,85 @@ mod tests {
             .map(|(_, v)| v)
             .sum();
         assert_eq!(a_queries, targets.len() as u64, "one A lookup per site");
+    }
+
+    #[test]
+    fn delta_rounds_match_full_rounds_under_churn() {
+        use remnant_engine::EngineConfig;
+
+        let make_engine = || {
+            ScanEngine::new(EngineConfig {
+                workers: 2,
+                shard_size: 16,
+                seed: 5,
+                ..EngineConfig::default()
+            })
+        };
+        let mut full_world = tiny_world();
+        let mut delta_world = tiny_world();
+        let targets = targets(&full_world);
+        let mut full = RecordCollector::new(full_world.clock(), Region::Ashburn);
+        let mut delta = DeltaCollector::new(delta_world.clock(), Region::Ashburn, 5);
+
+        let mut total = DeltaRound::default();
+        for day in 0..6u32 {
+            let (full_snap, full_stats) =
+                full.collect_with(&make_engine(), &full_world, &targets, day);
+            let (delta_snap, delta_stats, round) =
+                delta.collect_with(&make_engine(), &delta_world, &targets, day);
+            assert_eq!(full_snap, delta_snap, "day {day} snapshots agree");
+            assert_eq!(full_snap.encode(), delta_snap.encode());
+            assert_eq!(
+                full_stats.shards, delta_stats.shards,
+                "day {day} per-shard counters agree"
+            );
+            assert_eq!(full_stats.workers, delta_stats.workers);
+            assert_eq!(
+                full_stats.merged_metrics(),
+                delta_stats.merged_metrics(),
+                "day {day} resolver telemetry agrees"
+            );
+            total.reused += round.reused;
+            total.reresolved += round.reresolved;
+            total.refresh_stratum += round.refresh_stratum;
+            assert_eq!(round.reused + round.reresolved, targets.len() as u64);
+            // Identical virtual time and dynamics on both worlds.
+            full_world.step_hours(24);
+            delta_world.step_hours(24);
+        }
+        // Round 0 is cold (all re-resolved); later rounds reuse most shards.
+        assert!(total.reused > 0, "later rounds replayed unchanged shards");
+        assert!(
+            total.reresolved < 6 * targets.len() as u64,
+            "delta mode did strictly less resolution work"
+        );
+        assert!(total.refresh_stratum > 0, "refresh stratum fired");
+        assert_eq!(delta.rounds(), 6);
+    }
+
+    #[test]
+    fn cold_cache_and_target_list_changes_fall_back_to_full_rounds() {
+        use remnant_engine::EngineConfig;
+
+        let world = tiny_world();
+        let targets = targets(&world);
+        let engine = ScanEngine::new(EngineConfig {
+            workers: 1,
+            shard_size: 16,
+            seed: 5,
+            ..EngineConfig::default()
+        });
+        let mut delta = DeltaCollector::new(world.clock(), Region::Ashburn, 5);
+        let (_, _, round) = delta.collect_with(&engine, &world, &targets, 0);
+        assert_eq!(round.reused, 0, "cold cache resolves everything");
+        assert_eq!(round.reresolved, targets.len() as u64);
+
+        // Shrinking the target list invalidates the cache wholesale.
+        let fewer = &targets[..100];
+        let (snap, _, round) = delta.collect_with(&engine, &world, fewer, 1);
+        assert_eq!(round.reused, 0, "changed target list resolves everything");
+        assert_eq!(round.reresolved, 100);
+        assert_eq!(snap.records.len(), 100);
     }
 
     #[test]

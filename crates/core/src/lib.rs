@@ -62,11 +62,12 @@ pub mod verify;
 
 pub use adoption::{Adoption, DpsStatus};
 pub use behavior::{BehaviorDetector, ObservedBehavior};
-pub use collector::RecordCollector;
+pub use collector::{DeltaCollector, DeltaRound, RecordCollector, DEFAULT_REFRESH_STRATA};
 pub use error::{ConfigFieldError, CoreError};
 pub use matchers::ProviderMatcher;
 pub use remnant_obs::{Instrumented, MetricsRegistry, Obs, ObsReport};
-pub use snapshot::{DnsSnapshot, SiteRecords};
+pub use snapshot::{DnsSnapshot, SiteRecords, SnapshotDecodeError};
+pub use study::{CollectionMode, CollectionReport, PaperStudy, StudyConfig, StudyReport};
 pub use verify::{HtmlVerifier, VerifyOutcome};
 
 /// The scanner's own source address (a measurement host outside every

@@ -61,16 +61,6 @@ impl CloudflareScanner {
         self.fleet.iter().map(|(h, a)| (h, *a))
     }
 
-    /// `(queries sent, responses received)` across all scans — the
-    /// answered/ignored split the paper relies on.
-    #[deprecated(
-        since = "0.2.0",
-        note = "read the unified counter surface instead: `Instrumented::counters` (`transport.sent` / `transport.answered`)"
-    )]
-    pub fn scan_stats(&self) -> (u64, u64) {
-        (self.queries_sent, self.responses)
-    }
-
     /// Harvests fleet hostnames from one usage-study snapshot, resolving
     /// the addresses of newly seen hosts.
     pub fn harvest_fleet<T: DnsTransport>(&mut self, transport: &mut T, snapshot: &DnsSnapshot) {
@@ -290,10 +280,6 @@ mod tests {
         assert!(!results.contains_key(&(plain_site.id.0 as usize)));
         let (sent, answered) = scan_counters(&scanner);
         assert!(answered < sent, "most queries are ignored");
-        #[allow(deprecated)]
-        {
-            assert_eq!(scanner.scan_stats(), (sent, answered), "shim still agrees");
-        }
     }
 
     #[test]

@@ -57,15 +57,6 @@ impl IncapsulaScanner {
         self.harvested.iter().map(|(r, t)| (*r, t))
     }
 
-    /// Tokens resolved across all scans.
-    #[deprecated(
-        since = "0.2.0",
-        note = "read the unified counter surface instead: `Instrumented::counters` (`transport.sent`)"
-    )]
-    pub fn queries(&self) -> u64 {
-        self.queries
-    }
-
     /// Harvests tokens from one usage-study snapshot. A newer token for the
     /// same site replaces the old one (re-enrollments rotate tokens).
     pub fn harvest(&mut self, snapshot: &DnsSnapshot) {
@@ -293,10 +284,6 @@ mod tests {
             .map(|(_, v)| *v)
             .expect("sent counter present");
         assert_eq!(sent, 3 * scanner.harvested_count() as u64);
-        #[allow(deprecated)]
-        {
-            assert_eq!(scanner.queries(), sent, "deprecated shim still agrees");
-        }
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Daily DNS snapshots: what the record collector stores per site.
 
+use std::fmt;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use remnant_dns::DomainName;
 use remnant_sim::SimTime;
@@ -27,7 +29,9 @@ impl SiteRecords {
 /// One collection round over the whole target list.
 ///
 /// Records are indexed by site rank, parallel to the target list that
-/// produced the snapshot.
+/// produced the snapshot. Each site's records sit behind an [`Arc`] so a
+/// delta-mode collector can carry unchanged sites from round to round as
+/// pointer clones (structural sharing) instead of deep copies.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DnsSnapshot {
     /// When the collection ran.
@@ -35,7 +39,7 @@ pub struct DnsSnapshot {
     /// Day index within the study (0-based).
     pub day: u32,
     /// Per-site records, by rank.
-    pub records: Vec<SiteRecords>,
+    pub records: Vec<Arc<SiteRecords>>,
 }
 
 impl DnsSnapshot {
@@ -50,14 +54,157 @@ impl DnsSnapshot {
 
     /// The records for site `rank`, if collected.
     pub fn site(&self, rank: usize) -> Option<&SiteRecords> {
-        self.records.get(rank)
+        self.records.get(rank).map(|r| r.as_ref())
     }
 
     /// Number of sites with at least one record.
     pub fn resolved_count(&self) -> usize {
         self.records.iter().filter(|r| !r.is_empty()).count()
     }
+
+    /// Serializes the snapshot to its canonical text form.
+    ///
+    /// The encoding is line-based and versioned; equal snapshots always
+    /// produce byte-identical text, which is what the full-vs-delta
+    /// equivalence test compares. [`DnsSnapshot::decode`] inverts it
+    /// exactly (round-trip identity).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str("remnant-snapshot v1\n");
+        out.push_str(&format!("taken_at={}\n", self.taken_at.as_secs()));
+        out.push_str(&format!("day={}\n", self.day));
+        out.push_str(&format!("sites={}\n", self.records.len()));
+        for (rank, records) in self.records.iter().enumerate() {
+            let a = records
+                .a
+                .iter()
+                .map(Ipv4Addr::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            let cnames = records
+                .cnames
+                .iter()
+                .map(DomainName::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            let ns = records
+                .ns
+                .iter()
+                .map(DomainName::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&format!("{rank} a={a} cname={cnames} ns={ns}\n"));
+        }
+        out
+    }
+
+    /// Parses a snapshot from its canonical text form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotDecodeError`] naming the offending line if the
+    /// header, a field, an address, or a domain name fails to parse, or if
+    /// the site count disagrees with the number of record lines.
+    pub fn decode(text: &str) -> Result<Self, SnapshotDecodeError> {
+        let err = |line: usize, reason: &str| SnapshotDecodeError {
+            line,
+            reason: reason.to_string(),
+        };
+        let mut lines = text.lines().enumerate();
+        let (n, header) = lines.next().ok_or_else(|| err(1, "empty input"))?;
+        if header != "remnant-snapshot v1" {
+            return Err(err(n + 1, "unrecognized header"));
+        }
+        let mut field = |name: &str| -> Result<u64, SnapshotDecodeError> {
+            let (n, line) = lines
+                .next()
+                .ok_or_else(|| err(0, "truncated header block"))?;
+            let value = line
+                .strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix('='))
+                .ok_or_else(|| err(n + 1, "expected `name=value` header field"))?;
+            value
+                .parse::<u64>()
+                .map_err(|_| err(n + 1, "header value is not an integer"))
+        };
+        let taken_at = SimTime::from_secs(field("taken_at")?);
+        let day = field("day")? as u32;
+        let sites = field("sites")? as usize;
+
+        let mut snapshot = DnsSnapshot::new(taken_at, day, sites);
+        for (n, line) in lines {
+            let mut parts = line.splitn(4, ' ');
+            let rank = parts
+                .next()
+                .and_then(|r| r.parse::<usize>().ok())
+                .ok_or_else(|| err(n + 1, "record line must start with a rank"))?;
+            if rank != snapshot.records.len() {
+                return Err(err(n + 1, "record ranks must be contiguous from 0"));
+            }
+            let mut records = SiteRecords::default();
+            for (prefix, part) in [
+                ("a=", parts.next()),
+                ("cname=", parts.next()),
+                ("ns=", parts.next()),
+            ] {
+                let values = part
+                    .and_then(|p| p.strip_prefix(prefix))
+                    .ok_or_else(|| err(n + 1, "record line is missing a field"))?;
+                for value in values.split(',').filter(|v| !v.is_empty()) {
+                    match prefix {
+                        "a=" => records.a.push(
+                            value
+                                .parse()
+                                .map_err(|_| err(n + 1, "invalid IPv4 address"))?,
+                        ),
+                        "cname=" => records.cnames.push(
+                            value
+                                .parse()
+                                .map_err(|_| err(n + 1, "invalid CNAME domain name"))?,
+                        ),
+                        _ => records.ns.push(
+                            value
+                                .parse()
+                                .map_err(|_| err(n + 1, "invalid NS domain name"))?,
+                        ),
+                    }
+                }
+            }
+            snapshot.records.push(Arc::new(records));
+        }
+        if snapshot.records.len() != sites {
+            return Err(SnapshotDecodeError {
+                line: 4,
+                reason: format!(
+                    "header says {sites} sites but {} record lines follow",
+                    snapshot.records.len()
+                ),
+            });
+        }
+        Ok(snapshot)
+    }
 }
+
+/// Why a snapshot failed to parse, with the 1-based offending line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotDecodeError {
+    /// 1-based line number the error was detected on.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub reason: String,
+}
+
+impl fmt::Display for SnapshotDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "snapshot decode error at line {}: {}",
+            self.line, self.reason
+        )
+    }
+}
+
+impl std::error::Error for SnapshotDecodeError {}
 
 #[cfg(test)]
 mod tests {
@@ -74,14 +221,51 @@ mod tests {
     #[test]
     fn snapshot_indexing() {
         let mut snap = DnsSnapshot::new(SimTime::EPOCH, 0, 2);
-        snap.records.push(SiteRecords::default());
-        snap.records.push(SiteRecords {
+        snap.records.push(Arc::new(SiteRecords::default()));
+        snap.records.push(Arc::new(SiteRecords {
             a: vec![Ipv4Addr::new(1, 2, 3, 4)],
             ..SiteRecords::default()
-        });
+        }));
         assert!(snap.site(0).unwrap().is_empty());
         assert!(!snap.site(1).unwrap().is_empty());
         assert!(snap.site(2).is_none());
         assert_eq!(snap.resolved_count(), 1);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let mut snap = DnsSnapshot::new(SimTime::from_secs(86_400 * 3 + 7), 3, 3);
+        snap.records.push(Arc::new(SiteRecords::default()));
+        snap.records.push(Arc::new(SiteRecords {
+            a: vec![Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8)],
+            cnames: vec!["x7f3.incapdns.net".parse().unwrap()],
+            ns: vec![
+                "kate.ns.cloudflare.com".parse().unwrap(),
+                "rob.ns.cloudflare.com".parse().unwrap(),
+            ],
+        }));
+        snap.records.push(Arc::new(SiteRecords {
+            ns: vec!["ns1.webhost1.net".parse().unwrap()],
+            ..SiteRecords::default()
+        }));
+        let text = snap.encode();
+        let back = DnsSnapshot::decode(&text).expect("canonical text parses");
+        assert_eq!(back, snap);
+        // Canonical: re-encoding the decoded value is byte-identical.
+        assert_eq!(back.encode(), text);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_input() {
+        assert!(DnsSnapshot::decode("").is_err());
+        assert!(DnsSnapshot::decode("something else\n").is_err());
+        let missing_line = "remnant-snapshot v1\ntaken_at=0\nday=0\nsites=1\n";
+        assert!(DnsSnapshot::decode(missing_line).is_err());
+        let bad_ip = "remnant-snapshot v1\ntaken_at=0\nday=0\nsites=1\n0 a=999.1.2.3 cname= ns=\n";
+        let err = DnsSnapshot::decode(bad_ip).unwrap_err();
+        assert_eq!(err.line, 5);
+        assert!(err.to_string().contains("IPv4"));
+        let bad_rank = "remnant-snapshot v1\ntaken_at=0\nday=0\nsites=1\n7 a= cname= ns=\n";
+        assert!(DnsSnapshot::decode(bad_rank).is_err());
     }
 }

@@ -24,7 +24,7 @@ use remnant_world::{BehaviorKind, World};
 
 use crate::adoption::{Adoption, DpsStatus};
 use crate::behavior::BehaviorDetector;
-use crate::collector::{RecordCollector, Target};
+use crate::collector::{DeltaCollector, DeltaRound, RecordCollector, Target};
 use crate::error::ConfigFieldError;
 use crate::fsm::{self, DpsState};
 use crate::pause::PauseTracker;
@@ -33,6 +33,35 @@ use crate::residual::{
 };
 use crate::unchanged::{UnchangedStudy, UnchangedTally};
 use crate::SCANNER_SOURCE;
+
+/// How the daily collection rounds resolve the target list.
+///
+/// Both modes produce byte-identical snapshots, study reports, and
+/// observability output; [`Delta`](CollectionMode::Delta) just skips the
+/// resolution work for shards whose zone generations did not change since
+/// the previous round, replaying their cached outputs instead. The
+/// full-vs-delta equivalence test pins the guarantee down.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CollectionMode {
+    /// Re-resolve every site every round (the paper's literal procedure).
+    #[default]
+    Full,
+    /// Re-resolve only shards whose zone generations changed, plus a
+    /// deterministic refresh stratum; reuse the rest via structural
+    /// sharing.
+    Delta,
+}
+
+impl CollectionMode {
+    /// Stable lowercase name (`"full"` / `"delta"`), as accepted by the
+    /// `repro` CLI's `--collection` flag.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CollectionMode::Full => "full",
+            CollectionMode::Delta => "delta",
+        }
+    }
+}
 
 /// Study parameters.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -50,6 +79,9 @@ pub struct StudyConfig {
     /// scans). The report is bit-identical for every value; only wall time
     /// changes.
     pub workers: usize,
+    /// How daily rounds resolve the target list. The report is
+    /// bit-identical for both modes; only wall time changes.
+    pub collection_mode: CollectionMode,
 }
 
 impl Default for StudyConfig {
@@ -60,6 +92,7 @@ impl Default for StudyConfig {
             collector_region: Region::Ashburn,
             seed: 42,
             workers: 1,
+            collection_mode: CollectionMode::Full,
         }
     }
 }
@@ -123,6 +156,12 @@ impl StudyConfigBuilder {
     /// Worker threads for the sharded sweeps.
     pub fn workers(mut self, workers: usize) -> Self {
         self.config.workers = workers;
+        self
+    }
+
+    /// How daily rounds resolve the target list.
+    pub fn collection_mode(mut self, mode: CollectionMode) -> Self {
+        self.config.collection_mode = mode;
         self
     }
 
@@ -323,6 +362,75 @@ impl Instrumented for EngineReport {
     }
 }
 
+/// How the daily collection rounds spent their resolution budget.
+///
+/// In [`CollectionMode::Full`] every site counts as re-resolved. In
+/// [`CollectionMode::Delta`] the reuse counters show the savings. These
+/// numbers necessarily differ between the two modes, so — unlike
+/// [`EngineReport`] — they are **never** absorbed into the study's
+/// [`ObsReport`]: the report must stay byte-identical across modes. Read
+/// them here, or export them into a private registry via the
+/// [`Instrumented`] impl.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CollectionReport {
+    /// The mode the rounds ran in.
+    pub mode: CollectionMode,
+    /// Daily rounds executed.
+    pub rounds: u64,
+    /// Sites whose previous-round records were replayed without
+    /// resolution (always 0 in full mode).
+    pub reused: u64,
+    /// Sites re-resolved (in full mode: every site every round).
+    pub reresolved: u64,
+    /// Of the re-resolved sites, how many ran only because their shard
+    /// fell into the round's refresh stratum.
+    pub refresh_stratum: u64,
+}
+
+impl CollectionReport {
+    /// Folds one delta round's counters into the aggregate.
+    fn absorb(&mut self, round: &DeltaRound) {
+        self.rounds += 1;
+        self.reused += round.reused;
+        self.reresolved += round.reresolved;
+        self.refresh_stratum += round.refresh_stratum;
+    }
+
+    /// Fraction of site-rounds served from the previous round's records.
+    pub fn reuse_rate(&self) -> f64 {
+        let total = self.reused + self.reresolved;
+        if total == 0 {
+            0.0
+        } else {
+            self.reused as f64 / total as f64
+        }
+    }
+}
+
+impl Instrumented for CollectionReport {
+    fn component(&self) -> &'static str {
+        "collect.report"
+    }
+
+    /// The delta-reuse counters. Deliberately **not** absorbed into the
+    /// study's own [`Obs`]: they differ between modes, and the study's
+    /// [`ObsReport`] must not.
+    fn counters(&self) -> Vec<(MetricKey, u64)> {
+        vec![
+            (MetricKey::named("collect.rounds"), self.rounds),
+            (MetricKey::named(remnant_obs::COLLECT_REUSED), self.reused),
+            (
+                MetricKey::named(remnant_obs::COLLECT_RERESOLVED),
+                self.reresolved,
+            ),
+            (
+                MetricKey::named(remnant_obs::COLLECT_REFRESH_STRATUM),
+                self.refresh_stratum,
+            ),
+        ]
+    }
+}
+
 /// Everything the evaluation section reports.
 #[derive(Clone, Debug, Default)]
 pub struct StudyReport {
@@ -339,6 +447,9 @@ pub struct StudyReport {
     /// Sweep-engine counters (not part of any paper figure; excluded from
     /// rendered output because its wall times vary run to run).
     pub engine: EngineReport,
+    /// Collection-mode reuse accounting (not part of any paper figure;
+    /// kept out of `obs` because it differs between modes by design).
+    pub collection: CollectionReport,
     /// The deterministic observability snapshot: every counter, histogram
     /// and journal event recorded during the run, on virtual time only —
     /// byte-identical JSON for every worker count.
@@ -364,6 +475,20 @@ impl PaperStudy {
 
     /// Runs the full campaign against `world`, advancing its virtual time.
     pub fn run(&self, world: &mut World) -> StudyReport {
+        self.run_with(world, |_| {})
+    }
+
+    /// Like [`run`](PaperStudy::run), but invokes `on_snapshot` with each
+    /// day's [`crate::DnsSnapshot`] right after collection.
+    ///
+    /// The hook exists so the full-vs-delta equivalence test can compare
+    /// the entire snapshot sequence byte-for-byte, not just the final
+    /// report; it observes and must not mutate study state.
+    pub fn run_with(
+        &self,
+        world: &mut World,
+        mut on_snapshot: impl FnMut(&crate::DnsSnapshot),
+    ) -> StudyReport {
         let targets: Vec<Target> = world
             .sites()
             .iter()
@@ -377,7 +502,17 @@ impl PaperStudy {
             self.config.seed,
         ));
 
-        let mut collector = RecordCollector::new(world.clock(), self.config.collector_region);
+        let mut collector = match self.config.collection_mode {
+            CollectionMode::Full => DailyCollector::Full(RecordCollector::new(
+                world.clock(),
+                self.config.collector_region,
+            )),
+            CollectionMode::Delta => DailyCollector::Delta(DeltaCollector::new(
+                world.clock(),
+                self.config.collector_region,
+                self.config.seed,
+            )),
+        };
         let detector = BehaviorDetector::new();
         let mut pause_tracker = PauseTracker::new();
         let mut unchanged = UnchangedStudy::new(SCANNER_SOURCE);
@@ -396,6 +531,7 @@ impl PaperStudy {
         let mut exposed_inc = BTreeSet::new();
 
         let mut report = StudyReport::default();
+        report.collection.mode = self.config.collection_mode;
         let mut behavior_series: Vec<(BehaviorKind, Series)> = BehaviorKind::ALL
             .into_iter()
             .map(|k| (k, Series::new(k.to_string())))
@@ -416,7 +552,15 @@ impl PaperStudy {
         for day in 0..days {
             let day_span = Span::enter(&obs, "study.day");
             obs.event("sweep.start", format!("day {day}: daily collection round"));
-            let (snapshot, sweep) = collector.collect_with(&engine, world, &targets, day);
+            let (snapshot, sweep, delta) = collector.collect(&engine, world, &targets, day);
+            match delta {
+                Some(round) => report.collection.absorb(&round),
+                None => {
+                    report.collection.rounds += 1;
+                    report.collection.reresolved += targets.len() as u64;
+                }
+            }
+            on_snapshot(&snapshot);
             obs.metrics.merge_from(&sweep.merged_metrics());
             obs.event(
                 "sweep.finish",
@@ -589,6 +733,42 @@ impl PaperStudy {
     }
 }
 
+/// The study's per-mode collector dispatch: one arm per
+/// [`CollectionMode`], unified behind a `collect` that also reports the
+/// round's reuse counters (`None` in full mode).
+enum DailyCollector {
+    Full(RecordCollector),
+    Delta(DeltaCollector),
+}
+
+impl DailyCollector {
+    fn collect(
+        &mut self,
+        engine: &ScanEngine,
+        world: &World,
+        targets: &[Target],
+        day: u32,
+    ) -> (crate::DnsSnapshot, SweepStats, Option<DeltaRound>) {
+        match self {
+            DailyCollector::Full(collector) => {
+                let (snapshot, sweep) = collector.collect_with(engine, world, targets, day);
+                (snapshot, sweep, None)
+            }
+            DailyCollector::Delta(collector) => {
+                let (snapshot, sweep, round) = collector.collect_with(engine, world, targets, day);
+                (snapshot, sweep, Some(round))
+            }
+        }
+    }
+
+    fn rounds(&self) -> u32 {
+        match self {
+            DailyCollector::Full(collector) => collector.rounds(),
+            DailyCollector::Delta(collector) => collector.rounds(),
+        }
+    }
+}
+
 /// Journals one weekly pipeline pass's funnel attrition.
 fn note_filter_verdict(obs: &mut Obs, weekly: &WeeklyScanReport) {
     obs.event(
@@ -658,6 +838,7 @@ pub fn vantage_catchment(world: &World, provider: ProviderId) -> Vec<(Region, St
 #[cfg(test)]
 mod tests {
     use super::*;
+    use remnant_obs::MetricsRegistry;
     use remnant_world::WorldConfig;
 
     fn run_study(population: usize, weeks: u32, seed: u64) -> StudyReport {
@@ -739,6 +920,76 @@ mod tests {
             .expect("day spans recorded");
         assert_eq!(spans.count(), 14);
         assert!(spans.sum() >= 14 * 20 * 3_600);
+    }
+
+    #[test]
+    fn delta_mode_matches_full_mode_byte_for_byte() {
+        let world_config = WorldConfig {
+            population: 1_200,
+            seed: 21,
+            warmup_days: 5,
+            calibration: remnant_world::Calibration::paper(),
+        };
+        let study = |mode: CollectionMode| {
+            let mut world = World::generate(world_config.clone());
+            let config = StudyConfig::builder()
+                .weeks(2)
+                .workers(2)
+                .collection_mode(mode)
+                .build()
+                .unwrap();
+            let mut snapshots = String::new();
+            let report = PaperStudy::new(config).run_with(&mut world, |snapshot| {
+                snapshots.push_str(&snapshot.encode())
+            });
+            (report, snapshots)
+        };
+        let (full, full_snaps) = study(CollectionMode::Full);
+        let (delta, delta_snaps) = study(CollectionMode::Delta);
+
+        // The hard guarantee: identical snapshots and identical telemetry.
+        assert_eq!(full_snaps, delta_snaps);
+        assert_eq!(full.obs.to_json(), delta.obs.to_json());
+        assert_eq!(full.adoption, delta.adoption);
+        assert_eq!(full.unchanged.rows, delta.unchanged.rows);
+        assert_eq!(full.engine.queries, delta.engine.queries);
+        assert_eq!(full.engine.shards, delta.engine.shards);
+        assert_eq!(full.engine.cache_hits, delta.engine.cache_hits);
+
+        // And delta mode actually reused work.
+        assert_eq!(full.collection.mode, CollectionMode::Full);
+        assert_eq!(full.collection.reused, 0);
+        assert_eq!(full.collection.reresolved, 14 * 1_200);
+        assert_eq!(delta.collection.mode, CollectionMode::Delta);
+        assert_eq!(delta.collection.rounds, 14);
+        assert!(delta.collection.reused > 0, "delta rounds replayed shards");
+        assert!(
+            delta.collection.reuse_rate() > 0.5,
+            "most site-rounds reused"
+        );
+        assert_eq!(
+            delta.collection.reused + delta.collection.reresolved,
+            14 * 1_200
+        );
+
+        // The reuse counters stay out of the shared obs report but export
+        // through Instrumented for anyone who wants them.
+        assert_eq!(
+            delta.obs.counter(
+                remnant_obs::COLLECT_REUSED,
+                &[("component", "collect.report")]
+            ),
+            0
+        );
+        let mut registry = MetricsRegistry::new();
+        delta.collection.export_into(&mut registry);
+        assert_eq!(
+            registry.counter_labeled(
+                remnant_obs::COLLECT_REUSED,
+                &[("component", "collect.report")]
+            ),
+            delta.collection.reused
+        );
     }
 
     #[test]

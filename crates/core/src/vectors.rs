@@ -438,12 +438,16 @@ mod tests {
         let mut db = PassiveDnsDb::new();
         assert!(db.is_empty());
         let mut snap = DnsSnapshot::new(remnant_sim::SimTime::EPOCH, 0, 1);
-        snap.records.push(crate::snapshot::SiteRecords {
-            a: vec![Ipv4Addr::new(1, 1, 1, 1)],
+        snap.records
+            .push(std::sync::Arc::new(crate::snapshot::SiteRecords {
+                a: vec![Ipv4Addr::new(1, 1, 1, 1)],
+                ..Default::default()
+            }));
+        db.feed(&snap);
+        snap.records[0] = std::sync::Arc::new(crate::snapshot::SiteRecords {
+            a: vec![Ipv4Addr::new(2, 2, 2, 2)],
             ..Default::default()
         });
-        db.feed(&snap);
-        snap.records[0].a = vec![Ipv4Addr::new(2, 2, 2, 2)];
         db.feed(&snap);
         let addrs: Vec<Ipv4Addr> = db.addresses(0).collect();
         assert_eq!(addrs.len(), 2);

@@ -84,15 +84,6 @@ impl HtmlVerifier {
         }
     }
 
-    /// Number of verification attempts performed.
-    #[deprecated(
-        since = "0.2.0",
-        note = "read the unified counter surface instead: `Instrumented::counters` (`verify.attempts`)"
-    )]
-    pub fn attempts(&self) -> u64 {
-        self.attempts
-    }
-
     /// Verifies whether `candidate` (IP1) serves the same site as
     /// `reference` (IP2) for `host`.
     pub fn verify<T: HttpTransport>(
@@ -213,10 +204,6 @@ mod tests {
         );
         assert_eq!(count(&[("outcome", "verified")]), 1);
         assert_eq!(count(&[("outcome", "mismatch")]), 0);
-        #[allow(deprecated)]
-        {
-            assert_eq!(verifier.attempts(), 1, "deprecated shim still agrees");
-        }
     }
 
     #[test]

@@ -187,9 +187,13 @@ impl ResolverCache {
         self.entries.clear();
     }
 
-    /// Drops only expired entries.
+    /// Drops only expired entries — positive and negative alike — and counts
+    /// each eviction toward [`ResolverCache::expired_count`], matching the
+    /// evict-on-access accounting in [`ResolverCache::get_entry`].
     pub fn evict_expired(&mut self, now: SimTime) {
+        let before = self.entries.len();
         self.entries.retain(|_, entry| entry.expires > now);
+        self.expired += (before - self.entries.len()) as u64;
     }
 
     /// Number of entries currently stored (including expired-but-unevicted).
@@ -330,6 +334,33 @@ mod tests {
         cache.insert(SimTime::EPOCH, vec![a("long.com", 1000, [2, 2, 2, 2])]);
         cache.evict_expired(SimTime::from_secs(11));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evict_expired_sweeps_positive_and_negative_entries_together() {
+        let mut cache = ResolverCache::new();
+        // Positive entry expiring at t=10, negative at t=NEGATIVE_TTL_SECS,
+        // and one long-lived survivor of each kind.
+        cache.insert(SimTime::EPOCH, vec![a("short.com", 10, [1, 1, 1, 1])]);
+        cache.insert(SimTime::EPOCH, vec![a("long.com", 1_000_000, [2, 2, 2, 2])]);
+        cache.insert_negative(
+            SimTime::EPOCH,
+            name("gone.com"),
+            RecordType::A,
+            Rcode::NxDomain,
+        );
+        let late = SimTime::from_secs(NEGATIVE_TTL_SECS + 1);
+        cache.insert_negative(late, name("fresh.com"), RecordType::A, Rcode::NxDomain);
+        assert_eq!(cache.len(), 4);
+
+        // One pass past both expiry horizons evicts the expired positive AND
+        // the expired negative entry, and counts both as expirations.
+        cache.evict_expired(late);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.expired_count(), 2);
+        assert!(cache.get(late, &name("long.com"), RecordType::A).is_some());
+        assert!(cache.has_negative(late, &name("fresh.com"), RecordType::A));
+        assert!(!cache.has_negative(late, &name("gone.com"), RecordType::A));
     }
 
     #[test]

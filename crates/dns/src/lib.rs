@@ -75,7 +75,7 @@ pub use error::DnsError;
 pub use message::{Query, Rcode, Response};
 pub use name::DomainName;
 pub use record::{empty_record_set, RecordData, RecordSet, RecordType, ResourceRecord, Ttl};
-pub use registry::Registry;
+pub use registry::{Registry, ZoneGenerationProbe};
 pub use remnant_obs::Instrumented;
 pub use resolver::{RecursiveResolver, Resolution, ResolverStats};
 pub use transport::{

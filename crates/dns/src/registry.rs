@@ -50,7 +50,35 @@ pub struct Delegation {
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Registry {
     delegations: BTreeMap<DomainName, Delegation>,
+    /// Per-apex delegation generation. Bumped on every `delegate`/`undelegate`
+    /// and kept after removal, so re-registering an apex never repeats an old
+    /// generation. Compared only for equality (see [`ZoneGenerationProbe`]).
+    generations: BTreeMap<DomainName, u64>,
     queries_served: u64,
+}
+
+/// A cheap probe for "has this apex's authoritative data changed?".
+///
+/// Implementors return a generation counter per apex that changes whenever
+/// the answers the authority would give for that apex could have changed.
+/// Equal generations across two probes guarantee identical answers; the
+/// numeric value carries no other meaning (no ordering, no deltas).
+pub trait ZoneGenerationProbe {
+    /// The current generation for one apex. Unknown apexes return 0.
+    fn generation_of(&self, apex: &DomainName) -> u64;
+
+    /// Batched probe over many apexes, in input order. The default loops
+    /// over [`ZoneGenerationProbe::generation_of`]; implementors with a
+    /// cheaper bulk path may override it.
+    fn generations_for(&self, apexes: &[&DomainName]) -> Vec<u64> {
+        apexes.iter().map(|apex| self.generation_of(apex)).collect()
+    }
+}
+
+impl ZoneGenerationProbe for Registry {
+    fn generation_of(&self, apex: &DomainName) -> u64 {
+        self.generations.get(apex).copied().unwrap_or(0)
+    }
 }
 
 impl Registry {
@@ -76,13 +104,18 @@ impl Registry {
         nameservers: Vec<(DomainName, std::net::Ipv4Addr)>,
         ttl: Ttl,
     ) {
+        *self.generations.entry(apex.clone()).or_insert(0) += 1;
         self.delegations
             .insert(apex, Delegation { nameservers, ttl });
     }
 
     /// Removes the delegation for `apex`, returning it.
     pub fn undelegate(&mut self, apex: &DomainName) -> Option<Delegation> {
-        self.delegations.remove(apex)
+        let removed = self.delegations.remove(apex);
+        if removed.is_some() {
+            *self.generations.entry(apex.clone()).or_insert(0) += 1;
+        }
+        removed
     }
 
     /// The delegation for exactly `apex`, if registered.
@@ -233,6 +266,38 @@ mod tests {
         assert_eq!(apex, name("sub.example.com"));
         let (apex, _) = r.covering_delegation(&name("www.example.com")).unwrap();
         assert_eq!(apex, name("example.com"));
+    }
+
+    #[test]
+    fn generations_track_delegation_changes() {
+        let mut r = Registry::new();
+        let apex = name("example.com");
+        let other = name("other.net");
+        assert_eq!(r.generation_of(&apex), 0);
+        r.delegate(
+            apex.clone(),
+            vec![(name("ns1.webhost1.net"), Ipv4Addr::new(1, 1, 1, 1))],
+        );
+        assert_eq!(r.generation_of(&apex), 1);
+        // Re-delegation (provider switch) bumps again.
+        r.delegate(
+            apex.clone(),
+            vec![(name("kate.ns.cloudflare.com"), Ipv4Addr::new(2, 2, 2, 2))],
+        );
+        assert_eq!(r.generation_of(&apex), 2);
+        // Removal bumps; removing nothing does not.
+        assert!(r.undelegate(&apex).is_some());
+        assert_eq!(r.generation_of(&apex), 3);
+        assert!(r.undelegate(&apex).is_none());
+        assert_eq!(r.generation_of(&apex), 3);
+        // Re-registration continues the counter instead of restarting it.
+        r.delegate(
+            apex.clone(),
+            vec![(name("ns1.webhost1.net"), Ipv4Addr::new(1, 1, 1, 1))],
+        );
+        assert_eq!(r.generation_of(&apex), 4);
+        // Batched probe preserves input order and defaults unknowns to 0.
+        assert_eq!(r.generations_for(&[&other, &apex]), vec![0, 4]);
     }
 
     #[test]

@@ -151,16 +151,6 @@ impl<'a, T: ShardableTransport + ?Sized> CountingTransport<'a, T> {
             answered: 0,
         }
     }
-
-    /// Queries delivered through this wrapper.
-    #[deprecated(
-        since = "0.2.0",
-        note = "read the unified counter surface instead: `query_stats().sent` \
-                or `Instrumented::counters`"
-    )]
-    pub fn sent(&self) -> u64 {
-        self.sent
-    }
 }
 
 impl<T: ShardableTransport + ?Sized> Instrumented for CountingTransport<'_, T> {
@@ -249,16 +239,6 @@ impl StaticTransport {
     /// Shared access to the registry.
     pub fn registry(&self) -> &Registry {
         &self.registry
-    }
-
-    /// Total queries that reached some server (including the registry).
-    #[deprecated(
-        since = "0.2.0",
-        note = "read the unified counter surface instead: `query_stats().sent` \
-                or `Instrumented::counters`"
-    )]
-    pub fn queries_sent(&self) -> u64 {
-        self.queries_sent
     }
 }
 
@@ -507,18 +487,5 @@ mod tests {
             counting.query_stats().counters(),
             "QueryStats and its transport agree"
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_accessors_still_agree_with_query_stats() {
-        let mut t = transport();
-        let q = Query::new(name("www.example.com"), RecordType::A);
-        let _ = t.query(SimTime::EPOCH, ROOT_SERVER, Region::Oregon, &q);
-        assert_eq!(t.queries_sent(), t.query_stats().sent);
-        let shared = EchoTransport;
-        let mut counting = CountingTransport::new(&shared);
-        let _ = counting.query(SimTime::EPOCH, ROOT_SERVER, Region::Oregon, &q);
-        assert_eq!(counting.sent(), counting.query_stats().sent);
     }
 }

@@ -61,6 +61,10 @@ pub struct Zone {
     /// Sets are shared: lookups hand out refcounted handles, and the rare
     /// mutations (provider switches between sweeps) rebuild the set.
     records: BTreeMap<(DomainName, RecordType), RecordSet>,
+    /// SOA-serial-style generation counter, bumped on every record mutation.
+    /// Two equal generations guarantee the record contents are unchanged;
+    /// the counter is compared only for equality, never for ordering.
+    generation: u64,
 }
 
 impl Zone {
@@ -69,12 +73,20 @@ impl Zone {
         Zone {
             origin,
             records: BTreeMap::new(),
+            generation: 0,
         }
     }
 
     /// The zone's origin name.
     pub fn origin(&self) -> &DomainName {
         &self.origin
+    }
+
+    /// The zone's generation counter — an SOA-serial analogue that changes
+    /// whenever any record is added, removed, or replaced. Delta collection
+    /// compares generations between rounds to skip unchanged zones.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Adds a record. The owner must be at or under the origin.
@@ -113,14 +125,19 @@ impl Zone {
                 self.records.insert(key, RecordSet::from(vec![record]));
             }
         }
+        self.generation += 1;
         Ok(())
     }
 
     /// Removes all records of `rtype` at `name`, returning them.
     pub fn remove(&mut self, name: &DomainName, rtype: RecordType) -> Vec<ResourceRecord> {
-        self.records
-            .remove(&(name.clone(), rtype))
-            .map_or_else(Vec::new, |set| set.to_vec())
+        match self.records.remove(&(name.clone(), rtype)) {
+            Some(set) => {
+                self.generation += 1;
+                set.to_vec()
+            }
+            None => Vec::new(),
+        }
     }
 
     /// Removes every record at `name` (all types).
@@ -135,12 +152,16 @@ impl Zone {
         for key in keys {
             removed += self.records.remove(&key).map_or(0, |set| set.len());
         }
+        if removed > 0 {
+            self.generation += 1;
+        }
         removed
     }
 
     /// Replaces all records of `rtype` at `name` with `records`.
     pub fn replace(&mut self, name: &DomainName, rtype: RecordType, records: impl Into<RecordSet>) {
         let records: RecordSet = records.into();
+        self.generation += 1;
         if records.is_empty() {
             self.records.remove(&(name.clone(), rtype));
             return;
@@ -399,6 +420,34 @@ mod tests {
         ));
         assert_eq!(z.remove_name(&name("x.example.com")), 2);
         assert!(z.is_empty());
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation() {
+        let mut z = Zone::new(name("example.com"));
+        assert_eq!(z.generation(), 0);
+        z.add(a("www.example.com", [1, 2, 3, 4]));
+        assert_eq!(z.generation(), 1);
+        z.replace(
+            &name("www.example.com"),
+            RecordType::A,
+            vec![a("www.example.com", [5, 6, 7, 8])],
+        );
+        assert_eq!(z.generation(), 2);
+        z.remove(&name("www.example.com"), RecordType::A);
+        assert_eq!(z.generation(), 3);
+        // Removing what is not there is not a mutation.
+        z.remove(&name("www.example.com"), RecordType::A);
+        assert_eq!(z.remove_name(&name("www.example.com")), 0);
+        assert_eq!(z.generation(), 3);
+        z.add(a("x.example.com", [1, 1, 1, 1]));
+        z.add(a("x.example.com", [2, 2, 2, 2]));
+        assert_eq!(z.generation(), 5);
+        assert_eq!(z.remove_name(&name("x.example.com")), 2);
+        assert_eq!(z.generation(), 6);
+        // Failed adds leave the generation untouched.
+        assert!(z.try_add(a("www.other.org", [1, 2, 3, 4])).is_err());
+        assert_eq!(z.generation(), 6);
     }
 
     #[test]

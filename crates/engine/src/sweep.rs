@@ -170,7 +170,86 @@ impl ScanEngine {
         F: Fn(W, &mut ShardScope) + Sync,
     {
         let shards = plan_shards(items.len(), self.config.shard_size);
-        let workers = self.config.workers.max(1).min(shards.len().max(1));
+        let selected: Vec<usize> = (0..shards.len()).collect();
+        self.run_shards(ctx, items, &shards, &selected, make_worker, task, finish)
+    }
+
+    /// The shard layout this engine would use for `items` inputs.
+    ///
+    /// Depends only on the item count and
+    /// [`shard_size`](EngineConfig::shard_size) — callers that schedule a
+    /// subset of shards (see [`ScanEngine::sweep_selected_with_finish`])
+    /// use this to map item ranks to shard indices.
+    pub fn shard_plan(&self, items: usize) -> Vec<std::ops::Range<usize>> {
+        plan_shards(items, self.config.shard_size)
+    }
+
+    /// [`ScanEngine::sweep_with_finish`], restricted to a subset of shards.
+    ///
+    /// `selected` names shard indices from [`ScanEngine::shard_plan`] (any
+    /// order; duplicates ignored; out-of-range indices panic). Each selected
+    /// shard runs with its **original identity**: the same RNG stream, the
+    /// same `ShardStats::shard` index, and the same item range as in a full
+    /// sweep — so a selected shard's outputs and stats are byte-identical
+    /// to the corresponding shard of [`ScanEngine::sweep_with_finish`].
+    ///
+    /// The returned outputs are the concatenation of the selected shards'
+    /// outputs in ascending shard order; `stats.shards` likewise holds only
+    /// the selected shards. Callers that need a full-length result splice
+    /// the pieces back using the shard plan.
+    pub fn sweep_selected_with_finish<C, I, O, W, MW, T, F>(
+        &self,
+        ctx: &C,
+        items: &[I],
+        selected: &[usize],
+        make_worker: MW,
+        task: T,
+        finish: F,
+    ) -> Sweep<O>
+    where
+        C: Sync + ?Sized,
+        I: Sync,
+        O: Send,
+        MW: Fn(usize) -> W + Sync,
+        T: Fn(&C, &mut W, &mut ShardScope, usize, &I) -> TaskResult<O> + Sync,
+        F: Fn(W, &mut ShardScope) + Sync,
+    {
+        let shards = plan_shards(items.len(), self.config.shard_size);
+        let mut selected: Vec<usize> = selected.to_vec();
+        selected.sort_unstable();
+        selected.dedup();
+        if let Some(&last) = selected.last() {
+            assert!(
+                last < shards.len(),
+                "selected shard {last} out of range ({} shards)",
+                shards.len()
+            );
+        }
+        self.run_shards(ctx, items, &shards, &selected, make_worker, task, finish)
+    }
+
+    /// Shared executor: runs the `selected` (sorted, deduped) subset of
+    /// `shards` and merges positionally in ascending shard order.
+    #[allow(clippy::too_many_arguments)]
+    fn run_shards<C, I, O, W, MW, T, F>(
+        &self,
+        ctx: &C,
+        items: &[I],
+        shards: &[std::ops::Range<usize>],
+        selected: &[usize],
+        make_worker: MW,
+        task: T,
+        finish: F,
+    ) -> Sweep<O>
+    where
+        C: Sync + ?Sized,
+        I: Sync,
+        O: Send,
+        MW: Fn(usize) -> W + Sync,
+        T: Fn(&C, &mut W, &mut ShardScope, usize, &I) -> TaskResult<O> + Sync,
+        F: Fn(W, &mut ShardScope) + Sync,
+    {
+        let workers = self.config.workers.max(1).min(selected.len().max(1));
         let limiter = self.config.rate.map(TokenBucket::new);
         let seeds = SeedSeq::new(self.config.seed).child("engine");
         let max_attempts = self.config.retry.max_attempts.max(1);
@@ -237,11 +316,11 @@ impl ScanEngine {
                     scope.spawn(|| {
                         let mut finished = Vec::new();
                         loop {
-                            let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                            if idx >= shards.len() {
+                            let pos = cursor.fetch_add(1, Ordering::Relaxed);
+                            if pos >= selected.len() {
                                 break;
                             }
-                            finished.push(run_shard(idx));
+                            finished.push(run_shard(selected[pos]));
                         }
                         finished
                     })
@@ -255,7 +334,8 @@ impl ScanEngine {
 
         // Positional merge: shard order, not completion order.
         done.sort_by_key(|(idx, ..)| *idx);
-        let mut outputs = Vec::with_capacity(items.len());
+        let selected_items: usize = selected.iter().map(|&idx| shards[idx].len()).sum();
+        let mut outputs = Vec::with_capacity(selected_items);
         let mut stats = SweepStats {
             workers,
             shards: Vec::with_capacity(done.len()),
@@ -428,6 +508,68 @@ mod tests {
             eight.stats.merged_metrics(),
             "merged metrics are worker-count invariant"
         );
+    }
+
+    #[test]
+    fn selected_shards_keep_their_full_sweep_identity() {
+        let items: Vec<u64> = (0..230).collect();
+        let task = |_: &(), acc: &mut u64, scope: &mut ShardScope, rank: usize, item: &u64| {
+            *acc += 1;
+            scope.add_queries(1);
+            let noise: u64 = scope.rng().gen_range(0..1000);
+            TaskResult::Done(item.wrapping_mul(7) ^ noise ^ (rank as u64) ^ *acc)
+        };
+        let finish = |acc: u64, scope: &mut ShardScope| {
+            scope.metrics().add("transport.sent", acc);
+        };
+        let eng = engine(4, 32);
+        let plan = eng.shard_plan(items.len());
+        assert_eq!(plan.len(), 8);
+        let full = eng.sweep_with_finish(&(), &items, |_| 0u64, task, finish);
+
+        // Run a subset (unsorted, with a duplicate) and compare each selected
+        // shard's outputs and stats against the full sweep, slot for slot.
+        let partial =
+            eng.sweep_selected_with_finish(&(), &items, &[6, 1, 3, 1], |_| 0u64, task, finish);
+        let chosen = [1usize, 3, 6];
+        let expected: Vec<u64> = chosen
+            .iter()
+            .flat_map(|&idx| full.outputs[plan[idx].clone()].iter().copied())
+            .collect();
+        assert_eq!(partial.outputs, expected);
+        assert_eq!(partial.stats.shards.len(), 3);
+        for (pos, &idx) in chosen.iter().enumerate() {
+            assert_eq!(partial.stats.shards[pos], full.stats.shards[idx]);
+        }
+    }
+
+    #[test]
+    fn selecting_every_shard_matches_a_full_sweep() {
+        let items: Vec<u64> = (0..100).collect();
+        let task = |_: &(), _: &mut (), scope: &mut ShardScope, _: usize, item: &u64| {
+            TaskResult::Done(item ^ scope.rng().gen_range(0u64..1 << 20))
+        };
+        let eng = engine(2, 16);
+        let all: Vec<usize> = (0..eng.shard_plan(items.len()).len()).collect();
+        let full = eng.sweep_with_finish(&(), &items, |_| (), task, |_, _| {});
+        let sel = eng.sweep_selected_with_finish(&(), &items, &all, |_| (), task, |_, _| {});
+        assert_eq!(full.outputs, sel.outputs);
+        assert_eq!(full.stats.shards, sel.stats.shards);
+    }
+
+    #[test]
+    fn selecting_no_shards_is_an_empty_sweep() {
+        let items: Vec<u64> = (0..50).collect();
+        let sweep = engine(2, 16).sweep_selected_with_finish(
+            &(),
+            &items,
+            &[],
+            |_| (),
+            |_, _, _, _, _| TaskResult::Done(0u64),
+            |_, _| {},
+        );
+        assert!(sweep.outputs.is_empty());
+        assert!(sweep.stats.shards.is_empty());
     }
 
     #[test]

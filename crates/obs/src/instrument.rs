@@ -24,6 +24,16 @@ pub const TRANSPORT_ANSWERED: &str = "transport.answered";
 /// Canonical counter name for requests that went unanswered.
 pub const TRANSPORT_IGNORED: &str = "transport.ignored";
 
+/// Canonical counter name for sites whose previous-round records were
+/// reused by a delta-mode collector (structural sharing, no resolution).
+pub const COLLECT_REUSED: &str = "collect.reused";
+/// Canonical counter name for sites re-resolved by a delta-mode collector
+/// because their shard's zone generations changed (or its cache was cold).
+pub const COLLECT_RERESOLVED: &str = "collect.reresolved";
+/// Canonical counter name for sites re-resolved only because their shard
+/// fell into the round's deterministic refresh stratum.
+pub const COLLECT_REFRESH_STRATUM: &str = "collect.refresh_stratum";
+
 /// A component that exposes deterministic counters.
 ///
 /// # Example

@@ -43,7 +43,8 @@ mod report;
 mod span;
 
 pub use instrument::{
-    transport_counters, Instrumented, TRANSPORT_ANSWERED, TRANSPORT_IGNORED, TRANSPORT_SENT,
+    transport_counters, Instrumented, COLLECT_REFRESH_STRATUM, COLLECT_RERESOLVED, COLLECT_REUSED,
+    TRANSPORT_ANSWERED, TRANSPORT_IGNORED, TRANSPORT_SENT,
 };
 pub use journal::{Event, EventJournal, DEFAULT_JOURNAL_CAPACITY};
 pub use metrics::{Histogram, MetricKey, MetricsRegistry, DEFAULT_BOUNDS};

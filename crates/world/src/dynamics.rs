@@ -157,6 +157,7 @@ impl World {
             .expect("enrolled sites have provider accounts");
         self.sites[id.0 as usize].state = SiteState::SelfHosted;
         self.sites[id.0 as usize].scheduled_resume = None;
+        self.touch_zone(id);
         self.events.push(BehaviorEvent {
             time: now,
             site: id,
@@ -187,6 +188,7 @@ impl World {
         if let SiteState::Dps { paused, .. } = &mut self.sites[id.0 as usize].state {
             *paused = true;
         }
+        self.touch_zone(id);
         self.events.push(BehaviorEvent {
             time: now,
             site: id,
@@ -217,6 +219,7 @@ impl World {
             *paused = false;
         }
         self.sites[id.0 as usize].scheduled_resume = None;
+        self.touch_zone(id);
         self.events.push(BehaviorEvent {
             time: now,
             site: id,
@@ -386,6 +389,7 @@ impl World {
         match fate {
             LeaveFate::SelfHostSameIp => {
                 self.sites[id.0 as usize].state = SiteState::SelfHosted;
+                self.touch_zone(id);
             }
             LeaveFate::SelfHostNewIp => {
                 self.move_origin(id);
@@ -420,6 +424,7 @@ impl World {
         if let SiteState::Dps { paused, .. } = &mut self.sites[id.0 as usize].state {
             *paused = true;
         }
+        self.touch_zone(id);
         // Schedule the resume (or abandon the pause indefinitely).
         let resume_at = {
             let cal = &self.config.calibration;
@@ -498,6 +503,7 @@ impl World {
             *paused = false;
         }
         self.sites[id.0 as usize].scheduled_resume = None;
+        self.touch_zone(id);
         self.events.push(BehaviorEvent {
             time: now,
             site: id,

@@ -10,7 +10,7 @@ use rand::{Rng, SeedableRng};
 use remnant_dns::transport::ROOT_SERVER;
 use remnant_dns::{
     DnsTransport, DomainName, Query, QueryStats, Rcode, RecordData, RecordType, ResourceRecord,
-    Response, ShardableTransport, Ttl,
+    Response, ShardableTransport, Ttl, ZoneGenerationProbe,
 };
 use remnant_http::{
     FirewallPolicy, HttpRequest, HttpResponse, HttpTransport, OriginServer, PageTemplate,
@@ -72,6 +72,11 @@ pub struct World {
     pub(crate) origin_alloc: IpAllocator,
     pub(crate) events: Vec<BehaviorEvent>,
     pub(crate) resume_schedule: Vec<(SimTime, SiteId, ProviderId)>,
+    /// Per-site zone generation, bumped by every dynamics event that can
+    /// change the answers the fabric serves for the site's apex (enrollment,
+    /// provider switch, origin move, pause/resume, going dark). Read through
+    /// [`ZoneGenerationProbe`] by delta-mode collection.
+    zone_generations: Vec<u64>,
     parking_template: PageTemplate,
     parking_nonce: u64,
     dns_queries: AtomicU64,
@@ -187,6 +192,7 @@ impl World {
             origin_alloc,
             events: Vec::new(),
             resume_schedule: Vec::new(),
+            zone_generations: vec![0; config.population],
             parking_template: PageTemplate::generate("parked.example", config.seed),
             parking_nonce: 0,
             dns_queries: AtomicU64::new(0),
@@ -612,6 +618,19 @@ impl World {
     // Internal wiring used by the dynamics engine.
     // ------------------------------------------------------------------
 
+    /// Marks the site's zone as changed: every dynamics event that can
+    /// alter the fabric's answers for the apex must call this (directly or
+    /// via [`World::enroll_site`] / [`World::move_origin`] /
+    /// [`World::take_dark`]).
+    ///
+    /// Out-of-band provider edits through [`World::provider_mut`] are *not*
+    /// tracked — delta collection's refresh stratum exists to bound the
+    /// staleness such untracked edits could cause.
+    pub(crate) fn touch_zone(&mut self, id: SiteId) {
+        let generation = &mut self.zone_generations[id.0 as usize];
+        *generation = generation.wrapping_add(1);
+    }
+
     /// Enrolls a site at a provider and updates its state.
     pub(crate) fn enroll_site(
         &mut self,
@@ -657,6 +676,7 @@ impl World {
             paused: false,
         };
         site.scheduled_resume = None;
+        self.touch_zone(id);
     }
 
     /// Converts a site into a multi-CDN (Cedexis-style) customer: CNAME
@@ -719,6 +739,7 @@ impl World {
         self.origin_owner.remove(&old_ip);
         self.origins.remove(&old_ip);
         self.origin_owner.insert(new_ip, id);
+        self.touch_zone(id);
         new_ip
     }
 
@@ -729,6 +750,7 @@ impl World {
         self.origin_owner.remove(&origin);
         self.origins.remove(&origin);
         self.sites[id.0 as usize].state = SiteState::Dark;
+        self.touch_zone(id);
     }
 
     /// Materializes (or retrieves) the origin server at `addr`.
@@ -950,6 +972,32 @@ impl World {
     }
 }
 
+/// Cheap change detection for delta-mode collection.
+///
+/// The reported generation changes whenever the fabric's answers for the
+/// apex could have changed: every tracked dynamics event bumps the stored
+/// counter (see [`World::touch_zone`]), and multi-CDN sites additionally
+/// fold the current day's parity into the value because their balancer
+/// alternates serving CDNs daily (Sec IV-B.3) without any zone edit.
+/// Generations are compared only for equality, so the parity mix-in just
+/// has to differ between consecutive parities — it does not need ordering.
+impl ZoneGenerationProbe for World {
+    fn generation_of(&self, apex: &DomainName) -> u64 {
+        let Some(id) = self.by_apex.get(apex) else {
+            return 0;
+        };
+        let rank = id.0 as usize;
+        let generation = self.zone_generations[rank];
+        if self.sites[rank].multi_cdn.is_some() {
+            generation
+                .wrapping_mul(2)
+                .wrapping_add(self.clock.now().as_days() & 1)
+        } else {
+            generation.wrapping_mul(2)
+        }
+    }
+}
+
 impl Instrumented for World {
     fn component(&self) -> &'static str {
         "world.fabric"
@@ -995,6 +1043,70 @@ mod tests {
 
     fn resolver(world: &World) -> RecursiveResolver {
         RecursiveResolver::new(world.clock(), Region::Oregon)
+    }
+
+    #[test]
+    fn zone_generations_track_answer_changing_events() {
+        let mut world = small_world();
+        let site = world
+            .sites()
+            .iter()
+            .find(|s| {
+                matches!(s.state, SiteState::Dps { paused: false, .. }) && s.multi_cdn.is_none()
+            })
+            .expect("enrolled single-CDN sites exist")
+            .clone();
+        let before = world.generation_of(&site.apex);
+        world.force_pause(site.id);
+        let paused = world.generation_of(&site.apex);
+        assert_ne!(before, paused, "pausing changes the generation");
+        world.force_resume(site.id);
+        let resumed = world.generation_of(&site.apex);
+        assert_ne!(paused, resumed, "resuming changes the generation");
+        world.force_leave(site.id, true);
+        assert_ne!(resumed, world.generation_of(&site.apex));
+        // Untouched sites keep their generation across time steps.
+        let other = world
+            .sites()
+            .iter()
+            .find(|s| s.state == SiteState::SelfHosted && s.multi_cdn.is_none())
+            .expect("self-hosted sites exist")
+            .clone();
+        let stable = world.generation_of(&other.apex);
+        world.step_hours(48);
+        assert_eq!(stable, world.generation_of(&other.apex));
+        // Unknown apexes probe as 0 and batched probes keep input order.
+        let unknown: DomainName = "no-such-site.example".parse().unwrap();
+        assert_eq!(world.generation_of(&unknown), 0);
+        assert_eq!(
+            world.generations_for(&[&unknown, &other.apex]),
+            vec![0, stable]
+        );
+    }
+
+    #[test]
+    fn multi_cdn_generations_flip_with_day_parity() {
+        let mut calibration = crate::config::Calibration::paper();
+        calibration.multi_cdn_fraction = 0.5; // make them common for the test
+        let mut world = World::generate(WorldConfig {
+            population: 400,
+            seed: 77,
+            warmup_days: 0,
+            calibration,
+        });
+        let site = world
+            .sites()
+            .iter()
+            .find(|s| s.multi_cdn.is_some())
+            .expect("multi-cdn sites exist at this fraction")
+            .clone();
+        let day0 = world.generation_of(&site.apex);
+        world.step_hours(24);
+        let day1 = world.generation_of(&site.apex);
+        world.step_hours(24);
+        let day2 = world.generation_of(&site.apex);
+        assert_ne!(day0, day1, "the serving CDN alternates daily");
+        assert_eq!(day0, day2, "same parity, same answers, same generation");
     }
 
     #[test]
