@@ -9,9 +9,11 @@
 //! pipeline stages (fleet harvest / direct scan / filter pipeline), the
 //! engine collection sweep at several worker counts, the observability
 //! overhead suite (obs primitive costs plus an instrumented-vs-plain sweep
-//! A/B), and the delta-collection suite (steady-state daily round plus a
-//! multi-week campaign, full vs delta measured side by side), then writes
-//! one JSON document (default `BENCH_4.json`). The seed-commit baseline
+//! A/B), the delta-collection suite (steady-state daily round plus a
+//! multi-week campaign, full vs delta measured side by side), and the
+//! wire suite (RFC 1035 encode/decode plus the daemon's cached serve
+//! path, with its ≥1M queries/sec target), then writes one JSON document
+//! (default `BENCH_5.json`). The seed-commit baseline
 //! numbers are embedded so the file carries its own before/after story;
 //! the before/after pairs measured side by side in this run are the
 //! numbers to trust across machines.
@@ -27,14 +29,15 @@ use remnant::core::residual::{CloudflareScanner, FilterPipeline};
 use remnant::core::study::CollectionMode;
 use remnant::core::SCANNER_SOURCE;
 use remnant::dns::{
-    CountingTransport, DnsTransport, DomainName, RecordData, RecordType, RecursiveResolver,
-    ResolverCache, Ttl,
+    CountingTransport, DnsTransport, DomainName, Query, RecordData, RecordType, RecursiveResolver,
+    ResolverCache, Response, Ttl,
 };
 use remnant::engine::{EngineConfig, ScanEngine, TaskResult};
 use remnant::net::Region;
 use remnant::obs::{EventJournal, Instrumented, MetricsRegistry, Obs, Span};
 use remnant::provider::ProviderId;
 use remnant::sim::SimTime;
+use remnant::wire::{query_id, Message, ServerCore};
 use remnant::world::{World, WorldConfig};
 use remnant_bench::perf::{legacy, measure, measure_ab, Json, Measurement};
 
@@ -62,7 +65,7 @@ impl Default for Options {
     fn default() -> Self {
         Options {
             quick: false,
-            out: "BENCH_4.json".to_owned(),
+            out: "BENCH_5.json".to_owned(),
             population: 2_000,
             seed: 3,
         }
@@ -627,6 +630,111 @@ fn delta_collection_benches(population: usize, seed: u64, samples: usize, weeks:
     ])
 }
 
+/// The wire suite: RFC 1035 codec throughput on real resolver answers,
+/// plus the serve daemon's cached hot path (header parse, bounded name
+/// decode, cache lookup, frame copy, ID patch) with its ≥1M queries/sec
+/// acceptance target. Each measured call handles every fixture once, so
+/// per-element rates are per query.
+fn wire_benches(world: &mut World, samples: usize) -> Json {
+    const SERVE_TARGET_QPS: f64 = 1_000_000.0;
+
+    // Fixtures: real portal answers resolved in-process.
+    let names: Vec<DomainName> = world
+        .sites()
+        .iter()
+        .take(64)
+        .map(|s| s.www.clone())
+        .collect();
+    let mut resolver = RecursiveResolver::new(world.clock(), Region::Ashburn);
+    let fixtures: Vec<(Query, Response)> = names
+        .iter()
+        .map(|name| {
+            let query = Query::new(name.clone(), RecordType::A);
+            let resolution = resolver
+                .resolve(world, name, RecordType::A)
+                .expect("world resolves its own portals");
+            let response = Response {
+                query: query.clone(),
+                rcode: resolution.rcode,
+                authoritative: false,
+                answers: resolution.records.into(),
+                authority: remnant::dns::empty_record_set(),
+                additional: remnant::dns::empty_record_set(),
+            };
+            (query, response)
+        })
+        .collect();
+    let elements = fixtures.len() as u64;
+
+    let encode = measure(samples, || {
+        for (query, response) in &fixtures {
+            let frame = Message::response(query_id(query), response)
+                .encode()
+                .expect("responses encode");
+            std::hint::black_box(frame);
+        }
+    });
+
+    let frames: Vec<Vec<u8>> = fixtures
+        .iter()
+        .map(|(query, response)| {
+            Message::response(query_id(query), response)
+                .encode()
+                .expect("responses encode")
+        })
+        .collect();
+    let decode = measure(samples, || {
+        for frame in &frames {
+            std::hint::black_box(Message::decode(frame).expect("own frames decode"));
+        }
+    });
+
+    // The daemon's cached path: answers precomputed, requests pre-encoded
+    // (the client's job), every handled query a cache hit.
+    let table: std::collections::HashMap<DomainName, Response> = fixtures
+        .iter()
+        .map(|(query, response)| (query.name.clone(), response.clone()))
+        .collect();
+    let core = ServerCore::new(move |query: &Query| {
+        if query.rtype != RecordType::A {
+            return None;
+        }
+        table.get(&query.name).cloned()
+    });
+    let requests: Vec<Vec<u8>> = fixtures
+        .iter()
+        .map(|(query, _)| {
+            Message::query(query_id(query), query)
+                .encode()
+                .expect("queries encode")
+        })
+        .collect();
+    for (query, _) in &fixtures {
+        core.warm(query);
+    }
+    let serve = measure(samples, || {
+        for request in &requests {
+            std::hint::black_box(core.handle_udp(request).expect("cached answer"));
+        }
+    });
+    let serve_qps = serve.elems_per_sec(elements);
+
+    Json::obj([
+        ("encode_response", encode.to_json(elements)),
+        ("decode_response", decode.to_json(elements)),
+        (
+            "serve_cached_udp",
+            Json::obj([
+                ("mean_secs", Json::Num(serve.mean_secs)),
+                ("elements", Json::Num(elements as f64)),
+                ("queries_per_sec", Json::Num(serve_qps)),
+                ("target_qps", Json::Num(SERVE_TARGET_QPS)),
+                ("meets_target", Json::Bool(serve_qps >= SERVE_TARGET_QPS)),
+            ]),
+        ),
+    ])
+}
+
 fn run(opts: &Options) -> Result<(), String> {
     let samples = if opts.quick { 3 } else { 10 };
     let population = if opts.quick {
@@ -667,6 +775,7 @@ fn run(opts: &Options) -> Result<(), String> {
     current.extend(resolver_benches(&mut world, samples));
     current.extend(pipeline_benches(&mut world, &targets, samples));
 
+    let wire = wire_benches(&mut world, samples);
     let engine = engine_benches(&world, &targets, worker_counts, samples, opts.seed);
     let obs_primitives = obs_primitive_benches(&world, samples);
     let obs_overhead = obs_sweep_overhead(&world, &targets, samples, opts.seed);
@@ -727,7 +836,7 @@ fn run(opts: &Options) -> Result<(), String> {
 
     let doc = Json::obj([
         ("schema", Json::Str("remnant-bench/v1".into())),
-        ("issue", Json::Num(4.0)),
+        ("issue", Json::Num(5.0)),
         (
             "mode",
             Json::Str(if opts.quick { "quick" } else { "full" }.into()),
@@ -753,6 +862,7 @@ fn run(opts: &Options) -> Result<(), String> {
         ("current", Json::obj([("benches", current_benches)])),
         ("comparison_vs_seed", comparison),
         ("micro", Json::Obj(micro)),
+        ("wire", wire),
         ("engine_collect_sweep", engine),
         ("delta_collection", delta),
         (

@@ -3,10 +3,11 @@
 //! ```text
 //! repro [EXPERIMENT] [--population N] [--weeks W] [--seed S] [--workers N]
 //!       [--even-intervals] [--collection full|delta] [--metrics OUT.json]
+//!       [--bind ADDR] [--duration SECS]
 //!
 //! EXPERIMENT: all (default) | table2 | table5 | table6 |
 //!             fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 |
-//!             purge | funnel
+//!             purge | funnel | serve
 //! ```
 //!
 //! The default population is 100,000 (a 1:10 scale model of the paper's
@@ -30,6 +31,14 @@
 //! replaying the rest from the previous round's records. Output —
 //! including `--metrics` — is byte-identical to `--collection full`; a
 //! reuse summary is printed to stderr after the run.
+//!
+//! `serve` generates a world and runs a real DNS daemon over it: UDP and
+//! TCP listeners on `--bind` (default `127.0.0.1:8053`), RFC 1035 frames
+//! in and out, answers resolved through the recursive resolver and cached
+//! as encoded frames. Answers over 512 bytes are truncated on UDP (TC
+//! bit) and served in full over TCP. `--duration SECS` stops the daemon
+//! after that many seconds (it otherwise runs until killed) and prints
+//! the `wire.*` counters on exit. Try `dig -p 8053 @127.0.0.1 <www.name>`.
 
 use std::process::ExitCode;
 
@@ -42,16 +51,18 @@ use remnant_bench::{
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [all|table1|table2|table5|table6|fig1..fig9|purge|ablation|funnel] \
+        "usage: repro [all|table1|table2|table5|table6|fig1..fig9|purge|ablation|funnel|serve] \
          [--population N] [--weeks W] [--seed S] [--workers N] [--even-intervals] \
-         [--collection full|delta] [--metrics OUT.json]\n\
+         [--collection full|delta] [--metrics OUT.json] [--bind ADDR] [--duration SECS]\n\
          \n\
          --workers N shards the sweeps over N threads (output is identical\n\
          for every N; only wall time changes)\n\
          --collection delta reuses unchanged shards between daily rounds\n\
          (output is identical to full; only wall time changes)\n\
          --metrics OUT.json writes the deterministic observability snapshot;\n\
-         'funnel' renders Fig 8 from those counters alone"
+         'funnel' renders Fig 8 from those counters alone\n\
+         'serve' runs a UDP+TCP DNS daemon over the generated world\n\
+         (--bind ADDR, default 127.0.0.1:8053; --duration SECS to stop)"
     );
     ExitCode::FAILURE
 }
@@ -69,16 +80,91 @@ fn parse_flag<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result
     })
 }
 
+/// Runs the `serve` experiment: a real UDP+TCP DNS daemon over a freshly
+/// generated world, answering through the recursive resolver with cached
+/// encoded frames.
+fn serve(seed: u64, population: usize, bind: &str, duration: Option<u64>) -> ExitCode {
+    use std::sync::Arc;
+
+    use remnant::dns::RecursiveResolver;
+    use remnant::net::Region;
+    use remnant::obs::{Instrumented, MetricsRegistry};
+    use remnant::wire::{ResolverService, ServerCore, SharedTransport, WireServer};
+    use remnant::world::{Calibration, World, WorldConfig};
+
+    eprintln!("serve: generating world ({population} sites, seed {seed})...");
+    let world = Arc::new(World::generate(WorldConfig {
+        population,
+        seed,
+        warmup_days: 7,
+        calibration: Calibration::paper(),
+    }));
+    let example = world
+        .sites()
+        .first()
+        .map(|s| s.www.to_string())
+        .unwrap_or_default();
+    let resolver = RecursiveResolver::new(world.clock(), Region::Oregon);
+    let service = ResolverService::new(resolver, SharedTransport(Arc::clone(&world)));
+    let core = Arc::new(ServerCore::new(service));
+    let server = match WireServer::start(Arc::clone(&core), bind) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("repro: cannot bind '{bind}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("serving DNS for {population} simulated sites");
+    println!("  udp: {}", server.udp_addr());
+    println!("  tcp: {}", server.tcp_addr());
+    println!(
+        "  try: dig -p {} @{} {example}",
+        server.udp_addr().port(),
+        server.udp_addr().ip()
+    );
+    match duration {
+        Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs)),
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+    server.shutdown();
+
+    let mut registry = MetricsRegistry::new();
+    core.export_into(&mut registry);
+    let label = [("component", "wire.server")];
+    let count = |name: &'static str| registry.counter_labeled(name, &label);
+    eprintln!(
+        "serve: {} UDP + {} TCP queries; {} cache hits, {} misses, \
+         {} truncated, {} refused, {} malformed, {} ignored",
+        count("wire.udp_queries"),
+        count("wire.tcp_queries"),
+        count("wire.cache_hits"),
+        count("wire.cache_misses"),
+        count("wire.truncated"),
+        count("wire.refused"),
+        count("wire.malformed"),
+        count("wire.ignored"),
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut experiment = "all".to_owned();
     let mut config = ReproConfig::default();
     let mut metrics_path: Option<String> = None;
+    let mut population_set = false;
+    let mut bind = "127.0.0.1:8053".to_owned();
+    let mut duration: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--population" => match parse_flag("--population", args.next()) {
-                Ok(v) => config.population = v,
+                Ok(v) => {
+                    config.population = v;
+                    population_set = true;
+                }
                 Err(code) => return code,
             },
             "--weeks" => match parse_flag("--weeks", args.next()) {
@@ -108,6 +194,14 @@ fn main() -> ExitCode {
                 },
                 Err(code) => return code,
             },
+            "--bind" => match parse_flag("--bind", args.next()) {
+                Ok(v) => bind = v,
+                Err(code) => return code,
+            },
+            "--duration" => match parse_flag("--duration", args.next()) {
+                Ok(v) => duration = Some(v),
+                Err(code) => return code,
+            },
             "--even-intervals" => config.even_intervals = true,
             "--help" | "-h" => {
                 let _ = usage();
@@ -124,12 +218,22 @@ fn main() -> ExitCode {
     // Experiments that do not need the full study.
     let study_free = matches!(
         experiment.as_str(),
-        "table1" | "table2" | "ablation" | "fig1" | "purge"
+        "table1" | "table2" | "ablation" | "fig1" | "purge" | "serve"
     );
     if study_free && metrics_path.is_some() {
         eprintln!("repro: --metrics ignored for '{experiment}' (no study runs)");
     }
     match experiment.as_str() {
+        "serve" => {
+            // A daemon doesn't need study scale; default to a world that
+            // generates in seconds unless the user sized it explicitly.
+            let population = if population_set {
+                config.population
+            } else {
+                10_000
+            };
+            return serve(config.seed, population, &bind, duration);
+        }
         "table2" => {
             println!("{}", render_table2());
             return ExitCode::SUCCESS;

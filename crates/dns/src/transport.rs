@@ -109,6 +109,29 @@ pub trait ShardableTransport: Sync {
     }
 }
 
+/// A shared reference to a shardable transport is itself shardable, so
+/// adapters generic over `T: ShardableTransport` (e.g. the wire codec's
+/// transport wrapper) can borrow a transport instead of owning it.
+impl<T: ShardableTransport + ?Sized> ShardableTransport for &T {
+    fn root(&self) -> Ipv4Addr {
+        ShardableTransport::root(*self)
+    }
+
+    fn query_shared(
+        &self,
+        now: SimTime,
+        server: Ipv4Addr,
+        region: Region,
+        query: &Query,
+    ) -> Option<Response> {
+        (**self).query_shared(now, server, region, query)
+    }
+
+    fn query_stats(&self) -> QueryStats {
+        ShardableTransport::query_stats(*self)
+    }
+}
+
 impl<T: ShardableTransport + ?Sized> DnsTransport for &T {
     fn root(&self) -> Ipv4Addr {
         ShardableTransport::root(*self)

@@ -1,0 +1,266 @@
+//! Typed wire-format errors, each carrying the byte offset it was
+//! detected at.
+//!
+//! Every decode failure names what went wrong and where, so a malformed
+//! packet in a million-query capture can be triaged without re-parsing it
+//! by hand. Parsing never panics and never allocates proportionally to
+//! attacker-controlled lengths: all the limits that bound decompression
+//! ([`MAX_POINTER_JUMPS`], [`MAX_PRESENTATION`]) surface here as named
+//! variants.
+//!
+//! [`MAX_POINTER_JUMPS`]: crate::name::MAX_POINTER_JUMPS
+//! [`MAX_PRESENTATION`]: crate::name::MAX_PRESENTATION
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the RFC 1035 codec.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The buffer ended before the field at `offset` could be read.
+    Truncated {
+        /// Offset of the field that ran off the end.
+        offset: usize,
+        /// Bytes the field needed.
+        needed: usize,
+    },
+    /// A compression pointer chain exceeded the jump budget.
+    PointerLimit {
+        /// Offset of the pointer that broke the budget.
+        offset: usize,
+    },
+    /// A compression pointer did not point strictly backward.
+    ///
+    /// Every pointer must target an offset lower than any offset already
+    /// visited; forward (or stationary) pointers are how loops are built.
+    ForwardPointer {
+        /// Offset of the offending pointer.
+        offset: usize,
+        /// Where it tried to jump.
+        target: usize,
+    },
+    /// A name expanded past the RFC 1035 limit of 255 wire bytes.
+    NameTooLong {
+        /// Offset of the name that overflowed.
+        offset: usize,
+    },
+    /// A label length byte used the reserved `0b01`/`0b10` type bits.
+    BadLabelType {
+        /// Offset of the length byte.
+        offset: usize,
+        /// The raw byte.
+        byte: u8,
+    },
+    /// A name contains bytes outside the hostname alphabet, or is not a
+    /// valid domain name (empty, bad hyphen placement, over-long label).
+    BadName {
+        /// Offset of the name.
+        offset: usize,
+    },
+    /// An RR TYPE (or QTYPE) value this codec does not model.
+    ///
+    /// Unknown types are a *typed* outcome, never silently dropped: the
+    /// simulation speaks A/CNAME/NS/MX/TXT/SOA and everything else is
+    /// reported with its wire value.
+    UnsupportedType {
+        /// Offset of the TYPE field.
+        offset: usize,
+        /// The wire TYPE value.
+        rtype: u16,
+    },
+    /// A CLASS (or QCLASS) other than IN.
+    UnsupportedClass {
+        /// Offset of the CLASS field.
+        offset: usize,
+        /// The wire CLASS value.
+        class: u16,
+    },
+    /// An OPCODE other than QUERY.
+    BadOpcode {
+        /// Offset of the flags word.
+        offset: usize,
+        /// The opcode bits.
+        opcode: u8,
+    },
+    /// An RCODE value this codec does not model.
+    BadRcode {
+        /// Offset of the flags word.
+        offset: usize,
+        /// The rcode bits.
+        rcode: u8,
+    },
+    /// RDATA did not match RDLENGTH (overrun or unconsumed bytes).
+    BadRdata {
+        /// Offset of the RDATA.
+        offset: usize,
+        /// The wire TYPE whose payload was malformed.
+        rtype: u16,
+    },
+    /// More than one entry in the question section.
+    QuestionCount {
+        /// The QDCOUNT value.
+        count: u16,
+    },
+    /// Bytes remained after the last counted record.
+    TrailingBytes {
+        /// Offset of the first unconsumed byte.
+        offset: usize,
+    },
+    /// A section held more records than a 16-bit count can carry
+    /// (encode-side).
+    TooManyRecords {
+        /// Which section overflowed.
+        section: &'static str,
+        /// How many records it held.
+        count: usize,
+    },
+}
+
+impl WireError {
+    /// The byte offset the error was detected at (encode-side errors
+    /// report 0).
+    pub fn offset(&self) -> usize {
+        match self {
+            WireError::Truncated { offset, .. }
+            | WireError::PointerLimit { offset }
+            | WireError::ForwardPointer { offset, .. }
+            | WireError::NameTooLong { offset }
+            | WireError::BadLabelType { offset, .. }
+            | WireError::BadName { offset }
+            | WireError::UnsupportedType { offset, .. }
+            | WireError::UnsupportedClass { offset, .. }
+            | WireError::BadOpcode { offset, .. }
+            | WireError::BadRcode { offset, .. }
+            | WireError::BadRdata { offset, .. }
+            | WireError::TrailingBytes { offset } => *offset,
+            WireError::QuestionCount { .. } | WireError::TooManyRecords { .. } => 0,
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { offset, needed } => {
+                write!(
+                    f,
+                    "message truncated at byte {offset} ({needed} bytes needed)"
+                )
+            }
+            WireError::PointerLimit { offset } => {
+                write!(f, "compression pointer chain too long at byte {offset}")
+            }
+            WireError::ForwardPointer { offset, target } => {
+                write!(
+                    f,
+                    "compression pointer at byte {offset} does not point strictly backward (target {target})"
+                )
+            }
+            WireError::NameTooLong { offset } => {
+                write!(f, "name at byte {offset} expands past 255 wire bytes")
+            }
+            WireError::BadLabelType { offset, byte } => {
+                write!(f, "reserved label type {byte:#04x} at byte {offset}")
+            }
+            WireError::BadName { offset } => {
+                write!(f, "invalid domain name at byte {offset}")
+            }
+            WireError::UnsupportedType { offset, rtype } => {
+                write!(f, "unsupported record type {rtype} at byte {offset}")
+            }
+            WireError::UnsupportedClass { offset, class } => {
+                write!(f, "unsupported record class {class} at byte {offset}")
+            }
+            WireError::BadOpcode { offset, opcode } => {
+                write!(f, "unsupported opcode {opcode} at byte {offset}")
+            }
+            WireError::BadRcode { offset, rcode } => {
+                write!(f, "unsupported rcode {rcode} at byte {offset}")
+            }
+            WireError::BadRdata { offset, rtype } => {
+                write!(f, "malformed rdata for type {rtype} at byte {offset}")
+            }
+            WireError::QuestionCount { count } => {
+                write!(f, "unsupported question count {count}")
+            }
+            WireError::TrailingBytes { offset } => {
+                write!(f, "trailing bytes after message at byte {offset}")
+            }
+            WireError::TooManyRecords { section, count } => {
+                write!(f, "{section} section holds {count} records (max 65535)")
+            }
+        }
+    }
+}
+
+impl Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_well_formed() {
+        let errs = [
+            WireError::Truncated {
+                offset: 3,
+                needed: 2,
+            },
+            WireError::PointerLimit { offset: 40 },
+            WireError::ForwardPointer {
+                offset: 12,
+                target: 20,
+            },
+            WireError::NameTooLong { offset: 12 },
+            WireError::BadLabelType {
+                offset: 12,
+                byte: 0x40,
+            },
+            WireError::BadName { offset: 12 },
+            WireError::UnsupportedType {
+                offset: 4,
+                rtype: 28,
+            },
+            WireError::UnsupportedClass {
+                offset: 4,
+                class: 3,
+            },
+            WireError::BadOpcode {
+                offset: 2,
+                opcode: 2,
+            },
+            WireError::BadRcode {
+                offset: 2,
+                rcode: 9,
+            },
+            WireError::BadRdata {
+                offset: 30,
+                rtype: 15,
+            },
+            WireError::QuestionCount { count: 2 },
+            WireError::TrailingBytes { offset: 55 },
+            WireError::TooManyRecords {
+                section: "answer",
+                count: 70_000,
+            },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn offsets_are_reported() {
+        assert_eq!(WireError::NameTooLong { offset: 17 }.offset(), 17);
+        assert_eq!(WireError::QuestionCount { count: 2 }.offset(), 0);
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<WireError>();
+    }
+}

@@ -1,0 +1,583 @@
+//! Whole-message encode/decode and conversion to the typed model.
+//!
+//! [`Message`] is the wire-level view of a DNS exchange: an ID, a flags
+//! word, at most one question, and three record sections. It converts
+//! losslessly to and from the dns crate's [`Query`]/[`Response`] pair —
+//! `Message::response(id, &r).encode()` followed by
+//! [`Message::decode`] and [`Message::to_response`] reproduces `r`
+//! exactly, which is what the wire-path differential tests lean on.
+//!
+//! Two model fields need care to keep that round trip lossless:
+//!
+//! * The internal SOA carries only MNAME and SERIAL. On encode the RNAME
+//!   is written as the root name and REFRESH/RETRY/EXPIRE/MINIMUM as
+//!   zero; on decode those fields are validated and skipped.
+//! * TXT payloads are written as consecutive ≤255-byte character-strings
+//!   and re-joined on decode before UTF-8 validation, so chunk boundaries
+//!   may split a code point without corrupting the value.
+
+use remnant_dns::{Query, RecordData, RecordType, ResourceRecord, Response, Ttl};
+
+use crate::error::WireError;
+use crate::name::{
+    decode_name, decode_name_into, encode_name, encode_root, Compressor, NameScratch,
+};
+use crate::types::{rtype_from_wire, rtype_to_wire, Flags, Header, CLASS_IN, HEADER_LEN};
+
+/// A decoded (or to-be-encoded) DNS message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Transaction ID.
+    pub id: u16,
+    /// Flags word (QR/AA/TC/RD/RA/RCODE).
+    pub flags: Flags,
+    /// The question, if the message carries one (QDCOUNT 0 or 1).
+    pub question: Option<Query>,
+    /// Answer section.
+    pub answers: Vec<ResourceRecord>,
+    /// Authority section.
+    pub authority: Vec<ResourceRecord>,
+    /// Additional section.
+    pub additional: Vec<ResourceRecord>,
+}
+
+impl Message {
+    /// A query message for `query` with transaction `id`.
+    pub fn query(id: u16, query: &Query) -> Self {
+        Message {
+            id,
+            flags: Flags::query(),
+            question: Some(query.clone()),
+            answers: Vec::new(),
+            authority: Vec::new(),
+            additional: Vec::new(),
+        }
+    }
+
+    /// A response message mirroring `response`, echoing `id`.
+    pub fn response(id: u16, response: &Response) -> Self {
+        Message {
+            id,
+            flags: Flags::response(response.rcode, response.authoritative),
+            question: Some(response.query.clone()),
+            answers: response.answers.to_vec(),
+            authority: response.authority.to_vec(),
+            additional: response.additional.to_vec(),
+        }
+    }
+
+    /// Converts a response-shaped message back into the typed model.
+    ///
+    /// Returns `None` if the message has no question (the typed
+    /// [`Response`] always knows what it answers).
+    pub fn to_response(&self) -> Option<Response> {
+        let query = self.question.clone()?;
+        Some(Response {
+            query,
+            rcode: self.flags.rcode,
+            authoritative: self.flags.aa,
+            answers: self.answers.clone().into(),
+            authority: self.authority.clone().into(),
+            additional: self.additional.clone().into(),
+        })
+    }
+
+    /// Encodes the message in canonical wire form, compressing every
+    /// repeated name suffix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::TooManyRecords`] if a section exceeds a
+    /// 16-bit count, [`WireError::BadRdata`] for RDATA over 64 KiB (a
+    /// pathological TXT), and the mapping errors for model variants this
+    /// codec does not know.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let count = |section: &'static str, records: &[ResourceRecord]| {
+            u16::try_from(records.len()).map_err(|_| WireError::TooManyRecords {
+                section,
+                count: records.len(),
+            })
+        };
+        let header = Header {
+            id: self.id,
+            flags: self.flags,
+            qdcount: u16::from(self.question.is_some()),
+            ancount: count("answer", &self.answers)?,
+            nscount: count("authority", &self.authority)?,
+            arcount: count("additional", &self.additional)?,
+        };
+        let mut out = Vec::with_capacity(HEADER_LEN + 64);
+        header.encode_into(&mut out)?;
+        let mut comp = Compressor::new();
+        if let Some(query) = &self.question {
+            encode_name(&query.name, &mut out, &mut comp);
+            out.extend_from_slice(&rtype_to_wire(query.rtype)?.to_be_bytes());
+            out.extend_from_slice(&CLASS_IN.to_be_bytes());
+        }
+        for section in [&self.answers, &self.authority, &self.additional] {
+            for rr in section {
+                encode_rr(rr, &mut out, &mut comp)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decodes a complete message. Strict: every counted entry must
+    /// parse and the buffer must end exactly where the last one does.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`]; see the malformed-packet corpus test for the
+    /// full taxonomy.
+    pub fn decode(msg: &[u8]) -> Result<Self, WireError> {
+        let header = Header::decode(msg)?;
+        if header.qdcount > 1 {
+            return Err(WireError::QuestionCount {
+                count: header.qdcount,
+            });
+        }
+        let mut pos = HEADER_LEN;
+        let question = if header.qdcount == 1 {
+            Some(decode_question(msg, &mut pos)?)
+        } else {
+            None
+        };
+        let mut section = |count: u16| -> Result<Vec<ResourceRecord>, WireError> {
+            let mut records = Vec::with_capacity(usize::from(count.min(64)));
+            for _ in 0..count {
+                records.push(decode_rr(msg, &mut pos)?);
+            }
+            Ok(records)
+        };
+        let answers = section(header.ancount)?;
+        let authority = section(header.nscount)?;
+        let additional = section(header.arcount)?;
+        if pos != msg.len() {
+            return Err(WireError::TrailingBytes { offset: pos });
+        }
+        Ok(Message {
+            id: header.id,
+            flags: header.flags,
+            question,
+            answers,
+            authority,
+            additional,
+        })
+    }
+}
+
+/// Overwrites the transaction ID of an already-encoded message in place.
+/// The serve hot path stamps cached response bytes with the client's ID
+/// this way instead of re-encoding.
+pub fn patch_id(msg: &mut [u8], id: u16) {
+    if msg.len() >= 2 {
+        msg[..2].copy_from_slice(&id.to_be_bytes());
+    }
+}
+
+fn read_u16(msg: &[u8], pos: &mut usize) -> Result<u16, WireError> {
+    let bytes = msg.get(*pos..*pos + 2).ok_or(WireError::Truncated {
+        offset: *pos,
+        needed: 2,
+    })?;
+    *pos += 2;
+    Ok(u16::from_be_bytes([bytes[0], bytes[1]]))
+}
+
+fn read_u32(msg: &[u8], pos: &mut usize) -> Result<u32, WireError> {
+    let bytes = msg.get(*pos..*pos + 4).ok_or(WireError::Truncated {
+        offset: *pos,
+        needed: 4,
+    })?;
+    *pos += 4;
+    Ok(u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+}
+
+fn decode_question(msg: &[u8], pos: &mut usize) -> Result<Query, WireError> {
+    let (name, after) = decode_name(msg, *pos)?;
+    *pos = after;
+    let type_offset = *pos;
+    let rtype = rtype_from_wire(read_u16(msg, pos)?, type_offset)?;
+    let class_offset = *pos;
+    let class = read_u16(msg, pos)?;
+    if class != CLASS_IN {
+        return Err(WireError::UnsupportedClass {
+            offset: class_offset,
+            class,
+        });
+    }
+    Ok(Query::new(name, rtype))
+}
+
+fn encode_rr(
+    rr: &ResourceRecord,
+    out: &mut Vec<u8>,
+    comp: &mut Compressor,
+) -> Result<(), WireError> {
+    encode_name(&rr.name, out, comp);
+    let rtype = rtype_to_wire(rr.record_type())?;
+    out.extend_from_slice(&rtype.to_be_bytes());
+    out.extend_from_slice(&CLASS_IN.to_be_bytes());
+    out.extend_from_slice(&rr.ttl.as_secs().to_be_bytes());
+    let len_at = out.len();
+    out.extend_from_slice(&[0, 0]);
+    match &rr.data {
+        RecordData::A(addr) => out.extend_from_slice(&addr.octets()),
+        RecordData::Ns(host) => encode_name(host, out, comp),
+        RecordData::Cname(target) => encode_name(target, out, comp),
+        RecordData::Mx {
+            preference,
+            exchange,
+        } => {
+            out.extend_from_slice(&preference.to_be_bytes());
+            encode_name(exchange, out, comp);
+        }
+        RecordData::Txt(text) => {
+            for chunk in text.as_bytes().chunks(255) {
+                out.push(chunk.len() as u8);
+                out.extend_from_slice(chunk);
+            }
+        }
+        RecordData::Soa { mname, serial } => {
+            encode_name(mname, out, comp);
+            encode_root(out); // RNAME, not modeled
+            out.extend_from_slice(&serial.to_be_bytes());
+            out.extend_from_slice(&[0; 16]); // REFRESH/RETRY/EXPIRE/MINIMUM
+        }
+        // The model enum is non-exhaustive; a variant added without codec
+        // support must fail loudly, mirroring rtype_to_wire.
+        _ => {
+            return Err(WireError::UnsupportedType {
+                offset: 0,
+                rtype: u16::MAX,
+            })
+        }
+    }
+    let rdlen = out.len() - len_at - 2;
+    let rdlen = u16::try_from(rdlen).map_err(|_| WireError::BadRdata {
+        offset: len_at,
+        rtype,
+    })?;
+    out[len_at..len_at + 2].copy_from_slice(&rdlen.to_be_bytes());
+    Ok(())
+}
+
+fn decode_rr(msg: &[u8], pos: &mut usize) -> Result<ResourceRecord, WireError> {
+    let (name, after) = decode_name(msg, *pos)?;
+    *pos = after;
+    let type_offset = *pos;
+    let rtype_raw = read_u16(msg, pos)?;
+    let rtype = rtype_from_wire(rtype_raw, type_offset)?;
+    let class_offset = *pos;
+    let class = read_u16(msg, pos)?;
+    if class != CLASS_IN {
+        return Err(WireError::UnsupportedClass {
+            offset: class_offset,
+            class,
+        });
+    }
+    let ttl = Ttl::secs(read_u32(msg, pos)?);
+    let rdlen = usize::from(read_u16(msg, pos)?);
+    let rdata_start = *pos;
+    let rdata_end = rdata_start + rdlen;
+    if msg.len() < rdata_end {
+        return Err(WireError::Truncated {
+            offset: rdata_start,
+            needed: rdlen,
+        });
+    }
+    let bad_rdata = WireError::BadRdata {
+        offset: rdata_start,
+        rtype: rtype_raw,
+    };
+    let data = match rtype {
+        RecordType::A => {
+            if rdlen != 4 {
+                return Err(bad_rdata);
+            }
+            let o = &msg[rdata_start..rdata_end];
+            *pos = rdata_end;
+            RecordData::A([o[0], o[1], o[2], o[3]].into())
+        }
+        RecordType::Ns => RecordData::Ns(decode_rdata_name(msg, pos, rdata_end, &bad_rdata)?),
+        RecordType::Cname => RecordData::Cname(decode_rdata_name(msg, pos, rdata_end, &bad_rdata)?),
+        RecordType::Mx => {
+            if rdlen < 3 {
+                return Err(bad_rdata);
+            }
+            let preference = read_u16(msg, pos)?;
+            let exchange = decode_rdata_name(msg, pos, rdata_end, &bad_rdata)?;
+            RecordData::Mx {
+                preference,
+                exchange,
+            }
+        }
+        RecordType::Txt => {
+            let mut text = Vec::with_capacity(rdlen);
+            while *pos < rdata_end {
+                let chunk_len = usize::from(msg[*pos]);
+                let chunk_end = *pos + 1 + chunk_len;
+                if chunk_end > rdata_end {
+                    return Err(bad_rdata);
+                }
+                text.extend_from_slice(&msg[*pos + 1..chunk_end]);
+                *pos = chunk_end;
+            }
+            RecordData::Txt(String::from_utf8(text).map_err(|_| bad_rdata.clone())?)
+        }
+        RecordType::Soa => {
+            let mname = decode_rdata_name(msg, pos, rdata_end, &bad_rdata)?;
+            // RNAME: structurally validated, value discarded (may be root).
+            let mut scratch = NameScratch::new();
+            let (_, after) = decode_name_into(msg, *pos, &mut scratch)?;
+            if after > rdata_end {
+                return Err(bad_rdata);
+            }
+            *pos = after;
+            let serial = read_u32(msg, pos)?;
+            for _ in 0..4 {
+                read_u32(msg, pos)?; // REFRESH/RETRY/EXPIRE/MINIMUM
+            }
+            if *pos > rdata_end {
+                return Err(bad_rdata);
+            }
+            RecordData::Soa { mname, serial }
+        }
+        // rtype_from_wire only returns the six types above; the model
+        // enum is non-exhaustive so the compiler still wants this arm.
+        _ => return Err(bad_rdata),
+    };
+    if *pos != rdata_end {
+        return Err(bad_rdata);
+    }
+    Ok(ResourceRecord::new(name, ttl, data))
+}
+
+/// Decodes a domain name inside RDATA, enforcing the RDLENGTH boundary on
+/// the bytes consumed in place (compression targets may reach earlier
+/// message bytes).
+fn decode_rdata_name(
+    msg: &[u8],
+    pos: &mut usize,
+    rdata_end: usize,
+    bad_rdata: &WireError,
+) -> Result<remnant_dns::DomainName, WireError> {
+    let (name, after) = decode_name(msg, *pos)?;
+    if after > rdata_end {
+        return Err(bad_rdata.clone());
+    }
+    *pos = after;
+    Ok(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::net::Ipv4Addr;
+
+    use remnant_dns::{DomainName, Rcode};
+
+    use super::*;
+
+    fn name(s: &str) -> DomainName {
+        s.parse().expect("test name")
+    }
+
+    fn rr(owner: &str, data: RecordData) -> ResourceRecord {
+        ResourceRecord::new(name(owner), Ttl::secs(300), data)
+    }
+
+    fn sample_response() -> Response {
+        let query = Query::new(name("www.example.com"), RecordType::A);
+        Response {
+            query,
+            rcode: Rcode::NoError,
+            authoritative: true,
+            answers: vec![
+                rr("www.example.com", RecordData::Cname(name("x.provider.net"))),
+                rr(
+                    "x.provider.net",
+                    RecordData::A(Ipv4Addr::new(203, 0, 113, 9)),
+                ),
+            ]
+            .into(),
+            authority: vec![rr("example.com", RecordData::Ns(name("ns1.provider.net")))].into(),
+            additional: vec![rr(
+                "ns1.provider.net",
+                RecordData::A(Ipv4Addr::new(198, 51, 100, 53)),
+            )]
+            .into(),
+        }
+    }
+
+    #[test]
+    fn query_round_trips() {
+        let q = Query::new(name("www.example.com"), RecordType::Txt);
+        let msg = Message::query(0x1234, &q);
+        let wire = msg.encode().unwrap();
+        let back = Message::decode(&wire).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(back.question, Some(q));
+        assert!(!back.flags.qr);
+        assert!(back.flags.rd);
+    }
+
+    #[test]
+    fn response_round_trips_through_wire() {
+        let response = sample_response();
+        let msg = Message::response(7, &response);
+        let wire = msg.encode().unwrap();
+        let back = Message::decode(&wire).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(back.to_response().unwrap(), response);
+    }
+
+    #[test]
+    fn all_record_types_round_trip() {
+        let records = vec![
+            rr("a.example.com", RecordData::A(Ipv4Addr::new(1, 2, 3, 4))),
+            rr("b.example.com", RecordData::Cname(name("c.example.com"))),
+            rr("example.com", RecordData::Ns(name("ns.example.com"))),
+            rr(
+                "example.com",
+                RecordData::Mx {
+                    preference: 10,
+                    exchange: name("mx.example.com"),
+                },
+            ),
+            rr("example.com", RecordData::Txt("v=spf1 -all".into())),
+            rr(
+                "example.com",
+                RecordData::Soa {
+                    mname: name("ns.example.com"),
+                    serial: 2_026_080_801,
+                },
+            ),
+        ];
+        let query = Query::new(name("example.com"), RecordType::Soa);
+        let response = Response::answer(query, records);
+        let msg = Message::response(1, &response);
+        let back = Message::decode(&msg.encode().unwrap()).unwrap();
+        assert_eq!(back.to_response().unwrap(), response);
+    }
+
+    #[test]
+    fn compression_shrinks_shared_suffixes() {
+        let response = sample_response();
+        let compressed = Message::response(7, &response).encode().unwrap();
+        // The same sections spelled with every name in full:
+        let mut flat = Vec::new();
+        Header {
+            id: 7,
+            flags: Flags::response(Rcode::NoError, true),
+            qdcount: 1,
+            ancount: 2,
+            nscount: 1,
+            arcount: 1,
+        }
+        .encode_into(&mut flat)
+        .unwrap();
+        let q = &response.query;
+        encode_name(&q.name, &mut flat, &mut Compressor::new());
+        flat.extend_from_slice(&rtype_to_wire(q.rtype).unwrap().to_be_bytes());
+        flat.extend_from_slice(&CLASS_IN.to_be_bytes());
+        for section in [&response.answers, &response.authority, &response.additional] {
+            for record in section.iter() {
+                encode_rr(record, &mut flat, &mut Compressor::new()).unwrap();
+            }
+        }
+        assert!(
+            compressed.len() < flat.len(),
+            "compressed {} >= flat {}",
+            compressed.len(),
+            flat.len()
+        );
+        // And the compressed form still decodes to the same message.
+        assert_eq!(
+            Message::decode(&compressed).unwrap().to_response().unwrap(),
+            response
+        );
+    }
+
+    #[test]
+    fn large_txt_chunks_and_rejoins() {
+        let text: String = "x".repeat(700);
+        let response = Response::answer(
+            Query::new(name("t.example.com"), RecordType::Txt),
+            vec![rr("t.example.com", RecordData::Txt(text.clone()))],
+        );
+        let back = Message::decode(&Message::response(3, &response).encode().unwrap()).unwrap();
+        let decoded = back.to_response().unwrap();
+        match &decoded.answers[0].data {
+            RecordData::Txt(t) => assert_eq!(t, &text),
+            other => panic!("expected TXT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multibyte_txt_survives_chunk_split() {
+        // 254 ASCII bytes then a 3-byte code point: the chunk boundary at
+        // 255 splits the code point across character-strings.
+        let text = format!("{}\u{20AC}", "a".repeat(254));
+        let response = Response::answer(
+            Query::new(name("t.example.com"), RecordType::Txt),
+            vec![rr("t.example.com", RecordData::Txt(text.clone()))],
+        );
+        let back = Message::decode(&Message::response(3, &response).encode().unwrap()).unwrap();
+        match &back.answers[0].data {
+            RecordData::Txt(t) => assert_eq!(t, &text),
+            other => panic!("expected TXT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_response_sections_round_trip() {
+        let response = Response::empty(
+            Query::new(name("gone.example.com"), RecordType::A),
+            Rcode::NxDomain,
+        );
+        let back = Message::decode(&Message::response(9, &response).encode().unwrap()).unwrap();
+        assert_eq!(back.to_response().unwrap(), response);
+        assert_eq!(back.flags.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn decode_is_strict_about_trailing_bytes() {
+        let mut wire = Message::query(1, &Query::new(name("example.com"), RecordType::A))
+            .encode()
+            .unwrap();
+        let end = wire.len();
+        wire.push(0);
+        assert_eq!(
+            Message::decode(&wire).unwrap_err(),
+            WireError::TrailingBytes { offset: end }
+        );
+    }
+
+    #[test]
+    fn patch_id_rewrites_in_place() {
+        let mut wire = Message::query(0, &Query::new(name("example.com"), RecordType::A))
+            .encode()
+            .unwrap();
+        patch_id(&mut wire, 0xABCD);
+        assert_eq!(Message::decode(&wire).unwrap().id, 0xABCD);
+    }
+
+    #[test]
+    fn soa_unmodeled_fields_encode_as_zero() {
+        let response = Response::answer(
+            Query::new(name("example.com"), RecordType::Soa),
+            vec![rr(
+                "example.com",
+                RecordData::Soa {
+                    mname: name("ns.example.com"),
+                    serial: 42,
+                },
+            )],
+        );
+        let wire = Message::response(1, &response).encode().unwrap();
+        // The last 16 bytes are REFRESH/RETRY/EXPIRE/MINIMUM, all zero.
+        assert_eq!(&wire[wire.len() - 16..], &[0u8; 16]);
+        let back = Message::decode(&wire).unwrap();
+        assert_eq!(back.to_response().unwrap(), response);
+    }
+}

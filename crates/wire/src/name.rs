@@ -1,0 +1,454 @@
+//! Name encoding and bounded decompression.
+//!
+//! Encoding writes RFC 1035 labels with compression pointers: every
+//! suffix already written into the message is remembered, and a repeated
+//! suffix becomes a 2-byte pointer instead of a re-spelled name. Decoding
+//! expands names into a fixed stack buffer under three hard bounds:
+//!
+//! * at most [`MAX_POINTER_JUMPS`] pointer hops per name,
+//! * pointer targets must be **strictly backward** — the first hop lands
+//!   before the name being parsed, and every later hop lands before the
+//!   previous one, so chains are monotonically decreasing and cannot
+//!   loop,
+//! * the expanded presentation form fits in 253 bytes
+//!   ([`MAX_PRESENTATION`]), the RFC 1035 255-octet wire limit.
+//!
+//! A crafted packet therefore costs a bounded, small amount of work to
+//! reject: no recursion, no heap growth, no revisiting.
+
+use std::collections::HashMap;
+
+use remnant_dns::DomainName;
+
+use crate::error::WireError;
+
+/// Maximum compression-pointer hops while expanding one name.
+///
+/// The strictly-backward rule already guarantees termination; this keeps
+/// the worst-case work per name small even for adversarial-but-legal
+/// chains.
+pub const MAX_POINTER_JUMPS: usize = 16;
+
+/// Maximum presentation length of an expanded name (RFC 1035's 255 wire
+/// octets are 253 presentation characters plus the root dot and length
+/// framing).
+pub const MAX_PRESENTATION: usize = 253;
+
+/// Largest message offset a compression pointer can address (14 bits).
+const MAX_POINTER_TARGET: usize = 0x3FFF;
+
+/// Fixed stack buffer a wire name expands into.
+///
+/// Sized for the longest legal name, so decoding never heap-allocates —
+/// the serve hot path parses a question name into one of these and looks
+/// it up by `&str` without ever constructing a [`DomainName`].
+pub struct NameScratch {
+    buf: [u8; MAX_PRESENTATION],
+}
+
+impl NameScratch {
+    /// A fresh scratch buffer.
+    pub fn new() -> Self {
+        NameScratch {
+            buf: [0; MAX_PRESENTATION],
+        }
+    }
+}
+
+impl Default for NameScratch {
+    fn default() -> Self {
+        NameScratch::new()
+    }
+}
+
+/// Expands the wire name at `pos` into `scratch`, returning the
+/// lowercased presentation form and the offset of the first byte after
+/// the name (after its terminating zero or first pointer).
+///
+/// The root name decodes to an empty string; callers that need a
+/// [`DomainName`] should use [`decode_name`], which rejects it.
+///
+/// # Errors
+///
+/// All the bounded-decompression failures: [`WireError::Truncated`],
+/// [`WireError::PointerLimit`], [`WireError::ForwardPointer`],
+/// [`WireError::NameTooLong`], [`WireError::BadLabelType`], and
+/// [`WireError::BadName`] for bytes outside the hostname alphabet.
+pub fn decode_name_into<'s>(
+    msg: &[u8],
+    pos: usize,
+    scratch: &'s mut NameScratch,
+) -> Result<(&'s str, usize), WireError> {
+    let start = pos;
+    let mut cursor = pos;
+    let mut len = 0usize;
+    let mut jumps = 0usize;
+    // Every pointer must land strictly before this; starts at the name's
+    // own offset and ratchets down with each hop.
+    let mut backstop = start;
+    let mut resume = None;
+    loop {
+        let byte = *msg.get(cursor).ok_or(WireError::Truncated {
+            offset: cursor,
+            needed: 1,
+        })?;
+        match byte & 0xC0 {
+            0x00 => {
+                if byte == 0 {
+                    let after = resume.unwrap_or(cursor + 1);
+                    // SAFETY of from_utf8: only ASCII bytes are written.
+                    let s =
+                        std::str::from_utf8(&scratch.buf[..len]).expect("scratch holds ASCII only");
+                    return Ok((s, after));
+                }
+                let label_len = usize::from(byte);
+                let label =
+                    msg.get(cursor + 1..cursor + 1 + label_len)
+                        .ok_or(WireError::Truncated {
+                            offset: cursor + 1,
+                            needed: label_len,
+                        })?;
+                let sep = usize::from(len > 0);
+                if len + sep + label_len > MAX_PRESENTATION {
+                    return Err(WireError::NameTooLong { offset: start });
+                }
+                if sep == 1 {
+                    scratch.buf[len] = b'.';
+                    len += 1;
+                }
+                for &c in label {
+                    scratch.buf[len] = match c {
+                        b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' => c,
+                        b'A'..=b'Z' => c.to_ascii_lowercase(),
+                        _ => return Err(WireError::BadName { offset: start }),
+                    };
+                    len += 1;
+                }
+                cursor += 1 + label_len;
+            }
+            0xC0 => {
+                let low = *msg.get(cursor + 1).ok_or(WireError::Truncated {
+                    offset: cursor + 1,
+                    needed: 1,
+                })?;
+                let target = (usize::from(byte & 0x3F) << 8) | usize::from(low);
+                if resume.is_none() {
+                    resume = Some(cursor + 2);
+                }
+                jumps += 1;
+                if jumps > MAX_POINTER_JUMPS {
+                    return Err(WireError::PointerLimit { offset: cursor });
+                }
+                if target >= backstop {
+                    return Err(WireError::ForwardPointer {
+                        offset: cursor,
+                        target,
+                    });
+                }
+                backstop = target;
+                cursor = target;
+            }
+            _ => {
+                return Err(WireError::BadLabelType {
+                    offset: cursor,
+                    byte,
+                })
+            }
+        }
+    }
+}
+
+/// Expands and interns the wire name at `pos`, returning the
+/// [`DomainName`] and the offset just past the name.
+///
+/// # Errors
+///
+/// Everything [`decode_name_into`] reports, plus [`WireError::BadName`]
+/// for expansions that are not valid domain names (empty/root, bad
+/// hyphen placement).
+pub fn decode_name(msg: &[u8], pos: usize) -> Result<(DomainName, usize), WireError> {
+    let mut scratch = NameScratch::new();
+    let (s, after) = decode_name_into(msg, pos, &mut scratch)?;
+    let name = DomainName::parse(s).map_err(|_| WireError::BadName { offset: pos })?;
+    Ok((name, after))
+}
+
+/// Remembers where each name suffix was written, so later occurrences
+/// compress to pointers. One per encoded message.
+#[derive(Default)]
+pub(crate) struct Compressor {
+    offsets: HashMap<String, u16>,
+}
+
+impl Compressor {
+    pub(crate) fn new() -> Self {
+        Compressor::default()
+    }
+}
+
+/// Appends `name` in wire format, compressing against (and extending)
+/// `comp`. `out` must be the message buffer from offset 0, since pointer
+/// targets are absolute message offsets.
+pub(crate) fn encode_name(name: &DomainName, out: &mut Vec<u8>, comp: &mut Compressor) {
+    let s = name.as_str();
+    let mut starts: Vec<usize> = vec![0];
+    for (i, b) in s.bytes().enumerate() {
+        if b == b'.' {
+            starts.push(i + 1);
+        }
+    }
+    let mut pointer = None;
+    let mut spell_until = starts.len();
+    for (i, &label_start) in starts.iter().enumerate() {
+        if let Some(&off) = comp.offsets.get(&s[label_start..]) {
+            pointer = Some(off);
+            spell_until = i;
+            break;
+        }
+    }
+    for (i, &label_start) in starts.iter().enumerate().take(spell_until) {
+        let label_end = starts.get(i + 1).map_or(s.len(), |&next| next - 1);
+        let offset = out.len();
+        if offset <= MAX_POINTER_TARGET {
+            comp.offsets
+                .insert(s[label_start..].to_owned(), offset as u16);
+        }
+        let label = &s[label_start..label_end];
+        out.push(label.len() as u8);
+        out.extend_from_slice(label.as_bytes());
+    }
+    match pointer {
+        Some(off) => out.extend_from_slice(&(0xC000 | off).to_be_bytes()),
+        None => out.push(0),
+    }
+}
+
+/// Appends the root name (a single zero octet). Used for fields the
+/// internal model does not carry, like the SOA RNAME.
+pub(crate) fn encode_root(out: &mut Vec<u8>) {
+    out.push(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DomainName {
+        s.parse().expect("test name")
+    }
+
+    fn encode_fresh(n: &str) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_name(&name(n), &mut out, &mut Compressor::new());
+        out
+    }
+
+    #[test]
+    fn encode_is_labels_plus_zero() {
+        assert_eq!(
+            encode_fresh("www.example.com"),
+            [&[3u8][..], b"www", &[7], b"example", &[3], b"com", &[0]].concat()
+        );
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        for n in ["com", "example.com", "a-b.c_d.example.com"] {
+            let buf = encode_fresh(n);
+            let (decoded, after) = decode_name(&buf, 0).unwrap();
+            assert_eq!(decoded, name(n));
+            assert_eq!(after, buf.len());
+        }
+    }
+
+    #[test]
+    fn repeated_suffix_compresses_to_pointer() {
+        let mut out = Vec::new();
+        let mut comp = Compressor::new();
+        encode_name(&name("www.example.com"), &mut out, &mut comp);
+        let first_len = out.len();
+        encode_name(&name("mail.example.com"), &mut out, &mut comp);
+        // "mail" label (5 bytes) + 2-byte pointer to "example.com" at 4.
+        assert_eq!(out.len(), first_len + 7);
+        assert_eq!(&out[first_len + 5..], &[0xC0, 0x04]);
+        let (decoded, after) = decode_name(&out, first_len).unwrap();
+        assert_eq!(decoded, name("mail.example.com"));
+        assert_eq!(after, out.len());
+    }
+
+    #[test]
+    fn identical_name_is_a_bare_pointer() {
+        let mut out = Vec::new();
+        let mut comp = Compressor::new();
+        encode_name(&name("www.example.com"), &mut out, &mut comp);
+        let first_len = out.len();
+        encode_name(&name("www.example.com"), &mut out, &mut comp);
+        assert_eq!(&out[first_len..], &[0xC0, 0x00]);
+        let (decoded, _) = decode_name(&out, first_len).unwrap();
+        assert_eq!(decoded, name("www.example.com"));
+    }
+
+    #[test]
+    fn decode_uppercases_to_normalized_form() {
+        let buf = [&[3u8][..], b"WWW", &[7], b"Example", &[3], b"COM", &[0]].concat();
+        let (decoded, _) = decode_name(&buf, 0).unwrap();
+        assert_eq!(decoded.as_str(), "www.example.com");
+    }
+
+    #[test]
+    fn root_decodes_to_empty_str_but_not_domain_name() {
+        let buf = [0u8];
+        let mut scratch = NameScratch::new();
+        let (s, after) = decode_name_into(&buf, 0, &mut scratch).unwrap();
+        assert_eq!(s, "");
+        assert_eq!(after, 1);
+        assert_eq!(
+            decode_name(&buf, 0).unwrap_err(),
+            WireError::BadName { offset: 0 }
+        );
+    }
+
+    #[test]
+    fn self_pointer_is_rejected() {
+        // Pointer at offset 0 targeting offset 0: the classic loop.
+        let buf = [0xC0u8, 0x00];
+        assert_eq!(
+            decode_name(&buf, 0).unwrap_err(),
+            WireError::ForwardPointer {
+                offset: 0,
+                target: 0
+            }
+        );
+    }
+
+    #[test]
+    fn two_pointer_cycle_is_rejected() {
+        // label "a" + pointer chain: name at 4 points to 2, 2 points back
+        // toward 4's region — the second hop fails the monotonic rule.
+        let buf = [
+            1, b'a', 0xC0, 0x06, // name at 0: "a" then pointer forward (never parsed)
+            0xC0, 0x02, // name at 4: pointer to 2
+            0xC0, 0x04, // at 6: pointer to 4 (unreached)
+        ];
+        // Name at 4 jumps to 2 (ok, 2 < 4); at 2 a pointer to 6 which is
+        // not < 2 — rejected.
+        assert_eq!(
+            decode_name(&buf, 4).unwrap_err(),
+            WireError::ForwardPointer {
+                offset: 2,
+                target: 6
+            }
+        );
+    }
+
+    #[test]
+    fn forward_pointer_is_rejected() {
+        let buf = [0xC0u8, 0x05, 0, 0, 0, 3, b'c', b'o', b'm', 0];
+        assert_eq!(
+            decode_name(&buf, 0).unwrap_err(),
+            WireError::ForwardPointer {
+                offset: 0,
+                target: 5
+            }
+        );
+    }
+
+    #[test]
+    fn truncated_label_is_rejected() {
+        let buf = [5u8, b'a', b'b'];
+        assert_eq!(
+            decode_name(&buf, 0).unwrap_err(),
+            WireError::Truncated {
+                offset: 1,
+                needed: 5
+            }
+        );
+    }
+
+    #[test]
+    fn missing_terminator_is_truncated() {
+        let buf = [1u8, b'a'];
+        assert_eq!(
+            decode_name(&buf, 0).unwrap_err(),
+            WireError::Truncated {
+                offset: 2,
+                needed: 1
+            }
+        );
+    }
+
+    #[test]
+    fn reserved_label_type_is_rejected() {
+        let buf = [0x40u8, 0];
+        assert_eq!(
+            decode_name(&buf, 0).unwrap_err(),
+            WireError::BadLabelType {
+                offset: 0,
+                byte: 0x40
+            }
+        );
+    }
+
+    #[test]
+    fn oversized_expansion_is_rejected() {
+        // Four 63-byte labels expand to 255 presentation chars > 253.
+        let mut buf = Vec::new();
+        for _ in 0..4 {
+            buf.push(63);
+            buf.extend(std::iter::repeat_n(b'a', 63));
+        }
+        buf.push(0);
+        assert_eq!(
+            decode_name(&buf, 0).unwrap_err(),
+            WireError::NameTooLong { offset: 0 }
+        );
+    }
+
+    #[test]
+    fn bad_bytes_are_rejected() {
+        for bad in [b'.', b' ', b'!', 0xFFu8] {
+            let buf = [1u8, bad, 0];
+            assert_eq!(
+                decode_name(&buf, 0).unwrap_err(),
+                WireError::BadName { offset: 0 },
+                "byte {bad:#04x} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn pointer_budget_is_enforced() {
+        // A legal (strictly backward) chain of MAX_POINTER_JUMPS + 1 hops:
+        // pointers at 2k point to 2(k-1), name starts at the deep end.
+        let hops = MAX_POINTER_JUMPS + 1;
+        let mut buf = vec![3, b'c', b'o', b'm', 0];
+        let base = buf.len();
+        for k in 0..hops {
+            let target = if k == 0 { 0 } else { base + 2 * (k - 1) };
+            buf.extend_from_slice(&(0xC000 | target as u16).to_be_bytes());
+        }
+        let start = base + 2 * (hops - 1);
+        assert_eq!(
+            decode_name(&buf, start).unwrap_err(),
+            WireError::PointerLimit {
+                offset: base + 2 * (hops - 1 - MAX_POINTER_JUMPS)
+            }
+        );
+        // One hop fewer stays within budget and resolves.
+        let start = base + 2 * (MAX_POINTER_JUMPS - 1);
+        let (decoded, _) = decode_name(&buf, start).unwrap();
+        assert_eq!(decoded, name("com"));
+    }
+
+    #[test]
+    fn resume_position_is_after_first_pointer() {
+        let mut out = Vec::new();
+        let mut comp = Compressor::new();
+        encode_name(&name("example.com"), &mut out, &mut comp);
+        let pos = out.len();
+        encode_name(&name("www.example.com"), &mut out, &mut comp);
+        out.extend_from_slice(&[0xAB, 0xCD]); // trailing bytes after the name
+        let (_, after) = decode_name(&out, pos).unwrap();
+        assert_eq!(after, out.len() - 2);
+    }
+}

@@ -1,0 +1,368 @@
+//! Wire-level constants, type/rcode number mappings, and the fixed
+//! 12-byte header.
+//!
+//! Everything here is the RFC 1035 §4.1.1 vocabulary: TYPE and CLASS
+//! numbers, the flags word layout, and the header counts. The mapping
+//! functions are total in both directions over the values the simulation
+//! models and return typed [`WireError`]s for everything else — an AAAA
+//! query against this codec is an [`WireError::UnsupportedType`] carrying
+//! wire value 28, never a silent drop.
+
+use remnant_dns::{Rcode, RecordType};
+
+use crate::error::WireError;
+
+/// Length of the fixed DNS header.
+pub const HEADER_LEN: usize = 12;
+
+/// Classic UDP payload ceiling (RFC 1035 §4.2.1). Responses longer than
+/// this are truncated with the TC bit set; clients retry over TCP.
+pub const MAX_UDP_PAYLOAD: usize = 512;
+
+/// TYPE number for A records.
+pub const TYPE_A: u16 = 1;
+/// TYPE number for NS records.
+pub const TYPE_NS: u16 = 2;
+/// TYPE number for CNAME records.
+pub const TYPE_CNAME: u16 = 5;
+/// TYPE number for SOA records.
+pub const TYPE_SOA: u16 = 6;
+/// TYPE number for MX records.
+pub const TYPE_MX: u16 = 15;
+/// TYPE number for TXT records.
+pub const TYPE_TXT: u16 = 16;
+
+/// The Internet class (the only CLASS this codec speaks).
+pub const CLASS_IN: u16 = 1;
+
+/// Wire TYPE number for a [`RecordType`].
+///
+/// # Errors
+///
+/// Returns [`WireError::UnsupportedType`] for record types added to the
+/// (non-exhaustive) enum after this codec, so new variants fail loudly
+/// instead of encoding garbage.
+pub fn rtype_to_wire(rtype: RecordType) -> Result<u16, WireError> {
+    match rtype {
+        RecordType::A => Ok(TYPE_A),
+        RecordType::Ns => Ok(TYPE_NS),
+        RecordType::Cname => Ok(TYPE_CNAME),
+        RecordType::Soa => Ok(TYPE_SOA),
+        RecordType::Mx => Ok(TYPE_MX),
+        RecordType::Txt => Ok(TYPE_TXT),
+        _ => Err(WireError::UnsupportedType {
+            offset: 0,
+            rtype: u16::MAX,
+        }),
+    }
+}
+
+/// [`RecordType`] for a wire TYPE number read at `offset`.
+///
+/// # Errors
+///
+/// Returns [`WireError::UnsupportedType`] carrying the raw wire value for
+/// any TYPE outside the modeled set.
+pub fn rtype_from_wire(value: u16, offset: usize) -> Result<RecordType, WireError> {
+    match value {
+        TYPE_A => Ok(RecordType::A),
+        TYPE_NS => Ok(RecordType::Ns),
+        TYPE_CNAME => Ok(RecordType::Cname),
+        TYPE_SOA => Ok(RecordType::Soa),
+        TYPE_MX => Ok(RecordType::Mx),
+        TYPE_TXT => Ok(RecordType::Txt),
+        other => Err(WireError::UnsupportedType {
+            offset,
+            rtype: other,
+        }),
+    }
+}
+
+/// Wire RCODE for an [`Rcode`].
+///
+/// # Errors
+///
+/// Returns [`WireError::BadRcode`] for response codes added to the
+/// (non-exhaustive) enum after this codec.
+pub fn rcode_to_wire(rcode: Rcode) -> Result<u8, WireError> {
+    match rcode {
+        Rcode::NoError => Ok(0),
+        Rcode::ServFail => Ok(2),
+        Rcode::NxDomain => Ok(3),
+        Rcode::Refused => Ok(5),
+        _ => Err(WireError::BadRcode {
+            offset: 0,
+            rcode: u8::MAX,
+        }),
+    }
+}
+
+/// [`Rcode`] for a wire RCODE read in the flags word at `offset`.
+///
+/// # Errors
+///
+/// Returns [`WireError::BadRcode`] for RCODEs the simulation does not
+/// model (FORMERR, NOTIMP, the extended range).
+pub fn rcode_from_wire(value: u8, offset: usize) -> Result<Rcode, WireError> {
+    match value {
+        0 => Ok(Rcode::NoError),
+        2 => Ok(Rcode::ServFail),
+        3 => Ok(Rcode::NxDomain),
+        5 => Ok(Rcode::Refused),
+        other => Err(WireError::BadRcode {
+            offset,
+            rcode: other,
+        }),
+    }
+}
+
+/// The decoded RFC 1035 flags word (QR, AA, TC, RD, RA, RCODE).
+///
+/// Only opcode QUERY is modeled; the Z/AD/CD bits are ignored on parse
+/// and written as zero on encode, so a parse→encode round trip is
+/// canonical rather than bit-preserving in those reserved positions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Flags {
+    /// True for responses, false for queries.
+    pub qr: bool,
+    /// Authoritative answer.
+    pub aa: bool,
+    /// Truncated — the response exceeded the transport's payload limit.
+    pub tc: bool,
+    /// Recursion desired.
+    pub rd: bool,
+    /// Recursion available.
+    pub ra: bool,
+    /// Response code.
+    pub rcode: Rcode,
+}
+
+impl Flags {
+    /// Flags for an outgoing query (RD set, everything else clear).
+    pub fn query() -> Self {
+        Flags {
+            rd: true,
+            ..Flags::default()
+        }
+    }
+
+    /// Flags for a recursive response with the given code.
+    pub fn response(rcode: Rcode, authoritative: bool) -> Self {
+        Flags {
+            qr: true,
+            aa: authoritative,
+            tc: false,
+            rd: true,
+            ra: true,
+            rcode,
+        }
+    }
+
+    /// Encodes the 16-bit flags word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadRcode`] if the response code has no wire
+    /// number.
+    pub fn encode(self) -> Result<u16, WireError> {
+        let mut word = u16::from(rcode_to_wire(self.rcode)?);
+        if self.qr {
+            word |= 1 << 15;
+        }
+        if self.aa {
+            word |= 1 << 10;
+        }
+        if self.tc {
+            word |= 1 << 9;
+        }
+        if self.rd {
+            word |= 1 << 8;
+        }
+        if self.ra {
+            word |= 1 << 7;
+        }
+        Ok(word)
+    }
+
+    /// Decodes a flags word read at byte `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadOpcode`] for any opcode other than QUERY
+    /// and [`WireError::BadRcode`] for unmodeled response codes.
+    pub fn decode(word: u16, offset: usize) -> Result<Self, WireError> {
+        let opcode = ((word >> 11) & 0xF) as u8;
+        if opcode != 0 {
+            return Err(WireError::BadOpcode { offset, opcode });
+        }
+        Ok(Flags {
+            qr: word & (1 << 15) != 0,
+            aa: word & (1 << 10) != 0,
+            tc: word & (1 << 9) != 0,
+            rd: word & (1 << 8) != 0,
+            ra: word & (1 << 7) != 0,
+            rcode: rcode_from_wire((word & 0xF) as u8, offset)?,
+        })
+    }
+}
+
+/// The fixed 12-byte message header.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Header {
+    /// Transaction ID, echoed from query to response.
+    pub id: u16,
+    /// Decoded flags word.
+    pub flags: Flags,
+    /// Question count.
+    pub qdcount: u16,
+    /// Answer-section record count.
+    pub ancount: u16,
+    /// Authority-section record count.
+    pub nscount: u16,
+    /// Additional-section record count.
+    pub arcount: u16,
+}
+
+impl Header {
+    /// Decodes the header at the start of `msg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if `msg` is shorter than
+    /// [`HEADER_LEN`], plus the flag-word errors from [`Flags::decode`].
+    pub fn decode(msg: &[u8]) -> Result<Self, WireError> {
+        if msg.len() < HEADER_LEN {
+            return Err(WireError::Truncated {
+                offset: msg.len(),
+                needed: HEADER_LEN - msg.len(),
+            });
+        }
+        let word = |i: usize| u16::from_be_bytes([msg[i], msg[i + 1]]);
+        Ok(Header {
+            id: word(0),
+            flags: Flags::decode(word(2), 2)?,
+            qdcount: word(4),
+            ancount: word(6),
+            nscount: word(8),
+            arcount: word(10),
+        })
+    }
+
+    /// Appends the 12 header bytes to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadRcode`] if the flags cannot be encoded.
+    pub fn encode_into(self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        out.extend_from_slice(&self.id.to_be_bytes());
+        out.extend_from_slice(&self.flags.encode()?.to_be_bytes());
+        out.extend_from_slice(&self.qdcount.to_be_bytes());
+        out.extend_from_slice(&self.ancount.to_be_bytes());
+        out.extend_from_slice(&self.nscount.to_be_bytes());
+        out.extend_from_slice(&self.arcount.to_be_bytes());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtype_mapping_is_total_and_inverse() {
+        for rtype in RecordType::ALL {
+            let wire = rtype_to_wire(rtype).expect("modeled type");
+            assert_eq!(rtype_from_wire(wire, 0).expect("inverse"), rtype);
+        }
+    }
+
+    #[test]
+    fn unknown_rtype_is_typed() {
+        let err = rtype_from_wire(28, 14).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::UnsupportedType {
+                offset: 14,
+                rtype: 28
+            }
+        );
+    }
+
+    #[test]
+    fn rcode_mapping_round_trips() {
+        for rcode in [
+            Rcode::NoError,
+            Rcode::ServFail,
+            Rcode::NxDomain,
+            Rcode::Refused,
+        ] {
+            let wire = rcode_to_wire(rcode).expect("modeled rcode");
+            assert_eq!(rcode_from_wire(wire, 0).expect("inverse"), rcode);
+        }
+        assert!(rcode_from_wire(1, 2).is_err()); // FORMERR
+        assert!(rcode_from_wire(4, 2).is_err()); // NOTIMP
+    }
+
+    #[test]
+    fn flags_round_trip() {
+        let all = Flags {
+            qr: true,
+            aa: true,
+            tc: true,
+            rd: true,
+            ra: true,
+            rcode: Rcode::NxDomain,
+        };
+        let word = all.encode().unwrap();
+        assert_eq!(Flags::decode(word, 2).unwrap(), all);
+        assert_eq!(Flags::decode(0, 2).unwrap(), Flags::default());
+    }
+
+    #[test]
+    fn flags_reject_non_query_opcode() {
+        // IQUERY (opcode 1) sets bit 11.
+        let err = Flags::decode(1 << 11, 2).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::BadOpcode {
+                offset: 2,
+                opcode: 1
+            }
+        );
+    }
+
+    #[test]
+    fn flags_ignore_reserved_z_bits() {
+        // AD/CD-style bits inside Z parse as if clear.
+        let flags = Flags::decode(1 << 5, 2).unwrap();
+        assert_eq!(flags, Flags::default());
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let header = Header {
+            id: 0xBEEF,
+            flags: Flags::response(Rcode::NoError, true),
+            qdcount: 1,
+            ancount: 3,
+            nscount: 0,
+            arcount: 2,
+        };
+        let mut buf = Vec::new();
+        header.encode_into(&mut buf).unwrap();
+        assert_eq!(buf.len(), HEADER_LEN);
+        assert_eq!(Header::decode(&buf).unwrap(), header);
+    }
+
+    #[test]
+    fn short_header_is_truncated() {
+        let err = Header::decode(&[0; 5]).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::Truncated {
+                offset: 5,
+                needed: 7
+            }
+        );
+    }
+}

@@ -1,0 +1,377 @@
+//! Malformed-packet corpus: every hostile shape returns a *named*
+//! `WireError` — no panic, no unbounded allocation, no silent drop.
+//!
+//! The corpus covers the attacks a public-facing parser actually sees:
+//! compression-pointer loops and forward pointers, truncation at every
+//! field boundary, oversized name expansions, reserved label types,
+//! unknown RR types and classes, and RDATA/RDLENGTH mismatches.
+
+use remnant_dns::{Query, RecordData, RecordType, ResourceRecord, Response, Ttl};
+use remnant_wire::{Message, WireError, HEADER_LEN};
+
+/// A minimal valid query frame for `www.example.com A?` to mutate from.
+fn base_query() -> Vec<u8> {
+    let query = Query::new("www.example.com".parse().expect("name"), RecordType::A);
+    Message::query(0x1234, &query).encode().expect("encodes")
+}
+
+/// A valid response frame with one A answer to mutate from.
+fn base_response() -> Vec<u8> {
+    let query = Query::new("www.example.com".parse().expect("name"), RecordType::A);
+    let response = Response::answer(
+        query.clone(),
+        vec![ResourceRecord::new(
+            query.name.clone(),
+            Ttl::secs(300),
+            RecordData::A([203, 0, 113, 9].into()),
+        )],
+    );
+    Message::response(0x1234, &response)
+        .encode()
+        .expect("encodes")
+}
+
+/// Header + a question whose QNAME is the given raw bytes.
+fn frame_with_raw_qname(qname: &[u8]) -> Vec<u8> {
+    let mut frame = vec![
+        0x12, 0x34, // ID
+        0x01, 0x00, // RD
+        0x00, 0x01, // QDCOUNT 1
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    ];
+    frame.extend_from_slice(qname);
+    frame.extend_from_slice(&1u16.to_be_bytes()); // QTYPE A
+    frame.extend_from_slice(&1u16.to_be_bytes()); // QCLASS IN
+    frame
+}
+
+#[test]
+fn truncated_headers_at_every_length() {
+    let frame = base_query();
+    for len in 0..HEADER_LEN {
+        let err = Message::decode(&frame[..len]).expect_err("short header must fail");
+        assert_eq!(
+            err,
+            WireError::Truncated {
+                offset: len,
+                needed: HEADER_LEN - len
+            },
+            "truncation at {len} bytes"
+        );
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_of_a_real_message_never_panics() {
+    let frame = base_response();
+    for len in 0..frame.len() {
+        let result = Message::decode(&frame[..len]);
+        assert!(
+            result.is_err(),
+            "prefix of {len} bytes decoded successfully"
+        );
+    }
+    assert!(
+        Message::decode(&frame).is_ok(),
+        "the full frame still parses"
+    );
+}
+
+#[test]
+fn pointer_loop_self_reference() {
+    let frame = frame_with_raw_qname(&[0xC0, 0x0C]); // points at itself (offset 12)
+    match Message::decode(&frame) {
+        Err(WireError::ForwardPointer {
+            offset: 12,
+            target: 12,
+        }) => {}
+        other => panic!("expected ForwardPointer, got {other:?}"),
+    }
+}
+
+#[test]
+fn pointer_loop_mutual_references() {
+    // Two names pointing at each other through the answer section.
+    let mut frame = frame_with_raw_qname(&[0xC0, 0x10]); // forward into the frame
+    frame.extend_from_slice(&[0xC0, 0x0C]); // and back
+    match Message::decode(&frame) {
+        Err(WireError::ForwardPointer { .. }) => {}
+        other => panic!("expected ForwardPointer, got {other:?}"),
+    }
+}
+
+#[test]
+fn forward_pointer_is_named() {
+    // QNAME is a pointer to the QTYPE field — forward of the name start.
+    let frame = frame_with_raw_qname(&[0xC0, 0x0E]);
+    match Message::decode(&frame) {
+        Err(WireError::ForwardPointer {
+            offset: 12,
+            target: 14,
+        }) => {}
+        other => panic!("expected ForwardPointer, got {other:?}"),
+    }
+}
+
+#[test]
+fn deep_pointer_chain_hits_the_jump_budget() {
+    // A strictly backward chain long enough to exhaust the jump budget.
+    // Arbitrary bytes can only live inside RDATA, so the chain entries
+    // are smuggled in as A-record addresses (two 2-byte pointers per
+    // record); the final record's NAME enters at the deepest entry and
+    // hops backward through all of them.
+    let mut frame = vec![
+        0x12, 0x34, // ID
+        0x84, 0x00, // QR response, AA
+        0x00, 0x01, // QDCOUNT 1
+        0x00, 0x0A, // ANCOUNT 10 (9 chain carriers + the trap)
+        0x00, 0x00, 0x00, 0x00,
+    ];
+    frame.extend_from_slice(&[1, b'a', 0]); // QNAME "a."
+    frame.extend_from_slice(&1u16.to_be_bytes()); // QTYPE A
+    frame.extend_from_slice(&1u16.to_be_bytes()); // QCLASS IN
+
+    let mut entries: Vec<usize> = Vec::new();
+    for _ in 0..9 {
+        frame.extend_from_slice(&[0xC0, 0x0C]); // NAME → QNAME
+        frame.extend_from_slice(&1u16.to_be_bytes()); // TYPE A
+        frame.extend_from_slice(&1u16.to_be_bytes()); // CLASS IN
+        frame.extend_from_slice(&300u32.to_be_bytes()); // TTL
+        frame.extend_from_slice(&4u16.to_be_bytes()); // RDLENGTH
+        for _ in 0..2 {
+            // Each entry is a pointer to the previous entry; the very
+            // first points at the QNAME label, which would terminate.
+            let target = *entries.last().unwrap_or(&12);
+            entries.push(frame.len());
+            frame.extend_from_slice(&(0xC000 | target as u16).to_be_bytes());
+        }
+    }
+    assert_eq!(entries.len(), 18, "enough hops to exceed the budget of 16");
+
+    // The trap record: NAME is a pointer to the deepest chain entry.
+    let deepest = *entries.last().expect("chain built");
+    frame.extend_from_slice(&(0xC000 | deepest as u16).to_be_bytes());
+    frame.extend_from_slice(&1u16.to_be_bytes());
+    frame.extend_from_slice(&1u16.to_be_bytes());
+    frame.extend_from_slice(&300u32.to_be_bytes());
+    frame.extend_from_slice(&4u16.to_be_bytes());
+    frame.extend_from_slice(&[10, 0, 0, 1]);
+
+    match Message::decode(&frame) {
+        Err(WireError::PointerLimit { .. }) => {}
+        other => panic!("expected PointerLimit, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_name_expansion_is_bounded() {
+    // Four 63-byte labels: 255 presentation chars, over the 253 limit.
+    let mut qname = Vec::new();
+    for _ in 0..4 {
+        qname.push(63);
+        qname.extend(std::iter::repeat_n(b'a', 63));
+    }
+    qname.push(0);
+    let frame = frame_with_raw_qname(&qname);
+    match Message::decode(&frame) {
+        Err(WireError::NameTooLong { offset: 12 }) => {}
+        other => panic!("expected NameTooLong, got {other:?}"),
+    }
+}
+
+#[test]
+fn reserved_label_types_are_named() {
+    for byte in [0x40u8, 0x80] {
+        let frame = frame_with_raw_qname(&[byte, 0x00]);
+        match Message::decode(&frame) {
+            Err(WireError::BadLabelType {
+                offset: 12,
+                byte: b,
+            }) if b == byte => {}
+            other => panic!("expected BadLabelType for {byte:#04x}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn non_hostname_bytes_are_rejected() {
+    let frame = frame_with_raw_qname(&[3, b'w', b' ', b'w', 0]);
+    match Message::decode(&frame) {
+        Err(WireError::BadName { offset: 12 }) => {}
+        other => panic!("expected BadName, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_rr_type_is_typed_unsupported() {
+    // AAAA (28) in the question.
+    let mut frame = base_query();
+    let qtype_at = frame.len() - 4;
+    frame[qtype_at..qtype_at + 2].copy_from_slice(&28u16.to_be_bytes());
+    match Message::decode(&frame) {
+        Err(WireError::UnsupportedType { rtype: 28, .. }) => {}
+        other => panic!("expected UnsupportedType, got {other:?}"),
+    }
+    // OPT (41) in an answer record.
+    let mut frame = base_response();
+    // The answer RR follows the question; its TYPE sits 2 bytes after
+    // the name (a compression pointer here, so name is 2 bytes).
+    let answer_type_at = base_query().len() + 2;
+    frame[answer_type_at..answer_type_at + 2].copy_from_slice(&41u16.to_be_bytes());
+    match Message::decode(&frame) {
+        Err(WireError::UnsupportedType { rtype: 41, .. }) => {}
+        other => panic!("expected UnsupportedType, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_class_is_typed() {
+    let mut frame = base_query();
+    let qclass_at = frame.len() - 2;
+    frame[qclass_at..qclass_at + 2].copy_from_slice(&3u16.to_be_bytes()); // CHAOS
+    match Message::decode(&frame) {
+        Err(WireError::UnsupportedClass { class: 3, .. }) => {}
+        other => panic!("expected UnsupportedClass, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_query_opcode_is_typed() {
+    let mut frame = base_query();
+    frame[2] |= 2 << 3; // opcode STATUS (2) in bits 14-11
+    match Message::decode(&frame) {
+        Err(WireError::BadOpcode {
+            opcode: 2,
+            offset: 2,
+        }) => {}
+        other => panic!("expected BadOpcode, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_rcode_is_typed() {
+    let mut frame = base_response();
+    frame[3] = (frame[3] & 0xF0) | 1; // FORMERR
+    match Message::decode(&frame) {
+        Err(WireError::BadRcode {
+            rcode: 1,
+            offset: 2,
+        }) => {}
+        other => panic!("expected BadRcode, got {other:?}"),
+    }
+}
+
+#[test]
+fn multi_question_count_is_typed() {
+    let mut frame = base_query();
+    frame[5] = 7;
+    match Message::decode(&frame) {
+        Err(WireError::QuestionCount { count: 7 }) => {}
+        other => panic!("expected QuestionCount, got {other:?}"),
+    }
+}
+
+#[test]
+fn rdlength_mismatches_are_bad_rdata() {
+    // An A record claiming 5 bytes of RDATA.
+    let query = Query::new("www.example.com".parse().expect("name"), RecordType::A);
+    let mut frame = Message::query(1, &query).encode().expect("encodes");
+    frame[7] = 1; // ANCOUNT 1
+    frame.extend_from_slice(&[0xC0, 0x0C]); // name: pointer to QNAME
+    frame.extend_from_slice(&1u16.to_be_bytes()); // TYPE A
+    frame.extend_from_slice(&1u16.to_be_bytes()); // CLASS IN
+    frame.extend_from_slice(&300u32.to_be_bytes()); // TTL
+    frame.extend_from_slice(&5u16.to_be_bytes()); // RDLENGTH 5 (wrong)
+    frame.extend_from_slice(&[1, 2, 3, 4, 5]);
+    match Message::decode(&frame) {
+        Err(WireError::BadRdata { rtype: 1, .. }) => {}
+        other => panic!("expected BadRdata, got {other:?}"),
+    }
+}
+
+#[test]
+fn rdata_overrunning_the_frame_is_truncated() {
+    let query = Query::new("www.example.com".parse().expect("name"), RecordType::A);
+    let mut frame = Message::query(1, &query).encode().expect("encodes");
+    frame[7] = 1; // ANCOUNT 1
+    frame.extend_from_slice(&[0xC0, 0x0C]);
+    frame.extend_from_slice(&1u16.to_be_bytes());
+    frame.extend_from_slice(&1u16.to_be_bytes());
+    frame.extend_from_slice(&300u32.to_be_bytes());
+    frame.extend_from_slice(&200u16.to_be_bytes()); // RDLENGTH 200, but no bytes follow
+    match Message::decode(&frame) {
+        Err(WireError::Truncated { needed: 200, .. }) => {}
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+}
+
+#[test]
+fn txt_chunk_overrunning_rdlength_is_bad_rdata() {
+    let query = Query::new("t.example.com".parse().expect("name"), RecordType::Txt);
+    let mut frame = Message::query(1, &query).encode().expect("encodes");
+    frame[7] = 1; // ANCOUNT 1
+    frame.extend_from_slice(&[0xC0, 0x0C]);
+    frame.extend_from_slice(&16u16.to_be_bytes()); // TYPE TXT
+    frame.extend_from_slice(&1u16.to_be_bytes());
+    frame.extend_from_slice(&60u32.to_be_bytes());
+    frame.extend_from_slice(&3u16.to_be_bytes()); // RDLENGTH 3
+    frame.extend_from_slice(&[10, b'a', b'b']); // chunk claims 10 bytes, only 2 present
+    match Message::decode(&frame) {
+        Err(WireError::BadRdata { rtype: 16, .. }) => {}
+        other => panic!("expected BadRdata, got {other:?}"),
+    }
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    let mut frame = base_response();
+    frame.extend_from_slice(&[0xDE, 0xAD]);
+    match Message::decode(&frame) {
+        Err(WireError::TrailingBytes { .. }) => {}
+        other => panic!("expected TrailingBytes, got {other:?}"),
+    }
+}
+
+#[test]
+fn counted_records_that_do_not_exist_are_truncated() {
+    let mut frame = base_query();
+    frame[7] = 3; // claim three answers, provide none
+    match Message::decode(&frame) {
+        Err(WireError::Truncated { .. }) => {}
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+}
+
+#[test]
+fn huge_claimed_counts_do_not_preallocate() {
+    // ANCOUNT 65535 with an empty body must fail fast on the first
+    // missing record, not allocate 65535 slots up front.
+    let mut frame = base_query();
+    frame[6] = 0xFF;
+    frame[7] = 0xFF;
+    let before = std::time::Instant::now();
+    assert!(Message::decode(&frame).is_err());
+    assert!(
+        before.elapsed() < std::time::Duration::from_millis(100),
+        "decode of a lying header must be immediate"
+    );
+}
+
+#[test]
+fn every_error_reports_a_plausible_offset() {
+    let corpus: Vec<Vec<u8>> = vec![
+        frame_with_raw_qname(&[0xC0, 0x0C]),
+        frame_with_raw_qname(&[0x40, 0x00]),
+        frame_with_raw_qname(&[3, b'!', b'a', b'b', 0]),
+        base_query()[..7].to_vec(),
+    ];
+    for frame in corpus {
+        let err = Message::decode(&frame).expect_err("corpus frames are malformed");
+        assert!(
+            err.offset() <= frame.len(),
+            "offset {} beyond frame length {} for {err}",
+            err.offset(),
+            frame.len()
+        );
+    }
+}

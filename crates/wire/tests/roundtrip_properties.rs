@@ -1,0 +1,197 @@
+//! Codec differential properties: arbitrary messages survive
+//! encode → decode byte-for-byte at the typed level, and the encoded
+//! form itself is canonical (re-encoding the decoded message reproduces
+//! the same bytes).
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use remnant_dns::{
+    DomainName, Query, Rcode, RecordData, RecordType, ResourceRecord, Response, Ttl,
+};
+use remnant_wire::{Flags, Message};
+
+fn label() -> impl Strategy<Value = String> {
+    "[a-z]([a-z0-9_-]{0,6}[a-z0-9])?"
+}
+
+fn domain() -> impl Strategy<Value = DomainName> {
+    prop::collection::vec(label(), 1..5).prop_map(|labels| {
+        labels
+            .join(".")
+            .parse()
+            .expect("generated labels are valid")
+    })
+}
+
+fn rtype() -> impl Strategy<Value = RecordType> {
+    prop::sample::select(RecordType::ALL.to_vec())
+}
+
+fn rcode() -> impl Strategy<Value = Rcode> {
+    prop::sample::select(vec![
+        Rcode::NoError,
+        Rcode::NxDomain,
+        Rcode::Refused,
+        Rcode::ServFail,
+    ])
+}
+
+fn record_data() -> impl Strategy<Value = RecordData> {
+    prop_oneof![
+        any::<u32>().prop_map(|ip| RecordData::A(Ipv4Addr::from(ip))),
+        domain().prop_map(RecordData::Cname),
+        domain().prop_map(RecordData::Ns),
+        (any::<u16>(), domain()).prop_map(|(preference, exchange)| RecordData::Mx {
+            preference,
+            exchange,
+        }),
+        "[ -~]{0,60}".prop_map(RecordData::Txt),
+        // TXT spanning multiple character-strings, with multi-byte chars.
+        "[a-z€λ]{250,300}".prop_map(RecordData::Txt),
+        (domain(), any::<u32>()).prop_map(|(mname, serial)| RecordData::Soa { mname, serial }),
+    ]
+}
+
+fn record() -> impl Strategy<Value = ResourceRecord> {
+    (domain(), any::<u32>(), record_data())
+        .prop_map(|(name, ttl, data)| ResourceRecord::new(name, Ttl::secs(ttl), data))
+}
+
+fn flags() -> impl Strategy<Value = Flags> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        rcode(),
+    )
+        .prop_map(|(qr, aa, tc, rd, ra, rcode)| Flags {
+            qr,
+            aa,
+            tc,
+            rd,
+            ra,
+            rcode,
+        })
+}
+
+fn message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        flags(),
+        (any::<bool>(), domain(), rtype()),
+        prop::collection::vec(record(), 0..6),
+        prop::collection::vec(record(), 0..4),
+        prop::collection::vec(record(), 0..4),
+    )
+        .prop_map(
+            |(id, flags, (has_question, qname, qtype), answers, authority, additional)| Message {
+                id,
+                flags,
+                question: has_question.then(|| Query::new(qname, qtype)),
+                answers,
+                authority,
+                additional,
+            },
+        )
+}
+
+fn response() -> impl Strategy<Value = Response> {
+    (
+        (domain(), rtype()),
+        rcode(),
+        any::<bool>(),
+        prop::collection::vec(record(), 0..6),
+        prop::collection::vec(record(), 0..4),
+        prop::collection::vec(record(), 0..4),
+    )
+        .prop_map(
+            |((qname, qtype), rcode, authoritative, answers, authority, additional)| Response {
+                query: Query::new(qname, qtype),
+                rcode,
+                authoritative,
+                answers: answers.into(),
+                authority: authority.into(),
+                additional: additional.into(),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity on typed messages.
+    #[test]
+    fn message_round_trips_losslessly(message in message()) {
+        let wire = message.encode().expect("arbitrary message encodes");
+        let decoded = Message::decode(&wire).expect("own encoding decodes");
+        prop_assert_eq!(decoded, message);
+    }
+
+    /// The encoding is canonical: decode → encode reproduces the exact
+    /// bytes, compression pointers included.
+    #[test]
+    fn encoding_is_canonical(message in message()) {
+        let wire = message.encode().expect("encodes");
+        let reencoded = Message::decode(&wire)
+            .expect("decodes")
+            .encode()
+            .expect("re-encodes");
+        prop_assert_eq!(reencoded, wire);
+    }
+
+    /// The Response ↔ Message conversion composed with the codec is
+    /// lossless, so wire-path resolution can't skew measurements.
+    #[test]
+    fn response_survives_the_wire(response in response(), id in any::<u16>()) {
+        let wire = Message::response(id, &response).encode().expect("encodes");
+        let back = Message::decode(&wire)
+            .expect("decodes")
+            .to_response()
+            .expect("response messages carry their question");
+        prop_assert_eq!(back, response);
+    }
+
+    /// Query frames round-trip and keep their ID.
+    #[test]
+    fn query_survives_the_wire(name in domain(), qtype in rtype(), id in any::<u16>()) {
+        let query = Query::new(name, qtype);
+        let wire = Message::query(id, &query).encode().expect("encodes");
+        let decoded = Message::decode(&wire).expect("decodes");
+        prop_assert_eq!(decoded.id, id);
+        prop_assert_eq!(decoded.question, Some(query));
+        prop_assert!(decoded.answers.is_empty());
+    }
+
+    /// Compression never changes meaning: a message whose sections share
+    /// suffixes decodes to the same records as one spelled in full.
+    #[test]
+    fn shared_suffixes_compress_reversibly(
+        apex in domain(),
+        hosts in prop::collection::vec(label(), 2..8),
+        ttl in any::<u32>(),
+    ) {
+        let records: Vec<ResourceRecord> = hosts
+            .iter()
+            .enumerate()
+            .map(|(i, host)| {
+                let owner: DomainName = format!("{host}.{apex}")
+                    .parse()
+                    .expect("label under apex is valid");
+                ResourceRecord::new(
+                    owner,
+                    Ttl::secs(ttl),
+                    RecordData::A(Ipv4Addr::new(10, 0, 0, i as u8)),
+                )
+            })
+            .collect();
+        let query = Query::new(apex, RecordType::A);
+        let response = Response::answer(query, records);
+        let wire = Message::response(1, &response).encode().expect("encodes");
+        let back = Message::decode(&wire).expect("decodes").to_response().expect("question");
+        prop_assert_eq!(back, response);
+    }
+}

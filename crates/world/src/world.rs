@@ -976,7 +976,7 @@ impl World {
 ///
 /// The reported generation changes whenever the fabric's answers for the
 /// apex could have changed: every tracked dynamics event bumps the stored
-/// counter (see [`World::touch_zone`]), and multi-CDN sites additionally
+/// counter (see `World::touch_zone`), and multi-CDN sites additionally
 /// fold the current day's parity into the value because their balancer
 /// alternates serving CDNs daily (Sec IV-B.3) without any zone edit.
 /// Generations are compared only for equality, so the parity mix-in just

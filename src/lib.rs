@@ -21,6 +21,7 @@
 //! | [`engine`] | `remnant-engine` | sharded, deterministic parallel sweep executor |
 //! | [`core`] | `remnant-core` | **the paper's toolkit**: collector, matchers, behavior/pause/unchanged studies, residual scanner, study driver |
 //! | [`attack`] | `remnant-attack` | botnets, scrubbing outcomes, the bypass kill chain |
+//! | [`wire`] | `remnant-wire` | RFC 1035 wire codec, wire-path transport adapter, servable UDP/TCP resolver daemon |
 //!
 //! # Quickstart
 //!
@@ -49,4 +50,5 @@ pub use remnant_net as net;
 pub use remnant_obs as obs;
 pub use remnant_provider as provider;
 pub use remnant_sim as sim;
+pub use remnant_wire as wire;
 pub use remnant_world as world;
