@@ -44,11 +44,15 @@ fn bench_scanner(c: &mut Criterion) {
 
     group.bench_function("match_records_2k_sites", |b| {
         b.iter(|| {
-            snapshot
-                .records
-                .iter()
-                .filter(|r| matcher.match_records(r).a.is_some())
-                .count()
+            let mut matched = 0usize;
+            for loaded in snapshot.blocks() {
+                matched += loaded
+                    .block
+                    .sites()
+                    .filter(|site| matcher.match_view(*site).a.is_some())
+                    .count();
+            }
+            matched
         });
     });
 
@@ -57,12 +61,11 @@ fn bench_scanner(c: &mut Criterion) {
     });
 
     group.bench_function("classify_one", |b| {
-        let records = snapshot
-            .records
-            .iter()
+        let records = (0..snapshot.len())
+            .filter_map(|rank| snapshot.site(rank))
             .find(|r| !r.is_empty())
             .expect("resolved site");
-        b.iter(|| Adoption::classify(&matcher, records));
+        b.iter(|| Adoption::classify(&matcher, &records));
     });
 
     group.finish();

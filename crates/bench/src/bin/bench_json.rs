@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! bench-json [--quick] [--out PATH] [--population N] [--seed S]
+//! bench-json --campaign [--sites N] [--weeks W] [--workers N]
+//!            [--spill-dir DIR] [--out PATH] [--seed S]
 //! ```
 //!
 //! Runs the allocation-sensitive microbenches (interned names and shared
@@ -21,6 +23,16 @@
 //! `--quick` shrinks the world and sample counts for CI smoke runs (the
 //! job only asserts the emitter completes and produces valid output;
 //! quick-mode rates are not comparable to full-mode ones).
+//!
+//! `--campaign` runs the paper-scale campaign suite instead: the same
+//! multi-week study measured once per memory mode (in-memory full
+//! collection, spill-to-disk full, spill-to-disk delta), recording wall
+//! clock and peak RSS for each, and writes one JSON document (default
+//! `BENCH_6.json`). Each mode runs in its own child process because
+//! `VmHWM` — the kernel's peak-RSS counter — is monotone over a process
+//! lifetime; in-process back-to-back runs would attribute the first
+//! mode's peak to every later one. Peak RSS degrades to `null` on
+//! platforms without procfs.
 
 use std::process::ExitCode;
 
@@ -39,7 +51,8 @@ use remnant::provider::ProviderId;
 use remnant::sim::SimTime;
 use remnant::wire::{query_id, Message, ServerCore};
 use remnant::world::{World, WorldConfig};
-use remnant_bench::perf::{legacy, measure, measure_ab, Json, Measurement};
+use remnant_bench::perf::{legacy, measure, measure_ab, peak_rss_bytes, Json, Measurement};
+use remnant_bench::{run_study, ReproConfig};
 
 /// Seed-commit (`0c4c56c`) numbers from the vendored criterion stand-in,
 /// release build, this repository's reference machine, 2026-08-05 — the
@@ -56,24 +69,40 @@ const SEED_BASELINE: &[(&str, f64, u64)] = &[
 
 struct Options {
     quick: bool,
-    out: String,
+    out: Option<String>,
     population: usize,
     seed: u64,
+    campaign: bool,
+    campaign_child: Option<String>,
+    sites: usize,
+    weeks: u32,
+    workers: usize,
+    spill_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for Options {
     fn default() -> Self {
         Options {
             quick: false,
-            out: "BENCH_5.json".to_owned(),
+            out: None,
             population: 2_000,
             seed: 3,
+            campaign: false,
+            campaign_child: None,
+            sites: 1_000_000,
+            weeks: 6,
+            workers: 8,
+            spill_dir: None,
         }
     }
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: bench-json [--quick] [--out PATH] [--population N] [--seed S]");
+    eprintln!(
+        "usage: bench-json [--quick] [--out PATH] [--population N] [--seed S]\n\
+         \u{20}      bench-json --campaign [--sites N] [--weeks W] [--workers N] \
+         [--spill-dir DIR] [--out PATH] [--seed S]"
+    );
     ExitCode::FAILURE
 }
 
@@ -735,6 +764,171 @@ fn wire_benches(world: &mut World, samples: usize) -> Json {
     ])
 }
 
+/// The campaign's memory modes: `(child tag, JSON key)`.
+const CAMPAIGN_MODES: &[(&str, &str)] = &[
+    ("in-memory", "in_memory_full"),
+    ("spill", "spill_full"),
+    ("spill-delta", "spill_delta"),
+];
+
+/// Child half of the campaign suite: runs ONE study in THIS process and
+/// prints a single machine-readable line to stdout. Peak RSS is then
+/// genuinely this mode's peak, not a predecessor's.
+fn campaign_child(mode: &str, opts: &Options) -> Result<(), String> {
+    let mut builder = ReproConfig::builder()
+        .population(opts.sites)
+        .weeks(opts.weeks)
+        .seed(opts.seed)
+        .workers(opts.workers)
+        .collection_mode(if mode == "spill-delta" {
+            CollectionMode::Delta
+        } else {
+            CollectionMode::Full
+        });
+    if mode != "in-memory" {
+        let dir = opts
+            .spill_dir
+            .as_ref()
+            .ok_or("--campaign-child spill modes need --spill-dir")?;
+        // Each mode gets its own subdirectory: spill files are append-only
+        // per campaign, and the modes must not read each other's rounds.
+        builder = builder.spill_dir(dir.join(mode));
+    }
+    let config = builder.build().map_err(|e| e.to_string())?;
+    let started = std::time::Instant::now();
+    let (world, report) = run_study(&config);
+    let wall = started.elapsed().as_secs_f64();
+    std::hint::black_box((&world, &report));
+    let rss = peak_rss_bytes().map_or_else(|| "none".to_owned(), |b| b.to_string());
+    println!("campaign mode={mode} wall_secs={wall:.3} peak_rss_bytes={rss}");
+    Ok(())
+}
+
+/// Parses the child's report line: `(wall_secs, peak_rss_bytes)`.
+fn parse_campaign_line(stdout: &str) -> Option<(f64, Option<u64>)> {
+    let line = stdout.lines().find(|l| l.starts_with("campaign "))?;
+    let mut wall = None;
+    let mut rss = None;
+    for token in line.split_whitespace() {
+        if let Some(v) = token.strip_prefix("wall_secs=") {
+            wall = v.parse().ok();
+        } else if let Some(v) = token.strip_prefix("peak_rss_bytes=") {
+            rss = v.parse().ok();
+        }
+    }
+    Some((wall?, rss))
+}
+
+/// Parent half: one child process per memory mode, assembled into the
+/// `BENCH_6.json` document.
+fn run_campaign(opts: &Options) -> Result<(), String> {
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_6.json".to_owned());
+    let spill_dir = opts
+        .spill_dir
+        .clone()
+        .unwrap_or_else(|| std::env::temp_dir().join("remnant-campaign-spill"));
+    let exe = std::env::current_exe().map_err(|e| format!("locating bench-json: {e}"))?;
+    eprintln!(
+        "bench-json: campaign over {} sites x {} weeks (seed {}, {} workers, spill under {})",
+        opts.sites,
+        opts.weeks,
+        opts.seed,
+        opts.workers,
+        spill_dir.display()
+    );
+
+    let mut modes = std::collections::BTreeMap::new();
+    let mut measured: Vec<(&str, f64, Option<u64>)> = Vec::new();
+    for (tag, key) in CAMPAIGN_MODES {
+        eprintln!("bench-json: campaign mode {tag}...");
+        let output = std::process::Command::new(&exe)
+            .arg("--campaign-child")
+            .arg(tag)
+            .arg("--sites")
+            .arg(opts.sites.to_string())
+            .arg("--weeks")
+            .arg(opts.weeks.to_string())
+            .arg("--seed")
+            .arg(opts.seed.to_string())
+            .arg("--workers")
+            .arg(opts.workers.to_string())
+            .arg("--spill-dir")
+            .arg(&spill_dir)
+            .output()
+            .map_err(|e| format!("spawning campaign mode {tag}: {e}"))?;
+        if !output.status.success() {
+            return Err(format!(
+                "campaign mode {tag} failed ({}): {}",
+                output.status,
+                String::from_utf8_lossy(&output.stderr)
+            ));
+        }
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let (wall, rss) = parse_campaign_line(&stdout)
+            .ok_or_else(|| format!("campaign mode {tag} printed no report line: {stdout}"))?;
+        eprintln!(
+            "bench-json: campaign mode {tag}: {wall:.1}s wall, peak RSS {}",
+            rss.map_or_else(|| "unavailable".to_owned(), |b| format!("{} MiB", b >> 20))
+        );
+        measured.push((tag, wall, rss));
+        modes.insert(
+            (*key).to_owned(),
+            Json::obj([
+                ("wall_secs", Json::Num(wall)),
+                (
+                    "peak_rss_bytes",
+                    Json::Num(rss.map_or(f64::NAN, |b| b as f64)),
+                ),
+            ]),
+        );
+    }
+
+    // The headline ratios: what spilling costs (wall) and buys (memory).
+    let find = |tag: &str| measured.iter().find(|(t, ..)| *t == tag);
+    let ratios = match (find("in-memory"), find("spill")) {
+        (Some((_, mem_wall, mem_rss)), Some((_, spill_wall, spill_rss))) => Json::obj([
+            (
+                "rss_ratio",
+                Json::Num(match (mem_rss, spill_rss) {
+                    (Some(m), Some(s)) if *m > 0 => *s as f64 / *m as f64,
+                    _ => f64::NAN,
+                }),
+            ),
+            (
+                "wall_ratio",
+                Json::Num(if *mem_wall > 0.0 {
+                    spill_wall / mem_wall
+                } else {
+                    f64::NAN
+                }),
+            ),
+        ]),
+        _ => Json::obj([]),
+    };
+
+    let doc = Json::obj([
+        ("schema", Json::Str("remnant-bench/v1".into())),
+        ("issue", Json::Num(6.0)),
+        (
+            "campaign",
+            Json::obj([
+                ("sites", Json::Num(opts.sites as f64)),
+                ("weeks", Json::Num(f64::from(opts.weeks))),
+                ("seed", Json::Num(opts.seed as f64)),
+                ("workers", Json::Num(opts.workers as f64)),
+                ("modes", Json::Obj(modes)),
+                ("spill_vs_in_memory", ratios),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out, doc.render()).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("bench-json: wrote {out}");
+    Ok(())
+}
+
 fn run(opts: &Options) -> Result<(), String> {
     let samples = if opts.quick { 3 } else { 10 };
     let population = if opts.quick {
@@ -878,8 +1072,12 @@ fn run(opts: &Options) -> Result<(), String> {
         ),
     ]);
 
-    std::fs::write(&opts.out, doc.render()).map_err(|e| format!("writing {}: {e}", opts.out))?;
-    eprintln!("bench-json: wrote {}", opts.out);
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_5.json".to_owned());
+    std::fs::write(&out, doc.render()).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("bench-json: wrote {out}");
     Ok(())
 }
 
@@ -889,12 +1087,33 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => opts.quick = true,
+            "--campaign" => opts.campaign = true,
+            "--campaign-child" => match args.next() {
+                Some(mode) => opts.campaign_child = Some(mode),
+                None => return usage(),
+            },
             "--out" => match args.next() {
-                Some(path) => opts.out = path,
+                Some(path) => opts.out = Some(path),
+                None => return usage(),
+            },
+            "--spill-dir" => match args.next() {
+                Some(dir) => opts.spill_dir = Some(dir.into()),
                 None => return usage(),
             },
             "--population" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) => opts.population = v,
+                None => return usage(),
+            },
+            "--sites" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.sites = v,
+                None => return usage(),
+            },
+            "--weeks" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.weeks = v,
+                None => return usage(),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.workers = v,
                 None => return usage(),
             },
             "--seed" => match args.next().and_then(|v| v.parse().ok()) {
@@ -911,7 +1130,14 @@ fn main() -> ExitCode {
             }
         }
     }
-    match run(&opts) {
+    let result = if let Some(mode) = opts.campaign_child.clone() {
+        campaign_child(&mode, &opts)
+    } else if opts.campaign {
+        run_campaign(&opts)
+    } else {
+        run(&opts)
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(err) => {
             eprintln!("bench-json: {err}");

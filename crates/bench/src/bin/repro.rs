@@ -1,9 +1,10 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [EXPERIMENT] [--population N] [--weeks W] [--seed S] [--workers N]
-//!       [--even-intervals] [--collection full|delta] [--metrics OUT.json]
-//!       [--bind ADDR] [--duration SECS]
+//! repro [EXPERIMENT] [--sites N | --population N] [--weeks W] [--seed S]
+//!       [--workers N] [--even-intervals] [--collection full|delta]
+//!       [--spill-dir DIR] [--metrics OUT.json] [--bind ADDR]
+//!       [--duration SECS]
 //!
 //! EXPERIMENT: all (default) | table2 | table5 | table6 |
 //!             fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 |
@@ -32,6 +33,14 @@
 //! including `--metrics` — is byte-identical to `--collection full`; a
 //! reuse summary is printed to stderr after the run.
 //!
+//! `--spill-dir DIR` runs the memory-bounded collect path: each round's
+//! records stream to versioned binary snapshot files under DIR instead of
+//! staying resident, so `repro --sites 1000000 --weeks 6` completes in
+//! bounded memory. Output — snapshots, figures, `--metrics` — is
+//! byte-identical with or without spilling at every worker count. The
+//! directory is validated (created, probed for writability) before the
+//! study starts; `--sites` is an alias of `--population`.
+//!
 //! `serve` generates a world and runs a real DNS daemon over it: UDP and
 //! TCP listeners on `--bind` (default `127.0.0.1:8053`), RFC 1035 frames
 //! in and out, answers resolved through the recursive resolver and cached
@@ -52,13 +61,17 @@ use remnant_bench::{
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro [all|table1|table2|table5|table6|fig1..fig9|purge|ablation|funnel|serve] \
-         [--population N] [--weeks W] [--seed S] [--workers N] [--even-intervals] \
-         [--collection full|delta] [--metrics OUT.json] [--bind ADDR] [--duration SECS]\n\
+         [--sites N | --population N] [--weeks W] [--seed S] [--workers N] [--even-intervals] \
+         [--collection full|delta] [--spill-dir DIR] [--metrics OUT.json] [--bind ADDR] \
+         [--duration SECS]\n\
          \n\
          --workers N shards the sweeps over N threads (output is identical\n\
          for every N; only wall time changes)\n\
          --collection delta reuses unchanged shards between daily rounds\n\
          (output is identical to full; only wall time changes)\n\
+         --spill-dir DIR streams each round to binary snapshot files under\n\
+         DIR so paper-scale runs complete in bounded memory (output is\n\
+         identical to in-memory; only peak RSS changes)\n\
          --metrics OUT.json writes the deterministic observability snapshot;\n\
          'funnel' renders Fig 8 from those counters alone\n\
          'serve' runs a UDP+TCP DNS daemon over the generated world\n\
@@ -160,11 +173,15 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--population" => match parse_flag("--population", args.next()) {
+            "--population" | "--sites" => match parse_flag(&arg, args.next()) {
                 Ok(v) => {
                     config.population = v;
                     population_set = true;
                 }
+                Err(code) => return code,
+            },
+            "--spill-dir" => match parse_flag::<std::path::PathBuf>("--spill-dir", args.next()) {
+                Ok(v) => config.spill_dir = Some(v),
                 Err(code) => return code,
             },
             "--weeks" => match parse_flag("--weeks", args.next()) {
@@ -223,6 +240,18 @@ fn main() -> ExitCode {
     if study_free && metrics_path.is_some() {
         eprintln!("repro: --metrics ignored for '{experiment}' (no study runs)");
     }
+    if study_free && config.spill_dir.is_some() {
+        eprintln!("repro: --spill-dir ignored for '{experiment}' (no study runs)");
+    }
+    // Validate the flag combination up front: a bad --sites/--weeks/
+    // --workers value or an unusable --spill-dir fails here with a named
+    // error instead of panicking mid-study.
+    if !study_free {
+        if let Err(e) = config.validate() {
+            eprintln!("repro: {e}");
+            return usage();
+        }
+    }
     match experiment.as_str() {
         "serve" => {
             // A daemon doesn't need study scale; default to a world that
@@ -258,7 +287,7 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "running {}-week study over {} sites (seed {}, {} intervals, {} worker{}, {} collection)...",
+        "running {}-week study over {} sites (seed {}, {} intervals, {} worker{}, {} collection{})...",
         config.weeks,
         config.population,
         config.seed,
@@ -269,7 +298,11 @@ fn main() -> ExitCode {
         },
         config.workers.max(1),
         if config.workers.max(1) == 1 { "" } else { "s" },
-        config.collection_mode.name()
+        config.collection_mode.name(),
+        match &config.spill_dir {
+            Some(dir) => format!(", spilling to {}", dir.display()),
+            None => String::new(),
+        }
     );
     let started = std::time::Instant::now();
     let (world, report) = run_study(&config);

@@ -8,13 +8,15 @@
 
 pub mod perf;
 
+use std::path::PathBuf;
+
 use remnant::core::error::ConfigFieldError;
 use remnant::core::report::{percent, render_cdf, render_series, TextTable};
 use remnant::core::residual::FUNNEL_STAGES;
 use remnant::core::study::{
     vantage_catchment, CollectionMode, PaperStudy, StudyConfig, StudyReport,
 };
-use remnant::core::ObsReport;
+use remnant::core::{ObsReport, SpillConfig};
 use remnant::provider::{ProviderId, ReroutingMethod};
 use remnant::world::{BehaviorKind, World, WorldConfig};
 
@@ -35,6 +37,10 @@ pub struct ReproConfig {
     /// How daily rounds resolve the target list. Output is bit-identical
     /// for both modes; `Delta` reuses unchanged shards across rounds.
     pub collection_mode: CollectionMode,
+    /// Spill each round's records to binary snapshot files under this
+    /// directory instead of holding every block resident. Output is
+    /// bit-identical with or without spilling; only peak memory changes.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl Default for ReproConfig {
@@ -46,6 +52,7 @@ impl Default for ReproConfig {
             even_intervals: false,
             workers: 1,
             collection_mode: CollectionMode::Full,
+            spill_dir: None,
         }
     }
 }
@@ -110,31 +117,75 @@ impl ReproConfigBuilder {
         self
     }
 
+    /// Spill rounds to binary snapshot files under this directory.
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.spill_dir = Some(dir.into());
+        self
+    }
+
     /// Validates and returns the configuration, naming the first rejected
     /// field on failure.
     pub fn build(self) -> Result<ReproConfig, ConfigFieldError> {
         let config = self.config;
-        if config.population == 0 {
+        config.validate()?;
+        Ok(config)
+    }
+}
+
+impl ReproConfig {
+    /// Validates every field, naming the first rejected one — the same
+    /// check [`ReproConfigBuilder::build`] applies, callable on a config
+    /// assembled by hand (the `repro` CLI's flag loop).
+    pub fn validate(&self) -> Result<(), ConfigFieldError> {
+        if self.population == 0 {
             return Err(ConfigFieldError::new(
                 "population",
-                config.population,
+                self.population,
                 "an empty target list cannot be studied",
             ));
         }
-        if config.population > 1_000_000 {
+        if self.population > 1_000_000 {
             return Err(ConfigFieldError::new(
                 "population",
-                config.population,
+                self.population,
                 "the paper's universe tops out at 1,000,000 sites",
             ));
         }
         // Weeks/workers share StudyConfig's bounds; validate through it so
         // the two builders can never drift apart.
         StudyConfig::builder()
-            .weeks(config.weeks)
-            .workers(config.workers)
+            .weeks(self.weeks)
+            .workers(self.workers)
             .build()?;
-        Ok(config)
+        if let Some(dir) = &self.spill_dir {
+            validate_spill_dir(dir)?;
+        }
+        Ok(())
+    }
+}
+
+/// Probes that `dir` exists (creating it if needed) and accepts writes,
+/// so a bad `--spill-dir` fails up front with a named error instead of
+/// panicking mid-campaign.
+fn validate_spill_dir(dir: &std::path::Path) -> Result<(), ConfigFieldError> {
+    if std::fs::create_dir_all(dir).is_err() {
+        return Err(ConfigFieldError::new(
+            "spill_dir",
+            dir.display(),
+            "spill directory cannot be created",
+        ));
+    }
+    let probe = dir.join(".remnant-spill-probe");
+    match std::fs::write(&probe, b"probe") {
+        Ok(()) => {
+            let _ = std::fs::remove_file(&probe);
+            Ok(())
+        }
+        Err(_) => Err(ConfigFieldError::new(
+            "spill_dir",
+            dir.display(),
+            "spill directory is not writable",
+        )),
     }
 }
 
@@ -146,6 +197,7 @@ pub fn run_study(config: &ReproConfig) -> (World, StudyReport) {
         uneven_intervals: !config.even_intervals,
         workers: config.workers,
         collection_mode: config.collection_mode,
+        spill: config.spill_dir.clone().map(SpillConfig::new),
         ..StudyConfig::default()
     })
     .run(&mut world);
@@ -869,6 +921,29 @@ mod tests {
         assert_eq!(err.field, "weeks");
         let err = ReproConfig::builder().workers(4096).build().unwrap_err();
         assert_eq!(err.field, "workers");
+    }
+
+    #[test]
+    fn builder_validates_spill_dir_by_name() {
+        let dir = std::env::temp_dir().join("remnant-spill-dir-validate");
+        let config = ReproConfig::builder()
+            .spill_dir(&dir)
+            .build()
+            .expect("writable spill dir builds");
+        assert_eq!(config.spill_dir.as_deref(), Some(dir.as_path()));
+        assert!(dir.is_dir(), "validation creates the directory");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // A spill path under a regular file cannot be created.
+        let file = std::env::temp_dir().join("remnant-spill-dir-file");
+        std::fs::write(&file, b"x").expect("temp file writes");
+        let err = ReproConfig::builder()
+            .spill_dir(file.join("sub"))
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field, "spill_dir");
+        assert!(err.to_string().contains("cannot be created"), "{err}");
+        let _ = std::fs::remove_file(&file);
     }
 
     #[test]

@@ -57,6 +57,15 @@ impl Adoption {
         Adoption::from_matches(matcher.match_records(records))
     }
 
+    /// [`Adoption::classify`] over borrowed snapshot columns (no per-site
+    /// materialization).
+    pub fn classify_view(
+        matcher: &ProviderMatcher,
+        site: crate::snapshot::SiteView<'_>,
+    ) -> Adoption {
+        Adoption::from_matches(matcher.match_view(site))
+    }
+
     /// Classifies pre-computed matcher output.
     pub fn from_matches(matches: RecordMatches) -> Adoption {
         if let Some(provider) = matches.a {

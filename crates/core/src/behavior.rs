@@ -51,13 +51,19 @@ impl BehaviorDetector {
         &self.matcher
     }
 
-    /// Classifies every site of a snapshot.
+    /// Classifies every site of a snapshot, block by block (spilled blocks
+    /// are loaded transiently, so memory stays bounded by one block).
     pub fn classify_snapshot(&self, snapshot: &DnsSnapshot) -> Vec<Adoption> {
-        snapshot
-            .records
-            .iter()
-            .map(|records| Adoption::classify(&self.matcher, records))
-            .collect()
+        let mut out = Vec::with_capacity(snapshot.len());
+        for loaded in snapshot.blocks() {
+            out.extend(
+                loaded
+                    .block
+                    .sites()
+                    .map(|site| Adoption::classify_view(&self.matcher, site)),
+            );
+        }
+        out
     }
 
     /// Diffs two days of classifications into observed behaviors
@@ -88,8 +94,12 @@ impl BehaviorDetector {
 /// identification because the balancer's dynamic CDN selection makes
 /// usage behaviors unidentifiable (Sec IV-B.3).
 pub fn is_multi_cdn(records: &crate::snapshot::SiteRecords) -> bool {
-    records
-        .cnames
+    is_multi_cdn_view(records.view())
+}
+
+/// [`is_multi_cdn`] over borrowed snapshot columns.
+pub fn is_multi_cdn_view(site: crate::snapshot::SiteView<'_>) -> bool {
+    site.cnames
         .iter()
         .any(|c| c.contains_label_substring("cedexis"))
 }

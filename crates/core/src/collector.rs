@@ -4,6 +4,26 @@
 //! queries for the tested domains to obtain their A, CNAME, and NS records.
 //! ... we purge the DNS cache of the resolver before performing each
 //! experiment."
+//!
+//! Three collection paths share one per-site task:
+//!
+//! - [`RecordCollector::collect`] — sequential, in-memory.
+//! - [`RecordCollector::collect_with`] / [`DeltaCollector::collect_with`] —
+//!   engine-sharded, in-memory; delta mode replays clean shards from the
+//!   previous round by `Arc` block sharing.
+//! - [`RecordCollector::collect_spilled`] /
+//!   [`DeltaCollector::collect_spilled`] — engine-sharded and
+//!   *memory-bounded*: shards execute in batches of at most
+//!   `resident_shards`, each completed shard's block is written to the
+//!   round's spill file and dropped, and the returned snapshot holds
+//!   [`SpillRef`](crate::spill::SpillRef)s instead of resident blocks. Delta mode replays clean
+//!   shards as references into *older* rounds' files — structural sharing
+//!   on disk — so a round's resident working set is the batch, never the
+//!   population.
+//!
+//! All paths produce byte-identical snapshots (same block layout = same
+//! shard plan) for any worker count, which is what the in-memory-vs-spill
+//! and full-vs-delta differential tests assert.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -16,7 +36,8 @@ use remnant_engine::{ScanEngine, ShardScope, ShardStats, ShardTiming, SweepStats
 use remnant_net::Region;
 use remnant_sim::{SeedSeq, SimClock};
 
-use crate::snapshot::{DnsSnapshot, SiteRecords};
+use crate::snapshot::{BlockSlot, DnsSnapshot, RecordBlock, SiteRecords, DEFAULT_BLOCK_SIZE};
+use crate::spill::{SpillConfig, SpillError, SpillMeta, SpillWriter};
 
 /// A collection target: `(apex, www host)`.
 pub type Target = (DomainName, DomainName);
@@ -61,12 +82,12 @@ impl RecordCollector {
     ) -> DnsSnapshot {
         self.resolver.purge_cache();
         self.rounds += 1;
-        let mut snapshot = DnsSnapshot::new(self.clock.now(), day, targets.len());
+        let mut builder = DnsSnapshot::builder(self.clock.now(), day, DEFAULT_BLOCK_SIZE);
         for (apex, www) in targets {
             let records = self.collect_site(transport, apex, www);
-            snapshot.records.push(Arc::new(records));
+            builder.push(records);
         }
-        snapshot
+        builder.finish()
     }
 
     /// Collects one snapshot over `targets` through `engine`, sharding the
@@ -74,11 +95,13 @@ impl RecordCollector {
     ///
     /// Every shard resolves through its own fresh [`RecursiveResolver`], so
     /// each is as cold as a freshly purged cache and the snapshot is
-    /// bit-identical for every worker count. The returned [`SweepStats`]
-    /// carry per-shard query counts and wall times, and each shard's
-    /// resolver exports its full counter surface (per-qtype queries,
-    /// delegation depths, cache hits/misses/expirations) into the shard's
-    /// metrics once at shard end — off the per-item hot path.
+    /// bit-identical for every worker count. Each shard's sites are packed
+    /// into one columnar [`RecordBlock`] (block layout = shard plan). The
+    /// returned [`SweepStats`] carry per-shard query counts and wall times,
+    /// and each shard's resolver exports its full counter surface
+    /// (per-qtype queries, delegation depths, cache hits/misses/
+    /// expirations) into the shard's metrics once at shard end — off the
+    /// per-item hot path.
     pub fn collect_with<T: ShardableTransport>(
         &mut self,
         engine: &ScanEngine,
@@ -96,9 +119,82 @@ impl RecordCollector {
             site_task,
             |resolver, scope| resolver.export_into(scope.metrics()),
         );
-        let mut snapshot = DnsSnapshot::new(self.clock.now(), day, targets.len());
-        snapshot.records = sweep.outputs;
-        (snapshot, sweep.stats)
+        let plan = engine.shard_plan(targets.len());
+        let mut builder =
+            DnsSnapshot::builder(self.clock.now(), day, engine.config().shard_size.max(1));
+        let mut outputs = sweep.outputs.into_iter();
+        for range in &plan {
+            builder.push_block(Arc::new(RecordBlock::from_sites(
+                outputs.by_ref().take(range.len()),
+            )));
+        }
+        (builder.finish(), sweep.stats)
+    }
+
+    /// [`RecordCollector::collect_with`], memory-bounded: shards execute in
+    /// batches of at most `spill.resident_shards` (clamped up to the worker
+    /// count), each completed batch's blocks are appended to
+    /// `<dir>/full-r<round>.rsnb` and dropped, and the returned snapshot
+    /// references the file instead of holding blocks resident.
+    ///
+    /// Deterministic output is unchanged: shards keep their full-sweep
+    /// identity (RNG stream, stats row, item range) regardless of batch
+    /// boundaries, and blocks land in ascending shard order, so the
+    /// snapshot text/binary encodings are byte-identical to the in-memory
+    /// path at any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpillError`] if the spill directory or round file cannot
+    /// be created or written.
+    pub fn collect_spilled<T: ShardableTransport>(
+        &mut self,
+        engine: &ScanEngine,
+        transport: &T,
+        targets: &[Target],
+        day: u32,
+        spill: &SpillConfig,
+    ) -> Result<(DnsSnapshot, SweepStats), SpillError> {
+        let round = self.rounds;
+        self.rounds += 1;
+        let plan = engine.shard_plan(targets.len());
+        let path = spill.dir.join(format!("full-r{round:05}.rsnb"));
+        let mut writer =
+            create_round_file(&path, spill, engine, self.clock.now(), day, targets, &plan)?;
+
+        let clock = self.clock.clone();
+        let region = self.region;
+        let mut stats = SweepStats {
+            workers: normalized_workers(engine, plan.len()),
+            ..SweepStats::default()
+        };
+        let all: Vec<usize> = (0..plan.len()).collect();
+        for batch in all.chunks(resident_batch(engine, spill)) {
+            let sweep = engine.sweep_selected_with_finish(
+                transport,
+                targets,
+                batch,
+                |_shard| RecursiveResolver::new(clock.clone(), region),
+                site_task,
+                |resolver, scope| resolver.export_into(scope.metrics()),
+            );
+            let mut outputs = sweep.outputs.into_iter();
+            for &shard in batch {
+                let block = RecordBlock::from_sites(outputs.by_ref().take(plan[shard].len()));
+                writer.append_block(shard as u32, &block)?;
+            }
+            stats.shards.extend(sweep.stats.shards);
+            stats.timings.extend(sweep.stats.timings);
+            stats.wall += sweep.stats.wall;
+        }
+
+        let (_file, refs) = writer.finish()?;
+        let mut builder =
+            DnsSnapshot::builder(self.clock.now(), day, engine.config().shard_size.max(1));
+        for r in refs {
+            builder.push_spilled(r);
+        }
+        Ok((builder.finish(), stats))
     }
 
     /// Collects A + CNAME chain for the www host and NS for the apex.
@@ -131,23 +227,60 @@ fn resolve_site<T: DnsTransport>(
     records
 }
 
-/// The engine task shared by [`RecordCollector::collect_with`] and
-/// [`DeltaCollector::collect_with`] — identical closures are what makes a
-/// delta-mode shard's resolution byte-identical to the full-mode shard's.
+/// The engine task shared by every engine-backed collection path —
+/// identical closures are what makes a delta-mode or spill-mode shard's
+/// resolution byte-identical to the full in-memory shard's.
 fn site_task<T: ShardableTransport + ?Sized>(
     transport: &T,
     resolver: &mut RecursiveResolver,
     scope: &mut ShardScope,
     _rank: usize,
     (apex, www): &Target,
-) -> TaskResult<Arc<SiteRecords>> {
+) -> TaskResult<SiteRecords> {
     let mut counting = CountingTransport::new(transport);
     let (hits_before, misses_before) = resolver.cache().stats();
     let records = resolve_site(resolver, &mut counting, apex, www);
     let (hits_after, misses_after) = resolver.cache().stats();
     scope.add_queries(counting.query_stats().sent);
     scope.add_cache_stats(hits_after - hits_before, misses_after - misses_before);
-    TaskResult::Done(Arc::new(records))
+    TaskResult::Done(records)
+}
+
+/// The worker count a full sweep over `shards` shards would report.
+fn normalized_workers(engine: &ScanEngine, shards: usize) -> usize {
+    engine.config().workers.max(1).min(shards.max(1))
+}
+
+/// Shards resident at once during a streaming collect: the configured
+/// budget, but never fewer than the workers that must be kept busy.
+fn resident_batch(engine: &ScanEngine, spill: &SpillConfig) -> usize {
+    spill.resident_shards.max(engine.config().workers).max(1)
+}
+
+/// Creates the spill directory (if needed) and this round's file.
+fn create_round_file(
+    path: &std::path::Path,
+    spill: &SpillConfig,
+    engine: &ScanEngine,
+    taken_at: remnant_sim::SimTime,
+    day: u32,
+    targets: &[Target],
+    plan: &[std::ops::Range<usize>],
+) -> Result<SpillWriter, SpillError> {
+    std::fs::create_dir_all(&spill.dir).map_err(|e| SpillError::Io {
+        context: "creating spill directory",
+        error: e.to_string(),
+    })?;
+    SpillWriter::create(
+        path,
+        SpillMeta {
+            taken_at,
+            day,
+            sites: targets.len() as u64,
+            block_size: engine.config().shard_size.max(1) as u32,
+            shard_count: plan.len() as u32,
+        },
+    )
 }
 
 /// Default number of refresh strata for [`DeltaCollector`]: each shard is
@@ -180,10 +313,31 @@ struct DeltaCache {
     shard_size: usize,
     /// Per-rank zone generation observed when the rank's shard last ran.
     generations: Vec<u64>,
-    /// Per-rank records from the previous round (shared, never copied).
-    outputs: Vec<Arc<SiteRecords>>,
+    /// Per-shard blocks from the previous round: resident `Arc`s in
+    /// in-memory mode, [`SpillRef`](crate::spill::SpillRef)s into older rounds' files in spill
+    /// mode. Cloning either is O(1) — sharing, never copying.
+    blocks: Vec<BlockSlot>,
     /// Per-shard deterministic counters from each shard's last execution.
     shard_stats: Vec<ShardStats>,
+}
+
+/// What [`DeltaCollector::select_shards`] decided for one round.
+struct ShardSelection {
+    /// Shard indices to execute, ascending.
+    selected: Vec<usize>,
+    /// The round's reuse accounting.
+    round: DeltaRound,
+    /// Whether the cache was valid (clean shards may be replayed).
+    cache_valid: bool,
+}
+
+/// The executed (non-replayed) portion of one round, in selected-shard
+/// order, as handed to [`DeltaCollector::splice_round`].
+struct FreshShards {
+    blocks: Vec<BlockSlot>,
+    stats: Vec<ShardStats>,
+    timings: Vec<ShardTiming>,
+    wall: Duration,
 }
 
 /// The incremental record collector: a drop-in alternative to
@@ -200,9 +354,9 @@ struct DeltaCache {
 /// shard-indexed RNG stream). A shard whose members' zone generations
 /// (via [`ZoneGenerationProbe`]) are all unchanged would therefore produce
 /// exactly what it produced last time, so the collector replays its cached
-/// outputs (`Arc` clones) and [`ShardStats`]. Everything downstream —
-/// snapshot, merged metrics, journal lines — is byte-identical to a full
-/// sweep's.
+/// block (`Arc` clone or [`SpillRef`](crate::spill::SpillRef) clone) and [`ShardStats`].
+/// Everything downstream — snapshot, merged metrics, journal lines — is
+/// byte-identical to a full sweep's.
 ///
 /// # Refresh stratum
 ///
@@ -252,33 +406,21 @@ impl DeltaCollector {
         self.rounds
     }
 
-    /// Collects one snapshot over `targets` through `engine`, re-resolving
-    /// only shards whose zone generations changed since the previous round
-    /// (plus the round's refresh stratum) and reusing the rest.
-    ///
-    /// Returns the same `(snapshot, stats)` a full
-    /// [`RecordCollector::collect_with`] would — byte-identical, including
-    /// per-shard counters; only the (nondeterministic, never-reported)
-    /// wall times differ — plus the round's reuse accounting.
-    pub fn collect_with<T: ShardableTransport + ZoneGenerationProbe>(
-        &mut self,
-        engine: &ScanEngine,
-        transport: &T,
-        targets: &[Target],
-        day: u32,
-    ) -> (DnsSnapshot, SweepStats, DeltaRound) {
-        let round_index = u64::from(self.rounds);
-        self.rounds += 1;
-        let plan = engine.shard_plan(targets.len());
-        let apexes: Vec<&DomainName> = targets.iter().map(|(apex, _)| apex).collect();
-        let generations = transport.generations_for(&apexes);
-        let shard_size = engine.config().shard_size;
-
-        // Pick the shards to execute.
-        let cache_valid = self
-            .cache
-            .as_ref()
-            .is_some_and(|c| c.shard_size == shard_size && c.generations.len() == targets.len());
+    /// Decides which shards must execute this round (dirty generations,
+    /// refresh stratum, or everything on a cold/invalid cache).
+    fn select_shards(
+        &self,
+        plan: &[std::ops::Range<usize>],
+        generations: &[u64],
+        shard_size: usize,
+        round_index: u64,
+        total: usize,
+    ) -> ShardSelection {
+        let cache_valid = self.cache.as_ref().is_some_and(|c| {
+            c.shard_size == shard_size
+                && c.generations.len() == total
+                && c.blocks.len() == plan.len()
+        });
         let stratum_offset = (self.stratum_base + round_index) % self.strata;
         let mut selected: Vec<usize> = Vec::new();
         let mut round = DeltaRound::default();
@@ -303,37 +445,39 @@ impl DeltaCollector {
             // Cold cache (first round, or the shard layout changed):
             // everything is dirty.
             selected = (0..plan.len()).collect();
-            round.reresolved = targets.len() as u64;
+            round.reresolved = total as u64;
         }
+        ShardSelection {
+            selected,
+            round,
+            cache_valid,
+        }
+    }
 
-        // Execute the selected shards with their full-sweep identity and
-        // the exact closures of `RecordCollector::collect_with`.
-        let clock = self.clock.clone();
-        let region = self.region;
-        let sweep = engine.sweep_selected_with_finish(
-            transport,
-            targets,
-            &selected,
-            |_shard| RecursiveResolver::new(clock.clone(), region),
-            site_task,
-            |resolver, scope| resolver.export_into(scope.metrics()),
-        );
-
-        // Splice executed shards and replayed shards back into a
-        // full-length result, in shard order.
-        let mut outputs = Vec::with_capacity(targets.len());
+    /// Splices executed and replayed shards into the round's full-length
+    /// snapshot + stats, caches the result, and returns it.
+    fn splice_round(
+        &mut self,
+        engine: &ScanEngine,
+        plan: &[std::ops::Range<usize>],
+        generations: Vec<u64>,
+        selected: &[usize],
+        fresh: FreshShards,
+        day: u32,
+    ) -> (DnsSnapshot, SweepStats) {
+        let shard_size = engine.config().shard_size;
+        let wall = fresh.wall;
+        let mut blocks = Vec::with_capacity(plan.len());
         let mut shard_stats = Vec::with_capacity(plan.len());
         let mut timings = Vec::with_capacity(plan.len());
-        let mut fresh_outputs = sweep.outputs.into_iter();
-        let mut fresh_stats = sweep.stats.shards.into_iter();
-        let mut fresh_timings = sweep.stats.timings.into_iter();
+        let mut fresh_blocks = fresh.blocks.into_iter();
+        let mut fresh_stats = fresh.stats.into_iter();
+        let mut fresh_timings = fresh.timings.into_iter();
         let mut next_selected = selected.iter().copied().peekable();
-        for (idx, range) in plan.iter().enumerate() {
+        for idx in 0..plan.len() {
             if next_selected.peek() == Some(&idx) {
                 next_selected.next();
-                for _ in range.clone() {
-                    outputs.push(fresh_outputs.next().expect("one output per selected item"));
-                }
+                blocks.push(fresh_blocks.next().expect("one block per selected shard"));
                 shard_stats.push(
                     fresh_stats
                         .next()
@@ -342,7 +486,7 @@ impl DeltaCollector {
                 timings.push(fresh_timings.next().expect("one timing per selected shard"));
             } else {
                 let cache = self.cache.as_ref().expect("unselected shards have a cache");
-                outputs.extend(cache.outputs[range.clone()].iter().cloned());
+                blocks.push(cache.blocks[idx].clone());
                 shard_stats.push(cache.shard_stats[idx].clone());
                 // Replayed shards cost no wall time; timings are
                 // nondeterministic and excluded from all reports anyway.
@@ -356,22 +500,170 @@ impl DeltaCollector {
             // Report the worker count a full sweep over this plan would
             // have used, not the (possibly smaller) clamp over the
             // selected subset.
-            workers: engine.config().workers.max(1).min(plan.len().max(1)),
+            workers: normalized_workers(engine, plan.len()),
             shards: shard_stats,
             timings,
-            wall: sweep.stats.wall,
+            wall,
         };
 
         self.cache = Some(DeltaCache {
             shard_size,
             generations,
-            outputs: outputs.clone(),
+            blocks: blocks.clone(),
             shard_stats: stats.shards.clone(),
         });
 
-        let mut snapshot = DnsSnapshot::new(self.clock.now(), day, targets.len());
-        snapshot.records = outputs;
-        (snapshot, stats, round)
+        let mut builder = DnsSnapshot::builder(self.clock.now(), day, shard_size.max(1));
+        for slot in blocks {
+            builder.push_slot(slot);
+        }
+        (builder.finish(), stats)
+    }
+
+    /// Collects one snapshot over `targets` through `engine`, re-resolving
+    /// only shards whose zone generations changed since the previous round
+    /// (plus the round's refresh stratum) and reusing the rest.
+    ///
+    /// Returns the same `(snapshot, stats)` a full
+    /// [`RecordCollector::collect_with`] would — byte-identical, including
+    /// per-shard counters; only the (nondeterministic, never-reported)
+    /// wall times differ — plus the round's reuse accounting.
+    pub fn collect_with<T: ShardableTransport + ZoneGenerationProbe>(
+        &mut self,
+        engine: &ScanEngine,
+        transport: &T,
+        targets: &[Target],
+        day: u32,
+    ) -> (DnsSnapshot, SweepStats, DeltaRound) {
+        let round_index = u64::from(self.rounds);
+        self.rounds += 1;
+        let plan = engine.shard_plan(targets.len());
+        let apexes: Vec<&DomainName> = targets.iter().map(|(apex, _)| apex).collect();
+        let generations = transport.generations_for(&apexes);
+        let sel = self.select_shards(
+            &plan,
+            &generations,
+            engine.config().shard_size,
+            round_index,
+            targets.len(),
+        );
+
+        // Execute the selected shards with their full-sweep identity and
+        // the exact closures of `RecordCollector::collect_with`.
+        let clock = self.clock.clone();
+        let region = self.region;
+        let sweep = engine.sweep_selected_with_finish(
+            transport,
+            targets,
+            &sel.selected,
+            |_shard| RecursiveResolver::new(clock.clone(), region),
+            site_task,
+            |resolver, scope| resolver.export_into(scope.metrics()),
+        );
+        let mut outputs = sweep.outputs.into_iter();
+        let fresh_blocks: Vec<BlockSlot> = sel
+            .selected
+            .iter()
+            .map(|&idx| {
+                BlockSlot::Resident(Arc::new(RecordBlock::from_sites(
+                    outputs.by_ref().take(plan[idx].len()),
+                )))
+            })
+            .collect();
+
+        let (snapshot, stats) = self.splice_round(
+            engine,
+            &plan,
+            generations,
+            &sel.selected,
+            FreshShards {
+                blocks: fresh_blocks,
+                stats: sweep.stats.shards,
+                timings: sweep.stats.timings,
+                wall: sweep.stats.wall,
+            },
+            day,
+        );
+        (snapshot, stats, sel.round)
+    }
+
+    /// [`DeltaCollector::collect_with`], memory-bounded: dirty shards
+    /// execute in batches of at most `spill.resident_shards` and stream to
+    /// `<dir>/delta-r<round>.rsnb`; clean shards are replayed as
+    /// [`SpillRef`](crate::spill::SpillRef) clones into the older round files that last wrote them
+    /// — no load, no copy. Older round files must therefore outlive the
+    /// campaign (the spill directory is append-only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpillError`] if the spill directory or round file cannot
+    /// be created or written.
+    pub fn collect_spilled<T: ShardableTransport + ZoneGenerationProbe>(
+        &mut self,
+        engine: &ScanEngine,
+        transport: &T,
+        targets: &[Target],
+        day: u32,
+        spill: &SpillConfig,
+    ) -> Result<(DnsSnapshot, SweepStats, DeltaRound), SpillError> {
+        let round_index = u64::from(self.rounds);
+        self.rounds += 1;
+        let plan = engine.shard_plan(targets.len());
+        let apexes: Vec<&DomainName> = targets.iter().map(|(apex, _)| apex).collect();
+        let generations = transport.generations_for(&apexes);
+        let sel = self.select_shards(
+            &plan,
+            &generations,
+            engine.config().shard_size,
+            round_index,
+            targets.len(),
+        );
+        debug_assert!(sel.cache_valid || sel.selected.len() == plan.len());
+
+        let path = spill.dir.join(format!("delta-r{round_index:05}.rsnb"));
+        let mut writer =
+            create_round_file(&path, spill, engine, self.clock.now(), day, targets, &plan)?;
+
+        let clock = self.clock.clone();
+        let region = self.region;
+        let mut fresh_stats = Vec::with_capacity(sel.selected.len());
+        let mut fresh_timings = Vec::with_capacity(sel.selected.len());
+        let mut wall = Duration::ZERO;
+        for batch in sel.selected.chunks(resident_batch(engine, spill)) {
+            let sweep = engine.sweep_selected_with_finish(
+                transport,
+                targets,
+                batch,
+                |_shard| RecursiveResolver::new(clock.clone(), region),
+                site_task,
+                |resolver, scope| resolver.export_into(scope.metrics()),
+            );
+            let mut outputs = sweep.outputs.into_iter();
+            for &shard in batch {
+                let block = RecordBlock::from_sites(outputs.by_ref().take(plan[shard].len()));
+                writer.append_block(shard as u32, &block)?;
+            }
+            fresh_stats.extend(sweep.stats.shards);
+            fresh_timings.extend(sweep.stats.timings);
+            wall += sweep.stats.wall;
+        }
+        let (_file, refs) = writer.finish()?;
+        let fresh_blocks: Vec<BlockSlot> = refs.into_iter().map(BlockSlot::Spilled).collect();
+
+        let (snapshot, stats) = self.splice_round(
+            engine,
+            &plan,
+            generations,
+            &sel.selected,
+            FreshShards {
+                blocks: fresh_blocks,
+                stats: fresh_stats,
+                timings: fresh_timings,
+                wall,
+            },
+            day,
+        );
+        Ok((snapshot, stats, sel.round))
     }
 }
 
@@ -397,13 +689,23 @@ mod tests {
             .collect()
     }
 
+    fn temp_spill(tag: &str) -> SpillConfig {
+        let dir =
+            std::env::temp_dir().join(format!("remnant-collector-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        SpillConfig {
+            resident_shards: 2,
+            ..SpillConfig::new(dir)
+        }
+    }
+
     #[test]
     fn collects_every_site() {
         let mut world = tiny_world();
         let targets = targets(&world);
         let mut collector = RecordCollector::new(world.clock(), Region::Ashburn);
         let snapshot = collector.collect(&mut world, &targets, 0);
-        assert_eq!(snapshot.records.len(), 200);
+        assert_eq!(snapshot.len(), 200);
         assert_eq!(snapshot.resolved_count(), 200, "every site resolves");
         assert_eq!(collector.rounds(), 1);
     }
@@ -472,12 +774,10 @@ mod tests {
         };
         let (snap1, stats1) = collector.collect_with(&engine(1), &world, &targets, 0);
         let (snap4, stats4) = collector.collect_with(&engine(4), &world, &targets, 0);
+        assert_eq!(sequential, snap1, "engine path sees the same records");
         assert_eq!(
-            sequential.records, snap1.records,
-            "engine path sees the same records"
-        );
-        assert_eq!(
-            snap1.records, snap4.records,
+            snap1.encode(),
+            snap4.encode(),
             "worker count never changes the snapshot"
         );
         assert_eq!(
@@ -498,6 +798,79 @@ mod tests {
             .map(|(_, v)| v)
             .sum();
         assert_eq!(a_queries, targets.len() as u64, "one A lookup per site");
+    }
+
+    #[test]
+    fn spilled_collection_matches_in_memory_byte_for_byte() {
+        use remnant_engine::EngineConfig;
+
+        let world = tiny_world();
+        let targets = targets(&world);
+        let engine = |workers| {
+            ScanEngine::new(EngineConfig {
+                workers,
+                shard_size: 32,
+                seed: 1,
+                ..EngineConfig::default()
+            })
+        };
+        let mut collector = RecordCollector::new(world.clock(), Region::Ashburn);
+        let (in_mem, mem_stats) = collector.collect_with(&engine(4), &world, &targets, 0);
+
+        let spill = temp_spill("full");
+        let mut collector = RecordCollector::new(world.clock(), Region::Ashburn);
+        let (spilled, spill_stats) = collector
+            .collect_spilled(&engine(4), &world, &targets, 0, &spill)
+            .expect("spill round succeeds");
+        assert_eq!(in_mem, spilled);
+        assert_eq!(in_mem.encode(), spilled.encode(), "text byte-identical");
+        assert_eq!(
+            in_mem.encode_binary(),
+            spilled.encode_binary(),
+            "binary byte-identical"
+        );
+        assert_eq!(mem_stats.shards, spill_stats.shards);
+        assert_eq!(mem_stats.workers, spill_stats.workers);
+        assert_eq!(mem_stats.merged_metrics(), spill_stats.merged_metrics());
+        std::fs::remove_dir_all(&spill.dir).ok();
+    }
+
+    #[test]
+    fn spilled_delta_rounds_match_in_memory_delta_rounds() {
+        use remnant_engine::EngineConfig;
+
+        let make_engine = || {
+            ScanEngine::new(EngineConfig {
+                workers: 2,
+                shard_size: 16,
+                seed: 5,
+                ..EngineConfig::default()
+            })
+        };
+        let mut mem_world = tiny_world();
+        let mut spill_world = tiny_world();
+        let targets = targets(&mem_world);
+        let mut mem = DeltaCollector::new(mem_world.clock(), Region::Ashburn, 5);
+        let mut spilled = DeltaCollector::new(spill_world.clock(), Region::Ashburn, 5);
+        let spill = temp_spill("delta");
+
+        for day in 0..4u32 {
+            let (mem_snap, mem_stats, mem_round) =
+                mem.collect_with(&make_engine(), &mem_world, &targets, day);
+            let (sp_snap, sp_stats, sp_round) = spilled
+                .collect_spilled(&make_engine(), &spill_world, &targets, day, &spill)
+                .expect("spill round succeeds");
+            assert_eq!(mem_snap, sp_snap, "day {day} snapshots agree");
+            assert_eq!(mem_snap.encode(), sp_snap.encode());
+            assert_eq!(mem_stats.shards, sp_stats.shards);
+            assert_eq!(mem_round, sp_round, "day {day} reuse accounting agrees");
+            mem_world.step_hours(24);
+            spill_world.step_hours(24);
+        }
+        // Later rounds replay clean shards as refs into older round files;
+        // the reuse counter proves cross-file structural sharing happened.
+        assert!(spilled.cache.as_ref().is_some());
+        std::fs::remove_dir_all(&spill.dir).ok();
     }
 
     #[test]
@@ -576,7 +949,7 @@ mod tests {
         let (snap, _, round) = delta.collect_with(&engine, &world, fewer, 1);
         assert_eq!(round.reused, 0, "changed target list resolves everything");
         assert_eq!(round.reresolved, 100);
-        assert_eq!(snap.records.len(), 100);
+        assert_eq!(snap.len(), 100);
     }
 
     #[test]
@@ -589,7 +962,8 @@ mod tests {
         let s2 = collector.collect(&mut world, &targets, 1);
         let (q_after_second, _) = world.traffic_stats();
         assert_eq!(
-            s1.records, s2.records,
+            s1.to_site_records(),
+            s2.to_site_records(),
             "static world yields identical rounds"
         );
         // The purge forces real re-resolution (roughly as many queries).

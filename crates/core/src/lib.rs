@@ -54,6 +54,7 @@ pub mod pause;
 pub mod report;
 pub mod residual;
 pub mod snapshot;
+pub mod spill;
 pub mod study;
 pub mod unchanged;
 pub mod vantage;
@@ -66,7 +67,11 @@ pub use collector::{DeltaCollector, DeltaRound, RecordCollector, DEFAULT_REFRESH
 pub use error::{ConfigFieldError, CoreError};
 pub use matchers::ProviderMatcher;
 pub use remnant_obs::{Instrumented, MetricsRegistry, Obs, ObsReport};
-pub use snapshot::{DnsSnapshot, SiteRecords, SnapshotDecodeError};
+pub use snapshot::{
+    DnsSnapshot, LoadedBlock, RecordBlock, SiteRecords, SiteView, SnapshotDecodeError,
+    SnapshotDecodeErrorKind, DEFAULT_BLOCK_SIZE,
+};
+pub use spill::{SpillConfig, SpillError};
 pub use study::{CollectionMode, CollectionReport, PaperStudy, StudyConfig, StudyReport};
 pub use verify::{HtmlVerifier, VerifyOutcome};
 

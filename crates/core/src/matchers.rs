@@ -80,10 +80,17 @@ impl ProviderMatcher {
 
     /// All three matches for one site's collected records.
     pub fn match_records(&self, records: &SiteRecords) -> RecordMatches {
+        self.match_view(records.view())
+    }
+
+    /// [`ProviderMatcher::match_records`] over borrowed columns — the form
+    /// snapshot consumers use when iterating [`RecordBlock`](crate::snapshot::RecordBlock)s
+    /// without materializing per-site records.
+    pub fn match_view(&self, site: crate::snapshot::SiteView<'_>) -> RecordMatches {
         RecordMatches {
-            a: self.a_match_any(&records.a),
-            cname: self.cname_match_any(&records.cnames),
-            ns: self.ns_match_any(&records.ns),
+            a: self.a_match_any(site.a),
+            cname: self.cname_match_any(site.cnames),
+            ns: self.ns_match_any(site.ns),
         }
     }
 }

@@ -64,14 +64,18 @@ impl CloudflareScanner {
     /// Harvests fleet hostnames from one usage-study snapshot, resolving
     /// the addresses of newly seen hosts.
     pub fn harvest_fleet<T: DnsTransport>(&mut self, transport: &mut T, snapshot: &DnsSnapshot) {
-        let new_hosts: Vec<DomainName> = snapshot
-            .records
-            .iter()
-            .flat_map(|r| r.ns.iter())
-            .filter(|h| h.contains_label_substring(&self.ns_substring))
-            .filter(|h| !self.fleet.contains_key(*h))
-            .cloned()
-            .collect();
+        let mut new_hosts: Vec<DomainName> = Vec::new();
+        for loaded in snapshot.blocks() {
+            for site in loaded.block.sites() {
+                new_hosts.extend(
+                    site.ns
+                        .iter()
+                        .filter(|h| h.contains_label_substring(&self.ns_substring))
+                        .filter(|h| !self.fleet.contains_key(*h))
+                        .cloned(),
+                );
+            }
+        }
         for host in new_hosts {
             if let Ok(res) = self.resolver.resolve(transport, &host, RecordType::A) {
                 if let Some(addr) = res.iter_addresses().next() {

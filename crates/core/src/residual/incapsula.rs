@@ -60,13 +60,15 @@ impl IncapsulaScanner {
     /// Harvests tokens from one usage-study snapshot. A newer token for the
     /// same site replaces the old one (re-enrollments rotate tokens).
     pub fn harvest(&mut self, snapshot: &DnsSnapshot) {
-        for (rank, records) in snapshot.records.iter().enumerate() {
-            if let Some(token) = records
-                .cnames
-                .iter()
-                .find(|c| c.contains_label_substring(&self.cname_substring))
-            {
-                self.harvested.insert(rank, token.clone());
+        for loaded in snapshot.blocks() {
+            for (i, site) in loaded.block.sites().enumerate() {
+                if let Some(token) = site
+                    .cnames
+                    .iter()
+                    .find(|c| c.contains_label_substring(&self.cname_substring))
+                {
+                    self.harvested.insert(loaded.base_rank + i, token.clone());
+                }
             }
         }
     }

@@ -1,4 +1,21 @@
 //! Daily DNS snapshots: what the record collector stores per site.
+//!
+//! # Storage model (paper-scale campaigns)
+//!
+//! A snapshot no longer owns one heap allocation per site. Sites are packed
+//! into [`RecordBlock`]s — columnar arenas holding one contiguous run of
+//! sites (one engine shard) as three shared columns (`a`, `cnames`, `ns`)
+//! plus cumulative per-site end offsets. A `SiteRecords` worth of data is
+//! therefore three slices into its block's arenas ([`SiteView`]), and the
+//! per-site cost drops from three `Vec` headers plus an `Arc` box to three
+//! `u32` offsets.
+//!
+//! Each block is either resident in memory or *spilled*: a
+//! [`crate::spill::SpillRef`] pointing at a length-prefixed frame
+//! in an on-disk snapshot file (see [`crate::spill`]). Spilled blocks are
+//! loaded transiently on access and dropped afterwards, which is what lets
+//! a million-site, multi-week campaign run memory-bounded: the working set
+//! is one block, not one round.
 
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -7,8 +24,19 @@ use std::sync::Arc;
 use remnant_dns::DomainName;
 use remnant_sim::SimTime;
 
+use crate::spill::SpillRef;
+
+/// Default sites per block when no engine shard plan dictates the layout
+/// (matches the engine's default shard size, so sequentially collected
+/// snapshots and engine-collected ones agree by default).
+pub const DEFAULT_BLOCK_SIZE: usize = 512;
+
 /// The records collected for one site on one day: the full A/CNAME chain
 /// of its `www` host plus the apex NS set (Sec IV-B.1).
+///
+/// This is the *owned* per-site currency — what the resolver task produces
+/// and what tests construct. Inside a snapshot the same data lives
+/// columnar in a [`RecordBlock`]; borrow it back as a [`SiteView`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SiteRecords {
     /// Terminal A addresses of the www host (empty if resolution failed).
@@ -24,174 +52,720 @@ impl SiteRecords {
     pub fn is_empty(&self) -> bool {
         self.a.is_empty() && self.cnames.is_empty() && self.ns.is_empty()
     }
+
+    /// The records as borrowed slices (the form the matchers consume).
+    pub fn view(&self) -> SiteView<'_> {
+        SiteView {
+            a: &self.a,
+            cnames: &self.cnames,
+            ns: &self.ns,
+        }
+    }
+}
+
+/// One site's records borrowed out of a [`RecordBlock`]'s columns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SiteView<'a> {
+    /// Terminal A addresses of the www host.
+    pub a: &'a [Ipv4Addr],
+    /// CNAME chain targets of the www host.
+    pub cnames: &'a [DomainName],
+    /// NS hostnames of the apex.
+    pub ns: &'a [DomainName],
+}
+
+impl SiteView<'_> {
+    /// True if nothing resolved for the site.
+    pub fn is_empty(&self) -> bool {
+        self.a.is_empty() && self.cnames.is_empty() && self.ns.is_empty()
+    }
+
+    /// An owned copy (name clones are interner refcount bumps).
+    pub fn to_records(&self) -> SiteRecords {
+        SiteRecords {
+            a: self.a.to_vec(),
+            cnames: self.cnames.to_vec(),
+            ns: self.ns.to_vec(),
+        }
+    }
+}
+
+/// A columnar arena holding one contiguous run of sites' records.
+///
+/// Three shared columns plus a cumulative-offset table: site `i`'s A
+/// records are `a[ends[i-1].0 .. ends[i].0]`, and likewise for CNAMEs and
+/// NS hosts. Blocks are immutable once built and shared via `Arc`, which
+/// is the delta collector's structural-sharing unit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordBlock {
+    /// Per-site cumulative column ends: `(a_end, cname_end, ns_end)`.
+    ends: Vec<[u32; 3]>,
+    a: Vec<Ipv4Addr>,
+    cnames: Vec<DomainName>,
+    ns: Vec<DomainName>,
+}
+
+impl RecordBlock {
+    /// Packs owned per-site records into one columnar block.
+    pub fn from_sites<I: IntoIterator<Item = SiteRecords>>(sites: I) -> Self {
+        let mut block = RecordBlock {
+            ends: Vec::new(),
+            a: Vec::new(),
+            cnames: Vec::new(),
+            ns: Vec::new(),
+        };
+        for site in sites {
+            block.a.extend_from_slice(&site.a);
+            block.cnames.extend(site.cnames);
+            block.ns.extend(site.ns);
+            block.push_ends();
+        }
+        block
+    }
+
+    /// Builds a block from pre-assembled columns; `ends` must be
+    /// monotonically non-decreasing with each final end matching its
+    /// column's length (the spill decoder validates before calling).
+    pub(crate) fn from_columns(
+        ends: Vec<[u32; 3]>,
+        a: Vec<Ipv4Addr>,
+        cnames: Vec<DomainName>,
+        ns: Vec<DomainName>,
+    ) -> Self {
+        RecordBlock {
+            ends,
+            a,
+            cnames,
+            ns,
+        }
+    }
+
+    fn push_ends(&mut self) {
+        self.ends.push([
+            self.a.len() as u32,
+            self.cnames.len() as u32,
+            self.ns.len() as u32,
+        ]);
+    }
+
+    /// Number of sites in the block.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// True if the block holds no sites.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// The raw column ends (for the binary codec).
+    pub(crate) fn ends(&self) -> &[[u32; 3]] {
+        &self.ends
+    }
+
+    /// The raw columns (for the binary codec).
+    pub(crate) fn columns(&self) -> (&[Ipv4Addr], &[DomainName], &[DomainName]) {
+        (&self.a, &self.cnames, &self.ns)
+    }
+
+    /// The records of the `i`-th site in the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn site(&self, i: usize) -> SiteView<'_> {
+        let start = if i == 0 { [0, 0, 0] } else { self.ends[i - 1] };
+        let end = self.ends[i];
+        SiteView {
+            a: &self.a[start[0] as usize..end[0] as usize],
+            cnames: &self.cnames[start[1] as usize..end[1] as usize],
+            ns: &self.ns[start[2] as usize..end[2] as usize],
+        }
+    }
+
+    /// Iterates the block's sites in order.
+    pub fn sites(&self) -> impl Iterator<Item = SiteView<'_>> {
+        (0..self.len()).map(|i| self.site(i))
+    }
+}
+
+/// One block position in a snapshot: resident, or a frame on disk.
+#[derive(Clone, Debug)]
+pub(crate) enum BlockSlot {
+    /// The block is in memory (shared).
+    Resident(Arc<RecordBlock>),
+    /// The block lives in a spill file; loaded transiently on access.
+    Spilled(SpillRef),
+}
+
+impl BlockSlot {
+    /// Number of sites the slot covers (no I/O).
+    pub(crate) fn sites(&self) -> usize {
+        match self {
+            BlockSlot::Resident(block) => block.len(),
+            BlockSlot::Spilled(r) => r.sites(),
+        }
+    }
+
+    /// Loads the block, reading the spill frame if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spilled frame can no longer be read (the spill file was
+    /// deleted or corrupted mid-campaign) — snapshot consumers have no
+    /// error channel, and a vanished spill file is not a recoverable state.
+    pub(crate) fn load(&self) -> Arc<RecordBlock> {
+        match self {
+            BlockSlot::Resident(block) => Arc::clone(block),
+            BlockSlot::Spilled(r) => Arc::new(
+                r.load()
+                    .unwrap_or_else(|e| panic!("spilled snapshot block unreadable: {e}")),
+            ),
+        }
+    }
+}
+
+/// One loaded block plus the global rank of its first site.
+#[derive(Clone, Debug)]
+pub struct LoadedBlock {
+    /// Global rank of the block's first site.
+    pub base_rank: usize,
+    /// The block (resident, or transiently loaded from its spill frame).
+    pub block: Arc<RecordBlock>,
 }
 
 /// One collection round over the whole target list.
 ///
 /// Records are indexed by site rank, parallel to the target list that
-/// produced the snapshot. Each site's records sit behind an [`Arc`] so a
-/// delta-mode collector can carry unchanged sites from round to round as
-/// pointer clones (structural sharing) instead of deep copies.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// produced the snapshot, and stored in per-shard [`RecordBlock`]s (see
+/// the module docs). Construct one with [`SnapshotBuilder`].
+///
+/// Equality is *logical* — per-site record equality in rank order —
+/// independent of block layout or spill state, so an in-memory snapshot
+/// equals its spilled twin.
+#[derive(Clone, Debug)]
 pub struct DnsSnapshot {
     /// When the collection ran.
     pub taken_at: SimTime,
     /// Day index within the study (0-based).
     pub day: u32,
-    /// Per-site records, by rank.
-    pub records: Vec<Arc<SiteRecords>>,
+    len: usize,
+    block_size: usize,
+    blocks: Vec<BlockSlot>,
 }
 
 impl DnsSnapshot {
-    /// Creates an empty snapshot shell.
-    pub fn new(taken_at: SimTime, day: u32, capacity: usize) -> Self {
-        DnsSnapshot {
+    /// Starts building a snapshot whose resident blocks pack `block_size`
+    /// sites each (use the engine's shard size so blocks align with
+    /// shards).
+    pub fn builder(taken_at: SimTime, day: u32, block_size: usize) -> SnapshotBuilder {
+        SnapshotBuilder {
             taken_at,
             day,
-            records: Vec::with_capacity(capacity),
+            block_size: block_size.max(1),
+            len: 0,
+            blocks: Vec::new(),
+            pending: Vec::new(),
         }
     }
 
-    /// The records for site `rank`, if collected.
-    pub fn site(&self, rank: usize) -> Option<&SiteRecords> {
-        self.records.get(rank).map(|r| r.as_ref())
+    /// Number of sites covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the snapshot covers no sites.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The block size the snapshot was built with.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Iterates the snapshot's blocks in rank order, loading spilled
+    /// frames transiently. This is the bulk-consumption path: iterate
+    /// blocks, then [`RecordBlock::sites`] within each.
+    pub fn blocks(&self) -> impl Iterator<Item = LoadedBlock> + '_ {
+        let mut base = 0usize;
+        self.blocks.iter().map(move |slot| {
+            let loaded = LoadedBlock {
+                base_rank: base,
+                block: slot.load(),
+            };
+            base += loaded.block.len();
+            loaded
+        })
+    }
+
+    /// The records for site `rank`, if collected. Loads the containing
+    /// block if it is spilled; for bulk access prefer
+    /// [`DnsSnapshot::blocks`].
+    pub fn site(&self, rank: usize) -> Option<SiteRecords> {
+        if rank >= self.len {
+            return None;
+        }
+        let mut base = 0usize;
+        for slot in &self.blocks {
+            let n = slot.sites();
+            if rank < base + n {
+                return Some(slot.load().site(rank - base).to_records());
+            }
+            base += n;
+        }
+        None
     }
 
     /// Number of sites with at least one record.
     pub fn resolved_count(&self) -> usize {
-        self.records.iter().filter(|r| !r.is_empty()).count()
+        self.blocks()
+            .map(|b| b.block.sites().filter(|s| !s.is_empty()).count())
+            .sum()
     }
 
-    /// Serializes the snapshot to its canonical text form.
+    /// All sites as owned records, in rank order (test/diagnostic helper —
+    /// materializes everything).
+    pub fn to_site_records(&self) -> Vec<SiteRecords> {
+        let mut out = Vec::with_capacity(self.len);
+        for loaded in self.blocks() {
+            out.extend(loaded.block.sites().map(|s| s.to_records()));
+        }
+        out
+    }
+
+    /// Serializes the snapshot to its canonical text form (format v2).
     ///
-    /// The encoding is line-based and versioned; equal snapshots always
-    /// produce byte-identical text, which is what the full-vs-delta
-    /// equivalence test compares. [`DnsSnapshot::decode`] inverts it
-    /// exactly (round-trip identity).
+    /// The encoding is line-based and versioned; equal snapshots *with the
+    /// same block layout* produce byte-identical text, which is what the
+    /// full-vs-delta and in-memory-vs-spill equivalence tests compare.
+    /// [`DnsSnapshot::decode`] inverts it exactly (round-trip identity).
+    ///
+    /// ```text
+    /// remnant-snapshot v2
+    /// taken_at=<secs>
+    /// day=<n>
+    /// sites=<n>
+    /// shard_size=<n>
+    /// shard <idx> len=<n>
+    /// <rank> a=<ips> cname=<names> ns=<names>
+    /// ...
+    /// ```
     pub fn encode(&self) -> String {
         let mut out = String::new();
-        out.push_str("remnant-snapshot v1\n");
+        out.push_str("remnant-snapshot v2\n");
         out.push_str(&format!("taken_at={}\n", self.taken_at.as_secs()));
         out.push_str(&format!("day={}\n", self.day));
-        out.push_str(&format!("sites={}\n", self.records.len()));
-        for (rank, records) in self.records.iter().enumerate() {
-            let a = records
-                .a
-                .iter()
-                .map(Ipv4Addr::to_string)
-                .collect::<Vec<_>>()
-                .join(",");
-            let cnames = records
-                .cnames
-                .iter()
-                .map(DomainName::to_string)
-                .collect::<Vec<_>>()
-                .join(",");
-            let ns = records
-                .ns
-                .iter()
-                .map(DomainName::to_string)
-                .collect::<Vec<_>>()
-                .join(",");
-            out.push_str(&format!("{rank} a={a} cname={cnames} ns={ns}\n"));
+        out.push_str(&format!("sites={}\n", self.len));
+        out.push_str(&format!("shard_size={}\n", self.block_size));
+        let mut rank = 0usize;
+        for (idx, loaded) in self.blocks().enumerate() {
+            out.push_str(&format!("shard {idx} len={}\n", loaded.block.len()));
+            for site in loaded.block.sites() {
+                encode_site_line(&mut out, rank, site);
+                rank += 1;
+            }
         }
         out
     }
 
     /// Parses a snapshot from its canonical text form.
     ///
+    /// Accepts both the current v2 format and the legacy v1 format (no
+    /// shard headers; the result gets [`DEFAULT_BLOCK_SIZE`] blocks, so
+    /// only v2 input round-trips byte-identically).
+    ///
     /// # Errors
     ///
-    /// Returns [`SnapshotDecodeError`] naming the offending line if the
-    /// header, a field, an address, or a domain name fails to parse, or if
-    /// the site count disagrees with the number of record lines.
+    /// Returns [`SnapshotDecodeError`] naming the offending line and a
+    /// typed [`SnapshotDecodeErrorKind`] if the header, a shard header, a
+    /// field, an address, or a domain name fails to parse; if shard
+    /// headers repeat or arrive out of order; or if declared counts
+    /// disagree with the lines that follow.
     pub fn decode(text: &str) -> Result<Self, SnapshotDecodeError> {
-        let err = |line: usize, reason: &str| SnapshotDecodeError {
-            line,
-            reason: reason.to_string(),
-        };
+        let err = |line: usize, kind: SnapshotDecodeErrorKind| SnapshotDecodeError { line, kind };
         let mut lines = text.lines().enumerate();
-        let (n, header) = lines.next().ok_or_else(|| err(1, "empty input"))?;
-        if header != "remnant-snapshot v1" {
-            return Err(err(n + 1, "unrecognized header"));
-        }
-        let mut field = |name: &str| -> Result<u64, SnapshotDecodeError> {
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| err(1, SnapshotDecodeErrorKind::Empty))?;
+        let v2 = match header {
+            "remnant-snapshot v2" => true,
+            "remnant-snapshot v1" => false,
+            _ => return Err(err(1, SnapshotDecodeErrorKind::UnrecognizedHeader)),
+        };
+        let mut field = |name: &'static str| -> Result<u64, SnapshotDecodeError> {
             let (n, line) = lines
                 .next()
-                .ok_or_else(|| err(0, "truncated header block"))?;
+                .ok_or_else(|| err(0, SnapshotDecodeErrorKind::TruncatedHeader))?;
             let value = line
                 .strip_prefix(name)
                 .and_then(|rest| rest.strip_prefix('='))
-                .ok_or_else(|| err(n + 1, "expected `name=value` header field"))?;
+                .ok_or_else(|| err(n + 1, SnapshotDecodeErrorKind::BadHeaderField(name)))?;
             value
                 .parse::<u64>()
-                .map_err(|_| err(n + 1, "header value is not an integer"))
+                .map_err(|_| err(n + 1, SnapshotDecodeErrorKind::BadHeaderField(name)))
         };
         let taken_at = SimTime::from_secs(field("taken_at")?);
         let day = field("day")? as u32;
         let sites = field("sites")? as usize;
+        let block_size = if v2 {
+            field("shard_size")? as usize
+        } else {
+            DEFAULT_BLOCK_SIZE
+        };
 
-        let mut snapshot = DnsSnapshot::new(taken_at, day, sites);
-        for (n, line) in lines {
-            let mut parts = line.splitn(4, ' ');
-            let rank = parts
-                .next()
-                .and_then(|r| r.parse::<usize>().ok())
-                .ok_or_else(|| err(n + 1, "record line must start with a rank"))?;
-            if rank != snapshot.records.len() {
-                return Err(err(n + 1, "record ranks must be contiguous from 0"));
-            }
-            let mut records = SiteRecords::default();
-            for (prefix, part) in [
-                ("a=", parts.next()),
-                ("cname=", parts.next()),
-                ("ns=", parts.next()),
-            ] {
-                let values = part
-                    .and_then(|p| p.strip_prefix(prefix))
-                    .ok_or_else(|| err(n + 1, "record line is missing a field"))?;
-                for value in values.split(',').filter(|v| !v.is_empty()) {
-                    match prefix {
-                        "a=" => records.a.push(
-                            value
-                                .parse()
-                                .map_err(|_| err(n + 1, "invalid IPv4 address"))?,
-                        ),
-                        "cname=" => records.cnames.push(
-                            value
-                                .parse()
-                                .map_err(|_| err(n + 1, "invalid CNAME domain name"))?,
-                        ),
-                        _ => records.ns.push(
-                            value
-                                .parse()
-                                .map_err(|_| err(n + 1, "invalid NS domain name"))?,
-                        ),
+        let mut builder = DnsSnapshot::builder(taken_at, day, block_size.max(1));
+        let mut decoded = 0usize;
+        if v2 {
+            // Alternating shard headers and their rank lines.
+            let mut next_shard = 0usize;
+            let mut pending: Option<(usize, usize, Vec<SiteRecords>)> = None; // (shard, len, rows)
+            for (n, line) in lines {
+                if let Some(rest) = line.strip_prefix("shard ") {
+                    if let Some((_, _, rows)) = pending.take() {
+                        builder.push_block(Arc::new(RecordBlock::from_sites(rows)));
                     }
+                    let (idx_str, len_str) = rest
+                        .split_once(" len=")
+                        .ok_or_else(|| err(n + 1, SnapshotDecodeErrorKind::BadShardHeader))?;
+                    let idx: usize = idx_str
+                        .parse()
+                        .map_err(|_| err(n + 1, SnapshotDecodeErrorKind::BadShardHeader))?;
+                    let len: usize = len_str
+                        .parse()
+                        .map_err(|_| err(n + 1, SnapshotDecodeErrorKind::BadShardHeader))?;
+                    if idx < next_shard {
+                        let kind = if idx + 1 == next_shard {
+                            SnapshotDecodeErrorKind::DuplicateShardHeader { shard: idx }
+                        } else {
+                            SnapshotDecodeErrorKind::ShardHeaderOutOfOrder { shard: idx }
+                        };
+                        return Err(err(n + 1, kind));
+                    }
+                    if idx > next_shard {
+                        return Err(err(
+                            n + 1,
+                            SnapshotDecodeErrorKind::ShardHeaderOutOfOrder { shard: idx },
+                        ));
+                    }
+                    next_shard += 1;
+                    pending = Some((idx, len, Vec::with_capacity(len.min(sites))));
+                } else {
+                    let Some((shard, len, rows)) = pending.as_mut() else {
+                        return Err(err(n + 1, SnapshotDecodeErrorKind::RecordOutsideShard));
+                    };
+                    if rows.len() >= *len {
+                        return Err(err(
+                            n + 1,
+                            SnapshotDecodeErrorKind::ShardLengthMismatch { shard: *shard },
+                        ));
+                    }
+                    rows.push(decode_site_line(line, n + 1, decoded)?);
+                    decoded += 1;
                 }
             }
-            snapshot.records.push(Arc::new(records));
+            if let Some((shard, len, rows)) = pending.take() {
+                if rows.len() != len {
+                    return Err(err(
+                        0,
+                        SnapshotDecodeErrorKind::ShardLengthMismatch { shard },
+                    ));
+                }
+                builder.push_block(Arc::new(RecordBlock::from_sites(rows)));
+            }
+        } else {
+            for (n, line) in lines {
+                builder.push(decode_site_line(line, n + 1, decoded)?);
+                decoded += 1;
+            }
         }
-        if snapshot.records.len() != sites {
-            return Err(SnapshotDecodeError {
-                line: 4,
-                reason: format!(
-                    "header says {sites} sites but {} record lines follow",
-                    snapshot.records.len()
+        if decoded != sites {
+            return Err(err(
+                4,
+                SnapshotDecodeErrorKind::SiteCountMismatch {
+                    header: sites,
+                    found: decoded,
+                },
+            ));
+        }
+        Ok(builder.finish())
+    }
+}
+
+impl PartialEq for DnsSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.taken_at == other.taken_at
+            && self.day == other.day
+            && self.len == other.len
+            && self.to_site_records() == other.to_site_records()
+    }
+}
+
+impl Eq for DnsSnapshot {}
+
+fn encode_site_line(out: &mut String, rank: usize, site: SiteView<'_>) {
+    let a = site
+        .a
+        .iter()
+        .map(Ipv4Addr::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let cnames = site
+        .cnames
+        .iter()
+        .map(DomainName::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let ns = site
+        .ns
+        .iter()
+        .map(DomainName::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    out.push_str(&format!("{rank} a={a} cname={cnames} ns={ns}\n"));
+}
+
+fn decode_site_line(
+    line: &str,
+    lineno: usize,
+    expected_rank: usize,
+) -> Result<SiteRecords, SnapshotDecodeError> {
+    let err = |kind: SnapshotDecodeErrorKind| SnapshotDecodeError { line: lineno, kind };
+    let mut parts = line.splitn(4, ' ');
+    let rank = parts
+        .next()
+        .and_then(|r| r.parse::<usize>().ok())
+        .ok_or_else(|| err(SnapshotDecodeErrorKind::BadRank))?;
+    if rank != expected_rank {
+        return Err(err(SnapshotDecodeErrorKind::NonContiguousRank {
+            expected: expected_rank,
+            found: rank,
+        }));
+    }
+    let mut records = SiteRecords::default();
+    for (prefix, part) in [
+        ("a=", parts.next()),
+        ("cname=", parts.next()),
+        ("ns=", parts.next()),
+    ] {
+        let values = part
+            .and_then(|p| p.strip_prefix(prefix))
+            .ok_or_else(|| err(SnapshotDecodeErrorKind::MissingRecordField))?;
+        for value in values.split(',').filter(|v| !v.is_empty()) {
+            match prefix {
+                "a=" => records.a.push(
+                    value
+                        .parse()
+                        .map_err(|_| err(SnapshotDecodeErrorKind::BadIpv4))?,
                 ),
-            });
+                "cname=" => records.cnames.push(
+                    value
+                        .parse()
+                        .map_err(|_| err(SnapshotDecodeErrorKind::BadCname))?,
+                ),
+                _ => records.ns.push(
+                    value
+                        .parse()
+                        .map_err(|_| err(SnapshotDecodeErrorKind::BadNs))?,
+                ),
+            }
         }
-        Ok(snapshot)
+    }
+    Ok(records)
+}
+
+/// Incrementally assembles a [`DnsSnapshot`].
+///
+/// Push owned records site by site ([`SnapshotBuilder::push`], packed into
+/// `block_size` blocks), whole shared blocks
+/// ([`SnapshotBuilder::push_block`]), or on-disk frames
+/// (`push_spilled`, crate-internal). Mixing is allowed as long as each
+/// block push happens on a block boundary.
+#[derive(Debug)]
+pub struct SnapshotBuilder {
+    taken_at: SimTime,
+    day: u32,
+    block_size: usize,
+    len: usize,
+    blocks: Vec<BlockSlot>,
+    pending: Vec<SiteRecords>,
+}
+
+impl SnapshotBuilder {
+    /// Appends one site's records (packed into the current block).
+    pub fn push(&mut self, records: SiteRecords) {
+        self.pending.push(records);
+        self.len += 1;
+        if self.pending.len() == self.block_size {
+            self.flush();
+        }
+    }
+
+    /// Appends a whole block (structural sharing: no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-block (sites pushed but not yet flushed).
+    pub fn push_block(&mut self, block: Arc<RecordBlock>) {
+        assert!(
+            self.pending.is_empty(),
+            "push_block on a partially filled block"
+        );
+        self.len += block.len();
+        self.blocks.push(BlockSlot::Resident(block));
+    }
+
+    /// Appends a spilled block by reference (no load).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-block, like [`SnapshotBuilder::push_block`].
+    pub(crate) fn push_spilled(&mut self, spill: SpillRef) {
+        assert!(
+            self.pending.is_empty(),
+            "push_spilled on a partially filled block"
+        );
+        self.len += spill.sites();
+        self.blocks.push(BlockSlot::Spilled(spill));
+    }
+
+    /// Appends an existing slot as-is (the delta collector's splice path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-block, like [`SnapshotBuilder::push_block`].
+    pub(crate) fn push_slot(&mut self, slot: BlockSlot) {
+        assert!(
+            self.pending.is_empty(),
+            "push_slot on a partially filled block"
+        );
+        self.len += slot.sites();
+        self.blocks.push(slot);
+    }
+
+    fn flush(&mut self) {
+        if !self.pending.is_empty() {
+            let rows = std::mem::take(&mut self.pending);
+            self.blocks
+                .push(BlockSlot::Resident(Arc::new(RecordBlock::from_sites(rows))));
+        }
+    }
+
+    /// Finishes the snapshot (flushing any partial final block).
+    pub fn finish(mut self) -> DnsSnapshot {
+        self.flush();
+        DnsSnapshot {
+            taken_at: self.taken_at,
+            day: self.day,
+            len: self.len,
+            block_size: self.block_size,
+            blocks: self.blocks,
+        }
     }
 }
 
 /// Why a snapshot failed to parse, with the 1-based offending line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SnapshotDecodeError {
-    /// 1-based line number the error was detected on.
+    /// 1-based line number the error was detected on (0 when the input
+    /// ended before the expected line).
     pub line: usize,
-    /// Human-readable description of the problem.
-    pub reason: String,
+    /// What went wrong.
+    pub kind: SnapshotDecodeErrorKind,
+}
+
+/// The typed reasons a snapshot text decode can fail.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapshotDecodeErrorKind {
+    /// The input was empty.
+    Empty,
+    /// The first line was not a known format header.
+    UnrecognizedHeader,
+    /// The input ended inside the header block.
+    TruncatedHeader,
+    /// A `name=value` header field was missing or non-numeric.
+    BadHeaderField(&'static str),
+    /// A `shard <idx> len=<n>` header did not parse.
+    BadShardHeader,
+    /// The same shard index appeared twice.
+    DuplicateShardHeader {
+        /// The repeated shard index.
+        shard: usize,
+    },
+    /// A shard header arrived out of ascending order (or skipped ahead).
+    ShardHeaderOutOfOrder {
+        /// The offending shard index.
+        shard: usize,
+    },
+    /// A record line appeared before any shard header (v2).
+    RecordOutsideShard,
+    /// A shard's record lines disagreed with its declared `len`.
+    ShardLengthMismatch {
+        /// The shard whose length was wrong.
+        shard: usize,
+    },
+    /// A record line did not start with a numeric rank.
+    BadRank,
+    /// Record ranks must be contiguous from 0.
+    NonContiguousRank {
+        /// The rank the decoder expected next.
+        expected: usize,
+        /// The rank the line carried.
+        found: usize,
+    },
+    /// A record line was missing one of its three fields.
+    MissingRecordField,
+    /// An A value was not a valid IPv4 address.
+    BadIpv4,
+    /// A CNAME value was not a valid domain name.
+    BadCname,
+    /// An NS value was not a valid domain name.
+    BadNs,
+    /// The `sites=` header disagreed with the record lines that followed.
+    SiteCountMismatch {
+        /// The count the header declared.
+        header: usize,
+        /// The record lines actually present.
+        found: usize,
+    },
+}
+
+impl fmt::Display for SnapshotDecodeErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "empty input"),
+            Self::UnrecognizedHeader => write!(f, "unrecognized header"),
+            Self::TruncatedHeader => write!(f, "truncated header block"),
+            Self::BadHeaderField(name) => write!(f, "bad `{name}=` header field"),
+            Self::BadShardHeader => write!(f, "malformed shard header"),
+            Self::DuplicateShardHeader { shard } => {
+                write!(f, "duplicate shard header for shard {shard}")
+            }
+            Self::ShardHeaderOutOfOrder { shard } => {
+                write!(f, "shard header {shard} out of ascending order")
+            }
+            Self::RecordOutsideShard => write!(f, "record line outside any shard"),
+            Self::ShardLengthMismatch { shard } => {
+                write!(f, "shard {shard} record count disagrees with its len")
+            }
+            Self::BadRank => write!(f, "record line must start with a rank"),
+            Self::NonContiguousRank { expected, found } => write!(
+                f,
+                "record ranks must be contiguous from 0 (expected {expected}, found {found})"
+            ),
+            Self::MissingRecordField => write!(f, "record line is missing a field"),
+            Self::BadIpv4 => write!(f, "invalid IPv4 address"),
+            Self::BadCname => write!(f, "invalid CNAME domain name"),
+            Self::BadNs => write!(f, "invalid NS domain name"),
+            Self::SiteCountMismatch { header, found } => {
+                write!(
+                    f,
+                    "header says {header} sites but {found} record lines follow"
+                )
+            }
+        }
+    }
 }
 
 impl fmt::Display for SnapshotDecodeError {
@@ -199,7 +773,7 @@ impl fmt::Display for SnapshotDecodeError {
         write!(
             f,
             "snapshot decode error at line {}: {}",
-            self.line, self.reason
+            self.line, self.kind
         )
     }
 }
@@ -210,49 +784,115 @@ impl std::error::Error for SnapshotDecodeError {}
 mod tests {
     use super::*;
 
+    fn snapshot_from(records: Vec<SiteRecords>, block_size: usize) -> DnsSnapshot {
+        let mut b = DnsSnapshot::builder(SimTime::EPOCH, 0, block_size);
+        for r in records {
+            b.push(r);
+        }
+        b.finish()
+    }
+
     #[test]
     fn empty_detection() {
         let mut r = SiteRecords::default();
         assert!(r.is_empty());
+        assert!(r.view().is_empty());
         r.ns.push("ns1.webhost1.net".parse().unwrap());
         assert!(!r.is_empty());
+        assert!(!r.view().is_empty());
+    }
+
+    #[test]
+    fn block_views_match_sources() {
+        let sites = vec![
+            SiteRecords::default(),
+            SiteRecords {
+                a: vec![Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8)],
+                cnames: vec!["cdn.example.net".parse().unwrap()],
+                ns: vec!["ns1.example.net".parse().unwrap()],
+            },
+            SiteRecords {
+                ns: vec!["ns2.example.net".parse().unwrap()],
+                ..SiteRecords::default()
+            },
+        ];
+        let block = RecordBlock::from_sites(sites.clone());
+        assert_eq!(block.len(), 3);
+        for (i, site) in sites.iter().enumerate() {
+            assert_eq!(block.site(i).to_records(), *site);
+        }
+        assert_eq!(block.sites().count(), 3);
     }
 
     #[test]
     fn snapshot_indexing() {
-        let mut snap = DnsSnapshot::new(SimTime::EPOCH, 0, 2);
-        snap.records.push(Arc::new(SiteRecords::default()));
-        snap.records.push(Arc::new(SiteRecords {
-            a: vec![Ipv4Addr::new(1, 2, 3, 4)],
-            ..SiteRecords::default()
-        }));
+        let snap = snapshot_from(
+            vec![
+                SiteRecords::default(),
+                SiteRecords {
+                    a: vec![Ipv4Addr::new(1, 2, 3, 4)],
+                    ..SiteRecords::default()
+                },
+            ],
+            DEFAULT_BLOCK_SIZE,
+        );
         assert!(snap.site(0).unwrap().is_empty());
         assert!(!snap.site(1).unwrap().is_empty());
         assert!(snap.site(2).is_none());
         assert_eq!(snap.resolved_count(), 1);
+        assert_eq!(snap.len(), 2);
+    }
+
+    #[test]
+    fn equality_ignores_block_layout() {
+        let sites: Vec<SiteRecords> = (0..10)
+            .map(|i| SiteRecords {
+                a: vec![Ipv4Addr::new(10, 0, 0, i)],
+                ..SiteRecords::default()
+            })
+            .collect();
+        let wide = snapshot_from(sites.clone(), 512);
+        let narrow = snapshot_from(sites, 3);
+        assert_eq!(wide, narrow);
+        assert_ne!(wide.encode(), narrow.encode(), "layout shows in the text");
     }
 
     #[test]
     fn encode_decode_round_trips() {
-        let mut snap = DnsSnapshot::new(SimTime::from_secs(86_400 * 3 + 7), 3, 3);
-        snap.records.push(Arc::new(SiteRecords::default()));
-        snap.records.push(Arc::new(SiteRecords {
+        let mut b = DnsSnapshot::builder(SimTime::from_secs(86_400 * 3 + 7), 3, 2);
+        b.push(SiteRecords::default());
+        b.push(SiteRecords {
             a: vec![Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8)],
             cnames: vec!["x7f3.incapdns.net".parse().unwrap()],
             ns: vec![
                 "kate.ns.cloudflare.com".parse().unwrap(),
                 "rob.ns.cloudflare.com".parse().unwrap(),
             ],
-        }));
-        snap.records.push(Arc::new(SiteRecords {
+        });
+        b.push(SiteRecords {
             ns: vec!["ns1.webhost1.net".parse().unwrap()],
             ..SiteRecords::default()
-        }));
+        });
+        let snap = b.finish();
         let text = snap.encode();
+        assert!(text.starts_with("remnant-snapshot v2\n"));
+        assert!(text.contains("shard 0 len=2\n"));
+        assert!(text.contains("shard 1 len=1\n"));
         let back = DnsSnapshot::decode(&text).expect("canonical text parses");
         assert_eq!(back, snap);
         // Canonical: re-encoding the decoded value is byte-identical.
         assert_eq!(back.encode(), text);
+    }
+
+    #[test]
+    fn decode_accepts_legacy_v1() {
+        let v1 = "remnant-snapshot v1\ntaken_at=42\nday=2\nsites=2\n\
+                  0 a=1.2.3.4 cname= ns=\n1 a= cname= ns=ns1.webhost1.net\n";
+        let snap = DnsSnapshot::decode(v1).expect("v1 parses");
+        assert_eq!(snap.day, 2);
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap.site(0).unwrap().a, vec![Ipv4Addr::new(1, 2, 3, 4)]);
+        assert_eq!(snap.block_size(), DEFAULT_BLOCK_SIZE);
     }
 
     #[test]
@@ -264,8 +904,47 @@ mod tests {
         let bad_ip = "remnant-snapshot v1\ntaken_at=0\nday=0\nsites=1\n0 a=999.1.2.3 cname= ns=\n";
         let err = DnsSnapshot::decode(bad_ip).unwrap_err();
         assert_eq!(err.line, 5);
+        assert_eq!(err.kind, SnapshotDecodeErrorKind::BadIpv4);
         assert!(err.to_string().contains("IPv4"));
         let bad_rank = "remnant-snapshot v1\ntaken_at=0\nday=0\nsites=1\n7 a= cname= ns=\n";
         assert!(DnsSnapshot::decode(bad_rank).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_duplicate_shard_headers() {
+        // Regression: a repeated shard header must be a typed error, not a
+        // silent last-write-wins overwrite.
+        let dup = "remnant-snapshot v2\ntaken_at=0\nday=0\nsites=2\nshard_size=1\n\
+                   shard 0 len=1\n0 a=1.2.3.4 cname= ns=\n\
+                   shard 0 len=1\n1 a=5.6.7.8 cname= ns=\n";
+        let err = DnsSnapshot::decode(dup).unwrap_err();
+        assert_eq!(err.line, 8);
+        assert_eq!(
+            err.kind,
+            SnapshotDecodeErrorKind::DuplicateShardHeader { shard: 0 }
+        );
+        assert!(err.to_string().contains("duplicate shard header"));
+    }
+
+    #[test]
+    fn decode_rejects_out_of_order_and_oversized_shards() {
+        let skipped = "remnant-snapshot v2\ntaken_at=0\nday=0\nsites=1\nshard_size=1\n\
+                       shard 1 len=1\n0 a= cname= ns=\n";
+        assert!(matches!(
+            DnsSnapshot::decode(skipped).unwrap_err().kind,
+            SnapshotDecodeErrorKind::ShardHeaderOutOfOrder { shard: 1 }
+        ));
+        let overflow = "remnant-snapshot v2\ntaken_at=0\nday=0\nsites=2\nshard_size=1\n\
+                        shard 0 len=1\n0 a= cname= ns=\n1 a= cname= ns=\n";
+        assert!(matches!(
+            DnsSnapshot::decode(overflow).unwrap_err().kind,
+            SnapshotDecodeErrorKind::ShardLengthMismatch { shard: 0 }
+        ));
+        let headless = "remnant-snapshot v2\ntaken_at=0\nday=0\nsites=1\nshard_size=1\n\
+                        0 a= cname= ns=\n";
+        assert!(matches!(
+            DnsSnapshot::decode(headless).unwrap_err().kind,
+            SnapshotDecodeErrorKind::RecordOutsideShard
+        ));
     }
 }

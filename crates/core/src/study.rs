@@ -31,6 +31,7 @@ use crate::pause::PauseTracker;
 use crate::residual::{
     CloudflareScanner, ExposureTracker, FilterPipeline, IncapsulaScanner, WeeklyScanReport,
 };
+use crate::spill::SpillConfig;
 use crate::unchanged::{UnchangedStudy, UnchangedTally};
 use crate::SCANNER_SOURCE;
 
@@ -82,6 +83,12 @@ pub struct StudyConfig {
     /// How daily rounds resolve the target list. The report is
     /// bit-identical for both modes; only wall time changes.
     pub collection_mode: CollectionMode,
+    /// When set, collection rounds stream to disk and stay memory-bounded
+    /// (see [`crate::spill`]): snapshots hold frame references instead of
+    /// resident blocks, and only `resident_shards` shards are in memory at
+    /// once. The report is bit-identical with or without spill; only the
+    /// peak RSS changes.
+    pub spill: Option<SpillConfig>,
 }
 
 impl Default for StudyConfig {
@@ -93,6 +100,7 @@ impl Default for StudyConfig {
             seed: 42,
             workers: 1,
             collection_mode: CollectionMode::Full,
+            spill: None,
         }
     }
 }
@@ -165,6 +173,13 @@ impl StudyConfigBuilder {
         self
     }
 
+    /// Stream collection rounds to disk under `spill` (memory-bounded
+    /// collection; see [`crate::spill`]).
+    pub fn spill(mut self, spill: SpillConfig) -> Self {
+        self.config.spill = Some(spill);
+        self
+    }
+
     /// Validates and returns the configuration, naming the first rejected
     /// field on failure.
     pub fn build(self) -> Result<StudyConfig, ConfigFieldError> {
@@ -196,6 +211,15 @@ impl StudyConfigBuilder {
                 config.workers,
                 "more than 1024 workers exceeds the engine's sharding model",
             ));
+        }
+        if let Some(spill) = &config.spill {
+            if spill.resident_shards == 0 {
+                return Err(ConfigFieldError::new(
+                    "spill.resident_shards",
+                    spill.resident_shards,
+                    "at least one shard must stay resident while spilling",
+                ));
+            }
         }
         Ok(config)
     }
@@ -552,7 +576,8 @@ impl PaperStudy {
         for day in 0..days {
             let day_span = Span::enter(&obs, "study.day");
             obs.event("sweep.start", format!("day {day}: daily collection round"));
-            let (snapshot, sweep, delta) = collector.collect(&engine, world, &targets, day);
+            let (snapshot, sweep, delta) =
+                collector.collect(&engine, world, &targets, day, self.config.spill.as_ref());
             match delta {
                 Some(round) => report.collection.absorb(&round),
                 None => {
@@ -574,9 +599,11 @@ impl PaperStudy {
             let classes = detector.classify_snapshot(&snapshot);
             // Multi-CDN front-ends are identified by their balancer CNAMEs
             // and excluded from behavior analysis (Sec IV-B.3).
-            for (rank, records) in snapshot.records.iter().enumerate() {
-                if crate::behavior::is_multi_cdn(records) {
-                    multi_cdn[rank] = true;
+            for loaded in snapshot.blocks() {
+                for (i, site) in loaded.block.sites().enumerate() {
+                    if crate::behavior::is_multi_cdn_view(site) {
+                        multi_cdn[loaded.base_rank + i] = true;
+                    }
                 }
             }
 
@@ -742,20 +769,40 @@ enum DailyCollector {
 }
 
 impl DailyCollector {
+    /// One daily round, through the in-memory or the streaming spill path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spill round's file cannot be written mid-campaign —
+    /// callers validate the spill directory up front, and a disk that
+    /// fills or vanishes afterwards is not a recoverable study state.
     fn collect(
         &mut self,
         engine: &ScanEngine,
         world: &World,
         targets: &[Target],
         day: u32,
+        spill: Option<&SpillConfig>,
     ) -> (crate::DnsSnapshot, SweepStats, Option<DeltaRound>) {
-        match self {
-            DailyCollector::Full(collector) => {
+        match (self, spill) {
+            (DailyCollector::Full(collector), None) => {
                 let (snapshot, sweep) = collector.collect_with(engine, world, targets, day);
                 (snapshot, sweep, None)
             }
-            DailyCollector::Delta(collector) => {
+            (DailyCollector::Full(collector), Some(spill)) => {
+                let (snapshot, sweep) = collector
+                    .collect_spilled(engine, world, targets, day, spill)
+                    .unwrap_or_else(|e| panic!("day {day} spill round failed: {e}"));
+                (snapshot, sweep, None)
+            }
+            (DailyCollector::Delta(collector), None) => {
                 let (snapshot, sweep, round) = collector.collect_with(engine, world, targets, day);
+                (snapshot, sweep, Some(round))
+            }
+            (DailyCollector::Delta(collector), Some(spill)) => {
+                let (snapshot, sweep, round) = collector
+                    .collect_spilled(engine, world, targets, day, spill)
+                    .unwrap_or_else(|e| panic!("day {day} spill round failed: {e}"));
                 (snapshot, sweep, Some(round))
             }
         }

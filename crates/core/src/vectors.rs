@@ -79,12 +79,14 @@ impl PassiveDnsDb {
     /// Records every A address of a collection round.
     pub fn feed(&mut self, snapshot: &DnsSnapshot) {
         self.observations += 1;
-        for (rank, records) in snapshot.records.iter().enumerate() {
-            if !records.a.is_empty() {
-                self.history
-                    .entry(rank)
-                    .or_default()
-                    .extend(records.a.iter().copied());
+        for loaded in snapshot.blocks() {
+            for (i, site) in loaded.block.sites().enumerate() {
+                if !site.a.is_empty() {
+                    self.history
+                        .entry(loaded.base_rank + i)
+                        .or_default()
+                        .extend(site.a.iter().copied());
+                }
             }
         }
     }
@@ -437,18 +439,16 @@ mod tests {
     fn passive_dns_accumulates_across_rounds() {
         let mut db = PassiveDnsDb::new();
         assert!(db.is_empty());
-        let mut snap = DnsSnapshot::new(remnant_sim::SimTime::EPOCH, 0, 1);
-        snap.records
-            .push(std::sync::Arc::new(crate::snapshot::SiteRecords {
-                a: vec![Ipv4Addr::new(1, 1, 1, 1)],
+        let one_site = |addr| {
+            let mut b = DnsSnapshot::builder(remnant_sim::SimTime::EPOCH, 0, 1);
+            b.push(crate::snapshot::SiteRecords {
+                a: vec![addr],
                 ..Default::default()
-            }));
-        db.feed(&snap);
-        snap.records[0] = std::sync::Arc::new(crate::snapshot::SiteRecords {
-            a: vec![Ipv4Addr::new(2, 2, 2, 2)],
-            ..Default::default()
-        });
-        db.feed(&snap);
+            });
+            b.finish()
+        };
+        db.feed(&one_site(Ipv4Addr::new(1, 1, 1, 1)));
+        db.feed(&one_site(Ipv4Addr::new(2, 2, 2, 2)));
         let addrs: Vec<Ipv4Addr> = db.addresses(0).collect();
         assert_eq!(addrs.len(), 2);
         assert_eq!(db.observations(), 2);

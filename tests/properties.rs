@@ -211,23 +211,25 @@ proptest! {
         // inverts encode exactly, and re-encoding the decoded value is
         // byte-identical (the stability the full-vs-delta differential
         // test leans on).
-        let mut snapshot = DnsSnapshot::new(SimTime::from_secs(taken_at), day, sites.len());
+        let mut builder = DnsSnapshot::builder(SimTime::from_secs(taken_at), day, 4);
+        let mut other = DnsSnapshot::builder(SimTime::from_secs(taken_at), day + 1, 4);
         for (a, cnames, ns) in sites {
-            snapshot.records.push(std::sync::Arc::new(SiteRecords {
+            let records = SiteRecords {
                 a: a.into_iter().map(Ipv4Addr::from).collect(),
                 cnames: cnames.iter().map(|n| n.parse().unwrap()).collect(),
                 ns: ns.iter().map(|n| n.parse().unwrap()).collect(),
-            }));
+            };
+            builder.push(records.clone());
+            other.push(records);
         }
+        let snapshot = builder.finish();
         let text = snapshot.encode();
         let decoded = DnsSnapshot::decode(&text).expect("canonical text parses");
         prop_assert_eq!(&decoded, &snapshot);
         prop_assert_eq!(decoded.encode(), text);
         // Equal snapshots encode identically; the encoding distinguishes
         // the header fields.
-        let mut other = snapshot.clone();
-        other.day += 1;
-        prop_assert_ne!(other.encode(), snapshot.encode());
+        prop_assert_ne!(other.finish().encode(), snapshot.encode());
     }
 
     #[test]
