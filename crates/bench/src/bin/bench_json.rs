@@ -4,6 +4,8 @@
 //! bench-json [--quick] [--out PATH] [--population N] [--seed S]
 //! bench-json --campaign [--sites N] [--weeks W] [--workers N]
 //!            [--spill-dir DIR] [--out PATH] [--seed S]
+//! bench-json --query [--quick] [--population N] [--weeks W]
+//!            [--out PATH] [--seed S]
 //! ```
 //!
 //! Runs the allocation-sensitive microbenches (interned names and shared
@@ -33,6 +35,16 @@
 //! lifetime; in-process back-to-back runs would attribute the first
 //! mode's peak to every later one. Peak RSS degrades to `null` on
 //! platforms without procfs.
+//!
+//! `--query` runs the query-layer throughput suite instead: one spilled
+//! campaign per persistence mode (full, delta), then repeated measured
+//! passes over the resulting `SnapshotStore` — directory open (footer
+//! index scan), full reconstruction scan, a column projection, the shared
+//! analysis fold (`PassesPlan`), the consecutive-round join, and the
+//! generation diff — and writes one JSON document (default
+//! `BENCH_8.json`). The campaign itself is timed once alongside, so the
+//! document carries the no-pipeline-regression story: collection cost is
+//! unchanged and the query layer's cost is the measured read path.
 
 use std::process::ExitCode;
 
@@ -48,6 +60,7 @@ use remnant::engine::{EngineConfig, ScanEngine, TaskResult};
 use remnant::net::Region;
 use remnant::obs::{EventJournal, Instrumented, MetricsRegistry, Obs, Span};
 use remnant::provider::ProviderId;
+use remnant::query::{PassesPlan, QueryPlan, RecordClass, SnapshotStore};
 use remnant::sim::SimTime;
 use remnant::wire::{query_id, Message, ServerCore};
 use remnant::world::{World, WorldConfig};
@@ -74,6 +87,7 @@ struct Options {
     seed: u64,
     campaign: bool,
     campaign_child: Option<String>,
+    query: bool,
     sites: usize,
     weeks: u32,
     workers: usize,
@@ -89,6 +103,7 @@ impl Default for Options {
             seed: 3,
             campaign: false,
             campaign_child: None,
+            query: false,
             sites: 1_000_000,
             weeks: 6,
             workers: 8,
@@ -101,7 +116,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: bench-json [--quick] [--out PATH] [--population N] [--seed S]\n\
          \u{20}      bench-json --campaign [--sites N] [--weeks W] [--workers N] \
-         [--spill-dir DIR] [--out PATH] [--seed S]"
+         [--spill-dir DIR] [--out PATH] [--seed S]\n\
+         \u{20}      bench-json --query [--quick] [--population N] [--weeks W] \
+         [--out PATH] [--seed S]"
     );
     ExitCode::FAILURE
 }
@@ -764,6 +781,142 @@ fn wire_benches(world: &mut World, samples: usize) -> Json {
     ])
 }
 
+/// One persistence mode of the query suite: run a spilled campaign once
+/// (timed, for the no-regression story), then measure the read path over
+/// the `SnapshotStore` it left behind.
+fn query_mode_benches(
+    mode: CollectionMode,
+    tag: &str,
+    population: usize,
+    weeks: u32,
+    seed: u64,
+    samples: usize,
+) -> Result<Json, String> {
+    let dir = std::env::temp_dir().join(format!("remnant-bench-query-{tag}-{population}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let config = ReproConfig::builder()
+        .population(population)
+        .weeks(weeks)
+        .seed(seed)
+        .workers(1)
+        .collection_mode(mode)
+        .spill_dir(dir.clone())
+        .build()
+        .map_err(|e| e.to_string())?;
+    let started = std::time::Instant::now();
+    let (world, report) = run_study(&config);
+    let collect_secs = started.elapsed().as_secs_f64();
+    std::hint::black_box((&world, &report));
+
+    let open = measure(samples, || {
+        std::hint::black_box(SnapshotStore::open(&dir).expect("bench spill dir opens"));
+    });
+    let store =
+        SnapshotStore::open(&dir).map_err(|e| format!("opening {}: {e:?}", dir.display()))?;
+    let rounds = store.len() as u64;
+    let site_rounds = rounds * store.sites() as u64;
+    let chained: u64 = store
+        .query()
+        .generation_diff()
+        .iter()
+        .map(|d| d.clean as u64)
+        .sum();
+
+    let scan = measure(samples, || {
+        let mut sites = 0usize;
+        for round in store.query().snapshots() {
+            for loaded in round.snapshot.blocks() {
+                sites += loaded.block.len();
+            }
+        }
+        std::hint::black_box(sites);
+    });
+    let project = measure(samples, || {
+        std::hint::black_box(store.query().project(RecordClass::Ns).total);
+    });
+    let passes = measure(samples, || {
+        std::hint::black_box(PassesPlan.execute(&store));
+    });
+    let joined = measure(samples, || {
+        std::hint::black_box(store.query().joined().count());
+    });
+    let diff = measure(samples, || {
+        std::hint::black_box(store.query().generation_diff().len());
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+
+    Ok(Json::obj([
+        ("rounds", Json::Num(rounds as f64)),
+        ("sites", Json::Num(store.sites() as f64)),
+        ("chained_shard_rounds", Json::Num(chained as f64)),
+        ("collect_secs", Json::Num(collect_secs)),
+        ("store_open", open.to_json(rounds)),
+        ("full_scan", scan.to_json(site_rounds)),
+        ("project_ns", project.to_json(site_rounds)),
+        ("passes_plan", passes.to_json(site_rounds)),
+        ("joined_rounds", joined.to_json(rounds.saturating_sub(1))),
+        ("generation_diff", diff.to_json(rounds)),
+    ]))
+}
+
+/// The query-layer throughput suite: both spill persistence modes,
+/// assembled into the `BENCH_8.json` document.
+fn run_query(opts: &Options) -> Result<(), String> {
+    let samples = if opts.quick { 3 } else { 10 };
+    let population = if opts.quick {
+        opts.population.min(400)
+    } else {
+        opts.population
+    };
+    let weeks = if opts.quick { 1 } else { opts.weeks.min(2) };
+    eprintln!(
+        "bench-json: query suite over {population} sites x {weeks} weeks \
+         (seed {}, samples {samples})",
+        opts.seed
+    );
+
+    let full = query_mode_benches(
+        CollectionMode::Full,
+        "full",
+        population,
+        weeks,
+        opts.seed,
+        samples,
+    )?;
+    let delta = query_mode_benches(
+        CollectionMode::Delta,
+        "delta",
+        population,
+        weeks,
+        opts.seed,
+        samples,
+    )?;
+
+    let doc = Json::obj([
+        ("schema", Json::Str("remnant-bench/v1".into())),
+        ("issue", Json::Num(8.0)),
+        (
+            "mode",
+            Json::Str(if opts.quick { "quick" } else { "full" }.into()),
+        ),
+        ("population", Json::Num(population as f64)),
+        ("weeks", Json::Num(f64::from(weeks))),
+        ("seed", Json::Num(opts.seed as f64)),
+        (
+            "query",
+            Json::obj([("spill_full", full), ("spill_delta", delta)]),
+        ),
+    ]);
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_8.json".to_owned());
+    std::fs::write(&out, doc.render()).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("bench-json: wrote {out}");
+    Ok(())
+}
+
 /// The campaign's memory modes: `(child tag, JSON key)`.
 const CAMPAIGN_MODES: &[(&str, &str)] = &[
     ("in-memory", "in_memory_full"),
@@ -1088,6 +1241,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--quick" => opts.quick = true,
             "--campaign" => opts.campaign = true,
+            "--query" => opts.query = true,
             "--campaign-child" => match args.next() {
                 Some(mode) => opts.campaign_child = Some(mode),
                 None => return usage(),
@@ -1134,6 +1288,8 @@ fn main() -> ExitCode {
         campaign_child(&mode, &opts)
     } else if opts.campaign {
         run_campaign(&opts)
+    } else if opts.query {
+        run_query(&opts)
     } else {
         run(&opts)
     };

@@ -8,7 +8,7 @@
 //!
 //! EXPERIMENT: all (default) | table2 | table5 | table6 |
 //!             fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 |
-//!             purge | funnel | serve
+//!             purge | funnel | serve | query
 //! ```
 //!
 //! The default population is 100,000 (a 1:10 scale model of the paper's
@@ -41,6 +41,13 @@
 //! directory is validated (created, probed for writability) before the
 //! study starts; `--sites` is an alias of `--population`.
 //!
+//! `query` re-runs the snapshot-derivable analyses (Fig 2–6) from a spill
+//! directory left behind by a previous `--spill-dir` run — no collection,
+//! no world: the rounds reopen as a time-indexed snapshot store and the
+//! figures are produced by query plans over it, byte-identical to the
+//! original run's. A directory with a hole in its round sequence (an
+//! interrupted campaign) is rejected with the missing round named.
+//!
 //! `serve` generates a world and runs a real DNS daemon over it: UDP and
 //! TCP listeners on `--bind` (default `127.0.0.1:8053`), RFC 1035 frames
 //! in and out, answers resolved through the recursive resolver and cached
@@ -53,14 +60,16 @@ use std::process::ExitCode;
 
 use remnant::core::study::CollectionMode;
 use remnant_bench::{
-    render_ablation, render_fig1, render_fig2, render_fig3, render_fig4, render_fig5, render_fig6,
-    render_fig7, render_fig8, render_fig8_from_obs, render_fig9, render_purge, render_table1,
-    render_table2, render_table5, render_table6, run_study, ReproConfig,
+    render_ablation, render_fig1, render_fig2, render_fig2_adoption, render_fig3,
+    render_fig3_behaviors, render_fig4, render_fig4_behaviors, render_fig5, render_fig5_pauses,
+    render_fig6, render_fig6_adoption, render_fig7, render_fig8, render_fig8_from_obs, render_fig9,
+    render_purge, render_table1, render_table2, render_table5, render_table6, run_study,
+    ReproConfig,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [all|table1|table2|table5|table6|fig1..fig9|purge|ablation|funnel|serve] \
+        "usage: repro [all|table1|table2|table5|table6|fig1..fig9|purge|ablation|funnel|serve|query] \
          [--sites N | --population N] [--weeks W] [--seed S] [--workers N] [--even-intervals] \
          [--collection full|delta] [--spill-dir DIR] [--metrics OUT.json] [--bind ADDR] \
          [--duration SECS]\n\
@@ -74,6 +83,8 @@ fn usage() -> ExitCode {
          identical to in-memory; only peak RSS changes)\n\
          --metrics OUT.json writes the deterministic observability snapshot;\n\
          'funnel' renders Fig 8 from those counters alone\n\
+         'query' re-renders Fig 2-6 from an existing --spill-dir via the\n\
+         snapshot store, without re-collecting\n\
          'serve' runs a UDP+TCP DNS daemon over the generated world\n\
          (--bind ADDR, default 127.0.0.1:8053; --duration SECS to stop)"
     );
@@ -162,6 +173,65 @@ fn serve(seed: u64, population: usize, bind: &str, duration: Option<u64>) -> Exi
     ExitCode::SUCCESS
 }
 
+/// Runs the `query` experiment: reopens a spill directory as a snapshot
+/// store and regenerates the snapshot-derivable figures through query
+/// plans, without re-collecting anything.
+fn query_experiment(config: &ReproConfig) -> ExitCode {
+    use remnant::query::{PassesPlan, QueryPlan, RoundKind, SnapshotStore, StoreError};
+
+    let Some(dir) = &config.spill_dir else {
+        eprintln!("repro: 'query' needs --spill-dir DIR (a directory left by a --spill-dir run)");
+        return usage();
+    };
+    let store = match SnapshotStore::open(dir) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!(
+                "repro: cannot open snapshot store at '{}': {e}",
+                dir.display()
+            );
+            if let StoreError::MissingRound { .. } = e {
+                eprintln!(
+                    "repro: the round sequence has a hole (interrupted campaign?); \
+                     re-run the collection to repair the directory"
+                );
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let deltas = store
+        .rounds()
+        .filter(|m| m.kind == RoundKind::Delta)
+        .count();
+    let reused: usize = store
+        .query()
+        .generation_diff()
+        .iter()
+        .map(|d| d.clean)
+        .sum();
+    eprintln!(
+        "store: {} rounds ({} delta) over {} sites, {} shards, {} shard-rounds chained",
+        store.len(),
+        deltas,
+        store.sites(),
+        store.shard_count(),
+        reused,
+    );
+
+    // Scale rendered counts by the campaign's own population.
+    let config = ReproConfig {
+        population: store.sites(),
+        ..config.clone()
+    };
+    let aggregates = PassesPlan.execute(&store);
+    println!("{}", render_fig2_adoption(&config, &aggregates.adoption));
+    println!("{}", render_fig3_behaviors(&config, &aggregates.behaviors));
+    println!("{}", render_fig4_behaviors(&aggregates.behaviors));
+    println!("{}", render_fig5_pauses(&aggregates.pauses));
+    println!("{}", render_fig6_adoption(&aggregates.adoption));
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut experiment = "all".to_owned();
     let mut config = ReproConfig::default();
@@ -230,6 +300,15 @@ fn main() -> ExitCode {
                 return usage();
             }
         }
+    }
+
+    // The query experiment reads an existing spill directory instead of
+    // running a study; it owns its own flag validation.
+    if experiment == "query" {
+        if metrics_path.is_some() {
+            eprintln!("repro: --metrics ignored for 'query' (no study runs)");
+        }
+        return query_experiment(&config);
     }
 
     // Experiments that do not need the full study.
@@ -313,7 +392,7 @@ fn main() -> ExitCode {
         world.traffic_stats().1
     );
     if config.collection_mode == CollectionMode::Delta {
-        let collection = &report.collection;
+        let collection = report.collection();
         eprintln!(
             "delta collection: {} rounds, {} site-rounds reused ({:.1}%), \
              {} re-resolved ({} via refresh stratum)",
@@ -327,7 +406,7 @@ fn main() -> ExitCode {
     eprintln!();
 
     if let Some(path) = &metrics_path {
-        if let Err(e) = std::fs::write(path, report.obs.to_json()) {
+        if let Err(e) = std::fs::write(path, report.obs().to_json()) {
             eprintln!("repro: cannot write metrics to '{path}': {e}");
             return ExitCode::FAILURE;
         }
@@ -343,7 +422,7 @@ fn main() -> ExitCode {
             "fig6" => Some(render_fig6(&report)),
             "fig7" => Some(render_fig7(&world)),
             "fig8" => Some(render_fig8(&report)),
-            "funnel" => Some(render_fig8_from_obs(&report.obs)),
+            "funnel" => Some(render_fig8_from_obs(report.obs())),
             "fig9" => Some(render_fig9(&config, &report)),
             "table5" => Some(render_table5(&config, &report)),
             "table6" => Some(render_table6(&config, &report)),

@@ -2,6 +2,13 @@
 //! evaluation from a [`StudyReport`], side by side with the published
 //! values.
 //!
+//! Every figure derivable from a sub-report has a `render_*_<subreport>`
+//! variant taking just that sub-report, so the live study's output and a
+//! query plan's output (an [`AdoptionReport`] from
+//! `remnant::query::AdoptionPlan`, say) render through the identical code
+//! path — the byte-identity the legacy-vs-query differential tests pin.
+//! The `StudyReport`-taking functions delegate to them.
+//!
 //! Counts depend on population size; each rendered count is accompanied by
 //! a value linearly rescaled to the paper's 1M-site universe so shapes can
 //! be compared directly (`EXPERIMENTS.md` records a full run).
@@ -11,13 +18,15 @@ pub mod perf;
 use std::path::PathBuf;
 
 use remnant::core::error::ConfigFieldError;
-use remnant::core::report::{percent, render_cdf, render_series, TextTable};
-use remnant::core::residual::FUNNEL_STAGES;
+use remnant::core::report::{percent, FigureBuilder, TextTable};
+use remnant::core::residual::ExposureTracker;
 use remnant::core::study::{
-    vantage_catchment, CollectionMode, PaperStudy, StudyConfig, StudyReport,
+    vantage_catchment, AdoptionReport, BehaviorReport, CollectionMode, PaperStudy, PauseReport,
+    ResidualReport, StudyConfig, StudyReport, UnchangedReport,
 };
 use remnant::core::{ObsReport, SpillConfig};
 use remnant::provider::{ProviderId, ReroutingMethod};
+use remnant::query::funnel_rows;
 use remnant::world::{BehaviorKind, World, WorldConfig};
 
 /// Parameters of one reproduction run.
@@ -234,11 +243,13 @@ pub fn render_table2() -> String {
     format!("TABLE II: DPS provider information\n{table}")
 }
 
-/// Fig 2: adoption breakdown per provider.
-pub fn render_fig2(config: &ReproConfig, report: &StudyReport) -> String {
+/// Fig 2 from the adoption sub-report alone — the live study's
+/// [`StudyReport::adoption`] and a query-layer `AdoptionPlan` output
+/// render identically through here.
+pub fn render_fig2_adoption(config: &ReproConfig, adoption: &AdoptionReport) -> String {
     let mut table = TextTable::new(["Provider", "Avg adopted/day", "Scaled to 1M", "Share"]);
-    let total: f64 = report.adoption.avg_by_provider.iter().map(|(_, n)| n).sum();
-    let mut rows: Vec<(ProviderId, f64)> = report.adoption.avg_by_provider.clone();
+    let total: f64 = adoption.avg_by_provider.iter().map(|(_, n)| n).sum();
+    let mut rows: Vec<(ProviderId, f64)> = adoption.avg_by_provider.clone();
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("counts are finite"));
     for (provider, count) in rows {
         table.row([
@@ -248,19 +259,29 @@ pub fn render_fig2(config: &ReproConfig, report: &StudyReport) -> String {
             percent(count / total.max(1.0)),
         ]);
     }
-    format!(
-        "FIG 2: DPS adoption breakdown (paper: 14.85% of 1M adopt; 38.98% of top 10k; \
-         Cloudflare dominates)\n\
-         measured: overall {} | top band {} | growth {} -> {}\n{table}",
-        percent(report.adoption.overall_rate),
-        percent(report.adoption.top_band_rate),
-        percent(report.adoption.first_day_rate),
-        percent(report.adoption.last_day_rate),
-    )
+    FigureBuilder::new()
+        .line(
+            "FIG 2: DPS adoption breakdown (paper: 14.85% of 1M adopt; 38.98% of top 10k; \
+             Cloudflare dominates)",
+        )
+        .line(format!(
+            "measured: overall {} | top band {} | growth {} -> {}",
+            percent(adoption.overall_rate),
+            percent(adoption.top_band_rate),
+            percent(adoption.first_day_rate),
+            percent(adoption.last_day_rate),
+        ))
+        .table(&table)
+        .finish()
 }
 
-/// Fig 3: daily behavior counts.
-pub fn render_fig3(config: &ReproConfig, report: &StudyReport) -> String {
+/// Fig 2: adoption breakdown per provider.
+pub fn render_fig2(config: &ReproConfig, report: &StudyReport) -> String {
+    render_fig2_adoption(config, report.adoption())
+}
+
+/// Fig 3 from the behavior sub-report alone (live study or `BehaviorPlan`).
+pub fn render_fig3_behaviors(config: &ReproConfig, behaviors: &BehaviorReport) -> String {
     let paper = [
         (BehaviorKind::Join, 195.0),
         (BehaviorKind::Leave, 145.0),
@@ -270,7 +291,7 @@ pub fn render_fig3(config: &ReproConfig, report: &StudyReport) -> String {
     ];
     let mut table = TextTable::new(["Behavior", "Avg/day", "Scaled to 1M", "Paper avg/day"]);
     for (kind, paper_avg) in paper {
-        let avg = report.behaviors.daily_average(kind);
+        let avg = behaviors.daily_average(kind);
         table.row([
             kind.to_string(),
             format!("{avg:.1}"),
@@ -278,56 +299,85 @@ pub fn render_fig3(config: &ReproConfig, report: &StudyReport) -> String {
             format!("{paper_avg:.0}"),
         ]);
     }
-    let mut out = format!("FIG 3: DPS behaviors per day\n{table}\n");
-    for (_, series) in &report.behaviors.series {
-        out.push_str(&render_series(series));
+    let mut figure = FigureBuilder::new()
+        .line("FIG 3: DPS behaviors per day")
+        .table(&table)
+        .blank();
+    for (_, series) in &behaviors.series {
+        figure = figure.series(series);
     }
-    out
+    figure.finish()
 }
 
-/// Fig 4: the FSM transition table plus the study's violation count.
-pub fn render_fig4(report: &StudyReport) -> String {
+/// Fig 3: daily behavior counts.
+pub fn render_fig3(config: &ReproConfig, report: &StudyReport) -> String {
+    render_fig3_behaviors(config, report.behaviors())
+}
+
+/// Fig 4 from the behavior sub-report alone (live study or `BehaviorPlan`).
+pub fn render_fig4_behaviors(behaviors: &BehaviorReport) -> String {
     let mut table = TextTable::new(["From", "Behavior", "To"]);
     for (from, kind, to) in remnant::core::fsm::transition_table() {
         table.row([from, kind.to_string(), to]);
     }
-    format!(
-        "FIG 4: DPS finite state machine (P1=Cloudflare, P2=Incapsula as exemplars)\n{table}\n\
-         observed behavior sequences violating the FSM: {}\n",
-        report.behaviors.fsm_violations
-    )
+    FigureBuilder::new()
+        .line("FIG 4: DPS finite state machine (P1=Cloudflare, P2=Incapsula as exemplars)")
+        .table(&table)
+        .blank()
+        .line(format!(
+            "observed behavior sequences violating the FSM: {}",
+            behaviors.fsm_violations
+        ))
+        .finish()
+}
+
+/// Fig 4: the FSM transition table plus the study's violation count.
+pub fn render_fig4(report: &StudyReport) -> String {
+    render_fig4_behaviors(report.behaviors())
+}
+
+/// Fig 5 from the pause sub-report alone (live study or `PausePlan`).
+pub fn render_fig5_pauses(pauses: &PauseReport) -> String {
+    FigureBuilder::new()
+        .line("FIG 5: CDF of pause periods (paper: <50% resume within a day; ~30% exceed 5 days)")
+        .cdf("Overall", &pauses.overall, 14)
+        .cdf("Cloudflare", &pauses.cloudflare, 14)
+        .cdf("Incapsula", &pauses.incapsula, 14)
+        .line(format!(
+            "measured: <=1 day {} | >5 days {}",
+            percent(pauses.overall.fraction_le(1.0)),
+            percent(pauses.overall.fraction_gt(5.0)),
+        ))
+        .finish()
 }
 
 /// Fig 5: pause-period CDFs.
 pub fn render_fig5(report: &StudyReport) -> String {
-    let mut out = String::from(
-        "FIG 5: CDF of pause periods (paper: <50% resume within a day; ~30% exceed 5 days)\n",
-    );
-    out.push_str(&render_cdf("Overall", &report.pauses.overall, 14));
-    out.push_str(&render_cdf("Cloudflare", &report.pauses.cloudflare, 14));
-    out.push_str(&render_cdf("Incapsula", &report.pauses.incapsula, 14));
-    out.push_str(&format!(
-        "measured: <=1 day {} | >5 days {}\n",
-        percent(report.pauses.overall.fraction_le(1.0)),
-        percent(report.pauses.overall.fraction_gt(5.0)),
-    ));
-    out
+    render_fig5_pauses(report.pauses())
 }
 
-/// Fig 6: Cloudflare rerouting split.
-pub fn render_fig6(report: &StudyReport) -> String {
+/// Fig 6 from the adoption sub-report alone (live study or `AdoptionPlan`).
+pub fn render_fig6_adoption(adoption: &AdoptionReport) -> String {
     let mut table = TextTable::new(["Rerouting", "Measured", "Paper"]);
     table.row([
         ReroutingMethod::Ns.to_string(),
-        percent(report.adoption.cloudflare_ns_share),
+        percent(adoption.cloudflare_ns_share),
         "89.95%".to_owned(),
     ]);
     table.row([
         ReroutingMethod::Cname.to_string(),
-        percent(report.adoption.cloudflare_cname_share),
+        percent(adoption.cloudflare_cname_share),
         "10.05%".to_owned(),
     ]);
-    format!("FIG 6: Cloudflare adoption breakdown by rerouting\n{table}")
+    FigureBuilder::new()
+        .line("FIG 6: Cloudflare adoption breakdown by rerouting")
+        .table(&table)
+        .finish()
+}
+
+/// Fig 6: Cloudflare rerouting split.
+pub fn render_fig6(report: &StudyReport) -> String {
+    render_fig6_adoption(report.adoption())
 }
 
 /// Fig 7: vantage-point catchment over the provider's anycast fleet.
@@ -346,8 +396,8 @@ pub fn render_fig7(world: &World) -> String {
     )
 }
 
-/// Fig 8: the filtering funnel of the final week.
-pub fn render_fig8(report: &StudyReport) -> String {
+/// Fig 8 from the residual sub-report alone.
+pub fn render_fig8_residual(residual: &ResidualReport) -> String {
     let mut table = TextTable::new([
         "Provider",
         "Retrieved",
@@ -356,8 +406,8 @@ pub fn render_fig8(report: &StudyReport) -> String {
         "Verified (HTML)",
     ]);
     for weekly in [
-        report.residual.cloudflare.weekly.last(),
-        report.residual.incapsula.weekly.last(),
+        residual.cloudflare.weekly.last(),
+        residual.incapsula.weekly.last(),
     ]
     .into_iter()
     .flatten()
@@ -370,30 +420,25 @@ pub fn render_fig8(report: &StudyReport) -> String {
             weekly.verified.len().to_string(),
         ]);
     }
-    format!("FIG 8: filtering procedure (final week's funnel)\n{table}")
+    FigureBuilder::new()
+        .line("FIG 8: filtering procedure (final week's funnel)")
+        .table(&table)
+        .finish()
+}
+
+/// Fig 8: the filtering funnel of the final week.
+pub fn render_fig8(report: &StudyReport) -> String {
+    render_fig8_residual(report.residual())
 }
 
 /// Fig 8 rebuilt from the recorded metrics alone.
 ///
-/// The funnel is reconstructed purely from the `filter.*` counters in an
-/// [`ObsReport`] — no `WeeklyScanReport` is consulted — so the attrition
-/// table is reproducible from a `repro --metrics out.json` snapshot long
-/// after the run. The table body is identical to [`render_fig8`]'s.
+/// The funnel is the query layer's [`funnel_rows`] fold over the
+/// `filter.*` counters in an [`ObsReport`] — no `WeeklyScanReport` is
+/// consulted — so the attrition table is reproducible from a
+/// `repro --metrics out.json` snapshot long after the run. The table body
+/// is identical to [`render_fig8`]'s.
 pub fn render_fig8_from_obs(obs: &ObsReport) -> String {
-    // Find each provider's final recorded week from the labels themselves.
-    let mut providers: Vec<(&str, u32)> = Vec::new();
-    for (key, _) in obs.counters_named(FUNNEL_STAGES[0]) {
-        let (Some(provider), Some(week)) = (key.label("provider"), key.label("week")) else {
-            continue;
-        };
-        let Ok(week) = week.parse::<u32>() else {
-            continue;
-        };
-        match providers.iter_mut().find(|(p, _)| *p == provider) {
-            Some(entry) => entry.1 = entry.1.max(week),
-            None => providers.push((provider, week)),
-        }
-    }
     let mut table = TextTable::new([
         "Provider",
         "Retrieved",
@@ -401,25 +446,25 @@ pub fn render_fig8_from_obs(obs: &ObsReport) -> String {
         "Hidden (A-matching)",
         "Verified (HTML)",
     ]);
-    for (provider, week) in providers {
-        let week = week.to_string();
-        let labels = [("provider", provider), ("week", week.as_str())];
-        let [retrieved, after_ip, hidden, verified] =
-            FUNNEL_STAGES.map(|stage| obs.counter(stage, &labels));
+    for row in funnel_rows(obs) {
         table.row([
-            provider.to_owned(),
-            retrieved.to_string(),
-            after_ip.to_string(),
-            hidden.to_string(),
-            verified.to_string(),
+            row.provider,
+            row.retrieved.to_string(),
+            row.after_ip_matching.to_string(),
+            row.hidden.to_string(),
+            row.verified.to_string(),
         ]);
     }
-    format!("FIG 8: filtering procedure (final week's funnel, rebuilt from metrics)\n{table}")
+    FigureBuilder::new()
+        .line("FIG 8: filtering procedure (final week's funnel, rebuilt from metrics)")
+        .table(&table)
+        .finish()
 }
 
-/// Fig 9: exposure observations across weeks.
-pub fn render_fig9(config: &ReproConfig, report: &StudyReport) -> String {
-    let cf = &report.residual.cloudflare.exposure;
+/// Fig 9 from the Cloudflare exposure tracker alone — the live study's
+/// tracker and a query-side `ExposureTracker::fold` over the persisted
+/// weekly reports render identically through here.
+pub fn render_fig9_exposure(config: &ReproConfig, cf: &ExposureTracker) -> String {
     let newly = cf.newly_exposed_per_week();
     let avg_new: f64 = if newly.len() > 1 {
         newly[1..].iter().sum::<usize>() as f64 / (newly.len() - 1) as f64
@@ -448,8 +493,13 @@ pub fn render_fig9(config: &ReproConfig, report: &StudyReport) -> String {
     )
 }
 
-/// Table V: origin-IP unchanged rates.
-pub fn render_table5(config: &ReproConfig, report: &StudyReport) -> String {
+/// Fig 9: exposure observations across weeks.
+pub fn render_fig9(config: &ReproConfig, report: &StudyReport) -> String {
+    render_fig9_exposure(config, &report.residual().cloudflare.exposure)
+}
+
+/// Table V from the unchanged sub-report alone.
+pub fn render_table5_unchanged(config: &ReproConfig, unchanged: &UnchangedReport) -> String {
     let paper: &[(ProviderId, f64)] = &[
         (ProviderId::Cloudflare, 0.595),
         (ProviderId::Akamai, 0.580),
@@ -472,7 +522,7 @@ pub fn render_table5(config: &ReproConfig, report: &StudyReport) -> String {
         "Paper %",
     ]);
     for (provider, paper_rate) in paper {
-        let row = report.unchanged.rows.iter().find(|(p, ..)| p == provider);
+        let row = unchanged.rows.iter().find(|(p, ..)| p == provider);
         let (events, unchanged, rate) = row.map_or((0, 0, f64::NAN), |(_, e, u, r)| (*e, *u, *r));
         table.row([
             provider.to_string(),
@@ -487,7 +537,7 @@ pub fn render_table5(config: &ReproConfig, report: &StudyReport) -> String {
             percent(*paper_rate),
         ]);
     }
-    let total = report.unchanged.total;
+    let total = unchanged.total;
     table.row([
         "Total".to_owned(),
         total.events.to_string(),
@@ -499,8 +549,13 @@ pub fn render_table5(config: &ReproConfig, report: &StudyReport) -> String {
     format!("TABLE V: origin IP unchanged rate after JOIN/RESUME\n{table}")
 }
 
-/// Table VI: residual resolution in the wild.
-pub fn render_table6(config: &ReproConfig, report: &StudyReport) -> String {
+/// Table V: origin-IP unchanged rates.
+pub fn render_table5(config: &ReproConfig, report: &StudyReport) -> String {
+    render_table5_unchanged(config, report.unchanged())
+}
+
+/// Table VI from the residual sub-report alone.
+pub fn render_table6_residual(config: &ReproConfig, residual: &ResidualReport) -> String {
     let mut table = TextTable::new([
         "Scan",
         "Hidden",
@@ -509,7 +564,7 @@ pub fn render_table6(config: &ReproConfig, report: &StudyReport) -> String {
         "Measured %",
         "Paper",
     ]);
-    let cf = &report.residual.cloudflare.exposure;
+    let cf = &residual.cloudflare.exposure;
     for (week, (hidden, verified, pct)) in cf.weekly_rows().iter().enumerate() {
         table.row([
             format!("Cloudflare week {}", week + 1),
@@ -528,7 +583,7 @@ pub fn render_table6(config: &ReproConfig, report: &StudyReport) -> String {
         percent(cf.total_verified_rate().unwrap_or(0.0)),
         "3,504 hidden, 24.8%".to_owned(),
     ]);
-    let inc = &report.residual.incapsula.exposure;
+    let inc = &residual.incapsula.exposure;
     table.row([
         "Incapsula TOTAL".to_owned(),
         inc.total_hidden().to_string(),
@@ -540,8 +595,13 @@ pub fn render_table6(config: &ReproConfig, report: &StudyReport) -> String {
     format!(
         "TABLE VI: residual resolution in the wild\n\
          (fleet harvested: {} nameservers; paper: 391. tokens harvested: {})\n{table}",
-        report.residual.fleet_size, report.residual.harvested_tokens
+        residual.fleet_size, residual.harvested_tokens
     )
+}
+
+/// Table VI: residual resolution in the wild.
+pub fn render_table6(config: &ReproConfig, report: &StudyReport) -> String {
+    render_table6_residual(config, report.residual())
 }
 
 /// Fig 1: the end-to-end threat model demo (delegates to the attack crate).
@@ -884,7 +944,7 @@ mod tests {
     fn fig8_is_reproducible_from_metrics_alone() {
         let (_, _, report) = tiny();
         let from_report = render_fig8(&report);
-        let from_obs = render_fig8_from_obs(&report.obs);
+        let from_obs = render_fig8_from_obs(report.obs());
         // Same table body: only the title line differs.
         let body = |s: &str| s.split_once('\n').map(|(_, rest)| rest.to_owned()).unwrap();
         assert_eq!(body(&from_obs), body(&from_report));

@@ -78,29 +78,29 @@ fn assert_equivalent(workers: usize) {
     // the event journal all ride on virtual time and shard-ordered merges,
     // and the delta reuse counters deliberately live outside it.
     assert_eq!(
-        full.obs.to_json(),
-        delta.obs.to_json(),
+        full.obs().to_json(),
+        delta.obs().to_json(),
         "ObsReport JSON must be byte-identical across collection modes"
     );
     // The deterministic engine counters agree too (wall times may not).
-    assert_eq!(full.engine.sweeps, delta.engine.sweeps);
-    assert_eq!(full.engine.shards, delta.engine.shards);
-    assert_eq!(full.engine.queries, delta.engine.queries);
-    assert_eq!(full.engine.attempts, delta.engine.attempts);
-    assert_eq!(full.engine.cache_hits, delta.engine.cache_hits);
-    assert_eq!(full.engine.cache_misses, delta.engine.cache_misses);
+    assert_eq!(full.engine().sweeps, delta.engine().sweeps);
+    assert_eq!(full.engine().shards, delta.engine().shards);
+    assert_eq!(full.engine().queries, delta.engine().queries);
+    assert_eq!(full.engine().attempts, delta.engine().attempts);
+    assert_eq!(full.engine().cache_hits, delta.engine().cache_hits);
+    assert_eq!(full.engine().cache_misses, delta.engine().cache_misses);
 
     // And the run was genuinely incremental, not a fallback to full.
     let days = u64::from(WEEKS) * 7;
-    assert_eq!(delta.collection.rounds, days);
+    assert_eq!(delta.collection().rounds, days);
     assert_eq!(
-        delta.collection.reused + delta.collection.reresolved,
+        delta.collection().reused + delta.collection().reresolved,
         days * POPULATION as u64
     );
     assert!(
-        delta.collection.reuse_rate() > 0.5,
+        delta.collection().reuse_rate() > 0.5,
         "expected most site-rounds reused, got {:.1}%",
-        delta.collection.reuse_rate() * 100.0
+        delta.collection().reuse_rate() * 100.0
     );
 }
 

@@ -46,40 +46,40 @@ fn study_is_worker_count_invariant() {
     let (world8, report8) = run_study(&parallel_config);
 
     // The structured reports match field for field...
-    assert_eq!(report1.adoption, report8.adoption);
+    assert_eq!(report1.adoption(), report8.adoption());
     assert_eq!(
-        report1.residual.cloudflare.weekly,
-        report8.residual.cloudflare.weekly
+        report1.residual().cloudflare.weekly,
+        report8.residual().cloudflare.weekly
     );
     assert_eq!(
-        report1.residual.incapsula.weekly,
-        report8.residual.incapsula.weekly
+        report1.residual().incapsula.weekly,
+        report8.residual().incapsula.weekly
     );
-    assert_eq!(report1.residual.fleet_size, report8.residual.fleet_size);
+    assert_eq!(report1.residual().fleet_size, report8.residual().fleet_size);
     assert_eq!(
-        report1.residual.harvested_tokens,
-        report8.residual.harvested_tokens
+        report1.residual().harvested_tokens,
+        report8.residual().harvested_tokens
     );
-    assert_eq!(report1.unchanged.rows, report8.unchanged.rows);
+    assert_eq!(report1.unchanged().rows, report8.unchanged().rows);
     assert_eq!(
-        report1.behaviors.interval_hours,
-        report8.behaviors.interval_hours
+        report1.behaviors().interval_hours,
+        report8.behaviors().interval_hours
     );
     assert_eq!(
-        report1.behaviors.fsm_violations,
-        report8.behaviors.fsm_violations
+        report1.behaviors().fsm_violations,
+        report8.behaviors().fsm_violations
     );
 
     // ...the deterministic engine counters match (only wall times may
     // differ)...
-    assert_eq!(report1.engine.sweeps, report8.engine.sweeps);
-    assert_eq!(report1.engine.shards, report8.engine.shards);
-    assert_eq!(report1.engine.queries, report8.engine.queries);
-    assert_eq!(report1.engine.attempts, report8.engine.attempts);
-    assert_eq!(report1.engine.retries, report8.engine.retries);
-    assert_eq!(report1.engine.exhausted, report8.engine.exhausted);
-    assert_eq!(report1.engine.workers, 1);
-    assert_eq!(report8.engine.workers, 8);
+    assert_eq!(report1.engine().sweeps, report8.engine().sweeps);
+    assert_eq!(report1.engine().shards, report8.engine().shards);
+    assert_eq!(report1.engine().queries, report8.engine().queries);
+    assert_eq!(report1.engine().attempts, report8.engine().attempts);
+    assert_eq!(report1.engine().retries, report8.engine().retries);
+    assert_eq!(report1.engine().exhausted, report8.engine().exhausted);
+    assert_eq!(report1.engine().workers, 1);
+    assert_eq!(report8.engine().workers, 8);
 
     // ...the worlds saw identical query volume...
     assert_eq!(world1.traffic_stats(), world8.traffic_stats());
@@ -95,15 +95,15 @@ fn study_is_worker_count_invariant() {
     // merges, so the exported JSON is byte-identical too (`repro
     // --metrics out.json` is reproducible at any worker count).
     assert_eq!(
-        report1.obs.to_json(),
-        report8.obs.to_json(),
+        report1.obs().to_json(),
+        report8.obs().to_json(),
         "ObsReport must not vary with worker count"
     );
     // And the Fig 8 funnel rebuilt from those metrics alone matches the
     // funnel rendered from the structured report.
     let body = |s: &str| s.split_once('\n').map(|(_, t)| t.to_owned()).unwrap();
     assert_eq!(
-        body(&render_fig8_from_obs(&report1.obs)),
+        body(&render_fig8_from_obs(report1.obs())),
         body(&render_fig8(&report1))
     );
 }

@@ -99,17 +99,17 @@ fn assert_equivalent(mode: CollectionMode, workers: usize, tag: &str) {
     // The observability snapshot, byte for byte: spilling is a memory-
     // placement decision and must be invisible to the study's telemetry.
     assert_eq!(
-        mem.obs.to_json(),
-        spilled.obs.to_json(),
+        mem.obs().to_json(),
+        spilled.obs().to_json(),
         "ObsReport JSON must be byte-identical across memory modes"
     );
     // The deterministic engine counters agree too (wall times may not).
-    assert_eq!(mem.engine.sweeps, spilled.engine.sweeps);
-    assert_eq!(mem.engine.shards, spilled.engine.shards);
-    assert_eq!(mem.engine.queries, spilled.engine.queries);
-    assert_eq!(mem.engine.attempts, spilled.engine.attempts);
-    assert_eq!(mem.engine.cache_hits, spilled.engine.cache_hits);
-    assert_eq!(mem.engine.cache_misses, spilled.engine.cache_misses);
+    assert_eq!(mem.engine().sweeps, spilled.engine().sweeps);
+    assert_eq!(mem.engine().shards, spilled.engine().shards);
+    assert_eq!(mem.engine().queries, spilled.engine().queries);
+    assert_eq!(mem.engine().attempts, spilled.engine().attempts);
+    assert_eq!(mem.engine().cache_hits, spilled.engine().cache_hits);
+    assert_eq!(mem.engine().cache_misses, spilled.engine().cache_misses);
 }
 
 #[test]

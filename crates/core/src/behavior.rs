@@ -93,11 +93,20 @@ impl BehaviorDetector {
 /// (Cedexis-style). The paper excludes such sites from behavior
 /// identification because the balancer's dynamic CDN selection makes
 /// usage behaviors unidentifiable (Sec IV-B.3).
+///
+/// The analysis passes walk snapshots column-wise and use
+/// [`is_multi_cdn_view`] directly; this owned-records variant remains as
+/// a shim for callers holding a materialized [`crate::SiteRecords`].
+#[deprecated(
+    since = "0.7.0",
+    note = "use `is_multi_cdn_view` over borrowed columns"
+)]
 pub fn is_multi_cdn(records: &crate::snapshot::SiteRecords) -> bool {
     is_multi_cdn_view(records.view())
 }
 
-/// [`is_multi_cdn`] over borrowed snapshot columns.
+/// `is_multi_cdn` over borrowed snapshot columns: the multi-CDN filter
+/// applied by the shared snapshot fold (Sec IV-B.3).
 pub fn is_multi_cdn_view(site: crate::snapshot::SiteView<'_>) -> bool {
     site.cnames
         .iter()
@@ -197,6 +206,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn multi_cdn_fingerprint_detection() {
         use crate::snapshot::SiteRecords;
         let balanced = SiteRecords {

@@ -41,7 +41,7 @@
 //! let mut world = World::generate(WorldConfig::small(7));
 //! let report = PaperStudy::new(StudyConfig { weeks: 1, ..StudyConfig::default() })
 //!     .run(&mut world);
-//! assert!(report.adoption.total_sites > 0);
+//! assert!(report.adoption().total_sites > 0);
 //! ```
 
 pub mod adoption;
@@ -50,6 +50,7 @@ pub mod collector;
 pub mod error;
 pub mod fsm;
 pub mod matchers;
+pub mod passes;
 pub mod pause;
 pub mod report;
 pub mod residual;
@@ -66,13 +67,15 @@ pub use behavior::{BehaviorDetector, ObservedBehavior};
 pub use collector::{DeltaCollector, DeltaRound, RecordCollector, DEFAULT_REFRESH_STRATA};
 pub use error::{ConfigFieldError, CoreError};
 pub use matchers::ProviderMatcher;
+pub use passes::{SnapshotAggregates, SnapshotPasses};
 pub use remnant_obs::{Instrumented, MetricsRegistry, Obs, ObsReport};
 pub use snapshot::{
     DnsSnapshot, LoadedBlock, RecordBlock, SiteRecords, SiteView, SnapshotDecodeError,
     SnapshotDecodeErrorKind, DEFAULT_BLOCK_SIZE,
 };
-pub use spill::{SpillConfig, SpillError};
+pub use spill::{SpillConfig, SpillError, SpillFile, SpillMeta, SpillRef};
 pub use study::{CollectionMode, CollectionReport, PaperStudy, StudyConfig, StudyReport};
+pub use unchanged::UnchangedCandidate;
 pub use verify::{HtmlVerifier, VerifyOutcome};
 
 /// The scanner's own source address (a measurement host outside every

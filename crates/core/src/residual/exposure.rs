@@ -17,7 +17,25 @@ impl ExposureTracker {
         ExposureTracker::default()
     }
 
+    /// Folds a sequence of weekly reports (in week order) into a tracker.
+    ///
+    /// This is the query-layer shape of the exposure analysis: a pure
+    /// deterministic fold over the weekly scan outputs, usable both by
+    /// the live study and by a replay from persisted campaign data.
+    pub fn fold<'a>(reports: impl IntoIterator<Item = &'a WeeklyScanReport>) -> Self {
+        let mut tracker = ExposureTracker::new();
+        for report in reports {
+            #[allow(deprecated)]
+            tracker.push(report);
+        }
+        tracker
+    }
+
     /// Feeds one weekly report (in week order).
+    #[deprecated(
+        since = "0.7.0",
+        note = "build the tracker in one pass with `ExposureTracker::fold`"
+    )]
     pub fn push(&mut self, report: &WeeklyScanReport) {
         let hidden = report.hidden.iter().map(|h| h.rank).collect();
         let verified = report.verified.iter().copied().collect();
@@ -145,11 +163,12 @@ mod tests {
     }
 
     fn tracker(weeks: &[(&[usize], &[usize])]) -> ExposureTracker {
-        let mut t = ExposureTracker::new();
-        for (i, (hidden, verified)) in weeks.iter().enumerate() {
-            t.push(&report(i as u32, hidden, verified));
-        }
-        t
+        let reports: Vec<WeeklyScanReport> = weeks
+            .iter()
+            .enumerate()
+            .map(|(i, (hidden, verified))| report(i as u32, hidden, verified))
+            .collect();
+        ExposureTracker::fold(&reports)
     }
 
     #[test]

@@ -579,7 +579,7 @@ fn decode_site_line(
 /// Push owned records site by site ([`SnapshotBuilder::push`], packed into
 /// `block_size` blocks), whole shared blocks
 /// ([`SnapshotBuilder::push_block`]), or on-disk frames
-/// (`push_spilled`, crate-internal). Mixing is allowed as long as each
+/// ([`SnapshotBuilder::push_spilled`]). Mixing is allowed as long as each
 /// block push happens on a block boundary.
 #[derive(Debug)]
 pub struct SnapshotBuilder {
@@ -617,10 +617,14 @@ impl SnapshotBuilder {
 
     /// Appends a spilled block by reference (no load).
     ///
+    /// This is how a snapshot is rebuilt from persisted spill files: one
+    /// [`SpillRef`] per shard, in shard order, reproduces the collector's
+    /// block layout exactly (and therefore the byte-identical encodings).
+    ///
     /// # Panics
     ///
     /// Panics if called mid-block, like [`SnapshotBuilder::push_block`].
-    pub(crate) fn push_spilled(&mut self, spill: SpillRef) {
+    pub fn push_spilled(&mut self, spill: SpillRef) {
         assert!(
             self.pending.is_empty(),
             "push_spilled on a partially filled block"

@@ -617,6 +617,48 @@ impl SpillFile {
             .map_err(io_err("reading spill frame"))?;
         Ok(buf)
     }
+
+    /// One [`SpillRef`] per frame in the file, in ascending shard order.
+    ///
+    /// Only each frame's preamble (shard index and site count) is read;
+    /// the record columns stay on disk until [`SpillRef::load`]. This is
+    /// how a reader (e.g. a snapshot store) re-chains a directory of
+    /// rounds without pulling whole files into memory.
+    pub fn refs(self: &Arc<Self>) -> Result<Vec<SpillRef>, SpillError> {
+        let index = self.index()?;
+        let mut refs = Vec::with_capacity(index.len());
+        for (shard, (offset, len)) in index {
+            if shard >= self.meta.shard_count {
+                return Err(SpillError::ShardOutOfRange {
+                    shard,
+                    count: self.meta.shard_count,
+                });
+            }
+            if len < 12 {
+                return Err(SpillError::Truncated {
+                    section: "frame preamble",
+                });
+            }
+            let preamble = self.read_at(offset, 12)?;
+            let mut reader = Reader::new(&preamble);
+            let _frame_len = reader.u32("frame length")?;
+            let frame_shard = reader.u32("frame shard index")?;
+            let sites = reader.u32("frame site count")?;
+            if frame_shard != shard {
+                return Err(SpillError::CorruptFrame {
+                    reason: "frame shard disagrees with index",
+                });
+            }
+            refs.push(SpillRef {
+                file: Arc::clone(self),
+                shard,
+                offset,
+                len,
+                sites,
+            });
+        }
+        Ok(refs)
+    }
 }
 
 /// A reference to one shard's frame inside a [`SpillFile`]: everything a
@@ -652,6 +694,12 @@ impl SpillRef {
     /// The shard index the frame was written as.
     pub fn shard(&self) -> usize {
         self.shard as usize
+    }
+
+    /// Path of the spill file holding the frame — with delta spills,
+    /// refs in one round's chain can point at several earlier files.
+    pub fn file_path(&self) -> &Path {
+        &self.file.path
     }
 
     /// Reads and decodes the referenced frame.

@@ -18,21 +18,18 @@ use rand::{Rng, SeedableRng};
 use remnant_engine::{EngineConfig, ScanEngine, SweepStats};
 use remnant_net::Region;
 use remnant_obs::{Instrumented, MetricKey, Obs, ObsReport, Span, TRANSPORT_SENT};
-use remnant_provider::{ProviderId, ReroutingMethod};
+use remnant_provider::ProviderId;
 use remnant_sim::stats::{Ecdf, Series};
 use remnant_world::{BehaviorKind, World};
 
-use crate::adoption::{Adoption, DpsStatus};
-use crate::behavior::BehaviorDetector;
 use crate::collector::{DeltaCollector, DeltaRound, RecordCollector, Target};
 use crate::error::ConfigFieldError;
-use crate::fsm::{self, DpsState};
-use crate::pause::PauseTracker;
+use crate::passes::SnapshotPasses;
 use crate::residual::{
     CloudflareScanner, ExposureTracker, FilterPipeline, IncapsulaScanner, WeeklyScanReport,
 };
 use crate::spill::SpillConfig;
-use crate::unchanged::{UnchangedStudy, UnchangedTally};
+use crate::unchanged::{self, UnchangedStudy, UnchangedTally};
 use crate::SCANNER_SOURCE;
 
 /// How the daily collection rounds resolve the target list.
@@ -255,7 +252,9 @@ pub struct AdoptionReport {
 pub struct BehaviorReport {
     /// Daily observed counts per behavior (x = day index).
     pub series: Vec<(BehaviorKind, Series)>,
-    /// Hours between consecutive experiments.
+    /// Hours between consecutive experiments, recovered from consecutive
+    /// snapshots' `taken_at` instants (rounds − 1 entries), so a replay
+    /// from persisted rounds reconstructs the same values.
     pub interval_hours: Vec<u64>,
     /// Observed behaviors that violated the Fig 4 FSM (expected 0).
     pub fsm_violations: usize,
@@ -456,28 +455,78 @@ impl Instrumented for CollectionReport {
 }
 
 /// Everything the evaluation section reports.
+///
+/// Consumers read the sub-reports through the typed accessors below
+/// ([`adoption`](StudyReport::adoption), [`residual`](StudyReport::residual),
+/// …), which return borrowed views — the same convention the
+/// [`Instrumented`] trait uses for counters. The fields themselves are
+/// crate-internal: the study driver and the query layer's equivalence
+/// tests fill them in, everyone else only reads.
 #[derive(Clone, Debug, Default)]
 pub struct StudyReport {
     /// Fig 2 / Fig 6.
-    pub adoption: AdoptionReport,
+    pub(crate) adoption: AdoptionReport,
     /// Fig 3 / Fig 4.
-    pub behaviors: BehaviorReport,
+    pub(crate) behaviors: BehaviorReport,
     /// Fig 5.
-    pub pauses: PauseReport,
+    pub(crate) pauses: PauseReport,
     /// Table V.
-    pub unchanged: UnchangedReport,
+    pub(crate) unchanged: UnchangedReport,
     /// Table VI, Fig 8, Fig 9.
-    pub residual: ResidualReport,
+    pub(crate) residual: ResidualReport,
+    /// Sweep-engine counters.
+    pub(crate) engine: EngineReport,
+    /// Collection-mode reuse accounting.
+    pub(crate) collection: CollectionReport,
+    /// The deterministic observability snapshot.
+    pub(crate) obs: ObsReport,
+}
+
+impl StudyReport {
+    /// Fig 2 / Fig 6: adoption averaged over daily observations.
+    pub fn adoption(&self) -> &AdoptionReport {
+        &self.adoption
+    }
+
+    /// Fig 3 / Fig 4: behavior series, intervals and FSM validation.
+    pub fn behaviors(&self) -> &BehaviorReport {
+        &self.behaviors
+    }
+
+    /// Fig 5: pause-window ECDFs.
+    pub fn pauses(&self) -> &PauseReport {
+        &self.pauses
+    }
+
+    /// Table V: the unchanged-origin tallies.
+    pub fn unchanged(&self) -> &UnchangedReport {
+        &self.unchanged
+    }
+
+    /// Table VI, Fig 8, Fig 9: the residual-resolution case studies.
+    pub fn residual(&self) -> &ResidualReport {
+        &self.residual
+    }
+
     /// Sweep-engine counters (not part of any paper figure; excluded from
     /// rendered output because its wall times vary run to run).
-    pub engine: EngineReport,
+    pub fn engine(&self) -> &EngineReport {
+        &self.engine
+    }
+
     /// Collection-mode reuse accounting (not part of any paper figure;
-    /// kept out of `obs` because it differs between modes by design).
-    pub collection: CollectionReport,
+    /// kept out of [`obs`](StudyReport::obs) because it differs between
+    /// modes by design).
+    pub fn collection(&self) -> &CollectionReport {
+        &self.collection
+    }
+
     /// The deterministic observability snapshot: every counter, histogram
     /// and journal event recorded during the run, on virtual time only —
     /// byte-identical JSON for every worker count.
-    pub obs: ObsReport,
+    pub fn obs(&self) -> &ObsReport {
+        &self.obs
+    }
 }
 
 /// The driver (see module docs).
@@ -519,7 +568,6 @@ impl PaperStudy {
             .map(|s| (s.apex.clone(), s.www.clone()))
             .collect();
         let days = self.config.weeks * 7;
-        let top_band = (targets.len() / 100).max(1);
         let mut jitter = StdRng::seed_from_u64(self.config.seed);
         let engine = ScanEngine::new(EngineConfig::with_workers(
             self.config.workers,
@@ -537,8 +585,7 @@ impl PaperStudy {
                 self.config.seed,
             )),
         };
-        let detector = BehaviorDetector::new();
-        let mut pause_tracker = PauseTracker::new();
+        let mut passes = SnapshotPasses::new(targets.len());
         let mut unchanged = UnchangedStudy::new(SCANNER_SOURCE);
         let mut cf_scanner = CloudflareScanner::new(world.clock(), "cloudflare");
         let mut inc_scanner = IncapsulaScanner::new(world.clock(), "incapdns");
@@ -556,22 +603,7 @@ impl PaperStudy {
 
         let mut report = StudyReport::default();
         report.collection.mode = self.config.collection_mode;
-        let mut behavior_series: Vec<(BehaviorKind, Series)> = BehaviorKind::ALL
-            .into_iter()
-            .map(|k| (k, Series::new(k.to_string())))
-            .collect();
-
-        let mut adoption_sum_by_provider: Vec<(ProviderId, f64)> =
-            ProviderId::ALL.into_iter().map(|p| (p, 0.0)).collect();
-        let mut overall_rate_sum = 0.0;
-        let mut top_band_rate_sum = 0.0;
-        let mut cf_ns_sum = 0u64;
-        let mut cf_cname_sum = 0u64;
-
-        let mut prev_snapshot = None;
-        let mut prev_classes: Option<Vec<Adoption>> = None;
-        let mut fsm_states: Vec<DpsState> = Vec::new();
-        let mut multi_cdn: Vec<bool> = vec![false; targets.len()];
+        let mut prev_snapshot: Option<crate::DnsSnapshot> = None;
 
         for day in 0..days {
             let day_span = Span::enter(&obs, "study.day");
@@ -596,79 +628,20 @@ impl PaperStudy {
                 ),
             );
             report.engine.absorb(&sweep);
-            let classes = detector.classify_snapshot(&snapshot);
-            // Multi-CDN front-ends are identified by their balancer CNAMEs
-            // and excluded from behavior analysis (Sec IV-B.3).
-            for loaded in snapshot.blocks() {
-                for (i, site) in loaded.block.sites().enumerate() {
-                    if crate::behavior::is_multi_cdn_view(site) {
-                        multi_cdn[loaded.base_rank + i] = true;
-                    }
-                }
-            }
 
-            // Adoption accumulation (Fig 2 / Fig 6).
-            let adopted = classes.iter().filter(|c| c.is_adopted()).count();
-            let rate = adopted as f64 / targets.len() as f64;
-            overall_rate_sum += rate;
-            if day == 0 {
-                report.adoption.first_day_rate = rate;
-                fsm_states = classes.iter().map(adoption_to_state).collect();
-            }
-            if day == days - 1 {
-                report.adoption.last_day_rate = rate;
-            }
-            let top_adopted = classes[..top_band]
-                .iter()
-                .filter(|c| c.is_adopted())
-                .count();
-            top_band_rate_sum += top_adopted as f64 / top_band as f64;
-            for class in &classes {
-                if let Some(provider) = class.provider {
-                    let slot = &mut adoption_sum_by_provider[provider.index()];
-                    debug_assert_eq!(slot.0, provider);
-                    slot.1 += 1.0;
-                    if provider == ProviderId::Cloudflare && class.status == DpsStatus::On {
-                        match class.rerouting {
-                            Some(ReroutingMethod::Ns) => cf_ns_sum += 1,
-                            Some(ReroutingMethod::Cname) => cf_cname_sum += 1,
-                            _ => {}
-                        }
-                    }
-                }
-            }
+            // The snapshot-derived passes — adoption (Fig 2 / Fig 6),
+            // behaviors (Fig 3), FSM validation (Fig 4), pause windows
+            // (Fig 5) — run as one shared fold, the same fold the
+            // remnant-query crate replays over persisted rounds.
+            let behaviors = passes.observe(day, &snapshot);
 
-            // Pause windows (Fig 5).
-            pause_tracker.observe(snapshot.taken_at, &classes);
-
-            // Behaviors (Fig 3, Table IV) + unchanged study (Table V) +
-            // FSM validation (Fig 4).
-            if let (Some(prev_snap), Some(prev)) = (&prev_snapshot, &prev_classes) {
-                let mut behaviors = detector.diff(prev, &classes);
-                behaviors.retain(|b| !multi_cdn[b.rank]);
-                for (kind, series) in &mut behavior_series {
-                    let count = behaviors.iter().filter(|b| b.kind == *kind).count();
-                    series.push(f64::from(day), count as f64);
-                }
+            // The unchanged study (Table V) is the one behavior consumer
+            // that needs a live transport: candidate extraction is pure,
+            // the verification fetch is not.
+            if let Some(prev_snap) = &prev_snapshot {
+                let candidates = unchanged::candidates(&targets, &behaviors, prev_snap, &snapshot);
                 let now = world.now();
-                unchanged.observe(world, now, &targets, &behaviors, prev_snap, &snapshot);
-                for behavior in &behaviors {
-                    match fsm::apply(fsm_states[behavior.rank], behavior.kind, behavior.to) {
-                        Ok(next) => fsm_states[behavior.rank] = next,
-                        Err(_) => {
-                            report.behaviors.fsm_violations += 1;
-                            fsm_states[behavior.rank] = adoption_to_state(&classes[behavior.rank]);
-                        }
-                    }
-                }
-                // Re-anchor paused observations the FSM optimistically set
-                // to ON (the paper's "joins start ON" assumption).
-                for behavior in &behaviors {
-                    let observed = adoption_to_state(&classes[behavior.rank]);
-                    if fsm_states[behavior.rank].provider() == observed.provider() {
-                        fsm_states[behavior.rank] = observed;
-                    }
-                }
+                unchanged.observe_candidates(world, now, &candidates);
             }
 
             // Residual-resolution harvesting runs daily, scans weekly.
@@ -687,7 +660,6 @@ impl PaperStudy {
                 let weekly = pipeline.run(world, ProviderId::Cloudflare, week, &raw, &targets);
                 note_filter_verdict(&mut obs, &weekly);
                 note_exposure_windows(&mut obs, &weekly, &mut exposed_cf);
-                report.residual.cloudflare.exposure.push(&weekly);
                 report.residual.cloudflare.weekly.push(weekly);
 
                 let (raw, sweep) = inc_scanner.scan_with(&engine, world);
@@ -700,12 +672,10 @@ impl PaperStudy {
                 let weekly = pipeline.run(world, ProviderId::Incapsula, week, &raw, &targets);
                 note_filter_verdict(&mut obs, &weekly);
                 note_exposure_windows(&mut obs, &weekly, &mut exposed_inc);
-                report.residual.incapsula.exposure.push(&weekly);
                 report.residual.incapsula.weekly.push(weekly);
             }
 
             prev_snapshot = Some(snapshot);
-            prev_classes = Some(classes);
 
             // Advance to the next experiment.
             let interval = if self.config.uneven_intervals {
@@ -713,35 +683,24 @@ impl PaperStudy {
             } else {
                 24
             };
-            report.behaviors.interval_hours.push(interval);
             world.step_hours(interval);
             day_span.exit(&mut obs);
         }
 
-        // Finalize.
-        report.adoption.total_sites = targets.len();
-        report.adoption.days_observed = days;
-        report.adoption.overall_rate = overall_rate_sum / f64::from(days);
-        report.adoption.top_band_rate = top_band_rate_sum / f64::from(days);
-        report.adoption.avg_by_provider = adoption_sum_by_provider
-            .into_iter()
-            .map(|(p, sum)| (p, sum / f64::from(days)))
-            .collect();
-        let cf_total = (cf_ns_sum + cf_cname_sum).max(1) as f64;
-        report.adoption.cloudflare_ns_share = cf_ns_sum as f64 / cf_total;
-        report.adoption.cloudflare_cname_share = cf_cname_sum as f64 / cf_total;
-
-        report.behaviors.series = behavior_series;
-
-        report.pauses.overall = pause_tracker.cdf_overall();
-        report.pauses.cloudflare = pause_tracker.cdf_for(ProviderId::Cloudflare);
-        report.pauses.incapsula = pause_tracker.cdf_for(ProviderId::Incapsula);
+        // Finalize: take the snapshot-pass reports from the shared fold,
+        // then the transport-dependent aggregates.
+        let aggregates = passes.finish();
+        report.adoption = aggregates.adoption;
+        report.behaviors = aggregates.behaviors;
+        report.pauses = aggregates.pauses;
 
         report.unchanged.rows = unchanged.rows();
         report.unchanged.total = unchanged.total();
 
-        report.behaviors.multi_cdn_excluded = multi_cdn.iter().filter(|m| **m).count();
-
+        report.residual.cloudflare.exposure =
+            ExposureTracker::fold(&report.residual.cloudflare.weekly);
+        report.residual.incapsula.exposure =
+            ExposureTracker::fold(&report.residual.incapsula.weekly);
         report.residual.fleet_size = cf_scanner.fleet_size();
         report.residual.harvested_tokens = inc_scanner.harvested_count();
         report.engine.workers = self.config.workers.max(1);
@@ -854,15 +813,6 @@ fn note_exposure_windows(obs: &mut Obs, weekly: &WeeklyScanReport, exposed: &mut
     *exposed = verified;
 }
 
-/// Maps an observed classification to an FSM state.
-fn adoption_to_state(adoption: &Adoption) -> DpsState {
-    match (adoption.status, adoption.provider) {
-        (DpsStatus::On, Some(p)) => DpsState::On(p),
-        (DpsStatus::Off, Some(p)) => DpsState::Off(p),
-        _ => DpsState::None,
-    }
-}
-
 /// Fig 7: which provider PoP each vantage point lands on when querying the
 /// provider's first fleet nameserver.
 pub fn vantage_catchment(world: &World, provider: ProviderId) -> Vec<(Region, String)> {
@@ -923,7 +873,14 @@ mod tests {
         assert_eq!(report.residual.cloudflare.weekly.len(), 2);
         assert_eq!(report.residual.incapsula.weekly.len(), 2);
         assert!(report.residual.fleet_size > 0);
-        assert_eq!(report.behaviors.interval_hours.len(), 14);
+        // Rounds − 1 between-experiment intervals, each in the paper's
+        // 20–30h jitter band, recovered from the snapshots' timestamps.
+        assert_eq!(report.behaviors.interval_hours.len(), 13);
+        assert!(report
+            .behaviors
+            .interval_hours
+            .iter()
+            .all(|h| (20..=30).contains(h)));
 
         // The observability snapshot carries the study's telemetry.
         let obs = &report.obs;

@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
+use remnant_dns::DomainName;
 use remnant_http::HttpTransport;
 use remnant_provider::ProviderId;
 use remnant_sim::SimTime;
@@ -19,6 +20,61 @@ use crate::behavior::ObservedBehavior;
 use crate::collector::Target;
 use crate::snapshot::DnsSnapshot;
 use crate::verify::{HtmlVerifier, VerifyOutcome};
+
+/// One JOIN/RESUME event eligible for the Table V check: everything the
+/// verification fetch needs, detached from any live world.
+///
+/// Candidate extraction ([`candidates`]) is a pure function of two
+/// snapshots and the diffed behaviors, so the `remnant-query` crate can
+/// compute the same candidates from persisted rounds; only the
+/// verification step ([`UnchangedStudy::observe_candidates`]) needs a
+/// transport.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnchangedCandidate {
+    /// The site's rank in the target list.
+    pub rank: usize,
+    /// The provider joined or resumed.
+    pub provider: ProviderId,
+    /// The www host the verification fetch addresses.
+    pub host: DomainName,
+    /// IP1: the address the site resolved to before the action.
+    pub ip1: Ipv4Addr,
+    /// IP2: the address it resolves to after (a DPS edge).
+    pub ip2: Ipv4Addr,
+}
+
+/// Extracts the Table V candidates from one day's observed behaviors and
+/// the two snapshots that produced them.
+///
+/// SWITCH is deliberately excluded (Sec IV-C.3: switching does not
+/// require an address change but is covered by the residual study), as
+/// are events without a target provider or without addresses on both
+/// sides.
+pub fn candidates(
+    targets: &[Target],
+    behaviors: &[ObservedBehavior],
+    prev: &DnsSnapshot,
+    curr: &DnsSnapshot,
+) -> Vec<UnchangedCandidate> {
+    behaviors
+        .iter()
+        .filter(|b| matches!(b.kind, BehaviorKind::Join | BehaviorKind::Resume))
+        .filter_map(|behavior| {
+            let provider = behavior.to?;
+            let ip1 = prev
+                .site(behavior.rank)
+                .and_then(|r| r.a.first().copied())?;
+            let ip2 = curr.site(behavior.rank).and_then(|r| r.a.last().copied())?;
+            Some(UnchangedCandidate {
+                rank: behavior.rank,
+                provider,
+                host: targets[behavior.rank].1.clone(),
+                ip1,
+                ip2,
+            })
+        })
+        .collect()
+}
 
 /// Per-provider tally.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -55,8 +111,14 @@ impl UnchangedStudy {
     /// Examines one day's observed behaviors against the two snapshots
     /// that produced them.
     ///
-    /// SWITCH is deliberately excluded (Sec IV-C.3: switching does not
-    /// require an address change but is covered by the residual study).
+    /// This is the pre-query-layer entry point; it is now a thin shim
+    /// over [`candidates`] + [`observe_candidates`](Self::observe_candidates),
+    /// which separate the pure extraction (replayable from a persisted
+    /// `SnapshotStore`) from the transport-dependent verification.
+    #[deprecated(
+        since = "0.7.0",
+        note = "extract with `unchanged::candidates` and verify with `observe_candidates`"
+    )]
     pub fn observe<T: HttpTransport>(
         &mut self,
         transport: &mut T,
@@ -66,22 +128,27 @@ impl UnchangedStudy {
         prev: &DnsSnapshot,
         curr: &DnsSnapshot,
     ) {
-        for behavior in behaviors {
-            if !matches!(behavior.kind, BehaviorKind::Join | BehaviorKind::Resume) {
-                continue;
-            }
-            let Some(provider) = behavior.to else {
-                continue;
-            };
-            let Some(ip1) = prev.site(behavior.rank).and_then(|r| r.a.first().copied()) else {
-                continue;
-            };
-            let Some(ip2) = curr.site(behavior.rank).and_then(|r| r.a.last().copied()) else {
-                continue;
-            };
-            let host = targets[behavior.rank].1.as_str();
-            let outcome = self.verifier.verify(transport, now, host, ip2, ip1);
-            let tally = self.tallies.entry(provider).or_default();
+        let candidates = candidates(targets, behaviors, prev, curr);
+        self.observe_candidates(transport, now, &candidates);
+    }
+
+    /// Verifies each candidate's pre-action address against its post-action
+    /// edge and folds the outcome into the per-provider tallies.
+    pub fn observe_candidates<T: HttpTransport>(
+        &mut self,
+        transport: &mut T,
+        now: SimTime,
+        candidates: &[UnchangedCandidate],
+    ) {
+        for candidate in candidates {
+            let outcome = self.verifier.verify(
+                transport,
+                now,
+                candidate.host.as_str(),
+                candidate.ip2,
+                candidate.ip1,
+            );
+            let tally = self.tallies.entry(candidate.provider).or_default();
             tally.events += 1;
             if outcome == VerifyOutcome::Verified {
                 tally.unchanged += 1;
@@ -177,7 +244,11 @@ mod tests {
 
         let now = w.now();
         let mut study = UnchangedStudy::new(SCANNER_SOURCE);
-        study.observe(&mut w, now, &targets, &behaviors, &snap0, &snap1);
+        let found = candidates(&targets, &behaviors, &snap0, &snap1);
+        assert!(found
+            .iter()
+            .any(|c| c.rank == site.id.0 as usize && c.provider == ProviderId::Cloudflare));
+        study.observe_candidates(&mut w, now, &found);
         let tally = study.tally(ProviderId::Cloudflare);
         assert!(tally.events >= 1);
         assert!(tally.unchanged >= 1, "origin kept and verifiable");
@@ -211,11 +282,18 @@ mod tests {
         let behaviors = detector.diff(&prev, &curr);
         let now = w.now();
         let mut study = UnchangedStudy::new(SCANNER_SOURCE);
+        // The deprecated one-shot entry point must keep matching the
+        // extract-then-verify path it delegates to.
+        #[allow(deprecated)]
         study.observe(&mut w, now, &targets, &behaviors, &snap0, &snap1);
         // Origin was kept in this variant, so it verifies; the changed-IP
         // path is exercised by the end-to-end study tests where the
         // dynamics engine rotates origins per Table V probabilities.
         assert!(study.total().events >= 1);
+        assert_eq!(
+            study.total().events,
+            candidates(&targets, &behaviors, &snap0, &snap1).len() as u64
+        );
     }
 
     #[test]
@@ -258,7 +336,12 @@ mod tests {
             .any(|b| b.rank == site.id.0 as usize && b.kind == BehaviorKind::Switch));
         let now = w.now();
         let mut study = UnchangedStudy::new(SCANNER_SOURCE);
-        study.observe(&mut w, now, &targets, &behaviors, &snap0, &snap1);
+        let found = candidates(&targets, &behaviors, &snap0, &snap1);
+        assert!(
+            !found.iter().any(|c| c.rank == site.id.0 as usize),
+            "SWITCH produces no candidate"
+        );
+        study.observe_candidates(&mut w, now, &found);
         assert_eq!(study.total().events, 0, "SWITCH is excluded from Table V");
     }
 

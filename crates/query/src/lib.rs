@@ -1,0 +1,55 @@
+//! Time-indexed snapshot store and columnar query layer over persisted
+//! collection rounds.
+//!
+//! A spill-mode campaign leaves its full history on disk: one RSNP v1
+//! file per round, full or delta. This crate reopens that directory as a
+//! [`SnapshotStore`] — a generation-aware, lazily-loaded sequence of
+//! rounds — and layers a small query API on top:
+//!
+//! - **Filter**: [`RoundsQuery`] narrows by round number, day, or week
+//!   without touching record data.
+//! - **Project**: [`RoundsQuery::project`] folds one record column
+//!   (A/CNAME/NS) into counts, a per-round series, and a per-site ECDF.
+//! - **Join**: [`RoundsQuery::joined`] pairs consecutive rounds for
+//!   diff-style analyses.
+//! - **Diff generations**: [`RoundsQuery::generation_diff`] reads each
+//!   round's dirty/clean shard split from metadata alone.
+//! - **Plan**: [`QueryPlan`]s replay the paper's analyses (adoption,
+//!   behavior, pauses, unchanged candidates, the Fig 8 funnel) over the
+//!   store, byte-identical to the live study's reports.
+//!
+//! Determinism: rounds are visited in collection order and sites in rank
+//! order, and the store reconstructs every snapshot byte-identically to
+//! what the collector wrote (the per-shard frames round-trip exactly), so
+//! every query output is reproducible across runs, worker counts, and
+//! full/delta/spill campaign modes.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use remnant_query::{PassesPlan, QueryPlan, SnapshotStore};
+//!
+//! let store = SnapshotStore::open("campaign-spill/")?;
+//! let aggregates = PassesPlan.execute(&store);
+//! println!("overall adoption {:.2}%", aggregates.adoption.overall_rate * 100.0);
+//! let ns = store.query().week(0).project(remnant_query::RecordClass::Ns);
+//! println!("NS records in week 1: {}", ns.total);
+//! # Ok::<(), remnant_query::StoreError>(())
+//! ```
+
+pub mod plans;
+pub mod query;
+pub mod store;
+
+pub use plans::{
+    funnel_rows, AdoptionPlan, BehaviorPlan, FunnelRow, PassesPlan, PausePlan, QueryPlan,
+    UnchangedCandidatesPlan,
+};
+pub use query::{
+    ClassifiedQuery, GenerationDiff, JoinedRounds, Projection, RecordClass, RoundSnapshot,
+    RoundsQuery,
+};
+// The exposure timeline (Fig 9) is already a fold over journaled weekly
+// reports; re-export it so query-side consumers need only this crate.
+pub use remnant_core::residual::ExposureTracker;
+pub use store::{RoundKind, RoundMeta, SnapshotStore, StoreError};

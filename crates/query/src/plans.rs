@@ -1,0 +1,204 @@
+//! The paper's analyses expressed as query plans over a [`SnapshotStore`].
+//!
+//! A [`QueryPlan`] is a named, deterministic computation from a store to a
+//! report: the same per-day folds the live study driver runs
+//! ([`SnapshotPasses`]), replayed over persisted rounds. Because the store
+//! reconstructs every round byte-identically to what the collector
+//! produced, a plan's output is byte-identical to the corresponding
+//! section of the live [`StudyReport`](remnant_core::StudyReport) — Fig 3
+//! (behavior series), Fig 5 (pause CDFs), Table III (adoption), and the
+//! Table V candidate list all become queries that need nothing but the
+//! spill directory.
+//!
+//! Plans do not return `Result`: [`SnapshotStore::open`] has already
+//! validated the round sequence, so an I/O failure mid-plan (a spill file
+//! deleted underneath the store) panics, the same contract the live study
+//! has for a snapshot block vanishing mid-pass.
+
+use remnant_core::collector::Target;
+use remnant_core::residual::FUNNEL_STAGES;
+use remnant_core::study::{AdoptionReport, BehaviorReport, PauseReport};
+use remnant_core::unchanged::{self, UnchangedCandidate};
+use remnant_core::{SnapshotAggregates, SnapshotPasses};
+use remnant_obs::ObsReport;
+
+use crate::store::SnapshotStore;
+
+/// A named, deterministic computation over a snapshot store.
+pub trait QueryPlan {
+    /// What the plan produces.
+    type Output;
+
+    /// Stable plan name (used in logs and bench output).
+    fn name(&self) -> &'static str;
+
+    /// Runs the plan over every round of the store.
+    fn execute(&self, store: &SnapshotStore) -> Self::Output;
+}
+
+/// Runs the per-day snapshot passes over every round: one plan producing
+/// the adoption, behavior, and pause reports together (they share one
+/// scan of the store).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PassesPlan;
+
+impl QueryPlan for PassesPlan {
+    type Output = SnapshotAggregates;
+
+    fn name(&self) -> &'static str {
+        "passes"
+    }
+
+    fn execute(&self, store: &SnapshotStore) -> SnapshotAggregates {
+        let mut passes = SnapshotPasses::new(store.sites());
+        for round in store.query().snapshots() {
+            passes.observe(round.meta.day, &round.snapshot);
+        }
+        passes.finish()
+    }
+}
+
+/// Table III / Fig 2: the adoption report alone.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AdoptionPlan;
+
+impl QueryPlan for AdoptionPlan {
+    type Output = AdoptionReport;
+
+    fn name(&self) -> &'static str {
+        "adoption"
+    }
+
+    fn execute(&self, store: &SnapshotStore) -> AdoptionReport {
+        PassesPlan.execute(store).adoption
+    }
+}
+
+/// Table IV / Fig 3: the behavior report alone.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BehaviorPlan;
+
+impl QueryPlan for BehaviorPlan {
+    type Output = BehaviorReport;
+
+    fn name(&self) -> &'static str {
+        "behavior"
+    }
+
+    fn execute(&self, store: &SnapshotStore) -> BehaviorReport {
+        PassesPlan.execute(store).behaviors
+    }
+}
+
+/// Fig 5: the pause report alone.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PausePlan;
+
+impl QueryPlan for PausePlan {
+    type Output = PauseReport;
+
+    fn name(&self) -> &'static str {
+        "pause"
+    }
+
+    fn execute(&self, store: &SnapshotStore) -> PauseReport {
+        PassesPlan.execute(store).pauses
+    }
+}
+
+/// Table V stage 1: extracts every origin-IP-unchanged verification
+/// candidate from the persisted rounds, in the exact order the live study
+/// would have probed them (day by day, behavior order within a day).
+///
+/// The HTML verification itself needs a transport, so it stays outside
+/// the store — feed the candidates to
+/// [`UnchangedStudy::observe_candidates`](remnant_core::unchanged::UnchangedStudy::observe_candidates).
+#[derive(Clone, Debug)]
+pub struct UnchangedCandidatesPlan {
+    /// The campaign's target list, in rank order.
+    pub targets: Vec<Target>,
+}
+
+impl QueryPlan for UnchangedCandidatesPlan {
+    type Output = Vec<UnchangedCandidate>;
+
+    fn name(&self) -> &'static str {
+        "unchanged-candidates"
+    }
+
+    fn execute(&self, store: &SnapshotStore) -> Vec<UnchangedCandidate> {
+        let mut passes = SnapshotPasses::new(store.sites());
+        let mut prev: Option<remnant_core::DnsSnapshot> = None;
+        let mut out = Vec::new();
+        for round in store.query().snapshots() {
+            let behaviors = passes.observe(round.meta.day, &round.snapshot);
+            if let Some(prev_snap) = &prev {
+                out.extend(unchanged::candidates(
+                    &self.targets,
+                    &behaviors,
+                    prev_snap,
+                    &round.snapshot,
+                ));
+            }
+            prev = Some(round.snapshot);
+        }
+        out
+    }
+}
+
+/// One provider's row of the Fig 8 filtering funnel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FunnelRow {
+    /// Provider name as recorded in the metric labels.
+    pub provider: String,
+    /// The provider's final recorded scan week.
+    pub week: u32,
+    /// Nameserver/CNAME answers retrieved that week.
+    pub retrieved: u64,
+    /// Survivors of the IP-matching filter.
+    pub after_ip_matching: u64,
+    /// Hidden records after A-matching.
+    pub hidden: u64,
+    /// HTML-verified exposed origins.
+    pub verified: u64,
+}
+
+/// Fig 8 as a fold over the recorded `filter.*` counters: each provider's
+/// final-week funnel, in first-seen provider order.
+///
+/// This is the query the old `render_fig8_from_obs` renderer ran inline;
+/// it needs only an [`ObsReport`] (e.g. from `repro --metrics`), not the
+/// snapshot store, because the funnel is journaled rather than derivable
+/// from records.
+pub fn funnel_rows(obs: &ObsReport) -> Vec<FunnelRow> {
+    let mut providers: Vec<(&str, u32)> = Vec::new();
+    for (key, _) in obs.counters_named(FUNNEL_STAGES[0]) {
+        let (Some(provider), Some(week)) = (key.label("provider"), key.label("week")) else {
+            continue;
+        };
+        let Ok(week) = week.parse::<u32>() else {
+            continue;
+        };
+        match providers.iter_mut().find(|(p, _)| *p == provider) {
+            Some(entry) => entry.1 = entry.1.max(week),
+            None => providers.push((provider, week)),
+        }
+    }
+    providers
+        .into_iter()
+        .map(|(provider, week)| {
+            let week_str = week.to_string();
+            let labels = [("provider", provider), ("week", week_str.as_str())];
+            let [retrieved, after_ip_matching, hidden, verified] =
+                FUNNEL_STAGES.map(|stage| obs.counter(stage, &labels));
+            FunnelRow {
+                provider: provider.to_owned(),
+                week,
+                retrieved,
+                after_ip_matching,
+                hidden,
+                verified,
+            }
+        })
+        .collect()
+}

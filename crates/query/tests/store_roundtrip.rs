@@ -1,0 +1,248 @@
+//! The store's core contract, end to end: a spill directory left behind
+//! by a campaign reopens into the exact snapshot sequence the campaign
+//! produced (byte-identical in the binary codec), query plans over the
+//! store reproduce the live study's reports, and a damaged directory
+//! fails with a typed error naming the missing round.
+
+use std::path::PathBuf;
+
+use remnant_core::study::{CollectionMode, PaperStudy, StudyConfig, StudyReport};
+use remnant_core::{DnsSnapshot, SpillConfig};
+use remnant_query::{
+    PassesPlan, QueryPlan, RecordClass, RoundKind, SnapshotStore, StoreError,
+    UnchangedCandidatesPlan,
+};
+use remnant_world::{World, WorldConfig};
+
+const POPULATION: usize = 1_200;
+const WEEKS: u32 = 2;
+const SEED: u64 = 23;
+
+/// Runs one campaign, capturing every daily snapshot. With a tag, rounds
+/// spill to a fresh temp directory whose path is returned.
+fn run_campaign(
+    mode: CollectionMode,
+    workers: usize,
+    spill_tag: Option<&str>,
+) -> (Vec<DnsSnapshot>, StudyReport, Option<PathBuf>) {
+    let mut config = StudyConfig::builder()
+        .weeks(WEEKS)
+        .seed(SEED)
+        .workers(workers)
+        .collection_mode(mode);
+    let mut dir = None;
+    if let Some(tag) = spill_tag {
+        let path = std::env::temp_dir().join(format!("remnant-query-{tag}"));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("temp spill dir");
+        config = config.spill(SpillConfig {
+            resident_shards: 2,
+            ..SpillConfig::new(&path)
+        });
+        dir = Some(path);
+    }
+    let config = config.build().expect("valid study config");
+    let mut world = World::generate(WorldConfig::new(POPULATION, SEED));
+    let mut snapshots = Vec::new();
+    let report = PaperStudy::new(config).run_with(&mut world, |snapshot| {
+        snapshots.push(snapshot.clone());
+    });
+    (snapshots, report, dir)
+}
+
+fn campaign_targets() -> Vec<remnant_core::collector::Target> {
+    let world = World::generate(WorldConfig::new(POPULATION, SEED));
+    world
+        .sites()
+        .iter()
+        .map(|s| (s.apex.clone(), s.www.clone()))
+        .collect()
+}
+
+#[test]
+fn full_spill_campaign_reopens_byte_identically() {
+    let (snapshots, _, dir) = run_campaign(CollectionMode::Full, 2, Some("full-roundtrip"));
+    let dir = dir.unwrap();
+    let store = SnapshotStore::open(&dir).expect("store opens");
+
+    assert_eq!(store.len(), snapshots.len());
+    assert_eq!(store.sites(), POPULATION);
+    for (i, live) in snapshots.iter().enumerate() {
+        let meta = store.meta(i);
+        assert_eq!(meta.round, i as u64);
+        assert_eq!(meta.day, live.day);
+        assert_eq!(meta.kind, RoundKind::Full);
+        assert_eq!(meta.taken_at, live.taken_at);
+        // Every reconstructed round, byte for byte.
+        assert_eq!(
+            store.snapshot(i).encode_binary(),
+            live.encode_binary(),
+            "round {i} must reopen byte-identically"
+        );
+        // A full round's chain points at exactly its own file.
+        assert_eq!(store.chain_depth(i), 1);
+    }
+}
+
+#[test]
+fn delta_spill_campaign_reopens_byte_identically_and_shares_structure() {
+    let (snapshots, _, dir) = run_campaign(CollectionMode::Delta, 2, Some("delta-roundtrip"));
+    let dir = dir.unwrap();
+    let store = SnapshotStore::open(&dir).expect("store opens");
+
+    assert_eq!(store.len(), snapshots.len());
+    for (i, live) in snapshots.iter().enumerate() {
+        assert_eq!(store.meta(i).kind, RoundKind::Delta);
+        assert_eq!(
+            store.snapshot(i).encode_binary(),
+            live.encode_binary(),
+            "round {i} must reopen byte-identically"
+        );
+    }
+
+    // Generation diffs: the first round is all-dirty (nothing to chain
+    // from), and at least one later round chains clean shards from
+    // earlier files — the structural sharing the delta writer promises.
+    let diffs = store.query().generation_diff();
+    assert_eq!(diffs[0].dirty as u32, store.shard_count());
+    assert_eq!(diffs[0].clean, 0);
+    assert!(
+        diffs[1..].iter().any(|d| d.clean > 0),
+        "some later round should chain clean shards"
+    );
+    let deepest = (0..store.len())
+        .map(|i| store.chain_depth(i))
+        .max()
+        .unwrap();
+    assert!(
+        deepest > 1,
+        "a delta round's chain should span multiple files"
+    );
+}
+
+#[test]
+fn passes_plan_reproduces_the_live_reports() {
+    let (snapshots, report, dir) = run_campaign(CollectionMode::Delta, 2, Some("plan-equiv"));
+
+    // From disk.
+    let store = SnapshotStore::open(dir.unwrap()).expect("store opens");
+    let aggregates = PassesPlan.execute(&store);
+    assert_eq!(&aggregates.adoption, report.adoption());
+    assert_eq!(
+        format!("{:?}", aggregates.behaviors),
+        format!("{:?}", report.behaviors())
+    );
+    assert_eq!(
+        format!("{:?}", aggregates.pauses),
+        format!("{:?}", report.pauses())
+    );
+
+    // From memory: the same plan over resident snapshots.
+    let resident = SnapshotStore::in_memory(snapshots).expect("in-memory store");
+    let from_memory = PassesPlan.execute(&resident);
+    assert_eq!(&from_memory.adoption, report.adoption());
+    assert_eq!(
+        format!("{:?}", from_memory.behaviors),
+        format!("{:?}", aggregates.behaviors)
+    );
+}
+
+#[test]
+fn unchanged_candidates_plan_matches_the_live_tally() {
+    let (_, report, dir) = run_campaign(CollectionMode::Full, 2, Some("unchanged-plan"));
+    let store = SnapshotStore::open(dir.unwrap()).expect("store opens");
+    let plan = UnchangedCandidatesPlan {
+        targets: campaign_targets(),
+    };
+    let candidates = plan.execute(&store);
+    // The live study verified exactly one candidate per event it tallied.
+    let live_events: u64 = report.unchanged().rows.iter().map(|row| row.1).sum();
+    assert_eq!(candidates.len() as u64, live_events);
+}
+
+#[test]
+fn filters_and_projections_are_consistent() {
+    let (_, _, dir) = run_campaign(CollectionMode::Full, 2, Some("filters"));
+    let store = SnapshotStore::open(dir.unwrap()).expect("store opens");
+
+    assert_eq!(store.query().len(), 14);
+    assert_eq!(store.query().week(0).len(), 7);
+    assert_eq!(store.query().week(1).len(), 7);
+    assert_eq!(store.query().days(0..=2).len(), 3);
+    assert_eq!(store.query().rounds(13..).len(), 1);
+    assert!(store.query().weeks(2..).is_empty());
+
+    let ns = store.query().week(0).project(RecordClass::Ns);
+    assert!(ns.total > 0);
+    assert_eq!(ns.per_round.points().len(), 7);
+    assert_eq!(ns.per_site.len(), 7 * POPULATION);
+
+    // Projections split cleanly across disjoint filters.
+    let all = store.query().project(RecordClass::A);
+    let w0 = store.query().week(0).project(RecordClass::A);
+    let w1 = store.query().week(1).project(RecordClass::A);
+    assert_eq!(all.total, w0.total + w1.total);
+
+    // Joined pairs: one fewer than the rounds selected.
+    assert_eq!(store.query().joined().count(), 13);
+
+    // Adoption folds: the all-provider count dominates any single one.
+    let classified = store.query().classified();
+    assert!(classified.adopted_final > 0);
+    let cf = store
+        .query()
+        .provider(remnant_provider::ProviderId::Cloudflare);
+    assert!(cf.adopted_final <= classified.adopted_final);
+}
+
+#[test]
+fn missing_round_is_a_typed_error() {
+    let (_, _, dir) = run_campaign(CollectionMode::Full, 1, Some("missing-round"));
+    let dir = dir.unwrap();
+
+    // Punch a hole in the middle: an interrupted-run directory.
+    std::fs::remove_file(dir.join("full-r00003.rsnb")).expect("round file exists");
+    match SnapshotStore::open(&dir) {
+        Err(StoreError::MissingRound { round }) => assert_eq!(round, 3),
+        other => panic!("expected MissingRound, got {other:?}"),
+    }
+
+    // Lose the head: every chain is orphaned.
+    std::fs::remove_file(dir.join("full-r00000.rsnb")).expect("round file exists");
+    match SnapshotStore::open(&dir) {
+        Err(StoreError::MissingRound { round }) => assert_eq!(round, 0),
+        other => panic!("expected MissingRound, got {other:?}"),
+    }
+}
+
+#[test]
+fn duplicate_round_is_a_typed_error() {
+    let (_, _, dir) = run_campaign(CollectionMode::Full, 1, Some("dup-round"));
+    let dir = dir.unwrap();
+    // A full and a delta file claiming the same round: the mixed leftovers
+    // of a restarted campaign.
+    std::fs::copy(dir.join("full-r00002.rsnb"), dir.join("delta-r00002.rsnb"))
+        .expect("copy round file");
+    match SnapshotStore::open(&dir) {
+        Err(StoreError::DuplicateRound { round }) => assert_eq!(round, 2),
+        other => panic!("expected DuplicateRound, got {other:?}"),
+    }
+}
+
+#[test]
+fn unrelated_files_are_ignored_and_empty_dirs_are_typed() {
+    let empty = std::env::temp_dir().join("remnant-query-empty");
+    let _ = std::fs::remove_dir_all(&empty);
+    std::fs::create_dir_all(&empty).expect("temp dir");
+    assert!(matches!(
+        SnapshotStore::open(&empty),
+        Err(StoreError::NoRounds)
+    ));
+    // Non-round files don't count as rounds.
+    std::fs::write(empty.join("README.txt"), b"not a round").unwrap();
+    std::fs::write(empty.join("full-rxyz.rsnb"), b"not a round").unwrap();
+    assert!(matches!(
+        SnapshotStore::open(&empty),
+        Err(StoreError::NoRounds)
+    ));
+}

@@ -30,30 +30,33 @@ fn main() {
     println!("\n== DPS adoption (Sec IV-B, Fig 2) ==");
     println!(
         "overall {} | top-band {} | growth {} -> {}",
-        percent(report.adoption.overall_rate),
-        percent(report.adoption.top_band_rate),
-        percent(report.adoption.first_day_rate),
-        percent(report.adoption.last_day_rate),
+        percent(report.adoption().overall_rate),
+        percent(report.adoption().top_band_rate),
+        percent(report.adoption().first_day_rate),
+        percent(report.adoption().last_day_rate),
     );
 
     println!("\n== Usage behaviors per day (Fig 3) ==");
     for kind in BehaviorKind::ALL {
-        println!("  {kind:<7} {:>7.1}", report.behaviors.daily_average(kind));
+        println!(
+            "  {kind:<7} {:>7.1}",
+            report.behaviors().daily_average(kind)
+        );
     }
     println!(
         "  FSM violations (Fig 4 check): {}",
-        report.behaviors.fsm_violations
+        report.behaviors().fsm_violations
     );
 
     println!("\n== Pause windows (Fig 5) ==");
     println!(
         "  {} completed pauses; >5 days: {}",
-        report.pauses.overall.len(),
-        percent(report.pauses.overall.fraction_gt(5.0)),
+        report.pauses().overall.len(),
+        percent(report.pauses().overall.fraction_gt(5.0)),
     );
 
     println!("\n== Origin IP unchanged after JOIN/RESUME (Table V) ==");
-    let total = report.unchanged.total;
+    let total = report.unchanged().total;
     println!(
         "  {} events, {} unchanged ({})",
         total.events,
@@ -62,18 +65,18 @@ fn main() {
     );
 
     println!("\n== Residual resolution (Sec V, Table VI) ==");
-    let cf = &report.residual.cloudflare.exposure;
-    let inc = &report.residual.incapsula.exposure;
+    let cf = &report.residual().cloudflare.exposure;
+    let inc = &report.residual().incapsula.exposure;
     println!(
         "  Cloudflare: fleet {} nameservers | hidden {} | verified origins {} ({})",
-        report.residual.fleet_size,
+        report.residual().fleet_size,
         cf.total_hidden(),
         cf.total_verified(),
         percent(cf.total_verified_rate().unwrap_or(0.0)),
     );
     println!(
         "  Incapsula : tokens {} | hidden {} | verified origins {} ({})",
-        report.residual.harvested_tokens,
+        report.residual().harvested_tokens,
         inc.total_hidden(),
         inc.total_verified(),
         percent(inc.total_verified_rate().unwrap_or(0.0)),

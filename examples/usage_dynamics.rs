@@ -9,11 +9,9 @@
 
 use remnant::core::adoption::DpsStatus;
 use remnant::core::collector::{RecordCollector, Target};
-use remnant::core::pause::PauseTracker;
-use remnant::core::report::{percent, render_cdf, TextTable};
-use remnant::core::BehaviorDetector;
+use remnant::core::report::{percent, CdfFigure, Rendered, TextTable};
+use remnant::core::{BehaviorDetector, SnapshotPasses};
 use remnant::net::Region;
-use remnant::provider::ProviderId;
 use remnant::world::{BehaviorKind, World, WorldConfig};
 
 fn main() {
@@ -26,15 +24,15 @@ fn main() {
 
     let mut collector = RecordCollector::new(world.clock(), Region::Ashburn);
     let detector = BehaviorDetector::new();
-    let mut pauses = PauseTracker::new();
+    let mut passes = SnapshotPasses::new(targets.len());
     let mut prev: Option<Vec<remnant::core::Adoption>> = None;
     let mut totals = std::collections::BTreeMap::new();
 
     println!("day  ON      OFF   NONE    J    L    P    R    S");
     for day in 0..21 {
         let snapshot = collector.collect(&mut world, &targets, day);
+        passes.observe(day, &snapshot);
         let classes = detector.classify_snapshot(&snapshot);
-        pauses.observe(snapshot.taken_at, &classes);
 
         let on = classes.iter().filter(|c| c.status == DpsStatus::On).count();
         let off = classes
@@ -70,15 +68,18 @@ fn main() {
     print!("{table}");
 
     println!("\n== Fig 5: pause-period CDF ==");
-    let overall = pauses.cdf_overall();
-    println!("{}", render_cdf("overall", &overall, 10));
+    let pauses = passes.finish().pauses;
+    println!(
+        "{}",
+        CdfFigure::new("overall", &pauses.overall, 10).rendered()
+    );
     println!(
         "pauses longer than 5 days: {}",
-        percent(overall.fraction_gt(5.0))
+        percent(pauses.overall.fraction_gt(5.0))
     );
     println!(
         "cloudflare windows: {}, incapsula windows: {}",
-        pauses.cdf_for(ProviderId::Cloudflare).len(),
-        pauses.cdf_for(ProviderId::Incapsula).len()
+        pauses.cloudflare.len(),
+        pauses.incapsula.len()
     );
 }

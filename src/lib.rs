@@ -20,6 +20,7 @@
 //! | [`world`] | `remnant-world` | the calibrated synthetic Internet |
 //! | [`engine`] | `remnant-engine` | sharded, deterministic parallel sweep executor |
 //! | [`core`] | `remnant-core` | **the paper's toolkit**: collector, matchers, behavior/pause/unchanged studies, residual scanner, study driver |
+//! | [`query`] | `remnant-query` | time-indexed snapshot store over persisted rounds, columnar query API, analysis plans |
 //! | [`attack`] | `remnant-attack` | botnets, scrubbing outcomes, the bypass kill chain |
 //! | [`wire`] | `remnant-wire` | RFC 1035 wire codec, wire-path transport adapter, servable UDP/TCP resolver daemon |
 //!
@@ -35,9 +36,9 @@
 //!     .run(&mut world);
 //! println!(
 //!     "adoption {:.2}%, hidden records {}, verified origins {}",
-//!     report.adoption.overall_rate * 100.0,
-//!     report.residual.cloudflare.exposure.total_hidden(),
-//!     report.residual.cloudflare.exposure.total_verified(),
+//!     report.adoption().overall_rate * 100.0,
+//!     report.residual().cloudflare.exposure.total_hidden(),
+//!     report.residual().cloudflare.exposure.total_verified(),
 //! );
 //! ```
 
@@ -49,6 +50,7 @@ pub use remnant_http as http;
 pub use remnant_net as net;
 pub use remnant_obs as obs;
 pub use remnant_provider as provider;
+pub use remnant_query as query;
 pub use remnant_sim as sim;
 pub use remnant_wire as wire;
 pub use remnant_world as world;

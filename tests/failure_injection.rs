@@ -223,10 +223,10 @@ fn study_survives_a_world_with_zero_adoption() {
         ..StudyConfig::default()
     })
     .run(&mut world);
-    assert_eq!(report.adoption.overall_rate, 0.0);
-    assert_eq!(report.residual.fleet_size, 0, "nothing to harvest");
-    assert_eq!(report.residual.cloudflare.exposure.total_hidden(), 0);
-    assert_eq!(report.unchanged.total.events, 0);
+    assert_eq!(report.adoption().overall_rate, 0.0);
+    assert_eq!(report.residual().fleet_size, 0, "nothing to harvest");
+    assert_eq!(report.residual().cloudflare.exposure.total_hidden(), 0);
+    assert_eq!(report.unchanged().total.events, 0);
 }
 
 #[test]

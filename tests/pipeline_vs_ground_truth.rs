@@ -30,7 +30,7 @@ fn measured_adoption_matches_ground_truth() {
     })
     .run(&mut world);
 
-    let measured = report.adoption.first_day_rate * 8_000.0;
+    let measured = report.adoption().first_day_rate * 8_000.0;
     let diff = (measured - truth_enrolled as f64).abs();
     assert!(
         diff / (truth_enrolled as f64) < 0.02,
@@ -53,8 +53,13 @@ fn measured_provider_shares_match_ground_truth() {
     })
     .run(&mut world);
 
-    let measured_cf = report.adoption.avg_by_provider[ProviderId::Cloudflare.index()].1;
-    let measured_total: f64 = report.adoption.avg_by_provider.iter().map(|(_, n)| n).sum();
+    let measured_cf = report.adoption().avg_by_provider[ProviderId::Cloudflare.index()].1;
+    let measured_total: f64 = report
+        .adoption()
+        .avg_by_provider
+        .iter()
+        .map(|(_, n)| n)
+        .sum();
     let truth_share = truth_cf / truth_total as f64;
     let measured_share = measured_cf / measured_total;
     assert!(
@@ -82,7 +87,7 @@ fn observed_behaviors_track_ground_truth_events() {
 
     for kind in [BehaviorKind::Join, BehaviorKind::Leave] {
         let measured: f64 = report
-            .behaviors
+            .behaviors()
             .series
             .iter()
             .find(|(k, _)| *k == kind)
@@ -97,7 +102,7 @@ fn observed_behaviors_track_ground_truth_events() {
             "{kind}: measured {measured} vs truth {truth_count}"
         );
     }
-    assert_eq!(report.behaviors.fsm_violations, 0);
+    assert_eq!(report.behaviors().fsm_violations, 0);
 }
 
 #[test]
@@ -113,7 +118,7 @@ fn verified_origins_are_never_false_positives() {
     // Every verified hidden record must point at an address that is (or
     // was) genuinely the site's origin — cross-check against the world.
     let mut checked = 0;
-    for weekly in &report.residual.cloudflare.weekly {
+    for weekly in &report.residual().cloudflare.weekly {
         for record in &weekly.hidden {
             if !weekly.verified.contains(&record.rank) {
                 continue;
@@ -144,7 +149,7 @@ fn hidden_records_only_come_from_past_cloudflare_customers() {
     })
     .run(&mut world);
 
-    for weekly in &report.residual.cloudflare.weekly {
+    for weekly in &report.residual().cloudflare.weekly {
         for record in &weekly.hidden {
             let site = &world.sites()[record.rank];
             let currently_cf = site.state.provider() == Some(ProviderId::Cloudflare);
@@ -172,9 +177,9 @@ fn deterministic_worlds_yield_deterministic_reports() {
         })
         .run(&mut world);
         (
-            report.adoption.overall_rate,
-            report.residual.cloudflare.exposure.total_hidden(),
-            report.unchanged.total.events,
+            report.adoption().overall_rate,
+            report.residual().cloudflare.exposure.total_hidden(),
+            report.unchanged().total.events,
         )
     };
     assert_eq!(run(77), run(77), "same seed, same report");
