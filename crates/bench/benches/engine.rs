@@ -43,7 +43,9 @@ fn bench_engine(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(population as u64));
     for workers in worker_counts {
-        let engine = ScanEngine::new(EngineConfig::with_workers(workers, 7));
+        let engine = ScanEngine::new(
+            EngineConfig::with_workers(workers, 7).expect("worker count validated above"),
+        );
         group.bench_function(format!("collect_{population}_workers_{workers}"), |b| {
             b.iter(|| collector.collect_with(&engine, &world, &targets, 0));
         });

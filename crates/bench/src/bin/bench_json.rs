@@ -6,6 +6,7 @@
 //!            [--spill-dir DIR] [--out PATH] [--seed S]
 //! bench-json --query [--quick] [--population N] [--weeks W]
 //!            [--out PATH] [--seed S]
+//! bench-json --scheduler [--quick] [--out PATH] [--seed S]
 //! ```
 //!
 //! Runs the allocation-sensitive microbenches (interned names and shared
@@ -45,18 +46,27 @@
 //! `BENCH_8.json`). The campaign itself is timed once alongside, so the
 //! document carries the no-pipeline-regression story: collection cost is
 //! unchanged and the query layer's cost is the measured read path.
+//!
+//! `--scheduler` runs the scheduling suite instead and writes
+//! `BENCH_9.json`: a latency-skewed straggler sweep measured under the
+//! legacy static-contiguous shard assignment and under the work-claiming
+//! engine (the claiming scheduler must win on wall clock while merging
+//! identical output), and a two-session multi-tenant pair — rate-limited
+//! campaigns hosted by one `StudyService` — measured serialized and then
+//! concurrent, with the ≥1.5× aggregate-throughput target recorded in
+//! the document.
 
 use std::process::ExitCode;
 
 use remnant::core::collector::{DeltaCollector, RecordCollector, Target};
 use remnant::core::residual::{CloudflareScanner, FilterPipeline};
-use remnant::core::study::CollectionMode;
-use remnant::core::SCANNER_SOURCE;
+use remnant::core::study::{CollectionMode, StudyConfig};
+use remnant::core::{StudyService, SCANNER_SOURCE};
 use remnant::dns::{
     CountingTransport, DnsTransport, DomainName, Query, RecordData, RecordType, RecursiveResolver,
     ResolverCache, Response, Ttl,
 };
-use remnant::engine::{EngineConfig, ScanEngine, TaskResult};
+use remnant::engine::{plan_shards, EngineConfig, ScanEngine, TaskResult};
 use remnant::net::Region;
 use remnant::obs::{EventJournal, Instrumented, MetricsRegistry, Obs, Span};
 use remnant::provider::ProviderId;
@@ -88,6 +98,7 @@ struct Options {
     campaign: bool,
     campaign_child: Option<String>,
     query: bool,
+    scheduler: bool,
     sites: usize,
     weeks: u32,
     workers: usize,
@@ -104,6 +115,7 @@ impl Default for Options {
             campaign: false,
             campaign_child: None,
             query: false,
+            scheduler: false,
             sites: 1_000_000,
             weeks: 6,
             workers: 8,
@@ -118,7 +130,8 @@ fn usage() -> ExitCode {
          \u{20}      bench-json --campaign [--sites N] [--weeks W] [--workers N] \
          [--spill-dir DIR] [--out PATH] [--seed S]\n\
          \u{20}      bench-json --query [--quick] [--population N] [--weeks W] \
-         [--out PATH] [--seed S]"
+         [--out PATH] [--seed S]\n\
+         \u{20}      bench-json --scheduler [--quick] [--out PATH] [--seed S]"
     );
     ExitCode::FAILURE
 }
@@ -917,6 +930,228 @@ fn run_query(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// The straggler half of the scheduler suite: the same latency-skewed
+/// sweep executed by the legacy static-contiguous assignment (worker `w`
+/// owns the `w`-th contiguous chunk of the shard plan) and by the
+/// work-claiming engine. The first shards are slow — exactly the case
+/// static chunking handles worst, because one worker inherits every
+/// straggler while its peers finish their fast chunks and idle. Sleeps
+/// stand in for network latency, so the comparison holds on any core
+/// count. Both executors must also merge identical output — the wall
+/// clock is the only thing allowed to differ.
+fn scheduler_straggler_bench(quick: bool, seed: u64) -> Json {
+    const SHARD_SIZE: usize = 8;
+    const SHARDS: usize = 16;
+    const SLOW_SHARDS: usize = 4;
+    let workers = 4usize;
+    let (slow_us, fast_us, samples) = if quick {
+        (1_500u64, 30u64, 2)
+    } else {
+        (3_000, 50, 5)
+    };
+    let items: Vec<u64> = (0..(SHARD_SIZE * SHARDS) as u64).collect();
+    let config = EngineConfig {
+        workers,
+        shard_size: SHARD_SIZE,
+        seed,
+        ..EngineConfig::default()
+    };
+
+    let task = |shard: usize, item: u64| -> u64 {
+        let sleep = if shard < SLOW_SHARDS {
+            slow_us
+        } else {
+            fast_us
+        };
+        std::thread::sleep(std::time::Duration::from_micros(sleep));
+        item.wrapping_mul(0x9E37_79B9).rotate_left(13)
+    };
+
+    // The pre-claiming executor, reconstructed: contiguous chunks of the
+    // same plan, statically assigned, merged in plan order.
+    let static_run = || -> Vec<u64> {
+        let shards = plan_shards(items.len(), config.effective_shard_size());
+        let chunk = shards.len().div_ceil(workers).max(1);
+        let mut slots: Vec<(usize, Vec<u64>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .chunks(chunk)
+                .enumerate()
+                .map(|(w, assigned)| {
+                    let items = &items;
+                    let base = w * chunk;
+                    scope.spawn(move || {
+                        assigned
+                            .iter()
+                            .enumerate()
+                            .map(|(offset, range)| {
+                                let shard = base + offset;
+                                let outputs: Vec<u64> =
+                                    range.clone().map(|rank| task(shard, items[rank])).collect();
+                                (shard, outputs)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|handle| handle.join().expect("static worker"))
+                .collect()
+        });
+        slots.sort_by_key(|(shard, _)| *shard);
+        slots.into_iter().flat_map(|(_, outputs)| outputs).collect()
+    };
+
+    let engine = ScanEngine::new(config.clone());
+    let claiming_run = || -> Vec<u64> {
+        engine
+            .sweep(
+                &(),
+                &items,
+                |_| (),
+                |_, _, scope, _, item| TaskResult::Done(task(scope.shard(), *item)),
+            )
+            .outputs
+    };
+
+    let merged_identical = static_run() == claiming_run();
+    let static_m = measure(samples, || {
+        std::hint::black_box(static_run());
+    });
+    let claiming_m = measure(samples, || {
+        std::hint::black_box(claiming_run());
+    });
+    let speedup = if claiming_m.mean_secs > 0.0 {
+        static_m.mean_secs / claiming_m.mean_secs
+    } else {
+        f64::INFINITY
+    };
+    let elements = items.len() as u64;
+    Json::obj([
+        ("items", Json::Num(elements as f64)),
+        ("shards", Json::Num(SHARDS as f64)),
+        ("shard_size", Json::Num(SHARD_SIZE as f64)),
+        ("slow_shards", Json::Num(SLOW_SHARDS as f64)),
+        ("slow_us_per_item", Json::Num(slow_us as f64)),
+        ("fast_us_per_item", Json::Num(fast_us as f64)),
+        ("workers", Json::Num(workers as f64)),
+        ("static_contiguous", static_m.to_json(elements)),
+        ("work_claiming", claiming_m.to_json(elements)),
+        ("speedup", Json::Num(speedup)),
+        ("work_claiming_wins", Json::Bool(speedup > 1.0)),
+        ("merged_identical", Json::Bool(merged_identical)),
+    ])
+}
+
+/// The multi-tenant half of the scheduler suite: two rate-limited
+/// campaigns hosted by one [`StudyService`], run back to back and then
+/// concurrently, same world, same shared pool. The sessions are
+/// latency-bound (a courtesy rate limit paces every sweep, as a real
+/// scan of someone else's nameservers would be), so concurrency buys
+/// overlapping idle time — the aggregate-throughput claim the acceptance
+/// criterion pins at ≥ 1.5× the serialized pair.
+fn scheduler_multi_tenant_bench(quick: bool, seed: u64) -> Result<Json, String> {
+    const SESSIONS: usize = 2;
+    const TARGET_RATIO: f64 = 1.5;
+    let population = if quick { 400 } else { 1_000 };
+    let rate = if quick { 2_000u32 } else { 3_000 };
+
+    let world = World::generate(WorldConfig::new(population, seed));
+    let service = StudyService::new(world, SESSIONS);
+    let configs: Vec<StudyConfig> = (0..SESSIONS)
+        .map(|i| {
+            StudyConfig::builder()
+                .weeks(1)
+                .seed(seed + i as u64)
+                .workers(1)
+                .rate_per_second(rate)
+                .build()
+        })
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+
+    // Serialized pair: the same sessions, one at a time.
+    let started = std::time::Instant::now();
+    let mut serialized_queries = 0u64;
+    for config in &configs {
+        let reports = service
+            .run_campaigns(std::slice::from_ref(config), |_| {})
+            .map_err(|e| e.to_string())?;
+        serialized_queries += reports[0].engine().queries;
+    }
+    let serialized_secs = started.elapsed().as_secs_f64();
+
+    let started = std::time::Instant::now();
+    let reports = service
+        .run_campaigns(&configs, |_| {})
+        .map_err(|e| e.to_string())?;
+    let concurrent_secs = started.elapsed().as_secs_f64();
+    let concurrent_queries: u64 = reports.iter().map(|r| r.engine().queries).sum();
+
+    let serialized_qps = serialized_queries as f64 / serialized_secs.max(f64::MIN_POSITIVE);
+    let concurrent_qps = concurrent_queries as f64 / concurrent_secs.max(f64::MIN_POSITIVE);
+    let ratio = concurrent_qps / serialized_qps.max(f64::MIN_POSITIVE);
+    Ok(Json::obj([
+        ("sessions", Json::Num(SESSIONS as f64)),
+        ("population", Json::Num(population as f64)),
+        ("weeks", Json::Num(1.0)),
+        ("rate_per_second", Json::Num(f64::from(rate))),
+        (
+            "serialized",
+            Json::obj([
+                ("wall_secs", Json::Num(serialized_secs)),
+                ("queries", Json::Num(serialized_queries as f64)),
+                ("queries_per_sec", Json::Num(serialized_qps)),
+            ]),
+        ),
+        (
+            "concurrent",
+            Json::obj([
+                ("wall_secs", Json::Num(concurrent_secs)),
+                ("queries", Json::Num(concurrent_queries as f64)),
+                ("queries_per_sec", Json::Num(concurrent_qps)),
+            ]),
+        ),
+        ("throughput_ratio", Json::Num(ratio)),
+        ("target_ratio", Json::Num(TARGET_RATIO)),
+        ("meets_target", Json::Bool(ratio >= TARGET_RATIO)),
+    ]))
+}
+
+/// The scheduler suite, assembled into the `BENCH_9.json` document.
+fn run_scheduler(opts: &Options) -> Result<(), String> {
+    eprintln!(
+        "bench-json: scheduler suite (mode={}, seed={})",
+        if opts.quick { "quick" } else { "full" },
+        opts.seed
+    );
+    eprintln!("bench-json: straggler sweep (static-contiguous vs work-claiming)...");
+    let straggler = scheduler_straggler_bench(opts.quick, opts.seed);
+    eprintln!("bench-json: multi-tenant pair (serialized vs concurrent)...");
+    let multi_tenant = scheduler_multi_tenant_bench(opts.quick, opts.seed)?;
+
+    let doc = Json::obj([
+        ("schema", Json::Str("remnant-bench/v1".into())),
+        ("issue", Json::Num(9.0)),
+        (
+            "mode",
+            Json::Str(if opts.quick { "quick" } else { "full" }.into()),
+        ),
+        ("seed", Json::Num(opts.seed as f64)),
+        (
+            "scheduler",
+            Json::obj([("straggler", straggler), ("multi_tenant", multi_tenant)]),
+        ),
+    ]);
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_9.json".to_owned());
+    std::fs::write(&out, doc.render()).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("bench-json: wrote {out}");
+    Ok(())
+}
+
 /// The campaign's memory modes: `(child tag, JSON key)`.
 const CAMPAIGN_MODES: &[(&str, &str)] = &[
     ("in-memory", "in_memory_full"),
@@ -1242,6 +1477,7 @@ fn main() -> ExitCode {
             "--quick" => opts.quick = true,
             "--campaign" => opts.campaign = true,
             "--query" => opts.query = true,
+            "--scheduler" => opts.scheduler = true,
             "--campaign-child" => match args.next() {
                 Some(mode) => opts.campaign_child = Some(mode),
                 None => return usage(),
@@ -1290,6 +1526,8 @@ fn main() -> ExitCode {
         run_campaign(&opts)
     } else if opts.query {
         run_query(&opts)
+    } else if opts.scheduler {
+        run_scheduler(&opts)
     } else {
         run(&opts)
     };

@@ -2,13 +2,13 @@
 //!
 //! ```text
 //! repro [EXPERIMENT] [--sites N | --population N] [--weeks W] [--seed S]
-//!       [--workers N] [--even-intervals] [--collection full|delta]
+//!       [--workers N] [--jobs N] [--even-intervals] [--collection full|delta]
 //!       [--spill-dir DIR] [--metrics OUT.json] [--bind ADDR]
 //!       [--duration SECS]
 //!
 //! EXPERIMENT: all (default) | table2 | table5 | table6 |
 //!             fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 |
-//!             purge | funnel | serve | query
+//!             purge | funnel | serve | query | study
 //! ```
 //!
 //! The default population is 100,000 (a 1:10 scale model of the paper's
@@ -48,6 +48,14 @@
 //! original run's. A directory with a hole in its round sequence (an
 //! interrupted campaign) is rejected with the missing round named.
 //!
+//! `study --jobs N` hosts N concurrent campaigns in one process through
+//! the multi-tenant `StudyService`: one generated world, forked into an
+//! independent timeline per job (job `i` runs with seed `--seed`+i), all
+//! sweeps drawing threads from one shared `--workers`-sized pool. Every
+//! round of every job streams an interleaved progress line to stderr;
+//! the final summary table prints one row per job. Each job's report is
+//! byte-identical to a solo run of the same config.
+//!
 //! `serve` generates a world and runs a real DNS daemon over it: UDP and
 //! TCP listeners on `--bind` (default `127.0.0.1:8053`), RFC 1035 frames
 //! in and out, answers resolved through the recursive resolver and cached
@@ -63,19 +71,22 @@ use remnant_bench::{
     render_ablation, render_fig1, render_fig2, render_fig2_adoption, render_fig3,
     render_fig3_behaviors, render_fig4, render_fig4_behaviors, render_fig5, render_fig5_pauses,
     render_fig6, render_fig6_adoption, render_fig7, render_fig8, render_fig8_from_obs, render_fig9,
-    render_purge, render_table1, render_table2, render_table5, render_table6, run_study,
-    ReproConfig,
+    render_purge, render_study_batch, render_table1, render_table2, render_table5, render_table6,
+    run_study, run_study_batch, ReproConfig,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [all|table1|table2|table5|table6|fig1..fig9|purge|ablation|funnel|serve|query] \
-         [--sites N | --population N] [--weeks W] [--seed S] [--workers N] [--even-intervals] \
-         [--collection full|delta] [--spill-dir DIR] [--metrics OUT.json] [--bind ADDR] \
-         [--duration SECS]\n\
+        "usage: repro [all|table1|table2|table5|table6|fig1..fig9|purge|ablation|funnel|serve|query|study] \
+         [--sites N | --population N] [--weeks W] [--seed S] [--workers N] [--jobs N] \
+         [--even-intervals] [--collection full|delta] [--spill-dir DIR] [--metrics OUT.json] \
+         [--bind ADDR] [--duration SECS]\n\
          \n\
          --workers N shards the sweeps over N threads (output is identical\n\
          for every N; only wall time changes)\n\
+         'study --jobs N' hosts N concurrent campaigns (seeds S..S+N-1) in\n\
+         one process over one shared world and worker pool; each report is\n\
+         byte-identical to a solo run of the same config\n\
          --collection delta reuses unchanged shards between daily rounds\n\
          (output is identical to full; only wall time changes)\n\
          --spill-dir DIR streams each round to binary snapshot files under\n\
@@ -102,6 +113,50 @@ fn parse_flag<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result
         eprintln!("repro: invalid value for {flag}: '{raw}'");
         usage()
     })
+}
+
+/// Runs the `study` experiment: `jobs` concurrent campaigns hosted by one
+/// multi-tenant `StudyService` — one shared world forked per job, one
+/// shared engine worker pool, per-round progress interleaved on stderr.
+fn study_experiment(config: &ReproConfig, jobs: usize) -> ExitCode {
+    eprintln!(
+        "hosting {jobs} concurrent {}-week campaign{} over {} sites \
+         (seeds {}..={}, {} shared worker{})...",
+        config.weeks,
+        if jobs == 1 { "" } else { "s" },
+        config.population,
+        config.seed,
+        config.seed + jobs.saturating_sub(1) as u64,
+        config.workers.max(1),
+        if config.workers.max(1) == 1 { "" } else { "s" },
+    );
+    let started = std::time::Instant::now();
+    let result = run_study_batch(config, jobs, |p| {
+        eprintln!(
+            "[job {}] day {}/{}: {} sites, {} queries{}",
+            p.session,
+            p.day + 1,
+            p.days_total,
+            p.sites,
+            p.round_queries,
+            match p.scanned_week {
+                Some(week) => format!(", week {week} scans"),
+                None => String::new(),
+            },
+        );
+    });
+    match result {
+        Ok(reports) => {
+            eprintln!("batch done in {:.1}s", started.elapsed().as_secs_f64());
+            eprintln!();
+            println!("{}", render_study_batch(config, &reports));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("repro: {e}");
+            usage()
+        }
+    }
 }
 
 /// Runs the `serve` experiment: a real UDP+TCP DNS daemon over a freshly
@@ -239,6 +294,7 @@ fn main() -> ExitCode {
     let mut population_set = false;
     let mut bind = "127.0.0.1:8053".to_owned();
     let mut duration: Option<u64> = None;
+    let mut jobs: usize = 2;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -289,6 +345,10 @@ fn main() -> ExitCode {
                 Ok(v) => duration = Some(v),
                 Err(code) => return code,
             },
+            "--jobs" => match parse_flag("--jobs", args.next()) {
+                Ok(v) => jobs = v,
+                Err(code) => return code,
+            },
             "--even-intervals" => config.even_intervals = true,
             "--help" | "-h" => {
                 let _ = usage();
@@ -316,8 +376,8 @@ fn main() -> ExitCode {
         experiment.as_str(),
         "table1" | "table2" | "ablation" | "fig1" | "purge" | "serve"
     );
-    if study_free && metrics_path.is_some() {
-        eprintln!("repro: --metrics ignored for '{experiment}' (no study runs)");
+    if (study_free || experiment == "study") && metrics_path.is_some() {
+        eprintln!("repro: --metrics ignored for '{experiment}' (no single-study snapshot)");
     }
     if study_free && config.spill_dir.is_some() {
         eprintln!("repro: --spill-dir ignored for '{experiment}' (no study runs)");
@@ -362,6 +422,7 @@ fn main() -> ExitCode {
             println!("{}", render_purge(config.seed));
             return ExitCode::SUCCESS;
         }
+        "study" => return study_experiment(&config, jobs),
         _ => {}
     }
 

@@ -24,7 +24,7 @@ use remnant::core::study::{
     vantage_catchment, AdoptionReport, BehaviorReport, CollectionMode, PaperStudy, PauseReport,
     ResidualReport, StudyConfig, StudyReport, UnchangedReport,
 };
-use remnant::core::{ObsReport, SpillConfig};
+use remnant::core::{ObsReport, RoundProgress, SpillConfig, StudyService};
 use remnant::provider::{ProviderId, ReroutingMethod};
 use remnant::query::funnel_rows;
 use remnant::world::{BehaviorKind, World, WorldConfig};
@@ -201,16 +201,99 @@ fn validate_spill_dir(dir: &std::path::Path) -> Result<(), ConfigFieldError> {
 /// Builds the world and runs the full study.
 pub fn run_study(config: &ReproConfig) -> (World, StudyReport) {
     let mut world = World::generate(WorldConfig::new(config.population, config.seed));
-    let report = PaperStudy::new(StudyConfig {
+    let report = PaperStudy::new(study_config(config, config.seed, config.spill_dir.clone()))
+        .run(&mut world);
+    (world, report)
+}
+
+/// The [`StudyConfig`] a [`ReproConfig`] maps to, with an explicit seed
+/// and spill directory so batch jobs can diverge per campaign.
+fn study_config(config: &ReproConfig, seed: u64, spill_dir: Option<PathBuf>) -> StudyConfig {
+    StudyConfig {
         weeks: config.weeks,
+        seed,
         uneven_intervals: !config.even_intervals,
         workers: config.workers,
         collection_mode: config.collection_mode,
-        spill: config.spill_dir.clone().map(SpillConfig::new),
+        spill: spill_dir.map(SpillConfig::new),
         ..StudyConfig::default()
-    })
-    .run(&mut world);
-    (world, report)
+    }
+}
+
+/// Generates one shared world and runs `jobs` concurrent campaigns over
+/// it through a [`StudyService`], streaming every session's per-round
+/// [`RoundProgress`] (interleaved in completion order) into
+/// `on_progress`. Job `i` runs with seed `config.seed + i` and — when a
+/// spill directory is set — its own `job-<i>` subdirectory, since two
+/// sessions must never spill into one directory. Reports come back in
+/// job order.
+pub fn run_study_batch(
+    config: &ReproConfig,
+    jobs: usize,
+    on_progress: impl FnMut(RoundProgress),
+) -> Result<Vec<StudyReport>, ConfigFieldError> {
+    let configs: Vec<StudyConfig> = (0..jobs)
+        .map(|job| {
+            study_config(
+                config,
+                config.seed + job as u64,
+                config
+                    .spill_dir
+                    .as_ref()
+                    .map(|dir| dir.join(format!("job-{job}"))),
+            )
+        })
+        .collect();
+    StudyService::validate_batch(&configs)?;
+    for study in &configs {
+        if let Some(spill) = &study.spill {
+            validate_spill_dir(&spill.dir)?;
+        }
+    }
+    let world = World::generate(WorldConfig::new(config.population, config.seed));
+    let service = StudyService::new(world, config.workers.max(1));
+    service.run_campaigns(&configs, on_progress)
+}
+
+/// One summary row per batch campaign: the at-a-glance numbers that
+/// differ (or provably must not) across concurrently hosted sessions.
+pub fn render_study_batch(config: &ReproConfig, reports: &[StudyReport]) -> String {
+    let mut table = TextTable::new([
+        "Job",
+        "Seed",
+        "Days",
+        "Adoption",
+        "Mean interval",
+        "CF always-exposed",
+    ]);
+    for (job, report) in reports.iter().enumerate() {
+        let intervals = &report.behaviors().interval_hours;
+        let mean_interval = if intervals.is_empty() {
+            0.0
+        } else {
+            intervals.iter().sum::<u64>() as f64 / intervals.len() as f64
+        };
+        table.row([
+            job.to_string(),
+            (config.seed + job as u64).to_string(),
+            report.adoption().days_observed.to_string(),
+            percent(report.adoption().overall_rate),
+            format!("{mean_interval:.1}h"),
+            report
+                .residual()
+                .cloudflare
+                .exposure
+                .always_exposed()
+                .to_string(),
+        ]);
+    }
+    FigureBuilder::new()
+        .line(format!(
+            "Multi-tenant batch: {} campaigns, one world, one worker pool",
+            reports.len()
+        ))
+        .table(&table)
+        .finish()
 }
 
 /// Table II: the provider catalog (static fingerprint data).

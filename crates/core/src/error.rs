@@ -15,41 +15,12 @@ pub enum CoreError {
     MissingPrerequisite(String),
 }
 
-/// A named configuration-validation failure: which field, what value, and
-/// why it was rejected — so a bad builder call reads like the `repro`
-/// CLI's bad-flag errors instead of leaving the caller guessing.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ConfigFieldError {
-    /// The rejected field's name.
-    pub field: &'static str,
-    /// The offending value, rendered.
-    pub value: String,
-    /// Why the value was rejected.
-    pub reason: &'static str,
-}
-
-impl ConfigFieldError {
-    /// Creates an error for `field` holding `value`, rejected for `reason`.
-    pub fn new(field: &'static str, value: impl fmt::Display, reason: &'static str) -> Self {
-        ConfigFieldError {
-            field,
-            value: value.to_string(),
-            reason,
-        }
-    }
-}
-
-impl fmt::Display for ConfigFieldError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "invalid value for {}: '{}' ({})",
-            self.field, self.value, self.reason
-        )
-    }
-}
-
-impl Error for ConfigFieldError {}
+/// The workspace's named configuration-validation failure.
+///
+/// Defined in `remnant-engine` (the bottom of the dependency graph) and
+/// re-exported here so `StudyConfig`, `ReproConfig`, and `EngineConfig`
+/// builders all reject fields with one type and one rendering.
+pub use remnant_engine::ConfigFieldError;
 
 impl From<ConfigFieldError> for CoreError {
     fn from(e: ConfigFieldError) -> Self {

@@ -54,6 +54,8 @@ pub mod passes;
 pub mod pause;
 pub mod report;
 pub mod residual;
+pub mod service;
+pub mod session;
 pub mod snapshot;
 pub mod spill;
 pub mod study;
@@ -69,6 +71,8 @@ pub use error::{ConfigFieldError, CoreError};
 pub use matchers::ProviderMatcher;
 pub use passes::{SnapshotAggregates, SnapshotPasses};
 pub use remnant_obs::{Instrumented, MetricsRegistry, Obs, ObsReport};
+pub use service::StudyService;
+pub use session::{RoundProgress, RoundSummary, StudySession};
 pub use snapshot::{
     DnsSnapshot, LoadedBlock, RecordBlock, SiteRecords, SiteView, SnapshotDecodeError,
     SnapshotDecodeErrorKind, DEFAULT_BLOCK_SIZE,

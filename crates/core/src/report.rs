@@ -5,8 +5,7 @@
 //! [`SeriesFigure`] — implements the [`Rendered`] trait, and a
 //! [`FigureBuilder`] composes pieces into one figure string. Legacy
 //! passes and query-layer plans share this single rendering path, which
-//! is what makes their outputs byte-comparable. The old free functions
-//! (`render_cdf`, `render_series`) remain as deprecated delegates.
+//! is what makes their outputs byte-comparable.
 
 use std::fmt::Write as _;
 
@@ -253,22 +252,6 @@ pub fn percent(fraction: f64) -> String {
     format!("{:.1}%", fraction * 100.0)
 }
 
-/// Renders an empirical CDF sampled at integer day marks 1..=`max_days`.
-#[deprecated(since = "0.7.0", note = "use `CdfFigure` through the `Rendered` trait")]
-pub fn render_cdf(label: &str, cdf: &Ecdf, max_days: u64) -> String {
-    CdfFigure::new(label, cdf, max_days).rendered()
-}
-
-/// Renders an (x, y) series as `x: y` lines with a bar proportional to the
-/// series maximum.
-#[deprecated(
-    since = "0.7.0",
-    note = "use `SeriesFigure` through the `Rendered` trait"
-)]
-pub fn render_series(series: &Series) -> String {
-    SeriesFigure::new(series).rendered()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,19 +300,6 @@ mod tests {
     fn empty_series_renders() {
         let out = SeriesFigure::new(&Series::new("empty")).rendered();
         assert!(out.contains("empty"));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_free_functions_delegate() {
-        let cdf: Ecdf = [1.0, 4.0].into_iter().collect();
-        assert_eq!(
-            render_cdf("x", &cdf, 5),
-            CdfFigure::new("x", &cdf, 5).rendered()
-        );
-        let mut s = Series::new("S");
-        s.push(0.0, 1.0);
-        assert_eq!(render_series(&s), SeriesFigure::new(&s).rendered());
     }
 
     #[test]

@@ -9,28 +9,21 @@
 //! harvested Incapsula tokens. The returned [`StudyReport`] contains the
 //! data behind every table and figure of the evaluation.
 
-use std::collections::BTreeSet;
 use std::time::Duration;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use remnant_engine::{EngineConfig, ScanEngine, SweepStats};
+use remnant_engine::SweepStats;
 use remnant_net::Region;
-use remnant_obs::{Instrumented, MetricKey, Obs, ObsReport, Span, TRANSPORT_SENT};
+use remnant_obs::{Instrumented, MetricKey, ObsReport, TRANSPORT_SENT};
 use remnant_provider::ProviderId;
 use remnant_sim::stats::{Ecdf, Series};
 use remnant_world::{BehaviorKind, World};
 
-use crate::collector::{DeltaCollector, DeltaRound, RecordCollector, Target};
+use crate::collector::DeltaRound;
 use crate::error::ConfigFieldError;
-use crate::passes::SnapshotPasses;
-use crate::residual::{
-    CloudflareScanner, ExposureTracker, FilterPipeline, IncapsulaScanner, WeeklyScanReport,
-};
+use crate::residual::{ExposureTracker, WeeklyScanReport};
+use crate::session::StudySession;
 use crate::spill::SpillConfig;
-use crate::unchanged::{self, UnchangedStudy, UnchangedTally};
-use crate::SCANNER_SOURCE;
+use crate::unchanged::UnchangedTally;
 
 /// How the daily collection rounds resolve the target list.
 ///
@@ -86,6 +79,13 @@ pub struct StudyConfig {
     /// once. The report is bit-identical with or without spill; only the
     /// peak RSS changes.
     pub spill: Option<SpillConfig>,
+    /// Courtesy rate limit: sustained resolution attempts per second
+    /// across this study's sweep workers (a real measurement campaign
+    /// paces its queries; the paper's scanners did). Runs on wall-clock
+    /// time inside the engine's token bucket, so it changes pacing only —
+    /// the report stays bit-identical with or without it. `None` (the
+    /// default) runs unthrottled.
+    pub rate_per_second: Option<u32>,
 }
 
 impl Default for StudyConfig {
@@ -98,6 +98,7 @@ impl Default for StudyConfig {
             workers: 1,
             collection_mode: CollectionMode::Full,
             spill: None,
+            rate_per_second: None,
         }
     }
 }
@@ -177,6 +178,14 @@ impl StudyConfigBuilder {
         self
     }
 
+    /// Courtesy rate limit: sustained resolution attempts per second
+    /// across this study's sweep workers (wall-clock pacing only; the
+    /// report is bit-identical with or without it).
+    pub fn rate_per_second(mut self, rate: u32) -> Self {
+        self.config.rate_per_second = Some(rate);
+        self
+    }
+
     /// Validates and returns the configuration, naming the first rejected
     /// field on failure.
     pub fn build(self) -> Result<StudyConfig, ConfigFieldError> {
@@ -217,6 +226,13 @@ impl StudyConfigBuilder {
                     "at least one shard must stay resident while spilling",
                 ));
             }
+        }
+        if config.rate_per_second == Some(0) {
+            return Err(ConfigFieldError::new(
+                "rate_per_second",
+                0,
+                "a zero-rate study would never issue a query",
+            ));
         }
         Ok(config)
     }
@@ -412,7 +428,7 @@ pub struct CollectionReport {
 
 impl CollectionReport {
     /// Folds one delta round's counters into the aggregate.
-    fn absorb(&mut self, round: &DeltaRound) {
+    pub(crate) fn absorb(&mut self, round: &DeltaRound) {
         self.rounds += 1;
         self.reused += round.reused;
         self.reresolved += round.reresolved;
@@ -436,7 +452,7 @@ impl Instrumented for CollectionReport {
     }
 
     /// The delta-reuse counters. Deliberately **not** absorbed into the
-    /// study's own [`Obs`]: they differ between modes, and the study's
+    /// study's own obs registry: they differ between modes, and the study's
     /// [`ObsReport`] must not.
     fn counters(&self) -> Vec<(MetricKey, u64)> {
         vec![
@@ -562,255 +578,8 @@ impl PaperStudy {
         world: &mut World,
         mut on_snapshot: impl FnMut(&crate::DnsSnapshot),
     ) -> StudyReport {
-        let targets: Vec<Target> = world
-            .sites()
-            .iter()
-            .map(|s| (s.apex.clone(), s.www.clone()))
-            .collect();
-        let days = self.config.weeks * 7;
-        let mut jitter = StdRng::seed_from_u64(self.config.seed);
-        let engine = ScanEngine::new(EngineConfig::with_workers(
-            self.config.workers,
-            self.config.seed,
-        ));
-
-        let mut collector = match self.config.collection_mode {
-            CollectionMode::Full => DailyCollector::Full(RecordCollector::new(
-                world.clock(),
-                self.config.collector_region,
-            )),
-            CollectionMode::Delta => DailyCollector::Delta(DeltaCollector::new(
-                world.clock(),
-                self.config.collector_region,
-                self.config.seed,
-            )),
-        };
-        let mut passes = SnapshotPasses::new(targets.len());
-        let mut unchanged = UnchangedStudy::new(SCANNER_SOURCE);
-        let mut cf_scanner = CloudflareScanner::new(world.clock(), "cloudflare");
-        let mut inc_scanner = IncapsulaScanner::new(world.clock(), "incapdns");
-        let mut pipeline =
-            FilterPipeline::new(world.clock(), self.config.collector_region, SCANNER_SOURCE);
-
-        let mut obs = Obs::new(world.clock());
-        obs.event(
-            "study.start",
-            format!("{} sites over {} weeks", targets.len(), self.config.weeks),
-        );
-        let study_span = Span::enter(&obs, "study.run");
-        let mut exposed_cf = BTreeSet::new();
-        let mut exposed_inc = BTreeSet::new();
-
-        let mut report = StudyReport::default();
-        report.collection.mode = self.config.collection_mode;
-        let mut prev_snapshot: Option<crate::DnsSnapshot> = None;
-
-        for day in 0..days {
-            let day_span = Span::enter(&obs, "study.day");
-            obs.event("sweep.start", format!("day {day}: daily collection round"));
-            let (snapshot, sweep, delta) =
-                collector.collect(&engine, world, &targets, day, self.config.spill.as_ref());
-            match delta {
-                Some(round) => report.collection.absorb(&round),
-                None => {
-                    report.collection.rounds += 1;
-                    report.collection.reresolved += targets.len() as u64;
-                }
-            }
-            on_snapshot(&snapshot);
-            obs.metrics.merge_from(&sweep.merged_metrics());
-            obs.event(
-                "sweep.finish",
-                format!(
-                    "day {day}: {} queries over {} shards",
-                    sweep.queries(),
-                    sweep.shards.len()
-                ),
-            );
-            report.engine.absorb(&sweep);
-
-            // The snapshot-derived passes — adoption (Fig 2 / Fig 6),
-            // behaviors (Fig 3), FSM validation (Fig 4), pause windows
-            // (Fig 5) — run as one shared fold, the same fold the
-            // remnant-query crate replays over persisted rounds.
-            let behaviors = passes.observe(day, &snapshot);
-
-            // The unchanged study (Table V) is the one behavior consumer
-            // that needs a live transport: candidate extraction is pure,
-            // the verification fetch is not.
-            if let Some(prev_snap) = &prev_snapshot {
-                let candidates = unchanged::candidates(&targets, &behaviors, prev_snap, &snapshot);
-                let now = world.now();
-                unchanged.observe_candidates(world, now, &candidates);
-            }
-
-            // Residual-resolution harvesting runs daily, scans weekly.
-            cf_scanner.harvest_fleet(world, &snapshot);
-            inc_scanner.harvest(&snapshot);
-            if day % 7 == 0 {
-                let week = day / 7;
-                obs.event("scan.start", format!("week {week}: residual scans"));
-                let (raw, sweep) = cf_scanner.scan_with(&engine, world, &targets, week);
-                obs.metrics.merge_from(&sweep.merged_metrics());
-                report.engine.absorb(&sweep);
-                obs.event(
-                    "cache.purge",
-                    format!("week {week}: pipeline resolver purged before A-matching"),
-                );
-                let weekly = pipeline.run(world, ProviderId::Cloudflare, week, &raw, &targets);
-                note_filter_verdict(&mut obs, &weekly);
-                note_exposure_windows(&mut obs, &weekly, &mut exposed_cf);
-                report.residual.cloudflare.weekly.push(weekly);
-
-                let (raw, sweep) = inc_scanner.scan_with(&engine, world);
-                obs.metrics.merge_from(&sweep.merged_metrics());
-                report.engine.absorb(&sweep);
-                obs.event(
-                    "cache.purge",
-                    format!("week {week}: pipeline resolver purged before A-matching"),
-                );
-                let weekly = pipeline.run(world, ProviderId::Incapsula, week, &raw, &targets);
-                note_filter_verdict(&mut obs, &weekly);
-                note_exposure_windows(&mut obs, &weekly, &mut exposed_inc);
-                report.residual.incapsula.weekly.push(weekly);
-            }
-
-            prev_snapshot = Some(snapshot);
-
-            // Advance to the next experiment.
-            let interval = if self.config.uneven_intervals {
-                jitter.gen_range(20..=30)
-            } else {
-                24
-            };
-            world.step_hours(interval);
-            day_span.exit(&mut obs);
-        }
-
-        // Finalize: take the snapshot-pass reports from the shared fold,
-        // then the transport-dependent aggregates.
-        let aggregates = passes.finish();
-        report.adoption = aggregates.adoption;
-        report.behaviors = aggregates.behaviors;
-        report.pauses = aggregates.pauses;
-
-        report.unchanged.rows = unchanged.rows();
-        report.unchanged.total = unchanged.total();
-
-        report.residual.cloudflare.exposure =
-            ExposureTracker::fold(&report.residual.cloudflare.weekly);
-        report.residual.incapsula.exposure =
-            ExposureTracker::fold(&report.residual.incapsula.weekly);
-        report.residual.fleet_size = cf_scanner.fleet_size();
-        report.residual.harvested_tokens = inc_scanner.harvested_count();
-        report.engine.workers = self.config.workers.max(1);
-
-        study_span.exit(&mut obs);
-        obs.event(
-            "study.finish",
-            format!("{} collection rounds", collector.rounds()),
-        );
-        obs.absorb(&report.engine);
-        obs.absorb(&cf_scanner);
-        obs.absorb(&inc_scanner);
-        obs.metrics.merge_from(&pipeline.metrics());
-        report.obs = obs.report();
-        report
+        StudySession::new(self.config.clone(), world).run(world, &mut on_snapshot, None)
     }
-}
-
-/// The study's per-mode collector dispatch: one arm per
-/// [`CollectionMode`], unified behind a `collect` that also reports the
-/// round's reuse counters (`None` in full mode).
-enum DailyCollector {
-    Full(RecordCollector),
-    Delta(DeltaCollector),
-}
-
-impl DailyCollector {
-    /// One daily round, through the in-memory or the streaming spill path.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a spill round's file cannot be written mid-campaign —
-    /// callers validate the spill directory up front, and a disk that
-    /// fills or vanishes afterwards is not a recoverable study state.
-    fn collect(
-        &mut self,
-        engine: &ScanEngine,
-        world: &World,
-        targets: &[Target],
-        day: u32,
-        spill: Option<&SpillConfig>,
-    ) -> (crate::DnsSnapshot, SweepStats, Option<DeltaRound>) {
-        match (self, spill) {
-            (DailyCollector::Full(collector), None) => {
-                let (snapshot, sweep) = collector.collect_with(engine, world, targets, day);
-                (snapshot, sweep, None)
-            }
-            (DailyCollector::Full(collector), Some(spill)) => {
-                let (snapshot, sweep) = collector
-                    .collect_spilled(engine, world, targets, day, spill)
-                    .unwrap_or_else(|e| panic!("day {day} spill round failed: {e}"));
-                (snapshot, sweep, None)
-            }
-            (DailyCollector::Delta(collector), None) => {
-                let (snapshot, sweep, round) = collector.collect_with(engine, world, targets, day);
-                (snapshot, sweep, Some(round))
-            }
-            (DailyCollector::Delta(collector), Some(spill)) => {
-                let (snapshot, sweep, round) = collector
-                    .collect_spilled(engine, world, targets, day, spill)
-                    .unwrap_or_else(|e| panic!("day {day} spill round failed: {e}"));
-                (snapshot, sweep, Some(round))
-            }
-        }
-    }
-
-    fn rounds(&self) -> u32 {
-        match self {
-            DailyCollector::Full(collector) => collector.rounds(),
-            DailyCollector::Delta(collector) => collector.rounds(),
-        }
-    }
-}
-
-/// Journals one weekly pipeline pass's funnel attrition.
-fn note_filter_verdict(obs: &mut Obs, weekly: &WeeklyScanReport) {
-    obs.event(
-        "filter.verdict",
-        format!(
-            "{} week {}: retrieved {} -> after_ip_matching {} -> hidden {} -> verified {}",
-            weekly.provider.name(),
-            weekly.week,
-            weekly.retrieved,
-            weekly.after_ip_matching,
-            weekly.hidden.len(),
-            weekly.verified.len()
-        ),
-    );
-}
-
-/// Journals exposure-window transitions: a site opens a window the first
-/// week its hidden origin verifies, and closes it the first week it no
-/// longer does.
-fn note_exposure_windows(obs: &mut Obs, weekly: &WeeklyScanReport, exposed: &mut BTreeSet<usize>) {
-    let provider = weekly.provider.name();
-    let week = weekly.week;
-    let verified: BTreeSet<usize> = weekly.verified.iter().copied().collect();
-    for rank in verified.difference(exposed) {
-        obs.event(
-            "exposure.open",
-            format!("{provider} week {week}: site rank {rank} origin exposed"),
-        );
-    }
-    for rank in exposed.difference(&verified) {
-        obs.event(
-            "exposure.close",
-            format!("{provider} week {week}: site rank {rank} no longer verified"),
-        );
-    }
-    *exposed = verified;
 }
 
 /// Fig 7: which provider PoP each vantage point lands on when querying the

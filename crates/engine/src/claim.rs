@@ -1,0 +1,216 @@
+//! Work-claiming primitives: the shard injector queue and the positional
+//! result slots.
+//!
+//! Together these two types carry the engine's determinism contract
+//! through arbitrary scheduling. A sweep plans its shard list up front
+//! ([`crate::plan_shards`] — a pure function of the item count and shard
+//! size), then:
+//!
+//! * every worker thread pulls its next shard from one shared
+//!   [`ShardQueue`] — a single atomic cursor over the planned list, so a
+//!   slow shard never strands the work behind it on the same thread the
+//!   way a static contiguous worker-range split would;
+//! * every finished shard writes its result into the [`SlotVec`] slot for
+//!   its *position in the plan*, never "the next free slot" — so the
+//!   merged output reads back in plan order no matter which thread
+//!   finished which shard first.
+//!
+//! Claim order is observable only through wall-clock timings. Everything
+//! else — outputs, stats, RNG streams, metrics — is a function of the
+//! shard index alone, which is what the adversarial-scheduling proptests
+//! pin down.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A claim handed out by [`ShardQueue::claim`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardClaim {
+    /// Position of the claimed entry in the queue's planned list. Results
+    /// for this claim must be written to [`SlotVec`] slot `pos`.
+    pub pos: usize,
+    /// The claimed shard's index in the full shard plan (the value stored
+    /// at `pos`). This is the shard's *identity*: it selects the item
+    /// range, the RNG stream, and the `ShardStats::shard` label.
+    pub shard: usize,
+}
+
+/// The shared shard injector: a lock-free multi-consumer queue over a
+/// planned shard list.
+///
+/// Workers call [`claim`](ShardQueue::claim) until it returns `None`.
+/// Each planned entry is handed out exactly once; the hand-out *order* is
+/// first-come-first-served and therefore nondeterministic under real
+/// scheduling — which is fine, because claims carry their plan position
+/// and results are merged positionally.
+#[derive(Debug)]
+pub struct ShardQueue<'plan> {
+    selected: &'plan [usize],
+    next: AtomicUsize,
+}
+
+impl<'plan> ShardQueue<'plan> {
+    /// A queue over `selected`, a (sorted, deduped) list of shard indices
+    /// from the sweep's shard plan.
+    pub fn new(selected: &'plan [usize]) -> Self {
+        ShardQueue {
+            selected,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Claims the next unclaimed shard, or `None` when the plan is drained.
+    pub fn claim(&self) -> Option<ShardClaim> {
+        let pos = self.next.fetch_add(1, Ordering::Relaxed);
+        let shard = *self.selected.get(pos)?;
+        Some(ShardClaim { pos, shard })
+    }
+
+    /// Number of entries in the planned list (claimed or not).
+    pub fn len(&self) -> usize {
+        self.selected.len()
+    }
+
+    /// Whether the planned list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.selected.is_empty()
+    }
+}
+
+/// Positionally-indexed write-once result slots.
+///
+/// One slot per planned shard; each slot accepts exactly one value, from
+/// whichever thread finished that shard. [`into_vec`](SlotVec::into_vec)
+/// reads the slots back in plan order — the positional merge that makes
+/// sweep output independent of claim order.
+/// Internally each slot is a tiny mutex over an option rather than a
+/// `OnceLock`: a slot is written exactly once and read only after every
+/// writer has joined, so the lock is never contended — but unlike
+/// `OnceLock` it only asks `T: Send` of the payload, matching the
+/// engine's output bound.
+#[derive(Debug)]
+pub struct SlotVec<T> {
+    slots: Vec<Mutex<Option<T>>>,
+}
+
+impl<T> SlotVec<T> {
+    /// `len` empty slots.
+    pub fn new(len: usize) -> Self {
+        let mut slots = Vec::with_capacity(len);
+        slots.resize_with(len, || Mutex::new(None));
+        SlotVec { slots }
+    }
+
+    /// Fills slot `pos`. Shared-reference write: many threads fill
+    /// disjoint slots concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range or the slot was already filled —
+    /// both are scheduler bugs (a shard claimed twice), never data races.
+    pub fn set(&self, pos: usize, value: T) {
+        let mut slot = self.slots[pos].lock().expect("slot lock poisoned");
+        if slot.is_some() {
+            panic!("slot {pos} filled twice: a shard was claimed by two workers");
+        }
+        *slot = Some(value);
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Consumes the slots in plan order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot is still empty — every claim must have produced
+    /// a result before the merge.
+    pub fn into_vec(self) -> Vec<T> {
+        self.slots
+            .into_iter()
+            .enumerate()
+            .map(|(pos, slot)| {
+                slot.into_inner()
+                    .expect("slot lock poisoned")
+                    .unwrap_or_else(|| panic!("slot {pos} never filled: a claimed shard vanished"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_hands_out_each_entry_exactly_once() {
+        let selected = [3usize, 5, 9];
+        let queue = ShardQueue::new(&selected);
+        assert_eq!(queue.len(), 3);
+        assert_eq!(queue.claim(), Some(ShardClaim { pos: 0, shard: 3 }));
+        assert_eq!(queue.claim(), Some(ShardClaim { pos: 1, shard: 5 }));
+        assert_eq!(queue.claim(), Some(ShardClaim { pos: 2, shard: 9 }));
+        assert_eq!(queue.claim(), None);
+        assert_eq!(queue.claim(), None, "drained queues stay drained");
+    }
+
+    #[test]
+    fn concurrent_claims_partition_the_plan() {
+        let selected: Vec<usize> = (0..1000).collect();
+        let queue = ShardQueue::new(&selected);
+        let claimed: Vec<Vec<ShardClaim>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut mine = Vec::new();
+                        while let Some(claim) = queue.claim() {
+                            mine.push(claim);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut all: Vec<ShardClaim> = claimed.into_iter().flatten().collect();
+        all.sort_by_key(|c| c.pos);
+        assert_eq!(all.len(), 1000, "every entry claimed exactly once");
+        for (expect, claim) in all.iter().enumerate() {
+            assert_eq!(claim.pos, expect);
+            assert_eq!(claim.shard, expect);
+        }
+    }
+
+    #[test]
+    fn slots_merge_in_plan_order_not_completion_order() {
+        let slots = SlotVec::new(4);
+        slots.set(2, "c");
+        slots.set(0, "a");
+        slots.set(3, "d");
+        slots.set(1, "b");
+        assert_eq!(slots.into_vec(), ["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "filled twice")]
+    fn double_fill_is_a_scheduler_bug() {
+        let slots = SlotVec::new(1);
+        slots.set(0, 1u32);
+        slots.set(0, 2u32);
+    }
+
+    #[test]
+    #[should_panic(expected = "never filled")]
+    fn missing_result_is_a_scheduler_bug() {
+        let slots: SlotVec<u32> = SlotVec::new(2);
+        slots.set(0, 1);
+        let _ = slots.into_vec();
+    }
+}

@@ -1,5 +1,7 @@
 //! Engine tuning knobs.
 
+use crate::error::ConfigFieldError;
+
 /// Retry policy applied per item inside a shard.
 ///
 /// A task signals a retryable outcome by returning
@@ -63,10 +65,24 @@ pub struct EngineConfig {
     /// Number of worker threads. Any value `>= 1`; the engine never spawns
     /// more workers than shards. Output is identical for every value.
     pub workers: usize,
-    /// Items per shard. Shard layout is a function of the item count and
-    /// this constant only — never of `workers` — which is what makes the
-    /// merged output independent of parallelism.
+    /// Items per *planning unit*. Together with
+    /// [`shards_per_worker`](EngineConfig::shards_per_worker) this fixes
+    /// the shard layout; the layout is a function of the item count and
+    /// these two constants only — never of `workers` — which is what makes
+    /// the merged output independent of parallelism.
     pub shard_size: usize,
+    /// Claim granularity: how many claimable shards each `shard_size`
+    /// planning unit is split into. `1` (the default) reproduces the
+    /// classic layout (one shard per unit); higher values cut the same
+    /// units into finer shards so the work-claiming queue can route around
+    /// a straggling shard instead of stalling everything scheduled behind
+    /// it.
+    ///
+    /// Deliberately **not** tied to the runtime worker count: the
+    /// effective shard size is `ceil(shard_size / shards_per_worker)`, a
+    /// pure layout constant, so two runs that differ only in `workers`
+    /// still plan identical shards and produce byte-identical output.
+    pub shards_per_worker: usize,
     /// Per-item retry policy.
     pub retry: RetryPolicy,
     /// Optional global rate limit (off by default; simulations don't wait).
@@ -81,13 +97,73 @@ impl EngineConfig {
     /// (fresh resolver, RNG derivation) is amortized.
     pub const DEFAULT_SHARD_SIZE: usize = 512;
 
+    /// Upper bound on `workers`: beyond this the per-shard setup cost
+    /// dominates and the sharding model stops making sense.
+    pub const MAX_WORKERS: usize = 1024;
+
     /// Configuration with `workers` threads and the given RNG seed.
-    pub fn with_workers(workers: usize, seed: u64) -> Self {
-        EngineConfig {
-            workers: workers.max(1),
-            seed,
-            ..EngineConfig::default()
+    ///
+    /// Returns the named offending field for out-of-range worker counts —
+    /// `workers == 0` is a configuration mistake the caller should see,
+    /// not a value to silently clamp.
+    pub fn with_workers(workers: usize, seed: u64) -> Result<Self, ConfigFieldError> {
+        EngineConfig::builder().workers(workers).seed(seed).build()
+    }
+
+    /// A builder starting from the defaults, with validated setters —
+    /// see [`EngineConfigBuilder`].
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            config: EngineConfig::default(),
         }
+    }
+
+    /// Items per claimable shard:
+    /// `ceil(shard_size / shards_per_worker)`, at least 1. This — not
+    /// `shard_size` alone — is what [`crate::plan_shards`] receives.
+    pub fn effective_shard_size(&self) -> usize {
+        let per = self.shards_per_worker.max(1);
+        self.shard_size.max(1).div_ceil(per)
+    }
+
+    /// Validates the configuration, naming the first rejected field.
+    pub fn validate(&self) -> Result<(), ConfigFieldError> {
+        if self.workers == 0 {
+            return Err(ConfigFieldError::new(
+                "workers",
+                self.workers,
+                "at least one worker thread is required",
+            ));
+        }
+        if self.workers > Self::MAX_WORKERS {
+            return Err(ConfigFieldError::new(
+                "workers",
+                self.workers,
+                "more than 1024 workers exceeds the engine's sharding model",
+            ));
+        }
+        if self.shard_size == 0 {
+            return Err(ConfigFieldError::new(
+                "shard_size",
+                self.shard_size,
+                "shards must hold at least one item",
+            ));
+        }
+        if self.shards_per_worker == 0 {
+            return Err(ConfigFieldError::new(
+                "shards_per_worker",
+                self.shards_per_worker,
+                "each planning unit must yield at least one claimable shard",
+            ));
+        }
+        if self.retry.max_attempts == 0 {
+            return Err(ConfigFieldError::new(
+                "retry.max_attempts",
+                self.retry.max_attempts,
+                "every item needs at least one attempt",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -96,10 +172,77 @@ impl Default for EngineConfig {
         EngineConfig {
             workers: 1,
             shard_size: Self::DEFAULT_SHARD_SIZE,
+            shards_per_worker: 1,
             retry: RetryPolicy::default(),
             rate: None,
             seed: 0,
         }
+    }
+}
+
+/// Builder for [`EngineConfig`] — the validated construction path.
+///
+/// The struct-literal path stays open for tests and internal callers;
+/// the builder names the offending field, value, and reason when a
+/// combination is rejected:
+///
+/// ```
+/// use remnant_engine::EngineConfig;
+///
+/// let config = EngineConfig::builder().workers(8).seed(42).build()?;
+/// assert_eq!(config.workers, 8);
+/// let err = EngineConfig::builder().workers(0).build().unwrap_err();
+/// assert_eq!(err.field, "workers");
+/// # Ok::<(), remnant_engine::ConfigFieldError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Number of worker threads.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Items per planning unit.
+    pub fn shard_size(mut self, shard_size: usize) -> Self {
+        self.config.shard_size = shard_size;
+        self
+    }
+
+    /// Claimable shards per planning unit (see
+    /// [`EngineConfig::shards_per_worker`]).
+    pub fn shards_per_worker(mut self, shards: usize) -> Self {
+        self.config.shards_per_worker = shards;
+        self
+    }
+
+    /// Per-item retry policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
+    /// Global rate limit.
+    pub fn rate(mut self, rate: RateLimit) -> Self {
+        self.config.rate = Some(rate);
+        self
+    }
+
+    /// Root seed for the per-shard RNG streams.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration, naming the first rejected
+    /// field on failure.
+    pub fn build(self) -> Result<EngineConfig, ConfigFieldError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -108,10 +251,70 @@ mod tests {
     use super::*;
 
     #[test]
-    fn with_workers_clamps_to_one() {
-        assert_eq!(EngineConfig::with_workers(0, 7).workers, 1);
-        assert_eq!(EngineConfig::with_workers(8, 7).workers, 8);
-        assert_eq!(EngineConfig::with_workers(8, 7).seed, 7);
+    fn with_workers_names_the_offending_field_for_zero() {
+        let err = EngineConfig::with_workers(0, 7).unwrap_err();
+        assert_eq!(err.field, "workers");
+        assert_eq!(err.value, "0");
+        let config = EngineConfig::with_workers(8, 7).unwrap();
+        assert_eq!(config.workers, 8);
+        assert_eq!(config.seed, 7);
+    }
+
+    #[test]
+    fn builder_validates_every_field() {
+        let config = EngineConfig::builder()
+            .workers(4)
+            .shard_size(128)
+            .shards_per_worker(4)
+            .retry(RetryPolicy::attempts(2))
+            .seed(9)
+            .build()
+            .unwrap();
+        assert_eq!(config.workers, 4);
+        assert_eq!(config.effective_shard_size(), 32);
+
+        for (build, field) in [
+            (EngineConfig::builder().workers(0).build(), "workers"),
+            (EngineConfig::builder().workers(2048).build(), "workers"),
+            (EngineConfig::builder().shard_size(0).build(), "shard_size"),
+            (
+                EngineConfig::builder().shards_per_worker(0).build(),
+                "shards_per_worker",
+            ),
+            (
+                EngineConfig::builder()
+                    .retry(RetryPolicy::attempts(0))
+                    .build(),
+                "retry.max_attempts",
+            ),
+        ] {
+            assert_eq!(build.unwrap_err().field, field);
+        }
+    }
+
+    #[test]
+    fn effective_shard_size_refines_without_reading_workers() {
+        let base = EngineConfig::default();
+        assert_eq!(
+            base.effective_shard_size(),
+            EngineConfig::DEFAULT_SHARD_SIZE,
+            "default granularity reproduces the classic layout"
+        );
+        let fine = EngineConfig {
+            shard_size: 100,
+            shards_per_worker: 3,
+            ..EngineConfig::default()
+        };
+        assert_eq!(fine.effective_shard_size(), 34);
+        // Same layout constants, different worker counts: same plan.
+        let more_workers = EngineConfig {
+            workers: 64,
+            ..fine.clone()
+        };
+        assert_eq!(
+            fine.effective_shard_size(),
+            more_workers.effective_shard_size()
+        );
     }
 
     #[test]

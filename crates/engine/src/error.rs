@@ -1,0 +1,67 @@
+//! Named configuration-validation errors.
+//!
+//! The engine sits at the bottom of the workspace's dependency graph, so
+//! the shared builder-validation error lives here and the higher layers
+//! (`remnant-core`'s `StudyConfig`, the `repro` CLI) re-export it — one
+//! type, one rendering, everywhere a builder rejects a field.
+
+use std::error::Error;
+use std::fmt;
+
+/// A named configuration-validation failure: which field, what value, and
+/// why it was rejected — so a bad builder call reads like the `repro`
+/// CLI's bad-flag errors instead of leaving the caller guessing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigFieldError {
+    /// The rejected field's name.
+    pub field: &'static str,
+    /// The offending value, rendered.
+    pub value: String,
+    /// Why the value was rejected.
+    pub reason: &'static str,
+}
+
+impl ConfigFieldError {
+    /// Creates an error for `field` holding `value`, rejected for `reason`.
+    pub fn new(field: &'static str, value: impl fmt::Display, reason: &'static str) -> Self {
+        ConfigFieldError {
+            field,
+            value: value.to_string(),
+            reason,
+        }
+    }
+}
+
+impl fmt::Display for ConfigFieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid value for {}: '{}' ({})",
+            self.field, self.value, self.reason
+        )
+    }
+}
+
+impl Error for ConfigFieldError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_field_value_and_reason() {
+        let err = ConfigFieldError::new("workers", 0, "at least one worker thread is required");
+        assert_eq!(err.field, "workers");
+        assert_eq!(err.value, "0");
+        assert_eq!(
+            err.to_string(),
+            "invalid value for workers: '0' (at least one worker thread is required)"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ConfigFieldError>();
+    }
+}

@@ -29,7 +29,7 @@
 //! use remnant_engine::{EngineConfig, ScanEngine, TaskResult};
 //!
 //! let items: Vec<u32> = (0..10_000).collect();
-//! let engine = ScanEngine::new(EngineConfig::with_workers(8, 42));
+//! let engine = ScanEngine::new(EngineConfig::with_workers(8, 42)?);
 //! let sweep = engine.sweep(
 //!     &(),
 //!     &items,
@@ -38,16 +38,33 @@
 //! );
 //! assert_eq!(sweep.outputs[7], 14);
 //! assert_eq!(sweep.stats.items(), 10_000);
+//! # Ok::<(), remnant_engine::ConfigFieldError>(())
 //! ```
+//!
+//! ## Scheduling
+//!
+//! Execution is *work-claiming*: the planned shard list feeds a shared
+//! injector queue ([`ShardQueue`]) that worker threads drain
+//! first-come-first-served, and results land in plan-positional slots
+//! ([`SlotVec`]). A straggling shard therefore delays only itself — the
+//! other threads keep claiming past it — without any effect on output
+//! bytes. Multi-tenant hosts hand every engine the same [`WorkerPool`] so
+//! concurrent sweeps share one thread budget.
 
+pub mod claim;
 pub mod config;
+pub mod error;
 pub mod limiter;
+pub mod pool;
 pub mod shard;
 pub mod stats;
 pub mod sweep;
 
-pub use config::{EngineConfig, RateLimit, RetryPolicy};
+pub use claim::{ShardClaim, ShardQueue, SlotVec};
+pub use config::{EngineConfig, EngineConfigBuilder, RateLimit, RetryPolicy};
+pub use error::ConfigFieldError;
 pub use limiter::TokenBucket;
+pub use pool::{PoolGrant, WorkerPool};
 pub use remnant_obs::{Instrumented, MetricsRegistry};
 pub use shard::plan_shards;
 pub use stats::{ShardStats, ShardTiming, SweepStats};

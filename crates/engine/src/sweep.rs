@@ -1,6 +1,6 @@
 //! The sharded sweep executor.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -8,8 +8,10 @@ use rand::SeedableRng;
 use remnant_obs::MetricsRegistry;
 use remnant_sim::SeedSeq;
 
+use crate::claim::{ShardQueue, SlotVec};
 use crate::config::EngineConfig;
 use crate::limiter::TokenBucket;
+use crate::pool::WorkerPool;
 use crate::shard::plan_shards;
 use crate::stats::{ShardStats, ShardTiming, SweepStats};
 
@@ -85,35 +87,64 @@ pub struct Sweep<O> {
 /// Sharded, deterministic parallel sweep executor.
 ///
 /// The engine cuts the target list into contiguous shards
-/// ([`plan_shards`]), hands each shard to one of `workers` threads, and
-/// concatenates shard outputs back in shard order. Three invariants make
-/// the merged result bit-identical for every worker count:
+/// ([`plan_shards`]), lets `workers` threads *claim* shards from a shared
+/// injector queue ([`ShardQueue`]), and writes each shard's result into
+/// the positional slot for its place in the plan ([`SlotVec`]). Three
+/// invariants make the merged result bit-identical for every worker count
+/// and every claim order:
 ///
-/// 1. **Shard layout** depends only on the item count and
-///    [`shard_size`](EngineConfig::shard_size), never on `workers`.
+/// 1. **Shard layout** depends only on the item count,
+///    [`shard_size`](EngineConfig::shard_size) and
+///    [`shards_per_worker`](EngineConfig::shards_per_worker), never on
+///    `workers`.
 /// 2. **Per-shard state is fresh**: each shard gets its own worker value
 ///    (`make_worker(shard)`) and its own RNG stream
 ///    (`seed → child("engine") → derive_indexed("shard", shard)`), so no
 ///    state leaks between shards regardless of which thread ran them.
 /// 3. **Merge is positional**: shard outputs are written into
-///    pre-allocated slots indexed by shard, not in completion order.
+///    pre-allocated slots indexed by plan position, not in completion
+///    order.
 ///
-/// Workers pull shard indices from a shared atomic cursor, so a slow
-/// shard never stalls the others.
+/// Because claiming is first-come-first-served, a straggling shard only
+/// occupies the one thread that claimed it — every other thread keeps
+/// draining the queue — while the slot merge erases any trace of who ran
+/// what. The work-claiming proptests pin this down against adversarial
+/// per-shard latency skews.
 #[derive(Clone, Debug)]
 pub struct ScanEngine {
     config: EngineConfig,
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl ScanEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
-        ScanEngine { config }
+        ScanEngine { config, pool: None }
+    }
+
+    /// Creates an engine whose sweeps draw their threads from a shared
+    /// [`WorkerPool`] instead of unconditionally spawning
+    /// `config.workers`.
+    ///
+    /// Each sweep acquires a grant for `config.workers` threads and runs
+    /// on what the pool hands back (at least one). By the determinism
+    /// contract the grant size only affects wall clock, never output —
+    /// which is what lets concurrent sessions share a budget safely.
+    pub fn with_pool(config: EngineConfig, pool: Arc<WorkerPool>) -> Self {
+        ScanEngine {
+            config,
+            pool: Some(pool),
+        }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The shared worker pool, if this engine was built with one.
+    pub fn pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.as_ref()
     }
 
     /// Runs `task` over every item of `items`, in parallel across shards.
@@ -169,19 +200,21 @@ impl ScanEngine {
         T: Fn(&C, &mut W, &mut ShardScope, usize, &I) -> TaskResult<O> + Sync,
         F: Fn(W, &mut ShardScope) + Sync,
     {
-        let shards = plan_shards(items.len(), self.config.shard_size);
+        let shards = plan_shards(items.len(), self.config.effective_shard_size());
         let selected: Vec<usize> = (0..shards.len()).collect();
         self.run_shards(ctx, items, &shards, &selected, make_worker, task, finish)
     }
 
     /// The shard layout this engine would use for `items` inputs.
     ///
-    /// Depends only on the item count and
-    /// [`shard_size`](EngineConfig::shard_size) — callers that schedule a
-    /// subset of shards (see [`ScanEngine::sweep_selected_with_finish`])
-    /// use this to map item ranks to shard indices.
+    /// Depends only on the item count and the layout constants
+    /// ([`shard_size`](EngineConfig::shard_size),
+    /// [`shards_per_worker`](EngineConfig::shards_per_worker)) — callers
+    /// that schedule a subset of shards (see
+    /// [`ScanEngine::sweep_selected_with_finish`]) use this to map item
+    /// ranks to shard indices.
     pub fn shard_plan(&self, items: usize) -> Vec<std::ops::Range<usize>> {
-        plan_shards(items, self.config.shard_size)
+        plan_shards(items, self.config.effective_shard_size())
     }
 
     /// [`ScanEngine::sweep_with_finish`], restricted to a subset of shards.
@@ -214,7 +247,7 @@ impl ScanEngine {
         T: Fn(&C, &mut W, &mut ShardScope, usize, &I) -> TaskResult<O> + Sync,
         F: Fn(W, &mut ShardScope) + Sync,
     {
-        let shards = plan_shards(items.len(), self.config.shard_size);
+        let shards = plan_shards(items.len(), self.config.effective_shard_size());
         let mut selected: Vec<usize> = selected.to_vec();
         selected.sort_unstable();
         selected.dedup();
@@ -249,11 +282,22 @@ impl ScanEngine {
         T: Fn(&C, &mut W, &mut ShardScope, usize, &I) -> TaskResult<O> + Sync,
         F: Fn(W, &mut ShardScope) + Sync,
     {
-        let workers = self.config.workers.max(1).min(selected.len().max(1));
+        // A pooled engine runs on its grant (≥ 1, ≤ requested); the grant
+        // returns the threads to the service budget when the sweep ends.
+        let grant = self
+            .pool
+            .as_ref()
+            .map(|pool| pool.acquire(self.config.workers.max(1)));
+        let budget = grant
+            .as_ref()
+            .map(|g| g.granted())
+            .unwrap_or_else(|| self.config.workers.max(1));
+        let workers = budget.min(selected.len().max(1));
         let limiter = self.config.rate.map(TokenBucket::new);
         let seeds = SeedSeq::new(self.config.seed).child("engine");
         let max_attempts = self.config.retry.max_attempts.max(1);
-        let cursor = AtomicUsize::new(0);
+        let queue = ShardQueue::new(selected);
+        let slots: SlotVec<(Vec<O>, ShardStats, ShardTiming)> = SlotVec::new(selected.len());
         let started = Instant::now();
 
         let run_shard = |shard_idx: usize| {
@@ -307,47 +351,39 @@ impl ScanEngine {
                 shard: shard_idx,
                 wall: shard_started.elapsed(),
             };
-            (shard_idx, outputs, stats, timing)
+            (outputs, stats, timing)
         };
 
-        let mut done: Vec<(usize, Vec<O>, ShardStats, ShardTiming)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut finished = Vec::new();
-                        loop {
-                            let pos = cursor.fetch_add(1, Ordering::Relaxed);
-                            if pos >= selected.len() {
-                                break;
-                            }
-                            finished.push(run_shard(selected[pos]));
-                        }
-                        finished
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|handle| handle.join().expect("sweep worker panicked"))
-                .collect()
+        // Work-claiming execution: every thread drains the shared injector
+        // queue, writing each finished shard into the slot for its plan
+        // position. Claim order is first-come-first-served (and therefore
+        // nondeterministic), but the slots erase it.
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    while let Some(claim) = queue.claim() {
+                        slots.set(claim.pos, run_shard(claim.shard));
+                    }
+                });
+            }
         });
 
-        // Positional merge: shard order, not completion order.
-        done.sort_by_key(|(idx, ..)| *idx);
+        // Positional merge: plan order, not completion order.
         let selected_items: usize = selected.iter().map(|&idx| shards[idx].len()).sum();
         let mut outputs = Vec::with_capacity(selected_items);
         let mut stats = SweepStats {
             workers,
-            shards: Vec::with_capacity(done.len()),
-            timings: Vec::with_capacity(done.len()),
+            shards: Vec::with_capacity(selected.len()),
+            timings: Vec::with_capacity(selected.len()),
             wall: std::time::Duration::ZERO,
         };
-        for (_, shard_outputs, shard_stats, timing) in done {
+        for (shard_outputs, shard_stats, timing) in slots.into_vec() {
             outputs.extend(shard_outputs);
             stats.shards.push(shard_stats);
             stats.timings.push(timing);
         }
         stats.wall = started.elapsed();
+        drop(grant);
         Sweep { outputs, stats }
     }
 }
@@ -579,6 +615,58 @@ mod tests {
         assert!(sweep.outputs.is_empty());
         assert!(sweep.stats.shards.is_empty());
         assert_eq!(sweep.stats.items(), 0);
+    }
+
+    #[test]
+    fn finer_granularity_is_still_worker_count_invariant() {
+        let items: Vec<u64> = (0..500).collect();
+        let run = |workers: usize| {
+            ScanEngine::new(EngineConfig {
+                workers,
+                shard_size: 64,
+                shards_per_worker: 4,
+                seed: 11,
+                ..EngineConfig::default()
+            })
+            .sweep(
+                &(),
+                &items,
+                |_| (),
+                |_, _, scope, _, item| {
+                    let noise: u64 = scope.rng().gen_range(0..1 << 20);
+                    TaskResult::Done(item ^ noise)
+                },
+            )
+        };
+        let one = run(1);
+        let eight = run(8);
+        assert_eq!(one.outputs, eight.outputs);
+        assert_eq!(one.stats.shards, eight.stats.shards);
+        // ceil(64 / 4) = 16 items per claimable shard.
+        assert_eq!(one.stats.shards.len(), 500usize.div_ceil(16));
+    }
+
+    #[test]
+    fn pooled_engine_matches_unpooled_output() {
+        let items: Vec<u64> = (0..333).collect();
+        let config = EngineConfig {
+            workers: 4,
+            shard_size: 32,
+            seed: 5,
+            ..EngineConfig::default()
+        };
+        let task = |_: &(), _: &mut (), scope: &mut ShardScope, _: usize, item: &u64| {
+            TaskResult::Done(item ^ scope.rng().gen_range(0u64..1 << 16))
+        };
+        let plain = ScanEngine::new(config.clone()).sweep(&(), &items, |_| (), task);
+        // A pool smaller than the configured workers: the sweep shrinks
+        // to its grant, output doesn't move.
+        let pool = crate::pool::WorkerPool::new(2);
+        let pooled = ScanEngine::with_pool(config, pool.clone()).sweep(&(), &items, |_| (), task);
+        assert_eq!(plain.outputs, pooled.outputs);
+        assert_eq!(plain.stats.shards, pooled.stats.shards);
+        assert!(pooled.stats.workers <= 2, "sweep ran on the grant");
+        assert_eq!(pool.available(), 2, "grant returned on sweep end");
     }
 
     #[test]

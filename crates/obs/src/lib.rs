@@ -39,6 +39,7 @@
 mod instrument;
 mod journal;
 mod metrics;
+pub mod progress;
 mod report;
 mod span;
 
@@ -48,6 +49,9 @@ pub use instrument::{
 };
 pub use journal::{Event, EventJournal, DEFAULT_JOURNAL_CAPACITY};
 pub use metrics::{Histogram, MetricKey, MetricsRegistry, DEFAULT_BOUNDS};
+pub use progress::{
+    progress_channel, ProgressPoll, ProgressReceiver, ProgressSender, DEFAULT_PROGRESS_CAPACITY,
+};
 pub use report::ObsReport;
 pub use span::{Span, SPAN_ENTERED, SPAN_SECONDS};
 

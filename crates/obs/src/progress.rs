@@ -1,0 +1,141 @@
+//! Bounded progress streaming for long-running campaigns.
+//!
+//! A session that takes hours cannot wait until the end to say how it is
+//! doing. This module is the plumbing half of the answer: a bounded
+//! single-producer channel a running study pushes per-round progress
+//! payloads into, and a consumer (the multi-tenant service, a CLI
+//! progress line) drains. The payload type is the consumer's choice —
+//! `remnant-core` streams its `RoundProgress`, which carries this crate's
+//! [`ObsReport`](crate::ObsReport) snapshot.
+//!
+//! Two properties matter for determinism and robustness:
+//!
+//! * **Bounded**: a slow consumer applies backpressure instead of letting
+//!   the producer queue unbounded memory. Capacity is small; progress is
+//!   a telemetry stream, not a data plane.
+//! * **Detached consumers don't kill producers**: when the receiver is
+//!   dropped, [`ProgressSender::send`] reports the event but the study
+//!   keeps running — progress is observability, never control flow.
+
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
+
+/// Default channel capacity: a handful of rounds of backlog.
+pub const DEFAULT_PROGRESS_CAPACITY: usize = 8;
+
+/// Creates a bounded progress channel with room for `capacity` in-flight
+/// payloads (at least 1).
+pub fn progress_channel<T>(capacity: usize) -> (ProgressSender<T>, ProgressReceiver<T>) {
+    let (tx, rx) = std::sync::mpsc::sync_channel(capacity.max(1));
+    (ProgressSender { tx }, ProgressReceiver { rx })
+}
+
+/// The producing end: owned by a running session.
+#[derive(Clone, Debug)]
+pub struct ProgressSender<T> {
+    tx: SyncSender<T>,
+}
+
+impl<T> ProgressSender<T> {
+    /// Delivers one progress payload, blocking while the channel is full
+    /// (backpressure). Returns `false` — and discards the payload — when
+    /// the receiver is gone; the producer should keep working either way.
+    pub fn send(&self, payload: T) -> bool {
+        self.tx.send(payload).is_ok()
+    }
+}
+
+/// Outcome of a non-blocking [`ProgressReceiver::try_recv`] poll.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProgressPoll<T> {
+    /// A payload was waiting.
+    Payload(T),
+    /// Nothing queued right now, but senders are still alive.
+    Empty,
+    /// Every sender is dropped and the backlog is drained.
+    Finished,
+}
+
+/// The consuming end: owned by the service or CLI driving the session.
+#[derive(Debug)]
+pub struct ProgressReceiver<T> {
+    rx: Receiver<T>,
+}
+
+impl<T> ProgressReceiver<T> {
+    /// Blocks for the next payload; `None` once every sender is dropped
+    /// and the backlog is drained (the session is over).
+    pub fn recv(&self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking poll distinguishing "nothing yet" from "stream over".
+    pub fn try_recv(&self) -> ProgressPoll<T> {
+        match self.rx.try_recv() {
+            Ok(payload) => ProgressPoll::Payload(payload),
+            Err(TryRecvError::Empty) => ProgressPoll::Empty,
+            Err(TryRecvError::Disconnected) => ProgressPoll::Finished,
+        }
+    }
+
+    /// Blocking iterator over the remaining payloads.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(|| self.recv())
+    }
+}
+
+impl<T> IntoIterator for ProgressReceiver<T> {
+    type Item = T;
+    type IntoIter = std::sync::mpsc::IntoIter<T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rx.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payloads_arrive_in_order() {
+        let (tx, rx) = progress_channel(4);
+        for round in 0..4u32 {
+            assert!(tx.send(round));
+        }
+        drop(tx);
+        let got: Vec<u32> = rx.iter().collect();
+        assert_eq!(got, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        let (tx, rx) = progress_channel(1);
+        let producer = std::thread::spawn(move || {
+            // Second send blocks until the consumer drains the first.
+            for round in 0..10u32 {
+                tx.send(round);
+            }
+        });
+        let got: Vec<u32> = rx.iter().collect();
+        producer.join().unwrap();
+        assert_eq!(got.len(), 10);
+    }
+
+    #[test]
+    fn dropped_receiver_does_not_stop_the_producer() {
+        let (tx, rx) = progress_channel(2);
+        drop(rx);
+        assert!(!tx.send(1u32), "send reports the detached consumer");
+        assert!(!tx.send(2u32), "and keeps not panicking");
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_from_finished() {
+        let (tx, rx) = progress_channel(2);
+        assert_eq!(rx.try_recv(), ProgressPoll::Empty);
+        tx.send(7u32);
+        assert_eq!(rx.try_recv(), ProgressPoll::Payload(7));
+        drop(tx);
+        assert_eq!(rx.try_recv(), ProgressPoll::Finished);
+    }
+}
