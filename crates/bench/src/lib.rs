@@ -544,6 +544,52 @@ pub fn render_fig8_from_obs(obs: &ObsReport) -> String {
         .finish()
 }
 
+/// The residual-scan timeline re-derived from campaign artifacts alone —
+/// the query layer's `ResidualScanPlan` output (Table VI / Fig 8 shape,
+/// one row per scan week per provider).
+///
+/// The scan populations come from the persisted rounds; the funnel
+/// columns come from recorded `filter.*` metrics and render as zero when
+/// the plan ran without an [`ObsReport`].
+pub fn render_residual_scan(
+    config: &ReproConfig,
+    scan: &remnant::query::ResidualScanReport,
+) -> String {
+    let mut table = TextTable::new([
+        "Provider",
+        "Week",
+        "Day",
+        "Scan population",
+        "Scaled to 1M",
+        "Retrieved",
+        "After IP-matching",
+        "Hidden",
+        "Verified",
+    ]);
+    for provider in &scan.providers {
+        for week in &provider.weekly {
+            table.row([
+                provider.provider.to_string(),
+                (week.week + 1).to_string(),
+                week.day.to_string(),
+                week.adopted.to_string(),
+                format!("{:.0}", week.adopted as f64 * config.to_paper_scale()),
+                week.retrieved.to_string(),
+                week.after_ip_matching.to_string(),
+                week.hidden.to_string(),
+                week.verified.to_string(),
+            ]);
+        }
+    }
+    FigureBuilder::new()
+        .line(
+            "TABLE VI / FIG 8 timeline: weekly residual scans re-derived from \
+             persisted rounds plus recorded metrics",
+        )
+        .table(&table)
+        .finish()
+}
+
 /// Fig 9 from the Cloudflare exposure tracker alone — the live study's
 /// tracker and a query-side `ExposureTracker::fold` over the persisted
 /// weekly reports render identically through here.

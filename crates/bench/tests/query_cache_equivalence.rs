@@ -1,0 +1,263 @@
+//! The classification cache's headline contract (ISSUE 10): every plan's
+//! cached path (`execute_with` over a shared `PlanContext`) is
+//! byte-identical to the uncached reference (`execute` straight over the
+//! store), at workers 1 and 8, whether the store holds resident snapshots
+//! (in-memory campaign) or reopens full/delta spill files — and on delta
+//! spills the cache counters account for exactly the chained (clean) vs
+//! rewritten (dirty) shard-rounds the store metadata reports.
+//!
+//! Reports that don't implement `PartialEq` are compared through their
+//! `Debug` rendering, which covers every field.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use remnant::core::collector::Target;
+use remnant::core::study::{CollectionMode, PaperStudy, StudyConfig, StudyReport};
+use remnant::core::{DnsSnapshot, SpillConfig};
+use remnant::query::{
+    AdoptionPlan, BehaviorPlan, PassesPlan, PausePlan, PlanContext, QueryPlan, ResidualScanPlan,
+    SnapshotStore, UnchangedCandidatesPlan, RESIDUAL_PROVIDERS,
+};
+use remnant::world::{World, WorldConfig};
+use remnant_bench::ReproConfig;
+
+const POPULATION: usize = 2_000;
+const WEEKS: u32 = 2;
+const SEED: u64 = 41;
+
+/// Mirrors `run_study`'s `ReproConfig -> StudyConfig` mapping, so the
+/// differential exercises exactly the configuration the CLI runs.
+fn study_config(config: &ReproConfig) -> StudyConfig {
+    StudyConfig {
+        weeks: config.weeks,
+        uneven_intervals: !config.even_intervals,
+        workers: config.workers,
+        collection_mode: config.collection_mode,
+        spill: config.spill_dir.clone().map(SpillConfig::new),
+        ..StudyConfig::default()
+    }
+}
+
+/// Runs one campaign, capturing every daily snapshot for the in-memory
+/// store variant.
+fn run_captured(config: &ReproConfig) -> (Vec<DnsSnapshot>, StudyReport) {
+    let mut world = World::generate(WorldConfig::new(config.population, config.seed));
+    let mut snapshots = Vec::new();
+    let report = PaperStudy::new(study_config(config)).run_with(&mut world, |snapshot| {
+        snapshots.push(snapshot.clone());
+    });
+    (snapshots, report)
+}
+
+fn fresh_spill_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("remnant-query-cache-equiv-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp spill dir");
+    dir
+}
+
+fn campaign_targets(config: &ReproConfig) -> Vec<Target> {
+    let world = World::generate(WorldConfig::new(config.population, config.seed));
+    world
+        .sites()
+        .iter()
+        .map(|s| (s.apex.clone(), s.www.clone()))
+        .collect()
+}
+
+/// The differential itself: every plan plus the index-accelerated
+/// classified folds, cached vs uncached, byte for byte.
+fn assert_cached_matches_uncached(
+    config: &ReproConfig,
+    store: &SnapshotStore,
+    workers: usize,
+    context: &str,
+) {
+    let ctx = PlanContext::new(store, workers);
+
+    assert_eq!(
+        format!("{:?}", PassesPlan.execute(store)),
+        format!("{:?}", PassesPlan.execute_with(&ctx)),
+        "{context}: passes"
+    );
+    assert_eq!(
+        format!("{:?}", AdoptionPlan.execute(store)),
+        format!("{:?}", AdoptionPlan.execute_with(&ctx)),
+        "{context}: adoption"
+    );
+    assert_eq!(
+        format!("{:?}", BehaviorPlan.execute(store)),
+        format!("{:?}", BehaviorPlan.execute_with(&ctx)),
+        "{context}: behavior"
+    );
+    assert_eq!(
+        format!("{:?}", PausePlan.execute(store)),
+        format!("{:?}", PausePlan.execute_with(&ctx)),
+        "{context}: pause"
+    );
+
+    let unchanged = UnchangedCandidatesPlan {
+        targets: campaign_targets(config),
+    };
+    assert_eq!(
+        unchanged.execute(store),
+        unchanged.execute_with(&ctx),
+        "{context}: unchanged candidates"
+    );
+
+    let residual = ResidualScanPlan::default();
+    assert_eq!(
+        residual.execute(store),
+        residual.execute_with(&ctx),
+        "{context}: residual scan"
+    );
+
+    // The index-accelerated classified folds vs their full-scan
+    // `RoundsQuery` twins.
+    assert_eq!(
+        format!("{:?}", store.query().classified()),
+        format!("{:?}", ctx.classified().classified()),
+        "{context}: classified fold"
+    );
+    for provider in RESIDUAL_PROVIDERS {
+        assert_eq!(
+            format!("{:?}", store.query().provider(provider)),
+            format!("{:?}", ctx.classified().provider(provider)),
+            "{context}: provider fold {provider:?}"
+        );
+    }
+}
+
+#[test]
+fn in_memory_cached_plans_match_uncached() {
+    for workers in [1usize, 8] {
+        let config = ReproConfig::builder()
+            .population(POPULATION)
+            .weeks(WEEKS)
+            .seed(SEED)
+            .workers(workers)
+            .build()
+            .expect("valid config");
+        let (snapshots, _) = run_captured(&config);
+        let store = SnapshotStore::in_memory(snapshots).expect("in-memory store");
+        assert_cached_matches_uncached(&config, &store, workers, &format!("in-memory w{workers}"));
+    }
+}
+
+#[test]
+fn spill_full_cached_plans_match_uncached() {
+    for workers in [1usize, 8] {
+        let dir = fresh_spill_dir(&format!("full-w{workers}"));
+        let config = ReproConfig::builder()
+            .population(POPULATION)
+            .weeks(WEEKS)
+            .seed(SEED)
+            .workers(workers)
+            .collection_mode(CollectionMode::Full)
+            .spill_dir(dir.clone())
+            .build()
+            .expect("valid config");
+        run_captured(&config);
+        let store = SnapshotStore::open(&dir).expect("store opens");
+        assert_cached_matches_uncached(&config, &store, workers, &format!("spill-full w{workers}"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn spill_delta_cached_plans_match_uncached() {
+    for workers in [1usize, 8] {
+        let dir = fresh_spill_dir(&format!("delta-w{workers}"));
+        let config = ReproConfig::builder()
+            .population(POPULATION)
+            .weeks(WEEKS)
+            .seed(SEED)
+            .workers(workers)
+            .collection_mode(CollectionMode::Delta)
+            .spill_dir(dir.clone())
+            .build()
+            .expect("valid config");
+        run_captured(&config);
+        let store = SnapshotStore::open(&dir).expect("store opens");
+        assert_cached_matches_uncached(
+            &config,
+            &store,
+            workers,
+            &format!("spill-delta w{workers}"),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The cache-counter contract: on a delta spill, clean (chained)
+/// shard-rounds hit the cache and dirty (rewritten) shard-rounds miss —
+/// exactly the counts the store's generation metadata reports.
+///
+/// Only delta spills pin this down: in-memory stores share resident
+/// `Arc`s (so even "dirty" metadata can hit on block identity), and full
+/// spills rewrite every frame (all-miss).
+#[test]
+fn delta_cache_counters_account_for_chained_shards() {
+    let dir = fresh_spill_dir("counters");
+    let config = ReproConfig::builder()
+        .population(POPULATION)
+        .weeks(WEEKS)
+        .seed(SEED)
+        .workers(1)
+        .collection_mode(CollectionMode::Delta)
+        .spill_dir(dir.clone())
+        .build()
+        .expect("valid config");
+    run_captured(&config);
+    let store = SnapshotStore::open(&dir).expect("store opens");
+
+    let ctx = PlanContext::new(&store, 1);
+    let (hits, misses) = ctx.classified().cache_stats();
+    let diffs = store.query().generation_diff();
+    let clean: u64 = diffs.iter().map(|d| d.clean as u64).sum();
+    let dirty: u64 = diffs.iter().map(|d| d.dirty as u64).sum();
+    assert_eq!(hits, clean, "clean shard-rounds reuse cached columns");
+    assert_eq!(misses, dirty, "dirty shard-rounds reclassify");
+    assert!(hits > 0, "a delta campaign chains at least one shard");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 3,
+        ..ProptestConfig::default()
+    })]
+
+    /// Differential property: for arbitrary small campaigns — any seed,
+    /// population, worker count, and persistence mode — every cached plan
+    /// stays byte-identical to its uncached reference.
+    #[test]
+    fn cached_plans_match_uncached_for_arbitrary_campaigns(
+        seed in 0u64..1_000,
+        population in 300usize..600,
+        workers in prop_oneof![Just(1usize), Just(8usize)],
+        delta in proptest::arbitrary::any::<bool>(),
+    ) {
+        let mode = if delta { CollectionMode::Delta } else { CollectionMode::Full };
+        let dir = fresh_spill_dir(&format!("prop-{seed}-{population}-{workers}-{delta}"));
+        let config = ReproConfig::builder()
+            .population(population)
+            .weeks(1)
+            .seed(seed)
+            .workers(workers)
+            .collection_mode(mode)
+            .spill_dir(dir.clone())
+            .build()
+            .expect("valid config");
+        run_captured(&config);
+        let store = SnapshotStore::open(&dir).expect("store opens");
+        assert_cached_matches_uncached(
+            &config,
+            &store,
+            workers,
+            &format!("prop seed={seed} pop={population} w{workers} {mode:?}"),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

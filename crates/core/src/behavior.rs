@@ -56,14 +56,31 @@ impl BehaviorDetector {
     pub fn classify_snapshot(&self, snapshot: &DnsSnapshot) -> Vec<Adoption> {
         let mut out = Vec::with_capacity(snapshot.len());
         for loaded in snapshot.blocks() {
-            out.extend(
-                loaded
-                    .block
-                    .sites()
-                    .map(|site| Adoption::classify_view(&self.matcher, site)),
-            );
+            let (classes, _) = self.classify_block(&loaded.block);
+            out.extend(classes);
         }
         out
+    }
+
+    /// Classifies one block's sites in a single pass, returning the
+    /// per-site adoption column together with the block-local indices of
+    /// sites whose records show a multi-CDN front-end (the Sec IV-B.3
+    /// exclusion). Classification is a pure function of the block's
+    /// bytes, which is what lets the per-shard classification cache
+    /// memoize this call under a [`crate::snapshot::BlockKey`].
+    pub fn classify_block(
+        &self,
+        block: &crate::snapshot::RecordBlock,
+    ) -> (Vec<Adoption>, Vec<u32>) {
+        let mut classes = Vec::with_capacity(block.len());
+        let mut multi_cdn = Vec::new();
+        for (i, site) in block.sites().enumerate() {
+            if is_multi_cdn_view(site) {
+                multi_cdn.push(i as u32);
+            }
+            classes.push(Adoption::classify_view(&self.matcher, site));
+        }
+        (classes, multi_cdn)
     }
 
     /// Diffs two days of classifications into observed behaviors

@@ -46,6 +46,7 @@
 
 pub mod adoption;
 pub mod behavior;
+pub mod classify;
 pub mod collector;
 pub mod error;
 pub mod fsm;
@@ -66,6 +67,7 @@ pub mod verify;
 
 pub use adoption::{Adoption, DpsStatus};
 pub use behavior::{BehaviorDetector, ObservedBehavior};
+pub use classify::{concat_columns, ClassColumn, ShardClassCache, SnapshotColumns};
 pub use collector::{DeltaCollector, DeltaRound, RecordCollector, DEFAULT_REFRESH_STRATA};
 pub use error::{ConfigFieldError, CoreError};
 pub use matchers::ProviderMatcher;
@@ -74,8 +76,8 @@ pub use remnant_obs::{Instrumented, MetricsRegistry, Obs, ObsReport};
 pub use service::StudyService;
 pub use session::{RoundProgress, RoundSummary, StudySession};
 pub use snapshot::{
-    DnsSnapshot, LoadedBlock, RecordBlock, SiteRecords, SiteView, SnapshotDecodeError,
-    SnapshotDecodeErrorKind, DEFAULT_BLOCK_SIZE,
+    BlockKey, BlockSource, DnsSnapshot, LoadedBlock, RecordBlock, SiteRecords, SiteView,
+    SnapshotDecodeError, SnapshotDecodeErrorKind, DEFAULT_BLOCK_SIZE,
 };
 pub use spill::{SpillConfig, SpillError, SpillFile, SpillMeta, SpillRef};
 pub use study::{CollectionMode, CollectionReport, PaperStudy, StudyConfig, StudyReport};

@@ -6,7 +6,9 @@
 //!   targets.
 //! * **NS-matching** looks for provider-unique substrings in NS hostnames.
 
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::RwLock;
 
 use remnant_dns::DomainName;
 use remnant_net::IpRangeDb;
@@ -15,9 +17,47 @@ use remnant_provider::ProviderId;
 use crate::snapshot::SiteRecords;
 
 /// The three fingerprint matchers over the Table II catalog.
-#[derive(Clone, Debug)]
+///
+/// CNAME- and NS-matching memoize their verdict per [`DomainName`]: names
+/// are process-wide interned handles with a precomputed hash and
+/// pointer-identity equality, so the memo key costs O(1) and the table is
+/// bounded by the name universe the interner already holds. Matching is a
+/// pure function of the name and the static catalog, so memoized answers
+/// are byte-identical to recomputed ones, and keeping the handle as the
+/// key pins its payload for the matcher's lifetime.
+#[derive(Debug)]
 pub struct ProviderMatcher {
     ranges: IpRangeDb<ProviderId>,
+    cname_memo: RwLock<HashMap<DomainName, Option<ProviderId>>>,
+    ns_memo: RwLock<HashMap<DomainName, Option<ProviderId>>>,
+}
+
+impl Clone for ProviderMatcher {
+    fn clone(&self) -> Self {
+        ProviderMatcher {
+            ranges: self.ranges.clone(),
+            cname_memo: RwLock::new(self.cname_memo.read().expect(MEMO_LOCK).clone()),
+            ns_memo: RwLock::new(self.ns_memo.read().expect(MEMO_LOCK).clone()),
+        }
+    }
+}
+
+const MEMO_LOCK: &str = "matcher memo lock";
+
+/// Looks `name` up in a match memo, computing and recording the verdict
+/// on first sight. Read-mostly: the write lock is only taken for names
+/// the matcher has never seen.
+fn memoized(
+    memo: &RwLock<HashMap<DomainName, Option<ProviderId>>>,
+    name: &DomainName,
+    slow: impl FnOnce() -> Option<ProviderId>,
+) -> Option<ProviderId> {
+    if let Some(hit) = memo.read().expect(MEMO_LOCK).get(name) {
+        return *hit;
+    }
+    let verdict = slow();
+    memo.write().expect(MEMO_LOCK).insert(name.clone(), verdict);
+    verdict
 }
 
 impl Default for ProviderMatcher {
@@ -35,7 +75,11 @@ impl ProviderMatcher {
                 ranges.insert(block.parse().expect("catalog blocks are valid"), provider);
             }
         }
-        ProviderMatcher { ranges }
+        ProviderMatcher {
+            ranges,
+            cname_memo: RwLock::new(HashMap::new()),
+            ns_memo: RwLock::new(HashMap::new()),
+        }
     }
 
     /// A-matching: the provider announcing `addr`, if any.
@@ -50,11 +94,13 @@ impl ProviderMatcher {
 
     /// CNAME-matching: the provider whose substring appears in `target`.
     pub fn cname_match(&self, target: &DomainName) -> Option<ProviderId> {
-        ProviderId::ALL.into_iter().find(|p| {
-            p.info()
-                .cname_substrings
-                .iter()
-                .any(|needle| target.contains_label_substring(needle))
+        memoized(&self.cname_memo, target, || {
+            ProviderId::ALL.into_iter().find(|p| {
+                p.info()
+                    .cname_substrings
+                    .iter()
+                    .any(|needle| target.contains_label_substring(needle))
+            })
         })
     }
 
@@ -65,11 +111,13 @@ impl ProviderMatcher {
 
     /// NS-matching: the provider whose substring appears in `host`.
     pub fn ns_match(&self, host: &DomainName) -> Option<ProviderId> {
-        ProviderId::ALL.into_iter().find(|p| {
-            p.info()
-                .ns_substrings
-                .iter()
-                .any(|needle| host.contains_label_substring(needle))
+        memoized(&self.ns_memo, host, || {
+            ProviderId::ALL.into_iter().find(|p| {
+                p.info()
+                    .ns_substrings
+                    .iter()
+                    .any(|needle| host.contains_label_substring(needle))
+            })
         })
     }
 
@@ -196,6 +244,30 @@ mod tests {
         assert_eq!(matches.a, Some(ProviderId::Cloudflare));
         assert_eq!(matches.cname, None);
         assert_eq!(matches.ns, Some(ProviderId::Cloudflare));
+    }
+
+    #[test]
+    fn memoized_verdicts_match_fresh_recomputation() {
+        let warm = ProviderMatcher::new();
+        let hosts = [
+            "kate.ns.cloudflare.com",
+            "x123.incapdns.net",
+            "ns1.webhost1.net",
+            "global.fastly.net",
+        ];
+        // First pass populates the memo; second pass must agree with a
+        // matcher that has never seen the names.
+        for host in hosts {
+            let d = name(host);
+            warm.ns_match(&d);
+            warm.cname_match(&d);
+        }
+        for host in hosts {
+            let d = name(host);
+            let fresh = ProviderMatcher::new();
+            assert_eq!(warm.ns_match(&d), fresh.ns_match(&d));
+            assert_eq!(warm.cname_match(&d), fresh.cname_match(&d));
+        }
     }
 
     #[test]

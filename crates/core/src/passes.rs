@@ -99,6 +99,13 @@ impl SnapshotPasses {
         self.rounds
     }
 
+    /// The detector the fold classifies with (fresh detectors over the
+    /// standard catalog are interchangeable, so a classification cache
+    /// can classify with this one or its own).
+    pub fn detector(&self) -> &BehaviorDetector {
+        &self.detector
+    }
+
     /// Folds in one daily snapshot and returns the day's observed
     /// behaviors, already filtered of multi-CDN front-ends (empty on the
     /// first round — there is nothing to diff against).
@@ -112,15 +119,45 @@ impl SnapshotPasses {
             self.total_sites,
             "snapshot covers the configured targets"
         );
-        let classes = self.detector.classify_snapshot(snapshot);
+        // One pass per block: classification and the multi-CDN filter
+        // read the same records, so a spilled block is loaded once.
+        let mut classes = Vec::with_capacity(snapshot.len());
+        let mut multi_cdn_ranks = Vec::new();
+        for loaded in snapshot.blocks() {
+            let (block_classes, flagged) = self.detector.classify_block(&loaded.block);
+            multi_cdn_ranks.extend(flagged.iter().map(|&i| loaded.base_rank + i as usize));
+            classes.extend(block_classes);
+        }
+        self.observe_columns(day, snapshot.taken_at, classes, &multi_cdn_ranks)
+    }
+
+    /// [`observe`](SnapshotPasses::observe) over pre-classified columns:
+    /// the per-site adoption column for the round plus the global ranks
+    /// flagged as multi-CDN front-ends (Sec IV-B.3). This is the entry
+    /// point for the per-shard classification cache — both the live
+    /// delta-collection path and the query layer's `ClassifiedStore`
+    /// feed cached columns through here, so the fold's arithmetic (and
+    /// therefore every derived report) is shared, not re-implemented.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column does not cover the configured site count.
+    pub fn observe_columns(
+        &mut self,
+        day: u32,
+        taken_at: SimTime,
+        classes: Vec<Adoption>,
+        multi_cdn_ranks: &[usize],
+    ) -> Vec<ObservedBehavior> {
+        assert_eq!(
+            classes.len(),
+            self.total_sites,
+            "columns cover the configured targets"
+        );
         // Multi-CDN front-ends are identified by their balancer CNAMEs
         // and excluded from behavior analysis (Sec IV-B.3).
-        for loaded in snapshot.blocks() {
-            for (i, site) in loaded.block.sites().enumerate() {
-                if crate::behavior::is_multi_cdn_view(site) {
-                    self.multi_cdn[loaded.base_rank + i] = true;
-                }
-            }
+        for &rank in multi_cdn_ranks {
+            self.multi_cdn[rank] = true;
         }
 
         // Adoption accumulation (Fig 2 / Fig 6).
@@ -153,17 +190,16 @@ impl SnapshotPasses {
         }
 
         // Pause windows (Fig 5).
-        self.pause_tracker.observe(snapshot.taken_at, &classes);
+        self.pause_tracker.observe(taken_at, &classes);
 
         // The time between consecutive experiments is recoverable from
         // the snapshots themselves: only the between-round step advances
         // the virtual clock, so consecutive `taken_at` instants differ by
         // exactly the interval.
         if let Some(prev) = self.prev_taken_at {
-            self.interval_hours
-                .push(snapshot.taken_at.since(prev).as_hours());
+            self.interval_hours.push(taken_at.since(prev).as_hours());
         }
-        self.prev_taken_at = Some(snapshot.taken_at);
+        self.prev_taken_at = Some(taken_at);
 
         // Behaviors (Fig 3) + FSM validation (Fig 4).
         let mut behaviors = Vec::new();

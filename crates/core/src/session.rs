@@ -28,6 +28,7 @@ use remnant_obs::{Obs, ObsReport, ProgressSender, Span};
 use remnant_provider::ProviderId;
 use remnant_world::World;
 
+use crate::classify::ShardClassCache;
 use crate::collector::{DeltaCollector, DeltaRound, RecordCollector, Target};
 use crate::passes::SnapshotPasses;
 use crate::residual::{
@@ -91,6 +92,7 @@ pub struct StudySession {
     jitter: StdRng,
     collector: DailyCollector,
     passes: SnapshotPasses,
+    class_cache: ShardClassCache,
     unchanged: UnchangedStudy,
     cf_scanner: CloudflareScanner,
     inc_scanner: IncapsulaScanner,
@@ -178,6 +180,7 @@ impl StudySession {
             jitter,
             collector,
             passes,
+            class_cache: ShardClassCache::new(),
             unchanged,
             cf_scanner,
             inc_scanner,
@@ -221,6 +224,14 @@ impl StudySession {
     /// Whether every round has run.
     pub fn is_done(&self) -> bool {
         self.day >= self.days
+    }
+
+    /// The live classification cache's `(hits, misses)` so far — nonzero
+    /// only under delta collection. Deliberately kept out of the study
+    /// report: the counts are collection-mode-dependent, and
+    /// full-vs-delta reports compare byte-identically.
+    pub fn class_cache_stats(&self) -> (u64, u64) {
+        (self.class_cache.hits(), self.class_cache.misses())
     }
 
     /// Executes the next daily round against `world`: collection, the
@@ -273,8 +284,28 @@ impl StudySession {
         // The snapshot-derived passes — adoption (Fig 2 / Fig 6),
         // behaviors (Fig 3), FSM validation (Fig 4), pause windows
         // (Fig 5) — run as one shared fold, the same fold the
-        // remnant-query crate replays over persisted rounds.
-        let behaviors = self.passes.observe(day, &snapshot);
+        // remnant-query crate replays over persisted rounds. Under delta
+        // collection, clean shards carry the previous round's block
+        // (same `Arc`/spill frame), so their classification columns come
+        // from the per-shard cache instead of being recomputed; the fold
+        // arithmetic is identical either way, keeping full-vs-delta
+        // reports byte-identical.
+        let behaviors = match self.config.collection_mode {
+            CollectionMode::Full => self.passes.observe(day, &snapshot),
+            CollectionMode::Delta => {
+                let columns = self.class_cache.classify_snapshot(
+                    &self.engine,
+                    self.passes.detector(),
+                    &snapshot,
+                );
+                self.passes.observe_columns(
+                    day,
+                    snapshot.taken_at,
+                    columns.classes,
+                    &columns.multi_cdn_ranks,
+                )
+            }
+        };
 
         // The unchanged study (Table V) is the one behavior consumer
         // that needs a live transport: candidate extraction is pure,

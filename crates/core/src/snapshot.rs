@@ -234,6 +234,80 @@ pub struct LoadedBlock {
     pub block: Arc<RecordBlock>,
 }
 
+/// Process-local identity of a block's backing storage.
+///
+/// Two equal keys alias the same bytes: a resident block is keyed by the
+/// address of its shared `Arc<RecordBlock>`, a spilled block by its
+/// [`SpillRef::frame_key`]. Delta rounds chain clean shards by cloning
+/// the previous round's `Arc`/ref, so an unchanged shard carries the
+/// same key from round to round — which is what makes classification
+/// results memoizable per block. The key is conservative: a reloaded or
+/// rebuilt block gets a fresh allocation and therefore a fresh key,
+/// never a false match.
+///
+/// An address is only unique while its allocation lives; hold the
+/// originating [`BlockSource`] alongside any cache entry keyed on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockKey {
+    ptr: usize,
+    offset: u64,
+}
+
+/// One block's backing, with its process-local identity exposed: the
+/// owning handle for cache keying (see [`BlockKey`]). Cloning is an
+/// `Arc` clone — no record data is copied or read.
+#[derive(Clone, Debug)]
+pub enum BlockSource {
+    /// The block is resident in memory (shared).
+    Resident(Arc<RecordBlock>),
+    /// The block lives in a spill file frame.
+    Spilled(SpillRef),
+}
+
+impl BlockSource {
+    /// The block's cache key. Stable for as long as this source (or any
+    /// clone of its backing) is alive.
+    pub fn key(&self) -> BlockKey {
+        match self {
+            BlockSource::Resident(block) => BlockKey {
+                ptr: Arc::as_ptr(block) as usize,
+                // Resident blocks have no frame offset; u64::MAX keeps
+                // them disjoint from any real spill offset under an
+                // (admittedly impossible) address collision.
+                offset: u64::MAX,
+            },
+            BlockSource::Spilled(r) => {
+                let (ptr, offset) = r.frame_key();
+                BlockKey { ptr, offset }
+            }
+        }
+    }
+
+    /// Number of sites the block covers (no I/O).
+    pub fn sites(&self) -> usize {
+        match self {
+            BlockSource::Resident(block) => block.len(),
+            BlockSource::Spilled(r) => r.sites(),
+        }
+    }
+
+    /// Loads the block, reading the spill frame if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spilled frame can no longer be read — same contract as
+    /// [`DnsSnapshot::blocks`].
+    pub fn load(&self) -> Arc<RecordBlock> {
+        match self {
+            BlockSource::Resident(block) => Arc::clone(block),
+            BlockSource::Spilled(r) => Arc::new(
+                r.load()
+                    .unwrap_or_else(|e| panic!("spilled snapshot block unreadable: {e}")),
+            ),
+        }
+    }
+}
+
 /// One collection round over the whole target list.
 ///
 /// Records are indexed by site rank, parallel to the target list that
@@ -296,6 +370,24 @@ impl DnsSnapshot {
             };
             base += loaded.block.len();
             loaded
+        })
+    }
+
+    /// The snapshot's blocks as identity-bearing sources, in rank order,
+    /// with the global rank of each block's first site. Unlike
+    /// [`blocks`](DnsSnapshot::blocks) this performs no I/O: it hands out
+    /// the backing handles themselves, so callers can consult a cache by
+    /// [`BlockSource::key`] before deciding to [`BlockSource::load`].
+    pub fn block_sources(&self) -> impl Iterator<Item = (usize, BlockSource)> + '_ {
+        let mut base = 0usize;
+        self.blocks.iter().map(move |slot| {
+            let source = match slot {
+                BlockSlot::Resident(block) => BlockSource::Resident(Arc::clone(block)),
+                BlockSlot::Spilled(r) => BlockSource::Spilled(r.clone()),
+            };
+            let entry = (base, source);
+            base += slot.sites();
+            entry
         })
     }
 

@@ -702,6 +702,22 @@ impl SpillRef {
         &self.file.path
     }
 
+    /// Process-local identity of the referenced frame: `(file identity,
+    /// frame offset)`, where the file identity is the address of the
+    /// shared [`SpillFile`] handle. Two refs with equal keys alias the
+    /// same bytes of the same open file, so any pure function of the
+    /// decoded block may be memoized under this key — delta rounds chain
+    /// clean shards as clones of earlier refs, which is what makes the
+    /// key hit. The key is only conservative: reopening a file yields a
+    /// new handle and therefore a fresh key, never a false match.
+    ///
+    /// The address is only unique while the handle is alive; callers
+    /// keying a cache on it must keep a clone of the ref (or another
+    /// owner of the handle) alive alongside the entry.
+    pub fn frame_key(&self) -> (usize, u64) {
+        (Arc::as_ptr(&self.file) as usize, self.offset)
+    }
+
     /// Reads and decodes the referenced frame.
     pub fn load(&self) -> Result<RecordBlock, SpillError> {
         let bytes = self.file.read_at(self.offset, self.len as usize)?;

@@ -261,6 +261,56 @@ impl ScanEngine {
         self.run_shards(ctx, items, &shards, &selected, make_worker, task, finish)
     }
 
+    /// One-task-per-shard sweep: runs `task` once for each of the
+    /// `selected` shards out of `shard_count` equally-ranked shards, in
+    /// parallel across the engine's workers.
+    ///
+    /// This is the entry point for sweeps whose natural work unit *is* a
+    /// shard rather than an item within one — e.g. classifying a
+    /// snapshot's record blocks, where each block maps to exactly one
+    /// shard of the collection plan. Every shard keeps its original
+    /// identity (RNG stream seeded by shard index, `ShardStats::shard`),
+    /// and outputs merge positionally in ascending shard order, so the
+    /// result is byte-identical at any worker count and for any subset:
+    /// running shards `{2, 5}` yields exactly the elements a full run
+    /// would have produced at those positions.
+    ///
+    /// `selected` may be unsorted and may contain duplicates (ignored);
+    /// indices at or above `shard_count` panic.
+    pub fn sweep_shards<C, O, T>(
+        &self,
+        ctx: &C,
+        shard_count: usize,
+        selected: &[usize],
+        task: T,
+    ) -> Sweep<O>
+    where
+        C: Sync + ?Sized,
+        O: Send,
+        T: Fn(&C, &mut ShardScope, usize) -> O + Sync,
+    {
+        let shards: Vec<std::ops::Range<usize>> = (0..shard_count).map(|i| i..i + 1).collect();
+        let items: Vec<usize> = (0..shard_count).collect();
+        let mut selected: Vec<usize> = selected.to_vec();
+        selected.sort_unstable();
+        selected.dedup();
+        if let Some(&last) = selected.last() {
+            assert!(
+                last < shard_count,
+                "selected shard {last} out of range ({shard_count} shards)"
+            );
+        }
+        self.run_shards(
+            ctx,
+            &items,
+            &shards,
+            &selected,
+            |_| (),
+            |ctx, (), scope, _, &shard| TaskResult::Done(task(ctx, scope, shard)),
+            |(), _| {},
+        )
+    }
+
     /// Shared executor: runs the `selected` (sorted, deduped) subset of
     /// `shards` and merges positionally in ascending shard order.
     #[allow(clippy::too_many_arguments)]
@@ -667,6 +717,40 @@ mod tests {
         assert_eq!(plain.stats.shards, pooled.stats.shards);
         assert!(pooled.stats.workers <= 2, "sweep ran on the grant");
         assert_eq!(pool.available(), 2, "grant returned on sweep end");
+    }
+
+    #[test]
+    fn sweep_shards_is_worker_count_invariant() {
+        // One task per shard, any subset, any worker count: outputs land
+        // in ascending shard order with original shard identity.
+        let selected = [7usize, 2, 2, 11, 0];
+        let runs: Vec<Vec<(usize, u64)>> = [1usize, 3, 8]
+            .into_iter()
+            .map(|workers| {
+                engine(workers, 64)
+                    .sweep_shards(&(), 13, &selected, |_, scope, shard| {
+                        assert_eq!(scope.shard(), shard);
+                        (shard, scope.rng().gen_range(0u64..1 << 32))
+                    })
+                    .outputs
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+        let shards: Vec<usize> = runs[0].iter().map(|(s, _)| *s).collect();
+        assert_eq!(shards, [0, 2, 7, 11], "deduped, ascending shard order");
+    }
+
+    #[test]
+    fn sweep_shards_subset_matches_full_run() {
+        let full =
+            engine(4, 64).sweep_shards(&(), 9, &(0..9).collect::<Vec<_>>(), |_, scope, s| {
+                (s, scope.rng().gen_range(0u64..1 << 32))
+            });
+        let subset = engine(4, 64).sweep_shards(&(), 9, &[3, 6], |_, scope, s| {
+            (s, scope.rng().gen_range(0u64..1 << 32))
+        });
+        assert_eq!(subset.outputs, [full.outputs[3], full.outputs[6]]);
     }
 
     #[test]

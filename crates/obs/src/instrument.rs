@@ -34,6 +34,22 @@ pub const COLLECT_RERESOLVED: &str = "collect.reresolved";
 /// fell into the round's deterministic refresh stratum.
 pub const COLLECT_REFRESH_STRATUM: &str = "collect.refresh_stratum";
 
+/// Canonical counter name for classification-cache lookups answered from
+/// a cached per-shard column (an unchanged block reused across rounds).
+pub const QUERY_CACHE_HIT: &str = "query.cache.hit";
+/// Canonical counter name for classification-cache lookups that had to
+/// classify a block (first sight, or the block's backing changed).
+pub const QUERY_CACHE_MISS: &str = "query.cache.miss";
+/// Canonical counter name for distinct classified columns held by a
+/// classification cache.
+pub const QUERY_CACHE_ENTRIES: &str = "query.cache.entries";
+/// Canonical counter name for sites a provider posting-list index marks
+/// as ever-adopting (labeled per provider).
+pub const QUERY_INDEX_SITES: &str = "query.index.sites";
+/// Canonical counter name for the in-memory size of a provider
+/// posting-list index, in bytes.
+pub const QUERY_INDEX_BYTES: &str = "query.index.bytes";
+
 /// A component that exposes deterministic counters.
 ///
 /// # Example

@@ -15,8 +15,13 @@
 //! - **Diff generations**: [`RoundsQuery::generation_diff`] reads each
 //!   round's dirty/clean shard split from metadata alone.
 //! - **Plan**: [`QueryPlan`]s replay the paper's analyses (adoption,
-//!   behavior, pauses, unchanged candidates, the Fig 8 funnel) over the
-//!   store, byte-identical to the live study's reports.
+//!   behavior, pauses, unchanged candidates, the Fig 8 funnel, the
+//!   residual-scan timeline) over the store, byte-identical to the live
+//!   study's reports.
+//! - **Classify once**: [`PlanContext`] / [`ClassifiedStore`] classify
+//!   each round's shards exactly once through the delta-aware
+//!   classification cache and build per-provider posting lists, so every
+//!   plan of a run shares one classified scan — see [`classified`].
 //!
 //! Determinism: rounds are visited in collection order and sites in rank
 //! order, and the store reconstructs every snapshot byte-identically to
@@ -37,13 +42,16 @@
 //! # Ok::<(), remnant_query::StoreError>(())
 //! ```
 
+pub mod classified;
 pub mod plans;
 pub mod query;
 pub mod store;
 
+pub use classified::{ClassifiedRound, ClassifiedStore, PlanContext, ProviderIndex};
 pub use plans::{
-    funnel_rows, AdoptionPlan, BehaviorPlan, FunnelRow, PassesPlan, PausePlan, QueryPlan,
-    UnchangedCandidatesPlan,
+    funnel_rows, AdoptionPlan, BehaviorPlan, FunnelRow, PassesPlan, PausePlan,
+    ProviderResidualScan, QueryPlan, ResidualScanPlan, ResidualScanReport, ResidualScanWeek,
+    UnchangedCandidatesPlan, RESIDUAL_PROVIDERS,
 };
 pub use query::{
     ClassifiedQuery, GenerationDiff, JoinedRounds, Projection, RecordClass, RoundSnapshot,

@@ -19,9 +19,11 @@ use remnant_core::collector::Target;
 use remnant_core::residual::FUNNEL_STAGES;
 use remnant_core::study::{AdoptionReport, BehaviorReport, PauseReport};
 use remnant_core::unchanged::{self, UnchangedCandidate};
-use remnant_core::{SnapshotAggregates, SnapshotPasses};
+use remnant_core::{BehaviorDetector, DpsStatus, SnapshotAggregates, SnapshotPasses};
 use remnant_obs::ObsReport;
+use remnant_provider::ProviderId;
 
+use crate::classified::PlanContext;
 use crate::store::SnapshotStore;
 
 /// A named, deterministic computation over a snapshot store.
@@ -58,6 +60,16 @@ impl QueryPlan for PassesPlan {
     }
 }
 
+impl PassesPlan {
+    /// The cached path: the context's shared classified scan, folded
+    /// once and memoized. Byte-identical to [`execute`](QueryPlan::execute)
+    /// — both feed the same [`SnapshotPasses`] fold — but clean shards
+    /// cost an `Arc` clone instead of a disk read plus classification.
+    pub fn execute_with(&self, ctx: &PlanContext<'_>) -> SnapshotAggregates {
+        ctx.aggregates().clone()
+    }
+}
+
 /// Table III / Fig 2: the adoption report alone.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct AdoptionPlan;
@@ -71,6 +83,13 @@ impl QueryPlan for AdoptionPlan {
 
     fn execute(&self, store: &SnapshotStore) -> AdoptionReport {
         PassesPlan.execute(store).adoption
+    }
+}
+
+impl AdoptionPlan {
+    /// The cached path: shares the context's one classified scan.
+    pub fn execute_with(&self, ctx: &PlanContext<'_>) -> AdoptionReport {
+        ctx.aggregates().adoption.clone()
     }
 }
 
@@ -90,6 +109,13 @@ impl QueryPlan for BehaviorPlan {
     }
 }
 
+impl BehaviorPlan {
+    /// The cached path: shares the context's one classified scan.
+    pub fn execute_with(&self, ctx: &PlanContext<'_>) -> BehaviorReport {
+        ctx.aggregates().behaviors.clone()
+    }
+}
+
 /// Fig 5: the pause report alone.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PausePlan;
@@ -103,6 +129,13 @@ impl QueryPlan for PausePlan {
 
     fn execute(&self, store: &SnapshotStore) -> PauseReport {
         PassesPlan.execute(store).pauses
+    }
+}
+
+impl PausePlan {
+    /// The cached path: shares the context's one classified scan.
+    pub fn execute_with(&self, ctx: &PlanContext<'_>) -> PauseReport {
+        ctx.aggregates().pauses.clone()
     }
 }
 
@@ -146,6 +179,208 @@ impl QueryPlan for UnchangedCandidatesPlan {
     }
 }
 
+impl UnchangedCandidatesPlan {
+    /// The cached path: behaviors come from the context's classified
+    /// columns (no reclassification); only the record comparison still
+    /// touches the snapshots themselves.
+    pub fn execute_with(&self, ctx: &PlanContext<'_>) -> Vec<UnchangedCandidate> {
+        let store = ctx.store();
+        let mut passes = SnapshotPasses::new(store.sites());
+        let mut prev: Option<remnant_core::DnsSnapshot> = None;
+        let mut out = Vec::new();
+        for (i, round) in ctx.classified().rounds().iter().enumerate() {
+            let columns = round.columns();
+            let behaviors = passes.observe_columns(
+                round.meta().day,
+                round.meta().taken_at,
+                columns.classes,
+                &columns.multi_cdn_ranks,
+            );
+            let snapshot = store.snapshot(i);
+            if let Some(prev_snap) = &prev {
+                out.extend(unchanged::candidates(
+                    &self.targets,
+                    &behaviors,
+                    prev_snap,
+                    &snapshot,
+                ));
+            }
+            prev = Some(snapshot);
+        }
+        out
+    }
+}
+
+/// Providers the paper's weekly residual scans cover.
+pub const RESIDUAL_PROVIDERS: [ProviderId; 2] = [ProviderId::Cloudflare, ProviderId::Incapsula];
+
+/// One scan week of [`ResidualScanReport`]: the scan population derived
+/// from the persisted round, and the recorded filter-funnel counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResidualScanWeek {
+    /// 0-based scan week.
+    pub week: u32,
+    /// The study day the week's scan round was collected on.
+    pub day: u32,
+    /// Sites classified ON under the provider in the scan round — the
+    /// population the weekly scan would have swept.
+    pub adopted: usize,
+    /// `filter.retrieved` for the week (0 without recorded metrics).
+    pub retrieved: u64,
+    /// `filter.after_ip_matching` for the week.
+    pub after_ip_matching: u64,
+    /// `filter.hidden` for the week.
+    pub hidden: u64,
+    /// `filter.verified` for the week.
+    pub verified: u64,
+}
+
+/// One provider's residual-scan timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProviderResidualScan {
+    /// The scanned provider.
+    pub provider: ProviderId,
+    /// Week rows, in week order.
+    pub weekly: Vec<ResidualScanWeek>,
+}
+
+/// The [`ResidualScanPlan`]'s output: Table VI / Fig 8 re-derived from
+/// persisted rounds plus recorded metrics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResidualScanReport {
+    /// One timeline per residual-scanned provider, in
+    /// [`RESIDUAL_PROVIDERS`] order.
+    pub providers: Vec<ProviderResidualScan>,
+}
+
+/// Table VI / Fig 8 from campaign artifacts alone: the weekly scan
+/// populations come from the persisted rounds (sites classified ON under
+/// each scanned provider on week boundaries — the rounds the live study
+/// scanned on), the funnel attrition from the recorded `filter.*`
+/// counters. No live `WeeklyScanReport` is needed.
+///
+/// [`execute`](QueryPlan::execute) is the reference path: it
+/// reclassifies every scan round in full. `execute_with` consults the
+/// context's cached columns through the provider posting lists, skipping
+/// every site the campaign never classified under the provider — the
+/// two are byte-identical because a posting list is a superset of the
+/// provider's ON sites in every round.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResidualScanPlan<'o> {
+    /// Recorded campaign metrics (e.g. from `repro --metrics`); without
+    /// them the funnel columns are zero and only the scan populations
+    /// are derived.
+    pub obs: Option<&'o ObsReport>,
+}
+
+impl ResidualScanPlan<'_> {
+    fn funnel(&self, provider: ProviderId, week: u32) -> [u64; 4] {
+        let Some(obs) = self.obs else { return [0; 4] };
+        let week = week.to_string();
+        let labels = [("provider", provider.name()), ("week", week.as_str())];
+        FUNNEL_STAGES.map(|stage| obs.counter(stage, &labels))
+    }
+
+    fn report_from(
+        &self,
+        scan_days: impl Iterator<Item = u32> + Clone,
+        mut adopted: impl FnMut(ProviderId, u32) -> usize,
+    ) -> ResidualScanReport {
+        ResidualScanReport {
+            providers: RESIDUAL_PROVIDERS
+                .into_iter()
+                .map(|provider| ProviderResidualScan {
+                    provider,
+                    weekly: scan_days
+                        .clone()
+                        .map(|day| {
+                            let week = day / 7;
+                            let [retrieved, after_ip_matching, hidden, verified] =
+                                self.funnel(provider, week);
+                            ResidualScanWeek {
+                                week,
+                                day,
+                                adopted: adopted(provider, day),
+                                retrieved,
+                                after_ip_matching,
+                                hidden,
+                                verified,
+                            }
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The cached path: scan populations counted over the provider
+    /// posting lists and cached columns only.
+    pub fn execute_with(&self, ctx: &PlanContext<'_>) -> ResidualScanReport {
+        let classified = ctx.classified();
+        let scan_days: Vec<u32> = classified
+            .rounds()
+            .iter()
+            .map(|r| r.meta().day)
+            .filter(|day| day % 7 == 0)
+            .collect();
+        let postings: Vec<(ProviderId, Vec<usize>)> = RESIDUAL_PROVIDERS
+            .into_iter()
+            .map(|p| (p, classified.index().postings(p).collect()))
+            .collect();
+        self.report_from(scan_days.iter().copied(), |provider, day| {
+            let round = classified
+                .rounds()
+                .iter()
+                .find(|r| r.meta().day == day)
+                .expect("scan day comes from the round list");
+            let ranks = &postings
+                .iter()
+                .find(|(p, _)| *p == provider)
+                .expect("residual provider indexed")
+                .1;
+            ranks
+                .iter()
+                .filter(|&&rank| {
+                    let class = round.class_at(rank);
+                    class.provider == Some(provider) && class.status == DpsStatus::On
+                })
+                .count()
+        })
+    }
+}
+
+impl QueryPlan for ResidualScanPlan<'_> {
+    type Output = ResidualScanReport;
+
+    fn name(&self) -> &'static str {
+        "residual-scan"
+    }
+
+    /// The uncached reference path: every scan round reclassified in
+    /// full.
+    fn execute(&self, store: &SnapshotStore) -> ResidualScanReport {
+        let detector = BehaviorDetector::new();
+        let scan_rounds: Vec<(u32, Vec<remnant_core::Adoption>)> = store
+            .query()
+            .snapshots()
+            .filter(|round| round.meta.day % 7 == 0)
+            .map(|round| (round.meta.day, detector.classify_snapshot(&round.snapshot)))
+            .collect();
+        let scan_days: Vec<u32> = scan_rounds.iter().map(|(day, _)| *day).collect();
+        self.report_from(scan_days.iter().copied(), |provider, day| {
+            let classes = &scan_rounds
+                .iter()
+                .find(|(d, _)| *d == day)
+                .expect("scan day comes from the scan rounds")
+                .1;
+            classes
+                .iter()
+                .filter(|class| class.provider == Some(provider) && class.status == DpsStatus::On)
+                .count()
+        })
+    }
+}
+
 /// One provider's row of the Fig 8 filtering funnel.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FunnelRow {
@@ -171,7 +406,11 @@ pub struct FunnelRow {
 /// snapshot store, because the funnel is journaled rather than derivable
 /// from records.
 pub fn funnel_rows(obs: &ObsReport) -> Vec<FunnelRow> {
+    // Order-preserving accumulation: the vec keeps first-seen provider
+    // order, the map makes each lookup O(1) instead of a linear probe
+    // per counter (quadratic over providers × weeks).
     let mut providers: Vec<(&str, u32)> = Vec::new();
+    let mut slots: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
     for (key, _) in obs.counters_named(FUNNEL_STAGES[0]) {
         let (Some(provider), Some(week)) = (key.label("provider"), key.label("week")) else {
             continue;
@@ -179,9 +418,12 @@ pub fn funnel_rows(obs: &ObsReport) -> Vec<FunnelRow> {
         let Ok(week) = week.parse::<u32>() else {
             continue;
         };
-        match providers.iter_mut().find(|(p, _)| *p == provider) {
-            Some(entry) => entry.1 = entry.1.max(week),
-            None => providers.push((provider, week)),
+        match slots.get(provider) {
+            Some(&slot) => providers[slot].1 = providers[slot].1.max(week),
+            None => {
+                slots.insert(provider, providers.len());
+                providers.push((provider, week));
+            }
         }
     }
     providers
